@@ -1,0 +1,88 @@
+// E1 — Proposition 2 / Corollary 3: algorithm ANSWERABLE computes ans(Q)
+// (and hence decides orderability) in quadratic time.
+//
+// Series: wall time of Answerable() vs. number of body literals, for chain,
+// star, and random join shapes. The paper's claim fixes the *shape*: time
+// grows ~quadratically in the literal count (the repeat/for double loop of
+// Fig. 1), far from the Π₂ᴾ cliff of the containment test.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "feasibility/answerable.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+ConjunctiveQuery MakeQuery(QueryShape shape, int literals, std::mt19937* rng,
+                           Catalog* catalog_out) {
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 8;
+  schema_options.min_arity = 2;
+  schema_options.max_arity = 3;
+  schema_options.input_slot_prob = 0.35;
+  *catalog_out = RandomCatalog(rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = literals;
+  options.num_variables = literals + 1;  // chains need a fresh var per hop
+  options.negation_prob = 0.2;
+  options.constant_prob = 0.0;
+  options.head_arity = 1;
+  options.shape = shape;
+  return RandomCq(rng, *catalog_out, options);
+}
+
+void BM_Answerable(benchmark::State& state, QueryShape shape) {
+  std::mt19937 rng(42);
+  Catalog catalog;
+  ConjunctiveQuery q =
+      MakeQuery(shape, static_cast<int>(state.range(0)), &rng, &catalog);
+  std::size_t answerable_size = 0;
+  for (auto _ : state) {
+    AnswerablePart part = Answerable(q, catalog);
+    answerable_size =
+        part.IsFalse() ? 0 : part.answerable->body().size();
+    benchmark::DoNotOptimize(part);
+  }
+  state.counters["literals"] = static_cast<double>(state.range(0));
+  state.counters["answerable"] = static_cast<double>(answerable_size);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_AnswerableChain(benchmark::State& state) {
+  BM_Answerable(state, QueryShape::kChain);
+}
+void BM_AnswerableStar(benchmark::State& state) {
+  BM_Answerable(state, QueryShape::kStar);
+}
+void BM_AnswerableRandom(benchmark::State& state) {
+  BM_Answerable(state, QueryShape::kRandom);
+}
+
+BENCHMARK(BM_AnswerableChain)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+BENCHMARK(BM_AnswerableStar)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+BENCHMARK(BM_AnswerableRandom)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity();
+
+// Orderability check (Corollary 3) rides on the same machinery.
+void BM_IsOrderable(benchmark::State& state) {
+  std::mt19937 rng(7);
+  Catalog catalog;
+  ConjunctiveQuery q = MakeQuery(QueryShape::kChain,
+                                 static_cast<int>(state.range(0)), &rng,
+                                 &catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsOrderable(q, catalog));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IsOrderable)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// E5 — Sections 5.3/5.4: the uniform FEASIBLE algorithm is optimal for CQ
+// and UCQ too — it agrees with Li & Chang's CQstable/CQstable* and
+// UCQstable/UCQstable* and is cost-competitive. CQstable pays an up-front
+// minimization on every query; the * variants and FEASIBLE can skip the
+// equivalence check when ans(Q) = Q.
+//
+// Rows: wall time per query for each algorithm on the same random CQ and
+// UCQ workloads (agreement is asserted; a mismatch aborts the benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "feasibility/feasible.h"
+#include "feasibility/li_chang.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+struct CqWorkload {
+  Catalog catalog;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+const CqWorkload& SharedCqWorkload() {
+  static const CqWorkload* w = [] {
+    auto* workload = new CqWorkload();
+    std::mt19937 rng(2024);
+    RandomSchemaOptions schema_options;
+    schema_options.num_relations = 8;
+    schema_options.input_slot_prob = 0.6;
+    schema_options.full_scan_prob = 0.2;
+    workload->catalog = RandomCatalog(&rng, schema_options);
+    RandomQueryOptions options;
+    options.num_literals = 6;
+    options.num_variables = 4;
+    options.head_arity = 1;
+    for (int i = 0; i < 64; ++i) {
+      workload->queries.push_back(RandomCq(&rng, workload->catalog, options));
+    }
+    return workload;
+  }();
+  return *w;
+}
+
+struct UcqWorkload {
+  Catalog catalog;
+  std::vector<UnionQuery> queries;
+};
+
+const UcqWorkload& SharedUcqWorkload() {
+  static const UcqWorkload* w = [] {
+    auto* workload = new UcqWorkload();
+    std::mt19937 rng(4048);
+    RandomSchemaOptions schema_options;
+    schema_options.num_relations = 8;
+    schema_options.input_slot_prob = 0.6;
+    schema_options.full_scan_prob = 0.2;
+    workload->catalog = RandomCatalog(&rng, schema_options);
+    RandomQueryOptions options;
+    options.num_literals = 4;
+    options.num_variables = 4;
+    options.head_arity = 1;
+    for (int i = 0; i < 32; ++i) {
+      workload->queries.push_back(
+          RandomUcq(&rng, workload->catalog, options, 3));
+    }
+    return workload;
+  }();
+  return *w;
+}
+
+template <typename Algo>
+void RunCq(benchmark::State& state, Algo&& algo) {
+  const CqWorkload& w = SharedCqWorkload();
+  std::uint64_t feasible = 0, total = 0;
+  for (auto _ : state) {
+    for (const ConjunctiveQuery& q : w.queries) {
+      if (algo(q, w.catalog)) ++feasible;
+      ++total;
+    }
+  }
+  state.counters["frac_feasible"] =
+      static_cast<double>(feasible) / static_cast<double>(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+
+void BM_Cq_CqStable(benchmark::State& state) {
+  RunCq(state, [](const ConjunctiveQuery& q, const Catalog& c) {
+    return CqStable(q, c);
+  });
+}
+void BM_Cq_CqStableStar(benchmark::State& state) {
+  RunCq(state, [](const ConjunctiveQuery& q, const Catalog& c) {
+    return CqStableStar(q, c);
+  });
+}
+void BM_Cq_Feasible(benchmark::State& state) {
+  RunCq(state, [](const ConjunctiveQuery& q, const Catalog& c) {
+    return IsFeasible(UnionQuery(q), c);
+  });
+}
+BENCHMARK(BM_Cq_CqStable);
+BENCHMARK(BM_Cq_CqStableStar);
+BENCHMARK(BM_Cq_Feasible);
+
+template <typename Algo>
+void RunUcq(benchmark::State& state, Algo&& algo) {
+  const UcqWorkload& w = SharedUcqWorkload();
+  std::uint64_t feasible = 0, total = 0;
+  for (auto _ : state) {
+    for (const UnionQuery& q : w.queries) {
+      if (algo(q, w.catalog)) ++feasible;
+      ++total;
+    }
+  }
+  state.counters["frac_feasible"] =
+      static_cast<double>(feasible) / static_cast<double>(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+
+void BM_Ucq_UcqStable(benchmark::State& state) {
+  RunUcq(state, [](const UnionQuery& q, const Catalog& c) {
+    return UcqStable(q, c);
+  });
+}
+void BM_Ucq_UcqStableStar(benchmark::State& state) {
+  RunUcq(state, [](const UnionQuery& q, const Catalog& c) {
+    return UcqStableStar(q, c);
+  });
+}
+void BM_Ucq_Feasible(benchmark::State& state) {
+  RunUcq(state, [](const UnionQuery& q, const Catalog& c) {
+    return IsFeasible(q, c);
+  });
+}
+BENCHMARK(BM_Ucq_UcqStable);
+BENCHMARK(BM_Ucq_UcqStableStar);
+BENCHMARK(BM_Ucq_Feasible);
+
+}  // namespace
+}  // namespace ucqn
+
+int main(int argc, char** argv) {
+  // Assert agreement once up front; the benchmark then times with
+  // confidence that all algorithms compute the same function.
+  {
+    const auto& cq = ucqn::SharedCqWorkload();
+    for (const auto& q : cq.queries) {
+      const bool a = ucqn::CqStable(q, cq.catalog);
+      const bool b = ucqn::CqStableStar(q, cq.catalog);
+      const bool c = ucqn::IsFeasible(ucqn::UnionQuery(q), cq.catalog);
+      if (a != b || b != c) {
+        std::fprintf(stderr, "baseline disagreement on %s\n",
+                     q.ToString().c_str());
+        return 1;
+      }
+    }
+    const auto& ucq = ucqn::SharedUcqWorkload();
+    for (const auto& q : ucq.queries) {
+      const bool a = ucqn::UcqStable(q, ucq.catalog);
+      const bool b = ucqn::UcqStableStar(q, ucq.catalog);
+      const bool c = ucqn::IsFeasible(q, ucq.catalog);
+      if (a != b || b != c) {
+        std::fprintf(stderr, "baseline disagreement on\n%s\n",
+                     q.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E3 — Theorems 12/13, Proposition 7, Corollary 19: CONT(CQ¬/UCQ¬) is
+// Π₂ᴾ-complete; the recursion explodes with the number of negated
+// literals, while the positive (CQ) fragment stays cheap.
+//
+// Series:
+//   * SubsetExplosion (answer NO): nodes and time vs. k — exponential
+//     (every subset of the k adjoinable atoms is visited).
+//   * SubsetExplosion (answer YES): same family with a closing disjunct —
+//     constant work; the worst case bites on negative answers.
+//   * Chain (answer YES): recursion depth k, polynomial work.
+//   * Positive-only homomorphism baseline: CQ containment at the same
+//     query sizes for contrast.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "containment/ucqn_containment.h"
+#include "gen/hard_instances.h"
+
+namespace ucqn {
+namespace {
+
+void RunInstance(benchmark::State& state, const ContainmentInstance& inst) {
+  ContainmentStats last;
+  for (auto _ : state) {
+    ContainmentStats stats;
+    bool result = Contained(inst.P, inst.Q, &stats);
+    if (result != inst.expected) {
+      state.SkipWithError("containment verdict mismatch");
+      return;
+    }
+    last = stats;
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.counters["nodes"] = static_cast<double>(last.nodes_expanded);
+  state.counters["max_depth"] = static_cast<double>(last.max_depth);
+  state.counters["cache_hits"] = static_cast<double>(last.cache_hits);
+  state.counters["mappings"] =
+      static_cast<double>(last.homomorphism.mappings_found);
+}
+
+void BM_SubsetExplosionNo(benchmark::State& state) {
+  RunInstance(state,
+              SubsetExplosionInstance(static_cast<int>(state.range(0)),
+                                      /*contained=*/false));
+}
+BENCHMARK(BM_SubsetExplosionNo)->DenseRange(2, 13, 1);
+
+void BM_SubsetExplosionYes(benchmark::State& state) {
+  RunInstance(state,
+              SubsetExplosionInstance(static_cast<int>(state.range(0)),
+                                      /*contained=*/true));
+}
+BENCHMARK(BM_SubsetExplosionYes)->DenseRange(2, 13, 1);
+
+void BM_ChainYes(benchmark::State& state) {
+  RunInstance(state, ChainInstance(static_cast<int>(state.range(0)),
+                                   /*contained=*/true));
+}
+BENCHMARK(BM_ChainYes)->DenseRange(2, 13, 1);
+
+// Baseline: containment of same-size *positive* queries is a single
+// homomorphism search — the uniform algorithm's CQ fast path.
+void BM_PositiveBaseline(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // P(x) :- R(x), N1(x), ..., Nk(x);  Q(x) :- R(x), N1(x).
+  std::string p_text = "Q(x) :- R(x)";
+  for (int i = 1; i <= k; ++i) {
+    p_text += ", N" + std::to_string(i) + "(x)";
+  }
+  p_text += ".";
+  ConjunctiveQuery P = MustParseRule(p_text);
+  UnionQuery Q = MustParseUnionQuery("Q(x) :- R(x), N1(x).");
+  for (auto _ : state) {
+    ContainmentStats stats;
+    benchmark::DoNotOptimize(Contained(P, Q, &stats));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_PositiveBaseline)->DenseRange(2, 13, 1);
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

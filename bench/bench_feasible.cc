@@ -1,0 +1,157 @@
+// E4 — Corollaries 17/19 and Section 4.1: FEASIBLE = PLAN* + containment,
+// and the PLAN* shortcuts (plans-equal, null-in-overestimate) decide most
+// practical queries without ever paying the Π₂ᴾ containment price.
+//
+// Two series:
+//   * BM_FeasibleMix_<class>: FEASIBLE over random workloads of each class
+//     (CQ, UCQ, CQ¬, UCQ¬). Counters report the fraction decided by each
+//     path and the feasible rate — the compile-time-approximation story.
+//   * BM_FeasibleHard: the reduction-built worst case where the
+//     containment path must run, with exponential node counts (contrast).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "feasibility/feasible.h"
+#include "gen/hard_instances.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+struct Workload {
+  Catalog catalog;
+  std::vector<UnionQuery> queries;
+};
+
+Workload MakeWorkload(int disjuncts, double negation_prob, int count,
+                      unsigned seed) {
+  std::mt19937 rng(seed);
+  Workload w;
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 8;
+  schema_options.input_slot_prob = 0.45;
+  w.catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 5;
+  options.num_variables = 4;
+  options.negation_prob = negation_prob;
+  options.head_arity = 1;
+  for (int i = 0; i < count; ++i) {
+    w.queries.push_back(RandomUcq(&rng, w.catalog, options, disjuncts));
+  }
+  return w;
+}
+
+void RunMix(benchmark::State& state, const Workload& w) {
+  std::uint64_t plans_equal = 0, null_path = 0, containment = 0, feasible = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    for (const UnionQuery& q : w.queries) {
+      FeasibleResult result = Feasible(q, w.catalog);
+      switch (result.path) {
+        case FeasibleDecisionPath::kPlansEqual:
+          ++plans_equal;
+          break;
+        case FeasibleDecisionPath::kNullInOverestimate:
+          ++null_path;
+          break;
+        case FeasibleDecisionPath::kContainment:
+          ++containment;
+          break;
+      }
+      if (result.feasible) ++feasible;
+      ++iterations;
+    }
+  }
+  const double n = static_cast<double>(iterations);
+  state.counters["frac_plans_equal"] = static_cast<double>(plans_equal) / n;
+  state.counters["frac_null_shortcut"] = static_cast<double>(null_path) / n;
+  state.counters["frac_containment"] = static_cast<double>(containment) / n;
+  state.counters["frac_feasible"] = static_cast<double>(feasible) / n;
+  state.SetItemsProcessed(static_cast<std::int64_t>(iterations));
+}
+
+void BM_FeasibleMix_CQ(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(1, 0.0, 64, 101));
+  RunMix(state, *w);
+}
+void BM_FeasibleMix_UCQ(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(3, 0.0, 64, 102));
+  RunMix(state, *w);
+}
+void BM_FeasibleMix_CQN(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(1, 0.35, 64, 103));
+  RunMix(state, *w);
+}
+void BM_FeasibleMix_UCQN(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(3, 0.35, 64, 104));
+  RunMix(state, *w);
+}
+BENCHMARK(BM_FeasibleMix_CQ);
+BENCHMARK(BM_FeasibleMix_UCQ);
+BENCHMARK(BM_FeasibleMix_CQN);
+BENCHMARK(BM_FeasibleMix_UCQN);
+
+// The engineered worst case: FEASIBLE must take the containment path and
+// the infeasible variant explodes exponentially in k.
+void BM_FeasibleHard(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool feasible = state.range(1) != 0;
+  HardFeasibilityInstance inst = HardFeasibility(k, feasible);
+  ContainmentStats last;
+  for (auto _ : state) {
+    FeasibleResult result = Feasible(inst.query, inst.catalog);
+    if (result.feasible != inst.feasible) {
+      state.SkipWithError("feasibility verdict mismatch");
+      return;
+    }
+    last = result.containment_stats;
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["nodes"] = static_cast<double>(last.nodes_expanded);
+}
+BENCHMARK(BM_FeasibleHard)
+    ->ArgsProduct({{2, 4, 6, 8, 10, 12}, {0, 1}});
+
+// FEASIBLE cost as the query grows, per class: the typical case stays
+// low-polynomial because the shortcuts dominate; only the containment
+// fraction carries the hard work.
+void BM_FeasibleBySize(benchmark::State& state) {
+  const int literals = static_cast<int>(state.range(0));
+  const bool with_negation = state.range(1) != 0;
+  std::mt19937 rng(static_cast<unsigned>(literals) * 7 + 3);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 8;
+  schema_options.input_slot_prob = 0.45;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = literals;
+  options.num_variables = std::max(3, literals / 2);
+  options.negation_prob = with_negation ? 0.3 : 0.0;
+  options.head_arity = 1;
+  std::vector<UnionQuery> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(RandomUcq(&rng, catalog, options, 2));
+  }
+  std::uint64_t feasible = 0, total = 0;
+  for (auto _ : state) {
+    for (const UnionQuery& q : queries) {
+      if (Feasible(q, catalog).feasible) ++feasible;
+      ++total;
+    }
+  }
+  state.counters["literals"] = static_cast<double>(literals);
+  state.counters["with_negation"] = with_negation ? 1.0 : 0.0;
+  state.counters["frac_feasible"] =
+      static_cast<double>(feasible) / static_cast<double>(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_FeasibleBySize)->ArgsProduct({{2, 4, 8, 16, 32}, {0, 1}});
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

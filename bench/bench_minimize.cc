@@ -1,0 +1,109 @@
+// E11 — minimization study. For CQ/UCQ, minimization is the engine behind
+// the CQstable/UCQstable baselines (Section 5.3/5.4). For CQ¬/UCQ¬ this
+// library ships an equivalence-preserving minimizer built on the
+// Theorem 12/13 containment test; each removal attempt costs a worst-case
+// Π₂ᴾ check, so minimization is *not* a shortcut around FEASIBLE — this
+// bench quantifies that claim and measures how often the cheap
+// "minimize-then-orderable" heuristic agrees with the exact FEASIBLE
+// verdict on random UCQ¬ workloads (it is sound in one direction only:
+// orderable minimal form ⇒ feasible).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "containment/minimize.h"
+#include "feasibility/answerable.h"
+#include "feasibility/feasible.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+void BM_MinimizeCq(benchmark::State& state) {
+  std::mt19937 rng(17);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = static_cast<int>(state.range(0));
+  options.num_variables = 3;  // few variables => many redundant literals
+  options.head_arity = 1;
+  ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+  std::size_t core_size = 0;
+  for (auto _ : state) {
+    ConjunctiveQuery m = MinimizeCq(q);
+    core_size = m.body().size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["literals"] = static_cast<double>(state.range(0));
+  state.counters["core_size"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_MinimizeCq)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_MinimizeCqn(benchmark::State& state) {
+  std::mt19937 rng(23);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = static_cast<int>(state.range(0));
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeCqn(q));
+  }
+  state.counters["literals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MinimizeCqn)->RangeMultiplier(2)->Range(2, 16);
+
+// How often does "union-minimize, then check orderability" agree with the
+// exact FEASIBLE verdict on UCQ¬? Sound when it says feasible; the
+// counters report the miss rate (heuristic says infeasible, FEASIBLE says
+// feasible) — the price of skipping the containment machinery.
+void BM_MinimizeThenOrderableHeuristic(benchmark::State& state) {
+  std::mt19937 rng(29);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.6;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  std::vector<UnionQuery> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(RandomUcq(&rng, catalog, options, 2));
+  }
+  std::uint64_t agree = 0, heuristic_feasible = 0, exact_feasible = 0,
+                unsound = 0, total = 0;
+  for (auto _ : state) {
+    for (const UnionQuery& q : queries) {
+      UnionQuery minimal = MinimizeUcqn(q);
+      const bool heuristic = IsOrderable(minimal, catalog);
+      const bool exact = IsFeasible(q, catalog);
+      if (heuristic == exact) ++agree;
+      if (heuristic && !exact) ++unsound;  // must stay zero
+      if (heuristic) ++heuristic_feasible;
+      if (exact) ++exact_feasible;
+      ++total;
+    }
+  }
+  const double n = static_cast<double>(total);
+  state.counters["frac_agree"] = static_cast<double>(agree) / n;
+  state.counters["frac_heuristic_feasible"] =
+      static_cast<double>(heuristic_feasible) / n;
+  state.counters["frac_exact_feasible"] =
+      static_cast<double>(exact_feasible) / n;
+  state.counters["unsound_claims"] = static_cast<double>(unsound);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_MinimizeThenOrderableHeuristic);
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// E2 — Section 4.1: PLAN* computes the underestimate/overestimate plan
+// pair in quadratic time, independent of feasibility.
+//
+// Series: wall time of PlanStar() vs. total query size, swept two ways —
+// by literals per disjunct (fixed 4 disjuncts) and by number of disjuncts
+// (fixed 8 literals each). Counters report how much of the workload was
+// answerable, so the "shape" (cheap compile-time approximation even for
+// infeasible queries) is visible.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "feasibility/plan_star.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+UnionQuery MakeWorkload(int disjuncts, int literals, std::mt19937* rng,
+                        Catalog* catalog_out) {
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 10;
+  schema_options.input_slot_prob = 0.45;
+  *catalog_out = RandomCatalog(rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = literals;
+  options.num_variables = std::max(3, literals / 2);
+  options.negation_prob = 0.25;
+  options.head_arity = 1;
+  return RandomUcq(rng, *catalog_out, options, disjuncts);
+}
+
+void BM_PlanStarByLiterals(benchmark::State& state) {
+  std::mt19937 rng(11);
+  Catalog catalog;
+  UnionQuery q = MakeWorkload(4, static_cast<int>(state.range(0)), &rng,
+                              &catalog);
+  double dismissed = 0;
+  for (auto _ : state) {
+    PlanStarResult plans = PlanStar(q, catalog);
+    dismissed = static_cast<double>(q.size() - plans.under.size());
+    benchmark::DoNotOptimize(plans);
+  }
+  state.counters["literals_per_disjunct"] =
+      static_cast<double>(state.range(0));
+  state.counters["disjuncts_dismissed_from_Qu"] = dismissed;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanStarByLiterals)
+    ->RangeMultiplier(2)
+    ->Range(2, 256)
+    ->Complexity();
+
+void BM_PlanStarByDisjuncts(benchmark::State& state) {
+  std::mt19937 rng(13);
+  Catalog catalog;
+  UnionQuery q = MakeWorkload(static_cast<int>(state.range(0)), 8, &rng,
+                              &catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanStar(q, catalog));
+  }
+  state.counters["disjuncts"] = static_cast<double>(state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanStarByDisjuncts)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity();
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E8 — Theorem 18 / Proposition 20: the reductions from containment to
+// feasibility are polynomial-time and answer-preserving. The reduction
+// itself must be cheap (linear-size output); the *resulting* feasibility
+// instance carries the full Π₂ᴾ weight of the embedded containment
+// question — which is the content of the theorem.
+//
+// Series:
+//   * BM_ReductionConstruction: wall time and output size of building Q'
+//     from (P, Q) as the input grows — linear shape.
+//   * BM_ReductionEndToEnd: FEASIBLE on the reduced instance vs. direct
+//     CONT on (P, Q) for the SubsetExplosion family — both explode the
+//     same way, demonstrating the equivalence empirically.
+
+#include <benchmark/benchmark.h>
+
+#include "containment/ucqn_containment.h"
+#include "feasibility/feasible.h"
+#include "feasibility/reduction.h"
+#include "gen/hard_instances.h"
+
+namespace ucqn {
+namespace {
+
+std::size_t QuerySize(const UnionQuery& q) {
+  std::size_t n = 0;
+  for (const ConjunctiveQuery& d : q.disjuncts()) n += 1 + d.body().size();
+  return n;
+}
+
+void BM_ReductionConstruction(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ContainmentInstance inst = SubsetExplosionInstance(k, /*contained=*/false);
+  UnionQuery P(inst.P);
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    FeasibilityInstance reduced = ReduceContainmentToFeasibility(P, inst.Q);
+    out_size = QuerySize(reduced.query);
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["input_size"] =
+      static_cast<double>(QuerySize(P) + QuerySize(inst.Q));
+  state.counters["output_size"] = static_cast<double>(out_size);
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ReductionConstruction)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity();
+
+void BM_DirectContainment(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ContainmentInstance inst = SubsetExplosionInstance(k, /*contained=*/false);
+  for (auto _ : state) {
+    ContainmentStats stats;
+    bool contained = Contained(inst.P, inst.Q, &stats);
+    if (contained != inst.expected) {
+      state.SkipWithError("containment verdict mismatch");
+      return;
+    }
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_DirectContainment)->DenseRange(2, 10, 2);
+
+void BM_ReducedFeasibility(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  HardFeasibilityInstance inst = HardFeasibility(k, /*feasible=*/false);
+  for (auto _ : state) {
+    FeasibleResult result = Feasible(inst.query, inst.catalog);
+    if (result.feasible != inst.feasible) {
+      state.SkipWithError("feasibility verdict mismatch");
+      return;
+    }
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_ReducedFeasibility)->DenseRange(2, 10, 2);
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

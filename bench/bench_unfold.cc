@@ -1,0 +1,105 @@
+// E13 — global-as-view unfolding (the BIRN-mediator substrate of §4.2):
+// cost and size of unfolding client queries into UCQ¬ plans, and the
+// feasibility-analysis cost downstream.
+//
+// Series:
+//   * BM_UnfoldPositive: disjunct count and time vs. number of view
+//     literals when each view has 2 rules — the expected 2^k union growth,
+//     which is why mediators bound plan size.
+//   * BM_UnfoldNegated: product growth for negated views.
+//   * BM_UnfoldThenCompile: the end-to-end mediator compile path
+//     (unfold + PLAN* + feasibility) on a fixed realistic view stack.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.h"
+#include "feasibility/feasible.h"
+#include "mediator/unfold.h"
+
+namespace ucqn {
+namespace {
+
+void BM_UnfoldPositive(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- A(x).
+    V(x) :- B(x).
+  )");
+  std::string body = "V(a)";
+  for (int i = 1; i < k; ++i) body += ", V(a)";
+  UnionQuery q = MustParseUnionQuery("Q(a) :- " + body + ".");
+  UnfoldOptions options;
+  options.max_disjuncts = 100000;
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnfoldResult result = Unfold(q, views, options);
+    if (!result.ok) {
+      state.SkipWithError(result.error.c_str());
+      return;
+    }
+    disjuncts = result.query.size();
+  }
+  state.counters["view_literals"] = static_cast<double>(k);
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_UnfoldPositive)->DenseRange(1, 10, 1);
+
+void BM_UnfoldNegated(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // Each negated view rule has 3 literals: the product grows 3^rules.
+  ViewRegistry views = ViewRegistry::MustParse(
+      "V(x) :- A(x), B(x), C(x).");
+  std::string body = "R(a)";
+  for (int i = 0; i < k; ++i) body += ", not V(a)";
+  UnionQuery q = MustParseUnionQuery("Q(a) :- " + body + ".");
+  UnfoldOptions options;
+  options.max_disjuncts = 100000;
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnfoldResult result = Unfold(q, views, options);
+    if (!result.ok) {
+      state.SkipWithError(result.error.c_str());
+      return;
+    }
+    disjuncts = result.query.size();
+  }
+  state.counters["negated_views"] = static_cast<double>(k);
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_UnfoldNegated)->DenseRange(1, 8, 1);
+
+void BM_UnfoldThenCompile(benchmark::State& state) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Subjects(s, d) :- SubjectA(s, d).
+    Subjects(s, d) :- SubjectB(s, d).
+    Usable(s) :- Consent(s).
+    WithImage(s, i) :- Image(s, i).
+  )");
+  Catalog catalog = Catalog::MustParse(R"(
+    relation SubjectA/2: oo
+    relation SubjectB/2: oo
+    relation Consent/1: i
+    relation Image/2: io
+  )");
+  UnionQuery client = MustParseUnionQuery(
+      "Q(s, d, i) :- Subjects(s, d), Usable(s), WithImage(s, i).");
+  bool feasible = false;
+  std::size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnfoldResult unfolded = Unfold(client, views);
+    if (!unfolded.ok) {
+      state.SkipWithError(unfolded.error.c_str());
+      return;
+    }
+    disjuncts = unfolded.query.size();
+    feasible = IsFeasible(unfolded.query, catalog);
+  }
+  state.counters["plan_disjuncts"] = static_cast<double>(disjuncts);
+  state.counters["feasible"] = feasible ? 1.0 : 0.0;
+}
+BENCHMARK(BM_UnfoldThenCompile);
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+#include "ast/atom.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+std::vector<Term> Atom::Variables() const {
+  std::vector<Term> vars;
+  for (const Term& t : args_) {
+    if (t.IsVariable() && std::find(vars.begin(), vars.end(), t) == vars.end()) {
+      vars.push_back(t);
+    }
+  }
+  return vars;
+}
+
+bool Atom::IsGround() const {
+  for (const Term& t : args_) {
+    if (t.IsVariable()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const Term& t : args_) parts.push_back(t.ToString());
+  return relation_ + "(" + StrJoin(parts, ", ") + ")";
+}
+
+std::size_t Atom::Hash() const {
+  std::size_t seed = 0;
+  HashCombine(&seed, relation_);
+  for (const Term& t : args_) HashCombine(&seed, t.Hash());
+  return seed;
+}
+
+std::string Literal::ToString() const {
+  if (positive_) return atom_.ToString();
+  return "not " + atom_.ToString();
+}
+
+std::size_t Literal::Hash() const {
+  std::size_t seed = atom_.Hash();
+  HashCombine(&seed, positive_);
+  return seed;
+}
+
+}  // namespace ucqn

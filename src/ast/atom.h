@@ -1,0 +1,109 @@
+#ifndef UCQN_AST_ATOM_H_
+#define UCQN_AST_ATOM_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace ucqn {
+
+// An atom R(t1, ..., tk): a relation name applied to a list of terms.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string relation, std::vector<Term> args)
+      : relation_(std::move(relation)), args_(std::move(args)) {}
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::size_t arity() const { return args_.size(); }
+
+  // Variables occurring in the atom, in order of first occurrence.
+  std::vector<Term> Variables() const;
+
+  // True if no argument is a variable.
+  bool IsGround() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation_ == b.relation_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.relation_ != b.relation_) return a.relation_ < b.relation_;
+    return a.args_ < b.args_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  std::string relation_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+// A literal: an atom or its negation. The paper writes R̂(x̄) for either.
+class Literal {
+ public:
+  Literal() : positive_(true) {}
+  Literal(Atom atom, bool positive)
+      : atom_(std::move(atom)), positive_(positive) {}
+
+  // Convenience factories matching the paper's notation.
+  static Literal Positive(Atom atom) { return Literal(std::move(atom), true); }
+  static Literal Negative(Atom atom) { return Literal(std::move(atom), false); }
+
+  const Atom& atom() const { return atom_; }
+  bool positive() const { return positive_; }
+  bool negative() const { return !positive_; }
+
+  const std::string& relation() const { return atom_.relation(); }
+  const std::vector<Term>& args() const { return atom_.args(); }
+
+  // Variables occurring in the literal, in order of first occurrence.
+  std::vector<Term> Variables() const { return atom_.Variables(); }
+
+  // Returns the literal with the opposite sign.
+  Literal Negated() const { return Literal(atom_, !positive_); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.positive_ == b.positive_ && a.atom_ == b.atom_;
+  }
+  friend bool operator!=(const Literal& a, const Literal& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Literal& a, const Literal& b) {
+    if (a.positive_ != b.positive_) return a.positive_ < b.positive_;
+    return a.atom_ < b.atom_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  Atom atom_;
+  bool positive_;
+};
+
+struct LiteralHash {
+  std::size_t operator()(const Literal& l) const { return l.Hash(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Atom& a) {
+  return os << a.ToString();
+}
+inline std::ostream& operator<<(std::ostream& os, const Literal& l) {
+  return os << l.ToString();
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_AST_ATOM_H_

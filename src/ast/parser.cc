@@ -1,0 +1,341 @@
+#include "ast/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // bare identifier or number
+  kString,      // quoted string (quotes stripped)
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,  // :-
+  kBang,     // !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+// A hand-rolled tokenizer + recursive-descent parser. Queries are tiny, so
+// clarity of error messages matters more than speed here.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) { Advance(); }
+
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+  bool AtEnd() const { return current_.kind == TokenKind::kEnd; }
+
+  std::optional<ConjunctiveQuery> ParseOneRule() {
+    // head
+    if (current_.kind != TokenKind::kIdentifier) {
+      return Fail("expected rule head identifier");
+    }
+    std::string head_name = current_.text;
+    Advance();
+    std::vector<Term> head_terms;
+    if (!ParseTermList(&head_terms)) return std::nullopt;
+
+    std::vector<Literal> body;
+    if (current_.kind == TokenKind::kDot) {
+      Advance();
+      return ConjunctiveQuery(head_name, std::move(head_terms),
+                              std::move(body));
+    }
+    if (current_.kind != TokenKind::kImplies) {
+      return Fail("expected ':-' or '.' after rule head");
+    }
+    Advance();
+    while (true) {
+      std::optional<Literal> lit = ParseLiteral();
+      if (!lit.has_value()) return std::nullopt;
+      body.push_back(std::move(*lit));
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      if (current_.kind == TokenKind::kDot) {
+        Advance();
+        break;
+      }
+      return Fail("expected ',' or '.' in rule body");
+    }
+    return ConjunctiveQuery(head_name, std::move(head_terms), std::move(body));
+  }
+
+  std::optional<Term> ParseOneTerm() {
+    std::optional<Term> t = ParseTermToken();
+    if (!t.has_value()) return std::nullopt;
+    if (!AtEnd()) return FailTerm("trailing input after term");
+    return t;
+  }
+
+ private:
+  std::optional<ConjunctiveQuery> Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(current_.offset);
+    }
+    return std::nullopt;
+  }
+  std::optional<Term> FailTerm(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(current_.offset);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Literal> ParseLiteral() {
+    bool positive = true;
+    if (current_.kind == TokenKind::kBang) {
+      positive = false;
+      Advance();
+    } else if (current_.kind == TokenKind::kIdentifier &&
+               current_.text == "not") {
+      positive = false;
+      Advance();
+    }
+    if (current_.kind != TokenKind::kIdentifier) {
+      Fail("expected relation name");
+      return std::nullopt;
+    }
+    std::string relation = current_.text;
+    Advance();
+    std::vector<Term> args;
+    if (!ParseTermList(&args)) return std::nullopt;
+    return Literal(Atom(std::move(relation), std::move(args)), positive);
+  }
+
+  bool ParseTermList(std::vector<Term>* out) {
+    if (current_.kind != TokenKind::kLParen) {
+      Fail("expected '('");
+      return false;
+    }
+    Advance();
+    if (current_.kind == TokenKind::kRParen) {
+      Advance();
+      return true;  // zero-ary atom
+    }
+    while (true) {
+      std::optional<Term> t = ParseTermToken();
+      if (!t.has_value()) return false;
+      out->push_back(std::move(*t));
+      if (current_.kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      if (current_.kind == TokenKind::kRParen) {
+        Advance();
+        return true;
+      }
+      Fail("expected ',' or ')' in term list");
+      return false;
+    }
+  }
+
+  std::optional<Term> ParseTermToken() {
+    if (current_.kind == TokenKind::kString) {
+      Term t = Term::Constant(current_.text);
+      Advance();
+      return t;
+    }
+    if (current_.kind != TokenKind::kIdentifier) {
+      return FailTerm("expected term");
+    }
+    std::string text = current_.text;
+    Advance();
+    if (text == "null") return Term::Null();
+    unsigned char first = static_cast<unsigned char>(text[0]);
+    if (std::islower(first) || text[0] == '_') {
+      return Term::Variable(text);
+    }
+    return Term::Constant(text);  // uppercase identifier or number
+  }
+
+  void Advance() {
+    SkipWhitespaceAndComments();
+    current_.offset = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {TokenKind::kEnd, "", pos_};
+      return;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      current_ = {TokenKind::kLParen, "(", pos_++};
+      return;
+    }
+    if (c == ')') {
+      current_ = {TokenKind::kRParen, ")", pos_++};
+      return;
+    }
+    if (c == ',') {
+      current_ = {TokenKind::kComma, ",", pos_++};
+      return;
+    }
+    if (c == '.') {
+      current_ = {TokenKind::kDot, ".", pos_++};
+      return;
+    }
+    if (c == '!') {
+      current_ = {TokenKind::kBang, "!", pos_++};
+      return;
+    }
+    if (c == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+      current_ = {TokenKind::kImplies, ":-", pos_};
+      pos_ += 2;
+      return;
+    }
+    if (c == '"') {
+      std::size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) {
+        error_ = "unterminated string at offset " + std::to_string(start - 1);
+        current_ = {TokenKind::kEnd, "", pos_};
+        return;
+      }
+      current_ = {TokenKind::kString,
+                  std::string(text_.substr(start, pos_ - start)), start - 1};
+      ++pos_;  // closing quote
+      return;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {TokenKind::kIdentifier,
+                  std::string(text_.substr(start, pos_ - start)), start};
+      return;
+    }
+    error_ = std::string("unexpected character '") + c + "' at offset " +
+             std::to_string(pos_);
+    current_ = {TokenKind::kEnd, "", pos_};
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ParseRule(std::string_view text,
+                                          std::string* error) {
+  Parser parser(text);
+  std::optional<ConjunctiveQuery> rule = parser.ParseOneRule();
+  if (!rule.has_value() || parser.failed()) {
+    if (error != nullptr) *error = parser.error();
+    return std::nullopt;
+  }
+  if (!parser.AtEnd()) {
+    if (error != nullptr) *error = "trailing input after rule";
+    return std::nullopt;
+  }
+  return rule;
+}
+
+std::optional<std::vector<UnionQuery>> ParseProgram(std::string_view text,
+                                                    std::string* error) {
+  Parser parser(text);
+  std::vector<std::string> head_order;
+  std::map<std::string, std::vector<ConjunctiveQuery>> grouped;
+  while (!parser.AtEnd()) {
+    std::optional<ConjunctiveQuery> rule = parser.ParseOneRule();
+    if (!rule.has_value() || parser.failed()) {
+      if (error != nullptr) *error = parser.error();
+      return std::nullopt;
+    }
+    auto it = grouped.find(rule->head_name());
+    if (it == grouped.end()) {
+      head_order.push_back(rule->head_name());
+      grouped[rule->head_name()].push_back(std::move(*rule));
+    } else {
+      if (it->second[0].head_arity() != rule->head_arity()) {
+        if (error != nullptr) {
+          *error = "head " + rule->head_name() +
+                   " used with inconsistent arities";
+        }
+        return std::nullopt;
+      }
+      it->second.push_back(std::move(*rule));
+    }
+  }
+  std::vector<UnionQuery> out;
+  out.reserve(head_order.size());
+  for (const std::string& name : head_order) {
+    out.push_back(UnionQuery(std::move(grouped[name])));
+  }
+  return out;
+}
+
+std::optional<UnionQuery> ParseUnionQuery(std::string_view text,
+                                          std::string* error) {
+  std::optional<std::vector<UnionQuery>> program = ParseProgram(text, error);
+  if (!program.has_value()) return std::nullopt;
+  if (program->size() != 1) {
+    if (error != nullptr) {
+      *error = "expected rules with a single head, got " +
+               std::to_string(program->size()) + " heads";
+    }
+    return std::nullopt;
+  }
+  return std::move(program->front());
+}
+
+std::optional<Term> ParseTerm(std::string_view text, std::string* error) {
+  Parser parser(text);
+  std::optional<Term> t = parser.ParseOneTerm();
+  if (!t.has_value() && error != nullptr) *error = parser.error();
+  return t;
+}
+
+ConjunctiveQuery MustParseRule(std::string_view text) {
+  std::string error;
+  std::optional<ConjunctiveQuery> rule = ParseRule(text, &error);
+  UCQN_CHECK_MSG(rule.has_value(), error.c_str());
+  return std::move(*rule);
+}
+
+UnionQuery MustParseUnionQuery(std::string_view text) {
+  std::string error;
+  std::optional<UnionQuery> q = ParseUnionQuery(text, &error);
+  UCQN_CHECK_MSG(q.has_value(), error.c_str());
+  return std::move(*q);
+}
+
+std::vector<UnionQuery> MustParseProgram(std::string_view text) {
+  std::string error;
+  std::optional<std::vector<UnionQuery>> p = ParseProgram(text, &error);
+  UCQN_CHECK_MSG(p.has_value(), error.c_str());
+  return std::move(*p);
+}
+
+}  // namespace ucqn

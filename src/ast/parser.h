@@ -1,0 +1,54 @@
+#ifndef UCQN_AST_PARSER_H_
+#define UCQN_AST_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/query.h"
+
+namespace ucqn {
+
+// Datalog-style concrete syntax for CQ¬ / UCQ¬ queries.
+//
+//   Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).
+//
+// * Identifiers starting with a lowercase letter or '_' are variables.
+// * Identifiers starting with an uppercase letter, numbers, and quoted
+//   strings ("...") are constants; relation names may be any identifier.
+// * `null` is the distinguished null term.
+// * `not` (or `!`) negates the following atom.
+// * A rule with no body is written `Q(x).` (the paper's `true`); the empty
+//   union prints as `false.` but cannot be written as a rule.
+// * `#` and `%` start comments that run to end of line.
+//
+// A union query is a sequence of rules with the same head name and arity.
+// A program is a sequence of rules with possibly different heads; rules
+// with the same head name are grouped, in order of first appearance.
+
+// Parses a single rule. Returns nullopt and sets `*error` on failure.
+std::optional<ConjunctiveQuery> ParseRule(std::string_view text,
+                                          std::string* error);
+
+// Parses one or more rules sharing a head into a union query.
+std::optional<UnionQuery> ParseUnionQuery(std::string_view text,
+                                          std::string* error);
+
+// Parses a sequence of rules with arbitrary heads, grouping rules by head
+// name in order of first appearance.
+std::optional<std::vector<UnionQuery>> ParseProgram(std::string_view text,
+                                                    std::string* error);
+
+// CHECK-failing variants for tests, examples, and benchmarks where the
+// query text is a literal known to be valid.
+ConjunctiveQuery MustParseRule(std::string_view text);
+UnionQuery MustParseUnionQuery(std::string_view text);
+std::vector<UnionQuery> MustParseProgram(std::string_view text);
+
+// Parses a single term (variable, constant, or null), mostly for tests.
+std::optional<Term> ParseTerm(std::string_view text, std::string* error);
+
+}  // namespace ucqn
+
+#endif  // UCQN_AST_PARSER_H_

@@ -1,0 +1,264 @@
+#include "ast/query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+namespace {
+
+void AppendUnique(std::vector<Term>* out, const Term& t) {
+  if (std::find(out->begin(), out->end(), t) == out->end()) out->push_back(t);
+}
+
+}  // namespace
+
+std::vector<Term> ConjunctiveQuery::FreeVariables() const {
+  std::vector<Term> vars;
+  for (const Term& t : head_terms_) {
+    if (t.IsVariable()) AppendUnique(&vars, t);
+  }
+  return vars;
+}
+
+std::vector<Term> ConjunctiveQuery::AllVariables() const {
+  std::vector<Term> vars = FreeVariables();
+  for (const Literal& l : body_) {
+    for (const Term& t : l.args()) {
+      if (t.IsVariable()) AppendUnique(&vars, t);
+    }
+  }
+  return vars;
+}
+
+std::vector<Term> ConjunctiveQuery::BodyVariables() const {
+  std::vector<Term> vars;
+  for (const Literal& l : body_) {
+    for (const Term& t : l.args()) {
+      if (t.IsVariable()) AppendUnique(&vars, t);
+    }
+  }
+  return vars;
+}
+
+std::vector<Term> ConjunctiveQuery::Constants() const {
+  std::vector<Term> consts;
+  for (const Term& t : head_terms_) {
+    if (t.IsGround()) AppendUnique(&consts, t);
+  }
+  for (const Literal& l : body_) {
+    for (const Term& t : l.args()) {
+      if (t.IsGround()) AppendUnique(&consts, t);
+    }
+  }
+  return consts;
+}
+
+std::vector<Literal> ConjunctiveQuery::PositiveBody() const {
+  std::vector<Literal> out;
+  for (const Literal& l : body_) {
+    if (l.positive()) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<Literal> ConjunctiveQuery::NegativeBody() const {
+  std::vector<Literal> out;
+  for (const Literal& l : body_) {
+    if (l.negative()) out.push_back(l);
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::HasNegation() const {
+  for (const Literal& l : body_) {
+    if (l.negative()) return true;
+  }
+  return false;
+}
+
+bool ConjunctiveQuery::IsSafe() const {
+  std::unordered_set<std::string> covered;
+  for (const Literal& l : body_) {
+    if (!l.positive()) continue;
+    for (const Term& t : l.args()) {
+      if (t.IsVariable()) covered.insert(t.name());
+    }
+  }
+  for (const Term& t : AllVariables()) {
+    if (covered.count(t.name()) == 0) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::IsUnsatisfiable() const {
+  std::unordered_set<Atom, AtomHash> positives;
+  for (const Literal& l : body_) {
+    if (l.positive()) positives.insert(l.atom());
+  }
+  for (const Literal& l : body_) {
+    if (l.negative() && positives.count(l.atom()) > 0) return true;
+  }
+  return false;
+}
+
+bool ConjunctiveQuery::ContainsNull() const {
+  for (const Term& t : head_terms_) {
+    if (t.IsNull()) return true;
+  }
+  for (const Literal& l : body_) {
+    for (const Term& t : l.args()) {
+      if (t.IsNull()) return true;
+    }
+  }
+  return false;
+}
+
+std::set<std::string> ConjunctiveQuery::RelationNames() const {
+  std::set<std::string> names;
+  for (const Literal& l : body_) names.insert(l.relation());
+  return names;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Substitute(const Substitution& subst) const {
+  std::vector<Literal> body;
+  body.reserve(body_.size());
+  for (const Literal& l : body_) body.push_back(subst.Apply(l));
+  return ConjunctiveQuery(head_name_, subst.Apply(head_terms_),
+                          std::move(body));
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenameVariables(
+    const std::string& suffix) const {
+  Substitution subst;
+  for (const Term& v : AllVariables()) {
+    subst.Bind(v, Term::Variable(v.name() + suffix));
+  }
+  return Substitute(subst);
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithExtraLiteral(
+    const Literal& literal) const {
+  std::vector<Literal> body = body_;
+  body.push_back(literal);
+  return ConjunctiveQuery(head_name_, head_terms_, std::move(body));
+}
+
+ConjunctiveQuery ConjunctiveQuery::WithBody(std::vector<Literal> body) const {
+  return ConjunctiveQuery(head_name_, head_terms_, std::move(body));
+}
+
+bool ConjunctiveQuery::BodyContains(const Literal& literal) const {
+  return std::find(body_.begin(), body_.end(), literal) != body_.end();
+}
+
+bool ConjunctiveQuery::PositiveBodyContains(const Atom& atom) const {
+  return BodyContains(Literal::Positive(atom));
+}
+
+bool ConjunctiveQuery::NegativeBodyContains(const Atom& atom) const {
+  return BodyContains(Literal::Negative(atom));
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> head_parts;
+  head_parts.reserve(head_terms_.size());
+  for (const Term& t : head_terms_) head_parts.push_back(t.ToString());
+  std::string head =
+      head_name_ + "(" + StrJoin(head_parts, ", ") + ")";
+  if (body_.empty()) return head + ".";
+  std::vector<std::string> body_parts;
+  body_parts.reserve(body_.size());
+  for (const Literal& l : body_) body_parts.push_back(l.ToString());
+  return head + " :- " + StrJoin(body_parts, ", ") + ".";
+}
+
+std::size_t ConjunctiveQuery::Hash() const {
+  std::size_t seed = 0;
+  HashCombine(&seed, head_name_);
+  for (const Term& t : head_terms_) HashCombine(&seed, t.Hash());
+  for (const Literal& l : body_) HashCombine(&seed, l.Hash());
+  return seed;
+}
+
+UnionQuery::UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+    : disjuncts_(std::move(disjuncts)) {
+  for (std::size_t i = 1; i < disjuncts_.size(); ++i) {
+    UCQN_CHECK_MSG(disjuncts_[i].head_name() == disjuncts_[0].head_name() &&
+                       disjuncts_[i].head_arity() == disjuncts_[0].head_arity(),
+                   "all disjuncts of a union must share head name and arity");
+  }
+}
+
+UnionQuery::UnionQuery(ConjunctiveQuery q) { disjuncts_.push_back(std::move(q)); }
+
+const std::string& UnionQuery::head_name() const {
+  UCQN_CHECK_MSG(!disjuncts_.empty(), "false query has no head");
+  return disjuncts_[0].head_name();
+}
+
+std::size_t UnionQuery::head_arity() const {
+  UCQN_CHECK_MSG(!disjuncts_.empty(), "false query has no head");
+  return disjuncts_[0].head_arity();
+}
+
+bool UnionQuery::IsSafe() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.IsSafe()) return false;
+  }
+  return true;
+}
+
+bool UnionQuery::HasNegation() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (q.HasNegation()) return true;
+  }
+  return false;
+}
+
+bool UnionQuery::ContainsNull() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (q.ContainsNull()) return true;
+  }
+  return false;
+}
+
+std::set<std::string> UnionQuery::RelationNames() const {
+  std::set<std::string> names;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    std::set<std::string> qnames = q.RelationNames();
+    names.insert(qnames.begin(), qnames.end());
+  }
+  return names;
+}
+
+void UnionQuery::AddDisjunct(ConjunctiveQuery q) {
+  if (!disjuncts_.empty()) {
+    UCQN_CHECK_MSG(q.head_name() == disjuncts_[0].head_name() &&
+                       q.head_arity() == disjuncts_[0].head_arity(),
+                   "all disjuncts of a union must share head name and arity");
+  }
+  disjuncts_.push_back(std::move(q));
+}
+
+UnionQuery UnionQuery::DropUnsatisfiable() const {
+  std::vector<ConjunctiveQuery> kept;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.IsUnsatisfiable()) kept.push_back(q);
+  }
+  return UnionQuery(std::move(kept));
+}
+
+std::string UnionQuery::ToString() const {
+  if (disjuncts_.empty()) return "false.";
+  std::vector<std::string> lines;
+  lines.reserve(disjuncts_.size());
+  for (const ConjunctiveQuery& q : disjuncts_) lines.push_back(q.ToString());
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace ucqn

@@ -1,0 +1,184 @@
+#ifndef UCQN_AST_QUERY_H_
+#define UCQN_AST_QUERY_H_
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/substitution.h"
+#include "ast/term.h"
+
+namespace ucqn {
+
+// A conjunctive query with negation (CQ¬) in Datalog rule form:
+//
+//   Q(z̄) :- R1(x̄1), ..., not Rk(x̄k).
+//
+// The head terms z̄ are the distinguished (free) terms; body variables not
+// in the head are implicitly existentially quantified. Plain conjunctive
+// queries (CQ) are the special case with no negative literals.
+//
+// Head terms are usually variables but may be constants — in particular the
+// distinguished `null` constant used by overestimate plans (Section 4.2).
+// A query with an empty body is the paper's `true` (non-executable).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::string head_name, std::vector<Term> head_terms,
+                   std::vector<Literal> body)
+      : head_name_(std::move(head_name)),
+        head_terms_(std::move(head_terms)),
+        body_(std::move(body)) {}
+
+  const std::string& head_name() const { return head_name_; }
+  const std::vector<Term>& head_terms() const { return head_terms_; }
+  const std::vector<Literal>& body() const { return body_; }
+  std::size_t head_arity() const { return head_terms_.size(); }
+
+  // free(Q): the distinguished variables, i.e. variables in the head, in
+  // order of first occurrence.
+  std::vector<Term> FreeVariables() const;
+
+  // vars(Q): all variables, head first then body, in order of first
+  // occurrence.
+  std::vector<Term> AllVariables() const;
+
+  // Variables occurring in the body only (still ordered by occurrence).
+  std::vector<Term> BodyVariables() const;
+
+  // Constants (including null) occurring anywhere in the query.
+  std::vector<Term> Constants() const;
+
+  // Q⁺ / Q⁻: the positive / negative literals in body order.
+  std::vector<Literal> PositiveBody() const;
+  std::vector<Literal> NegativeBody() const;
+  bool HasNegation() const;
+
+  // Safety (Section 2): every variable of the query appears in a positive
+  // body literal.
+  bool IsSafe() const;
+
+  // Proposition 8: a CQ¬ is unsatisfiable iff some atom occurs both
+  // positively and negatively. Quadratic-time syntactic check.
+  bool IsUnsatisfiable() const;
+
+  // True if the body is empty (the paper's `true` query).
+  bool IsTrueQuery() const { return body_.empty(); }
+
+  // True if the head or body mentions the null term.
+  bool ContainsNull() const;
+
+  // Relation names used in the body, deduplicated.
+  std::set<std::string> RelationNames() const;
+
+  // Applies `subst` to head terms and body.
+  ConjunctiveQuery Substitute(const Substitution& subst) const;
+
+  // Returns a copy with every variable renamed to name+`suffix`. Used by
+  // the reductions of Section 5 to keep variable namespaces disjoint.
+  ConjunctiveQuery RenameVariables(const std::string& suffix) const;
+
+  // Returns a copy with `literal` appended to the body. The paper writes
+  // this P, R(x̄) (conjunction of P with an extra atom).
+  ConjunctiveQuery WithExtraLiteral(const Literal& literal) const;
+
+  // Returns a copy with the given body (same head).
+  ConjunctiveQuery WithBody(std::vector<Literal> body) const;
+
+  // Membership tests against the body.
+  bool BodyContains(const Literal& literal) const;
+  // True if the positive body contains `atom`.
+  bool PositiveBodyContains(const Atom& atom) const;
+  // True if the negative body contains `atom` (negated).
+  bool NegativeBodyContains(const Atom& atom) const;
+
+  // Renders the rule, e.g. `Q(x, y) :- R(x, z), not S(z).`
+  // An empty body renders as `Q(x, y).`
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.head_name_ == b.head_name_ && a.head_terms_ == b.head_terms_ &&
+           a.body_ == b.body_;
+  }
+  friend bool operator!=(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return !(a == b);
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  std::string head_name_;
+  std::vector<Term> head_terms_;
+  std::vector<Literal> body_;
+};
+
+struct ConjunctiveQueryHash {
+  std::size_t operator()(const ConjunctiveQuery& q) const { return q.Hash(); }
+};
+
+// A union of conjunctive queries with negation (UCQ¬): Q1 ∨ ... ∨ Qk, all
+// with the same head name and arity. The empty union is the paper's
+// `false` query (vacuously executable, returns no tuples).
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts);
+  // Lifts a single CQ¬ into a one-disjunct union.
+  explicit UnionQuery(ConjunctiveQuery q);
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::size_t size() const { return disjuncts_.size(); }
+  bool IsFalseQuery() const { return disjuncts_.empty(); }
+
+  // Head name/arity shared by all disjuncts. Must not be called on the
+  // empty union.
+  const std::string& head_name() const;
+  std::size_t head_arity() const;
+
+  // Safety requires every disjunct safe (the shared-free-variables
+  // condition is satisfied by construction: positional heads).
+  bool IsSafe() const;
+
+  // True if any disjunct has a negative literal.
+  bool HasNegation() const;
+
+  // True if any disjunct mentions null.
+  bool ContainsNull() const;
+
+  // Relation names used across all disjuncts.
+  std::set<std::string> RelationNames() const;
+
+  // Appends a disjunct (head name/arity checked against existing ones).
+  void AddDisjunct(ConjunctiveQuery q);
+
+  // Returns a copy without unsatisfiable disjuncts.
+  UnionQuery DropUnsatisfiable() const;
+
+  // Renders one rule per line.
+  std::string ToString() const;
+
+  friend bool operator==(const UnionQuery& a, const UnionQuery& b) {
+    return a.disjuncts_ == b.disjuncts_;
+  }
+  friend bool operator!=(const UnionQuery& a, const UnionQuery& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ConjunctiveQuery& q) {
+  return os << q.ToString();
+}
+inline std::ostream& operator<<(std::ostream& os, const UnionQuery& q) {
+  return os << q.ToString();
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_AST_QUERY_H_

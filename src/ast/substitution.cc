@@ -1,0 +1,74 @@
+#include "ast/substitution.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+bool Substitution::Bind(const Term& var, const Term& value) {
+  UCQN_CHECK_MSG(var.IsVariable(), "can only bind variables");
+  auto [it, inserted] = map_.emplace(var.name(), value);
+  if (inserted) return true;
+  return it->second == value;
+}
+
+std::optional<Term> Substitution::Lookup(const Term& var) const {
+  if (!var.IsVariable()) return std::nullopt;
+  auto it = map_.find(var.name());
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Substitution::IsBound(const Term& var) const {
+  return var.IsVariable() && map_.count(var.name()) > 0;
+}
+
+Term Substitution::Apply(const Term& t) const {
+  if (!t.IsVariable()) return t;
+  auto it = map_.find(t.name());
+  if (it == map_.end()) return t;
+  return it->second;
+}
+
+std::vector<Term> Substitution::Apply(const std::vector<Term>& ts) const {
+  std::vector<Term> out;
+  out.reserve(ts.size());
+  for (const Term& t : ts) out.push_back(Apply(t));
+  return out;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  return Atom(a.relation(), Apply(a.args()));
+}
+
+Literal Substitution::Apply(const Literal& l) const {
+  return Literal(Apply(l.atom()), l.positive());
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(map_.size());
+  for (const auto& [name, term] : map_) {
+    parts.push_back(name + "/" + term.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  return "{" + StrJoin(parts, ", ") + "}";
+}
+
+bool MatchArgs(const std::vector<Term>& pattern,
+               const std::vector<Term>& target, Substitution* subst) {
+  if (pattern.size() != target.size()) return false;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const Term& p = pattern[i];
+    const Term& t = target[i];
+    if (p.IsVariable()) {
+      if (!subst->Bind(p, t)) return false;
+    } else {
+      // Ground pattern terms must match the target exactly.
+      if (p != t) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ucqn

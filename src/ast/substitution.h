@@ -1,0 +1,62 @@
+#ifndef UCQN_AST_SUBSTITUTION_H_
+#define UCQN_AST_SUBSTITUTION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/term.h"
+
+namespace ucqn {
+
+// A substitution maps variables (by name) to terms. Applying it to a term
+// replaces bound variables and leaves everything else unchanged. Used both
+// as containment mappings (Section 5.1) and as variable bindings during
+// plan execution.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  // Binds variable `var` to `value`. If `var` is already bound, returns
+  // true iff the existing binding equals `value` (no rebinding).
+  bool Bind(const Term& var, const Term& value);
+
+  // Returns the binding for `var`, if any.
+  std::optional<Term> Lookup(const Term& var) const;
+
+  // True if `var` has a binding.
+  bool IsBound(const Term& var) const;
+
+  // Applies the substitution: bound variables are replaced, unbound
+  // variables and ground terms pass through.
+  Term Apply(const Term& t) const;
+  std::vector<Term> Apply(const std::vector<Term>& ts) const;
+  Atom Apply(const Atom& a) const;
+  Literal Apply(const Literal& l) const;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  // Iteration over (variable name, term) pairs, unspecified order.
+  const std::unordered_map<std::string, Term>& map() const { return map_; }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, Term> map_;
+};
+
+// Attempts to extend `subst` so that Apply(pattern) == target argument-wise.
+// `pattern`'s variables may be bound; `target` is treated as fixed (its
+// variables are NOT bound — they act as constants, which is exactly the
+// "frozen query" view used by containment mappings). Returns false and
+// leaves `subst` in an unspecified-but-valid state on mismatch; callers
+// should match against a copy when backtracking.
+bool MatchArgs(const std::vector<Term>& pattern,
+               const std::vector<Term>& target, Substitution* subst);
+
+}  // namespace ucqn
+
+#endif  // UCQN_AST_SUBSTITUTION_H_

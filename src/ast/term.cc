@@ -1,0 +1,52 @@
+#include "ast/term.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+Term Term::Variable(std::string name) {
+  UCQN_CHECK_MSG(!name.empty(), "variable name must be non-empty");
+  return Term(TermKind::kVariable, std::move(name));
+}
+
+Term Term::Constant(std::string name) {
+  return Term(TermKind::kConstant, std::move(name));
+}
+
+Term Term::Null() { return Term(TermKind::kNull, "null"); }
+
+namespace {
+
+// A constant prints without quotes when the parser would read it back as a
+// constant: it must not look like a variable (lowercase-led identifier) or
+// like the keyword `null`.
+bool ConstantNeedsQuotes(const std::string& name) {
+  if (name.empty()) return true;
+  if (name == "null") return true;
+  unsigned char first = static_cast<unsigned char>(name[0]);
+  if (std::islower(first)) return true;
+  for (char c : name) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (!std::isalnum(uc) && c != '_') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kVariable:
+      return name_;
+    case TermKind::kNull:
+      return "null";
+    case TermKind::kConstant:
+      if (ConstantNeedsQuotes(name_)) return "\"" + name_ + "\"";
+      return name_;
+  }
+  return name_;  // unreachable
+}
+
+}  // namespace ucqn

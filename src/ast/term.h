@@ -1,0 +1,85 @@
+#ifndef UCQN_AST_TERM_H_
+#define UCQN_AST_TERM_H_
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace ucqn {
+
+// The kind of a term appearing in an atom or in a query head.
+enum class TermKind {
+  kVariable,  // e.g. x, isbn — lowercase identifiers in the paper's syntax
+  kConstant,  // e.g. "Knuth", 42 — uninterpreted constants
+  kNull,      // the distinguished null used by overestimate plans (Ex. 7)
+};
+
+// A term: a variable, a constant, or the distinguished `null`.
+//
+// Terms are immutable value types. `null` compares equal only to itself and
+// is treated by the containment and evaluation machinery as a constant with
+// a reserved name; the feasibility algorithms additionally give it the
+// special "unknown value" reading from Section 4.2 of the paper.
+class Term {
+ public:
+  // Constructs a variable term named `name`.
+  static Term Variable(std::string name);
+  // Constructs a constant term with value `name`.
+  static Term Constant(std::string name);
+  // Returns the distinguished null term.
+  static Term Null();
+
+  Term() : kind_(TermKind::kConstant) {}
+
+  TermKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  bool IsVariable() const { return kind_ == TermKind::kVariable; }
+  bool IsConstant() const { return kind_ == TermKind::kConstant; }
+  bool IsNull() const { return kind_ == TermKind::kNull; }
+  // True for constants and null, i.e. anything that is not a variable.
+  bool IsGround() const { return kind_ != TermKind::kVariable; }
+
+  // Renders the term the way the parser reads it: variables verbatim,
+  // constants quoted if they could be mistaken for a variable, and `null`.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.name_ == b.name_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.name_ < b.name_;
+  }
+
+  std::size_t Hash() const {
+    std::size_t seed = static_cast<std::size_t>(kind_);
+    HashCombine(&seed, name_);
+    return seed;
+  }
+
+ private:
+  Term(TermKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  TermKind kind_;
+  std::string name_;
+};
+
+struct TermHash {
+  std::size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+// Streams the parser-readable form; also picked up by gtest for readable
+// assertion failures.
+inline std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_AST_TERM_H_

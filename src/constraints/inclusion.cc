@@ -1,0 +1,276 @@
+#include "constraints/inclusion.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+InclusionDependency::InclusionDependency(std::string from,
+                                         std::vector<std::size_t> from_cols,
+                                         std::string to,
+                                         std::vector<std::size_t> to_cols)
+    : from_(std::move(from)),
+      from_cols_(std::move(from_cols)),
+      to_(std::move(to)),
+      to_cols_(std::move(to_cols)) {
+  UCQN_CHECK_MSG(!from_cols_.empty() && from_cols_.size() == to_cols_.size(),
+                 "inclusion dependency needs matching non-empty column lists");
+}
+
+namespace {
+
+// Parses "Name[1,2]" into a relation name and column list.
+bool ParseSide(std::string_view text, std::string* name,
+               std::vector<std::size_t>* cols, std::string* error) {
+  std::size_t open = text.find('[');
+  std::size_t close = text.rfind(']');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    if (error != nullptr) *error = "expected Name[cols] in dependency";
+    return false;
+  }
+  *name = std::string(StripWhitespace(text.substr(0, open)));
+  if (name->empty()) {
+    if (error != nullptr) *error = "missing relation name in dependency";
+    return false;
+  }
+  for (const std::string& piece :
+       SplitAndTrim(text.substr(open + 1, close - open - 1), ',')) {
+    std::size_t value = 0;
+    for (char c : piece) {
+      if (c < '0' || c > '9') {
+        if (error != nullptr) *error = "bad column index '" + piece + "'";
+        return false;
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    cols->push_back(value);
+  }
+  if (cols->empty()) {
+    if (error != nullptr) *error = "empty column list in dependency";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<InclusionDependency> InclusionDependency::Parse(
+    std::string_view text, std::string* error) {
+  std::size_t sep = text.find("c=");
+  if (sep == std::string_view::npos) {
+    if (error != nullptr) *error = "expected 'c=' in inclusion dependency";
+    return std::nullopt;
+  }
+  std::string from, to;
+  std::vector<std::size_t> from_cols, to_cols;
+  if (!ParseSide(StripWhitespace(text.substr(0, sep)), &from, &from_cols,
+                 error) ||
+      !ParseSide(StripWhitespace(text.substr(sep + 2)), &to, &to_cols,
+                 error)) {
+    return std::nullopt;
+  }
+  if (from_cols.size() != to_cols.size()) {
+    if (error != nullptr) *error = "column lists must have equal length";
+    return std::nullopt;
+  }
+  return InclusionDependency(std::move(from), std::move(from_cols),
+                             std::move(to), std::move(to_cols));
+}
+
+InclusionDependency InclusionDependency::MustParse(std::string_view text) {
+  std::string error;
+  std::optional<InclusionDependency> dep = Parse(text, &error);
+  UCQN_CHECK_MSG(dep.has_value(), error.c_str());
+  return std::move(*dep);
+}
+
+bool InclusionDependency::HoldsIn(const Database& db) const {
+  const std::set<Tuple>* from_tuples = db.Find(from_);
+  if (from_tuples == nullptr) return true;
+  const std::set<Tuple>* to_tuples = db.Find(to_);
+  for (const Tuple& f : *from_tuples) {
+    bool found = false;
+    if (to_tuples != nullptr) {
+      for (const Tuple& t : *to_tuples) {
+        bool match = true;
+        for (std::size_t m = 0; m < from_cols_.size(); ++m) {
+          if (from_cols_[m] >= f.size() || to_cols_[m] >= t.size() ||
+              f[from_cols_[m]] != t[to_cols_[m]]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string InclusionDependency::ToString() const {
+  auto render = [](const std::string& name,
+                   const std::vector<std::size_t>& cols) {
+    std::vector<std::string> parts;
+    parts.reserve(cols.size());
+    for (std::size_t c : cols) parts.push_back(std::to_string(c));
+    return name + "[" + StrJoin(parts, ",") + "]";
+  };
+  return render(from_, from_cols_) + " c= " + render(to_, to_cols_);
+}
+
+std::optional<ConstraintSet> ConstraintSet::Parse(std::string_view text,
+                                                  std::string* error) {
+  ConstraintSet set;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::size_t comment = line.find_first_of("#%");
+    if (comment != std::string::npos) line.resize(comment);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::optional<InclusionDependency> dep =
+        InclusionDependency::Parse(stripped, error);
+    if (!dep.has_value()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": " + *error;
+      }
+      return std::nullopt;
+    }
+    set.Add(std::move(*dep));
+  }
+  return set;
+}
+
+ConstraintSet ConstraintSet::MustParse(std::string_view text) {
+  std::string error;
+  std::optional<ConstraintSet> set = Parse(text, &error);
+  UCQN_CHECK_MSG(set.has_value(), error.c_str());
+  return std::move(*set);
+}
+
+bool ConstraintSet::HoldsIn(const Database& db) const {
+  for (const InclusionDependency& dep : deps_) {
+    if (!dep.HoldsIn(db)) return false;
+  }
+  return true;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(deps_.size());
+  for (const InclusionDependency& dep : deps_) lines.push_back(dep.ToString());
+  return StrJoin(lines, "\n");
+}
+
+namespace {
+
+// True if `to_cols` is a permutation of 0..k-1, i.e. the dependency pins
+// down the target tuple completely and the derived atom is fully
+// determined.
+bool FullTargetCoverage(const std::vector<std::size_t>& to_cols) {
+  std::vector<std::size_t> sorted = to_cols;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t m = 0; m < sorted.size(); ++m) {
+    if (sorted[m] != m) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+// The bounded chase shared by refutation and ChaseQuery: the closure of
+// `q`'s positive atoms under the full-target-coverage dependencies. The
+// derived atoms reuse the query's own terms, so the closure is finite.
+std::set<Atom> ChaseClosure(const ConjunctiveQuery& q,
+                            const ConstraintSet& constraints) {
+  std::set<Atom> known;
+  for (const Literal& l : q.body()) {
+    if (l.positive()) known.insert(l.atom());
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const InclusionDependency& dep : constraints.dependencies()) {
+      if (!FullTargetCoverage(dep.to_columns())) continue;
+      std::vector<Atom> derived;
+      for (const Atom& atom : known) {
+        if (atom.relation() != dep.from_relation()) continue;
+        bool in_range = true;
+        for (std::size_t c : dep.from_columns()) {
+          if (c >= atom.arity()) {
+            in_range = false;
+            break;
+          }
+        }
+        if (!in_range) continue;
+        std::vector<Term> args(dep.to_columns().size());
+        for (std::size_t m = 0; m < dep.from_columns().size(); ++m) {
+          args[dep.to_columns()[m]] = atom.args()[dep.from_columns()[m]];
+        }
+        derived.push_back(Atom(dep.to_relation(), std::move(args)));
+      }
+      for (Atom& atom : derived) {
+        if (known.insert(std::move(atom)).second) changed = true;
+      }
+    }
+  }
+  return known;
+}
+
+}  // namespace
+
+bool RefutedByConstraints(const ConjunctiveQuery& q,
+                          const ConstraintSet& constraints) {
+  if (q.IsUnsatisfiable()) return true;  // Proposition 8, no chase needed
+  std::set<Atom> known = ChaseClosure(q, constraints);
+  for (const Literal& l : q.body()) {
+    if (l.negative() && known.count(l.atom()) > 0) return true;
+  }
+  return false;
+}
+
+ConjunctiveQuery ChaseQuery(const ConjunctiveQuery& q,
+                            const ConstraintSet& constraints) {
+  std::set<Atom> known = ChaseClosure(q, constraints);
+  std::vector<Literal> body = q.body();
+  for (const Atom& atom : known) {
+    if (!q.PositiveBodyContains(atom)) {
+      body.push_back(Literal::Positive(atom));
+    }
+  }
+  return q.WithBody(std::move(body));
+}
+
+UnionQuery ChaseQuery(const UnionQuery& q, const ConstraintSet& constraints) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    out.AddDisjunct(ChaseQuery(disjunct, constraints));
+  }
+  return out;
+}
+
+UnionQuery PruneWithConstraints(const UnionQuery& q,
+                                const ConstraintSet& constraints) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    if (!RefutedByConstraints(disjunct, constraints)) {
+      out.AddDisjunct(disjunct);
+    }
+  }
+  return out;
+}
+
+}  // namespace ucqn

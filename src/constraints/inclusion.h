@@ -1,0 +1,120 @@
+#ifndef UCQN_CONSTRAINTS_INCLUSION_H_
+#define UCQN_CONSTRAINTS_INCLUSION_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/query.h"
+#include "eval/database.h"
+
+namespace ucqn {
+
+// An inclusion dependency (Example 6's foreign key, generalized):
+//
+//   from[ c1, ..., ck ]  ⊆  to[ d1, ..., dk ]
+//
+// every projection of `from` onto columns c̄ appears as the projection of
+// some `to`-tuple onto columns d̄. Written textually as e.g.
+//
+//   R[1] c= S[0]            # single column (0-based)
+//   Orders[1,2] c= Pairs[0,1]
+class InclusionDependency {
+ public:
+  InclusionDependency() = default;
+  InclusionDependency(std::string from, std::vector<std::size_t> from_cols,
+                      std::string to, std::vector<std::size_t> to_cols);
+
+  const std::string& from_relation() const { return from_; }
+  const std::vector<std::size_t>& from_columns() const { return from_cols_; }
+  const std::string& to_relation() const { return to_; }
+  const std::vector<std::size_t>& to_columns() const { return to_cols_; }
+
+  // Parses the textual form above. Returns nullopt and sets `*error` on
+  // malformed input.
+  static std::optional<InclusionDependency> Parse(std::string_view text,
+                                                  std::string* error);
+  static InclusionDependency MustParse(std::string_view text);
+
+  // True if `db` satisfies the dependency.
+  bool HoldsIn(const Database& db) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const InclusionDependency& a,
+                         const InclusionDependency& b) {
+    return a.from_ == b.from_ && a.from_cols_ == b.from_cols_ &&
+           a.to_ == b.to_ && a.to_cols_ == b.to_cols_;
+  }
+
+ private:
+  std::string from_;
+  std::vector<std::size_t> from_cols_;
+  std::string to_;
+  std::vector<std::size_t> to_cols_;
+};
+
+// A set of inclusion dependencies, parseable one per line (#/% comments).
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::vector<InclusionDependency> deps)
+      : deps_(std::move(deps)) {}
+
+  const std::vector<InclusionDependency>& dependencies() const {
+    return deps_;
+  }
+  void Add(InclusionDependency dep) { deps_.push_back(std::move(dep)); }
+  bool empty() const { return deps_.empty(); }
+  std::size_t size() const { return deps_.size(); }
+
+  static std::optional<ConstraintSet> Parse(std::string_view text,
+                                            std::string* error);
+  static ConstraintSet MustParse(std::string_view text);
+
+  bool HoldsIn(const Database& db) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<InclusionDependency> deps_;
+};
+
+// The semantic-optimizer check of Example 6: returns true if `q`'s body is
+// unsatisfiable on every instance satisfying `constraints` — detected when
+// some negative literal ¬S(ȳ) is *implied* by a positive literal R(x̄)
+// through a dependency whose target columns cover ALL of S's columns with
+// matching terms (e.g. R(x, z), not S(z) under R[1] ⊆ S[0]).
+//
+// The check is sound but (deliberately) not complete: it closes the
+// positive body under full-coverage dependencies (a bounded chase) and
+// looks for a complementary pair, the pattern that arises from
+// global-as-view unfoldings in practice (Section 4.2).
+bool RefutedByConstraints(const ConjunctiveQuery& q,
+                          const ConstraintSet& constraints);
+
+// Drops disjuncts refuted under `constraints` — compile-time pruning of
+// plans, e.g. removing Example 6's overestimate disjunct so the feasibility
+// verdict and the runtime Δ improve for free.
+UnionQuery PruneWithConstraints(const UnionQuery& q,
+                                const ConstraintSet& constraints);
+
+// Appends to `q`'s body every atom its positive body implies under the
+// full-target-coverage dependencies of `constraints` (the same bounded
+// chase RefutedByConstraints runs, materialized as literals). On every
+// instance satisfying the constraints, the chased query is equivalent to
+// `q` — but it can be strictly *more answerable*: a derived atom over a
+// relation with friendlier access patterns may bind variables the
+// original body cannot, turning infeasible queries feasible
+// (semantic optimization under access patterns; the paper's
+// integrity-constraints future work). Already-present atoms are not
+// duplicated.
+ConjunctiveQuery ChaseQuery(const ConjunctiveQuery& q,
+                            const ConstraintSet& constraints);
+UnionQuery ChaseQuery(const UnionQuery& q, const ConstraintSet& constraints);
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONSTRAINTS_INCLUSION_H_

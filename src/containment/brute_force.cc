@@ -1,0 +1,99 @@
+#include "containment/brute_force.h"
+
+#include <set>
+#include <vector>
+
+#include "eval/database.h"
+#include "eval/oracle.h"
+
+namespace ucqn {
+
+namespace {
+
+// Freezes a variable into a reserved constant ("#x" cannot be written in
+// the surface syntax, so it cannot collide with query constants).
+Term Freeze(const Term& t) {
+  return t.IsVariable() ? Term::Constant("#" + t.name()) : t;
+}
+
+}  // namespace
+
+std::optional<bool> BruteForceContained(const ConjunctiveQuery& P,
+                                        const UnionQuery& Q,
+                                        const Catalog& catalog,
+                                        const BruteForceOptions& options) {
+  if (P.IsUnsatisfiable()) return true;
+
+  // The instance domain: P's frozen variables plus all constants in play.
+  std::vector<Term> domain;
+  for (const Term& v : P.AllVariables()) domain.push_back(Freeze(v));
+  for (const Term& c : P.Constants()) domain.push_back(c);
+  for (const ConjunctiveQuery& d : Q.disjuncts()) {
+    for (const Term& c : d.Constants()) {
+      if (std::find(domain.begin(), domain.end(), c) == domain.end()) {
+        domain.push_back(c);
+      }
+    }
+  }
+  if (domain.empty()) return std::nullopt;
+
+  // Universe of candidate atoms over the domain.
+  std::set<std::string> relations = P.RelationNames();
+  std::set<std::string> q_relations = Q.RelationNames();
+  relations.insert(q_relations.begin(), q_relations.end());
+  std::vector<Atom> universe;
+  for (const std::string& name : relations) {
+    const RelationSchema* schema = catalog.Find(name);
+    if (schema == nullptr) return std::nullopt;
+    std::vector<Tuple> tuples(1);
+    for (std::size_t j = 0; j < schema->arity(); ++j) {
+      std::vector<Tuple> next;
+      for (const Tuple& t : tuples) {
+        for (const Term& d : domain) {
+          Tuple extended = t;
+          extended.push_back(d);
+          next.push_back(std::move(extended));
+        }
+      }
+      tuples = std::move(next);
+    }
+    for (const Tuple& t : tuples) universe.push_back(Atom(name, t));
+  }
+
+  std::set<Atom> required, forbidden;
+  for (const Literal& l : P.body()) {
+    std::vector<Term> args;
+    args.reserve(l.args().size());
+    for (const Term& t : l.args()) args.push_back(Freeze(t));
+    (l.positive() ? required : forbidden)
+        .insert(Atom(l.relation(), std::move(args)));
+  }
+
+  std::vector<Atom> free_atoms;
+  for (const Atom& a : universe) {
+    if (required.count(a) == 0 && forbidden.count(a) == 0) {
+      free_atoms.push_back(a);
+    }
+  }
+  if (free_atoms.size() > options.max_free_atoms) return std::nullopt;
+
+  Tuple frozen_head;
+  frozen_head.reserve(P.head_terms().size());
+  for (const Term& t : P.head_terms()) frozen_head.push_back(Freeze(t));
+
+  for (std::uint64_t mask = 0; mask < (1ull << free_atoms.size()); ++mask) {
+    Database db;
+    for (const Atom& a : required) db.Insert(a.relation(), a.args());
+    for (std::size_t j = 0; j < free_atoms.size(); ++j) {
+      if (mask & (1ull << j)) {
+        db.Insert(free_atoms[j].relation(), free_atoms[j].args());
+      }
+    }
+    if (OracleEvaluate(Q, db).count(frozen_head) == 0) {
+      return false;  // counterexample completion
+    }
+  }
+  return true;
+}
+
+}  // namespace ucqn

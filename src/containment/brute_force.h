@@ -1,0 +1,42 @@
+#ifndef UCQN_CONTAINMENT_BRUTE_FORCE_H_
+#define UCQN_CONTAINMENT_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "ast/query.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+struct BruteForceOptions {
+  // Upper bound on the number of "free" atoms (universe minus the frozen
+  // query's own literals); the search enumerates 2^free completions, so
+  // this caps the cost. Instances above the cap return nullopt.
+  std::size_t max_free_atoms = 12;
+};
+
+// Reference containment decision by exhaustive counterexample search,
+// independent of the Theorem 12/13 engine — the differential oracle used
+// by the property tests and tools/selfcheck.
+//
+// P ⊑ Q fails iff some instance D and assignment make P's body true with
+// the head tuple outside Q(D). For the frozen P (variables read as fresh
+// constants), it suffices to check every *completion* of [P⁺] with atoms
+// over P's own terms — exactly the space the Wei–Lausen tree explores.
+// This routine enumerates all such completions (required: frozen P⁺;
+// forbidden: frozen P⁻; free: everything else over the relations of P and
+// Q, whose arities come from `catalog`) and evaluates Q on each.
+//
+// Returns nullopt when the completion space exceeds the configured cap or
+// a relation is undeclared. Queries must be negation-safe the way the
+// oracle expects (Q may contain unsafe negatives; they are treated under
+// the unrestricted-domain semantics).
+std::optional<bool> BruteForceContained(const ConjunctiveQuery& P,
+                                        const UnionQuery& Q,
+                                        const Catalog& catalog,
+                                        const BruteForceOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONTAINMENT_BRUTE_FORCE_H_

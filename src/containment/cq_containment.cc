@@ -1,0 +1,34 @@
+#include "containment/cq_containment.h"
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+bool CqContained(const ConjunctiveQuery& P, const ConjunctiveQuery& Q,
+                 HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!P.HasNegation() && !Q.HasNegation(),
+                 "CqContained requires negation-free queries");
+  return HasContainmentMapping(Q, P, stats);
+}
+
+bool UcqContained(const UnionQuery& P, const UnionQuery& Q,
+                  HomomorphismStats* stats) {
+  for (const ConjunctiveQuery& p : P.disjuncts()) {
+    bool contained_somewhere = false;
+    for (const ConjunctiveQuery& q : Q.disjuncts()) {
+      if (CqContained(p, q, stats)) {
+        contained_somewhere = true;
+        break;
+      }
+    }
+    if (!contained_somewhere) return false;
+  }
+  return true;
+}
+
+bool UcqEquivalent(const UnionQuery& P, const UnionQuery& Q,
+                   HomomorphismStats* stats) {
+  return UcqContained(P, Q, stats) && UcqContained(Q, P, stats);
+}
+
+}  // namespace ucqn

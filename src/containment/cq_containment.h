@@ -1,0 +1,26 @@
+#ifndef UCQN_CONTAINMENT_CQ_CONTAINMENT_H_
+#define UCQN_CONTAINMENT_CQ_CONTAINMENT_H_
+
+#include "ast/query.h"
+#include "containment/homomorphism.h"
+
+namespace ucqn {
+
+// CONT(CQ), Proposition 6 (Chandra–Merlin): P ⊑ Q iff there is a
+// containment mapping from Q into P. Both queries must be negation-free
+// (CHECK-enforced); use Contained() from ucqn_containment.h for CQ¬/UCQ¬.
+bool CqContained(const ConjunctiveQuery& P, const ConjunctiveQuery& Q,
+                 HomomorphismStats* stats = nullptr);
+
+// CONT(UCQ), Proposition 6 (Sagiv–Yannakakis): ∨ᵢPᵢ ⊑ ∨ⱼQⱼ iff every Pᵢ is
+// contained in some single Qⱼ. Negation-free only.
+bool UcqContained(const UnionQuery& P, const UnionQuery& Q,
+                  HomomorphismStats* stats = nullptr);
+
+// P ≡ Q for negation-free unions.
+bool UcqEquivalent(const UnionQuery& P, const UnionQuery& Q,
+                   HomomorphismStats* stats = nullptr);
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONTAINMENT_CQ_CONTAINMENT_H_

@@ -1,0 +1,76 @@
+#include "containment/homomorphism.h"
+
+#include <vector>
+
+namespace ucqn {
+
+namespace {
+
+// Backtracking search over the positive atoms of Q, mapping each onto a
+// same-relation positive atom of P under a growing substitution.
+class MappingSearch {
+ public:
+  MappingSearch(const ConjunctiveQuery& Q, const ConjunctiveQuery& P,
+                const std::function<bool(const Substitution&)>& visitor,
+                HomomorphismStats* stats)
+      : visitor_(visitor), stats_(stats) {
+    for (const Literal& l : Q.body()) {
+      if (l.positive()) query_atoms_.push_back(&l.atom());
+    }
+    for (const Literal& l : P.body()) {
+      if (l.positive()) target_atoms_.push_back(&l.atom());
+    }
+    // Seed with the positional head constraint.
+    seed_ok_ = MatchArgs(Q.head_terms(), P.head_terms(), &seed_);
+  }
+
+  bool Run() {
+    if (!seed_ok_) return false;
+    return Extend(0, seed_);
+  }
+
+ private:
+  bool Extend(std::size_t index, const Substitution& subst) {
+    if (index == query_atoms_.size()) {
+      if (stats_ != nullptr) ++stats_->mappings_found;
+      return visitor_(subst);
+    }
+    const Atom* qa = query_atoms_[index];
+    for (const Atom* pa : target_atoms_) {
+      if (pa->relation() != qa->relation() || pa->arity() != qa->arity()) {
+        continue;
+      }
+      if (stats_ != nullptr) ++stats_->match_attempts;
+      Substitution extended = subst;
+      if (!MatchArgs(qa->args(), pa->args(), &extended)) continue;
+      if (Extend(index + 1, extended)) return true;
+    }
+    return false;
+  }
+
+  std::vector<const Atom*> query_atoms_;
+  std::vector<const Atom*> target_atoms_;
+  Substitution seed_;
+  bool seed_ok_ = true;
+  const std::function<bool(const Substitution&)>& visitor_;
+  HomomorphismStats* stats_;
+};
+
+}  // namespace
+
+bool ForEachContainmentMapping(
+    const ConjunctiveQuery& Q, const ConjunctiveQuery& P,
+    const std::function<bool(const Substitution&)>& visitor,
+    HomomorphismStats* stats) {
+  if (Q.head_terms().size() != P.head_terms().size()) return false;
+  MappingSearch search(Q, P, visitor, stats);
+  return search.Run();
+}
+
+bool HasContainmentMapping(const ConjunctiveQuery& Q, const ConjunctiveQuery& P,
+                           HomomorphismStats* stats) {
+  return ForEachContainmentMapping(
+      Q, P, [](const Substitution&) { return true; }, stats);
+}
+
+}  // namespace ucqn

@@ -1,0 +1,50 @@
+#ifndef UCQN_CONTAINMENT_HOMOMORPHISM_H_
+#define UCQN_CONTAINMENT_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "ast/query.h"
+#include "ast/substitution.h"
+
+namespace ucqn {
+
+// Counters exposed by the mapping search; benches report them to show how
+// much work the (NP-hard) search did.
+struct HomomorphismStats {
+  // Number of (query atom, candidate target atom) match attempts.
+  std::uint64_t match_attempts = 0;
+  // Number of complete containment mappings produced.
+  std::uint64_t mappings_found = 0;
+
+  void Add(const HomomorphismStats& other) {
+    match_attempts += other.match_attempts;
+    mappings_found += other.mappings_found;
+  }
+};
+
+// Enumerates containment mappings σ : vars(Q) → terms(P) (Section 5.1):
+//   * σ maps Q's head terms positionally onto P's head terms (this is the
+//     "identity on free variables" condition, generalized to queries whose
+//     distinguished variables have different names),
+//   * for every positive literal R(ȳ) of Q, R(σȳ) is a positive literal
+//     of P.
+// Negative literals are ignored here; the UCQ¬ algorithm layers the
+// Theorem 12/13 conditions on top.
+//
+// `visitor` is called once per mapping; returning true stops the
+// enumeration. Returns true iff the visitor stopped the search (i.e. some
+// mapping was accepted). P's variables are treated as frozen constants.
+bool ForEachContainmentMapping(
+    const ConjunctiveQuery& Q, const ConjunctiveQuery& P,
+    const std::function<bool(const Substitution&)>& visitor,
+    HomomorphismStats* stats = nullptr);
+
+// True if at least one containment mapping Q → P exists, i.e. P ⊑ Q when
+// both are plain CQs (Chandra–Merlin).
+bool HasContainmentMapping(const ConjunctiveQuery& Q, const ConjunctiveQuery& P,
+                           HomomorphismStats* stats = nullptr);
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONTAINMENT_HOMOMORPHISM_H_

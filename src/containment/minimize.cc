@@ -1,0 +1,121 @@
+#include "containment/minimize.h"
+
+#include <vector>
+
+#include "containment/cq_containment.h"
+#include "containment/ucqn_containment.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q,
+                            HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!q.HasNegation(), "MinimizeCq requires a negation-free CQ");
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Literal>& body = current.body();
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      std::vector<Literal> smaller_body;
+      smaller_body.reserve(body.size() - 1);
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        if (j != i) smaller_body.push_back(body[j]);
+      }
+      ConjunctiveQuery smaller = current.WithBody(std::move(smaller_body));
+      // current ⊑ smaller always holds (identity); smaller ⊑ current makes
+      // the removal equivalence-preserving.
+      if (CqContained(smaller, current, stats)) {
+        current = std::move(smaller);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionQuery MinimizeUcq(const UnionQuery& q, HomomorphismStats* stats) {
+  std::vector<ConjunctiveQuery> cores;
+  cores.reserve(q.size());
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    cores.push_back(MinimizeCq(disjunct, stats));
+  }
+  // Drop any disjunct contained in another kept disjunct. Processing in
+  // order with "contained in some *other* survivor or earlier duplicate"
+  // yields a minimal union.
+  std::vector<bool> dropped(cores.size(), false);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = 0; j < cores.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      // Break ties (mutual containment) by keeping the earlier disjunct.
+      if (CqContained(cores[i], cores[j], stats)) {
+        if (CqContained(cores[j], cores[i], stats) && j > i) continue;
+        dropped[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<ConjunctiveQuery> kept;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (!dropped[i]) kept.push_back(cores[i]);
+  }
+  return UnionQuery(std::move(kept));
+}
+
+ConjunctiveQuery MinimizeCqn(const ConjunctiveQuery& q,
+                             ContainmentStats* stats) {
+  if (q.IsUnsatisfiable()) return q;  // dropping could change the semantics
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Literal>& body = current.body();
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      std::vector<Literal> smaller_body;
+      smaller_body.reserve(body.size() - 1);
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        if (j != i) smaller_body.push_back(body[j]);
+      }
+      ConjunctiveQuery smaller = current.WithBody(std::move(smaller_body));
+      if (!smaller.IsSafe()) continue;
+      // current ⊑ smaller holds semantically (a conjunct was dropped);
+      // the removal preserves equivalence iff smaller ⊑ current.
+      if (Contained(smaller, UnionQuery(current), stats)) {
+        current = std::move(smaller);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionQuery MinimizeUcqn(const UnionQuery& q, ContainmentStats* stats) {
+  std::vector<ConjunctiveQuery> cores;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    if (disjunct.IsUnsatisfiable()) continue;  // contributes nothing
+    cores.push_back(MinimizeCqn(disjunct, stats));
+  }
+  // Drop any disjunct contained in the union of the others (for UCQ¬ a
+  // single-disjunct witness is not enough, so test against the union).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      std::vector<ConjunctiveQuery> rest;
+      rest.reserve(cores.size() - 1);
+      for (std::size_t j = 0; j < cores.size(); ++j) {
+        if (j != i) rest.push_back(cores[j]);
+      }
+      if (Contained(cores[i], UnionQuery(rest), stats)) {
+        cores.erase(cores.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return UnionQuery(std::move(cores));
+}
+
+}  // namespace ucqn

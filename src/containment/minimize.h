@@ -1,0 +1,46 @@
+#ifndef UCQN_CONTAINMENT_MINIMIZE_H_
+#define UCQN_CONTAINMENT_MINIMIZE_H_
+
+#include "ast/query.h"
+#include "containment/homomorphism.h"
+#include "containment/ucqn_containment.h"
+
+namespace ucqn {
+
+// Computes the core of a negation-free conjunctive query: repeatedly drops
+// a body literal as long as the smaller query is still equivalent to the
+// original. Dropping literals can only enlarge the answer (Q ⊑ Q' holds by
+// the identity mapping), so equivalence reduces to Q' ⊑ Q, a single
+// homomorphism test per candidate. The result is unique up to isomorphism.
+// Used by the CQstable / UCQstable baselines of Section 5.3/5.4.
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q,
+                            HomomorphismStats* stats = nullptr);
+
+// Minimizes a negation-free union (Section 5.4): each disjunct is cored,
+// then disjuncts contained in another remaining disjunct are dropped. The
+// result is the minimal (w.r.t. union) M ≡ Q used by UCQstable.
+UnionQuery MinimizeUcq(const UnionQuery& q,
+                       HomomorphismStats* stats = nullptr);
+
+// Equivalence-preserving minimization for CQ¬ using the Theorem 12/13
+// containment test: a body literal is dropped when the smaller query is
+// still contained in the original (dropping a conjunct — positive or
+// negative — always weakens, so the reverse containment is automatic for
+// satisfiable queries). Removals that would make the query unsafe are
+// skipped. Each candidate removal costs a (worst-case Π₂ᴾ) containment
+// check, so this is a tool for small queries and for the bench_baselines
+// heuristic study — unlike CQ minimization it is NOT known to yield a
+// canonical form, nor does orderability of the result characterize
+// feasibility.
+ConjunctiveQuery MinimizeCqn(const ConjunctiveQuery& q,
+                             ContainmentStats* stats = nullptr);
+
+// Union-level minimization for UCQ¬: minimizes each disjunct with
+// MinimizeCqn, drops unsatisfiable disjuncts, then drops any disjunct
+// contained in the union of the remaining ones.
+UnionQuery MinimizeUcqn(const UnionQuery& q,
+                        ContainmentStats* stats = nullptr);
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONTAINMENT_MINIMIZE_H_

@@ -1,0 +1,274 @@
+#include "containment/ucqn_containment.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+// One top-level Contained(P, Q) check. The recursion of Theorem 13 only
+// ever *adjoins* atoms to P, so a node is fully described by the set of
+// adjoined atoms; results are memoized on that set.
+class ContainmentChecker {
+ public:
+  ContainmentChecker(const ConjunctiveQuery& P, const UnionQuery& Q,
+                     ContainmentStats* stats,
+                     const ContainmentOptions& options)
+      : base_(P), Q_(Q), stats_(stats), options_(options) {}
+
+  bool Run() {
+    std::set<Atom> adjoined;
+    return Check(base_, adjoined, 0);
+  }
+
+ private:
+  bool Check(const ConjunctiveQuery& P, const std::set<Atom>& adjoined,
+             std::uint64_t depth) {
+    if (stats_ != nullptr) {
+      ++stats_->nodes_expanded;
+      if (depth > stats_->max_depth) stats_->max_depth = depth;
+    }
+    if (options_.max_nodes != 0 && nodes_used_++ >= options_.max_nodes) {
+      if (stats_ != nullptr) stats_->aborted = true;
+      return false;
+    }
+    if (P.IsUnsatisfiable()) return true;
+
+    const std::string key = CacheKey(adjoined);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    // Guard against cyclic re-entry: while a node is being evaluated it
+    // cannot be re-entered (the adjoined set strictly grows, so this only
+    // triggers if a caller misuses the class).
+    bool result = false;
+    for (const ConjunctiveQuery& Qi : Q_.disjuncts()) {
+      if (Qi.head_terms().size() != P.head_terms().size()) continue;
+      const std::vector<Literal> negatives = Qi.NegativeBody();
+      HomomorphismStats* hstats =
+          stats_ != nullptr ? &stats_->homomorphism : nullptr;
+      bool found = ForEachContainmentMapping(
+          Qi, P,
+          [&](const Substitution& sigma) {
+            return NegativesHold(P, adjoined, negatives, sigma, depth);
+          },
+          hstats);
+      if (found) {
+        result = true;
+        break;
+      }
+    }
+    cache_.emplace(key, result);
+    return result;
+  }
+
+  // Theorem 12's side conditions for a candidate witness σ: every negative
+  // literal ¬R(ȳ) of the disjunct must have R(σȳ) absent from P⁺, and the
+  // extended query (P, R(σȳ)) must recursively be contained in Q.
+  bool NegativesHold(const ConjunctiveQuery& P, const std::set<Atom>& adjoined,
+                     const std::vector<Literal>& negatives,
+                     const Substitution& sigma, std::uint64_t depth) {
+    // First pass: σ is disqualified outright if it maps a negated atom onto
+    // a positive atom of P (the mapped query would assert R and ¬R at once,
+    // and the recursion would not terminate).
+    std::vector<Atom> mapped;
+    mapped.reserve(negatives.size());
+    for (const Literal& neg : negatives) {
+      Atom image = sigma.Apply(neg.atom());
+      // For unsafe disjuncts (the paper assumes safety, but e.g. its own
+      // Example 3 has variables occurring only under negation) σ may leave
+      // a negative literal's variables unmapped; such a σ is not a valid
+      // Theorem 12 witness and is skipped.
+      if (!image.IsGround() && !AtomVariablesFrozen(P, image)) return false;
+      if (P.PositiveBodyContains(image)) return false;
+      mapped.push_back(std::move(image));
+    }
+    for (const Atom& image : mapped) {
+      ConjunctiveQuery extended = P.WithExtraLiteral(Literal::Positive(image));
+      std::set<Atom> extended_adjoined = adjoined;
+      extended_adjoined.insert(image);
+      if (!Check(extended, extended_adjoined, depth + 1)) return false;
+    }
+    return true;
+  }
+
+  // After σ (which is total on vars(Qi) for safe Qi), any variable left in
+  // the image must be a frozen variable of P itself.
+  static bool AtomVariablesFrozen(const ConjunctiveQuery& P,
+                                  const Atom& atom) {
+    std::vector<Term> p_vars = P.AllVariables();
+    for (const Term& t : atom.args()) {
+      if (t.IsVariable() &&
+          std::find(p_vars.begin(), p_vars.end(), t) == p_vars.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static std::string CacheKey(const std::set<Atom>& adjoined) {
+    std::string key;
+    for (const Atom& a : adjoined) {
+      key += a.ToString();
+      key += ';';
+    }
+    return key;
+  }
+
+  const ConjunctiveQuery& base_;
+  const UnionQuery& Q_;
+  ContainmentStats* stats_;
+  const ContainmentOptions& options_;
+  std::uint64_t nodes_used_ = 0;
+  std::unordered_map<std::string, bool> cache_;
+};
+
+// Witness-building sibling of ContainmentChecker. Kept separate so the
+// boolean hot path (used by FEASIBLE and the benches) stays allocation-
+// light; the witness variant memoizes whole subtrees instead of booleans.
+class WitnessBuilder {
+ public:
+  WitnessBuilder(const ConjunctiveQuery& P, const UnionQuery& Q,
+                 ContainmentStats* stats, const ContainmentOptions& options)
+      : Q_(Q), stats_(stats), options_(options), base_(P) {}
+
+  std::optional<ContainmentWitness> Run() {
+    std::set<Atom> adjoined;
+    return Check(base_, adjoined, 0);
+  }
+
+ private:
+  std::optional<ContainmentWitness> Check(const ConjunctiveQuery& P,
+                                          const std::set<Atom>& adjoined,
+                                          std::uint64_t depth) {
+    if (stats_ != nullptr) {
+      ++stats_->nodes_expanded;
+      if (depth > stats_->max_depth) stats_->max_depth = depth;
+    }
+    if (options_.max_nodes != 0 && nodes_used_++ >= options_.max_nodes) {
+      if (stats_ != nullptr) stats_->aborted = true;
+      return std::nullopt;
+    }
+    if (P.IsUnsatisfiable()) {
+      ContainmentWitness leaf;
+      leaf.by_unsatisfiability = true;
+      return leaf;
+    }
+    std::string key;
+    for (const Atom& a : adjoined) {
+      key += a.ToString();
+      key += ';';
+    }
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    std::optional<ContainmentWitness> result;
+    for (std::size_t qi = 0; qi < Q_.disjuncts().size() && !result; ++qi) {
+      const ConjunctiveQuery& disjunct = Q_.disjuncts()[qi];
+      if (disjunct.head_terms().size() != P.head_terms().size()) continue;
+      const std::vector<Literal> negatives = disjunct.NegativeBody();
+      HomomorphismStats* hstats =
+          stats_ != nullptr ? &stats_->homomorphism : nullptr;
+      ForEachContainmentMapping(
+          disjunct, P,
+          [&](const Substitution& sigma) {
+            ContainmentWitness node;
+            node.disjunct_index = qi;
+            node.sigma = sigma;
+            for (const Literal& neg : negatives) {
+              Atom image = sigma.Apply(neg.atom());
+              if (!image.IsGround() && !AtomVariablesFrozenIn(P, image)) {
+                return false;  // unsafe witness, try another σ
+              }
+              if (P.PositiveBodyContains(image)) return false;
+              ConjunctiveQuery extended =
+                  P.WithExtraLiteral(Literal::Positive(image));
+              std::set<Atom> extended_adjoined = adjoined;
+              extended_adjoined.insert(image);
+              std::optional<ContainmentWitness> child =
+                  Check(extended, extended_adjoined, depth + 1);
+              if (!child.has_value()) return false;
+              node.children.push_back(std::move(*child));
+            }
+            result = std::move(node);
+            return true;  // stop the mapping enumeration
+          },
+          hstats);
+    }
+    cache_.emplace(std::move(key), result);
+    return result;
+  }
+
+  static bool AtomVariablesFrozenIn(const ConjunctiveQuery& P,
+                                    const Atom& atom) {
+    std::vector<Term> p_vars = P.AllVariables();
+    for (const Term& t : atom.args()) {
+      if (t.IsVariable() &&
+          std::find(p_vars.begin(), p_vars.end(), t) == p_vars.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const UnionQuery& Q_;
+  ContainmentStats* stats_;
+  const ContainmentOptions& options_;
+  const ConjunctiveQuery& base_;
+  std::uint64_t nodes_used_ = 0;
+  std::unordered_map<std::string, std::optional<ContainmentWitness>> cache_;
+};
+
+}  // namespace
+
+bool Contained(const ConjunctiveQuery& P, const UnionQuery& Q,
+               ContainmentStats* stats, const ContainmentOptions& options) {
+  ContainmentChecker checker(P, Q, stats, options);
+  return checker.Run();
+}
+
+bool Contained(const UnionQuery& P, const UnionQuery& Q,
+               ContainmentStats* stats, const ContainmentOptions& options) {
+  for (const ConjunctiveQuery& p : P.disjuncts()) {
+    if (!Contained(p, Q, stats, options)) return false;
+  }
+  return true;
+}
+
+bool Contained(const ConjunctiveQuery& P, const ConjunctiveQuery& Q,
+               ContainmentStats* stats, const ContainmentOptions& options) {
+  return Contained(P, UnionQuery(Q), stats, options);
+}
+
+bool Equivalent(const UnionQuery& P, const UnionQuery& Q,
+                ContainmentStats* stats, const ContainmentOptions& options) {
+  return Contained(P, Q, stats, options) && Contained(Q, P, stats, options);
+}
+
+std::optional<ContainmentWitness> ContainedWithWitness(
+    const ConjunctiveQuery& P, const UnionQuery& Q, ContainmentStats* stats,
+    const ContainmentOptions& options) {
+  WitnessBuilder builder(P, Q, stats, options);
+  return builder.Run();
+}
+
+std::string ContainmentWitness::ToString(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (by_unsatisfiability) return pad + "unsatisfiable";
+  std::string out =
+      pad + "disjunct " + std::to_string(disjunct_index) + " via " +
+      sigma.ToString();
+  for (const ContainmentWitness& child : children) {
+    out += "\n" + child.ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,108 @@
+#ifndef UCQN_CONTAINMENT_UCQN_CONTAINMENT_H_
+#define UCQN_CONTAINMENT_UCQN_CONTAINMENT_H_
+
+#include <cstdint>
+
+#include "ast/query.h"
+#include "containment/homomorphism.h"
+
+namespace ucqn {
+
+// Counters for the Theorem 12/13 recursion. The benches use these to
+// exhibit the Π₂ᴾ behaviour (nodes explode as negated literals are added).
+struct ContainmentStats {
+  // Recursion-tree nodes expanded (each corresponds to one query
+  // "P, N₁(x̄₁), ..., Nₘ(x̄ₘ) ⊑ Q" check).
+  std::uint64_t nodes_expanded = 0;
+  // Memoization hits on the adjoined-atom-set cache.
+  std::uint64_t cache_hits = 0;
+  // Deepest recursion reached (number of adjoined atoms).
+  std::uint64_t max_depth = 0;
+  // True if the node budget was exhausted; the answer is then the
+  // conservative `false` ("not known to be contained").
+  bool aborted = false;
+  // Work done by the underlying containment-mapping searches.
+  HomomorphismStats homomorphism;
+
+  void Add(const ContainmentStats& other) {
+    nodes_expanded += other.nodes_expanded;
+    cache_hits += other.cache_hits;
+    if (other.max_depth > max_depth) max_depth = other.max_depth;
+    aborted = aborted || other.aborted;
+    homomorphism.Add(other.homomorphism);
+  }
+};
+
+struct ContainmentOptions {
+  // Safety valve for the worst-case Π₂ᴾ search; 0 means unlimited. When the
+  // budget is exhausted, Contained() returns false and sets stats.aborted.
+  std::uint64_t max_nodes = 0;
+};
+
+// CONT(CQ¬ ⊑ UCQ¬) via Theorem 13 [WL03]: P ⊑ Q iff P is unsatisfiable, or
+// some disjunct Qᵢ admits a containment mapping σ : vars(Qᵢ) → terms(P)
+// witnessing P⁺ ⊑ Qᵢ⁺ such that for every negative literal ¬R(ȳ) of Qᵢ,
+// R(σȳ) is not in P⁺ and (P, R(σȳ)) ⊑ Q holds recursively.
+//
+// With negation-free queries this degenerates to the classic homomorphism
+// test, so the same entry point is optimal for CQ and UCQ as well — the
+// paper's "single uniform algorithm".
+//
+// The paper's standing assumption is that queries are safe. Disjuncts of Q
+// that are unsafe (some variable occurs only under negation — e.g. the
+// paper's own Example 3) participate only through witnesses σ that are
+// total on their negative literals' variables; other candidate mappings
+// are rejected. P need not be safe.
+bool Contained(const ConjunctiveQuery& P, const UnionQuery& Q,
+               ContainmentStats* stats = nullptr,
+               const ContainmentOptions& options = {});
+
+// CONT(UCQ¬): ∨ᵢPᵢ ⊑ Q iff every Pᵢ ⊑ Q.
+bool Contained(const UnionQuery& P, const UnionQuery& Q,
+               ContainmentStats* stats = nullptr,
+               const ContainmentOptions& options = {});
+
+// Convenience: single-CQ¬ right-hand side.
+bool Contained(const ConjunctiveQuery& P, const ConjunctiveQuery& Q,
+               ContainmentStats* stats = nullptr,
+               const ContainmentOptions& options = {});
+
+// P ≡ Q: containment both ways.
+bool Equivalent(const UnionQuery& P, const UnionQuery& Q,
+                ContainmentStats* stats = nullptr,
+                const ContainmentOptions& options = {});
+
+// A witness for P ⊑ Q in the shape of the Theorem 13 tree: which disjunct
+// Qᵢ was matched, by which containment mapping σ, with one child witness
+// per negative literal of Qᵢ (certifying (P, R(σȳ)) ⊑ Q). A node may
+// instead be justified by unsatisfiability of the (extended) left-hand
+// query. Useful for explaining *why* a query is feasible: FEASIBLE's
+// containment step succeeds exactly when each overestimate disjunct has
+// such a tree into the original query.
+struct ContainmentWitness {
+  // True when the node holds because the extended P is unsatisfiable;
+  // disjunct_index/sigma/children are then meaningless.
+  bool by_unsatisfiability = false;
+  // Index of the matched disjunct of Q.
+  std::size_t disjunct_index = 0;
+  // The containment mapping σ : vars(Q_disjunct) → terms(P).
+  Substitution sigma;
+  // One entry per negative literal of the matched disjunct, in order.
+  std::vector<ContainmentWitness> children;
+
+  // Multi-line rendering, e.g.
+  //   disjunct 0 via {x/x}
+  //     adjoin S(x): unsatisfiable
+  std::string ToString(int indent = 0) const;
+};
+
+// Like Contained(P ∈ CQ¬, Q), but returns the full witness tree on
+// success and nullopt on failure (or when the node budget aborts the
+// search — check stats->aborted to distinguish).
+std::optional<ContainmentWitness> ContainedWithWitness(
+    const ConjunctiveQuery& P, const UnionQuery& Q,
+    ContainmentStats* stats = nullptr, const ContainmentOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_CONTAINMENT_UCQN_CONTAINMENT_H_

@@ -1,0 +1,61 @@
+#include "eval/answer_star.h"
+
+#include <algorithm>
+
+#include "eval/executor.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
+                            Source* source) {
+  AnswerStarReport report;
+  report.plans = PlanStar(q, catalog);
+
+  ExecutionResult under = Execute(report.plans.under, catalog, source);
+  UCQN_CHECK_MSG(under.ok, under.error.c_str());
+  ExecutionResult over = Execute(report.plans.over, catalog, source);
+  UCQN_CHECK_MSG(over.ok, over.error.c_str());
+
+  report.under = std::move(under.tuples);
+  report.over = std::move(over.tuples);
+  std::set_difference(report.over.begin(), report.over.end(),
+                      report.under.begin(), report.under.end(),
+                      std::inserter(report.delta, report.delta.begin()));
+  report.complete = report.delta.empty();
+  for (const Tuple& tuple : report.delta) {
+    for (const Term& t : tuple) {
+      if (t.IsNull()) {
+        report.delta_has_nulls = true;
+        break;
+      }
+    }
+    if (report.delta_has_nulls) break;
+  }
+  if (!report.complete && !report.delta_has_nulls && !report.over.empty()) {
+    report.completeness_lower_bound =
+        static_cast<double>(report.under.size()) /
+        static_cast<double>(report.over.size());
+  }
+  return report;
+}
+
+std::string AnswerStarReport::Summary() const {
+  std::string out = TupleSetToString(under);
+  if (!out.empty()) out += "\n";
+  if (complete) {
+    out += "answer is complete";
+    return out;
+  }
+  out += "answer is not known to be complete\n";
+  out += "these tuples may be part of the answer:\n";
+  out += TupleSetToString(delta);
+  if (completeness_lower_bound.has_value()) {
+    out += "\nanswer is at least " +
+           std::to_string(under.size()) + "/" + std::to_string(over.size()) +
+           " complete";
+  }
+  return out;
+}
+
+}  // namespace ucqn

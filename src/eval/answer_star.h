@@ -1,0 +1,48 @@
+#ifndef UCQN_EVAL_ANSWER_STAR_H_
+#define UCQN_EVAL_ANSWER_STAR_H_
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "ast/query.h"
+#include "eval/source.h"
+#include "feasibility/plan_star.h"
+
+namespace ucqn {
+
+// Output of algorithm ANSWER* (Fig. 4): runtime under-/over-estimates of
+// the exact answer plus the completeness information reported to the user.
+struct AnswerStarReport {
+  // ansᵤ = ANSWER(Qᵘ, D): every tuple here is a guaranteed answer.
+  std::set<Tuple> under;
+  // ansₒ = ANSWER(Qᵒ, D): every actual answer appears here, possibly with
+  // null in columns the overestimate could not compute.
+  std::set<Tuple> over;
+  // Δ = ansₒ \ ansᵤ: tuples that *may* be part of the answer.
+  std::set<Tuple> delta;
+  // Δ = ∅: the answer is complete even if the query is infeasible
+  // (Example 5 — the unanswerable part turned out to be irrelevant).
+  bool complete = false;
+  // True if some Δ tuple carries null (Example 7's "unknown value" rows).
+  bool delta_has_nulls = false;
+  // |ansᵤ| / |ansₒ|, reported only when Δ is non-empty and null-free — the
+  // "answer is at least X complete" message of Fig. 4.
+  std::optional<double> completeness_lower_bound;
+  // The compiled plans, for diagnostics.
+  PlanStarResult plans;
+
+  // The user-facing messages of Fig. 4, verbatim in spirit.
+  std::string Summary() const;
+};
+
+// Algorithm ANSWER*: compiles Q with PLAN*, evaluates both plans against
+// the sources, and reports the underestimate together with completeness
+// information. The plans produced by PLAN* are always executable, so this
+// cannot fail on well-formed catalogs.
+AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
+                            Source* source);
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_ANSWER_STAR_H_

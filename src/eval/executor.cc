@@ -1,0 +1,169 @@
+#include "eval/executor.h"
+
+#include <vector>
+
+#include "ast/substitution.h"
+#include "schema/adornment.h"
+
+namespace ucqn {
+
+namespace {
+
+// Builds the Fetch argument vector for `literal` under binding `binding`:
+// ground values where known, empty elsewhere.
+std::vector<std::optional<Term>> FetchInputs(const Literal& literal,
+                                             const Substitution& binding) {
+  std::vector<std::optional<Term>> inputs;
+  inputs.reserve(literal.args().size());
+  for (const Term& arg : literal.args()) {
+    Term value = binding.Apply(arg);
+    if (value.IsGround()) {
+      inputs.emplace_back(std::move(value));
+    } else {
+      inputs.emplace_back(std::nullopt);
+    }
+  }
+  return inputs;
+}
+
+// Extends `binding` so that the literal's arguments equal `tuple`;
+// returns nullopt on mismatch (covers repeated variables and arguments
+// already ground).
+std::optional<Substitution> UnifyWithTuple(const Literal& literal,
+                                           const Tuple& tuple,
+                                           const Substitution& binding) {
+  Substitution extended = binding;
+  const std::vector<Term>& args = literal.args();
+  if (args.size() != tuple.size()) return std::nullopt;
+  for (std::size_t j = 0; j < args.size(); ++j) {
+    Term value = extended.Apply(args[j]);
+    if (value.IsGround()) {
+      if (value != tuple[j]) return std::nullopt;
+    } else {
+      if (!extended.Bind(value, tuple[j])) return std::nullopt;
+    }
+  }
+  return extended;
+}
+
+}  // namespace
+
+BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
+                                  const Catalog& catalog, Source* source,
+                                  const ExecutionOptions& options) {
+  BindingsResult result;
+  result.bindings.emplace_back();
+  BoundVariables bound;
+  for (const Literal& literal : q.body()) {
+    std::optional<AccessPattern> pattern =
+        ChoosePattern(catalog, literal, bound, options.pattern_preference);
+    if (!pattern.has_value()) {
+      result.error = "literal " + literal.ToString() +
+                     " has no usable access pattern at its position";
+      result.bindings.clear();
+      return result;
+    }
+    std::vector<Substitution> next;
+    if (literal.positive()) {
+      for (const Substitution& binding : result.bindings) {
+        std::vector<Tuple> fetched =
+            source->Fetch(literal.relation(), *pattern,
+                          FetchInputs(literal, binding));
+        for (const Tuple& tuple : fetched) {
+          std::optional<Substitution> extended =
+              UnifyWithTuple(literal, tuple, binding);
+          if (extended.has_value()) next.push_back(std::move(*extended));
+        }
+      }
+      BindVariables(literal, &bound);
+    } else {
+      // All variables are bound (ChoosePattern guarantees it): probe for
+      // the instantiated tuple and keep the binding iff it is absent.
+      for (const Substitution& binding : result.bindings) {
+        std::vector<Tuple> fetched =
+            source->Fetch(literal.relation(), *pattern,
+                          FetchInputs(literal, binding));
+        Tuple instantiated = binding.Apply(literal.args());
+        bool present = false;
+        for (const Tuple& tuple : fetched) {
+          if (tuple == instantiated) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) next.push_back(binding);
+      }
+    }
+    result.bindings = std::move(next);
+    if (options.max_bindings != 0 &&
+        result.bindings.size() > options.max_bindings) {
+      result.error = "execution exceeded max_bindings (" +
+                     std::to_string(options.max_bindings) + ") at literal " +
+                     literal.ToString();
+      result.bindings.clear();
+      return result;
+    }
+    if (result.bindings.empty()) break;  // negations cannot revive answers
+  }
+  result.ok = true;
+  return result;
+}
+
+ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
+                        Source* source, const ExecutionOptions& options) {
+  ExecutionResult result;
+
+  // Empty body: the head must already be ground (overestimate null rows).
+  if (q.IsTrueQuery()) {
+    for (const Term& t : q.head_terms()) {
+      if (!t.IsGround()) {
+        result.error = "empty-body rule with non-ground head is not a plan: " +
+                       q.ToString();
+        return result;
+      }
+    }
+    result.ok = true;
+    result.tuples.insert(q.head_terms());
+    return result;
+  }
+
+  BindingsResult body = ExecuteForBindings(q, catalog, source, options);
+  if (!body.ok) {
+    result.error = std::move(body.error);
+    return result;
+  }
+  result.ok = true;
+  for (const Substitution& binding : body.bindings) {
+    Tuple head = binding.Apply(q.head_terms());
+    bool ground = true;
+    for (const Term& t : head) {
+      if (!t.IsGround()) {
+        ground = false;
+        break;
+      }
+    }
+    if (!ground) {
+      result.ok = false;
+      result.error = "head not fully bound by executable body: " +
+                     q.ToString();
+      result.tuples.clear();
+      return result;
+    }
+    result.tuples.insert(std::move(head));
+  }
+  return result;
+}
+
+ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
+                        Source* source, const ExecutionOptions& options) {
+  ExecutionResult result;
+  result.ok = true;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    ExecutionResult part = Execute(disjunct, catalog, source, options);
+    if (!part.ok) return part;
+    result.tuples.insert(part.tuples.begin(), part.tuples.end());
+  }
+  return result;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,72 @@
+#ifndef UCQN_EVAL_EXECUTOR_H_
+#define UCQN_EVAL_EXECUTOR_H_
+
+#include <set>
+#include <string>
+
+#include "ast/query.h"
+#include "eval/source.h"
+#include "schema/adornment.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Knobs for plan execution.
+struct ExecutionOptions {
+  // Which usable access pattern to call per literal. kMostInputs (default)
+  // pushes every available binding to the source; kFewestInputs fetches
+  // broadly and filters client-side. bench_ablation measures the
+  // difference in calls/tuples.
+  PatternPreference pattern_preference = PatternPreference::kMostInputs;
+  // Hard cap on the number of live variable bindings after any literal
+  // (the intermediate-result size of the left-to-right join). Exceeding
+  // it fails the execution rather than exhausting memory on a hostile
+  // plan/source combination. 0 = unlimited.
+  std::size_t max_bindings = 0;
+};
+
+// Result of executing a plan against sources.
+struct ExecutionResult {
+  bool ok = false;
+  // Set only when !ok: why the plan could not be executed (e.g. a literal
+  // had no usable access pattern at its position).
+  std::string error;
+  // The answer tuples (set semantics). Head terms may include null for
+  // overestimate plans.
+  std::set<Tuple> tuples;
+};
+
+// Executes an *executable* CQ¬ left-to-right (Definition 3's reading of a
+// plan): positive literals are source calls extending the current variable
+// bindings, negative literals are membership probes filtering them out.
+// Access patterns are chosen greedily per literal (most input slots
+// usable). Fails — without partial answers — if some literal cannot be
+// called at its position, or if an empty-body rule has a non-ground head.
+//
+// An empty-body rule with ground head terms yields exactly its head tuple;
+// this is how overestimate disjuncts whose answerable part is empty
+// contribute their "benefit of the doubt" null row.
+ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
+                        Source* source, const ExecutionOptions& options = {});
+
+// Executes every disjunct and unions the results. Fails if any disjunct
+// fails. The `false` query yields the empty set.
+ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
+                        Source* source, const ExecutionOptions& options = {});
+
+// Like Execute, but returns the satisfying variable bindings of the body
+// instead of projected head tuples — the raw witnesses (one per
+// derivation; distinct bindings may project to the same head tuple). Used
+// by the Δ-explanation machinery (eval/explain.h).
+struct BindingsResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Substitution> bindings;
+};
+BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
+                                  const Catalog& catalog, Source* source,
+                                  const ExecutionOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#include "eval/explain.h"
+
+#include <set>
+
+#include "eval/executor.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+std::string DeltaExplanation::ToString() const {
+  return TupleToString(tuple) + " from disjunct " +
+         std::to_string(disjunct_index) + ": " +
+         partially_instantiated.ToString();
+}
+
+std::vector<DeltaExplanation> ExplainDelta(const UnionQuery& q,
+                                           const Catalog& catalog,
+                                           Source* source,
+                                           const AnswerStarReport& report) {
+  (void)q;  // the per-disjunct detail lives in report.plans
+  std::vector<DeltaExplanation> explanations;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < report.plans.disjuncts.size(); ++i) {
+    const DisjunctPlan& plan = report.plans.disjuncts[i];
+    // Only dismissed disjuncts can contribute Δ tuples: fully answerable
+    // ones feed the underestimate too, so their tuples never sit in Δ.
+    if (!plan.over.has_value() || plan.unanswerable.empty()) continue;
+    // Re-derive the answerable part's witnesses. The answerable part is
+    // executable by construction; empty bodies yield the single trivial
+    // binding (the bare "benefit of the doubt" row).
+    BindingsResult witnesses =
+        ExecuteForBindings(*plan.answerable, catalog, source);
+    UCQN_CHECK_MSG(witnesses.ok, witnesses.error.c_str());
+    for (const Substitution& binding : witnesses.bindings) {
+      Tuple tuple = binding.Apply(plan.over->head_terms());
+      bool ground = true;
+      for (const Term& t : tuple) ground = ground && t.IsGround();
+      if (!ground || report.delta.count(tuple) == 0) continue;
+      DeltaExplanation explanation;
+      explanation.tuple = std::move(tuple);
+      explanation.disjunct_index = i;
+      explanation.partially_instantiated =
+          plan.original.Substitute(binding);
+      if (seen.insert(explanation.ToString()).second) {
+        explanations.push_back(std::move(explanation));
+      }
+    }
+  }
+  return explanations;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,48 @@
+#ifndef UCQN_EVAL_EXPLAIN_H_
+#define UCQN_EVAL_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "eval/answer_star.h"
+#include "eval/source.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Example 7's reading of a Δ tuple: the binding β produced by the
+// answerable part gives rise to a *partially instantiated query* — e.g.
+// for Δ ∋ (a, null),
+//
+//   Q1ᵒ(a, y) :- R(a, b), not S(b), B(a, y).
+//
+// "there may be one or more y values such that (a, y) is in the answer,
+// but {y | B(a,y)} is unknowable under B's access pattern". This module
+// reconstructs those readings for every Δ tuple.
+struct DeltaExplanation {
+  // The Δ tuple being explained (may contain null).
+  Tuple tuple;
+  // Which disjunct of the original query produced it.
+  std::size_t disjunct_index = 0;
+  // The original disjunct with the answerable part's binding β applied:
+  // answerable literals fully ground, unanswerable literals mentioning
+  // only β's values and the still-unknown variables.
+  ConjunctiveQuery partially_instantiated;
+
+  std::string ToString() const;
+};
+
+// Re-derives, for each tuple of `report.delta`, every witnessing binding
+// of the answerable parts and renders the partially instantiated
+// disjuncts. Re-executes the answerable parts against `source` (cheap —
+// they are the same calls ANSWER* already made; wrap the source in a
+// CachingSource to make them free).
+std::vector<DeltaExplanation> ExplainDelta(const UnionQuery& q,
+                                           const Catalog& catalog,
+                                           Source* source,
+                                           const AnswerStarReport& report);
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_EXPLAIN_H_

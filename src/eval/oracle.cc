@@ -1,0 +1,93 @@
+#include "eval/oracle.h"
+
+#include <vector>
+
+#include "ast/substitution.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+class OracleSearch {
+ public:
+  OracleSearch(const ConjunctiveQuery& q, const Database& db,
+               std::set<Tuple>* out)
+      : q_(q), db_(db), out_(out) {
+    for (const Literal& l : q.body()) {
+      if (l.positive()) {
+        positives_.push_back(&l);
+      } else {
+        negatives_.push_back(&l);
+      }
+    }
+  }
+
+  void Run() { Extend(0, Substitution()); }
+
+ private:
+  void Extend(std::size_t index, const Substitution& binding) {
+    if (index == positives_.size()) {
+      Emit(binding);
+      return;
+    }
+    const Literal* literal = positives_[index];
+    const std::set<Tuple>* tuples = db_.Find(literal->relation());
+    if (tuples == nullptr) return;
+    for (const Tuple& tuple : *tuples) {
+      if (tuple.size() != literal->args().size()) continue;
+      Substitution extended = binding;
+      if (!MatchArgs(literal->args(), tuple, &extended)) continue;
+      Extend(index + 1, extended);
+    }
+  }
+
+  void Emit(const Substitution& binding) {
+    for (const Literal* literal : negatives_) {
+      Tuple instantiated = binding.Apply(literal->args());
+      // An unsafe negative literal (some variable occurs only under
+      // negation — the paper's own Example 3) is satisfiable by a fresh
+      // domain value, hence always true under the unrestricted-domain
+      // semantics the paper's equivalences assume.
+      bool ground = true;
+      for (const Term& t : instantiated) {
+        if (!t.IsGround()) {
+          ground = false;
+          break;
+        }
+      }
+      if (!ground) continue;
+      if (db_.Contains(literal->relation(), instantiated)) return;
+    }
+    Tuple head = binding.Apply(q_.head_terms());
+    for (const Term& t : head) {
+      UCQN_CHECK_MSG(t.IsGround(), "oracle evaluation requires safe queries");
+    }
+    out_->insert(std::move(head));
+  }
+
+  const ConjunctiveQuery& q_;
+  const Database& db_;
+  std::set<Tuple>* out_;
+  std::vector<const Literal*> positives_;
+  std::vector<const Literal*> negatives_;
+};
+
+}  // namespace
+
+std::set<Tuple> OracleEvaluate(const ConjunctiveQuery& q, const Database& db) {
+  std::set<Tuple> out;
+  OracleSearch(q, db, &out).Run();
+  return out;
+}
+
+std::set<Tuple> OracleEvaluate(const UnionQuery& q, const Database& db) {
+  std::set<Tuple> out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    std::set<Tuple> part = OracleEvaluate(disjunct, db);
+    out.insert(part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,26 @@
+#ifndef UCQN_EVAL_ORACLE_H_
+#define UCQN_EVAL_ORACLE_H_
+
+#include <set>
+
+#include "ast/query.h"
+#include "eval/database.h"
+
+namespace ucqn {
+
+// Reference evaluation of a safe CQ¬/UCQ¬ against an instance, ignoring
+// access patterns entirely — the semantics ANSWER(Q, D) that containment
+// and the PLAN*/ANSWER* guarantees are stated against. Implemented as a
+// straightforward backtracking join over the positive body followed by
+// negative-literal checks, deliberately independent from the
+// pattern-respecting executor so the two can cross-validate each other in
+// the property tests.
+//
+// Requirements: the query must be safe (every variable in a positive body
+// literal); ground head terms (constants/null) are passed through.
+std::set<Tuple> OracleEvaluate(const ConjunctiveQuery& q, const Database& db);
+std::set<Tuple> OracleEvaluate(const UnionQuery& q, const Database& db);
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_ORACLE_H_

@@ -1,0 +1,114 @@
+#include "eval/planner.h"
+
+#include <cmath>
+#include <vector>
+
+#include "schema/adornment.h"
+
+namespace ucqn {
+
+CardinalityEstimates CardinalityEstimates::FromDatabase(const Database& db) {
+  CardinalityEstimates estimates;
+  for (const std::string& name : db.RelationNames()) {
+    estimates.Set(name, static_cast<double>(db.TupleCount(name)));
+  }
+  return estimates;
+}
+
+CardinalityEstimates CardinalityEstimates::FromCatalog(
+    const Catalog& catalog) {
+  CardinalityEstimates estimates;
+  for (const RelationSchema* schema : catalog.Relations()) {
+    if (schema->cardinality().has_value()) {
+      estimates.Set(schema->name(), *schema->cardinality());
+    }
+  }
+  return estimates;
+}
+
+void CardinalityEstimates::Set(const std::string& relation,
+                               double cardinality) {
+  cardinalities_[relation] = cardinality;
+}
+
+double CardinalityEstimates::Get(const std::string& relation,
+                                 double fallback) const {
+  auto it = cardinalities_.find(relation);
+  return it == cardinalities_.end() ? fallback : it->second;
+}
+
+namespace {
+
+// Estimated number of tuples a call for `literal` returns, given the
+// currently bound variables: every ground-or-bound argument position cuts
+// the relation by the configured selectivity.
+double EstimateFanout(const Literal& literal, const BoundVariables& bound,
+                      const CardinalityEstimates& estimates,
+                      const PlannerOptions& options) {
+  double size = estimates.Get(literal.relation());
+  for (const Term& arg : literal.args()) {
+    if (arg.IsGround() || (arg.IsVariable() && bound.count(arg.name()) > 0)) {
+      size *= options.bound_arg_selectivity;
+    }
+  }
+  return size;
+}
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
+    const ConjunctiveQuery& q, const Catalog& catalog,
+    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+  const std::vector<Literal>& body = q.body();
+  std::vector<bool> taken(body.size(), false);
+  std::vector<Literal> ordered;
+  ordered.reserve(body.size());
+  BoundVariables bound;
+
+  for (std::size_t step = 0; step < body.size(); ++step) {
+    int best = -1;
+    bool best_is_filter = false;
+    double best_fanout = 0;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (taken[i]) continue;
+      if (!CanExecuteNext(catalog, body[i], bound)) continue;
+      const bool filter =
+          body[i].negative() || AllVariablesBound(body[i], bound);
+      const double fanout =
+          filter ? 0.0 : EstimateFanout(body[i], bound, estimates, options);
+      const bool better =
+          best < 0 || (filter && !best_is_filter) ||
+          (filter == best_is_filter && fanout < best_fanout);
+      if (better) {
+        best = static_cast<int>(i);
+        best_is_filter = filter;
+        best_fanout = fanout;
+      }
+    }
+    if (best < 0) return std::nullopt;  // not orderable
+    taken[static_cast<std::size_t>(best)] = true;
+    const Literal& chosen = body[static_cast<std::size_t>(best)];
+    ordered.push_back(chosen);
+    if (chosen.positive()) BindVariables(chosen, &bound);
+  }
+  // Orderability also requires the head variables to be bound.
+  for (const Term& v : q.AllVariables()) {
+    if (bound.count(v.name()) == 0) return std::nullopt;
+  }
+  return q.WithBody(std::move(ordered));
+}
+
+std::optional<UnionQuery> OptimizeLiteralOrder(
+    const UnionQuery& q, const Catalog& catalog,
+    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    std::optional<ConjunctiveQuery> ordered =
+        OptimizeLiteralOrder(disjunct, catalog, estimates, options);
+    if (!ordered.has_value()) return std::nullopt;
+    out.AddDisjunct(std::move(*ordered));
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,50 @@
+#include "eval/source.h"
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+std::vector<Tuple> DatabaseSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  const RelationSchema* schema = catalog_->Find(relation);
+  UCQN_CHECK_MSG(schema != nullptr, "fetch of undeclared relation");
+  UCQN_CHECK_MSG(schema->HasPattern(pattern),
+                 "fetch with undeclared access pattern");
+  UCQN_CHECK_MSG(inputs.size() == pattern.arity(),
+                 "fetch inputs must have one entry per slot");
+  for (std::size_t j = 0; j < pattern.arity(); ++j) {
+    if (pattern.IsInputSlot(j)) {
+      UCQN_CHECK_MSG(inputs[j].has_value() && inputs[j]->IsGround(),
+                     "input slot requires a ground value");
+    }
+  }
+
+  ++stats_.calls;
+  SourceStats& rel_stats = per_relation_stats_[relation];
+  ++rel_stats.calls;
+
+  std::vector<Tuple> result;
+  const std::set<Tuple>* tuples = db_->Find(relation);
+  if (tuples == nullptr) return result;
+  for (const Tuple& tuple : *tuples) {
+    bool matches = true;
+    for (std::size_t j = 0; j < pattern.arity(); ++j) {
+      if (pattern.IsInputSlot(j) && tuple[j] != *inputs[j]) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) result.push_back(tuple);
+  }
+  stats_.tuples_returned += result.size();
+  rel_stats.tuples_returned += result.size();
+  return result;
+}
+
+void DatabaseSource::ResetStats() {
+  stats_.Reset();
+  per_relation_stats_.clear();
+}
+
+}  // namespace ucqn

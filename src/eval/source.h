@@ -1,0 +1,75 @@
+#ifndef UCQN_EVAL_SOURCE_H_
+#define UCQN_EVAL_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/database.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Accounting for calls against a limited-access source — the observable
+// "cost" of a plan when sources are remote web services.
+struct SourceStats {
+  std::uint64_t calls = 0;
+  std::uint64_t tuples_returned = 0;
+
+  void Reset() { *this = SourceStats{}; }
+};
+
+// The runtime face of a relation with access patterns: one Fetch per
+// web-service operation (Section 1). Implementations must enforce the
+// pattern — a call that fails to supply a value for every input slot is a
+// contract violation.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  // Calls `relation` through `pattern`. `inputs` has one entry per slot;
+  // entries at input slots must hold ground terms, entries at output slots
+  // are ignored. Returns every tuple of the relation agreeing with the
+  // supplied input values. Note the source does NOT filter on output
+  // slots — per the paper's footnote 4, output-side selections are the
+  // caller's job.
+  virtual std::vector<Tuple> Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) = 0;
+};
+
+// A `Source` serving an in-memory Database, enforcing the catalog's
+// declared patterns and recording per-relation statistics. This is the
+// simulated stand-in for the paper's remote web services: identical
+// interface contract (values required at input slots, no output-side
+// filtering), with call accounting in place of network cost.
+class DatabaseSource : public Source {
+ public:
+  // Does not take ownership; `db` and `catalog` must outlive the source.
+  DatabaseSource(const Database* db, const Catalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  std::vector<Tuple> Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  // Aggregate statistics across all relations.
+  const SourceStats& stats() const { return stats_; }
+  // Per-relation statistics (empty entry if never called).
+  const std::map<std::string, SourceStats>& per_relation_stats() const {
+    return per_relation_stats_;
+  }
+  void ResetStats();
+
+ private:
+  const Database* db_;
+  const Catalog* catalog_;
+  SourceStats stats_;
+  std::map<std::string, SourceStats> per_relation_stats_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_SOURCE_H_

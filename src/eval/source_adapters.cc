@@ -1,0 +1,114 @@
+#include "eval/source_adapters.h"
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+std::string CacheKey(const std::string& relation, const AccessPattern& pattern,
+                     const std::vector<std::optional<Term>>& inputs) {
+  std::string key = relation + "^" + pattern.word();
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    key += "|";
+    // Only input slots participate in the call signature; the source
+    // ignores values at output slots, so two calls differing only there
+    // are the same call.
+    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
+      key += inputs[j]->ToString();
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<Tuple> CachingSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  const std::string key = CacheKey(relation, pattern, inputs);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  std::vector<Tuple> result = inner_->Fetch(relation, pattern, inputs);
+  cache_.emplace(std::move(key), result);
+  return result;
+}
+
+void CachingSource::Invalidate() { cache_.clear(); }
+
+namespace {
+
+// Renders the input-slot projection of `tuple` under `pattern` as the
+// index key. Term::ToString is injective enough here (quoted constants vs
+// variables never collide, and tuples contain ground terms only).
+std::string ProjectionKey(const AccessPattern& pattern, const Tuple& tuple) {
+  std::string key;
+  for (std::size_t j = 0; j < pattern.arity(); ++j) {
+    if (pattern.IsInputSlot(j)) {
+      key += tuple[j].ToString();
+      key += '|';
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+const IndexedDatabaseSource::Index& IndexedDatabaseSource::GetOrBuildIndex(
+    const std::string& relation, const AccessPattern& pattern) {
+  const std::string index_key = relation + "^" + pattern.word();
+  auto it = indexes_.find(index_key);
+  if (it != indexes_.end()) return it->second;
+  Index& index = indexes_[index_key];
+  if (const std::set<Tuple>* tuples = db_->Find(relation)) {
+    for (const Tuple& tuple : *tuples) {
+      index.buckets[ProjectionKey(pattern, tuple)].push_back(tuple);
+    }
+  }
+  return index;
+}
+
+std::vector<Tuple> IndexedDatabaseSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  const RelationSchema* schema = catalog_->Find(relation);
+  UCQN_CHECK_MSG(schema != nullptr, "fetch of undeclared relation");
+  UCQN_CHECK_MSG(schema->HasPattern(pattern),
+                 "fetch with undeclared access pattern");
+  UCQN_CHECK_MSG(inputs.size() == pattern.arity(),
+                 "fetch inputs must have one entry per slot");
+  std::string key;
+  for (std::size_t j = 0; j < pattern.arity(); ++j) {
+    if (pattern.IsInputSlot(j)) {
+      UCQN_CHECK_MSG(inputs[j].has_value() && inputs[j]->IsGround(),
+                     "input slot requires a ground value");
+      key += inputs[j]->ToString();
+      key += '|';
+    }
+  }
+  ++stats_.calls;
+  const Index& index = GetOrBuildIndex(relation, pattern);
+  auto bucket = index.buckets.find(key);
+  if (bucket == index.buckets.end()) return {};
+  stats_.tuples_returned += bucket->second.size();
+  return bucket->second;
+}
+
+void CompositeSource::Route(const std::string& relation, Source* source) {
+  UCQN_CHECK_MSG(source != nullptr, "null backend source");
+  routes_[relation] = source;
+}
+
+std::vector<Tuple> CompositeSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  auto it = routes_.find(relation);
+  UCQN_CHECK_MSG(it != routes_.end(), "no route for relation");
+  return it->second->Fetch(relation, pattern, inputs);
+}
+
+}  // namespace ucqn

@@ -1,0 +1,103 @@
+#ifndef UCQN_EVAL_SOURCE_ADAPTERS_H_
+#define UCQN_EVAL_SOURCE_ADAPTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/source.h"
+
+namespace ucqn {
+
+// Memoizes identical source calls. Web-service operations are pure lookups
+// for the duration of a query, and both ANSWER* (two plans over the same
+// sources) and domain enumeration re-issue many identical calls; a cache
+// in front of the transport turns those into no-ops. The cache key is the
+// full call signature (relation, pattern, input values).
+class CachingSource : public Source {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  // Does not take ownership; `inner` must outlive the adapter.
+  explicit CachingSource(Source* inner) : inner_(inner) {}
+
+  std::vector<Tuple> Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  const CacheStats& cache_stats() const { return stats_; }
+  // Drops all cached results (e.g. when the underlying data may have
+  // changed between queries).
+  void Invalidate();
+
+ private:
+  Source* inner_;
+  std::unordered_map<std::string, std::vector<Tuple>> cache_;
+  CacheStats stats_;
+};
+
+// A Source over an in-memory Database that answers keyed calls through a
+// hash index instead of DatabaseSource's full scan: the first call for a
+// given (relation, pattern) builds a map from input-slot projections to
+// matching tuples, and every later call is a lookup. Semantics are
+// identical to DatabaseSource (asserted by the adapter tests); only the
+// access path differs — this is the "production" source the benches use
+// for large instances.
+class IndexedDatabaseSource : public Source {
+ public:
+  // Does not take ownership; `db` and `catalog` must outlive the source.
+  IndexedDatabaseSource(const Database* db, const Catalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  std::vector<Tuple> Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  const SourceStats& stats() const { return stats_; }
+  std::size_t index_count() const { return indexes_.size(); }
+
+ private:
+  struct Index {
+    // Keyed by the concatenated rendering of the input-slot values.
+    std::unordered_map<std::string, std::vector<Tuple>> buckets;
+  };
+
+  const Index& GetOrBuildIndex(const std::string& relation,
+                               const AccessPattern& pattern);
+
+  const Database* db_;
+  const Catalog* catalog_;
+  SourceStats stats_;
+  std::map<std::string, Index> indexes_;  // keyed by relation + "^" + word
+};
+
+// Routes each relation to its own backend — the mediator picture, where
+// every relation family lives at a different remote service. Fetching an
+// un-routed relation is a wiring bug and CHECK-fails.
+class CompositeSource : public Source {
+ public:
+  CompositeSource() = default;
+
+  // Does not take ownership; `source` must outlive the adapter.
+  void Route(const std::string& relation, Source* source);
+
+  bool HasRoute(const std::string& relation) const {
+    return routes_.count(relation) > 0;
+  }
+
+  std::vector<Tuple> Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+ private:
+  std::map<std::string, Source*> routes_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_SOURCE_ADAPTERS_H_

@@ -1,0 +1,77 @@
+#include "feasibility/answerable.h"
+
+#include <algorithm>
+
+namespace ucqn {
+
+AnswerablePart Answerable(const ConjunctiveQuery& q, const Catalog& catalog) {
+  AnswerablePart result;
+  if (q.IsUnsatisfiable()) {
+    // ans(Q) = false; there is nothing unanswerable about a query that
+    // returns no tuples.
+    return result;
+  }
+  const std::vector<Literal>& body = q.body();
+  std::vector<bool> taken(body.size(), false);
+  std::vector<Literal> ordered;
+  BoundVariables bound;
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (taken[i]) continue;
+      if (!CanExecuteNext(catalog, body[i], bound)) continue;
+      taken[i] = true;
+      ordered.push_back(body[i]);
+      BindVariables(body[i], &bound);
+      done = false;
+    }
+  }
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (!taken[i]) result.unanswerable.push_back(body[i]);
+  }
+  result.answerable = q.WithBody(std::move(ordered));
+  result.bound = std::move(bound);
+  return result;
+}
+
+UnionQuery Ans(const UnionQuery& q, const Catalog& catalog) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    AnswerablePart part = Answerable(disjunct, catalog);
+    if (!part.IsFalse()) out.AddDisjunct(std::move(*part.answerable));
+  }
+  return out;
+}
+
+bool IsLiteralAnswerable(const Literal& literal, const ConjunctiveQuery& q,
+                         const Catalog& catalog) {
+  // The bound set of ans(Q) is the closure of everything literals of Q can
+  // bind; "bound is easier" makes executability monotone in B, so L is
+  // Q-answerable iff it can execute against that closure. Unsatisfiable Q
+  // contributes ans(Q) = false, which binds nothing.
+  AnswerablePart part = Answerable(q, catalog);
+  return CanExecuteNext(catalog, literal, part.bound);
+}
+
+bool IsOrderable(const ConjunctiveQuery& q, const Catalog& catalog) {
+  if (q.IsUnsatisfiable()) return true;  // equivalent to executable `false`
+  if (q.IsTrueQuery()) return false;     // `true` is not executable
+  AnswerablePart part = Answerable(q, catalog);
+  if (!part.unanswerable.empty()) return false;
+  // All literals answerable; the reordering is executable provided it is
+  // safe (head variables bound).
+  for (const Term& v : q.AllVariables()) {
+    if (part.bound.count(v.name()) == 0) return false;
+  }
+  return true;
+}
+
+bool IsOrderable(const UnionQuery& q, const Catalog& catalog) {
+  return std::all_of(q.disjuncts().begin(), q.disjuncts().end(),
+                     [&](const ConjunctiveQuery& disjunct) {
+                       return IsOrderable(disjunct, catalog);
+                     });
+}
+
+}  // namespace ucqn

@@ -1,0 +1,54 @@
+#ifndef UCQN_FEASIBILITY_ANSWERABLE_H_
+#define UCQN_FEASIBILITY_ANSWERABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "ast/query.h"
+#include "schema/adornment.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Result of algorithm ANSWERABLE (Fig. 1) on one CQ¬ disjunct.
+struct AnswerablePart {
+  // ans(Q): the answerable literals of Q in the (executable) order chosen
+  // by the algorithm. nullopt encodes the paper's `false` — Q was
+  // unsatisfiable. When present, the query is executable whenever it is
+  // safe (i.e. whenever the head variables all appear in it).
+  std::optional<ConjunctiveQuery> answerable;
+  // U = Q \ ans(Q): the unanswerable literals, in body order. Empty iff Q
+  // is orderable (Proposition 1) or unsatisfiable.
+  std::vector<Literal> unanswerable;
+  // The variables bound by the answerable part (the final set B).
+  BoundVariables bound;
+
+  bool IsFalse() const { return !answerable.has_value(); }
+};
+
+// Algorithm ANSWERABLE (Fig. 1): computes ans(Q) for Q ∈ CQ¬ in quadratic
+// time (Proposition 2). If Q is unsatisfiable, returns `false`
+// (answerable == nullopt). Otherwise repeatedly adds any literal L with
+// vars(L) ⊆ B, or positive L with invars(L) ⊆ B for some access pattern,
+// binding its variables, until a fixpoint.
+AnswerablePart Answerable(const ConjunctiveQuery& q, const Catalog& catalog);
+
+// ans(Q) for unions (Definition 7): the union of the per-disjunct
+// answerable parts, with `false` parts dropped.
+UnionQuery Ans(const UnionQuery& q, const Catalog& catalog);
+
+// Definition 6: literal L (not necessarily in Q) is Q-answerable iff some
+// executable query can be assembled from L plus literals of Q — equivalently
+// L can execute once ans(Q) has bound everything Q can bind.
+bool IsLiteralAnswerable(const Literal& literal, const ConjunctiveQuery& q,
+                         const Catalog& catalog);
+
+// Proposition 1: Q is orderable iff every literal of Q is Q-answerable,
+// i.e. the unanswerable part is empty. Unsatisfiable queries are orderable
+// (ans(Q) = false is executable). Quadratic time (Corollary 3).
+bool IsOrderable(const ConjunctiveQuery& q, const Catalog& catalog);
+bool IsOrderable(const UnionQuery& q, const Catalog& catalog);
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_ANSWERABLE_H_

@@ -1,0 +1,158 @@
+#include "feasibility/compile.h"
+
+#include "feasibility/answerable.h"
+#include "schema/adornment.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+std::string CompiledRule::ToString() const {
+  return AdornedToString(rule, adornments);
+}
+
+std::string UnanswerableDiagnosis::ToString() const {
+  std::string out = "disjunct " + std::to_string(disjunct_index) +
+                    ": unanswerable " + literal.ToString();
+  if (!blocked_variables.empty()) {
+    std::vector<std::string> names;
+    names.reserve(blocked_variables.size());
+    for (const Term& v : blocked_variables) names.push_back(v.ToString());
+    out += " (cannot bind " + StrJoin(names, ", ") + ")";
+  }
+  if (suggested_pattern.has_value()) {
+    out += "; pattern " + literal.relation() + "^" +
+           suggested_pattern->word() + " would unblock it";
+  } else if (literal.negative()) {
+    out += "; a negated call can only filter — its variables must be bound "
+           "by positive literals";
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<CompiledRule> AdornPlan(const UnionQuery& plan,
+                                    const Catalog& catalog) {
+  std::vector<CompiledRule> rules;
+  rules.reserve(plan.size());
+  for (const ConjunctiveQuery& rule : plan.disjuncts()) {
+    std::optional<std::vector<AccessPattern>> adornments =
+        ComputeAdornments(rule, catalog);
+    // PLAN* output is executable by construction, except for the
+    // empty-body "benefit of the doubt" rows, which carry no adornments.
+    if (!adornments.has_value()) {
+      UCQN_CHECK_MSG(rule.IsTrueQuery(),
+                     "PLAN* produced a non-executable non-trivial rule");
+      adornments.emplace();
+    }
+    rules.push_back(CompiledRule{rule, std::move(*adornments)});
+  }
+  return rules;
+}
+
+UnanswerableDiagnosis Diagnose(std::size_t disjunct_index,
+                               const Literal& literal,
+                               const BoundVariables& closure,
+                               const Catalog& catalog) {
+  UnanswerableDiagnosis diag;
+  diag.disjunct_index = disjunct_index;
+  diag.literal = literal;
+  for (const Term& v : literal.Variables()) {
+    if (closure.count(v.name()) == 0) diag.blocked_variables.push_back(v);
+  }
+  if (literal.positive() && catalog.Find(literal.relation()) != nullptr) {
+    // The pattern with 'i' exactly on the slots the rest of the disjunct
+    // can supply: the weakest capability that would unblock this literal.
+    std::string word;
+    const std::vector<Term>& args = literal.args();
+    for (const Term& arg : args) {
+      const bool bindable =
+          arg.IsGround() || closure.count(arg.name()) > 0;
+      word += bindable ? 'i' : 'o';
+    }
+    diag.suggested_pattern = AccessPattern::MustParse(word);
+  }
+  return diag;
+}
+
+}  // namespace
+
+CompileResult Compile(const UnionQuery& q, const Catalog& catalog,
+                      const CompileOptions& options) {
+  CompileResult result;
+  result.analyzed_query = q;
+  if (options.constraints != nullptr) {
+    result.analyzed_query =
+        PruneWithConstraints(result.analyzed_query, *options.constraints);
+    if (options.chase) {
+      result.analyzed_query =
+          ChaseQuery(result.analyzed_query, *options.constraints);
+    }
+  }
+  result.pruned_disjuncts = q.size() - result.analyzed_query.size();
+
+  FeasibleResult feasible =
+      Feasible(result.analyzed_query, catalog, options.containment);
+  result.feasible = feasible.feasible;
+  result.path = feasible.path;
+  result.containment_stats = feasible.containment_stats;
+  result.under = AdornPlan(feasible.plans.under, catalog);
+  result.over = AdornPlan(feasible.plans.over, catalog);
+
+  if (result.feasible && result.path == FeasibleDecisionPath::kContainment) {
+    for (const ConjunctiveQuery& disjunct :
+         feasible.plans.over.disjuncts()) {
+      std::optional<ContainmentWitness> witness = ContainedWithWitness(
+          disjunct, result.analyzed_query, nullptr, options.containment);
+      UCQN_CHECK_MSG(witness.has_value(),
+                     "containment verdict without a witness");
+      result.witnesses.push_back(std::move(*witness));
+    }
+  }
+
+  for (std::size_t i = 0; i < feasible.plans.disjuncts.size(); ++i) {
+    const DisjunctPlan& plan = feasible.plans.disjuncts[i];
+    if (plan.unanswerable.empty()) continue;
+    // The closure of bindable variables for this disjunct.
+    AnswerablePart part = Answerable(plan.original, catalog);
+    for (const Literal& literal : plan.unanswerable) {
+      result.diagnostics.push_back(Diagnose(i, literal, part.bound, catalog));
+    }
+  }
+  return result;
+}
+
+std::string CompileResult::Report() const {
+  std::string out;
+  out += "feasible: ";
+  out += feasible ? "yes" : "no";
+  out += " (decided by " + ucqn::ToString(path) + ")\n";
+  if (pruned_disjuncts > 0) {
+    out += std::to_string(pruned_disjuncts) +
+           " disjunct(s) pruned by integrity constraints\n";
+  }
+  out += "# underestimate plan Q^u\n";
+  if (under.empty()) out += "false.\n";
+  for (const CompiledRule& rule : under) out += rule.ToString() + "\n";
+  out += "# overestimate plan Q^o";
+  out += feasible ? " (equivalent executable rewriting)\n" : "\n";
+  if (over.empty()) out += "false.\n";
+  for (const CompiledRule& rule : over) out += rule.ToString() + "\n";
+  if (!diagnostics.empty()) {
+    out += "# unanswerable literals\n";
+    for (const UnanswerableDiagnosis& diag : diagnostics) {
+      out += diag.ToString() + "\n";
+    }
+  }
+  if (!witnesses.empty()) {
+    out += "# containment witnesses (ans(Q) ⊑ Q)\n";
+    for (std::size_t i = 0; i < witnesses.size(); ++i) {
+      out += "rewriting rule " + std::to_string(i) + ":\n" +
+             witnesses[i].ToString(1) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,91 @@
+#ifndef UCQN_FEASIBILITY_COMPILE_H_
+#define UCQN_FEASIBILITY_COMPILE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "constraints/inclusion.h"
+#include "feasibility/feasible.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// One executable rule with its chosen adornments — what a mediator ships
+// to its execution engine.
+struct CompiledRule {
+  ConjunctiveQuery rule;
+  std::vector<AccessPattern> adornments;
+
+  // Renders the adorned form, e.g. `Q(i,a,t) :- C^oo(i,a), B^ioo(i,a,t).`
+  std::string ToString() const;
+};
+
+// Why a literal of some disjunct is unanswerable — the "view debugging"
+// payload (Section 4.1): which variables can never be bound, and which
+// access pattern, if the source offered it, would unblock the literal.
+struct UnanswerableDiagnosis {
+  // The disjunct (original body order) the literal belongs to.
+  std::size_t disjunct_index = 0;
+  Literal literal;
+  // Variables of the literal that no orderable prefix can bind.
+  std::vector<Term> blocked_variables;
+  // For positive literals: a pattern that would make the literal
+  // answerable given everything the rest of the disjunct can bind ('i'
+  // exactly on slots already bindable). nullopt for negative literals —
+  // no pattern can make a negated call produce bindings.
+  std::optional<AccessPattern> suggested_pattern;
+
+  std::string ToString() const;
+};
+
+struct CompileOptions {
+  ContainmentOptions containment;
+  // Optional integrity constraints driving two semantic optimizations,
+  // both equivalence-preserving on constraint-satisfying instances:
+  //   1. disjuncts refuted under the constraints are pruned (Example 6),
+  //   2. each surviving disjunct is chased — implied atoms are added to
+  //      the body, which can bind otherwise-unreachable variables and
+  //      turn infeasible queries feasible (see constraints/inclusion.h).
+  const ConstraintSet* constraints = nullptr;
+  // Disables optimization 2 while keeping the pruning (for the ablation
+  // in bench_constraints and for callers that want plans textually close
+  // to the original query).
+  bool chase = true;
+};
+
+// The full compile-time story for one query: feasibility verdict with the
+// decision path, both PLAN* plans in executable (adorned) form, and a
+// diagnosis of every unanswerable literal.
+struct CompileResult {
+  bool feasible = false;
+  FeasibleDecisionPath path = FeasibleDecisionPath::kPlansEqual;
+  // The query actually analyzed (after constraint pruning, if any).
+  UnionQuery analyzed_query;
+  // Adorned executable forms of Q^u and Q^o. When feasible, `over` IS the
+  // equivalent executable rewriting (Theorem 16: ans(Q) is the minimal
+  // feasible query containing Q).
+  std::vector<CompiledRule> under;
+  std::vector<CompiledRule> over;
+  std::vector<UnanswerableDiagnosis> diagnostics;
+  ContainmentStats containment_stats;
+  // Number of disjuncts removed by constraint pruning.
+  std::size_t pruned_disjuncts = 0;
+  // When feasibility was decided by the containment step, one Theorem 13
+  // witness per overestimate disjunct certifying ans(Q) ⊑ Q — the
+  // machine-checkable "why" behind a containment-path verdict.
+  std::vector<ContainmentWitness> witnesses;
+
+  // A human-readable report of everything above.
+  std::string Report() const;
+};
+
+// Compiles `q` against `catalog`: constraint pruning, PLAN*, feasibility,
+// adornment of both plans, and unanswerability diagnostics.
+CompileResult Compile(const UnionQuery& q, const Catalog& catalog,
+                      const CompileOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_COMPILE_H_

@@ -1,0 +1,51 @@
+#include "feasibility/feasible.h"
+
+namespace ucqn {
+
+std::string ToString(FeasibleDecisionPath path) {
+  switch (path) {
+    case FeasibleDecisionPath::kPlansEqual:
+      return "plans-equal";
+    case FeasibleDecisionPath::kNullInOverestimate:
+      return "null-in-overestimate";
+    case FeasibleDecisionPath::kContainment:
+      return "containment";
+  }
+  return "unknown";
+}
+
+FeasibleResult Feasible(const UnionQuery& q, const Catalog& catalog,
+                        const ContainmentOptions& options) {
+  FeasibleResult result;
+  result.plans = PlanStar(q, catalog);
+  if (result.plans.PlansEqual()) {
+    result.feasible = true;
+    result.path = FeasibleDecisionPath::kPlansEqual;
+    return result;
+  }
+  if (result.plans.over.ContainsNull()) {
+    // Some head variable occurs only in an unanswerable part, so ans(Q) is
+    // unsafe and no executable equivalent exists.
+    result.feasible = false;
+    result.path = FeasibleDecisionPath::kNullInOverestimate;
+    return result;
+  }
+  // Q ⊑ Q^o always holds (Proposition 4); Q is feasible iff Q^o ⊑ Q
+  // (Corollary 17, with Q^o = ans(Q) minus unsatisfiable disjuncts).
+  result.path = FeasibleDecisionPath::kContainment;
+  result.feasible =
+      Contained(result.plans.over, q, &result.containment_stats, options);
+  return result;
+}
+
+FeasibleResult Feasible(const ConjunctiveQuery& q, const Catalog& catalog,
+                        const ContainmentOptions& options) {
+  return Feasible(UnionQuery(q), catalog, options);
+}
+
+bool IsFeasible(const UnionQuery& q, const Catalog& catalog,
+                const ContainmentOptions& options) {
+  return Feasible(q, catalog, options).feasible;
+}
+
+}  // namespace ucqn

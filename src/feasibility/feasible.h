@@ -1,0 +1,51 @@
+#ifndef UCQN_FEASIBILITY_FEASIBLE_H_
+#define UCQN_FEASIBILITY_FEASIBLE_H_
+
+#include <string>
+
+#include "ast/query.h"
+#include "containment/ucqn_containment.h"
+#include "feasibility/plan_star.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// How algorithm FEASIBLE (Fig. 3) reached its verdict. The first two paths
+// are quadratic-time; only the last one pays the Π₂ᴾ containment price.
+enum class FeasibleDecisionPath {
+  kPlansEqual,         // Q^u = Q^o: orderable, hence feasible
+  kNullInOverestimate, // Q^o carries null: ans(Q) unsafe, hence infeasible
+  kContainment,        // decided by the ans(Q) ⊑ Q check (Corollary 17)
+};
+
+// Converts the decision path to a short label for reports.
+std::string ToString(FeasibleDecisionPath path);
+
+struct FeasibleResult {
+  bool feasible = false;
+  FeasibleDecisionPath path = FeasibleDecisionPath::kPlansEqual;
+  // The PLAN* output; plans.over is the minimal feasible query containing Q
+  // (Theorem 16), so it doubles as the executable rewriting when feasible.
+  PlanStarResult plans;
+  // Populated only when the containment path ran.
+  ContainmentStats containment_stats;
+};
+
+// Algorithm FEASIBLE (Fig. 3) for UCQ¬: runs PLAN*, short-circuits on
+// Q^u = Q^o (feasible) or nulls in Q^o (infeasible), and otherwise decides
+// by the containment test ans(Q) = Q^o ⊑ Q, which is exact by Theorem 16 /
+// Corollary 17. Optimal for each of CQ, UCQ, CQ¬, UCQ¬ (Section 5).
+FeasibleResult Feasible(const UnionQuery& q, const Catalog& catalog,
+                        const ContainmentOptions& options = {});
+
+// Convenience wrapper for a single CQ¬ rule.
+FeasibleResult Feasible(const ConjunctiveQuery& q, const Catalog& catalog,
+                        const ContainmentOptions& options = {});
+
+// True iff `q` is feasible; discards the diagnostics.
+bool IsFeasible(const UnionQuery& q, const Catalog& catalog,
+                const ContainmentOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_FEASIBLE_H_

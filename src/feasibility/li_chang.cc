@@ -1,0 +1,54 @@
+#include "feasibility/li_chang.h"
+
+#include "containment/cq_containment.h"
+#include "containment/minimize.h"
+#include "feasibility/answerable.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+bool CqStable(const ConjunctiveQuery& q, const Catalog& catalog,
+              HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!q.HasNegation(), "CqStable applies to CQ only");
+  ConjunctiveQuery minimal = MinimizeCq(q, stats);
+  return IsOrderable(minimal, catalog);
+}
+
+bool CqStableStar(const ConjunctiveQuery& q, const Catalog& catalog,
+                  HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!q.HasNegation(), "CqStableStar applies to CQ only");
+  AnswerablePart part = Answerable(q, catalog);
+  // A CQ (no negation) is always satisfiable.
+  const ConjunctiveQuery& ans = *part.answerable;
+  if (!ans.IsSafe()) return false;  // some variable of Q is not answerable
+  if (part.unanswerable.empty()) {
+    // ans(Q) is Q reordered: feasible without any containment test, but the
+    // head variables must all be bound (safety).
+    return true;
+  }
+  return CqContained(ans, q, stats);
+}
+
+bool UcqStable(const UnionQuery& q, const Catalog& catalog,
+               HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!q.HasNegation(), "UcqStable applies to UCQ only");
+  UnionQuery minimal = MinimizeUcq(q, stats);
+  for (const ConjunctiveQuery& disjunct : minimal.disjuncts()) {
+    if (!CqStable(disjunct, catalog, stats)) return false;
+  }
+  return true;
+}
+
+bool UcqStableStar(const UnionQuery& q, const Catalog& catalog,
+                   HomomorphismStats* stats) {
+  UCQN_CHECK_MSG(!q.HasNegation(), "UcqStableStar applies to UCQ only");
+  UnionQuery feasible_part;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    if (CqStableStar(disjunct, catalog, stats)) {
+      feasible_part.AddDisjunct(disjunct);
+    }
+  }
+  return UcqContained(q, feasible_part, stats);
+}
+
+}  // namespace ucqn

@@ -1,0 +1,40 @@
+#ifndef UCQN_FEASIBILITY_LI_CHANG_H_
+#define UCQN_FEASIBILITY_LI_CHANG_H_
+
+#include "ast/query.h"
+#include "containment/homomorphism.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// The four feasibility ("stability") algorithms of Li and Chang [LC01],
+// reviewed in Sections 5.3/5.4 of the paper. They apply to negation-free
+// queries only (CHECK-enforced) and serve as baselines: on CQ/UCQ inputs
+// they must agree with the uniform FEASIBLE algorithm, which the tests and
+// bench_baselines verify.
+
+// CQstable: minimize Q to M ≡ Q, then check that M is orderable
+// (ans(M) = M). Example 9.
+bool CqStable(const ConjunctiveQuery& q, const Catalog& catalog,
+              HomomorphismStats* stats = nullptr);
+
+// CQstable*: compute ans(Q) and check ans(Q) ⊑ Q (plus safety of ans(Q)).
+// Identical to FEASIBLE restricted to CQ; may skip the containment test
+// when ans(Q) = Q.
+bool CqStableStar(const ConjunctiveQuery& q, const Catalog& catalog,
+                  HomomorphismStats* stats = nullptr);
+
+// UCQstable: union-minimize Q to M ≡ Q, then require every disjunct of M
+// feasible (via CQstable). Example 10.
+bool UcqStable(const UnionQuery& q, const Catalog& catalog,
+               HomomorphismStats* stats = nullptr);
+
+// UCQstable*: let P be the union of the feasible disjuncts of Q (each
+// tested via CQstable*); then Q is feasible iff Q ⊑ P (P ⊑ Q holds by
+// construction). Example 10.
+bool UcqStableStar(const UnionQuery& q, const Catalog& catalog,
+                   HomomorphismStats* stats = nullptr);
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_LI_CHANG_H_

@@ -1,0 +1,61 @@
+#include "feasibility/plan_star.h"
+
+#include "util/strings.h"
+
+namespace ucqn {
+
+namespace {
+
+// Replaces head variables that do not occur in the answerable body with
+// null — the overestimate cannot return a value for them (Example 4).
+ConjunctiveQuery NullPadHead(const ConjunctiveQuery& answerable) {
+  BoundVariables in_body;
+  for (const Literal& l : answerable.body()) BindVariables(l, &in_body);
+  std::vector<Term> head = answerable.head_terms();
+  for (Term& t : head) {
+    if (t.IsVariable() && in_body.count(t.name()) == 0) t = Term::Null();
+  }
+  return ConjunctiveQuery(answerable.head_name(), std::move(head),
+                          answerable.body());
+}
+
+}  // namespace
+
+PlanStarResult PlanStar(const UnionQuery& q, const Catalog& catalog) {
+  PlanStarResult result;
+  for (const ConjunctiveQuery& qi : q.disjuncts()) {
+    DisjunctPlan plan;
+    plan.original = qi;
+    AnswerablePart part = Answerable(qi, catalog);
+    plan.unanswerable = part.unanswerable;
+    if (part.IsFalse()) {
+      // Unsatisfiable disjunct: contributes nothing to either plan.
+      result.disjuncts.push_back(std::move(plan));
+      continue;
+    }
+    plan.answerable = part.answerable;
+    if (plan.unanswerable.empty()) {
+      // Fully answerable: the reordered disjunct is exact.
+      plan.under = part.answerable;
+      plan.over = part.answerable;
+      result.under.AddDisjunct(*plan.under);
+      result.over.AddDisjunct(*plan.over);
+    } else {
+      // Unanswerable remainder: dismiss from Q^u, null-pad into Q^o.
+      plan.over = NullPadHead(*part.answerable);
+      result.over.AddDisjunct(*plan.over);
+    }
+    result.disjuncts.push_back(std::move(plan));
+  }
+  return result;
+}
+
+std::string PlanStarResult::ToString() const {
+  std::string out = "# underestimate Q^u\n";
+  out += under.ToString();
+  out += "\n# overestimate Q^o\n";
+  out += over.ToString();
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,53 @@
+#ifndef UCQN_FEASIBILITY_PLAN_STAR_H_
+#define UCQN_FEASIBILITY_PLAN_STAR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "feasibility/answerable.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Per-disjunct output of algorithm PLAN* (Fig. 2).
+struct DisjunctPlan {
+  // The original disjunct Qᵢ.
+  ConjunctiveQuery original;
+  // Aᵢ = ans(Qᵢ) and Uᵢ = Qᵢ \ Aᵢ; answerable is nullopt when Qᵢ is
+  // unsatisfiable (ans = false).
+  std::optional<ConjunctiveQuery> answerable;
+  std::vector<Literal> unanswerable;
+  // Qᵢᵘ: Aᵢ when Uᵢ is empty, otherwise nullopt — the disjunct is dismissed
+  // from the underestimate ("Qᵢᵘ ⟵ false").
+  std::optional<ConjunctiveQuery> under;
+  // Qᵢᵒ: Aᵢ with head variables that do not occur in Aᵢ replaced by null
+  // ("benefit of the doubt" for Uᵢ); nullopt only when Qᵢ is unsatisfiable.
+  std::optional<ConjunctiveQuery> over;
+};
+
+// Output of PLAN*: the underestimate and overestimate plans, plus the
+// per-disjunct detail the runtime algorithms need.
+struct PlanStarResult {
+  UnionQuery under;  // Q^u, executable; Q^u ⊑ Q always
+  UnionQuery over;   // Q^o; Q ⊑ Q^o modulo null-padded columns
+  std::vector<DisjunctPlan> disjuncts;
+
+  // If the two plans coincide, Q is orderable and hence feasible — the
+  // cheap compile-time certificate FEASIBLE checks first.
+  bool PlansEqual() const { return under == over; }
+
+  // Human-readable dump of both plans, for diagnostics and examples.
+  std::string ToString() const;
+};
+
+// Algorithm PLAN* (Fig. 2): computes executable under-/over-estimate plans
+// for a UCQ¬ query in quadratic time. For every disjunct, the answerable
+// part becomes the plan body; disjuncts with unanswerable literals are
+// dropped from Q^u and null-padded in Q^o.
+PlanStarResult PlanStar(const UnionQuery& q, const Catalog& catalog);
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_PLAN_STAR_H_

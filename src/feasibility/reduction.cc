@@ -1,0 +1,161 @@
+#include "feasibility/reduction.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+// Returns a relation name based on `stem` that is not in `used`.
+std::string FreshRelationName(const std::set<std::string>& used,
+                              const std::string& stem) {
+  if (used.count(stem) == 0) return stem;
+  int suffix = 0;
+  while (true) {
+    std::string candidate = stem + std::to_string(suffix++);
+    if (used.count(candidate) == 0) return candidate;
+  }
+}
+
+// Returns a variable name not used by any query in scope, based on `stem`.
+std::string FreshVariableName(const std::set<std::string>& used,
+                              const std::string& stem) {
+  if (used.count(stem) == 0) return stem;
+  int suffix = 0;
+  while (true) {
+    std::string candidate = stem + std::to_string(suffix++);
+    if (used.count(candidate) == 0) return candidate;
+  }
+}
+
+std::set<std::string> VariableNames(const ConjunctiveQuery& q) {
+  std::set<std::string> names;
+  for (const Term& t : q.AllVariables()) names.insert(t.name());
+  return names;
+}
+
+void DeclareQueryRelations(const ConjunctiveQuery& q, Catalog* catalog) {
+  for (const Literal& l : q.body()) {
+    RelationSchema& schema =
+        catalog->AddRelation(l.relation(), l.atom().arity());
+    schema.AddPattern(AccessPattern::AllOutput(l.atom().arity()));
+  }
+}
+
+}  // namespace
+
+FeasibilityInstance ReduceContainmentToFeasibility(const UnionQuery& P,
+                                                   const UnionQuery& Q) {
+  UCQN_CHECK_MSG(!P.IsFalseQuery(),
+                 "reduction requires a non-empty left-hand side");
+  UCQN_CHECK_MSG(Q.IsFalseQuery() || Q.head_arity() == P.head_arity(),
+                 "containment requires equal head arities");
+
+  std::set<std::string> relations = P.RelationNames();
+  std::set<std::string> q_relations = Q.RelationNames();
+  relations.insert(q_relations.begin(), q_relations.end());
+  const std::string b_name = FreshRelationName(relations, "B_");
+
+  std::set<std::string> variables;
+  for (const ConjunctiveQuery& d : P.disjuncts()) {
+    std::set<std::string> names = VariableNames(d);
+    variables.insert(names.begin(), names.end());
+  }
+  for (const ConjunctiveQuery& d : Q.disjuncts()) {
+    std::set<std::string> names = VariableNames(d);
+    variables.insert(names.begin(), names.end());
+  }
+  const Term y = Term::Variable(FreshVariableName(variables, "y_"));
+
+  FeasibilityInstance instance;
+  const std::string& head_name = P.head_name();
+
+  // P' := P₁,B(y) ∨ ... ∨ Pₖ,B(y) — strictly contained in P, not feasible
+  // because Bⁱ can never be called (y is never bound).
+  for (const ConjunctiveQuery& d : P.disjuncts()) {
+    ConjunctiveQuery primed =
+        d.WithExtraLiteral(Literal::Positive(Atom(b_name, {y})));
+    instance.query.AddDisjunct(std::move(primed));
+    DeclareQueryRelations(d, &instance.catalog);
+  }
+  // ∨ Q, with Q's head renamed to match P's.
+  for (const ConjunctiveQuery& d : Q.disjuncts()) {
+    instance.query.AddDisjunct(
+        ConjunctiveQuery(head_name, d.head_terms(), d.body()));
+    DeclareQueryRelations(d, &instance.catalog);
+  }
+
+  instance.catalog.AddRelation(b_name, 1).AddPattern(AccessPattern::AllInput(1));
+  return instance;
+}
+
+FeasibilityInstance ReduceCqnContainmentToFeasibility(
+    const ConjunctiveQuery& P, const ConjunctiveQuery& Q) {
+  UCQN_CHECK_MSG(P.head_arity() == Q.head_arity(),
+                 "containment requires equal head arities");
+
+  // Rename Q apart from P, then identify Q's head with P's head
+  // positionally (the containment mapping is the identity on free
+  // variables, which positional heads encode).
+  ConjunctiveQuery q_renamed = Q.RenameVariables("_q");
+  Substitution align;
+  for (std::size_t i = 0; i < q_renamed.head_terms().size(); ++i) {
+    const Term& qt = q_renamed.head_terms()[i];
+    const Term& pt = P.head_terms()[i];
+    if (qt.IsVariable()) {
+      UCQN_CHECK_MSG(align.Bind(qt, pt),
+                     "repeated head variables must align consistently");
+    } else {
+      UCQN_CHECK_MSG(qt == pt, "constant heads must agree for containment");
+    }
+  }
+  q_renamed = q_renamed.Substitute(align);
+
+  std::set<std::string> relations = P.RelationNames();
+  std::set<std::string> q_rel = Q.RelationNames();
+  relations.insert(q_rel.begin(), q_rel.end());
+  const std::string t_name = FreshRelationName(relations, "T_");
+
+  std::set<std::string> variables = VariableNames(P);
+  std::set<std::string> q_vars = VariableNames(q_renamed);
+  variables.insert(q_vars.begin(), q_vars.end());
+  const Term u = Term::Variable(FreshVariableName(variables, "u_"));
+  variables.insert(u.name());
+  const Term v = Term::Variable(FreshVariableName(variables, "v_"));
+
+  // Prime each relation R to R' with an extra leading "session" argument
+  // and the access pattern io...o; the primed name is a function of the
+  // relation name, shared between P-literals and Q-literals.
+  FeasibilityInstance instance;
+  auto prime = [&relations](const std::string& name) {
+    return FreshRelationName(relations, name + "_p");
+  };
+
+  std::vector<Literal> body;
+  body.push_back(Literal::Positive(Atom(t_name, {u})));
+  auto add_primed = [&](const Literal& l, const Term& session) {
+    std::vector<Term> args;
+    args.reserve(l.args().size() + 1);
+    args.push_back(session);
+    for (const Term& t : l.args()) args.push_back(t);
+    std::string primed_name = prime(l.relation());
+    body.push_back(Literal(Atom(primed_name, std::move(args)), l.positive()));
+    RelationSchema& schema =
+        instance.catalog.AddRelation(primed_name, l.args().size() + 1);
+    std::string word = "i" + std::string(l.args().size(), 'o');
+    schema.AddPattern(AccessPattern::MustParse(word));
+  };
+  for (const Literal& l : P.body()) add_primed(l, u);
+  for (const Literal& l : q_renamed.body()) add_primed(l, v);
+
+  instance.catalog.AddRelation(t_name, 1).AddPattern(
+      AccessPattern::AllOutput(1));
+
+  instance.query.AddDisjunct(
+      ConjunctiveQuery("L_", P.head_terms(), std::move(body)));
+  return instance;
+}
+
+}  // namespace ucqn

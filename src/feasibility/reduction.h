@@ -1,0 +1,49 @@
+#ifndef UCQN_FEASIBILITY_REDUCTION_H_
+#define UCQN_FEASIBILITY_REDUCTION_H_
+
+#include <string>
+
+#include "ast/query.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// A feasibility instance produced by one of the Section 5 reductions: a
+// query together with the catalog of access patterns it must be planned
+// against.
+struct FeasibilityInstance {
+  UnionQuery query;
+  Catalog catalog;
+};
+
+// Theorem 18 reduction CONT(UCQ¬) ≤ₘᴾ FEASIBLE(UCQ¬): builds
+//
+//   Q' :=  P₁,B(y) ∨ ... ∨ Pₖ,B(y)  ∨  Q
+//
+// where y is a fresh variable and B a fresh relation with access pattern
+// Bⁱ, and every relation of P or Q gets the all-output pattern. Then
+// ans(Q') ≡ P ∨ Q, and Q' is feasible iff P ⊑ Q.
+//
+// P and Q must have the same head arity (they are being compared for
+// containment); the construction renames Q's head to P's so the union is
+// well-formed. P must be non-empty (a containment with `false` on the left
+// is trivially true and needs no reduction).
+FeasibilityInstance ReduceContainmentToFeasibility(const UnionQuery& P,
+                                                   const UnionQuery& Q);
+
+// Proposition 20 reduction CONT(CQ¬) ≤ₘᴾ FEASIBLE(CQ¬): builds the single
+// rule
+//
+//   L(x̄) := T(u), R̂'₁(u,x̄₁), ..., R̂'ₖ(u,x̄ₖ), Ŝ'₁(v,ȳ₁), ..., Ŝ'ₗ(v,ȳₗ)
+//
+// with fresh variables u, v, fresh relation T with pattern Tᵒ, and primed
+// relations R' of arity 1+arity(R) with pattern R'^{io...o}. Then ans(L) is
+// the T,R' part, and L is feasible iff P ⊑ Q. Q's variables are renamed so
+// its head coincides with P's head and its existentials are disjoint from
+// P's variables.
+FeasibilityInstance ReduceCqnContainmentToFeasibility(
+    const ConjunctiveQuery& P, const ConjunctiveQuery& Q);
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_REDUCTION_H_

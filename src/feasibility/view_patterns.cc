@@ -1,0 +1,111 @@
+#include "feasibility/view_patterns.h"
+
+#include <algorithm>
+
+#include "ast/substitution.h"
+#include "feasibility/feasible.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+// Binds the 'i'-marked head variables of one disjunct to shared parameter
+// constants (@p0, @p1, ...). The first occurrence of a repeated head
+// variable wins — the caller supplies one value per variable.
+ConjunctiveQuery BindHeadParameters(const ConjunctiveQuery& disjunct,
+                                    const AccessPattern& head_pattern) {
+  Substitution params;
+  const std::vector<Term>& head = disjunct.head_terms();
+  for (std::size_t j = 0; j < head.size(); ++j) {
+    if (!head_pattern.IsInputSlot(j)) continue;
+    const Term& t = head[j];
+    if (!t.IsVariable() || params.IsBound(t)) continue;
+    params.Bind(t, Term::Constant("@p" + std::to_string(j)));
+  }
+  return disjunct.Substitute(params);
+}
+
+// True iff inputs(a) ⊆ inputs(b), i.e. b binds at least everything a does.
+bool InputsSubset(const AccessPattern& a, const AccessPattern& b) {
+  for (std::size_t j = 0; j < a.arity(); ++j) {
+    if (a.IsInputSlot(j) && !b.IsInputSlot(j)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FeasibleWithHeadPattern(const UnionQuery& q, const Catalog& catalog,
+                             const AccessPattern& head_pattern,
+                             const ContainmentOptions& options) {
+  if (q.IsFalseQuery()) return true;
+  UCQN_CHECK_MSG(head_pattern.arity() == q.head_arity(),
+                 "head pattern arity must match the view head");
+  UnionQuery parameterized;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    parameterized.AddDisjunct(BindHeadParameters(disjunct, head_pattern));
+  }
+  return IsFeasible(parameterized, catalog, options);
+}
+
+std::vector<AccessPattern> SupportedHeadPatterns(
+    const UnionQuery& q, const Catalog& catalog,
+    const ContainmentOptions& options) {
+  if (q.IsFalseQuery()) return {};
+  const std::size_t arity = q.head_arity();
+  UCQN_CHECK_MSG(arity < 20, "head arity too large to enumerate adornments");
+
+  // Enumerate candidates by increasing input count so "bound is easier"
+  // monotonicity short-circuits the supersets of known-supported patterns.
+  std::vector<std::uint32_t> masks;
+  for (std::uint32_t mask = 0; mask < (1u << arity); ++mask) {
+    masks.push_back(mask);
+  }
+  std::stable_sort(masks.begin(), masks.end(),
+                   [](std::uint32_t a, std::uint32_t b) {
+                     return __builtin_popcount(a) < __builtin_popcount(b);
+                   });
+
+  std::vector<AccessPattern> supported;
+  for (std::uint32_t mask : masks) {
+    std::string word(arity, 'o');
+    for (std::size_t j = 0; j < arity; ++j) {
+      if (mask & (1u << j)) word[j] = 'i';
+    }
+    AccessPattern candidate = AccessPattern::MustParse(word);
+    bool implied = false;
+    for (const AccessPattern& p : supported) {
+      if (InputsSubset(p, candidate)) {
+        implied = true;
+        break;
+      }
+    }
+    if (implied || FeasibleWithHeadPattern(q, catalog, candidate, options)) {
+      supported.push_back(std::move(candidate));
+    }
+  }
+  std::sort(supported.begin(), supported.end());
+  return supported;
+}
+
+std::vector<AccessPattern> MinimalSupportedHeadPatterns(
+    const UnionQuery& q, const Catalog& catalog,
+    const ContainmentOptions& options) {
+  std::vector<AccessPattern> supported =
+      SupportedHeadPatterns(q, catalog, options);
+  std::vector<AccessPattern> minimal;
+  for (const AccessPattern& p : supported) {
+    bool dominated = false;
+    for (const AccessPattern& other : supported) {
+      if (other != p && InputsSubset(other, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(p);
+  }
+  return minimal;
+}
+
+}  // namespace ucqn

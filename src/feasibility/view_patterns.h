@@ -1,0 +1,53 @@
+#ifndef UCQN_FEASIBILITY_VIEW_PATTERNS_H_
+#define UCQN_FEASIBILITY_VIEW_PATTERNS_H_
+
+#include <vector>
+
+#include "ast/query.h"
+#include "containment/ucqn_containment.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Derived access patterns for views: a mediator that exposes a UCQ¬ view
+// over limited sources must itself advertise access patterns. A head
+// adornment α is *supported* if the view, with the α-input head variables
+// treated as given (callers supply them, like input message parts of a
+// web-service operation), is feasible over the sources. The supported
+// patterns are exactly what the view can be registered with in a higher
+// catalog — this closes the loop of Section 1's "queries as declarative
+// specifications for web service composition".
+//
+// Binding a head variable is modeled by substituting a fresh constant for
+// it in every disjunct (a parameter), then running the ordinary
+// feasibility test; equivalently each input head variable seeds the bound
+// set B.
+
+// Returns true if `q` is feasible when the head positions marked 'i' in
+// `head_pattern` are supplied by the caller. Head positions holding
+// constants are unaffected by the adornment. `head_pattern` must have the
+// view's head arity.
+bool FeasibleWithHeadPattern(const UnionQuery& q, const Catalog& catalog,
+                             const AccessPattern& head_pattern,
+                             const ContainmentOptions& options = {});
+
+// All supported head adornments, in lexicographic order ('i' < 'o').
+// Monotonicity ("bound is easier") is exploited: once a pattern is
+// supported, every pattern with a superset of its input slots is supported
+// without another feasibility run. The all-output row, when present,
+// means the view is feasible outright. Exponential in the head arity by
+// nature (2^arity candidates); view heads are small in practice.
+std::vector<AccessPattern> SupportedHeadPatterns(
+    const UnionQuery& q, const Catalog& catalog,
+    const ContainmentOptions& options = {});
+
+// The minimal supported adornments (no supported pattern has strictly
+// fewer input slots at the same positions): the rows a mediator would
+// actually advertise, everything else following by "bound is easier".
+std::vector<AccessPattern> MinimalSupportedHeadPatterns(
+    const UnionQuery& q, const Catalog& catalog,
+    const ContainmentOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_FEASIBILITY_VIEW_PATTERNS_H_

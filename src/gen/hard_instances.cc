@@ -1,0 +1,70 @@
+#include "gen/hard_instances.h"
+
+#include "feasibility/reduction.h"
+
+namespace ucqn {
+
+namespace {
+
+Term X() { return Term::Variable("x"); }
+
+ConjunctiveQuery BaseP() {
+  return ConjunctiveQuery("Q", {X()},
+                          {Literal::Positive(Atom("R", {X()}))});
+}
+
+std::string N(int i) { return "N" + std::to_string(i); }
+
+}  // namespace
+
+ContainmentInstance SubsetExplosionInstance(int k, bool contained) {
+  ContainmentInstance instance;
+  instance.P = BaseP();
+  if (contained) {
+    // Q₀(x) :- R(x), N₁(x): true as soon as N₁ has been adjoined.
+    instance.Q.AddDisjunct(ConjunctiveQuery(
+        "Q", {X()},
+        {Literal::Positive(Atom("R", {X()})),
+         Literal::Positive(Atom(N(1), {X()}))}));
+  }
+  for (int i = 1; i <= k; ++i) {
+    instance.Q.AddDisjunct(ConjunctiveQuery(
+        "Q", {X()},
+        {Literal::Positive(Atom("R", {X()})),
+         Literal::Negative(Atom(N(i), {X()}))}));
+  }
+  instance.expected = contained;
+  return instance;
+}
+
+ContainmentInstance ChainInstance(int k, bool contained) {
+  ContainmentInstance instance;
+  instance.P = BaseP();
+  for (int i = 1; i <= k; ++i) {
+    std::vector<Literal> body = {Literal::Positive(Atom("R", {X()}))};
+    for (int j = 1; j < i; ++j) {
+      body.push_back(Literal::Positive(Atom(N(j), {X()})));
+    }
+    body.push_back(Literal::Negative(Atom(N(i), {X()})));
+    instance.Q.AddDisjunct(ConjunctiveQuery("Q", {X()}, std::move(body)));
+  }
+  if (contained) {
+    std::vector<Literal> body = {Literal::Positive(Atom("R", {X()}))};
+    for (int j = 1; j <= k; ++j) {
+      body.push_back(Literal::Positive(Atom(N(j), {X()})));
+    }
+    instance.Q.AddDisjunct(ConjunctiveQuery("Q", {X()}, std::move(body)));
+  }
+  instance.expected = contained;
+  return instance;
+}
+
+HardFeasibilityInstance HardFeasibility(int k, bool feasible) {
+  ContainmentInstance cont = SubsetExplosionInstance(k, feasible);
+  FeasibilityInstance reduced =
+      ReduceContainmentToFeasibility(UnionQuery(cont.P), cont.Q);
+  return {std::move(reduced.query), std::move(reduced.catalog),
+          cont.expected};
+}
+
+}  // namespace ucqn

@@ -1,0 +1,57 @@
+#ifndef UCQN_GEN_HARD_INSTANCES_H_
+#define UCQN_GEN_HARD_INSTANCES_H_
+
+#include "ast/query.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Families of instances that drive the Theorem 12/13 recursion into its
+// worst case, used by bench_containment / bench_feasible to exhibit the
+// Π₂ᴾ behaviour (Corollary 19).
+
+// A containment question P ⊑? Q with tunable difficulty.
+struct ContainmentInstance {
+  ConjunctiveQuery P;
+  UnionQuery Q;
+  bool expected;  // the ground-truth answer
+};
+
+// The "independent negations" family:
+//
+//   P(x)  :- R(x).
+//   Qᵢ(x) :- R(x), not Nᵢ(x).      (i = 1..k)
+//
+// P ⊑ Q is FALSE (an instance with R(a) and all Nᵢ(a) defeats every
+// disjunct), and with memoization the recursion still must visit every
+// subset of {N₁(x), ..., Nₖ(x)} — 2^k nodes — before concluding. When
+// `contained` is true, an extra disjunct Q₀(x) :- R(x), N₁(x) is added,
+// which makes the answer TRUE and lets the search succeed after adjoining
+// a single atom: the contrast between the two is the bench's story.
+ContainmentInstance SubsetExplosionInstance(int k, bool contained);
+
+// The "chain of negations" family:
+//
+//   P(x)   :- R(x).
+//   Qᵢ(x)  :- R(x), N₁(x), ..., Nᵢ₋₁(x), not Nᵢ(x).   (i = 1..k)
+//   Q⁺(x)  :- R(x), N₁(x), ..., Nₖ(x).                 (iff `contained`)
+//
+// P ⊑ Q is TRUE with the closing disjunct (classic case-split on the first
+// failing Nᵢ) and FALSE without it; the recursion depth grows linearly
+// with k, with only one viable witness per level.
+ContainmentInstance ChainInstance(int k, bool contained);
+
+// A feasibility instance whose FEASIBLE run must take the containment path
+// with the SubsetExplosion workload embedded: neither the plans-equal nor
+// the null shortcut applies. Built via the Theorem 18 reduction.
+struct HardFeasibilityInstance {
+  UnionQuery query;
+  Catalog catalog;
+  bool feasible;
+};
+
+HardFeasibilityInstance HardFeasibility(int k, bool feasible);
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_HARD_INSTANCES_H_

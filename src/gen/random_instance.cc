@@ -1,0 +1,81 @@
+#include "gen/random_instance.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+Term RandomConstant(std::mt19937* rng, int domain_size) {
+  std::uniform_int_distribution<int> dist(0, domain_size - 1);
+  return Term::Constant("c" + std::to_string(dist(*rng)));
+}
+
+}  // namespace
+
+Database RandomDatabase(std::mt19937* rng, const Catalog& catalog,
+                        const RandomInstanceOptions& options) {
+  Database db;
+  for (const RelationSchema* schema : catalog.Relations()) {
+    for (int t = 0; t < options.tuples_per_relation; ++t) {
+      Tuple tuple;
+      tuple.reserve(schema->arity());
+      for (std::size_t j = 0; j < schema->arity(); ++j) {
+        tuple.push_back(RandomConstant(rng, options.domain_size));
+      }
+      db.Insert(schema->name(), std::move(tuple));
+    }
+  }
+  return db;
+}
+
+Database RandomDatabaseWithInclusion(std::mt19937* rng, const Catalog& catalog,
+                                     const RandomInstanceOptions& options,
+                                     const std::string& child,
+                                     std::size_t child_col,
+                                     const std::string& parent,
+                                     std::size_t parent_col) {
+  const RelationSchema* child_schema = catalog.Find(child);
+  const RelationSchema* parent_schema = catalog.Find(parent);
+  UCQN_CHECK_MSG(child_schema != nullptr && parent_schema != nullptr,
+                 "inclusion dependency endpoints must be declared");
+  UCQN_CHECK(child_col < child_schema->arity());
+  UCQN_CHECK(parent_col < parent_schema->arity());
+
+  Database raw = RandomDatabase(rng, catalog, options);
+
+  // Collect the parent key column.
+  std::vector<Term> parent_keys;
+  if (const std::set<Tuple>* tuples = raw.Find(parent)) {
+    for (const Tuple& tuple : *tuples) parent_keys.push_back(tuple[parent_col]);
+  }
+  UCQN_CHECK_MSG(!parent_keys.empty(),
+                 "parent relation must be non-empty for the dependency");
+
+  Database db;
+  for (const std::string& name : raw.RelationNames()) {
+    for (const Tuple& tuple : *raw.Find(name)) {
+      Tuple copy = tuple;
+      if (name == child) {
+        bool present = false;
+        for (const Term& key : parent_keys) {
+          if (copy[child_col] == key) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          std::uniform_int_distribution<std::size_t> dist(
+              0, parent_keys.size() - 1);
+          copy[child_col] = parent_keys[dist(*rng)];
+        }
+      }
+      db.Insert(name, std::move(copy));
+    }
+  }
+  return db;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,38 @@
+#ifndef UCQN_GEN_RANDOM_INSTANCE_H_
+#define UCQN_GEN_RANDOM_INSTANCE_H_
+
+#include <random>
+
+#include "eval/database.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+struct RandomInstanceOptions {
+  // Constants are drawn from c0..c{domain_size-1}.
+  int domain_size = 8;
+  // Tuples drawn per relation (set semantics, so duplicates collapse).
+  int tuples_per_relation = 20;
+};
+
+// Fills every relation of `catalog` with random tuples over a shared
+// constant pool. Used by the property tests (containment vs. brute force)
+// and the runtime benches.
+Database RandomDatabase(std::mt19937* rng, const Catalog& catalog,
+                        const RandomInstanceOptions& options = {});
+
+// Like RandomDatabase, but enforces the inclusion dependency
+// `child.child_col ⊆ parent.parent_col` (Example 6's foreign key): after
+// generation, child tuples whose key is not present in the parent column
+// get rewritten to a random parent value. Relations must exist in the
+// catalog.
+Database RandomDatabaseWithInclusion(std::mt19937* rng, const Catalog& catalog,
+                                     const RandomInstanceOptions& options,
+                                     const std::string& child,
+                                     std::size_t child_col,
+                                     const std::string& parent,
+                                     std::size_t parent_col);
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_RANDOM_INSTANCE_H_

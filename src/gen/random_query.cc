@@ -1,0 +1,171 @@
+#include "gen/random_query.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+int UniformInt(std::mt19937* rng, int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(*rng);
+}
+
+bool Flip(std::mt19937* rng, double prob) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(*rng) < prob;
+}
+
+}  // namespace
+
+Catalog RandomCatalog(std::mt19937* rng, const RandomSchemaOptions& options) {
+  Catalog catalog;
+  for (int r = 0; r < options.num_relations; ++r) {
+    const std::string name = "R" + std::to_string(r);
+    const int arity = UniformInt(rng, options.min_arity, options.max_arity);
+    RelationSchema& schema =
+        catalog.AddRelation(name, static_cast<std::size_t>(arity));
+    for (int p = 0; p < options.patterns_per_relation; ++p) {
+      std::string word;
+      for (int j = 0; j < arity; ++j) {
+        word += Flip(rng, options.input_slot_prob) ? 'i' : 'o';
+      }
+      schema.AddPattern(AccessPattern::MustParse(word));
+    }
+    if (Flip(rng, options.full_scan_prob)) {
+      schema.AddPattern(AccessPattern::AllOutput(arity));
+    }
+  }
+  return catalog;
+}
+
+ConjunctiveQuery RandomCq(std::mt19937* rng, const Catalog& catalog,
+                          const RandomQueryOptions& options,
+                          const std::string& head_name) {
+  std::vector<const RelationSchema*> relations = catalog.Relations();
+  UCQN_CHECK_MSG(!relations.empty(), "catalog must declare relations");
+  UCQN_CHECK_MSG(options.num_literals > 0, "need at least one literal");
+
+  auto var = [](int i) { return Term::Variable("v" + std::to_string(i)); };
+
+  // Generate positive body first; negation is applied afterwards where it
+  // preserves safety.
+  std::vector<Literal> body;
+  int constant_counter = 0;
+  Term chain_link = var(0);
+  for (int i = 0; i < options.num_literals; ++i) {
+    const RelationSchema* rel =
+        relations[static_cast<std::size_t>(
+            UniformInt(rng, 0, static_cast<int>(relations.size()) - 1))];
+    std::vector<Term> args;
+    args.reserve(rel->arity());
+    for (std::size_t j = 0; j < rel->arity(); ++j) {
+      if (Flip(rng, options.constant_prob)) {
+        args.push_back(
+            Term::Constant("C" + std::to_string(constant_counter++)));
+      } else {
+        args.push_back(var(UniformInt(rng, 0, options.num_variables - 1)));
+      }
+    }
+    if (!args.empty()) {
+      switch (options.shape) {
+        case QueryShape::kRandom:
+          break;
+        case QueryShape::kChain:
+          args[0] = chain_link;
+          chain_link = args[args.size() - 1];
+          if (!chain_link.IsVariable()) chain_link = var(0);
+          break;
+        case QueryShape::kStar:
+          args[0] = var(0);
+          break;
+      }
+    }
+    body.push_back(Literal::Positive(Atom(rel->name(), std::move(args))));
+  }
+
+  // Count variable occurrences per literal so negation can be applied
+  // without breaking safety: negate literal L only if every variable of L
+  // occurs in some other literal that stays positive. Process in random
+  // order, greedily.
+  if (options.negation_prob > 0.0) {
+    std::vector<std::size_t> order(body.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), *rng);
+    for (std::size_t idx : order) {
+      if (!Flip(rng, options.negation_prob)) continue;
+      std::unordered_set<std::string> elsewhere;
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        if (j == idx || body[j].negative()) continue;
+        for (const Term& t : body[j].args()) {
+          if (t.IsVariable()) elsewhere.insert(t.name());
+        }
+      }
+      bool safe = true;
+      for (const Term& t : body[idx].args()) {
+        if (t.IsVariable() && elsewhere.count(t.name()) == 0) {
+          safe = false;
+          break;
+        }
+      }
+      if (safe) body[idx] = body[idx].Negated();
+    }
+  }
+
+  // Head: draw distinct variables from the positive body.
+  std::vector<Term> positive_vars;
+  {
+    std::set<std::string> seen;
+    for (const Literal& l : body) {
+      if (!l.positive()) continue;
+      for (const Term& t : l.args()) {
+        if (t.IsVariable() && seen.insert(t.name()).second) {
+          positive_vars.push_back(t);
+        }
+      }
+    }
+  }
+  std::shuffle(positive_vars.begin(), positive_vars.end(), *rng);
+  const std::size_t head_arity = std::min<std::size_t>(
+      positive_vars.size(), static_cast<std::size_t>(
+                                std::max(0, options.head_arity)));
+  std::vector<Term> head(positive_vars.begin(),
+                         positive_vars.begin() + head_arity);
+
+  ConjunctiveQuery q(head_name, std::move(head), std::move(body));
+  UCQN_CHECK_MSG(q.IsSafe(), "generator must produce safe queries");
+  return q;
+}
+
+UnionQuery RandomUcq(std::mt19937* rng, const Catalog& catalog,
+                     const RandomQueryOptions& options, int num_disjuncts,
+                     const std::string& head_name) {
+  UCQN_CHECK_MSG(num_disjuncts > 0, "need at least one disjunct");
+  UnionQuery q;
+  // All disjuncts must share the head arity; retry (bounded) until each
+  // drawn disjunct matches the requested one. RandomCq clamps the head
+  // arity down when a draw has too few variables, so retries are rare with
+  // sane options.
+  const auto target =
+      static_cast<std::size_t>(std::max(0, options.head_arity));
+  for (int i = 0; i < num_disjuncts; ++i) {
+    for (int attempt = 0;; ++attempt) {
+      ConjunctiveQuery disjunct = RandomCq(rng, catalog, options, head_name);
+      if (disjunct.head_arity() == target) {
+        q.AddDisjunct(std::move(disjunct));
+        break;
+      }
+      UCQN_CHECK_MSG(attempt < 10000,
+                     "unable to draw a disjunct with the requested head "
+                     "arity; lower RandomQueryOptions::head_arity");
+    }
+  }
+  return q;
+}
+
+}  // namespace ucqn

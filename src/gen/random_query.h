@@ -1,0 +1,66 @@
+#ifndef UCQN_GEN_RANDOM_QUERY_H_
+#define UCQN_GEN_RANDOM_QUERY_H_
+
+#include <random>
+#include <string>
+
+#include "ast/query.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Parameters for random schema generation.
+struct RandomSchemaOptions {
+  int num_relations = 6;
+  int min_arity = 1;
+  int max_arity = 3;
+  // Number of access patterns drawn per relation (deduplicated, so the
+  // effective count can be lower).
+  int patterns_per_relation = 2;
+  // Probability that each slot of a drawn pattern is an input slot. Higher
+  // values make schemas more restricted and queries less likely feasible.
+  double input_slot_prob = 0.4;
+  // Probability that a relation additionally gets the all-output (full
+  // scan) pattern.
+  double full_scan_prob = 0.5;
+};
+
+// Generates relations R0, R1, ... with random arities and patterns.
+Catalog RandomCatalog(std::mt19937* rng, const RandomSchemaOptions& options);
+
+// Join shape of generated queries.
+enum class QueryShape {
+  kRandom,  // independent random variable choices per slot
+  kChain,   // literal i shares its first variable with literal i-1's last
+  kStar,    // every literal shares variable v0
+};
+
+struct RandomQueryOptions {
+  int num_literals = 4;
+  // Size of the variable pool; variables are drawn uniformly from it.
+  int num_variables = 4;
+  // Probability that a body literal is negated. Safety is enforced: a
+  // literal is only negated if all its variables also occur in some other,
+  // positive literal.
+  double negation_prob = 0.0;
+  // Probability that a slot holds a fresh constant rather than a variable.
+  double constant_prob = 0.05;
+  // Head arity; head variables are drawn from the positive body (safety).
+  // Clamped to the number of available variables.
+  int head_arity = 2;
+  QueryShape shape = QueryShape::kRandom;
+};
+
+// Generates one safe CQ¬ over `catalog`'s relations.
+ConjunctiveQuery RandomCq(std::mt19937* rng, const Catalog& catalog,
+                          const RandomQueryOptions& options,
+                          const std::string& head_name = "Q");
+
+// Generates a safe UCQ¬ with `num_disjuncts` rules over one head.
+UnionQuery RandomUcq(std::mt19937* rng, const Catalog& catalog,
+                     const RandomQueryOptions& options, int num_disjuncts,
+                     const std::string& head_name = "Q");
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_RANDOM_QUERY_H_

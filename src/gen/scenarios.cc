@@ -1,0 +1,221 @@
+#include "gen/scenarios.h"
+
+#include "ast/parser.h"
+
+namespace ucqn {
+
+Scenario Example1Books() {
+  Scenario s;
+  s.name = "example1_books";
+  s.description =
+      "Books available through store B, in catalog C, not in library L. "
+      "Not executable left-to-right (no ISBN or author to call B with), "
+      "but calling C first binds both, so the query is orderable.";
+  s.catalog = Catalog::MustParse(R"(
+    relation B/3: ioo oio
+    relation C/2: oo
+    relation L/1: o
+  )");
+  s.query = MustParseUnionQuery(
+      "Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).");
+  s.database = Database::MustParseFacts(R"(
+    B(1, "Knuth", "TAOCP").
+    B(2, "Date", "Database Systems").
+    B(3, "Knuth", "Concrete Math").
+    C(1, "Knuth").
+    C(2, "Date").
+    L(2).
+  )");
+  s.executable = false;
+  s.orderable = true;
+  s.feasible = true;
+  return s;
+}
+
+Scenario Example3FeasibleNotOrderable() {
+  Scenario s;
+  s.name = "example3_feasible_not_orderable";
+  s.description =
+      "i2 and a2 can never be bound, so neither disjunct is orderable; but "
+      "the union of the positive and negated B(i2,a2,t) cases is equivalent "
+      "to the executable Q(a) :- L(i), B(i,a,t).";
+  s.catalog = Catalog::MustParse(R"(
+    relation B/3: ioo oio
+    relation L/1: o
+  )");
+  s.query = MustParseUnionQuery(R"(
+    Q(a) :- B(i, a, t), L(i), B(i2, a2, t).
+    Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).
+  )");
+  s.database = Database::MustParseFacts(R"(
+    B(1, "Knuth", "TAOCP").
+    B(2, "Date", "Database Systems").
+    L(1).
+  )");
+  s.executable = false;
+  s.orderable = false;
+  s.feasible = true;
+  return s;
+}
+
+namespace {
+
+// The shared schema and query of Examples 4-8: Q1's B(x,y) is unanswerable
+// because B only supports the all-input pattern.
+Scenario RunningExampleBase() {
+  Scenario s;
+  s.catalog = Catalog::MustParse(R"(
+    relation S/1: o
+    relation R/2: oo
+    relation B/2: ii
+    relation T/2: oo
+  )");
+  s.query = MustParseUnionQuery(R"(
+    Q(x, y) :- not S(z), R(x, z), B(x, y).
+    Q(x, y) :- T(x, y).
+  )");
+  s.executable = false;
+  s.orderable = false;
+  s.feasible = false;
+  return s;
+}
+
+}  // namespace
+
+Scenario Example4UnderOver() {
+  Scenario s = RunningExampleBase();
+  s.name = "example4_under_over";
+  s.description =
+      "PLAN* dismisses Q1 from the underestimate (B(x,y) unanswerable) and "
+      "null-pads it in the overestimate: Q1o(x, null) :- R(x,z), not S(z). "
+      "On this instance the answerable part R(x,z), not S(z) is empty, so "
+      "ANSWER* certifies the answer complete although Q is infeasible.";
+  s.database = Database::MustParseFacts(R"(
+    R("a", "b").
+    S("b").
+    T("t1", "t2").
+    T("t3", "t4").
+    B("a", "y1").
+  )");
+  return s;
+}
+
+Scenario Example6ForeignKey() {
+  Scenario s = RunningExampleBase();
+  s.name = "example6_foreign_key";
+  s.description =
+      "R.z is a foreign key into S.z, so {z | R(x,z)} is always a subset of "
+      "{z | S(z)} and the first overestimate disjunct is empty on every "
+      "legal instance; the runtime handling reports a complete answer even "
+      "though no compile-time check could.";
+  s.database = Database::MustParseFacts(R"(
+    R("r1", "k1").
+    R("r2", "k2").
+    R("r3", "k1").
+    S("k1").
+    S("k2").
+    S("k3").
+    T("t1", "t2").
+    B("r1", "x9").
+  )");
+  return s;
+}
+
+Scenario Example7Nulls() {
+  Scenario s = RunningExampleBase();
+  s.name = "example7_nulls";
+  s.description =
+      "R(a,b) holds with no S(b), so the overestimate produces the partial "
+      "tuple (a, null): there may be one or more y with B(a, y), but the "
+      "all-input pattern on B makes {y | B(a,y)} unknowable.";
+  s.database = Database::MustParseFacts(R"(
+    R("a", "b").
+    T("t1", "t2").
+    B("a", "y1").
+  )");
+  return s;
+}
+
+Scenario Example8DomainEnum() {
+  Scenario s = RunningExampleBase();
+  s.name = "example8_domain_enum";
+  s.description =
+      "Domain enumeration builds dom(y) from the output slots of R and T "
+      "and probes B(x,y) with enumerated y values, recovering the genuine "
+      "answer (a, t2) that the plain underestimate misses.";
+  s.database = Database::MustParseFacts(R"(
+    R("a", "b").
+    T("t1", "t2").
+    B("a", "t2").
+  )");
+  return s;
+}
+
+Scenario Example9CqProcessing() {
+  Scenario s;
+  s.name = "example9_cq";
+  s.description =
+      "CQ feasibility: B(y) is unanswerable (B^i needs y bound), so the "
+      "query is not orderable; ans(Q) = F(x), B(x), F(z) is contained in Q "
+      "(map y to x), so the query is feasible. CQstable reaches the same "
+      "verdict through the minimal form F(x), B(x).";
+  s.catalog = Catalog::MustParse(R"(
+    relation F/1: o
+    relation B/1: i
+  )");
+  s.query = MustParseUnionQuery("Q(x) :- F(x), B(x), B(y), F(z).");
+  s.database = Database::MustParseFacts(R"(
+    F("f1").
+    F("f2").
+    B("f1").
+  )");
+  s.executable = false;
+  s.orderable = false;
+  s.feasible = true;
+  return s;
+}
+
+Scenario Example10UcqProcessing() {
+  Scenario s;
+  s.name = "example10_ucq";
+  s.description =
+      "UCQ feasibility: the middle disjunct's B(y) is unanswerable, but the "
+      "third disjunct F(x) absorbs both others, so the union is feasible. "
+      "UCQstable minimizes to F(x); UCQstable* unions the feasible "
+      "disjuncts; FEASIBLE checks ans(Q) ⊑ Q.";
+  s.catalog = Catalog::MustParse(R"(
+    relation F/1: o
+    relation G/1: o
+    relation H/1: o
+    relation B/1: i
+  )");
+  s.query = MustParseUnionQuery(R"(
+    Q(x) :- F(x), G(x).
+    Q(x) :- F(x), H(x), B(y).
+    Q(x) :- F(x).
+  )");
+  s.database = Database::MustParseFacts(R"(
+    F("f1").
+    F("f2").
+    G("f1").
+    H("f2").
+    B("f2").
+  )");
+  s.executable = false;
+  s.orderable = false;
+  s.feasible = true;
+  return s;
+}
+
+std::vector<Scenario> AllScenarios() {
+  return {Example1Books(),
+          Example3FeasibleNotOrderable(),
+          Example4UnderOver(),
+          Example6ForeignKey(),
+          Example7Nulls(),
+          Example8DomainEnum(),
+          Example9CqProcessing(),
+          Example10UcqProcessing()};
+}
+
+}  // namespace ucqn

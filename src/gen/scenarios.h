@@ -1,0 +1,70 @@
+#ifndef UCQN_GEN_SCENARIOS_H_
+#define UCQN_GEN_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "eval/database.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// A worked example from the paper, packaged with the schema, query, a
+// database instance (where the example discusses runtime behaviour), and
+// the expected compile-time verdicts. Shared by tests (which assert the
+// expectations), the `paper_examples` binary (which narrates them), and
+// the benches.
+struct Scenario {
+  std::string name;
+  std::string description;
+  Catalog catalog;
+  UnionQuery query;
+  Database database;
+  // Expected compile-time verdicts.
+  bool executable = false;
+  bool orderable = false;
+  bool feasible = false;
+};
+
+// Example 1: the book/catalog/library query — not executable as written,
+// but orderable (call C first), hence feasible.
+Scenario Example1Books();
+
+// Example 3: feasible but NOT orderable — the second disjunct's negated
+// B(i',a',t) can never be ordered, yet the union is equivalent to the
+// executable Q'(a) :- L(i), B(i,a,t).
+Scenario Example3FeasibleNotOrderable();
+
+// Example 4/5: the running PLAN* example. Q1's B(x,y) is unanswerable
+// (B only supports the all-input pattern), so Q is infeasible; the bundled
+// instance satisfies ¬∃ answerable-part rows, so ANSWER* reports a
+// *complete* answer at runtime regardless.
+Scenario Example4UnderOver();
+
+// Example 6: same query, but the instance satisfies the foreign key
+// R.z ⊆ S.z, which forces the overestimate disjunct empty — ANSWER*
+// recognizes completeness that compile-time analysis cannot.
+Scenario Example6ForeignKey();
+
+// Example 7: same query on an instance where R(a,b), ¬S(b) holds — the
+// overestimate contains the partial tuple (a, null).
+Scenario Example7Nulls();
+
+// Example 8: same query on an instance where domain enumeration recovers a
+// genuine answer that the plain underestimate misses.
+Scenario Example8DomainEnum();
+
+// Example 9: CQ processing — Q(x) :- F(x), B(x), B(y), F(z) with F^o, B^i:
+// not orderable, but feasible (minimal form F(x), B(x)).
+Scenario Example9CqProcessing();
+
+// Example 10: UCQ processing — three disjuncts, minimal form F(x).
+Scenario Example10UcqProcessing();
+
+// All of the above, in paper order.
+std::vector<Scenario> AllScenarios();
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_SCENARIOS_H_

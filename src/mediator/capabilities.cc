@@ -1,0 +1,119 @@
+#include "mediator/capabilities.h"
+
+#include <set>
+
+#include "eval/oracle.h"
+#include "feasibility/view_patterns.h"
+
+namespace ucqn {
+
+MaterializationResult MaterializeViews(const ViewRegistry& views,
+                                       const Database& base) {
+  MaterializationResult result;
+  result.database = base;
+  std::set<std::string> done;
+  std::vector<std::string> pending = views.ViewNames();
+  while (!pending.empty()) {
+    bool progressed = false;
+    std::vector<std::string> still_pending;
+    for (const std::string& name : pending) {
+      const UnionQuery& definition = *views.Find(name);
+      bool ready = true;
+      for (const std::string& used : definition.RelationNames()) {
+        if (views.IsView(used) && done.count(used) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        still_pending.push_back(name);
+        continue;
+      }
+      progressed = true;
+      for (const Tuple& t : OracleEvaluate(definition, result.database)) {
+        result.database.Insert(name, t);
+      }
+      done.insert(name);
+    }
+    if (!progressed) {
+      result.error = "cyclic view definitions";
+      return result;
+    }
+    pending = std::move(still_pending);
+  }
+  result.ok = true;
+  return result;
+}
+
+ViewStackAnalysis AnalyzeViewStack(const ViewRegistry& views,
+                                   const Catalog& sources,
+                                   const ContainmentOptions& options) {
+  ViewStackAnalysis analysis;
+  analysis.exported_catalog = sources;
+
+  // Validate that every referenced relation is a source or a view.
+  for (const std::string& name : views.ViewNames()) {
+    for (const std::string& used : views.Find(name)->RelationNames()) {
+      if (!sources.Contains(used) && !views.IsView(used)) {
+        analysis.error = "view " + name + " uses undeclared relation " + used;
+        return analysis;
+      }
+    }
+  }
+
+  // Kahn-style bottom-up order over the view dependency graph.
+  std::set<std::string> done;
+  std::vector<std::string> pending = views.ViewNames();
+  while (!pending.empty()) {
+    bool progressed = false;
+    std::vector<std::string> still_pending;
+    for (const std::string& name : pending) {
+      const UnionQuery& definition = *views.Find(name);
+      bool ready = true;
+      for (const std::string& used : definition.RelationNames()) {
+        if (views.IsView(used) && done.count(used) == 0 && used != name) {
+          ready = false;
+          break;
+        }
+      }
+      if (definition.RelationNames().count(name) > 0) {
+        analysis.error = "view " + name + " is recursive";
+        return analysis;
+      }
+      if (!ready) {
+        still_pending.push_back(name);
+        continue;
+      }
+      progressed = true;
+      // Analyze against the catalog extended with the capabilities of the
+      // views below this one.
+      ViewCapability capability;
+      capability.view = name;
+      capability.minimal_patterns = MinimalSupportedHeadPatterns(
+          definition, analysis.exported_catalog, options);
+      capability.feasible_outright =
+          capability.minimal_patterns.size() == 1 &&
+          !capability.minimal_patterns[0].HasInputs();
+      RelationSchema& schema = analysis.exported_catalog.AddRelation(
+          name, definition.head_arity());
+      for (const AccessPattern& p : capability.minimal_patterns) {
+        schema.AddPattern(p);
+      }
+      analysis.capabilities.push_back(std::move(capability));
+      done.insert(name);
+    }
+    if (!progressed) {
+      analysis.error = "cyclic view definitions among: ";
+      for (std::size_t i = 0; i < still_pending.size(); ++i) {
+        if (i > 0) analysis.error += ", ";
+        analysis.error += still_pending[i];
+      }
+      return analysis;
+    }
+    pending = std::move(still_pending);
+  }
+  analysis.ok = true;
+  return analysis;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,70 @@
+#ifndef UCQN_MEDIATOR_CAPABILITIES_H_
+#define UCQN_MEDIATOR_CAPABILITIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "containment/ucqn_containment.h"
+#include "eval/database.h"
+#include "mediator/unfold.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Capability propagation through a stack of views — the
+// capabilities-based-rewriting picture of [PGH98], which the paper cites
+// as the systems context: every integrated view over limited sources can
+// itself be advertised with *derived* access patterns
+// (feasibility/view_patterns.h); when views are defined over other views,
+// capabilities must be computed bottom-up so that upper views see the
+// derived patterns of the lower ones.
+
+struct ViewCapability {
+  std::string view;
+  // The minimal supported head adornments (everything else follows by
+  // "bound is easier"). Empty = the view cannot be used at all, even with
+  // every head column supplied.
+  std::vector<AccessPattern> minimal_patterns;
+  // True when the all-output pattern is supported, i.e. the view is
+  // feasible outright.
+  bool feasible_outright = false;
+};
+
+struct ViewStackAnalysis {
+  bool ok = false;
+  std::string error;  // cyclic definitions, undeclared relations, ...
+  // Per view, in a bottom-up (dependency) order.
+  std::vector<ViewCapability> capabilities;
+  // The source catalog extended with one relation per view carrying its
+  // derived patterns — the catalog a client of the mediator plans
+  // against.
+  Catalog exported_catalog;
+};
+
+// Analyzes every view in `views` against `sources`, bottom-up: views that
+// only use source relations are analyzed first; views over views see the
+// derived patterns computed for their dependencies. Fails on cyclic
+// definitions and on views whose bodies mention relations that are
+// neither sources nor views.
+ViewStackAnalysis AnalyzeViewStack(const ViewRegistry& views,
+                                   const Catalog& sources,
+                                   const ContainmentOptions& options = {});
+
+struct MaterializationResult {
+  bool ok = false;
+  std::string error;  // cyclic definitions
+  // `base` extended with one materialized relation per view.
+  Database database;
+};
+
+// Materializes every view bottom-up over `base` with the reference
+// semantics (views are acyclic, so the stratification is the dependency
+// order). The result lets a client query over views be answered directly,
+// and is the ground truth the unfolding tests compare against.
+MaterializationResult MaterializeViews(const ViewRegistry& views,
+                                       const Database& base);
+
+}  // namespace ucqn
+
+#endif  // UCQN_MEDIATOR_CAPABILITIES_H_

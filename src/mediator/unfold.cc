@@ -1,0 +1,286 @@
+#include "mediator/unfold.h"
+
+#include <unordered_map>
+
+#include "ast/parser.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+void ViewRegistry::Define(UnionQuery definition) {
+  UCQN_CHECK_MSG(!definition.IsFalseQuery(),
+                 "view definitions must have at least one rule");
+  const std::string name = definition.head_name();
+  UCQN_CHECK_MSG(views_.count(name) == 0, "duplicate view definition");
+  views_.emplace(name, std::move(definition));
+}
+
+std::optional<ViewRegistry> ViewRegistry::Parse(std::string_view text,
+                                                std::string* error) {
+  std::optional<std::vector<UnionQuery>> program = ParseProgram(text, error);
+  if (!program.has_value()) return std::nullopt;
+  ViewRegistry registry;
+  for (UnionQuery& view : *program) {
+    if (registry.IsView(view.head_name())) {
+      if (error != nullptr) *error = "duplicate view " + view.head_name();
+      return std::nullopt;
+    }
+    registry.Define(std::move(view));
+  }
+  return registry;
+}
+
+ViewRegistry ViewRegistry::MustParse(std::string_view text) {
+  std::string error;
+  std::optional<ViewRegistry> registry = Parse(text, &error);
+  UCQN_CHECK_MSG(registry.has_value(), error.c_str());
+  return std::move(*registry);
+}
+
+const UnionQuery* ViewRegistry::Find(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ViewRegistry::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+std::string ViewRegistry::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(views_.size());
+  for (const auto& [name, view] : views_) parts.push_back(view.ToString());
+  return StrJoin(parts, "\n");
+}
+
+namespace {
+
+// Syntactic unification over variables and constants (no function
+// symbols): a union-find refined into a Substitution. Used to match a view
+// literal's arguments against a definition's head.
+class Unifier {
+ public:
+  // Resolves a term to its current representative.
+  Term Find(Term t) const {
+    while (t.IsVariable()) {
+      auto it = parent_.find(t.name());
+      if (it == parent_.end()) return t;
+      t = it->second;
+    }
+    return t;
+  }
+
+  // Unifies a and b; false on a constant clash.
+  bool Union(const Term& a, const Term& b) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.IsVariable()) {
+      parent_.emplace(ra.name(), rb);
+      return true;
+    }
+    if (rb.IsVariable()) {
+      parent_.emplace(rb.name(), ra);
+      return true;
+    }
+    return false;  // distinct ground terms
+  }
+
+  Term Resolve(const Term& t) const { return Find(t); }
+
+  Literal Resolve(const Literal& l) const {
+    std::vector<Term> args;
+    args.reserve(l.args().size());
+    for (const Term& t : l.args()) args.push_back(Find(t));
+    return Literal(Atom(l.relation(), std::move(args)), l.positive());
+  }
+
+  ConjunctiveQuery Resolve(const ConjunctiveQuery& q) const {
+    std::vector<Term> head;
+    head.reserve(q.head_terms().size());
+    for (const Term& t : q.head_terms()) head.push_back(Find(t));
+    std::vector<Literal> body;
+    body.reserve(q.body().size());
+    for (const Literal& l : q.body()) body.push_back(Resolve(l));
+    return ConjunctiveQuery(q.head_name(), std::move(head), std::move(body));
+  }
+
+ private:
+  std::unordered_map<std::string, Term> parent_;
+};
+
+class UnfoldEngine {
+ public:
+  UnfoldEngine(const ViewRegistry& views, const UnfoldOptions& options)
+      : views_(views), options_(options) {}
+
+  UnfoldResult Run(const UnionQuery& query) {
+    UnfoldResult result;
+    std::vector<ConjunctiveQuery> work(query.disjuncts());
+    std::vector<ConjunctiveQuery> done;
+    std::size_t rounds = 0;
+    while (!work.empty()) {
+      if (++rounds > options_.max_depth * (done.size() + work.size() + 1)) {
+        result.error = "unfolding did not terminate (cyclic views?)";
+        return result;
+      }
+      ConjunctiveQuery current = std::move(work.back());
+      work.pop_back();
+      int view_index = FirstViewLiteral(current);
+      if (view_index < 0) {
+        done.push_back(std::move(current));
+        continue;
+      }
+      std::vector<ConjunctiveQuery> expanded;
+      if (!ExpandLiteral(current, static_cast<std::size_t>(view_index),
+                         &expanded, &result.error)) {
+        return result;
+      }
+      ++result.expansions;
+      for (ConjunctiveQuery& q : expanded) work.push_back(std::move(q));
+      if (done.size() + work.size() > options_.max_disjuncts) {
+        result.error = "unfolding exceeded max_disjuncts (" +
+                       std::to_string(options_.max_disjuncts) + ")";
+        return result;
+      }
+    }
+    result.ok = true;
+    result.query = UnionQuery(std::move(done));
+    return result;
+  }
+
+ private:
+  int FirstViewLiteral(const ConjunctiveQuery& q) const {
+    for (std::size_t i = 0; i < q.body().size(); ++i) {
+      if (views_.IsView(q.body()[i].relation())) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Expands the view literal at `index`, appending the replacement
+  // disjuncts to `out`. Returns false and sets `*error` on unsupported
+  // negation-through-views.
+  bool ExpandLiteral(const ConjunctiveQuery& q, std::size_t index,
+                     std::vector<ConjunctiveQuery>* out, std::string* error) {
+    const Literal& literal = q.body()[index];
+    const UnionQuery& definition = *views_.Find(literal.relation());
+    if (definition.head_arity() != literal.atom().arity()) {
+      *error = "view " + literal.relation() + " used with arity " +
+               std::to_string(literal.atom().arity()) + ", defined with " +
+               std::to_string(definition.head_arity());
+      return false;
+    }
+    std::vector<Literal> rest;
+    rest.reserve(q.body().size() - 1);
+    for (std::size_t i = 0; i < q.body().size(); ++i) {
+      if (i != index) rest.push_back(q.body()[i]);
+    }
+    ConjunctiveQuery remainder = q.WithBody(std::move(rest));
+
+    if (literal.positive()) {
+      // One replacement disjunct per definition rule: unify the rule head
+      // with the call site, then splice in the rule body.
+      for (const ConjunctiveQuery& rule : definition.disjuncts()) {
+        ConjunctiveQuery fresh =
+            rule.RenameVariables("_u" + std::to_string(fresh_counter_++));
+        Unifier unifier;
+        bool compatible = true;
+        for (std::size_t j = 0; j < literal.args().size(); ++j) {
+          if (!unifier.Union(fresh.head_terms()[j], literal.args()[j])) {
+            compatible = false;  // constant clash: rule cannot fire here
+            break;
+          }
+        }
+        if (!compatible) continue;
+        std::vector<Literal> body;
+        for (const Literal& l : remainder.body()) {
+          body.push_back(unifier.Resolve(l));
+        }
+        for (const Literal& l : fresh.body()) {
+          body.push_back(unifier.Resolve(l));
+        }
+        std::vector<Term> head;
+        for (const Term& t : remainder.head_terms()) {
+          head.push_back(unifier.Resolve(t));
+        }
+        out->push_back(ConjunctiveQuery(remainder.head_name(),
+                                        std::move(head), std::move(body)));
+      }
+      return true;
+    }
+
+    // Negated view literal: ¬(D1 ∨ ... ∨ Dm) = ¬D1 ∧ ... ∧ ¬Dm, and each
+    // ¬Dj = ¬L1 ∨ ... ∨ ¬Lk — expressible in UCQ¬ only when Dj has no
+    // existential variables and a purely positive body.
+    std::vector<ConjunctiveQuery> partial = {remainder};
+    for (const ConjunctiveQuery& rule : definition.disjuncts()) {
+      std::set<std::string> head_vars;
+      for (const Term& t : rule.head_terms()) {
+        if (t.IsVariable()) head_vars.insert(t.name());
+      }
+      for (const Term& v : rule.BodyVariables()) {
+        if (head_vars.count(v.name()) == 0) {
+          *error = "cannot negate view " + literal.relation() +
+                   ": rule has existential variable " + v.name() +
+                   " (not expressible in UCQ-not)";
+          return false;
+        }
+      }
+      if (rule.HasNegation()) {
+        *error = "cannot negate view " + literal.relation() +
+                 ": rule body itself uses negation";
+        return false;
+      }
+      // A repeated head variable or a head constant is a hidden equality
+      // selection; its negation needs disequalities, which UCQ¬ lacks.
+      std::set<std::string> seen_head_vars;
+      for (const Term& t : rule.head_terms()) {
+        if (!t.IsVariable() || !seen_head_vars.insert(t.name()).second) {
+          *error = "cannot negate view " + literal.relation() +
+                   ": rule head must be distinct variables";
+          return false;
+        }
+      }
+      // Align the rule head with the call site — a pure renaming here,
+      // since the head is distinct fresh variables.
+      ConjunctiveQuery fresh =
+          rule.RenameVariables("_u" + std::to_string(fresh_counter_++));
+      Substitution align;
+      for (std::size_t j = 0; j < literal.args().size(); ++j) {
+        align.Bind(fresh.head_terms()[j], literal.args()[j]);
+      }
+      std::vector<ConjunctiveQuery> next;
+      for (const ConjunctiveQuery& p : partial) {
+        for (const Literal& l : fresh.body()) {
+          Literal negated = align.Apply(l).Negated();
+          next.push_back(p.WithExtraLiteral(negated));
+        }
+      }
+      partial = std::move(next);
+      if (partial.size() > options_.max_disjuncts) {
+        *error = "negated view expansion exceeded max_disjuncts";
+        return false;
+      }
+    }
+    for (ConjunctiveQuery& p : partial) out->push_back(std::move(p));
+    return true;
+  }
+
+  const ViewRegistry& views_;
+  const UnfoldOptions& options_;
+  std::size_t fresh_counter_ = 0;
+};
+
+}  // namespace
+
+UnfoldResult Unfold(const UnionQuery& query, const ViewRegistry& views,
+                    const UnfoldOptions& options) {
+  UnfoldEngine engine(views, options);
+  return engine.Run(query);
+}
+
+}  // namespace ucqn

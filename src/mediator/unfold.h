@@ -1,0 +1,81 @@
+#ifndef UCQN_MEDIATOR_UNFOLD_H_
+#define UCQN_MEDIATOR_UNFOLD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/query.h"
+
+namespace ucqn {
+
+// Global-as-view unfolding — the mediator substrate behind Section 4.2's
+// BIRN discussion: "the current prototype takes a query against a
+// global-as-view definition and unfolds it into a UCQ¬ plan". Integrated
+// views are UCQ¬ definitions over source relations; a client query talks
+// to the views; unfolding substitutes view literals by their definitions
+// until only source relations remain. The result is then fed to the usual
+// pipeline (Compile / Feasible / AnswerStar).
+//
+// Negated view literals are supported for the fragment where negation can
+// be pushed through the definition within UCQ¬:
+//   * ¬V over a union unfolds to the conjunction of the negations of the
+//     disjuncts (De Morgan),
+//   * ¬(L1 ∧ ... ∧ Lk) for a disjunct with no existential variables and
+//     no nested negation unfolds to the k-way union branch ¬L1 ∨ ... ∨ ¬Lk
+//     (each branch multiplies the disjuncts of the unfolded query),
+//   * definitions with existential variables or negation under a negated
+//     view literal are rejected: ¬∃ȳ φ is not expressible in UCQ¬.
+class ViewRegistry {
+ public:
+  ViewRegistry() = default;
+
+  // Registers `definition` under its head name. CHECK-fails on duplicate
+  // names. View definitions may reference other views (acyclically);
+  // unfolding resolves them recursively.
+  void Define(UnionQuery definition);
+
+  // Parses a program (rules grouped by head) into a registry.
+  static std::optional<ViewRegistry> Parse(std::string_view text,
+                                           std::string* error);
+  static ViewRegistry MustParse(std::string_view text);
+
+  const UnionQuery* Find(const std::string& name) const;
+  bool IsView(const std::string& name) const { return Find(name) != nullptr; }
+  std::size_t size() const { return views_.size(); }
+  std::vector<std::string> ViewNames() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, UnionQuery> views_;
+};
+
+struct UnfoldOptions {
+  // Guard against multiplicative blow-up: unfolding stops with an error
+  // once the working union exceeds this many disjuncts.
+  std::size_t max_disjuncts = 4096;
+  // Guard against (erroneous) cyclic view definitions.
+  std::size_t max_depth = 64;
+};
+
+struct UnfoldResult {
+  bool ok = false;
+  std::string error;
+  // The fully unfolded UCQ¬ over source relations only.
+  UnionQuery query;
+  // How many view literals were expanded in total.
+  std::size_t expansions = 0;
+};
+
+// Unfolds `query` against `views` until no view literal remains. Fresh
+// variable names are generated for each expansion so repeated uses of the
+// same view do not collide.
+UnfoldResult Unfold(const UnionQuery& query, const ViewRegistry& views,
+                    const UnfoldOptions& options = {});
+
+}  // namespace ucqn
+
+#endif  // UCQN_MEDIATOR_UNFOLD_H_

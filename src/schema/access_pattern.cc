@@ -1,0 +1,51 @@
+#include "schema/access_pattern.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+std::optional<AccessPattern> AccessPattern::FromString(std::string_view word) {
+  if (!ConsistsOf(word, "io")) return std::nullopt;
+  return AccessPattern(std::string(word));
+}
+
+AccessPattern AccessPattern::MustParse(std::string_view word) {
+  std::optional<AccessPattern> p = FromString(word);
+  UCQN_CHECK_MSG(p.has_value(), "invalid access pattern word");
+  return *p;
+}
+
+AccessPattern AccessPattern::AllOutput(std::size_t arity) {
+  return AccessPattern(std::string(arity, 'o'));
+}
+
+AccessPattern AccessPattern::AllInput(std::size_t arity) {
+  return AccessPattern(std::string(arity, 'i'));
+}
+
+std::vector<std::size_t> AccessPattern::InputSlots() const {
+  std::vector<std::size_t> slots;
+  for (std::size_t j = 0; j < word_.size(); ++j) {
+    if (word_[j] == 'i') slots.push_back(j);
+  }
+  return slots;
+}
+
+std::vector<std::size_t> AccessPattern::OutputSlots() const {
+  std::vector<std::size_t> slots;
+  for (std::size_t j = 0; j < word_.size(); ++j) {
+    if (word_[j] == 'o') slots.push_back(j);
+  }
+  return slots;
+}
+
+std::size_t AccessPattern::InputCount() const {
+  std::size_t n = 0;
+  for (char c : word_) {
+    if (c == 'i') ++n;
+  }
+  return n;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,73 @@
+#ifndef UCQN_SCHEMA_ACCESS_PATTERN_H_
+#define UCQN_SCHEMA_ACCESS_PATTERN_H_
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ucqn {
+
+// An access pattern for a k-ary relation (Definition 1): a word of length k
+// over {i, o}. Position j is an *input slot* if the pattern has 'i' there —
+// a value must be supplied to call the source — and an *output slot*
+// otherwise.
+class AccessPattern {
+ public:
+  AccessPattern() = default;
+
+  // Parses e.g. "ioo". Returns nullopt if `word` contains characters other
+  // than 'i'/'o'. The empty word is the (valid) pattern of a 0-ary relation.
+  static std::optional<AccessPattern> FromString(std::string_view word);
+
+  // CHECK-failing variant for literal patterns in tests and examples.
+  static AccessPattern MustParse(std::string_view word);
+
+  // The all-output pattern ("ooo...o") of length `arity`: a conventional
+  // fully-scannable relation.
+  static AccessPattern AllOutput(std::size_t arity);
+
+  // The all-input pattern ("iii...i") of length `arity`: a pure membership
+  // probe.
+  static AccessPattern AllInput(std::size_t arity);
+
+  std::size_t arity() const { return word_.size(); }
+  bool IsInputSlot(std::size_t j) const { return word_[j] == 'i'; }
+  bool IsOutputSlot(std::size_t j) const { return word_[j] == 'o'; }
+
+  // Indices of input / output slots, ascending.
+  std::vector<std::size_t> InputSlots() const;
+  std::vector<std::size_t> OutputSlots() const;
+
+  std::size_t InputCount() const;
+  bool HasInputs() const { return InputCount() > 0; }
+
+  // The i/o word itself, e.g. "oio".
+  const std::string& word() const { return word_; }
+  std::string ToString() const { return word_; }
+
+  friend bool operator==(const AccessPattern& a, const AccessPattern& b) {
+    return a.word_ == b.word_;
+  }
+  friend bool operator!=(const AccessPattern& a, const AccessPattern& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const AccessPattern& a, const AccessPattern& b) {
+    return a.word_ < b.word_;
+  }
+
+ private:
+  explicit AccessPattern(std::string word) : word_(std::move(word)) {}
+
+  std::string word_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const AccessPattern& p) {
+  return os << p.word();
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_SCHEMA_ACCESS_PATTERN_H_

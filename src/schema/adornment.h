@@ -1,0 +1,81 @@
+#ifndef UCQN_SCHEMA_ADORNMENT_H_
+#define UCQN_SCHEMA_ADORNMENT_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/query.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// The set of variables (by name) bound so far during left-to-right plan
+// construction — the set B of algorithm ANSWERABLE (Fig. 1).
+using BoundVariables = std::unordered_set<std::string>;
+
+// Inserts the variables of `literal` into `bound`.
+void BindVariables(const Literal& literal, BoundVariables* bound);
+
+// True if every variable of `literal` is in `bound`.
+bool AllVariablesBound(const Literal& literal, const BoundVariables& bound);
+
+// Variables of `literal` sitting in input slots of `pattern` — the paper's
+// invars(L) for a given adornment.
+std::vector<Term> InputVariables(const Literal& literal,
+                                 const AccessPattern& pattern);
+
+// True if `pattern` can be used to call `literal` given `bound`: every
+// input slot must hold a ground term or a bound variable.
+bool PatternUsable(const Literal& literal, const AccessPattern& pattern,
+                   const BoundVariables& bound);
+
+// How the executor picks among multiple usable patterns. kMostInputs sends
+// every available binding to the source (most selective call, fewest
+// tuples transferred); kFewestInputs fetches broadly and filters
+// client-side — the ablation baseline for bench_ablation.
+enum class PatternPreference {
+  kMostInputs,
+  kFewestInputs,
+};
+
+// Picks the access pattern the executor should use for `literal` given
+// `bound`, preferring per `preference` among the usable patterns (default:
+// most input slots — most selective source call). Returns nullopt if the
+// relation is undeclared, has no usable pattern, or — for negative
+// literals — some variable is unbound (a negated call can only filter,
+// never bind; Example 1).
+std::optional<AccessPattern> ChoosePattern(
+    const Catalog& catalog, const Literal& literal,
+    const BoundVariables& bound,
+    PatternPreference preference = PatternPreference::kMostInputs);
+
+// The executability condition of Fig. 1 for the next literal: vars(L) ⊆ B,
+// or L is positive and some pattern's input variables are ⊆ B.
+bool CanExecuteNext(const Catalog& catalog, const Literal& literal,
+                    const BoundVariables& bound);
+
+// Left-to-right executability (Definition 3): adornments can be assigned so
+// that every variable first appears in an output slot of a positive
+// literal, scanning the body in the given order. The `true` query (empty
+// body) is not executable; head variables must be bound by the body.
+bool IsExecutable(const ConjunctiveQuery& q, const Catalog& catalog);
+
+// A union is executable iff every disjunct is. The `false` query (empty
+// union) is vacuously executable.
+bool IsExecutable(const UnionQuery& q, const Catalog& catalog);
+
+// Computes the adornment (one pattern per body literal) the executor would
+// use, or nullopt if `q` is not executable in the given order.
+std::optional<std::vector<AccessPattern>> ComputeAdornments(
+    const ConjunctiveQuery& q, const Catalog& catalog);
+
+// Renders an executable rule with adornments, e.g.
+// `Q(i, a, t) :- C^oo(i, a), B^ioo(i, a, t), not L^o(i).`
+std::string AdornedToString(const ConjunctiveQuery& q,
+                            const std::vector<AccessPattern>& adornments);
+
+}  // namespace ucqn
+
+#endif  // UCQN_SCHEMA_ADORNMENT_H_

@@ -1,0 +1,209 @@
+#include "schema/catalog.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+RelationSchema& Catalog::AddRelation(const std::string& name,
+                                     std::size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    UCQN_CHECK_MSG(it->second.arity() == arity,
+                   "relation redeclared with different arity");
+    return it->second;
+  }
+  auto [inserted, ok] = relations_.emplace(name, RelationSchema(name, arity));
+  UCQN_CHECK(ok);
+  return inserted->second;
+}
+
+void Catalog::AddPattern(const std::string& name, std::string_view word) {
+  AccessPattern pattern = AccessPattern::MustParse(word);
+  RelationSchema& schema = AddRelation(name, pattern.arity());
+  schema.AddPattern(pattern);
+}
+
+const RelationSchema* Catalog::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<const RelationSchema*> Catalog::Relations() const {
+  std::vector<const RelationSchema*> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, schema] : relations_) out.push_back(&schema);
+  return out;
+}
+
+bool Catalog::CoversQuery(const ConjunctiveQuery& q, std::string* error) const {
+  for (const Literal& l : q.body()) {
+    const RelationSchema* schema = Find(l.relation());
+    if (schema == nullptr) {
+      if (error != nullptr) *error = "undeclared relation " + l.relation();
+      return false;
+    }
+    if (schema->arity() != l.atom().arity()) {
+      if (error != nullptr) {
+        *error = "relation " + l.relation() + " used with arity " +
+                 std::to_string(l.atom().arity()) + ", declared " +
+                 std::to_string(schema->arity());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Catalog::CoversQuery(const UnionQuery& q, std::string* error) const {
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    if (!CoversQuery(disjunct, error)) return false;
+  }
+  return true;
+}
+
+Catalog Catalog::WithAllOutputPatterns(bool replace) const {
+  Catalog out;
+  for (const auto& [name, schema] : relations_) {
+    RelationSchema& copy = out.AddRelation(name, schema.arity());
+    if (!replace) {
+      for (const AccessPattern& p : schema.patterns()) copy.AddPattern(p);
+    }
+    copy.AddPattern(AccessPattern::AllOutput(schema.arity()));
+  }
+  return out;
+}
+
+namespace {
+
+// True iff every input slot of `a` is an input slot of `b`.
+bool InputsSubset(const AccessPattern& a, const AccessPattern& b) {
+  for (std::size_t j = 0; j < a.arity(); ++j) {
+    if (a.IsInputSlot(j) && !b.IsInputSlot(j)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Catalog Catalog::Normalized() const {
+  Catalog out;
+  for (const auto& [name, schema] : relations_) {
+    RelationSchema& copy = out.AddRelation(name, schema.arity());
+    for (const AccessPattern& p : schema.patterns()) {
+      bool dominated = false;
+      for (const AccessPattern& other : schema.patterns()) {
+        if (other != p && InputsSubset(other, p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) copy.AddPattern(p);
+    }
+  }
+  return out;
+}
+
+std::optional<Catalog> Catalog::Parse(std::string_view text,
+                                      std::string* error) {
+  Catalog catalog;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::size_t comment = line.find_first_of("#%");
+    if (comment != std::string::npos) line.resize(comment);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped.substr(0, 9) == "relation " ||
+        stripped.substr(0, 9) == "relation\t") {
+      stripped = StripWhitespace(stripped.substr(9));
+    }
+    std::size_t colon = stripped.find(':');
+    if (colon == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": expected ':'";
+      }
+      return std::nullopt;
+    }
+    std::string_view decl = StripWhitespace(stripped.substr(0, colon));
+    std::size_t slash = decl.find('/');
+    if (slash == std::string_view::npos || slash == 0 ||
+        slash + 1 >= decl.size()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) +
+                 ": expected name/arity before ':'";
+      }
+      return std::nullopt;
+    }
+    std::string name(StripWhitespace(decl.substr(0, slash)));
+    std::string arity_text(StripWhitespace(decl.substr(slash + 1)));
+    std::size_t arity = 0;
+    for (char c : arity_text) {
+      if (c < '0' || c > '9') {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_number) + ": bad arity";
+        }
+        return std::nullopt;
+      }
+      arity = arity * 10 + static_cast<std::size_t>(c - '0');
+    }
+    RelationSchema& schema = catalog.AddRelation(name, arity);
+    for (const std::string& word :
+         SplitAndTrim(stripped.substr(colon + 1), ' ')) {
+      // "@N" annotates the relation's advertised cardinality.
+      if (word[0] == '@') {
+        double cardinality = 0;
+        bool numeric = word.size() > 1;
+        for (std::size_t i = 1; i < word.size(); ++i) {
+          if (word[i] < '0' || word[i] > '9') {
+            numeric = false;
+            break;
+          }
+          cardinality = cardinality * 10 + (word[i] - '0');
+        }
+        if (!numeric) {
+          if (error != nullptr) {
+            *error = "line " + std::to_string(line_number) +
+                     ": bad cardinality '" + word + "'";
+          }
+          return std::nullopt;
+        }
+        schema.set_cardinality(cardinality);
+        continue;
+      }
+      std::optional<AccessPattern> pattern = AccessPattern::FromString(word);
+      if (!pattern.has_value() || pattern->arity() != arity) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_number) +
+                   ": bad access pattern '" + word + "'";
+        }
+        return std::nullopt;
+      }
+      schema.AddPattern(*pattern);
+    }
+  }
+  return catalog;
+}
+
+Catalog Catalog::MustParse(std::string_view text) {
+  std::string error;
+  std::optional<Catalog> catalog = Parse(text, &error);
+  UCQN_CHECK_MSG(catalog.has_value(), error.c_str());
+  return std::move(*catalog);
+}
+
+std::string Catalog::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(relations_.size());
+  for (const auto& [name, schema] : relations_) {
+    lines.push_back(schema.ToString());
+  }
+  return StrJoin(lines, "\n");
+}
+
+}  // namespace ucqn

@@ -1,0 +1,84 @@
+#ifndef UCQN_SCHEMA_CATALOG_H_
+#define UCQN_SCHEMA_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/query.h"
+#include "schema/relation_schema.h"
+
+namespace ucqn {
+
+// The set 𝒫 of access patterns for all source relations — the schema a
+// query is planned against.
+//
+// A catalog can be built programmatically or parsed from text, one relation
+// per line:
+//
+//   relation B/3: ioo oio
+//   relation L/1: o
+//
+// (the leading `relation` keyword is optional; `#`/`%` start comments).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Declares `name` with `arity`. CHECK-fails if already declared with a
+  // different arity. Returns the schema for chaining AddPattern calls.
+  RelationSchema& AddRelation(const std::string& name, std::size_t arity);
+
+  // Declares the relation if needed and adds `word` as a pattern.
+  // CHECK-fails on invalid words or arity mismatch.
+  void AddPattern(const std::string& name, std::string_view word);
+
+  // Looks up a relation; nullptr if undeclared.
+  const RelationSchema* Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return Find(name) != nullptr; }
+
+  // All declared relations, ordered by name.
+  std::vector<const RelationSchema*> Relations() const;
+
+  std::size_t size() const { return relations_.size(); }
+
+  // True if every relation used by `q` is declared with matching arity.
+  // When `error` is non-null, describes the first violation.
+  bool CoversQuery(const ConjunctiveQuery& q, std::string* error) const;
+  bool CoversQuery(const UnionQuery& q, std::string* error) const;
+
+  // Returns a copy in which every relation additionally (or exclusively,
+  // if `replace` is true) carries the all-output pattern. Used by the
+  // reductions of Section 5 ("we give relations output access patterns").
+  Catalog WithAllOutputPatterns(bool replace) const;
+
+  // Returns a copy with dominated patterns removed: pattern p is dominated
+  // by p' when inputs(p') ⊊ inputs(p) — every call p can serve, p' can
+  // serve with fewer required values ("bound is easier", footnote 4).
+  // Normalizing never changes answerability, orderability, or feasibility
+  // of any query, so it is the right form for *capability analysis*
+  // (smaller catalogs, fewer candidate adornments). It is NOT meant for
+  // execution: the dropped high-input patterns are exactly the selective
+  // probes the executor prefers for performance (see bench_ablation).
+  Catalog Normalized() const;
+
+  // Parses the textual format above. Returns nullopt and sets `*error` on
+  // malformed input.
+  static std::optional<Catalog> Parse(std::string_view text,
+                                      std::string* error);
+
+  // CHECK-failing variant for literal schemas in tests and examples.
+  static Catalog MustParse(std::string_view text);
+
+  // One relation per line, ordered by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationSchema> relations_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_SCHEMA_CATALOG_H_

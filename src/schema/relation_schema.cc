@@ -1,0 +1,40 @@
+#include "schema/relation_schema.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace ucqn {
+
+void RelationSchema::AddPattern(const AccessPattern& pattern) {
+  UCQN_CHECK_MSG(pattern.arity() == arity_,
+                 "access pattern arity does not match relation arity");
+  if (!HasPattern(pattern)) patterns_.push_back(pattern);
+}
+
+bool RelationSchema::HasPattern(const AccessPattern& pattern) const {
+  return std::find(patterns_.begin(), patterns_.end(), pattern) !=
+         patterns_.end();
+}
+
+bool RelationSchema::HasFullScanPattern() const {
+  for (const AccessPattern& p : patterns_) {
+    if (!p.HasInputs()) return true;
+  }
+  return false;
+}
+
+std::string RelationSchema::ToString() const {
+  std::vector<std::string> words;
+  words.reserve(patterns_.size());
+  for (const AccessPattern& p : patterns_) words.push_back(p.word());
+  std::string out =
+      name_ + "/" + std::to_string(arity_) + ": " + StrJoin(words, " ");
+  if (cardinality_.has_value()) {
+    out += " @" + std::to_string(static_cast<long long>(*cardinality_));
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,53 @@
+#ifndef UCQN_SCHEMA_RELATION_SCHEMA_H_
+#define UCQN_SCHEMA_RELATION_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/access_pattern.h"
+
+namespace ucqn {
+
+// A relation together with its set of supported access patterns — the
+// paper's model of "a family of web service operations over k attributes"
+// (Section 1). A relation with no patterns exists in the schema but cannot
+// be called at all.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return arity_; }
+  const std::vector<AccessPattern>& patterns() const { return patterns_; }
+
+  // Adds `pattern` (deduplicated). CHECK-fails on arity mismatch.
+  void AddPattern(const AccessPattern& pattern);
+
+  bool HasPattern(const AccessPattern& pattern) const;
+
+  // True if some pattern has no input slots, i.e. the relation can be
+  // scanned without providing any values.
+  bool HasFullScanPattern() const;
+
+  // Optional advertised cardinality (service metadata) for the cost-aware
+  // planner; see CardinalityEstimates::FromCatalog.
+  const std::optional<double>& cardinality() const { return cardinality_; }
+  void set_cardinality(double cardinality) { cardinality_ = cardinality; }
+
+  // Renders e.g. "B/3: ioo oio" or, with metadata, "B/3: ioo oio @5000".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::size_t arity_ = 0;
+  std::vector<AccessPattern> patterns_;
+  std::optional<double> cardinality_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_SCHEMA_RELATION_SCHEMA_H_

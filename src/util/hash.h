@@ -1,0 +1,20 @@
+#ifndef UCQN_UTIL_HASH_H_
+#define UCQN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace ucqn {
+
+// Combines `seed` with the hash of `value`, boost-style. Used to build
+// hashes for composite AST values (terms, atoms, queries) so they can key
+// unordered containers and memoization tables.
+template <typename T>
+void HashCombine(std::size_t* seed, const T& value) {
+  std::hash<T> hasher;
+  *seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_UTIL_HASH_H_

@@ -1,0 +1,32 @@
+#ifndef UCQN_UTIL_LOGGING_H_
+#define UCQN_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant-checking macros.
+//
+// The library does not use exceptions; internal invariant violations are
+// programming errors and abort with a message pointing at the failing
+// expression. User-facing fallible operations (parsing, executing a plan
+// against sources) report failures through their return types instead.
+
+#define UCQN_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UCQN_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define UCQN_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UCQN_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // UCQN_UTIL_LOGGING_H_

@@ -1,0 +1,26 @@
+#ifndef UCQN_UTIL_STRINGS_H_
+#define UCQN_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ucqn {
+
+// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+// dropping empty pieces. Handy for parsing schema declarations.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` consists only of the characters in `alphabet`.
+bool ConsistsOf(std::string_view text, std::string_view alphabet);
+
+}  // namespace ucqn
+
+#endif  // UCQN_UTIL_STRINGS_H_

@@ -1,0 +1,53 @@
+#include "schema/access_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+TEST(AccessPatternTest, FromStringValid) {
+  std::optional<AccessPattern> p = AccessPattern::FromString("ioo");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->arity(), 3u);
+  EXPECT_TRUE(p->IsInputSlot(0));
+  EXPECT_TRUE(p->IsOutputSlot(1));
+  EXPECT_TRUE(p->IsOutputSlot(2));
+  EXPECT_EQ(p->word(), "ioo");
+}
+
+TEST(AccessPatternTest, FromStringInvalid) {
+  EXPECT_FALSE(AccessPattern::FromString("iox").has_value());
+  EXPECT_FALSE(AccessPattern::FromString("IO").has_value());
+  EXPECT_FALSE(AccessPattern::FromString("1o").has_value());
+}
+
+TEST(AccessPatternTest, EmptyWordIsZeroAry) {
+  std::optional<AccessPattern> p = AccessPattern::FromString("");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->arity(), 0u);
+  EXPECT_FALSE(p->HasInputs());
+}
+
+TEST(AccessPatternTest, SlotLists) {
+  AccessPattern p = AccessPattern::MustParse("ioio");
+  EXPECT_EQ(p.InputSlots(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(p.OutputSlots(), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(p.InputCount(), 2u);
+  EXPECT_TRUE(p.HasInputs());
+}
+
+TEST(AccessPatternTest, Factories) {
+  EXPECT_EQ(AccessPattern::AllOutput(3).word(), "ooo");
+  EXPECT_EQ(AccessPattern::AllInput(2).word(), "ii");
+  EXPECT_FALSE(AccessPattern::AllOutput(4).HasInputs());
+  EXPECT_EQ(AccessPattern::AllInput(2).InputCount(), 2u);
+}
+
+TEST(AccessPatternTest, ComparisonOperators) {
+  EXPECT_EQ(AccessPattern::MustParse("io"), AccessPattern::MustParse("io"));
+  EXPECT_NE(AccessPattern::MustParse("io"), AccessPattern::MustParse("oi"));
+  EXPECT_LT(AccessPattern::MustParse("ii"), AccessPattern::MustParse("io"));
+}
+
+}  // namespace
+}  // namespace ucqn

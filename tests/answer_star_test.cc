@@ -1,0 +1,140 @@
+#include "eval/answer_star.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/oracle.h"
+#include "gen/scenarios.h"
+
+namespace ucqn {
+namespace {
+
+AnswerStarReport RunScenario(const Scenario& s) {
+  DatabaseSource source(&s.database, &s.catalog);
+  return AnswerStar(s.query, s.catalog, &source);
+}
+
+TEST(AnswerStarTest, Example4CompleteDespiteInfeasibility) {
+  Scenario s = Example4UnderOver();
+  AnswerStarReport report = RunScenario(s);
+  // S(b) holds, so R(x,z),¬S(z) yields nothing: Δ = ∅ and the answer is
+  // complete although Q is infeasible.
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.delta.empty());
+  EXPECT_EQ(report.under.size(), 2u);  // the two T tuples
+  EXPECT_EQ(report.under, report.over);
+  EXPECT_NE(report.Summary().find("answer is complete"), std::string::npos);
+}
+
+TEST(AnswerStarTest, Example6ForeignKeyForcesCompleteness) {
+  Scenario s = Example6ForeignKey();
+  AnswerStarReport report = RunScenario(s);
+  EXPECT_TRUE(report.complete);
+  // The underestimate equals the true answer.
+  EXPECT_EQ(report.under, OracleEvaluate(s.query, s.database));
+}
+
+TEST(AnswerStarTest, Example7NullTupleInDelta) {
+  Scenario s = Example7Nulls();
+  AnswerStarReport report = RunScenario(s);
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.delta_has_nulls);
+  // With nulls in Δ, no numeric completeness bound can be given.
+  EXPECT_FALSE(report.completeness_lower_bound.has_value());
+  ASSERT_EQ(report.delta.size(), 1u);
+  EXPECT_EQ(*report.delta.begin(),
+            (Tuple{Term::Constant("a"), Term::Null()}));
+  EXPECT_NE(report.Summary().find("may be part of the answer"),
+            std::string::npos);
+}
+
+TEST(AnswerStarTest, CompletenessRatioWithoutNulls) {
+  // Craft a query whose overestimate adds null-free tuples: the
+  // unanswerable literal is boolean (no new head variables).
+  Catalog catalog = Catalog::MustParse("R/2: oo\nP/1: i\nT/2: oo\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x, y) :- R(x, y), P(x).
+    Q(x, y) :- T(x, y).
+  )");
+  Database db = Database::MustParseFacts(R"(
+    R("r1", "s1").
+    P("r1").
+    T("t1", "t2").
+  )");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  // P(x) is answerable?? P^i with x bound by R — yes; so plans coincide.
+  EXPECT_TRUE(report.complete);
+
+  // Now make P truly unanswerable by giving it an unbound variable.
+  UnionQuery q2 = MustParseUnionQuery(R"(
+    Q(x, y) :- R(x, y), P(w).
+    Q(x, y) :- T(x, y).
+  )");
+  AnswerStarReport report2 = AnswerStar(q2, catalog, &source);
+  EXPECT_FALSE(report2.complete);
+  EXPECT_FALSE(report2.delta_has_nulls);
+  ASSERT_TRUE(report2.completeness_lower_bound.has_value());
+  // under = {t1 tuple}; over adds the R tuple: 1/2.
+  EXPECT_DOUBLE_EQ(*report2.completeness_lower_bound, 0.5);
+  EXPECT_NE(report2.Summary().find("at least"), std::string::npos);
+}
+
+TEST(AnswerStarTest, UnderestimateIsSound) {
+  // Every tuple of ansᵤ must be a genuine answer (Qᵘ ⊑ Q pointwise).
+  for (const Scenario& s : AllScenarios()) {
+    AnswerStarReport report = RunScenario(s);
+    std::set<Tuple> truth = OracleEvaluate(s.query, s.database);
+    for (const Tuple& t : report.under) {
+      EXPECT_TRUE(truth.count(t))
+          << s.name << ": spurious underestimate tuple " << TupleToString(t);
+    }
+  }
+}
+
+TEST(AnswerStarTest, OverestimateCoversTruthModuloNulls) {
+  // Every true answer must appear in ansₒ, possibly with nulls in the
+  // columns the overestimate could not compute.
+  for (const Scenario& s : AllScenarios()) {
+    AnswerStarReport report = RunScenario(s);
+    std::set<Tuple> truth = OracleEvaluate(s.query, s.database);
+    for (const Tuple& t : truth) {
+      bool covered = false;
+      for (const Tuple& o : report.over) {
+        if (o.size() != t.size()) continue;
+        bool match = true;
+        for (std::size_t j = 0; j < t.size(); ++j) {
+          if (!o[j].IsNull() && o[j] != t[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << s.name << ": answer " << TupleToString(t)
+                           << " missing from overestimate";
+    }
+  }
+}
+
+TEST(AnswerStarTest, FeasibleQueryAlwaysComplete) {
+  Scenario s = Example1Books();
+  AnswerStarReport report = RunScenario(s);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.under, OracleEvaluate(s.query, s.database));
+}
+
+TEST(AnswerStarTest, EmptyDatabaseIsCompleteAndEmpty) {
+  Scenario s = Example4UnderOver();
+  Database empty;
+  DatabaseSource source(&empty, &s.catalog);
+  AnswerStarReport report = AnswerStar(s.query, s.catalog, &source);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.under.empty());
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,150 @@
+#include "feasibility/answerable.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+Catalog BookCatalog() {
+  return Catalog::MustParse(R"(
+    relation B/3: ioo oio
+    relation C/2: oo
+    relation L/1: o
+  )");
+}
+
+TEST(AnswerableTest, Example1OrderedExecutable) {
+  Catalog catalog = BookCatalog();
+  ConjunctiveQuery q =
+      MustParseRule("Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).");
+  AnswerablePart part = Answerable(q, catalog);
+  ASSERT_FALSE(part.IsFalse());
+  EXPECT_TRUE(part.unanswerable.empty());
+  // The algorithm's order: C first (only literal callable with B = ∅),
+  // then B and not L become answerable in the second round.
+  EXPECT_EQ(part.answerable->body()[0].relation(), "C");
+  EXPECT_TRUE(IsExecutable(*part.answerable, catalog));
+  EXPECT_EQ(part.bound.size(), 3u);
+}
+
+TEST(AnswerableTest, UnsatisfiableQueryIsFalse) {
+  Catalog catalog = BookCatalog();
+  ConjunctiveQuery q = MustParseRule("Q(i) :- L(i), not L(i).");
+  AnswerablePart part = Answerable(q, catalog);
+  EXPECT_TRUE(part.IsFalse());
+  EXPECT_TRUE(part.unanswerable.empty());
+}
+
+TEST(AnswerableTest, UnanswerableLiteralDetected) {
+  // Example 9's pattern: B^i can never bind y.
+  Catalog catalog = Catalog::MustParse("F/1: o\nB/1: i\n");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- F(x), B(x), B(y), F(z).");
+  AnswerablePart part = Answerable(q, catalog);
+  ASSERT_FALSE(part.IsFalse());
+  ASSERT_EQ(part.unanswerable.size(), 1u);
+  EXPECT_EQ(part.unanswerable[0].ToString(), "B(y)");
+  EXPECT_EQ(part.answerable->body().size(), 3u);
+}
+
+TEST(AnswerableTest, NegativeLiteralWaitsForBindings) {
+  Catalog catalog = Catalog::MustParse("S/1: o\nR/2: oo\n");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- not S(z), R(x, z).");
+  AnswerablePart part = Answerable(q, catalog);
+  ASSERT_FALSE(part.IsFalse());
+  EXPECT_TRUE(part.unanswerable.empty());
+  // R must come first: a negated call cannot produce bindings.
+  EXPECT_EQ(part.answerable->body()[0].relation(), "R");
+  EXPECT_TRUE(part.answerable->body()[1].negative());
+}
+
+TEST(AnswerableTest, AnsIsIdempotent) {
+  Catalog catalog = Catalog::MustParse("F/1: o\nB/1: i\nG/2: io\n");
+  ConjunctiveQuery q =
+      MustParseRule("Q(x) :- F(x), G(x, y), B(w), not G(y, x).");
+  AnswerablePart once = Answerable(q, catalog);
+  ASSERT_FALSE(once.IsFalse());
+  AnswerablePart twice = Answerable(*once.answerable, catalog);
+  ASSERT_FALSE(twice.IsFalse());
+  EXPECT_EQ(*twice.answerable, *once.answerable);
+  EXPECT_TRUE(twice.unanswerable.empty());
+}
+
+TEST(AnsUnionTest, DropsUnsatisfiableDisjuncts) {
+  Catalog catalog = Catalog::MustParse("R/1: o\nS/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not R(x).
+    Q(x) :- S(x).
+  )");
+  UnionQuery ans = Ans(q, catalog);
+  ASSERT_EQ(ans.size(), 1u);
+  EXPECT_EQ(ans.disjuncts()[0].body()[0].relation(), "S");
+}
+
+TEST(IsLiteralAnswerableTest, Definition6AppliesToForeignLiterals) {
+  Catalog catalog = Catalog::MustParse("C/2: oo\nB/3: ioo\nX/2: io\n");
+  ConjunctiveQuery q = MustParseRule("Q(i, a) :- C(i, a).");
+  // X(i, w) is not in Q but is Q-answerable: C binds i, X^io outputs w.
+  EXPECT_TRUE(IsLiteralAnswerable(
+      MustParseRule("P(i) :- X(i, w).").body()[0], q, catalog));
+  // X(w, i) needs w bound: not Q-answerable.
+  EXPECT_FALSE(IsLiteralAnswerable(
+      MustParseRule("P(i) :- X(w, i).").body()[0], q, catalog));
+}
+
+TEST(IsOrderableTest, PaperVerdicts) {
+  Catalog catalog = BookCatalog();
+  // Example 1: orderable.
+  EXPECT_TRUE(IsOrderable(
+      MustParseRule("Q(i, a, t) :- B(i, a, t), C(i, a), not L(i)."),
+      catalog));
+  // Example 3's disjuncts: not orderable (i2, a2 cannot be bound).
+  EXPECT_FALSE(IsOrderable(
+      MustParseRule("Q(a) :- B(i, a, t), L(i), B(i2, a2, t)."), catalog));
+  EXPECT_FALSE(IsOrderable(
+      MustParseRule("Q(a) :- B(i, a, t), L(i), not B(i2, a2, t)."),
+      catalog));
+}
+
+TEST(IsOrderableTest, EdgeCases) {
+  Catalog catalog = BookCatalog();
+  // Unsatisfiable: orderable (ans = false is executable).
+  EXPECT_TRUE(IsOrderable(MustParseRule("Q(i) :- L(i), not L(i)."), catalog));
+  // `true`: not orderable.
+  EXPECT_FALSE(IsOrderable(MustParseRule("Q()."), catalog));
+  // Unsafe head: not orderable even though all body literals answerable.
+  EXPECT_FALSE(IsOrderable(MustParseRule("Q(i, x) :- L(i)."), catalog));
+}
+
+TEST(IsOrderableTest, UnionOrderableIffAllDisjunctsAre) {
+  Catalog catalog = BookCatalog();
+  UnionQuery mixed = MustParseUnionQuery(R"(
+    Q(i) :- L(i).
+    Q(i) :- B(i, a, t).
+  )");
+  EXPECT_FALSE(IsOrderable(mixed, catalog));
+  UnionQuery good = MustParseUnionQuery(R"(
+    Q(i) :- L(i).
+    Q(i) :- C(i, a).
+  )");
+  EXPECT_TRUE(IsOrderable(good, catalog));
+  EXPECT_TRUE(IsOrderable(UnionQuery(), catalog));
+}
+
+TEST(AnswerableTest, QuadraticScalingSmokeCheck) {
+  // A long chain is fully answerable and the algorithm terminates quickly.
+  Catalog catalog = Catalog::MustParse("E/2: io\nStart/1: o\n");
+  std::string text = "Q(v0) :- Start(v0)";
+  for (int i = 0; i < 200; ++i) {
+    text += ", E(v" + std::to_string(i) + ", v" + std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  AnswerablePart part = Answerable(MustParseRule(text), catalog);
+  ASSERT_FALSE(part.IsFalse());
+  EXPECT_TRUE(part.unanswerable.empty());
+  EXPECT_EQ(part.answerable->body().size(), 201u);
+}
+
+}  // namespace
+}  // namespace ucqn

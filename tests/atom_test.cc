@@ -1,0 +1,81 @@
+#include "ast/atom.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ucqn {
+namespace {
+
+Atom MakeAtom() {
+  return Atom("R", {Term::Variable("x"), Term::Constant("C"),
+                    Term::Variable("x"), Term::Variable("y")});
+}
+
+TEST(AtomTest, Basics) {
+  Atom a = MakeAtom();
+  EXPECT_EQ(a.relation(), "R");
+  EXPECT_EQ(a.arity(), 4u);
+  EXPECT_FALSE(a.IsGround());
+}
+
+TEST(AtomTest, VariablesDeduplicatedInOrder) {
+  std::vector<Term> vars = MakeAtom().Variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], Term::Variable("x"));
+  EXPECT_EQ(vars[1], Term::Variable("y"));
+}
+
+TEST(AtomTest, GroundAtom) {
+  Atom a("R", {Term::Constant("A"), Term::Null()});
+  EXPECT_TRUE(a.IsGround());
+  EXPECT_TRUE(a.Variables().empty());
+}
+
+TEST(AtomTest, ZeroAryAtom) {
+  Atom a("Flag", {});
+  EXPECT_TRUE(a.IsGround());
+  EXPECT_EQ(a.ToString(), "Flag()");
+}
+
+TEST(AtomTest, ToString) {
+  EXPECT_EQ(MakeAtom().ToString(), "R(x, C, x, y)");
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  std::unordered_set<Atom, AtomHash> atoms;
+  atoms.insert(MakeAtom());
+  atoms.insert(MakeAtom());
+  atoms.insert(Atom("R", {Term::Variable("x")}));
+  EXPECT_EQ(atoms.size(), 2u);
+  EXPECT_NE(Atom("R", {}), Atom("S", {}));
+}
+
+TEST(LiteralTest, SignHandling) {
+  Literal pos = Literal::Positive(MakeAtom());
+  Literal neg = Literal::Negative(MakeAtom());
+  EXPECT_TRUE(pos.positive());
+  EXPECT_TRUE(neg.negative());
+  EXPECT_NE(pos, neg);
+  EXPECT_EQ(pos.Negated(), neg);
+  EXPECT_EQ(neg.Negated(), pos);
+  EXPECT_EQ(pos.atom(), neg.atom());
+}
+
+TEST(LiteralTest, ToString) {
+  EXPECT_EQ(Literal::Positive(Atom("R", {Term::Variable("x")})).ToString(),
+            "R(x)");
+  EXPECT_EQ(Literal::Negative(Atom("R", {Term::Variable("x")})).ToString(),
+            "not R(x)");
+}
+
+TEST(LiteralTest, HashDistinguishesSign) {
+  std::unordered_set<Literal, LiteralHash> literals;
+  literals.insert(Literal::Positive(MakeAtom()));
+  literals.insert(Literal::Negative(MakeAtom()));
+  literals.insert(Literal::Positive(MakeAtom()));
+  EXPECT_EQ(literals.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,67 @@
+#include "containment/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+Catalog SmallCatalog() {
+  return Catalog::MustParse("A/1: o\nB/1: o\nE/2: oo\n");
+}
+
+std::optional<bool> Check(const std::string& p, const std::string& q) {
+  return BruteForceContained(MustParseRule(p), MustParseUnionQuery(q),
+                             SmallCatalog());
+}
+
+TEST(BruteForceContainedTest, PositiveCases) {
+  EXPECT_EQ(Check("Q(x) :- A(x), B(x).", "Q(x) :- A(x)."),
+            std::optional<bool>(true));
+  EXPECT_EQ(Check("Q(x) :- A(x).", "Q(x) :- A(x), B(x)."),
+            std::optional<bool>(false));
+}
+
+TEST(BruteForceContainedTest, NegationCaseSplit) {
+  EXPECT_EQ(Check("Q(x) :- A(x).",
+                  "Q(x) :- A(x), not B(x).\nQ(x) :- A(x), B(x)."),
+            std::optional<bool>(true));
+  EXPECT_EQ(Check("Q(x) :- A(x).", "Q(x) :- A(x), not B(x)."),
+            std::optional<bool>(false));
+}
+
+TEST(BruteForceContainedTest, UnsatisfiableLeftSide) {
+  EXPECT_EQ(Check("Q(x) :- A(x), not A(x).", "Q(x) :- B(x)."),
+            std::optional<bool>(true));
+}
+
+TEST(BruteForceContainedTest, FrozenNegativesForbidAtoms) {
+  // P's own ¬B(x) must hold in every completion considered: P ⊑ the
+  // matching ¬B query.
+  EXPECT_EQ(Check("Q(x) :- A(x), not B(x).", "Q(x) :- A(x), not B(x)."),
+            std::optional<bool>(true));
+}
+
+TEST(BruteForceContainedTest, ConstantsFromBothSidesEnterTheDomain) {
+  // Q's constant is not P's: containment must fail because x can be
+  // frozen to something other than "c".
+  EXPECT_EQ(Check("Q(x) :- A(x).", "Q(x) :- A(x), B(\"c\")."),
+            std::optional<bool>(false));
+}
+
+TEST(BruteForceContainedTest, CapReturnsNullopt) {
+  BruteForceOptions options;
+  options.max_free_atoms = 1;
+  std::optional<bool> result = BruteForceContained(
+      MustParseRule("Q(x) :- E(x, y)."),
+      MustParseUnionQuery("Q(x) :- E(x, x)."), SmallCatalog(), options);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BruteForceContainedTest, UndeclaredRelationReturnsNullopt) {
+  EXPECT_FALSE(Check("Q(x) :- Zzz(x).", "Q(x) :- Zzz(x).").has_value());
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,152 @@
+#include "mediator/capabilities.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "feasibility/feasible.h"
+
+namespace ucqn {
+namespace {
+
+TEST(AnalyzeViewStackTest, SingleLayer) {
+  Catalog sources = Catalog::MustParse("Image/2: io\nSubjects/1: o\n");
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(s, i) :- Image(s, i).
+    AllSubjects(s) :- Subjects(s).
+  )");
+  ViewStackAnalysis analysis = AnalyzeViewStack(views, sources);
+  ASSERT_TRUE(analysis.ok) << analysis.error;
+  ASSERT_EQ(analysis.capabilities.size(), 2u);
+
+  std::map<std::string, ViewCapability> by_name;
+  for (const ViewCapability& c : analysis.capabilities) by_name[c.view] = c;
+
+  ASSERT_EQ(by_name["V"].minimal_patterns.size(), 1u);
+  EXPECT_EQ(by_name["V"].minimal_patterns[0].word(), "io");
+  EXPECT_FALSE(by_name["V"].feasible_outright);
+
+  ASSERT_EQ(by_name["AllSubjects"].minimal_patterns.size(), 1u);
+  EXPECT_EQ(by_name["AllSubjects"].minimal_patterns[0].word(), "o");
+  EXPECT_TRUE(by_name["AllSubjects"].feasible_outright);
+
+  // The exported catalog carries the derived patterns.
+  EXPECT_TRUE(analysis.exported_catalog.Find("V")->HasPattern(
+      AccessPattern::MustParse("io")));
+}
+
+TEST(AnalyzeViewStackTest, CapabilitiesPropagateUpward) {
+  // Upper is defined over V (which needs its subject bound) and Subjects
+  // (which can seed it) — so Upper is feasible outright even though V is
+  // not. Bottom-up propagation is what makes this visible.
+  Catalog sources = Catalog::MustParse("Image/2: io\nSubjects/1: o\n");
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(s, i) :- Image(s, i).
+    Upper(s, i) :- Subjects(s), V(s, i).
+  )");
+  ViewStackAnalysis analysis = AnalyzeViewStack(views, sources);
+  ASSERT_TRUE(analysis.ok) << analysis.error;
+  std::map<std::string, ViewCapability> by_name;
+  for (const ViewCapability& c : analysis.capabilities) by_name[c.view] = c;
+  EXPECT_TRUE(by_name["Upper"].feasible_outright);
+  // V is analyzed before Upper (dependency order).
+  EXPECT_EQ(analysis.capabilities[0].view, "V");
+
+  // A client can plan against the exported catalog directly.
+  EXPECT_TRUE(IsFeasible(MustParseUnionQuery("Q(s, i) :- Upper(s, i)."),
+                         analysis.exported_catalog));
+  EXPECT_FALSE(IsFeasible(MustParseUnionQuery("Q(s, i) :- V(s, i)."),
+                          analysis.exported_catalog));
+}
+
+TEST(AnalyzeViewStackTest, UnusableViewExportsNoPatterns) {
+  Catalog sources = Catalog::MustParse("R/2: oo\nB/1: i\n");
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- R(x, y), B(w).");
+  ViewStackAnalysis analysis = AnalyzeViewStack(views, sources);
+  ASSERT_TRUE(analysis.ok);
+  EXPECT_TRUE(analysis.capabilities[0].minimal_patterns.empty());
+  EXPECT_TRUE(analysis.exported_catalog.Find("V")->patterns().empty());
+}
+
+TEST(AnalyzeViewStackTest, UndeclaredRelationFails) {
+  Catalog sources = Catalog::MustParse("R/1: o\n");
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- Mystery(x).");
+  ViewStackAnalysis analysis = AnalyzeViewStack(views, sources);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_NE(analysis.error.find("undeclared"), std::string::npos);
+}
+
+TEST(AnalyzeViewStackTest, RecursionFails) {
+  Catalog sources = Catalog::MustParse("R/1: o\n");
+  ViewRegistry self = ViewRegistry::MustParse("V(x) :- V(x).");
+  EXPECT_FALSE(AnalyzeViewStack(self, sources).ok);
+  ViewRegistry mutual = ViewRegistry::MustParse(R"(
+    V(x) :- W(x).
+    W(x) :- V(x).
+  )");
+  ViewStackAnalysis analysis = AnalyzeViewStack(mutual, sources);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_NE(analysis.error.find("cyclic"), std::string::npos);
+}
+
+TEST(MaterializeViewsTest, BottomUpLayers) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Low(x) :- R(x).
+    High(x) :- Low(x), S(x).
+  )");
+  Database base = Database::MustParseFacts(R"(
+    R("a").
+    R("b").
+    S("a").
+  )");
+  MaterializationResult result = MaterializeViews(views, base);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.database.TupleCount("Low"), 2u);
+  EXPECT_EQ(result.database.TupleCount("High"), 1u);
+  EXPECT_TRUE(result.database.Contains("High", {Term::Constant("a")}));
+  // The base relations survive untouched.
+  EXPECT_EQ(result.database.TupleCount("R"), 2u);
+}
+
+TEST(MaterializeViewsTest, NegationThroughLayers) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Bad(x) :- Flagged(x).
+    Good(x) :- R(x), not Bad(x).
+  )");
+  Database base = Database::MustParseFacts(R"(
+    R("a").
+    R("b").
+    Flagged("b").
+  )");
+  MaterializationResult result = MaterializeViews(views, base);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.database.Contains("Good", {Term::Constant("a")}));
+  EXPECT_FALSE(result.database.Contains("Good", {Term::Constant("b")}));
+}
+
+TEST(MaterializeViewsTest, CyclesFail) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- W(x).
+    W(x) :- V(x).
+  )");
+  MaterializationResult result = MaterializeViews(views, Database());
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(AnalyzeViewStackTest, ThreeLayerStack) {
+  Catalog sources = Catalog::MustParse("KV/2: io\nKeys/1: o\n");
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Lookup(k, v) :- KV(k, v).
+    Joined(k, v) :- Keys(k), Lookup(k, v).
+    Top(v) :- Joined(k, v).
+  )");
+  ViewStackAnalysis analysis = AnalyzeViewStack(views, sources);
+  ASSERT_TRUE(analysis.ok) << analysis.error;
+  std::map<std::string, ViewCapability> by_name;
+  for (const ViewCapability& c : analysis.capabilities) by_name[c.view] = c;
+  EXPECT_FALSE(by_name["Lookup"].feasible_outright);
+  EXPECT_TRUE(by_name["Joined"].feasible_outright);
+  EXPECT_TRUE(by_name["Top"].feasible_outright);
+}
+
+}  // namespace
+}  // namespace ucqn

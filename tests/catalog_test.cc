@@ -1,0 +1,140 @@
+#include "schema/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  catalog.AddRelation("B", 3);
+  catalog.AddPattern("B", "ioo");
+  catalog.AddPattern("B", "oio");
+  catalog.AddPattern("B", "ioo");  // duplicate ignored
+  const RelationSchema* b = catalog.Find("B");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->arity(), 3u);
+  EXPECT_EQ(b->patterns().size(), 2u);
+  EXPECT_TRUE(b->HasPattern(AccessPattern::MustParse("ioo")));
+  EXPECT_FALSE(b->HasPattern(AccessPattern::MustParse("ooo")));
+  EXPECT_EQ(catalog.Find("X"), nullptr);
+  EXPECT_TRUE(catalog.Contains("B"));
+}
+
+TEST(CatalogTest, AddPatternDeclaresRelation) {
+  Catalog catalog;
+  catalog.AddPattern("L", "o");
+  ASSERT_TRUE(catalog.Contains("L"));
+  EXPECT_EQ(catalog.Find("L")->arity(), 1u);
+}
+
+TEST(CatalogTest, FullScanDetection) {
+  Catalog catalog;
+  catalog.AddPattern("A", "io");
+  catalog.AddPattern("B", "oo");
+  EXPECT_FALSE(catalog.Find("A")->HasFullScanPattern());
+  EXPECT_TRUE(catalog.Find("B")->HasFullScanPattern());
+}
+
+TEST(CatalogTest, ParseTextFormat) {
+  Catalog catalog = Catalog::MustParse(R"(
+    # book sources
+    relation B/3: ioo oio
+    C/2: oo
+    relation L/1: o
+  )");
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.Find("B")->patterns().size(), 2u);
+  EXPECT_EQ(catalog.Find("C")->arity(), 2u);
+}
+
+TEST(CatalogTest, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(Catalog::Parse("B: ioo", &error).has_value());
+  EXPECT_FALSE(Catalog::Parse("B/x: ioo", &error).has_value());
+  EXPECT_FALSE(Catalog::Parse("B/3 ioo", &error).has_value());
+  EXPECT_FALSE(Catalog::Parse("B/3: iox", &error).has_value());
+  EXPECT_FALSE(Catalog::Parse("B/3: io", &error).has_value());  // arity
+}
+
+TEST(CatalogTest, ParseRelationWithNoPatterns) {
+  Catalog catalog = Catalog::MustParse("B/2:\n");
+  ASSERT_TRUE(catalog.Contains("B"));
+  EXPECT_TRUE(catalog.Find("B")->patterns().empty());
+}
+
+TEST(CatalogTest, CoversQuery) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\n");
+  std::string error;
+  EXPECT_TRUE(
+      catalog.CoversQuery(MustParseRule("Q(x) :- R(x, y), not S(y)."),
+                          &error));
+  EXPECT_FALSE(catalog.CoversQuery(MustParseRule("Q(x) :- T(x)."), &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(catalog.CoversQuery(MustParseRule("Q(x) :- R(x)."), &error));
+  EXPECT_NE(error.find("arity"), std::string::npos);
+}
+
+TEST(CatalogTest, WithAllOutputPatterns) {
+  Catalog catalog = Catalog::MustParse("B/2: ii\n");
+  Catalog augmented = catalog.WithAllOutputPatterns(/*replace=*/false);
+  EXPECT_EQ(augmented.Find("B")->patterns().size(), 2u);
+  EXPECT_TRUE(augmented.Find("B")->HasFullScanPattern());
+  Catalog replaced = catalog.WithAllOutputPatterns(/*replace=*/true);
+  EXPECT_EQ(replaced.Find("B")->patterns().size(), 1u);
+  EXPECT_TRUE(replaced.Find("B")->HasFullScanPattern());
+}
+
+TEST(CatalogTest, CardinalityAnnotations) {
+  Catalog catalog = Catalog::MustParse(R"(
+    Big/2: io oo @50000
+    Small/1: o @12
+    Unknown/1: o
+  )");
+  ASSERT_TRUE(catalog.Find("Big")->cardinality().has_value());
+  EXPECT_DOUBLE_EQ(*catalog.Find("Big")->cardinality(), 50000.0);
+  EXPECT_DOUBLE_EQ(*catalog.Find("Small")->cardinality(), 12.0);
+  EXPECT_FALSE(catalog.Find("Unknown")->cardinality().has_value());
+  // Round-trips through the text form.
+  Catalog again = Catalog::MustParse(catalog.ToString());
+  EXPECT_EQ(again.ToString(), catalog.ToString());
+  // Bad annotations are rejected.
+  std::string error;
+  EXPECT_FALSE(Catalog::Parse("R/1: o @abc", &error).has_value());
+  EXPECT_FALSE(Catalog::Parse("R/1: o @", &error).has_value());
+}
+
+TEST(CatalogTest, NormalizedDropsDominatedPatterns) {
+  Catalog catalog = Catalog::MustParse("B/3: ioo oio ooo iio\nL/1: i o\n");
+  Catalog normalized = catalog.Normalized();
+  // ooo dominates everything for B; o dominates i for L.
+  ASSERT_EQ(normalized.Find("B")->patterns().size(), 1u);
+  EXPECT_EQ(normalized.Find("B")->patterns()[0].word(), "ooo");
+  ASSERT_EQ(normalized.Find("L")->patterns().size(), 1u);
+  EXPECT_EQ(normalized.Find("L")->patterns()[0].word(), "o");
+}
+
+TEST(CatalogTest, NormalizedKeepsIncomparablePatterns) {
+  Catalog catalog = Catalog::MustParse("B/3: ioo oio\n");
+  Catalog normalized = catalog.Normalized();
+  EXPECT_EQ(normalized.Find("B")->patterns().size(), 2u);
+}
+
+TEST(CatalogTest, NormalizedPreservesScanCapability) {
+  Catalog catalog = Catalog::MustParse("B/2: io oo ii\nS/1: o i\n");
+  Catalog normalized = catalog.Normalized();
+  EXPECT_TRUE(normalized.Find("B")->HasFullScanPattern());
+  EXPECT_TRUE(normalized.Find("S")->HasFullScanPattern());
+  EXPECT_EQ(normalized.Find("B")->patterns().size(), 1u);
+}
+
+TEST(CatalogTest, ToStringRoundTrip) {
+  Catalog catalog = Catalog::MustParse("B/3: ioo oio\nL/1: o\n");
+  Catalog reparsed = Catalog::MustParse(catalog.ToString());
+  EXPECT_EQ(reparsed.ToString(), catalog.ToString());
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,156 @@
+#include "feasibility/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "gen/scenarios.h"
+
+namespace ucqn {
+namespace {
+
+TEST(CompileTest, FeasibleQueryYieldsAdornedRewriting) {
+  Scenario s = Example1Books();
+  CompileResult result = Compile(s.query, s.catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kPlansEqual);
+  ASSERT_EQ(result.over.size(), 1u);
+  std::string plan = result.over[0].ToString();
+  EXPECT_NE(plan.find("C^oo"), std::string::npos);
+  EXPECT_NE(plan.find("not L^o"), std::string::npos);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_NE(result.Report().find("equivalent executable rewriting"),
+            std::string::npos);
+}
+
+TEST(CompileTest, DiagnosticsNameBlockedVariables) {
+  Scenario s = Example4UnderOver();
+  CompileResult result = Compile(s.query, s.catalog);
+  EXPECT_FALSE(result.feasible);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  const UnanswerableDiagnosis& diag = result.diagnostics[0];
+  EXPECT_EQ(diag.disjunct_index, 0u);
+  EXPECT_EQ(diag.literal.ToString(), "B(x, y)");
+  ASSERT_EQ(diag.blocked_variables.size(), 1u);
+  EXPECT_EQ(diag.blocked_variables[0], Term::Variable("y"));
+  // x is bindable via R, y is not: the unblocking pattern is B^io.
+  ASSERT_TRUE(diag.suggested_pattern.has_value());
+  EXPECT_EQ(diag.suggested_pattern->word(), "io");
+  EXPECT_NE(diag.ToString().find("B^io"), std::string::npos);
+}
+
+TEST(CompileTest, SuggestedPatternActuallyUnblocks) {
+  // Adding the suggested pattern must make the query feasible.
+  Scenario s = Example4UnderOver();
+  CompileResult before = Compile(s.query, s.catalog);
+  ASSERT_FALSE(before.feasible);
+  Catalog upgraded = s.catalog;
+  for (const UnanswerableDiagnosis& diag : before.diagnostics) {
+    ASSERT_TRUE(diag.suggested_pattern.has_value());
+    upgraded.AddPattern(diag.literal.relation(),
+                        diag.suggested_pattern->word());
+  }
+  CompileResult after = Compile(s.query, upgraded);
+  EXPECT_TRUE(after.feasible);
+}
+
+TEST(CompileTest, NegativeLiteralGetsNoPatternSuggestion) {
+  Catalog catalog = Catalog::MustParse("R/1: o\nS/2: ii\n");
+  // not S(x, w): w can never be bound, and no pattern can fix a negation.
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), S(w, w), not S(x, w).");
+  CompileResult result = Compile(q, catalog);
+  bool saw_negative = false;
+  for (const UnanswerableDiagnosis& diag : result.diagnostics) {
+    if (diag.literal.negative()) {
+      saw_negative = true;
+      EXPECT_FALSE(diag.suggested_pattern.has_value());
+      EXPECT_NE(diag.ToString().find("negated call can only filter"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(CompileTest, ConstraintsTurnInfeasibleIntoFeasible) {
+  // Example 6 as a compile-time story: the only infeasible disjunct is
+  // refuted by the foreign key, so the pruned query is feasible.
+  Scenario s = Example6ForeignKey();
+  CompileResult without = Compile(s.query, s.catalog);
+  EXPECT_FALSE(without.feasible);
+
+  ConstraintSet constraints = ConstraintSet::MustParse("R[1] c= S[0]");
+  CompileOptions options;
+  options.constraints = &constraints;
+  CompileResult with = Compile(s.query, s.catalog, options);
+  EXPECT_TRUE(with.feasible);
+  EXPECT_EQ(with.pruned_disjuncts, 1u);
+  EXPECT_EQ(with.analyzed_query.size(), 1u);
+  EXPECT_NE(with.Report().find("pruned by integrity constraints"),
+            std::string::npos);
+}
+
+TEST(CompileTest, ChaseUnlocksFeasibilityBeyondPruning) {
+  // B^i cannot bind y, so the query is infeasible; under R[0] ⊆ B[0] the
+  // chase adds B(x) to the body, the overestimate gains a B-atom, and the
+  // containment test maps B(y) onto it — feasible, and NOT via pruning.
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: i\nB/1: i\n");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x, z), S(z), B(y).");
+  EXPECT_FALSE(Compile(q, catalog).feasible);
+
+  ConstraintSet constraints = ConstraintSet::MustParse("R[0] c= B[0]");
+  CompileOptions options;
+  options.constraints = &constraints;
+  CompileResult with_chase = Compile(q, catalog, options);
+  EXPECT_TRUE(with_chase.feasible);
+  EXPECT_EQ(with_chase.pruned_disjuncts, 0u);  // pruning alone can't help
+  EXPECT_EQ(with_chase.path, FeasibleDecisionPath::kContainment);
+
+  // The ablation switch really is the difference.
+  options.chase = false;
+  EXPECT_FALSE(Compile(q, catalog, options).feasible);
+}
+
+TEST(CompileTest, EmptyBodyOverestimateRowIsHandled) {
+  Catalog catalog = Catalog::MustParse("B/2: ii\nT/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- B(x, y).
+    Q(x) :- T(x).
+  )");
+  CompileResult result = Compile(q, catalog);
+  EXPECT_FALSE(result.feasible);
+  ASSERT_EQ(result.over.size(), 2u);
+  EXPECT_EQ(result.over[0].ToString(), "Q(null).");
+  EXPECT_TRUE(result.over[0].adornments.empty());
+}
+
+TEST(CompileTest, ContainmentPathProducesWitnesses) {
+  // Example 3: feasible via containment; one witness per rewriting rule.
+  Scenario s = Example3FeasibleNotOrderable();
+  CompileResult result = Compile(s.query, s.catalog);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.path, FeasibleDecisionPath::kContainment);
+  ASSERT_EQ(result.witnesses.size(), result.over.size());
+  for (const ContainmentWitness& w : result.witnesses) {
+    EXPECT_FALSE(w.by_unsatisfiability);
+  }
+  EXPECT_NE(result.Report().find("containment witnesses"),
+            std::string::npos);
+}
+
+TEST(CompileTest, ShortcutPathsHaveNoWitnesses) {
+  Scenario s = Example1Books();
+  CompileResult result = Compile(s.query, s.catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.witnesses.empty());
+}
+
+TEST(CompileTest, ReportListsPlansAndDiagnostics) {
+  Scenario s = Example4UnderOver();
+  std::string report = Compile(s.query, s.catalog).Report();
+  EXPECT_NE(report.find("feasible: no"), std::string::npos);
+  EXPECT_NE(report.find("underestimate"), std::string::npos);
+  EXPECT_NE(report.find("overestimate"), std::string::npos);
+  EXPECT_NE(report.find("unanswerable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucqn

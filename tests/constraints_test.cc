@@ -1,0 +1,182 @@
+#include "constraints/inclusion.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/oracle.h"
+#include "gen/random_instance.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+TEST(InclusionDependencyTest, ParseAndPrint) {
+  InclusionDependency dep = InclusionDependency::MustParse("R[1] c= S[0]");
+  EXPECT_EQ(dep.from_relation(), "R");
+  EXPECT_EQ(dep.from_columns(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(dep.to_relation(), "S");
+  EXPECT_EQ(dep.to_columns(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dep.ToString(), "R[1] c= S[0]");
+  InclusionDependency multi =
+      InclusionDependency::MustParse("Orders[1,2] c= Pairs[0,1]");
+  EXPECT_EQ(multi.from_columns().size(), 2u);
+  EXPECT_EQ(InclusionDependency::MustParse(multi.ToString()), multi);
+}
+
+TEST(InclusionDependencyTest, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(InclusionDependency::Parse("R[1] = S[0]", &error).has_value());
+  EXPECT_FALSE(InclusionDependency::Parse("R1 c= S[0]", &error).has_value());
+  EXPECT_FALSE(InclusionDependency::Parse("R[] c= S[0]", &error).has_value());
+  EXPECT_FALSE(InclusionDependency::Parse("R[x] c= S[0]", &error).has_value());
+  EXPECT_FALSE(
+      InclusionDependency::Parse("R[1,2] c= S[0]", &error).has_value());
+}
+
+TEST(InclusionDependencyTest, HoldsIn) {
+  InclusionDependency dep = InclusionDependency::MustParse("R[1] c= S[0]");
+  Database good = Database::MustParseFacts(R"(
+    R("a", "k1").
+    R("b", "k2").
+    S("k1").
+    S("k2").
+  )");
+  EXPECT_TRUE(dep.HoldsIn(good));
+  Database bad = Database::MustParseFacts(R"(
+    R("a", "k1").
+    S("k2").
+  )");
+  EXPECT_FALSE(dep.HoldsIn(bad));
+  // Empty `from` side holds vacuously.
+  EXPECT_TRUE(dep.HoldsIn(Database::MustParseFacts("S(\"k\").\n")));
+  EXPECT_TRUE(dep.HoldsIn(Database()));
+}
+
+TEST(ConstraintSetTest, ParseMultiLine) {
+  ConstraintSet set = ConstraintSet::MustParse(R"(
+    # foreign keys
+    R[1] c= S[0]
+    T[0] c= S[0]   % another one
+  )");
+  EXPECT_EQ(set.size(), 2u);
+  Database db = Database::MustParseFacts(R"(
+    R("a", "k").
+    T("k", "x").
+    S("k").
+  )");
+  EXPECT_TRUE(set.HoldsIn(db));
+}
+
+TEST(RefutedByConstraintsTest, Example6Disjunct) {
+  // R(x,z), not S(z) is unsatisfiable under R[1] ⊆ S[0].
+  ConstraintSet set = ConstraintSet::MustParse("R[1] c= S[0]");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, z), not S(z).");
+  EXPECT_TRUE(RefutedByConstraints(q, set));
+  // Without the dependency: satisfiable.
+  EXPECT_FALSE(RefutedByConstraints(q, ConstraintSet()));
+  // The positive variant is untouched.
+  EXPECT_FALSE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x, z), S(z)."), set));
+}
+
+TEST(RefutedByConstraintsTest, TransitiveChase) {
+  // R[1] ⊆ S[0] and S[0] ⊆ T[0] together refute ¬T(z).
+  ConstraintSet set = ConstraintSet::MustParse(R"(
+    R[1] c= S[0]
+    S[0] c= T[0]
+  )");
+  EXPECT_TRUE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x, z), not T(z)."), set));
+}
+
+TEST(RefutedByConstraintsTest, PartialCoverageDoesNotRefute) {
+  // S is binary but only column 0 is pinned: the dependency asserts SOME
+  // S(z, w) exists, which does not contradict ¬S(z, y) for the specific y.
+  ConstraintSet set = ConstraintSet::MustParse("R[1] c= S[0]");
+  EXPECT_FALSE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x, z), U(y), not S(z, y)."), set));
+}
+
+TEST(RefutedByConstraintsTest, MultiColumnCoverage) {
+  ConstraintSet set = ConstraintSet::MustParse("R[0,1] c= S[1,0]");
+  // R(x,z) implies S(z,x): ¬S(z,x) is refuted, ¬S(x,z) is not.
+  EXPECT_TRUE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x, z), not S(z, x)."), set));
+  EXPECT_FALSE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x, z), not S(x, z)."), set));
+}
+
+TEST(RefutedByConstraintsTest, UnsatisfiableQueryAlwaysRefuted) {
+  EXPECT_TRUE(RefutedByConstraints(
+      MustParseRule("Q(x) :- R(x), not R(x)."), ConstraintSet()));
+}
+
+TEST(PruneWithConstraintsTest, DropsOnlyRefutedDisjuncts) {
+  ConstraintSet set = ConstraintSet::MustParse("R[1] c= S[0]");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x, z), not S(z).
+    Q(x) :- T(x, x).
+  )");
+  UnionQuery pruned = PruneWithConstraints(q, set);
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned.disjuncts()[0].body()[0].relation(), "T");
+}
+
+TEST(ChaseQueryTest, AddsImpliedAtomsOnce) {
+  ConstraintSet set = ConstraintSet::MustParse(R"(
+    R[1] c= S[0]
+    S[0] c= T[0]
+  )");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, z), not U(z).");
+  ConjunctiveQuery chased = ChaseQuery(q, set);
+  EXPECT_TRUE(chased.PositiveBodyContains(Atom("S", {Term::Variable("z")})));
+  EXPECT_TRUE(chased.PositiveBodyContains(Atom("T", {Term::Variable("z")})));
+  EXPECT_EQ(chased.body().size(), 4u);
+  // Idempotent.
+  EXPECT_EQ(ChaseQuery(chased, set), chased);
+}
+
+TEST(ChaseQueryTest, PreservesAnswersOnLegalInstances) {
+  ConstraintSet set = ConstraintSet::MustParse("R[1] c= S[0]");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, z), T(z, w).");
+  ConjunctiveQuery chased = ChaseQuery(q, set);
+  std::mt19937 rng(11);
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/2: oo\n");
+  for (int i = 0; i < 5; ++i) {
+    Database db =
+        RandomDatabaseWithInclusion(&rng, catalog, {}, "R", 1, "S", 0);
+    EXPECT_EQ(OracleEvaluate(chased, db), OracleEvaluate(q, db));
+  }
+}
+
+// Soundness sweep: on random instances *satisfying* the dependency, a
+// refuted disjunct must indeed return no tuples.
+class RefutationSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefutationSoundnessTest, RefutedMeansEmptyOnLegalInstances) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 4242);
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/2: oo\n");
+  ConstraintSet set = ConstraintSet::MustParse("R[1] c= S[0]");
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.4;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  for (int i = 0; i < 15; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    if (!RefutedByConstraints(q, set)) continue;
+    Database db = RandomDatabaseWithInclusion(&rng, catalog,
+                                              instance_options, "R", 1,
+                                              "S", 0);
+    ASSERT_TRUE(set.HoldsIn(db));
+    EXPECT_TRUE(OracleEvaluate(q, db).empty()) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefutationSoundnessTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,92 @@
+#include "containment/cq_containment.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+TEST(CqContainmentTest, ReflexiveAndSpecialization) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y).");
+  EXPECT_TRUE(CqContained(q, q));
+  // More joins = more specific: P ⊑ Q.
+  ConjunctiveQuery p = MustParseRule("Q(x) :- R(x, y), S(y).");
+  EXPECT_TRUE(CqContained(p, q));
+  EXPECT_FALSE(CqContained(q, p));
+}
+
+TEST(CqContainmentTest, ClassicPathExample) {
+  // P: path of length 3, Q: path of length 2 with both endpoints free —
+  // not contained (the homomorphism must preserve the head).
+  ConjunctiveQuery p = MustParseRule("Q(x, w) :- E(x, y), E(y, z), E(z, w).");
+  ConjunctiveQuery q = MustParseRule("Q(x, w) :- E(x, y), E(y, w).");
+  EXPECT_FALSE(CqContained(p, q));
+  // With a boolean head, a length-3 path does NOT imply a length-2 path
+  // homomorphically... it does: map E(a,b),E(b,c) onto the first two edges.
+  ConjunctiveQuery pb = MustParseRule("Q() :- E(x, y), E(y, z), E(z, w).");
+  ConjunctiveQuery qb = MustParseRule("Q() :- E(a, b), E(b, c).");
+  EXPECT_TRUE(CqContained(pb, qb));
+  EXPECT_FALSE(CqContained(qb, pb));
+}
+
+TEST(CqContainmentTest, CycleIntoSelfLoop) {
+  ConjunctiveQuery loop = MustParseRule("Q() :- E(x, x).");
+  ConjunctiveQuery cycle = MustParseRule("Q() :- E(a, b), E(b, a).");
+  // A self-loop satisfies the cycle: loop ⊑ cycle.
+  EXPECT_TRUE(CqContained(loop, cycle));
+  // A 2-cycle has no homomorphic image of a self-loop.
+  EXPECT_FALSE(CqContained(cycle, loop));
+}
+
+TEST(CqContainmentTest, ConstantsBlockCollapse) {
+  ConjunctiveQuery p = MustParseRule("Q(x) :- R(x, \"a\").");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y).");
+  EXPECT_TRUE(CqContained(p, q));
+  EXPECT_FALSE(CqContained(q, p));
+}
+
+TEST(UcqContainmentTest, DisjunctwiseWitnesses) {
+  UnionQuery p = MustParseUnionQuery(R"(
+    Q(x) :- R(x), S(x).
+    Q(x) :- T(x), U(x).
+  )");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x).
+    Q(x) :- T(x).
+  )");
+  EXPECT_TRUE(UcqContained(p, q));
+  EXPECT_FALSE(UcqContained(q, p));
+}
+
+TEST(UcqContainmentTest, RequiresSingleDisjunctWitness) {
+  // For UCQs (no negation), Pᵢ ⊑ Q iff Pᵢ ⊑ Qⱼ for some single j
+  // (Sagiv–Yannakakis); here neither disjunct alone contains P.
+  UnionQuery p = MustParseUnionQuery("Q(x) :- R(x).");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), S(x).
+    Q(x) :- R(x), T(x).
+  )");
+  EXPECT_FALSE(UcqContained(p, q));
+}
+
+TEST(UcqContainmentTest, FalseQueryEdgeCases) {
+  UnionQuery f;
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x).");
+  EXPECT_TRUE(UcqContained(f, q));
+  EXPECT_TRUE(UcqContained(f, f));
+  EXPECT_FALSE(UcqContained(q, f));
+}
+
+TEST(UcqEquivalentTest, RedundantDisjunct) {
+  UnionQuery p = MustParseUnionQuery(R"(
+    Q(x) :- R(x).
+    Q(x) :- R(x), S(x).
+  )");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x).");
+  EXPECT_TRUE(UcqEquivalent(p, q));
+  EXPECT_FALSE(UcqEquivalent(p, MustParseUnionQuery("Q(x) :- S(x).")));
+}
+
+}  // namespace
+}  // namespace ucqn

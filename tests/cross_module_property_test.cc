@@ -1,0 +1,236 @@
+// Cross-module properties tying the extensions to the core guarantees:
+//
+//  * a feasible query's compiled overestimate IS an equivalent executable
+//    rewriting — executing it matches the oracle on random instances,
+//  * constraint pruning preserves answers on every instance satisfying
+//    the constraints,
+//  * derived view patterns are monotone ("bound is easier") and sound —
+//    a supported pattern really can be executed for concrete parameters,
+//  * the caching adapter is semantically transparent,
+//  * CQ¬/UCQ¬ minimization is equivalence-preserving and idempotent.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ast/parser.h"
+#include "constraints/inclusion.h"
+#include "containment/minimize.h"
+#include "eval/executor.h"
+#include "eval/oracle.h"
+#include "eval/source_adapters.h"
+#include "feasibility/compile.h"
+#include "feasibility/view_patterns.h"
+#include "gen/random_instance.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+class CompiledRewritingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledRewritingTest, FeasibleOverPlanMatchesOracle) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 71 + 9);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.25;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  int feasible_seen = 0;
+  for (int i = 0; i < 20 && feasible_seen < 8; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    CompileResult compiled = Compile(q, catalog);
+    if (!compiled.feasible) continue;
+    ++feasible_seen;
+    Database db = RandomDatabase(&rng, catalog, instance_options);
+    DatabaseSource source(&db, &catalog);
+    UnionQuery plan;
+    for (const CompiledRule& rule : compiled.over) plan.AddDisjunct(rule.rule);
+    ExecutionResult result = Execute(plan, catalog, &source);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.tuples, OracleEvaluate(q, db)) << q.ToString();
+  }
+  EXPECT_GT(feasible_seen, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledRewritingTest, ::testing::Range(0, 8));
+
+class ConstraintPruningTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConstraintPruningTest, PruningPreservesAnswersOnLegalInstances) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 37 + 1);
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/2: oo\n");
+  ConstraintSet constraints = ConstraintSet::MustParse("R[1] c= S[0]");
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.4;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  for (int i = 0; i < 12; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    UnionQuery pruned = PruneWithConstraints(q, constraints);
+    Database db = RandomDatabaseWithInclusion(&rng, catalog,
+                                              instance_options, "R", 1,
+                                              "S", 0);
+    ASSERT_TRUE(constraints.HoldsIn(db));
+    EXPECT_EQ(OracleEvaluate(pruned, db), OracleEvaluate(q, db))
+        << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintPruningTest, ::testing::Range(0, 6));
+
+class ViewPatternPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewPatternPropertyTest, SupportedPatternsAreUpwardClosed) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 91 + 4);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.55;
+  schema_options.full_scan_prob = 0.25;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.head_arity = 2;
+  for (int i = 0; i < 6; ++i) {
+    UnionQuery view = RandomUcq(&rng, catalog, options, 2);
+    std::vector<AccessPattern> supported =
+        SupportedHeadPatterns(view, catalog);
+    // Upward closure: adding inputs to a supported pattern stays supported.
+    for (const AccessPattern& p : supported) {
+      for (std::size_t j = 0; j < p.arity(); ++j) {
+        if (p.IsInputSlot(j)) continue;
+        std::string word = p.word();
+        word[j] = 'i';
+        AccessPattern stronger = AccessPattern::MustParse(word);
+        EXPECT_NE(std::find(supported.begin(), supported.end(), stronger),
+                  supported.end())
+            << view.ToString() << "\npattern " << p.word() << " -> "
+            << stronger.word();
+      }
+    }
+    // Consistency with the direct test.
+    for (const AccessPattern& p : supported) {
+      EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog, p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewPatternPropertyTest,
+                         ::testing::Range(0, 5));
+
+class AdapterTransparencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdapterTransparencyTest, CachingDoesNotChangeAnswers) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 19 + 8);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.35;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  for (int i = 0; i < 8; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    PlanStarResult plans = PlanStar(q, catalog);
+    Database db = RandomDatabase(&rng, catalog, instance_options);
+    DatabaseSource plain(&db, &catalog);
+    ExecutionResult direct = Execute(plans.over, catalog, &plain);
+    DatabaseSource backend(&db, &catalog);
+    CachingSource cached(&backend);
+    ExecutionResult through_cache = Execute(plans.over, catalog, &cached);
+    ASSERT_TRUE(direct.ok && through_cache.ok);
+    EXPECT_EQ(direct.tuples, through_cache.tuples) << q.ToString();
+    EXPECT_LE(backend.stats().calls, plain.stats().calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdapterTransparencyTest,
+                         ::testing::Range(0, 5));
+
+class MinimizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizationPropertyTest, MinimizeUcqnPreservesEquivalence) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 59 + 13);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 2;  // small pool => plenty of redundancy
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  for (int i = 0; i < 6; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 3);
+    UnionQuery m = MinimizeUcqn(q);
+    EXPECT_TRUE(Contained(m, q)) << q.ToString();
+    EXPECT_TRUE(Contained(q, m)) << q.ToString();
+    EXPECT_LE(m.size(), q.size());
+    // Idempotent.
+    EXPECT_EQ(MinimizeUcqn(m), m) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizationPropertyTest,
+                         ::testing::Range(0, 5));
+
+class NormalizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationPropertyTest, NormalizedCatalogPreservesVerdicts) {
+  // Dominated patterns never affect answerability/orderability/
+  // feasibility ("bound is easier"): the verdicts must be identical on
+  // the normalized catalog.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 103 + 17);
+  RandomSchemaOptions schema_options;
+  schema_options.patterns_per_relation = 4;  // plenty of dominance
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  Catalog normalized = catalog.Normalized();
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  for (int i = 0; i < 10; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    EXPECT_EQ(IsFeasible(q, catalog), IsFeasible(q, normalized))
+        << q.ToString() << "\ncatalog:\n" << catalog.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationPropertyTest,
+                         ::testing::Range(0, 6));
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripPropertyTest, RandomQueriesSurviveTextRoundTrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 211 + 29);
+  Catalog catalog = RandomCatalog(&rng, {});
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.constant_prob = 0.15;
+  options.head_arity = 2;
+  for (int i = 0; i < 20; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    EXPECT_EQ(MustParseRule(q.ToString()), q) << q.ToString();
+  }
+  // Catalogs too.
+  EXPECT_EQ(Catalog::MustParse(catalog.ToString()).ToString(),
+            catalog.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace ucqn

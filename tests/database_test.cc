@@ -1,0 +1,86 @@
+#include "eval/database.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+Tuple T2(const std::string& a, const std::string& b) {
+  return {Term::Constant(a), Term::Constant(b)};
+}
+
+TEST(DatabaseTest, InsertAndFind) {
+  Database db;
+  db.Insert("R", T2("a", "b"));
+  db.Insert("R", T2("a", "b"));  // set semantics
+  db.Insert("R", T2("a", "c"));
+  const std::set<Tuple>* r = db.Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(db.Contains("R", T2("a", "b")));
+  EXPECT_FALSE(db.Contains("R", T2("b", "a")));
+  EXPECT_EQ(db.Find("S"), nullptr);
+  EXPECT_FALSE(db.Contains("S", T2("a", "b")));
+}
+
+TEST(DatabaseTest, Counts) {
+  Database db;
+  db.Insert("R", T2("a", "b"));
+  db.Insert("S", {Term::Constant("x")});
+  EXPECT_EQ(db.TupleCount("R"), 1u);
+  EXPECT_EQ(db.TupleCount("T"), 0u);
+  EXPECT_EQ(db.TotalTuples(), 2u);
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"R", "S"}));
+}
+
+TEST(DatabaseTest, NullValuesAreStorable) {
+  Database db;
+  db.Insert("R", {Term::Constant("a"), Term::Null()});
+  EXPECT_TRUE(db.Contains("R", {Term::Constant("a"), Term::Null()}));
+}
+
+TEST(DatabaseTest, ActiveDomain) {
+  Database db;
+  db.Insert("R", T2("a", "b"));
+  db.Insert("S", {Term::Constant("b")});
+  std::set<Term> domain = db.ActiveDomain();
+  EXPECT_EQ(domain.size(), 2u);
+  EXPECT_TRUE(domain.count(Term::Constant("a")));
+  EXPECT_TRUE(domain.count(Term::Constant("b")));
+}
+
+TEST(DatabaseTest, ParseFacts) {
+  Database db = Database::MustParseFacts(R"(
+    B(1, "Knuth", "TAOCP").
+    B(2, "Date", "DBS").
+    L(2).
+  )");
+  EXPECT_EQ(db.TupleCount("B"), 2u);
+  EXPECT_EQ(db.TupleCount("L"), 1u);
+  EXPECT_TRUE(db.Contains("L", {Term::Constant("2")}));
+}
+
+TEST(DatabaseTest, ParseFactsRejectsRulesAndVariables) {
+  std::string error;
+  EXPECT_FALSE(Database::ParseFacts("R(x).", &error).has_value());
+  EXPECT_NE(error.find("ground"), std::string::npos);
+  EXPECT_FALSE(Database::ParseFacts("R(1) :- S(1).", &error).has_value());
+  EXPECT_NE(error.find("empty bodies"), std::string::npos);
+}
+
+TEST(DatabaseTest, ToStringRoundTrip) {
+  Database db = Database::MustParseFacts("R(\"a\", \"b\").\nS(\"c\").\n");
+  Database again = Database::MustParseFacts(db.ToString());
+  EXPECT_EQ(again.ToString(), db.ToString());
+  EXPECT_EQ(again.TotalTuples(), 2u);
+}
+
+TEST(TupleToStringTest, Rendering) {
+  EXPECT_EQ(TupleToString({Term::Constant("A"), Term::Null()}), "(A, null)");
+  EXPECT_EQ(TupleToString({}), "()");
+  std::set<Tuple> tuples = {{Term::Constant("A")}, {Term::Constant("B")}};
+  EXPECT_EQ(TupleSetToString(tuples), "(A)\n(B)");
+}
+
+}  // namespace
+}  // namespace ucqn

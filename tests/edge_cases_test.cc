@@ -1,0 +1,192 @@
+// Edge-case coverage that cuts across modules: boolean (0-ary) heads,
+// constant heads, zero-ary relations, null-row plans flowing through the
+// whole runtime, all-unsatisfiable unions, and termination guards.
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/answer_star.h"
+#include "eval/domain_enum.h"
+#include "eval/executor.h"
+#include "eval/oracle.h"
+#include "feasibility/compile.h"
+#include "feasibility/feasible.h"
+#include "mediator/unfold.h"
+#include "schema/adornment.h"
+
+namespace ucqn {
+namespace {
+
+TEST(BooleanQueryTest, ZeroAryHeadEndToEnd) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: i\n");
+  UnionQuery q = MustParseUnionQuery("Q() :- R(x, y), not S(y).");
+  EXPECT_TRUE(IsFeasible(q, catalog));
+  Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    S("b").
+  )");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.under.empty());  // the only witness is filtered
+
+  Database db2 = Database::MustParseFacts("R(\"a\", \"c\").\n");
+  DatabaseSource source2(&db2, &catalog);
+  AnswerStarReport report2 = AnswerStar(q, catalog, &source2);
+  ASSERT_EQ(report2.under.size(), 1u);
+  EXPECT_TRUE(report2.under.begin()->empty());  // the 0-ary "true" tuple
+}
+
+TEST(BooleanQueryTest, ZeroAryRelations) {
+  Catalog catalog = Catalog::MustParse("Flag/0:\nR/1: o\n");
+  catalog.AddPattern("Flag", "");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), Flag().");
+  EXPECT_TRUE(IsFeasible(q, catalog));
+  Database db = Database::MustParseFacts("R(\"a\").\nFlag().\n");
+  DatabaseSource source(&db, &catalog);
+  ExecutionResult result =
+      Execute(MustParseRule("Q(x) :- R(x), Flag()."), catalog, &source);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tuples.size(), 1u);
+  // Negated zero-ary atom filters everything when the flag is set.
+  ExecutionResult neg =
+      Execute(MustParseRule("Q(x) :- R(x), not Flag()."), catalog, &source);
+  ASSERT_TRUE(neg.ok);
+  EXPECT_TRUE(neg.tuples.empty());
+}
+
+TEST(ConstantHeadTest, FeasibilityAndExecution) {
+  Catalog catalog = Catalog::MustParse("R/1: o\n");
+  UnionQuery q = MustParseUnionQuery("Q(\"tag\", x) :- R(x).");
+  EXPECT_TRUE(IsFeasible(q, catalog));
+  Database db = Database::MustParseFacts("R(\"a\").\n");
+  DatabaseSource source(&db, &catalog);
+  ExecutionResult result = Execute(q, catalog, &source);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ((*result.tuples.begin())[0], Term::Constant("tag"));
+}
+
+TEST(NullRowTest, FullyUnanswerableDisjunctThroughAnswerStar) {
+  // The overestimate's empty-body null row must execute and show up in Δ
+  // with nulls, suppressing the numeric completeness bound.
+  Catalog catalog = Catalog::MustParse("B/2: ii\nT/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- B(x, y).
+    Q(x) :- T(x).
+  )");
+  Database db = Database::MustParseFacts("T(\"t\").\nB(\"b1\", \"b2\").\n");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.delta_has_nulls);
+  EXPECT_FALSE(report.completeness_lower_bound.has_value());
+  EXPECT_TRUE(report.delta.count({Term::Null()}));
+  EXPECT_TRUE(report.under.count({Term::Constant("t")}));
+}
+
+TEST(AllUnsatisfiableUnionTest, CollapsesToFalse) {
+  Catalog catalog = Catalog::MustParse("R/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not R(x).
+    Q(x) :- R(x), R(x), not R(x).
+  )");
+  FeasibleResult feasible = Feasible(q, catalog);
+  EXPECT_TRUE(feasible.feasible);
+  EXPECT_TRUE(feasible.plans.under.IsFalseQuery());
+  EXPECT_TRUE(feasible.plans.over.IsFalseQuery());
+  Database db = Database::MustParseFacts("R(\"a\").\n");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.under.empty());
+  EXPECT_EQ(source.stats().calls, 0u);
+}
+
+TEST(UnfoldGuardTest, CyclicViewsAreCaught) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- V(x).");
+  UnfoldResult result = Unfold(MustParseUnionQuery("Q(a) :- V(a)."), views);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cyclic"), std::string::npos);
+}
+
+TEST(UnfoldGuardTest, MutualRecursionIsCaught) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- W(x).
+    W(x) :- V(x).
+  )");
+  UnfoldResult result = Unfold(MustParseUnionQuery("Q(a) :- V(a)."), views);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(DomainAssistTest, OrderableQueryGainsNothingButMatchesTruth) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: i\n");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x, y), not S(y).");
+  Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    R("c", "d").
+    S("b").
+  )");
+  DatabaseSource source(&db, &catalog);
+  ImprovedUnderestimate improved = ImproveUnderestimate(q, catalog, &source);
+  EXPECT_TRUE(improved.gained.empty());
+  EXPECT_EQ(improved.tuples, OracleEvaluate(q, db));
+}
+
+TEST(EmptyCatalogTest, NothingIsExecutable) {
+  Catalog catalog;
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x).");
+  EXPECT_FALSE(IsExecutable(q, catalog));
+  EXPECT_FALSE(IsOrderable(q, catalog));
+  FeasibleResult feasible = Feasible(q, catalog);
+  EXPECT_FALSE(feasible.feasible);
+  EXPECT_EQ(feasible.path, FeasibleDecisionPath::kNullInOverestimate);
+}
+
+TEST(RelationWithoutPatternsTest, ExistsButUncallable) {
+  Catalog catalog = Catalog::MustParse("R/1:\nS/1: o\n");
+  // R is declared but has no patterns: literals over it are unanswerable
+  // even with every variable bound.
+  UnionQuery q = MustParseUnionQuery("Q(x) :- S(x), R(x).");
+  FeasibleResult feasible = Feasible(q, catalog);
+  EXPECT_FALSE(feasible.feasible);
+  CompileResult compiled = Compile(q, catalog);
+  ASSERT_EQ(compiled.diagnostics.size(), 1u);
+  EXPECT_EQ(compiled.diagnostics[0].literal.relation(), "R");
+}
+
+TEST(SelfJoinTest, SameRelationDifferentPatterns) {
+  Catalog catalog = Catalog::MustParse("E/2: oo io\n");
+  UnionQuery q = MustParseUnionQuery("Q(x, z) :- E(x, y), E(y, z).");
+  EXPECT_TRUE(IsFeasible(q, catalog));
+  Database db = Database::MustParseFacts(R"(
+    E("a", "b").
+    E("b", "c").
+  )");
+  DatabaseSource source(&db, &catalog);
+  ExecutionResult result = Execute(
+      MustParseRule("Q(x, z) :- E(x, y), E(y, z)."), catalog, &source);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(*result.tuples.begin(),
+            (Tuple{Term::Constant("a"), Term::Constant("c")}));
+}
+
+TEST(DuplicateDisjunctTest, PlansTolerateSyntacticDuplicates) {
+  // Example 3 produces two identical overestimate rules; everything
+  // downstream (execution, containment, ANSWER*) must cope.
+  Catalog catalog = Catalog::MustParse("R/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x).
+    Q(x) :- R(x).
+  )");
+  EXPECT_TRUE(IsFeasible(q, catalog));
+  Database db = Database::MustParseFacts("R(\"a\").\n");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.under.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,85 @@
+#include "eval/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "gen/scenarios.h"
+
+namespace ucqn {
+namespace {
+
+TEST(ExplainDeltaTest, Example7PartialInstantiation) {
+  // The paper's Example 7: Δ ∋ (a, null) reads as
+  //   Q(a, y) :- not S("b"), R("a", "b"), B("a", y).
+  Scenario s = Example7Nulls();
+  DatabaseSource source(&s.database, &s.catalog);
+  AnswerStarReport report = AnswerStar(s.query, s.catalog, &source);
+  ASSERT_FALSE(report.complete);
+
+  std::vector<DeltaExplanation> explanations =
+      ExplainDelta(s.query, s.catalog, &source, report);
+  ASSERT_EQ(explanations.size(), 1u);
+  const DeltaExplanation& e = explanations[0];
+  EXPECT_EQ(e.tuple, (Tuple{Term::Constant("a"), Term::Null()}));
+  EXPECT_EQ(e.disjunct_index, 0u);
+  const ConjunctiveQuery& pi = e.partially_instantiated;
+  // Head: ("a", y) — the unknown y stays a variable, not a null.
+  EXPECT_EQ(pi.head_terms()[0], Term::Constant("a"));
+  EXPECT_TRUE(pi.head_terms()[1].IsVariable());
+  // Body in the ORIGINAL order, with the witness b plugged in.
+  ASSERT_EQ(pi.body().size(), 3u);
+  EXPECT_EQ(pi.body()[0].ToString(), "not S(\"b\")");
+  EXPECT_EQ(pi.body()[1].ToString(), "R(\"a\", \"b\")");
+  EXPECT_EQ(pi.body()[2].relation(), "B");
+  EXPECT_EQ(pi.body()[2].args()[0], Term::Constant("a"));
+  EXPECT_TRUE(pi.body()[2].args()[1].IsVariable());
+}
+
+TEST(ExplainDeltaTest, CompleteAnswersNeedNoExplanations) {
+  Scenario s = Example4UnderOver();  // runtime-complete despite infeasible
+  DatabaseSource source(&s.database, &s.catalog);
+  AnswerStarReport report = AnswerStar(s.query, s.catalog, &source);
+  ASSERT_TRUE(report.complete);
+  EXPECT_TRUE(ExplainDelta(s.query, s.catalog, &source, report).empty());
+}
+
+TEST(ExplainDeltaTest, EveryDeltaTupleGetsAtLeastOneExplanation) {
+  for (const Scenario& s : AllScenarios()) {
+    DatabaseSource source(&s.database, &s.catalog);
+    AnswerStarReport report = AnswerStar(s.query, s.catalog, &source);
+    std::vector<DeltaExplanation> explanations =
+        ExplainDelta(s.query, s.catalog, &source, report);
+    std::set<Tuple> explained;
+    for (const DeltaExplanation& e : explanations) {
+      EXPECT_TRUE(report.delta.count(e.tuple)) << s.name;
+      explained.insert(e.tuple);
+    }
+    for (const Tuple& t : report.delta) {
+      EXPECT_TRUE(explained.count(t))
+          << s.name << ": unexplained Δ tuple " << TupleToString(t);
+    }
+  }
+}
+
+TEST(ExplainDeltaTest, MultipleWitnessesMultipleExplanations) {
+  // Two R-witnesses produce the same null row; both readings surface.
+  Catalog catalog = Catalog::MustParse("R/2: oo\nB/2: ii\n");
+  UnionQuery q = MustParseUnionQuery("Q(x, y) :- R(x, z), B(x, y).");
+  Database db = Database::MustParseFacts(R"(
+    R("a", "b1").
+    R("a", "b2").
+  )");
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  ASSERT_EQ(report.delta.size(), 1u);  // (a, null)
+  std::vector<DeltaExplanation> explanations =
+      ExplainDelta(q, catalog, &source, report);
+  EXPECT_EQ(explanations.size(), 2u);  // one per witness z = b1 / b2
+  std::string rendered;
+  for (const DeltaExplanation& e : explanations) rendered += e.ToString();
+  EXPECT_NE(rendered.find("b1"), std::string::npos);
+  EXPECT_NE(rendered.find("b2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,133 @@
+#include "feasibility/feasible.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "gen/scenarios.h"
+#include "schema/adornment.h"
+
+namespace ucqn {
+namespace {
+
+TEST(FeasibleTest, OrderableDecidedByPlansEqual) {
+  Scenario s = Example1Books();
+  FeasibleResult result = Feasible(s.query, s.catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kPlansEqual);
+  // No containment work was needed.
+  EXPECT_EQ(result.containment_stats.nodes_expanded, 0u);
+}
+
+TEST(FeasibleTest, Example3DecidedByContainment) {
+  Scenario s = Example3FeasibleNotOrderable();
+  FeasibleResult result = Feasible(s.query, s.catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment);
+  EXPECT_GT(result.containment_stats.nodes_expanded, 0u);
+  // The rewriting (ans(Q)) is executable.
+  EXPECT_TRUE(IsExecutable(result.plans.over, s.catalog));
+}
+
+TEST(FeasibleTest, Example4InfeasibleViaNullShortCircuit) {
+  Scenario s = Example4UnderOver();
+  FeasibleResult result = Feasible(s.query, s.catalog);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kNullInOverestimate);
+}
+
+TEST(FeasibleTest, Example9FeasibleCq) {
+  Scenario s = Example9CqProcessing();
+  FeasibleResult result = Feasible(s.query, s.catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment);
+}
+
+TEST(FeasibleTest, Example10FeasibleUcq) {
+  Scenario s = Example10UcqProcessing();
+  EXPECT_TRUE(IsFeasible(s.query, s.catalog));
+}
+
+TEST(FeasibleTest, InfeasibleByContainment) {
+  // ans(Q) = R(x) strictly contains Q = R(x), B(y): infeasible, and the
+  // verdict needs the containment test (no nulls — y is not a head var).
+  Catalog catalog = Catalog::MustParse("R/1: o\nB/1: i\n");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), B(y).");
+  FeasibleResult result = Feasible(q, catalog);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment);
+}
+
+TEST(FeasibleTest, UnsatisfiableQueryIsFeasible) {
+  // ans(Q) = false, which is executable; plans coincide (both false).
+  Catalog catalog = Catalog::MustParse("R/1: o\n");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), not R(x).");
+  FeasibleResult result = Feasible(q, catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kPlansEqual);
+}
+
+TEST(FeasibleTest, FalseQueryIsFeasible) {
+  Catalog catalog;
+  EXPECT_TRUE(IsFeasible(UnionQuery(), catalog));
+}
+
+TEST(FeasibleTest, ExecutableQueryTrivles) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: i\n");
+  EXPECT_TRUE(IsFeasible(
+      MustParseUnionQuery("Q(x) :- R(x, y), not S(y)."), catalog));
+}
+
+TEST(FeasibleTest, NegationMakesInfeasibleWhereUnionWouldSave) {
+  // Single disjunct R(x), ¬S(x) with S callable but ¬ needs x...
+  // here S^i is fine since x is bound by R — feasible.
+  Catalog catalog = Catalog::MustParse("R/1: o\nS/1: i\n");
+  EXPECT_TRUE(
+      IsFeasible(MustParseUnionQuery("Q(x) :- R(x), not S(x)."), catalog));
+  // But with R^i nothing can start: ans(Q) is unsafe -> null path.
+  Catalog catalog2 = Catalog::MustParse("R/1: i\nS/1: i\n");
+  FeasibleResult result =
+      Feasible(MustParseUnionQuery("Q(x) :- R(x), not S(x)."), catalog2);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kNullInOverestimate);
+}
+
+TEST(FeasibleTest, UnionWithRedundantInfeasibleDisjunct) {
+  // The infeasible disjunct is absorbed by the feasible one.
+  Catalog catalog = Catalog::MustParse("R/1: o\nB/1: i\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), B(y).
+    Q(x) :- R(x).
+  )");
+  FeasibleResult result = Feasible(q, catalog);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment);
+}
+
+TEST(FeasibleTest, DecisionPathToString) {
+  EXPECT_EQ(ToString(FeasibleDecisionPath::kPlansEqual), "plans-equal");
+  EXPECT_EQ(ToString(FeasibleDecisionPath::kNullInOverestimate),
+            "null-in-overestimate");
+  EXPECT_EQ(ToString(FeasibleDecisionPath::kContainment), "containment");
+}
+
+TEST(FeasibleTest, NodeBudgetPropagates) {
+  // With a tiny node budget the containment path aborts and reports
+  // "not feasible" conservatively, with the aborted flag set.
+  Catalog catalog = Catalog::MustParse("R/1: o\nB/1: i\nS/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), B(y), not S(x).
+    Q(x) :- R(x), S(x).
+    Q(x) :- R(x), not S(x).
+  )");
+  ContainmentOptions options;
+  options.max_nodes = 1;
+  FeasibleResult result = Feasible(q, catalog, options);
+  EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment);
+  EXPECT_TRUE(result.containment_stats.aborted);
+  EXPECT_FALSE(result.feasible);
+  // With an ample budget the same query is feasible.
+  EXPECT_TRUE(IsFeasible(q, catalog));
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,71 @@
+#include "gen/hard_instances.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/ucqn_containment.h"
+#include "feasibility/feasible.h"
+
+namespace ucqn {
+namespace {
+
+TEST(SubsetExplosionTest, NodeCountsGrowExponentiallyWhenNotContained) {
+  std::uint64_t previous = 0;
+  for (int k = 2; k <= 8; ++k) {
+    ContainmentInstance inst = SubsetExplosionInstance(k, false);
+    ContainmentStats stats;
+    EXPECT_FALSE(Contained(inst.P, inst.Q, &stats));
+    EXPECT_GE(stats.nodes_expanded, (1ull << k))
+        << "k=" << k << " should visit all 2^k subsets";
+    EXPECT_GT(stats.nodes_expanded, previous);
+    previous = stats.nodes_expanded;
+  }
+}
+
+TEST(SubsetExplosionTest, ContainedVariantIsCheap) {
+  ContainmentInstance inst = SubsetExplosionInstance(10, true);
+  ContainmentStats stats;
+  EXPECT_TRUE(Contained(inst.P, inst.Q, &stats));
+  EXPECT_LT(stats.nodes_expanded, 20u);
+}
+
+TEST(ChainTest, DepthGrowsLinearly) {
+  for (int k : {2, 5, 9}) {
+    ContainmentInstance inst = ChainInstance(k, true);
+    ContainmentStats stats;
+    EXPECT_TRUE(Contained(inst.P, inst.Q, &stats));
+    EXPECT_EQ(stats.max_depth, static_cast<std::uint64_t>(k));
+  }
+}
+
+TEST(ChainTest, NotContainedVariantStaysPolynomial) {
+  ContainmentInstance inst = ChainInstance(10, false);
+  ContainmentStats stats;
+  EXPECT_FALSE(Contained(inst.P, inst.Q, &stats));
+  EXPECT_LT(stats.nodes_expanded, 200u);
+}
+
+TEST(HardFeasibilityTest, TakesContainmentPathAndMatchesExpectation) {
+  for (int k = 1; k <= 5; ++k) {
+    for (bool feasible : {false, true}) {
+      HardFeasibilityInstance inst = HardFeasibility(k, feasible);
+      FeasibleResult result = Feasible(inst.query, inst.catalog);
+      EXPECT_EQ(result.path, FeasibleDecisionPath::kContainment)
+          << "k=" << k;
+      EXPECT_EQ(result.feasible, inst.feasible)
+          << "k=" << k << " feasible=" << feasible;
+    }
+  }
+}
+
+TEST(HardInstancesTest, QueriesAreSafe) {
+  ContainmentInstance subset = SubsetExplosionInstance(3, true);
+  EXPECT_TRUE(subset.Q.IsSafe());
+  EXPECT_TRUE(subset.P.IsSafe());
+  ContainmentInstance chain = ChainInstance(3, false);
+  EXPECT_TRUE(chain.Q.IsSafe());
+  HardFeasibilityInstance feas = HardFeasibility(3, true);
+  EXPECT_TRUE(feas.query.IsSafe());
+}
+
+}  // namespace
+}  // namespace ucqn

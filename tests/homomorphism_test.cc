@@ -1,0 +1,109 @@
+#include "containment/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+int CountMappings(const ConjunctiveQuery& Q, const ConjunctiveQuery& P) {
+  int count = 0;
+  ForEachContainmentMapping(Q, P, [&](const Substitution&) {
+    ++count;
+    return false;  // keep enumerating
+  });
+  return count;
+}
+
+TEST(HomomorphismTest, IdentityMapping) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y).");
+  EXPECT_TRUE(HasContainmentMapping(q, q));
+}
+
+TEST(HomomorphismTest, HeadMustMapPositionally) {
+  ConjunctiveQuery Q = MustParseRule("Q(x) :- R(x, y).");
+  ConjunctiveQuery P = MustParseRule("Q(a) :- R(a, b).");
+  // Different variable names are fine: x maps to a positionally.
+  EXPECT_TRUE(HasContainmentMapping(Q, P));
+}
+
+TEST(HomomorphismTest, HeadArityMismatchFails) {
+  ConjunctiveQuery Q = MustParseRule("Q(x, y) :- R(x, y).");
+  ConjunctiveQuery P = MustParseRule("Q(a) :- R(a, a).");
+  EXPECT_FALSE(HasContainmentMapping(Q, P));
+}
+
+TEST(HomomorphismTest, RepeatedHeadVariableConstrains) {
+  ConjunctiveQuery Q = MustParseRule("Q(x, x) :- R(x).");
+  ConjunctiveQuery P1 = MustParseRule("Q(a, a) :- R(a).");
+  ConjunctiveQuery P2 = MustParseRule("Q(a, b) :- R(a), R(b).");
+  EXPECT_TRUE(HasContainmentMapping(Q, P1));
+  EXPECT_FALSE(HasContainmentMapping(Q, P2));
+}
+
+TEST(HomomorphismTest, ConstantsMustMatchExactly) {
+  ConjunctiveQuery Q = MustParseRule("Q(x) :- R(x, \"a\").");
+  EXPECT_TRUE(
+      HasContainmentMapping(Q, MustParseRule("Q(z) :- R(z, \"a\").")));
+  EXPECT_FALSE(
+      HasContainmentMapping(Q, MustParseRule("Q(z) :- R(z, \"b\").")));
+  // A query constant does not map onto a frozen variable.
+  EXPECT_FALSE(HasContainmentMapping(Q, MustParseRule("Q(z) :- R(z, w).")));
+}
+
+TEST(HomomorphismTest, VariableCanCollapse) {
+  // Q has two R-atoms; both can map onto P's single atom.
+  ConjunctiveQuery Q = MustParseRule("Q(x) :- R(x, y), R(x, z).");
+  ConjunctiveQuery P = MustParseRule("Q(a) :- R(a, b).");
+  EXPECT_TRUE(HasContainmentMapping(Q, P));
+}
+
+TEST(HomomorphismTest, MappingCountChainOntoTriangleStyle) {
+  // Q: path of length 2; P: two paths sharing structure — count mappings.
+  ConjunctiveQuery Q = MustParseRule("Q() :- E(x, y), E(y, z).");
+  ConjunctiveQuery P = MustParseRule("Q() :- E(a, b), E(b, c), E(c, a).");
+  // Each of the 3 edges starts a path of length 2 in the cycle: 3 mappings.
+  EXPECT_EQ(CountMappings(Q, P), 3);
+}
+
+TEST(HomomorphismTest, VisitorEarlyStop) {
+  ConjunctiveQuery Q = MustParseRule("Q() :- E(x, y).");
+  ConjunctiveQuery P = MustParseRule("Q() :- E(a, b), E(b, c).");
+  int seen = 0;
+  bool stopped = ForEachContainmentMapping(Q, P, [&](const Substitution&) {
+    ++seen;
+    return true;  // stop at first
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(CountMappings(Q, P), 2);
+}
+
+TEST(HomomorphismTest, StatsAreCounted) {
+  HomomorphismStats stats;
+  ConjunctiveQuery Q = MustParseRule("Q() :- E(x, y), E(y, z).");
+  ConjunctiveQuery P = MustParseRule("Q() :- E(a, b), E(b, c), E(c, a).");
+  HasContainmentMapping(Q, P, &stats);
+  EXPECT_GT(stats.match_attempts, 0u);
+  EXPECT_EQ(stats.mappings_found, 1u);  // early stop after the first
+}
+
+TEST(HomomorphismTest, NegativeLiteralsIgnoredHere) {
+  // The raw mapping search only covers the positive body.
+  ConjunctiveQuery Q = MustParseRule("Q(x) :- R(x), not S(x).");
+  ConjunctiveQuery P = MustParseRule("Q(a) :- R(a), S(a).");
+  EXPECT_TRUE(HasContainmentMapping(Q, P));
+}
+
+TEST(HomomorphismTest, NoAtomsNoConstraints) {
+  ConjunctiveQuery Q = MustParseRule("Q(\"c\").");
+  ConjunctiveQuery P = MustParseRule("Q(\"c\") :- R(\"c\").");
+  EXPECT_TRUE(HasContainmentMapping(Q, P));
+  // But a constant head must match.
+  ConjunctiveQuery P2 = MustParseRule("Q(\"d\") :- R(\"d\").");
+  EXPECT_FALSE(HasContainmentMapping(Q, P2));
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,123 @@
+#include "feasibility/li_chang.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "feasibility/feasible.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+TEST(CqStableTest, Example9BothAlgorithmsAgree) {
+  Catalog catalog = Catalog::MustParse("F/1: o\nB/1: i\n");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- F(x), B(x), B(y), F(z).");
+  EXPECT_TRUE(CqStable(q, catalog));
+  EXPECT_TRUE(CqStableStar(q, catalog));
+  EXPECT_TRUE(IsFeasible(UnionQuery(q), catalog));
+}
+
+TEST(CqStableTest, InfeasibleCq) {
+  // B(y) with y a head variable cannot be saved by minimization.
+  Catalog catalog = Catalog::MustParse("F/1: o\nB/1: i\n");
+  ConjunctiveQuery q = MustParseRule("Q(x, y) :- F(x), B(y).");
+  EXPECT_FALSE(CqStable(q, catalog));
+  EXPECT_FALSE(CqStableStar(q, catalog));
+  EXPECT_FALSE(IsFeasible(UnionQuery(q), catalog));
+}
+
+TEST(CqStableStarTest, OrderableSkipsContainment) {
+  Catalog catalog = Catalog::MustParse("F/1: o\nG/1: i\n");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- G(x), F(x).");
+  EXPECT_TRUE(CqStableStar(q, catalog));  // reorder F before G
+  EXPECT_TRUE(CqStable(q, catalog));
+}
+
+TEST(CqStableTest, MinimizationRescuesWhereAnsDoesToo) {
+  // Q(x) :- F(x), G(x, y): G^ii makes G unanswerable; minimization cannot
+  // drop G (it's not redundant): infeasible by both algorithms.
+  Catalog catalog = Catalog::MustParse("F/1: o\nG/2: ii\n");
+  ConjunctiveQuery q = MustParseRule("Q(x) :- F(x), G(x, y).");
+  EXPECT_FALSE(CqStable(q, catalog));
+  EXPECT_FALSE(CqStableStar(q, catalog));
+}
+
+TEST(UcqStableTest, Example10) {
+  Catalog catalog = Catalog::MustParse("F/1: o\nG/1: o\nH/1: o\nB/1: i\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- F(x), G(x).
+    Q(x) :- F(x), H(x), B(y).
+    Q(x) :- F(x).
+  )");
+  EXPECT_TRUE(UcqStable(q, catalog));
+  EXPECT_TRUE(UcqStableStar(q, catalog));
+  EXPECT_TRUE(IsFeasible(q, catalog));
+}
+
+TEST(UcqStableTest, InfeasibleUnion) {
+  // The B(y) disjunct is not absorbed by anything.
+  Catalog catalog = Catalog::MustParse("F/1: o\nG/1: o\nB/1: i\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- F(x), B(y).
+    Q(x) :- G(x).
+  )");
+  EXPECT_FALSE(UcqStable(q, catalog));
+  EXPECT_FALSE(UcqStableStar(q, catalog));
+  EXPECT_FALSE(IsFeasible(q, catalog));
+}
+
+TEST(UcqStableTest, EmptyUnionIsStable) {
+  Catalog catalog;
+  EXPECT_TRUE(UcqStable(UnionQuery(), catalog));
+  EXPECT_TRUE(UcqStableStar(UnionQuery(), catalog));
+}
+
+// Parameterized agreement sweep: all four baseline algorithms and the
+// uniform FEASIBLE must return the same verdict on random CQ/UCQ
+// workloads (Sections 5.3/5.4 claim FEASIBLE is optimal and correct for
+// these classes).
+class LiChangAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LiChangAgreementTest, AllAlgorithmsAgreeOnRandomCqs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.negation_prob = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    const bool stable = CqStable(q, catalog);
+    const bool stable_star = CqStableStar(q, catalog);
+    const bool feasible = IsFeasible(UnionQuery(q), catalog);
+    EXPECT_EQ(stable, stable_star) << q.ToString();
+    EXPECT_EQ(stable, feasible) << q.ToString();
+  }
+}
+
+TEST_P(LiChangAgreementTest, AllAlgorithmsAgreeOnRandomUcqs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 1000);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.head_arity = 1;
+  for (int i = 0; i < 10; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 3);
+    const bool stable = UcqStable(q, catalog);
+    const bool stable_star = UcqStableStar(q, catalog);
+    const bool feasible = IsFeasible(q, catalog);
+    EXPECT_EQ(stable, stable_star) << q.ToString();
+    EXPECT_EQ(stable, feasible) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiChangAgreementTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ucqn

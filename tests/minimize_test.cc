@@ -1,0 +1,154 @@
+#include "containment/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "containment/cq_containment.h"
+
+namespace ucqn {
+namespace {
+
+TEST(MinimizeCqTest, AlreadyMinimal) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y), S(y).");
+  EXPECT_EQ(MinimizeCq(q), q);
+}
+
+TEST(MinimizeCqTest, Example9Core) {
+  // Paper Example 9: Q(x) :- F(x), B(x), B(y), F(z) minimizes to
+  // Q(x) :- F(x), B(x).
+  ConjunctiveQuery q = MustParseRule("Q(x) :- F(x), B(x), B(y), F(z).");
+  ConjunctiveQuery m = MinimizeCq(q);
+  EXPECT_EQ(m.body().size(), 2u);
+  EXPECT_TRUE(CqContained(m, q));
+  EXPECT_TRUE(CqContained(q, m));
+  EXPECT_EQ(m, MustParseRule("Q(x) :- F(x), B(x)."));
+}
+
+TEST(MinimizeCqTest, RedundantJoinCollapses) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y), R(x, z).");
+  ConjunctiveQuery m = MinimizeCq(q);
+  EXPECT_EQ(m.body().size(), 1u);
+}
+
+TEST(MinimizeCqTest, HeadVariablesProtectLiterals) {
+  // Both atoms carry head variables: nothing can be dropped.
+  ConjunctiveQuery q = MustParseRule("Q(x, z) :- R(x, y), R(z, y).");
+  EXPECT_EQ(MinimizeCq(q).body().size(), 2u);
+}
+
+TEST(MinimizeCqTest, ConstantsBlockFolding) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, \"a\"), R(x, y).");
+  // R(x,y) folds onto R(x,"a") but not vice versa.
+  ConjunctiveQuery m = MinimizeCq(q);
+  EXPECT_EQ(m, MustParseRule("Q(x) :- R(x, \"a\")."));
+}
+
+TEST(MinimizeCqTest, MinimizationIsEquivalencePreserving) {
+  ConjunctiveQuery q = MustParseRule(
+      "Q(x) :- E(x, y), E(y, z), E(x, w), E(w, v), E(v, u).");
+  ConjunctiveQuery m = MinimizeCq(q);
+  EXPECT_TRUE(CqContained(m, q));
+  EXPECT_TRUE(CqContained(q, m));
+  EXPECT_LE(m.body().size(), q.body().size());
+}
+
+TEST(MinimizeUcqTest, DropsAbsorbedDisjuncts) {
+  // Paper Example 10: the minimal union is F(x).
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- F(x), G(x).
+    Q(x) :- F(x), H(x), B(y).
+    Q(x) :- F(x).
+  )");
+  UnionQuery m = MinimizeUcq(q);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.disjuncts()[0], MustParseRule("Q(x) :- F(x)."));
+}
+
+TEST(MinimizeUcqTest, KeepsIncomparableDisjuncts) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x).
+    Q(x) :- S(x).
+  )");
+  EXPECT_EQ(MinimizeUcq(q).size(), 2u);
+}
+
+TEST(MinimizeUcqTest, EquivalentDuplicatesKeepOne) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x, y).
+    Q(x) :- R(x, z), R(x, w).
+  )");
+  UnionQuery m = MinimizeUcq(q);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.disjuncts()[0].body().size(), 1u);
+}
+
+TEST(MinimizeUcqTest, MinimizesEachDisjunctBody) {
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), R(x), S(x).");
+  UnionQuery m = MinimizeUcq(q);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.disjuncts()[0].body().size(), 2u);
+}
+
+TEST(MinimizeUcqTest, EmptyUnionStaysEmpty) {
+  EXPECT_TRUE(MinimizeUcq(UnionQuery()).IsFalseQuery());
+}
+
+TEST(MinimizeCqnTest, RedundantPositiveLiteralDropped) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y), R(x, z), not S(x).");
+  ConjunctiveQuery m = MinimizeCqn(q);
+  EXPECT_EQ(m.body().size(), 2u);
+  EXPECT_TRUE(Equivalent(UnionQuery(m), UnionQuery(q)));
+}
+
+TEST(MinimizeCqnTest, NegativeLiteralsAreNotRedundantByDefault) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x), not S(x), not T(x).");
+  EXPECT_EQ(MinimizeCqn(q), q);
+}
+
+TEST(MinimizeCqnTest, DuplicateNegativeLiteralDropped) {
+  // A subsumed negation: ¬S(x) appears twice through different variables
+  // mapped together.
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x), not S(x), not S(x).");
+  ConjunctiveQuery m = MinimizeCqn(q);
+  EXPECT_EQ(m.body().size(), 2u);
+}
+
+TEST(MinimizeCqnTest, SafetyPreservingOnly) {
+  // Dropping R(x,y) would leave y only under negation; the only legal
+  // removal is none (the query is already minimal among safe forms).
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, y), not S(y).");
+  EXPECT_EQ(MinimizeCqn(q), q);
+}
+
+TEST(MinimizeCqnTest, UnsatisfiableQueryUntouched) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x), not R(x).");
+  EXPECT_EQ(MinimizeCqn(q), q);
+}
+
+TEST(MinimizeUcqnTest, AbsorbedAndUnsatisfiableDisjunctsDropped) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not S(x).
+    Q(x) :- R(x), S(x).
+    Q(x) :- R(x), T(x).
+    Q(x) :- R(x), not R(x).
+  )");
+  // Disjunct 3 is absorbed by the UNION of 1 and 2 (case split on S), not
+  // by either alone — exactly where single-witness UCQ reasoning fails.
+  UnionQuery m = MinimizeUcqn(q);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(Equivalent(m, q));
+}
+
+TEST(MinimizeUcqnTest, PreservesEquivalenceOnPaperExample3) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(a) :- B(i, a, t), L(i), B(i2, a2, t).
+    Q(a) :- B(i, a, t), L(i), not B(i2, a2, t).
+  )");
+  UnionQuery m = MinimizeUcqn(q);
+  EXPECT_TRUE(Contained(m, q));
+  EXPECT_TRUE(Contained(q, m));
+  EXPECT_LE(m.size(), q.size());
+}
+
+}  // namespace
+}  // namespace ucqn

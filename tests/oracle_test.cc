@@ -1,0 +1,90 @@
+#include "eval/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+Database GraphDb() {
+  return Database::MustParseFacts(R"(
+    E("a", "b").
+    E("b", "c").
+    E("c", "a").
+    E("a", "a").
+    Red("a").
+    Red("c").
+  )");
+}
+
+TEST(OracleTest, SimpleJoin) {
+  Database db = GraphDb();
+  std::set<Tuple> result =
+      OracleEvaluate(MustParseRule("Q(x, z) :- E(x, y), E(y, z)."), db);
+  // Paths of length 2: a→b→c, b→c→a, c→a→b, c→a→a, a→a→b, a→a→a.
+  EXPECT_EQ(result.size(), 6u);
+  EXPECT_TRUE(result.count({Term::Constant("a"), Term::Constant("c")}));
+}
+
+TEST(OracleTest, NegationFiltersBindings) {
+  Database db = GraphDb();
+  std::set<Tuple> result = OracleEvaluate(
+      MustParseRule("Q(x) :- E(x, y), not Red(y)."), db);
+  // Edges into non-red nodes: a→b only ⇒ {a}.
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count({Term::Constant("a")}));
+}
+
+TEST(OracleTest, ConstantsInBody) {
+  Database db = GraphDb();
+  std::set<Tuple> result =
+      OracleEvaluate(MustParseRule("Q(y) :- E(\"a\", y)."), db);
+  EXPECT_EQ(result.size(), 2u);  // b and a
+}
+
+TEST(OracleTest, UnsatisfiableBodyYieldsNothing) {
+  Database db = GraphDb();
+  EXPECT_TRUE(OracleEvaluate(
+                  MustParseRule("Q(x) :- Red(x), not Red(x)."), db)
+                  .empty());
+}
+
+TEST(OracleTest, EmptyBodyEmitsGroundHead) {
+  Database db;
+  std::set<Tuple> result =
+      OracleEvaluate(MustParseRule("Q(\"c\", null)."), db);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(*result.begin(), (Tuple{Term::Constant("c"), Term::Null()}));
+}
+
+TEST(OracleTest, MissingRelationMeansEmpty) {
+  Database db = GraphDb();
+  EXPECT_TRUE(
+      OracleEvaluate(MustParseRule("Q(x) :- Missing(x)."), db).empty());
+  // A negated missing relation is vacuously true.
+  std::set<Tuple> result = OracleEvaluate(
+      MustParseRule("Q(x) :- Red(x), not Missing(x)."), db);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(OracleTest, UnionSemantics) {
+  Database db = GraphDb();
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- Red(x).
+    Q(x) :- E(x, x).
+  )");
+  std::set<Tuple> result = OracleEvaluate(q, db);
+  EXPECT_EQ(result.size(), 2u);  // {a, c}; a from both disjuncts
+}
+
+TEST(OracleTest, SetSemanticsDeduplicates) {
+  Database db = GraphDb();
+  // x has many witnesses y; answers are deduplicated.
+  std::set<Tuple> result =
+      OracleEvaluate(MustParseRule("Q(x) :- E(x, y)."), db);
+  EXPECT_EQ(result.size(), 3u);  // a, b, c
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,161 @@
+#include "ast/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ucqn {
+namespace {
+
+TEST(ParseTermTest, Kinds) {
+  std::string error;
+  EXPECT_EQ(*ParseTerm("x", &error), Term::Variable("x"));
+  EXPECT_EQ(*ParseTerm("_tmp", &error), Term::Variable("_tmp"));
+  EXPECT_EQ(*ParseTerm("Knuth", &error), Term::Constant("Knuth"));
+  EXPECT_EQ(*ParseTerm("42", &error), Term::Constant("42"));
+  EXPECT_EQ(*ParseTerm("\"lower case\"", &error),
+            Term::Constant("lower case"));
+  EXPECT_EQ(*ParseTerm("null", &error), Term::Null());
+}
+
+TEST(ParseTermTest, Errors) {
+  std::string error;
+  EXPECT_FALSE(ParseTerm("", &error).has_value());
+  EXPECT_FALSE(ParseTerm("x y", &error).has_value());
+  EXPECT_FALSE(ParseTerm("\"unterminated", &error).has_value());
+}
+
+TEST(ParseRuleTest, Example1) {
+  ConjunctiveQuery q =
+      MustParseRule("Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).");
+  EXPECT_EQ(q.head_name(), "Q");
+  EXPECT_EQ(q.head_arity(), 3u);
+  ASSERT_EQ(q.body().size(), 3u);
+  EXPECT_TRUE(q.body()[0].positive());
+  EXPECT_TRUE(q.body()[2].negative());
+  EXPECT_EQ(q.body()[2].relation(), "L");
+}
+
+TEST(ParseRuleTest, BangNegation) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x), !S(x).");
+  EXPECT_TRUE(q.body()[1].negative());
+}
+
+TEST(ParseRuleTest, EmptyBodyFact) {
+  ConjunctiveQuery q = MustParseRule("B(1, \"Knuth\", \"TAOCP\").");
+  EXPECT_TRUE(q.IsTrueQuery());
+  EXPECT_EQ(q.head_arity(), 3u);
+  EXPECT_EQ(q.head_terms()[0], Term::Constant("1"));
+}
+
+TEST(ParseRuleTest, ZeroAryAtoms) {
+  ConjunctiveQuery q = MustParseRule("Q() :- Flag(), not Off().");
+  EXPECT_EQ(q.head_arity(), 0u);
+  EXPECT_EQ(q.body().size(), 2u);
+}
+
+TEST(ParseRuleTest, CommentsAreSkipped) {
+  ConjunctiveQuery q = MustParseRule(R"(
+    # a comment
+    Q(x) :- R(x),  % trailing comment
+            S(x).
+  )");
+  EXPECT_EQ(q.body().size(), 2u);
+}
+
+TEST(ParseRuleTest, NullTermInHead) {
+  ConjunctiveQuery q = MustParseRule("Q(x, null) :- R(x, z), not S(z).");
+  EXPECT_TRUE(q.head_terms()[1].IsNull());
+}
+
+TEST(ParseRuleTest, Errors) {
+  std::string error;
+  EXPECT_FALSE(ParseRule("Q(x)", &error).has_value());  // missing '.'
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseRule("Q(x) :- .", &error).has_value());
+  EXPECT_FALSE(ParseRule("Q(x :- R(x).", &error).has_value());
+  EXPECT_FALSE(ParseRule("Q(x) :- R(x,).", &error).has_value());
+  EXPECT_FALSE(ParseRule("Q(x) :- not not R(x).", &error).has_value());
+  EXPECT_FALSE(ParseRule("Q(x) :- R(x). extra", &error).has_value());
+  EXPECT_FALSE(ParseRule("Q(x) :- R(x)$", &error).has_value());
+}
+
+TEST(ParseUnionQueryTest, MultipleRulesOneHead) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x, y) :- R(x, z), B(x, y).
+    Q(x, y) :- T(x, y).
+  )");
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head_name(), "Q");
+}
+
+TEST(ParseUnionQueryTest, RejectsMultipleHeads) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseUnionQuery("Q(x) :- R(x). P(x) :- R(x).", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseProgramTest, GroupsByHeadInOrder) {
+  std::vector<UnionQuery> program = MustParseProgram(R"(
+    View1(x) :- R(x).
+    View2(x) :- S(x).
+    View1(x) :- T(x).
+  )");
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_EQ(program[0].head_name(), "View1");
+  EXPECT_EQ(program[0].size(), 2u);
+  EXPECT_EQ(program[1].head_name(), "View2");
+}
+
+TEST(ParseProgramTest, RejectsInconsistentArity) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseProgram("Q(x) :- R(x). Q(x, y) :- S(x, y).", &error).has_value());
+}
+
+TEST(ParseProgramTest, EmptyInputIsEmptyProgram) {
+  std::vector<UnionQuery> program = MustParseProgram("  # nothing\n");
+  EXPECT_TRUE(program.empty());
+}
+
+TEST(ParserRoundTripTest, QuotedConstantsSurvive) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, \"a b\"), S(\"null\").");
+  EXPECT_EQ(MustParseRule(q.ToString()), q);
+}
+
+TEST(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  // The parser must reject arbitrary byte soup gracefully (error message,
+  // no crash, no hang). Seeded for reproducibility.
+  std::mt19937 rng(20260704);
+  const std::string alphabet =
+      "Qx(),.:-!\"# abc\nRST_019%\tnull not\\~";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 60);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const int n = len(rng);
+    for (int j = 0; j < n; ++j) text += alphabet[pick(rng)];
+    std::string error;
+    std::optional<ConjunctiveQuery> rule = ParseRule(text, &error);
+    if (!rule.has_value()) {
+      EXPECT_FALSE(error.empty()) << "input: " << text;
+    } else {
+      // Anything accepted must round-trip.
+      EXPECT_EQ(MustParseRule(rule->ToString()), *rule) << text;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedishInputTerminates) {
+  std::string text = "Q(";
+  for (int i = 0; i < 10000; ++i) text += "x,";
+  text += "x) :- R(x).";
+  std::string error;
+  std::optional<ConjunctiveQuery> rule = ParseRule(text, &error);
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->head_arity(), 10001u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,142 @@
+#include "feasibility/plan_star.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "schema/adornment.h"
+
+namespace ucqn {
+namespace {
+
+// The running example of Section 4 (Examples 4-8).
+Catalog RunningCatalog() {
+  return Catalog::MustParse(R"(
+    relation S/1: o
+    relation R/2: oo
+    relation B/2: ii
+    relation T/2: oo
+  )");
+}
+
+UnionQuery RunningQuery() {
+  return MustParseUnionQuery(R"(
+    Q(x, y) :- not S(z), R(x, z), B(x, y).
+    Q(x, y) :- T(x, y).
+  )");
+}
+
+TEST(PlanStarTest, Example4PlansMatchPaper) {
+  PlanStarResult plans = PlanStar(RunningQuery(), RunningCatalog());
+
+  // Q^u: only the T disjunct survives (Q1 is dismissed — B unanswerable).
+  ASSERT_EQ(plans.under.size(), 1u);
+  EXPECT_EQ(plans.under.disjuncts()[0], MustParseRule("Q(x, y) :- T(x, y)."));
+
+  // Q^o: R moved in front of the negation, y nulled.
+  ASSERT_EQ(plans.over.size(), 2u);
+  EXPECT_EQ(plans.over.disjuncts()[0],
+            MustParseRule("Q(x, null) :- R(x, z), not S(z)."));
+  EXPECT_EQ(plans.over.disjuncts()[1], MustParseRule("Q(x, y) :- T(x, y)."));
+
+  EXPECT_FALSE(plans.PlansEqual());
+  EXPECT_TRUE(plans.over.ContainsNull());
+
+  // Per-disjunct detail.
+  ASSERT_EQ(plans.disjuncts.size(), 2u);
+  EXPECT_FALSE(plans.disjuncts[0].under.has_value());
+  ASSERT_EQ(plans.disjuncts[0].unanswerable.size(), 1u);
+  EXPECT_EQ(plans.disjuncts[0].unanswerable[0].ToString(), "B(x, y)");
+  EXPECT_TRUE(plans.disjuncts[1].unanswerable.empty());
+}
+
+TEST(PlanStarTest, BothPlansAreExecutable) {
+  Catalog catalog = RunningCatalog();
+  PlanStarResult plans = PlanStar(RunningQuery(), catalog);
+  EXPECT_TRUE(IsExecutable(plans.under, catalog));
+  EXPECT_TRUE(IsExecutable(plans.over, catalog));
+}
+
+TEST(PlanStarTest, OrderableQueryHasEqualPlans) {
+  Catalog catalog = Catalog::MustParse(R"(
+    relation B/3: ioo oio
+    relation C/2: oo
+    relation L/1: o
+  )");
+  UnionQuery q = MustParseUnionQuery(
+      "Q(i, a, t) :- B(i, a, t), C(i, a), not L(i).");
+  PlanStarResult plans = PlanStar(q, catalog);
+  EXPECT_TRUE(plans.PlansEqual());
+  EXPECT_FALSE(plans.over.ContainsNull());
+  // The shared plan is the reordered query.
+  EXPECT_EQ(plans.under.disjuncts()[0].body()[0].relation(), "C");
+}
+
+TEST(PlanStarTest, UnsatisfiableDisjunctDroppedFromBothPlans) {
+  Catalog catalog = Catalog::MustParse("R/1: o\nS/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not R(x).
+    Q(x) :- S(x).
+  )");
+  PlanStarResult plans = PlanStar(q, catalog);
+  EXPECT_EQ(plans.under.size(), 1u);
+  EXPECT_EQ(plans.over.size(), 1u);
+  EXPECT_TRUE(plans.PlansEqual());
+  ASSERT_EQ(plans.disjuncts.size(), 2u);
+  EXPECT_FALSE(plans.disjuncts[0].answerable.has_value());
+  EXPECT_FALSE(plans.disjuncts[0].over.has_value());
+}
+
+TEST(PlanStarTest, FullyUnanswerableDisjunctBecomesNullRow) {
+  // No pattern can call B at all without bindings; the answerable part is
+  // empty, so the overestimate is the bare null-padded head.
+  Catalog catalog = Catalog::MustParse("B/2: ii\nT/1: o\n");
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- B(x, y).
+    Q(x) :- T(x).
+  )");
+  PlanStarResult plans = PlanStar(q, catalog);
+  ASSERT_EQ(plans.over.size(), 2u);
+  EXPECT_EQ(plans.over.disjuncts()[0], MustParseRule("Q(null)."));
+  EXPECT_EQ(plans.under.size(), 1u);
+}
+
+TEST(PlanStarTest, FullyBoundLiteralIsAMembershipProbe) {
+  // Once R binds x and y, B(x, y) is answerable even though B is
+  // all-input: it executes as a membership probe ("bound is easier").
+  Catalog catalog = Catalog::MustParse("R/2: oo\nB/2: ii\n");
+  UnionQuery q = MustParseUnionQuery("Q(x, y) :- R(x, y), B(x, y).");
+  PlanStarResult plans = PlanStar(q, catalog);
+  EXPECT_TRUE(plans.PlansEqual());
+  EXPECT_EQ(plans.over.disjuncts()[0],
+            MustParseRule("Q(x, y) :- R(x, y), B(x, y)."));
+}
+
+TEST(PlanStarTest, HeadVariableInAnswerablePartNotNulled) {
+  // B(x, w) is unanswerable (w can never be bound), but both head
+  // variables are bound by R, so the overestimate carries no nulls.
+  Catalog catalog = Catalog::MustParse("R/2: oo\nB/2: ii\n");
+  UnionQuery q = MustParseUnionQuery("Q(x, y) :- R(x, y), B(x, w).");
+  PlanStarResult plans = PlanStar(q, catalog);
+  ASSERT_EQ(plans.over.size(), 1u);
+  EXPECT_EQ(plans.over.disjuncts()[0], MustParseRule("Q(x, y) :- R(x, y)."));
+  EXPECT_FALSE(plans.over.ContainsNull());
+  EXPECT_TRUE(plans.under.IsFalseQuery());
+}
+
+TEST(PlanStarTest, ToStringMentionsBothPlans) {
+  PlanStarResult plans = PlanStar(RunningQuery(), RunningCatalog());
+  std::string text = plans.ToString();
+  EXPECT_NE(text.find("underestimate"), std::string::npos);
+  EXPECT_NE(text.find("overestimate"), std::string::npos);
+  EXPECT_NE(text.find("null"), std::string::npos);
+}
+
+TEST(PlanStarTest, FalseQueryYieldsFalsePlans) {
+  PlanStarResult plans = PlanStar(UnionQuery(), RunningCatalog());
+  EXPECT_TRUE(plans.under.IsFalseQuery());
+  EXPECT_TRUE(plans.over.IsFalseQuery());
+  EXPECT_TRUE(plans.PlansEqual());
+}
+
+}  // namespace
+}  // namespace ucqn

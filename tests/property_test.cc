@@ -1,0 +1,231 @@
+// Property-based cross-checks of the paper's theorems on random inputs:
+//
+//  * the Theorem 12/13 containment engine vs. a brute-force search over all
+//    completions of the frozen left-hand query (its canonical
+//    counterexample space),
+//  * Proposition 4 (Q ⊑ ans(Q)) and idempotence of ans,
+//  * Theorem 16 (minimality of ans(Q) among feasible superqueries),
+//  * soundness of the PLAN* sandwich Q^u ⊑ Q ⊑ Q^o on random instances,
+//  * correctness of ANSWER*'s completeness signal,
+//  * agreement of the pattern-respecting executor with the oracle.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "containment/brute_force.h"
+#include "containment/ucqn_containment.h"
+#include "eval/answer_star.h"
+#include "eval/executor.h"
+#include "eval/oracle.h"
+#include "feasibility/answerable.h"
+#include "feasibility/feasible.h"
+#include "gen/random_instance.h"
+#include "gen/random_query.h"
+#include "schema/adornment.h"
+
+namespace ucqn {
+namespace {
+
+Catalog SmallCatalog() {
+  // Two unary and one binary relation keep the completion space tiny.
+  return Catalog::MustParse("A/1: o\nB/1: o\nE/2: oo\n");
+}
+
+class ContainmentCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentCrossCheckTest, EngineMatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 131 + 1);
+  Catalog catalog = SmallCatalog();
+  RandomQueryOptions options;
+  options.num_literals = 2;
+  options.num_variables = 2;
+  options.negation_prob = 0.35;
+  options.constant_prob = 0.0;
+  options.head_arity = 1;
+  int checked = 0;
+  for (int i = 0; i < 40 && checked < 15; ++i) {
+    ConjunctiveQuery P = RandomCq(&rng, catalog, options, "Q");
+    UnionQuery Q = RandomUcq(&rng, catalog, options, 1 + (i % 2), "Q");
+    if (P.head_arity() != Q.head_arity()) continue;
+    std::optional<bool> brute = BruteForceContained(P, Q, catalog);
+    if (!brute.has_value()) continue;
+    ++checked;
+    EXPECT_EQ(Contained(P, Q), *brute)
+        << "P: " << P.ToString() << "\nQ:\n" << Q.ToString();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentCrossCheckTest,
+                         ::testing::Range(0, 10));
+
+class AnsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnsPropertyTest, Proposition4AndIdempotence) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 17 + 3);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.negation_prob = 0.25;
+  options.head_arity = 1;
+  for (int i = 0; i < 10; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    UnionQuery ans = Ans(q, catalog);
+    // Proposition 4: Q ⊑ ans(Q).
+    EXPECT_TRUE(Contained(q, ans)) << q.ToString();
+    // ans is idempotent.
+    EXPECT_EQ(Ans(ans, catalog), ans) << q.ToString();
+  }
+}
+
+TEST_P(AnsPropertyTest, Theorem16Minimality) {
+  // For any executable E with Q ⊑ E, also ans(Q) ⊑ E. We construct E as
+  // the (null-free) overestimate of a random weakening of Q — dropping
+  // body literals — which always contains Q.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31 + 5);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.negation_prob = 0.2;
+  options.head_arity = 0;  // boolean queries: weakenings stay safe-headed
+  int checked = 0;
+  for (int i = 0; i < 30 && checked < 10; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options, "Q");
+    // Weaken: keep a random non-empty prefix-closed subset of literals that
+    // preserves safety.
+    std::vector<Literal> kept;
+    for (const Literal& l : q.body()) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (l.positive() || dist(rng) < 0.5) kept.push_back(l);
+    }
+    ConjunctiveQuery weakened = q.WithBody(kept);
+    if (!weakened.IsSafe()) continue;
+    PlanStarResult plans = PlanStar(UnionQuery(weakened), catalog);
+    if (plans.over.ContainsNull() || plans.over.IsFalseQuery()) continue;
+    const UnionQuery& E = plans.over;
+    if (!IsExecutable(E, catalog)) continue;
+    if (!Contained(UnionQuery(q), E)) continue;  // need Q ⊑ E
+    ++checked;
+    EXPECT_TRUE(Contained(Ans(UnionQuery(q), catalog), E))
+        << "Q: " << q.ToString() << "\nE:\n" << E.ToString();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnsPropertyTest, ::testing::Range(0, 8));
+
+class RuntimePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimePropertyTest, PlanStarSandwichOnRandomInstances) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 97 + 11);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.45;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  instance_options.tuples_per_relation = 12;
+  for (int i = 0; i < 8; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    Database db = RandomDatabase(&rng, catalog, instance_options);
+    DatabaseSource source(&db, &catalog);
+    AnswerStarReport report = AnswerStar(q, catalog, &source);
+    std::set<Tuple> truth = OracleEvaluate(q, db);
+
+    // Underestimate sound: ansᵤ ⊆ truth.
+    for (const Tuple& t : report.under) {
+      EXPECT_TRUE(truth.count(t)) << q.ToString() << "\nunder tuple "
+                                  << TupleToString(t);
+    }
+    // Overestimate covers truth modulo nulls.
+    for (const Tuple& t : truth) {
+      bool covered = false;
+      for (const Tuple& o : report.over) {
+        bool match = o.size() == t.size();
+        for (std::size_t j = 0; match && j < t.size(); ++j) {
+          match = o[j].IsNull() || o[j] == t[j];
+        }
+        if (match) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << q.ToString() << "\nmissing "
+                           << TupleToString(t);
+    }
+    // The completeness signal is sound.
+    if (report.complete) {
+      EXPECT_EQ(report.under, truth) << q.ToString();
+    }
+  }
+}
+
+TEST_P(RuntimePropertyTest, OrderableQueriesAreRuntimeComplete) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 61 + 23);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.3;  // generous patterns
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.2;
+  options.head_arity = 1;
+  RandomInstanceOptions instance_options;
+  for (int i = 0; i < 10; ++i) {
+    UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+    if (!IsOrderable(q, catalog)) continue;
+    PlanStarResult plans = PlanStar(q, catalog);
+    EXPECT_TRUE(plans.PlansEqual()) << q.ToString();
+    Database db = RandomDatabase(&rng, catalog, instance_options);
+    DatabaseSource source(&db, &catalog);
+    AnswerStarReport report = AnswerStar(q, catalog, &source);
+    EXPECT_TRUE(report.complete) << q.ToString();
+    EXPECT_EQ(report.under, OracleEvaluate(q, db)) << q.ToString();
+  }
+}
+
+TEST_P(RuntimePropertyTest, ExecutorAgreesWithOracleOnExecutablePlans) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 41 + 7);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 2;
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 4;
+  int executed = 0;
+  for (int i = 0; i < 30 && executed < 10; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    AnswerablePart part = Answerable(q, catalog);
+    if (part.IsFalse() || !part.unanswerable.empty()) continue;
+    if (!IsExecutable(*part.answerable, catalog)) continue;
+    ++executed;
+    Database db = RandomDatabase(&rng, catalog, instance_options);
+    DatabaseSource source(&db, &catalog);
+    ExecutionResult result = Execute(*part.answerable, catalog, &source);
+    ASSERT_TRUE(result.ok) << part.answerable->ToString() << "\n"
+                           << result.error;
+    EXPECT_EQ(result.tuples, OracleEvaluate(*part.answerable, db))
+        << part.answerable->ToString();
+  }
+  EXPECT_GT(executed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimePropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ucqn

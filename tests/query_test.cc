@@ -1,0 +1,145 @@
+#include "ast/query.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ucqn {
+namespace {
+
+TEST(ConjunctiveQueryTest, FreeAndAllVariables) {
+  ConjunctiveQuery q = MustParseRule("Q(x, y) :- R(x, z), not S(z, w).");
+  std::vector<Term> free = q.FreeVariables();
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_EQ(free[0], Term::Variable("x"));
+  EXPECT_EQ(free[1], Term::Variable("y"));
+  std::vector<Term> all = q.AllVariables();
+  ASSERT_EQ(all.size(), 4u);  // x, y, z, w
+  EXPECT_EQ(all[2], Term::Variable("z"));
+  EXPECT_EQ(all[3], Term::Variable("w"));
+}
+
+TEST(ConjunctiveQueryTest, PositiveNegativeSplit) {
+  ConjunctiveQuery q =
+      MustParseRule("Q(x) :- R(x), not S(x), T(x), not U(x).");
+  EXPECT_EQ(q.PositiveBody().size(), 2u);
+  EXPECT_EQ(q.NegativeBody().size(), 2u);
+  EXPECT_TRUE(q.HasNegation());
+  EXPECT_FALSE(MustParseRule("Q(x) :- R(x).").HasNegation());
+}
+
+TEST(ConjunctiveQueryTest, SafetyRequiresPositiveOccurrence) {
+  // Safe: every variable in a positive body literal.
+  EXPECT_TRUE(MustParseRule("Q(x) :- R(x, z), not S(z).").IsSafe());
+  // Unsafe: head variable y never appears in the body.
+  EXPECT_FALSE(MustParseRule("Q(x, y) :- R(x).").IsSafe());
+  // Unsafe: w appears only under negation (paper's Example 3 pattern).
+  EXPECT_FALSE(MustParseRule("Q(x) :- R(x), not S(w).").IsSafe());
+  // Safe: constants don't need coverage.
+  EXPECT_TRUE(MustParseRule("Q(x) :- R(x, \"c\"), not S(\"d\").").IsSafe());
+}
+
+TEST(ConjunctiveQueryTest, UnsatisfiabilityIsSyntactic) {
+  // Proposition 8: complementary pair on identical argument tuples.
+  EXPECT_TRUE(MustParseRule("Q(x) :- R(x, y), not R(x, y).").IsUnsatisfiable());
+  // Different argument tuples: satisfiable.
+  EXPECT_FALSE(
+      MustParseRule("Q(x) :- R(x, y), not R(y, x).").IsUnsatisfiable());
+  EXPECT_FALSE(MustParseRule("Q(x) :- R(x).").IsUnsatisfiable());
+  // Constants must also match exactly.
+  EXPECT_TRUE(MustParseRule("Q(x) :- R(x, \"a\"), not R(x, \"a\"), S(x).")
+                  .IsUnsatisfiable());
+  EXPECT_FALSE(MustParseRule("Q(x) :- R(x, \"a\"), not R(x, \"b\"), S(x).")
+                   .IsUnsatisfiable());
+}
+
+TEST(ConjunctiveQueryTest, TrueQueryAndNulls) {
+  ConjunctiveQuery t = MustParseRule("Q(\"a\").");
+  EXPECT_TRUE(t.IsTrueQuery());
+  EXPECT_FALSE(t.ContainsNull());
+  ConjunctiveQuery n = MustParseRule("Q(x, null) :- R(x).");
+  EXPECT_TRUE(n.ContainsNull());
+}
+
+TEST(ConjunctiveQueryTest, SubstituteAndRename) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x, z).");
+  Substitution s;
+  s.Bind(Term::Variable("z"), Term::Constant("A"));
+  ConjunctiveQuery sub = q.Substitute(s);
+  EXPECT_EQ(sub.ToString(), "Q(x) :- R(x, A).");
+
+  ConjunctiveQuery renamed = q.RenameVariables("_1");
+  EXPECT_EQ(renamed.ToString(), "Q(x_1) :- R(x_1, z_1).");
+}
+
+TEST(ConjunctiveQueryTest, WithExtraLiteralAndMembership) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x).");
+  Atom s("S", {Term::Variable("x")});
+  ConjunctiveQuery extended = q.WithExtraLiteral(Literal::Positive(s));
+  EXPECT_EQ(extended.body().size(), 2u);
+  EXPECT_TRUE(extended.PositiveBodyContains(s));
+  EXPECT_FALSE(extended.NegativeBodyContains(s));
+  EXPECT_TRUE(extended.BodyContains(Literal::Positive(s)));
+}
+
+TEST(ConjunctiveQueryTest, RelationNames) {
+  ConjunctiveQuery q = MustParseRule("Q(x) :- R(x), not S(x), R(x).");
+  std::set<std::string> names = q.RelationNames();
+  EXPECT_EQ(names, (std::set<std::string>{"R", "S"}));
+}
+
+TEST(ConjunctiveQueryTest, ConstantsCollected) {
+  ConjunctiveQuery q = MustParseRule("Q(x, \"h\") :- R(x, \"a\"), S(null).");
+  std::vector<Term> consts = q.Constants();
+  ASSERT_EQ(consts.size(), 3u);
+  EXPECT_EQ(consts[0], Term::Constant("h"));
+  EXPECT_EQ(consts[1], Term::Constant("a"));
+  EXPECT_EQ(consts[2], Term::Null());
+}
+
+TEST(UnionQueryTest, FalseQueryBasics) {
+  UnionQuery f;
+  EXPECT_TRUE(f.IsFalseQuery());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_TRUE(f.IsSafe());
+  EXPECT_EQ(f.ToString(), "false.");
+}
+
+TEST(UnionQueryTest, AddDisjunctChecksHead) {
+  UnionQuery q(MustParseRule("Q(x) :- R(x)."));
+  q.AddDisjunct(MustParseRule("Q(y) :- S(y)."));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.head_name(), "Q");
+  EXPECT_EQ(q.head_arity(), 1u);
+}
+
+TEST(UnionQueryTest, DropUnsatisfiable) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not R(x).
+    Q(x) :- S(x).
+  )");
+  UnionQuery dropped = q.DropUnsatisfiable();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped.disjuncts()[0].ToString(), "Q(x) :- S(x).");
+}
+
+TEST(UnionQueryTest, UnionProperties) {
+  UnionQuery q = MustParseUnionQuery(R"(
+    Q(x) :- R(x), not S(x).
+    Q(x) :- T(x).
+  )");
+  EXPECT_TRUE(q.HasNegation());
+  EXPECT_FALSE(q.ContainsNull());
+  EXPECT_TRUE(q.IsSafe());
+  EXPECT_EQ(q.RelationNames(), (std::set<std::string>{"R", "S", "T"}));
+}
+
+TEST(QueryToStringTest, RoundTripsThroughParser) {
+  const std::string text = "Q(x, y) :- R(x, z), not S(z), T(z, y).";
+  ConjunctiveQuery q = MustParseRule(text);
+  EXPECT_EQ(q.ToString(), text);
+  EXPECT_EQ(MustParseRule(q.ToString()), q);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,69 @@
+#include "gen/random_instance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+TEST(RandomDatabaseTest, FillsEveryRelation) {
+  std::mt19937 rng(5);
+  Catalog catalog = RandomCatalog(&rng, {});
+  RandomInstanceOptions options;
+  options.domain_size = 4;
+  options.tuples_per_relation = 10;
+  Database db = RandomDatabase(&rng, catalog, options);
+  for (const RelationSchema* schema : catalog.Relations()) {
+    EXPECT_GT(db.TupleCount(schema->name()), 0u) << schema->name();
+    EXPECT_LE(db.TupleCount(schema->name()), 10u);
+    // Arity matches the schema.
+    EXPECT_EQ(db.Find(schema->name())->begin()->size(), schema->arity());
+  }
+  // Domain constrained to c0..c3.
+  for (const Term& t : db.ActiveDomain()) {
+    EXPECT_TRUE(t.IsConstant());
+    EXPECT_EQ(t.name()[0], 'c');
+  }
+}
+
+TEST(RandomDatabaseTest, DeterministicUnderSeed) {
+  Catalog catalog;
+  {
+    std::mt19937 rng(9);
+    catalog = RandomCatalog(&rng, {});
+  }
+  std::mt19937 a(21), b(21);
+  EXPECT_EQ(RandomDatabase(&a, catalog, {}).ToString(),
+            RandomDatabase(&b, catalog, {}).ToString());
+}
+
+TEST(RandomDatabaseWithInclusionTest, EnforcesDependency) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\n");
+  for (int seed = 0; seed < 5; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed));
+    RandomInstanceOptions options;
+    options.domain_size = 10;
+    options.tuples_per_relation = 15;
+    Database db = RandomDatabaseWithInclusion(&rng, catalog, options, "R", 1,
+                                              "S", 0);
+    // Every R.z appears in S.z (Example 6's foreign key).
+    std::set<Term> s_keys;
+    for (const Tuple& t : *db.Find("S")) s_keys.insert(t[0]);
+    for (const Tuple& t : *db.Find("R")) {
+      EXPECT_TRUE(s_keys.count(t[1]))
+          << "dangling foreign key " << t[1].ToString();
+    }
+  }
+}
+
+TEST(RandomDatabaseWithInclusionTest, OtherRelationsUntouchedByRewrite) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/2: oo\n");
+  std::mt19937 rng(3);
+  Database db =
+      RandomDatabaseWithInclusion(&rng, catalog, {}, "R", 1, "S", 0);
+  EXPECT_GT(db.TupleCount("T"), 0u);
+}
+
+}  // namespace
+}  // namespace ucqn

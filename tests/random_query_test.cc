@@ -1,0 +1,122 @@
+#include "gen/random_query.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+TEST(RandomCatalogTest, RespectsOptions) {
+  std::mt19937 rng(1);
+  RandomSchemaOptions options;
+  options.num_relations = 5;
+  options.min_arity = 2;
+  options.max_arity = 3;
+  Catalog catalog = RandomCatalog(&rng, options);
+  EXPECT_EQ(catalog.size(), 5u);
+  for (const RelationSchema* schema : catalog.Relations()) {
+    EXPECT_GE(schema->arity(), 2u);
+    EXPECT_LE(schema->arity(), 3u);
+    EXPECT_FALSE(schema->patterns().empty());
+    for (const AccessPattern& p : schema->patterns()) {
+      EXPECT_EQ(p.arity(), schema->arity());
+    }
+  }
+}
+
+TEST(RandomCatalogTest, DeterministicUnderSeed) {
+  RandomSchemaOptions options;
+  std::mt19937 rng1(42), rng2(42);
+  EXPECT_EQ(RandomCatalog(&rng1, options).ToString(),
+            RandomCatalog(&rng2, options).ToString());
+}
+
+class RandomCqTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCqTest, GeneratedQueriesAreWellFormed) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  Catalog catalog = RandomCatalog(&rng, {});
+  RandomQueryOptions options;
+  options.num_literals = 5;
+  options.num_variables = 4;
+  options.negation_prob = 0.4;
+  options.constant_prob = 0.1;
+  for (int i = 0; i < 25; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    EXPECT_TRUE(q.IsSafe()) << q.ToString();
+    EXPECT_EQ(q.body().size(), 5u);
+    std::string error;
+    EXPECT_TRUE(catalog.CoversQuery(q, &error)) << error;
+  }
+}
+
+TEST_P(RandomCqTest, ShapesAreHonored) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 500);
+  RandomSchemaOptions schema_options;
+  schema_options.min_arity = 2;  // chains need arity >= 2 to be interesting
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+
+  RandomQueryOptions star;
+  star.shape = QueryShape::kStar;
+  star.num_literals = 4;
+  star.constant_prob = 0.0;
+  ConjunctiveQuery sq = RandomCq(&rng, catalog, star);
+  for (const Literal& l : sq.body()) {
+    EXPECT_EQ(l.args()[0], Term::Variable("v0")) << sq.ToString();
+  }
+
+  RandomQueryOptions chain;
+  chain.shape = QueryShape::kChain;
+  chain.num_literals = 4;
+  chain.constant_prob = 0.0;
+  ConjunctiveQuery cq = RandomCq(&rng, catalog, chain);
+  // Consecutive literals share a variable (last arg of i == first of i+1).
+  for (std::size_t i = 0; i + 1 < cq.body().size(); ++i) {
+    const std::vector<Term>& cur = cq.body()[i].args();
+    EXPECT_EQ(cur.back(), cq.body()[i + 1].args()[0]) << cq.ToString();
+  }
+}
+
+TEST_P(RandomCqTest, NegationRespectsSafety) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 900);
+  Catalog catalog = RandomCatalog(&rng, {});
+  RandomQueryOptions options;
+  options.negation_prob = 1.0;  // negate as much as safety allows
+  options.num_literals = 6;
+  options.num_variables = 3;
+  for (int i = 0; i < 10; ++i) {
+    ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+    EXPECT_TRUE(q.IsSafe()) << q.ToString();
+    // At least one literal must stay positive for a query with variables.
+    if (!q.AllVariables().empty()) {
+      EXPECT_FALSE(q.PositiveBody().empty()) << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCqTest, ::testing::Range(0, 5));
+
+TEST(RandomUcqTest, SharedHeads) {
+  std::mt19937 rng(7);
+  Catalog catalog = RandomCatalog(&rng, {});
+  RandomQueryOptions options;
+  options.head_arity = 1;
+  UnionQuery q = RandomUcq(&rng, catalog, options, 4);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.head_arity(), 1u);
+  EXPECT_TRUE(q.IsSafe());
+}
+
+TEST(RandomCqTest, DeterministicUnderSeed) {
+  Catalog catalog;
+  {
+    std::mt19937 rng(3);
+    catalog = RandomCatalog(&rng, {});
+  }
+  RandomQueryOptions options;
+  std::mt19937 a(11), b(11);
+  EXPECT_EQ(RandomCq(&a, catalog, options).ToString(),
+            RandomCq(&b, catalog, options).ToString());
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,172 @@
+#include "feasibility/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "containment/ucqn_containment.h"
+#include "feasibility/feasible.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+// Verifies the defining property of the Theorem 18 reduction on one pair.
+void CheckTheorem18(const UnionQuery& P, const UnionQuery& Q) {
+  FeasibilityInstance instance = ReduceContainmentToFeasibility(P, Q);
+  const bool contained = Contained(P, Q);
+  const bool feasible = IsFeasible(instance.query, instance.catalog);
+  EXPECT_EQ(contained, feasible)
+      << "P:\n" << P.ToString() << "\nQ:\n" << Q.ToString()
+      << "\nreduced:\n" << instance.query.ToString();
+}
+
+TEST(Theorem18ReductionTest, ContainedPair) {
+  CheckTheorem18(MustParseUnionQuery("Q(x) :- R(x), S(x)."),
+                 MustParseUnionQuery("Q(x) :- R(x)."));
+}
+
+TEST(Theorem18ReductionTest, NotContainedPair) {
+  CheckTheorem18(MustParseUnionQuery("Q(x) :- R(x)."),
+                 MustParseUnionQuery("Q(x) :- R(x), S(x)."));
+}
+
+TEST(Theorem18ReductionTest, UnionPairWithNegation) {
+  CheckTheorem18(MustParseUnionQuery(R"(
+                   Q(x) :- R(x), S(x).
+                   Q(x) :- R(x), not S(x).
+                 )"),
+                 MustParseUnionQuery("Q(x) :- R(x)."));
+  CheckTheorem18(MustParseUnionQuery("Q(x) :- R(x)."),
+                 MustParseUnionQuery(R"(
+                   Q(x) :- R(x), S(x).
+                   Q(x) :- R(x), not S(x).
+                 )"));
+}
+
+TEST(Theorem18ReductionTest, StructureMatchesPaper) {
+  UnionQuery P = MustParseUnionQuery("Q(x) :- R(x).");
+  UnionQuery Q = MustParseUnionQuery("Q(x) :- S(x).");
+  FeasibilityInstance instance = ReduceContainmentToFeasibility(P, Q);
+  // Q' = P,B(y) ∨ Q: two disjuncts.
+  ASSERT_EQ(instance.query.size(), 2u);
+  // First disjunct carries the fresh input-only relation.
+  const ConjunctiveQuery& primed = instance.query.disjuncts()[0];
+  ASSERT_EQ(primed.body().size(), 2u);
+  const std::string b_name = primed.body()[1].relation();
+  const RelationSchema* b = instance.catalog.Find(b_name);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->patterns().size(), 1u);
+  EXPECT_EQ(b->patterns()[0].word(), "i");
+  // Original relations got all-output patterns.
+  EXPECT_TRUE(instance.catalog.Find("R")->HasFullScanPattern());
+  EXPECT_TRUE(instance.catalog.Find("S")->HasFullScanPattern());
+}
+
+TEST(Theorem18ReductionTest, FreshNamesAvoidCollisions) {
+  // P already uses relation "B_" and variable "y_": fresh names must dodge.
+  UnionQuery P = MustParseUnionQuery("Q(x) :- B_(x), R(x, y_).");
+  UnionQuery Q = MustParseUnionQuery("Q(x) :- B_(x).");
+  FeasibilityInstance instance = ReduceContainmentToFeasibility(P, Q);
+  const ConjunctiveQuery& primed = instance.query.disjuncts()[0];
+  const Literal& guard = primed.body().back();
+  EXPECT_NE(guard.relation(), "B_");
+  EXPECT_NE(guard.args()[0], Term::Variable("y_"));
+  CheckTheorem18(P, Q);
+}
+
+TEST(Theorem18ReductionTest, HeadsAreUnified) {
+  UnionQuery P = MustParseUnionQuery("Answer(x) :- R(x).");
+  UnionQuery Q = MustParseUnionQuery("Other(z) :- R(z).");
+  FeasibilityInstance instance = ReduceContainmentToFeasibility(P, Q);
+  EXPECT_EQ(instance.query.head_name(), "Answer");
+  CheckTheorem18(P, Q);
+}
+
+void CheckProposition20(const ConjunctiveQuery& P, const ConjunctiveQuery& Q) {
+  FeasibilityInstance instance = ReduceCqnContainmentToFeasibility(P, Q);
+  ASSERT_EQ(instance.query.size(), 1u);  // stays within CQ¬
+  const bool contained = Contained(P, UnionQuery(Q));
+  const bool feasible = IsFeasible(instance.query, instance.catalog);
+  EXPECT_EQ(contained, feasible)
+      << "P: " << P.ToString() << "\nQ: " << Q.ToString()
+      << "\nL: " << instance.query.ToString();
+}
+
+TEST(Proposition20ReductionTest, ContainedPositivePair) {
+  CheckProposition20(MustParseRule("Q(x) :- R(x), S(x)."),
+                     MustParseRule("Q(x) :- R(x)."));
+}
+
+TEST(Proposition20ReductionTest, NotContainedPositivePair) {
+  CheckProposition20(MustParseRule("Q(x) :- R(x)."),
+                     MustParseRule("Q(x) :- R(x), S(x)."));
+}
+
+TEST(Proposition20ReductionTest, NegationPairs) {
+  CheckProposition20(MustParseRule("Q(x) :- R(x), not S(x)."),
+                     MustParseRule("Q(x) :- R(x), not S(x)."));
+  CheckProposition20(MustParseRule("Q(x) :- R(x), S(x)."),
+                     MustParseRule("Q(x) :- R(x), not S(x)."));
+  CheckProposition20(MustParseRule("Q(x) :- R(x), not S(x), not T(x)."),
+                     MustParseRule("Q(x) :- R(x), not S(x)."));
+  CheckProposition20(MustParseRule("Q(x) :- R(x), not S(x)."),
+                     MustParseRule("Q(x) :- R(x), not S(x), not T(x)."));
+}
+
+TEST(Proposition20ReductionTest, DifferentVariableNamesAlign) {
+  CheckProposition20(MustParseRule("Q(a, b) :- R(a, b), S(b)."),
+                     MustParseRule("Q(u, v) :- R(u, v)."));
+}
+
+TEST(Proposition20ReductionTest, SharedRelationsPrimedConsistently) {
+  ConjunctiveQuery P = MustParseRule("Q(x) :- R(x), S(x).");
+  ConjunctiveQuery Q = MustParseRule("Q(x) :- R(x).");
+  FeasibilityInstance instance = ReduceCqnContainmentToFeasibility(P, Q);
+  const ConjunctiveQuery& L = instance.query.disjuncts()[0];
+  // Body: T(u), R'(u,x), S'(u,x), R'(v,x) — R primed the same both times.
+  ASSERT_EQ(L.body().size(), 4u);
+  EXPECT_EQ(L.body()[1].relation(), L.body()[3].relation());
+}
+
+// Property sweep: the reductions must be answer-preserving on random
+// negation-free pairs (where containment is cheap to double-check).
+class ReductionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionPropertyTest, Theorem18OnRandomPairs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 77);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.head_arity = 1;
+  for (int i = 0; i < 5; ++i) {
+    UnionQuery P = RandomUcq(&rng, catalog, options, 2);
+    UnionQuery Q = RandomUcq(&rng, catalog, options, 2);
+    CheckTheorem18(P, Q);
+  }
+}
+
+TEST_P(ReductionPropertyTest, Proposition20OnRandomPairs) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 777);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 3;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.head_arity = 1;
+  options.negation_prob = 0.3;
+  for (int i = 0; i < 5; ++i) {
+    ConjunctiveQuery P = RandomCq(&rng, catalog, options);
+    ConjunctiveQuery Q = RandomCq(&rng, catalog, options);
+    if (P.head_arity() != Q.head_arity()) continue;
+    CheckProposition20(P, Q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,121 @@
+#include "eval/source.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+class DatabaseSourceTest : public ::testing::Test {
+ protected:
+  DatabaseSourceTest() {
+    catalog_ = Catalog::MustParse("B/3: ioo oio ooo\nL/1: o i\n");
+    db_ = Database::MustParseFacts(R"(
+      B(1, "Knuth", "TAOCP").
+      B(2, "Date", "DBS").
+      B(3, "Knuth", "CM").
+      L(2).
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST_F(DatabaseSourceTest, FetchByInputSlot) {
+  DatabaseSource source(&db_, &catalog_);
+  // Example 2: with B^oio, an author yields the matching books.
+  std::vector<Tuple> result =
+      source.Fetch("B", AccessPattern::MustParse("oio"),
+                    {std::nullopt, Term::Constant("Knuth"), std::nullopt});
+  EXPECT_EQ(result.size(), 2u);
+  result = source.Fetch("B", AccessPattern::MustParse("ioo"),
+                        {Term::Constant("2"), std::nullopt, std::nullopt});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0][1], Term::Constant("Date"));
+}
+
+TEST_F(DatabaseSourceTest, FullScanPattern) {
+  DatabaseSource source(&db_, &catalog_);
+  std::vector<Tuple> result =
+      source.Fetch("B", AccessPattern::MustParse("ooo"),
+                    {std::nullopt, std::nullopt, std::nullopt});
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST_F(DatabaseSourceTest, OutputSlotValuesAreNotFiltered) {
+  DatabaseSource source(&db_, &catalog_);
+  // Supplying a value at an output slot is ignored by the source (the
+  // paper's footnote 4: the caller must filter).
+  std::vector<Tuple> result =
+      source.Fetch("B", AccessPattern::MustParse("oio"),
+                    {Term::Constant("1"), Term::Constant("Knuth"),
+                     std::nullopt});
+  EXPECT_EQ(result.size(), 2u);  // both Knuth books, not just isbn 1
+}
+
+TEST_F(DatabaseSourceTest, MembershipProbe) {
+  DatabaseSource source(&db_, &catalog_);
+  EXPECT_EQ(source
+                .Fetch("L", AccessPattern::MustParse("i"),
+                       {Term::Constant("2")})
+                .size(),
+            1u);
+  EXPECT_TRUE(source
+                  .Fetch("L", AccessPattern::MustParse("i"),
+                         {Term::Constant("9")})
+                  .empty());
+}
+
+TEST_F(DatabaseSourceTest, EmptyRelationYieldsNothing) {
+  Catalog catalog = Catalog::MustParse("X/1: o\n");
+  Database empty;
+  DatabaseSource source(&empty, &catalog);
+  EXPECT_TRUE(
+      source.Fetch("X", AccessPattern::MustParse("o"), {std::nullopt})
+          .empty());
+  EXPECT_EQ(source.stats().calls, 1u);
+  EXPECT_EQ(source.stats().tuples_returned, 0u);
+}
+
+TEST_F(DatabaseSourceTest, StatsAccumulateAndReset) {
+  DatabaseSource source(&db_, &catalog_);
+  source.Fetch("B", AccessPattern::MustParse("ooo"),
+               {std::nullopt, std::nullopt, std::nullopt});
+  source.Fetch("L", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(source.stats().calls, 2u);
+  EXPECT_EQ(source.stats().tuples_returned, 4u);
+  ASSERT_EQ(source.per_relation_stats().size(), 2u);
+  EXPECT_EQ(source.per_relation_stats().at("B").calls, 1u);
+  EXPECT_EQ(source.per_relation_stats().at("B").tuples_returned, 3u);
+  source.ResetStats();
+  EXPECT_EQ(source.stats().calls, 0u);
+  EXPECT_TRUE(source.per_relation_stats().empty());
+}
+
+using DatabaseSourceDeathTest = DatabaseSourceTest;
+
+TEST_F(DatabaseSourceDeathTest, EnforcesDeclaredPatterns) {
+  DatabaseSource source(&db_, &catalog_);
+  // B^iio is not declared.
+  EXPECT_DEATH(source.Fetch("B", AccessPattern::MustParse("iio"),
+                            {Term::Constant("1"), Term::Constant("Knuth"),
+                             std::nullopt}),
+               "undeclared access pattern");
+}
+
+TEST_F(DatabaseSourceDeathTest, EnforcesInputValues) {
+  DatabaseSource source(&db_, &catalog_);
+  EXPECT_DEATH(source.Fetch("B", AccessPattern::MustParse("ioo"),
+                            {std::nullopt, std::nullopt, std::nullopt}),
+               "input slot requires a ground value");
+}
+
+TEST_F(DatabaseSourceDeathTest, EnforcesDeclaredRelation) {
+  DatabaseSource source(&db_, &catalog_);
+  EXPECT_DEATH(
+      source.Fetch("Nope", AccessPattern::MustParse("o"), {std::nullopt}),
+      "undeclared relation");
+}
+
+}  // namespace
+}  // namespace ucqn

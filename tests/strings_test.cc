@@ -1,0 +1,55 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+TEST(StrJoinTest, Empty) { EXPECT_EQ(StrJoin({}, ", "), ""); }
+
+TEST(StrJoinTest, Single) { EXPECT_EQ(StrJoin({"a"}, ", "), "a"); }
+
+TEST(StrJoinTest, Multiple) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrJoinTest, EmptySeparator) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ""), "ab");
+}
+
+TEST(StripWhitespaceTest, AllCases) {
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(SplitAndTrimTest, Basic) {
+  std::vector<std::string> parts = SplitAndTrim("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitAndTrimTest, DropsEmptyPieces) {
+  std::vector<std::string> parts = SplitAndTrim(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitAndTrimTest, EmptyInput) {
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+  EXPECT_TRUE(SplitAndTrim("   ", ',').empty());
+}
+
+TEST(ConsistsOfTest, Basic) {
+  EXPECT_TRUE(ConsistsOf("ioio", "io"));
+  EXPECT_TRUE(ConsistsOf("", "io"));
+  EXPECT_FALSE(ConsistsOf("iox", "io"));
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,88 @@
+#include "ast/substitution.h"
+
+#include <gtest/gtest.h>
+
+namespace ucqn {
+namespace {
+
+TEST(SubstitutionTest, BindAndLookup) {
+  Substitution s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Bind(Term::Variable("x"), Term::Constant("A")));
+  EXPECT_TRUE(s.IsBound(Term::Variable("x")));
+  EXPECT_FALSE(s.IsBound(Term::Variable("y")));
+  ASSERT_TRUE(s.Lookup(Term::Variable("x")).has_value());
+  EXPECT_EQ(*s.Lookup(Term::Variable("x")), Term::Constant("A"));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SubstitutionTest, RebindingSameValueSucceeds) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(Term::Variable("x"), Term::Constant("A")));
+  EXPECT_TRUE(s.Bind(Term::Variable("x"), Term::Constant("A")));
+  EXPECT_FALSE(s.Bind(Term::Variable("x"), Term::Constant("B")));
+  EXPECT_EQ(*s.Lookup(Term::Variable("x")), Term::Constant("A"));
+}
+
+TEST(SubstitutionTest, ApplyTerm) {
+  Substitution s;
+  s.Bind(Term::Variable("x"), Term::Constant("A"));
+  EXPECT_EQ(s.Apply(Term::Variable("x")), Term::Constant("A"));
+  EXPECT_EQ(s.Apply(Term::Variable("y")), Term::Variable("y"));
+  EXPECT_EQ(s.Apply(Term::Constant("B")), Term::Constant("B"));
+  EXPECT_EQ(s.Apply(Term::Null()), Term::Null());
+}
+
+TEST(SubstitutionTest, ApplyAtomAndLiteral) {
+  Substitution s;
+  s.Bind(Term::Variable("x"), Term::Variable("z"));
+  Atom a("R", {Term::Variable("x"), Term::Variable("y")});
+  EXPECT_EQ(s.Apply(a), Atom("R", {Term::Variable("z"), Term::Variable("y")}));
+  Literal l = Literal::Negative(a);
+  Literal applied = s.Apply(l);
+  EXPECT_TRUE(applied.negative());
+  EXPECT_EQ(applied.atom().args()[0], Term::Variable("z"));
+}
+
+TEST(MatchArgsTest, BindsVariablesToTargets) {
+  Substitution s;
+  std::vector<Term> pattern = {Term::Variable("x"), Term::Variable("y")};
+  std::vector<Term> target = {Term::Constant("A"), Term::Variable("b")};
+  EXPECT_TRUE(MatchArgs(pattern, target, &s));
+  EXPECT_EQ(*s.Lookup(Term::Variable("x")), Term::Constant("A"));
+  // Target variables are frozen: they become the *value* of the binding.
+  EXPECT_EQ(*s.Lookup(Term::Variable("y")), Term::Variable("b"));
+}
+
+TEST(MatchArgsTest, RepeatedVariableMustMatchConsistently) {
+  Substitution s;
+  std::vector<Term> pattern = {Term::Variable("x"), Term::Variable("x")};
+  EXPECT_FALSE(
+      MatchArgs(pattern, {Term::Constant("A"), Term::Constant("B")}, &s));
+  Substitution s2;
+  EXPECT_TRUE(
+      MatchArgs(pattern, {Term::Constant("A"), Term::Constant("A")}, &s2));
+}
+
+TEST(MatchArgsTest, GroundPatternTermsRequireExactMatch) {
+  Substitution s;
+  EXPECT_TRUE(MatchArgs({Term::Constant("A")}, {Term::Constant("A")}, &s));
+  EXPECT_FALSE(MatchArgs({Term::Constant("A")}, {Term::Constant("B")}, &s));
+  // A ground pattern term does not match a frozen variable.
+  EXPECT_FALSE(MatchArgs({Term::Constant("A")}, {Term::Variable("x")}, &s));
+}
+
+TEST(MatchArgsTest, ArityMismatchFails) {
+  Substitution s;
+  EXPECT_FALSE(MatchArgs({Term::Variable("x")}, {}, &s));
+}
+
+TEST(SubstitutionTest, ToStringIsSorted) {
+  Substitution s;
+  s.Bind(Term::Variable("b"), Term::Constant("B"));
+  s.Bind(Term::Variable("a"), Term::Constant("A"));
+  EXPECT_EQ(s.ToString(), "{a/A, b/B}");
+}
+
+}  // namespace
+}  // namespace ucqn

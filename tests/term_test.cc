@@ -1,0 +1,71 @@
+#include "ast/term.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace ucqn {
+namespace {
+
+TEST(TermTest, VariableBasics) {
+  Term x = Term::Variable("x");
+  EXPECT_TRUE(x.IsVariable());
+  EXPECT_FALSE(x.IsConstant());
+  EXPECT_FALSE(x.IsNull());
+  EXPECT_FALSE(x.IsGround());
+  EXPECT_EQ(x.name(), "x");
+  EXPECT_EQ(x.ToString(), "x");
+}
+
+TEST(TermTest, ConstantBasics) {
+  Term c = Term::Constant("Knuth");
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_TRUE(c.IsGround());
+  EXPECT_EQ(c.ToString(), "Knuth");
+}
+
+TEST(TermTest, NullBasics) {
+  Term n = Term::Null();
+  EXPECT_TRUE(n.IsNull());
+  EXPECT_TRUE(n.IsGround());
+  EXPECT_FALSE(n.IsConstant());
+  EXPECT_EQ(n.ToString(), "null");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  // A variable named "x" and a constant named "x" are different terms.
+  EXPECT_NE(Term::Variable("x"), Term::Constant("x"));
+  EXPECT_EQ(Term::Variable("x"), Term::Variable("x"));
+  EXPECT_NE(Term::Variable("x"), Term::Variable("y"));
+  EXPECT_EQ(Term::Null(), Term::Null());
+  EXPECT_NE(Term::Null(), Term::Constant("null"));
+}
+
+TEST(TermTest, ConstantQuotingRoundTrip) {
+  // Lowercase-led constants would read back as variables, so they print
+  // quoted; uppercase-led identifiers and numbers print bare.
+  EXPECT_EQ(Term::Constant("knuth").ToString(), "\"knuth\"");
+  EXPECT_EQ(Term::Constant("Knuth").ToString(), "Knuth");
+  EXPECT_EQ(Term::Constant("42").ToString(), "42");
+  EXPECT_EQ(Term::Constant("with space").ToString(), "\"with space\"");
+  EXPECT_EQ(Term::Constant("null").ToString(), "\"null\"");
+  EXPECT_EQ(Term::Constant("").ToString(), "\"\"");
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  std::set<Term> terms = {Term::Variable("x"), Term::Constant("x"),
+                          Term::Null(), Term::Variable("a")};
+  EXPECT_EQ(terms.size(), 4u);
+}
+
+TEST(TermTest, HashDistinguishesKinds) {
+  std::unordered_set<Term, TermHash> terms;
+  terms.insert(Term::Variable("x"));
+  terms.insert(Term::Constant("x"));
+  terms.insert(Term::Variable("x"));  // duplicate
+  EXPECT_EQ(terms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ucqn

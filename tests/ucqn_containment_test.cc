@@ -1,0 +1,225 @@
+#include "containment/ucqn_containment.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "gen/hard_instances.h"
+
+namespace ucqn {
+namespace {
+
+bool CqnContained(const std::string& p, const std::string& q) {
+  return Contained(MustParseRule(p), MustParseUnionQuery(q));
+}
+
+TEST(UcqnContainmentTest, DegeneratesToHomomorphismWithoutNegation) {
+  EXPECT_TRUE(CqnContained("Q(x) :- R(x, y), S(y).", "Q(x) :- R(x, y)."));
+  EXPECT_FALSE(CqnContained("Q(x) :- R(x, y).", "Q(x) :- R(x, y), S(y)."));
+}
+
+TEST(UcqnContainmentTest, UnsatisfiableLeftSideContainedInAnything) {
+  EXPECT_TRUE(
+      CqnContained("Q(x) :- R(x), not R(x).", "Q(x) :- Zzz(x)."));
+}
+
+TEST(UcqnContainmentTest, NegativeLiteralMustBeRespected) {
+  // P asserts S(x) positively, Q demands ¬S(x): the only mapping is
+  // disqualified.
+  EXPECT_FALSE(
+      CqnContained("Q(x) :- R(x), S(x).", "Q(x) :- R(x), not S(x)."));
+}
+
+TEST(UcqnContainmentTest, MatchingNegationsContain) {
+  // Identical negative structure: P ⊑ Q via the Theorem 12 recursion:
+  // adjoining S(x) to P makes it unsatisfiable.
+  EXPECT_TRUE(
+      CqnContained("Q(x) :- R(x), not S(x).", "Q(x) :- R(x), not S(x)."));
+}
+
+TEST(UcqnContainmentTest, StrongerNegationContainsWeaker) {
+  // P forbids S and T; Q only forbids S: P ⊑ Q.
+  EXPECT_TRUE(CqnContained("Q(x) :- R(x), not S(x), not T(x).",
+                           "Q(x) :- R(x), not S(x)."));
+  // Conversely Q ⋢ P: Q permits T(x).
+  EXPECT_FALSE(CqnContained("Q(x) :- R(x), not S(x).",
+                            "Q(x) :- R(x), not S(x), not T(x)."));
+}
+
+TEST(UcqnContainmentTest, RecursionThroughUnion) {
+  // The textbook UCQ¬ case-split: R(x) ⊑ (R ∧ ¬S) ∨ (R ∧ S).
+  EXPECT_TRUE(CqnContained("Q(x) :- R(x).",
+                           "Q(x) :- R(x), not S(x).\n"
+                           "Q(x) :- R(x), S(x)."));
+  // Without the positive branch the containment fails.
+  EXPECT_FALSE(CqnContained("Q(x) :- R(x).", "Q(x) :- R(x), not S(x)."));
+}
+
+TEST(UcqnContainmentTest, TwoLevelCaseSplit) {
+  // R ⊑ (¬S ∧ ¬T) ∨ S ∨ T requires nested adjoining.
+  EXPECT_TRUE(CqnContained("Q(x) :- R(x).",
+                           "Q(x) :- R(x), not S(x), not T(x).\n"
+                           "Q(x) :- R(x), S(x).\n"
+                           "Q(x) :- R(x), T(x)."));
+  EXPECT_FALSE(CqnContained("Q(x) :- R(x).",
+                            "Q(x) :- R(x), not S(x), not T(x).\n"
+                            "Q(x) :- R(x), S(x)."));
+}
+
+TEST(UcqnContainmentTest, UnionLeftSideChecksEveryDisjunct) {
+  UnionQuery p = MustParseUnionQuery(R"(
+    Q(x) :- R(x), S(x).
+    Q(x) :- R(x), not S(x).
+  )");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x).");
+  EXPECT_TRUE(Contained(p, q));
+  // And the union is in fact equivalent to R(x).
+  EXPECT_TRUE(Equivalent(p, q));
+}
+
+TEST(UcqnContainmentTest, FalseQueryCases) {
+  UnionQuery f;
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x), not S(x).");
+  EXPECT_TRUE(Contained(f, q));
+  EXPECT_FALSE(Contained(q, f));
+  ConjunctiveQuery unsat = MustParseRule("Q(x) :- R(x), not R(x).");
+  EXPECT_TRUE(Contained(unsat, f));
+}
+
+TEST(UcqnContainmentTest, HeadConstantsRespected) {
+  EXPECT_TRUE(CqnContained("Q(\"a\") :- R(\"a\").", "Q(\"a\") :- R(\"a\")."));
+  EXPECT_FALSE(CqnContained("Q(\"a\") :- R(\"a\").", "Q(\"b\") :- R(\"b\")."));
+  // Null in the left head behaves as an ordinary constant for containment.
+  EXPECT_TRUE(CqnContained("Q(x, null) :- R(x).", "Q(x, y) :- R(x)."));
+}
+
+TEST(UcqnContainmentTest, UnsafeWitnessSkipped) {
+  // Q's disjunct has w only under negation (unsafe). No total witness
+  // exists, so containment conservatively fails...
+  EXPECT_FALSE(CqnContained("Q(x) :- R(x).", "Q(x) :- R(x), not S(w)."));
+  // ...but other disjuncts still work (paper Example 3's situation).
+  EXPECT_TRUE(CqnContained("Q(x) :- R(x), T(x).",
+                           "Q(x) :- R(x), not S(w).\nQ(x) :- T(x)."));
+}
+
+TEST(UcqnContainmentTest, StatsCountNodes) {
+  ContainmentStats stats;
+  ContainmentInstance inst = SubsetExplosionInstance(4, /*contained=*/false);
+  EXPECT_FALSE(Contained(inst.P, inst.Q, &stats));
+  // 2^4 = 16 subsets of adjoined atoms must all be explored.
+  EXPECT_GE(stats.nodes_expanded, 16u);
+  EXPECT_GT(stats.homomorphism.match_attempts, 0u);
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST(UcqnContainmentTest, MemoizationCachesSubsets) {
+  ContainmentStats stats;
+  ContainmentInstance inst = SubsetExplosionInstance(5, /*contained=*/false);
+  EXPECT_FALSE(Contained(inst.P, inst.Q, &stats));
+  // Reaching each subset along many permutations must hit the cache.
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(UcqnContainmentTest, NodeBudgetAborts) {
+  ContainmentOptions options;
+  options.max_nodes = 4;
+  ContainmentStats stats;
+  ContainmentInstance inst = SubsetExplosionInstance(8, /*contained=*/false);
+  EXPECT_FALSE(Contained(inst.P, inst.Q, &stats, options));
+  EXPECT_TRUE(stats.aborted);
+}
+
+TEST(ContainmentWitnessTest, PositiveWitnessHasMappingOnly) {
+  std::optional<ContainmentWitness> w = ContainedWithWitness(
+      MustParseRule("Q(x) :- R(x, y), S(y)."),
+      MustParseUnionQuery("Q(x) :- R(x, z)."));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(w->by_unsatisfiability);
+  EXPECT_EQ(w->disjunct_index, 0u);
+  EXPECT_TRUE(w->children.empty());
+  EXPECT_EQ(*w->sigma.Lookup(Term::Variable("z")), Term::Variable("y"));
+}
+
+TEST(ContainmentWitnessTest, NegativeLiteralYieldsUnsatChild) {
+  std::optional<ContainmentWitness> w = ContainedWithWitness(
+      MustParseRule("Q(x) :- R(x), not S(x)."),
+      MustParseUnionQuery("Q(x) :- R(x), not S(x)."));
+  ASSERT_TRUE(w.has_value());
+  ASSERT_EQ(w->children.size(), 1u);
+  EXPECT_TRUE(w->children[0].by_unsatisfiability);
+}
+
+TEST(ContainmentWitnessTest, CaseSplitWitnessShape) {
+  // R ⊑ (R ∧ ¬S) ∨ (R ∧ S): the root matches disjunct 0 and its single
+  // child (after adjoining S(x)) matches disjunct 1.
+  std::optional<ContainmentWitness> w = ContainedWithWitness(
+      MustParseRule("Q(x) :- R(x)."),
+      MustParseUnionQuery("Q(x) :- R(x), not S(x).\nQ(x) :- R(x), S(x)."));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->disjunct_index, 0u);
+  ASSERT_EQ(w->children.size(), 1u);
+  EXPECT_EQ(w->children[0].disjunct_index, 1u);
+  EXPECT_TRUE(w->children[0].children.empty());
+  std::string text = w->ToString();
+  EXPECT_NE(text.find("disjunct 0"), std::string::npos);
+  EXPECT_NE(text.find("disjunct 1"), std::string::npos);
+}
+
+TEST(ContainmentWitnessTest, NoWitnessWhenNotContained) {
+  EXPECT_FALSE(ContainedWithWitness(
+                   MustParseRule("Q(x) :- R(x)."),
+                   MustParseUnionQuery("Q(x) :- R(x), not S(x)."))
+                   .has_value());
+}
+
+TEST(ContainmentWitnessTest, UnsatisfiableLeftSideIsALeaf) {
+  std::optional<ContainmentWitness> w = ContainedWithWitness(
+      MustParseRule("Q(x) :- R(x), not R(x)."),
+      MustParseUnionQuery("Q(x) :- S(x)."));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->by_unsatisfiability);
+}
+
+TEST(ContainmentWitnessTest, AgreesWithBooleanEngine) {
+  ContainmentInstance subset = SubsetExplosionInstance(4, true);
+  EXPECT_TRUE(ContainedWithWitness(subset.P, subset.Q).has_value());
+  ContainmentInstance hard = SubsetExplosionInstance(4, false);
+  EXPECT_FALSE(ContainedWithWitness(hard.P, hard.Q).has_value());
+  ContainmentInstance chain = ChainInstance(5, true);
+  std::optional<ContainmentWitness> w =
+      ContainedWithWitness(chain.P, chain.Q);
+  ASSERT_TRUE(w.has_value());
+  // The chain witness nests k = 5 deep.
+  int depth = 0;
+  const ContainmentWitness* node = &*w;
+  while (!node->children.empty()) {
+    ++depth;
+    node = &node->children[0];
+  }
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(ContainmentWitnessTest, BudgetAbortReturnsNullopt) {
+  ContainmentOptions options;
+  options.max_nodes = 1;
+  ContainmentStats stats;
+  ContainmentInstance chain = ChainInstance(5, true);
+  EXPECT_FALSE(
+      ContainedWithWitness(chain.P, chain.Q, &stats, options).has_value());
+  EXPECT_TRUE(stats.aborted);
+}
+
+TEST(UcqnContainmentTest, HardInstanceFamiliesMatchExpectations) {
+  for (int k = 1; k <= 6; ++k) {
+    for (bool contained : {false, true}) {
+      ContainmentInstance subset = SubsetExplosionInstance(k, contained);
+      EXPECT_EQ(Contained(subset.P, subset.Q), subset.expected)
+          << "subset k=" << k << " contained=" << contained;
+      ContainmentInstance chain = ChainInstance(k, contained);
+      EXPECT_EQ(Contained(chain.P, chain.Q), chain.expected)
+          << "chain k=" << k << " contained=" << contained;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucqn

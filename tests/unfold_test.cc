@@ -1,0 +1,255 @@
+#include "mediator/unfold.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ast/parser.h"
+#include "eval/oracle.h"
+#include "feasibility/feasible.h"
+#include "gen/random_instance.h"
+#include "mediator/capabilities.h"
+
+namespace ucqn {
+namespace {
+
+TEST(ViewRegistryTest, DefineAndFind) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- R(x), S(x).
+    V(x) :- T(x).
+    W(x, y) :- R(x), R(y).
+  )");
+  EXPECT_EQ(views.size(), 2u);
+  ASSERT_TRUE(views.IsView("V"));
+  EXPECT_EQ(views.Find("V")->size(), 2u);
+  EXPECT_TRUE(views.IsView("W"));
+  EXPECT_FALSE(views.IsView("R"));
+  EXPECT_EQ(views.ViewNames(), (std::vector<std::string>{"V", "W"}));
+}
+
+TEST(UnfoldTest, PositiveViewExpandsToUnion) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- R(x), S(x).
+    V(x) :- T(x).
+  )");
+  UnionQuery q = MustParseUnionQuery("Q(a) :- V(a), U(a).");
+  UnfoldResult result = Unfold(q, views);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.query.size(), 2u);
+  EXPECT_EQ(result.expansions, 1u);
+  for (const ConjunctiveQuery& d : result.query.disjuncts()) {
+    EXPECT_FALSE(d.RelationNames().count("V"));
+    EXPECT_TRUE(d.RelationNames().count("U"));
+  }
+}
+
+TEST(UnfoldTest, ExistentialsGetFreshNames) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- E(x, w).");
+  // The client query also uses w; the view's w must not capture it.
+  UnionQuery q = MustParseUnionQuery("Q(w) :- V(w), M(w).");
+  UnfoldResult result = Unfold(q, views);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.query.size(), 1u);
+  const ConjunctiveQuery& d = result.query.disjuncts()[0];
+  // E's second argument is a fresh variable, not the client's w.
+  const Literal* e = nullptr;
+  for (const Literal& l : d.body()) {
+    if (l.relation() == "E") e = &l;
+  }
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->args()[0], Term::Variable("w"));
+  EXPECT_NE(e->args()[1], Term::Variable("w"));
+}
+
+TEST(UnfoldTest, RepeatedViewUsesStayDisjoint) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- E(x, w).");
+  UnionQuery q = MustParseUnionQuery("Q(a, b) :- V(a), V(b).");
+  UnfoldResult result = Unfold(q, views);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.query.size(), 1u);
+  const ConjunctiveQuery& d = result.query.disjuncts()[0];
+  ASSERT_EQ(d.body().size(), 2u);
+  // The two expansions use distinct existential variables.
+  EXPECT_NE(d.body()[0].args()[1], d.body()[1].args()[1]);
+}
+
+TEST(UnfoldTest, NestedViewsResolveRecursively) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Inner(x) :- R(x).
+    Outer(x) :- Inner(x), S(x).
+  )");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- Outer(a)."), views);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.query.size(), 1u);
+  EXPECT_EQ(result.query.disjuncts()[0].RelationNames(),
+            (std::set<std::string>{"R", "S"}));
+  EXPECT_EQ(result.expansions, 2u);
+}
+
+TEST(UnfoldTest, ConstantsInViewHeadsSelect) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V("a", y) :- R(y).
+    V("b", y) :- S(y).
+  )");
+  // Calling with the constant "a" keeps only the matching rule.
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(y) :- V(\"a\", y)."), views);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.query.size(), 1u);
+  EXPECT_TRUE(result.query.disjuncts()[0].RelationNames().count("R"));
+  // Calling with a variable keeps both, binding it per-branch.
+  UnfoldResult both =
+      Unfold(MustParseUnionQuery("Q(v, y) :- V(v, y), M(v)."), views);
+  ASSERT_TRUE(both.ok);
+  EXPECT_EQ(both.query.size(), 2u);
+  // The head variable v resolves to the respective constant.
+  for (const ConjunctiveQuery& d : both.query.disjuncts()) {
+    EXPECT_TRUE(d.head_terms()[0].IsConstant());
+  }
+}
+
+TEST(UnfoldTest, NegatedSingleRuleViewPushesNegation) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x, y) :- R(x), S(y).");
+  UnfoldResult result = Unfold(
+      MustParseUnionQuery("Q(a, b) :- T(a, b), not V(a, b)."), views);
+  ASSERT_TRUE(result.ok) << result.error;
+  // ¬(R(a) ∧ S(b)) = ¬R(a) ∨ ¬S(b): two disjuncts.
+  ASSERT_EQ(result.query.size(), 2u);
+  for (const ConjunctiveQuery& d : result.query.disjuncts()) {
+    EXPECT_EQ(d.NegativeBody().size(), 1u);
+  }
+}
+
+TEST(UnfoldTest, NegatedUnionViewTakesProduct) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- R(x), S(x).
+    V(x) :- T(x).
+  )");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- U(a), not V(a)."), views);
+  ASSERT_TRUE(result.ok) << result.error;
+  // ¬V = (¬R ∨ ¬S) ∧ ¬T: product = 2 disjuncts, each with ¬T.
+  ASSERT_EQ(result.query.size(), 2u);
+  for (const ConjunctiveQuery& d : result.query.disjuncts()) {
+    EXPECT_EQ(d.NegativeBody().size(), 2u);
+    EXPECT_TRUE(d.NegativeBodyContains(
+        Atom("T", {Term::Variable("a")})));
+  }
+}
+
+TEST(UnfoldTest, NegatedViewOverNestedViewsResolves) {
+  // ¬Outer pushes negation onto Inner, which is itself a view; the
+  // resulting ¬Inner(a) then unfolds again.
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Inner(x) :- R(x).
+    Outer(x) :- Inner(x).
+  )");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- S(a), not Outer(a)."), views);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.query.size(), 1u);
+  const ConjunctiveQuery& d = result.query.disjuncts()[0];
+  ASSERT_EQ(d.body().size(), 2u);
+  EXPECT_TRUE(d.NegativeBodyContains(Atom("R", {Term::Variable("a")})));
+}
+
+TEST(UnfoldTest, NegatedViewWithExistentialRejected) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- E(x, w).");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- R(a), not V(a)."), views);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("existential"), std::string::npos);
+}
+
+TEST(UnfoldTest, NegatedViewWithNegationRejected) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- R(x), not S(x).");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- R(a), not V(a)."), views);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("negation"), std::string::npos);
+}
+
+TEST(UnfoldTest, NegatedViewWithRepeatedHeadRejected) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x, x) :- R(x).");
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a, b) :- T(a, b), not V(a, b)."), views);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("distinct variables"), std::string::npos);
+}
+
+TEST(UnfoldTest, DisjunctBlowupGuard) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    V(x) :- A(x).
+    V(x) :- B(x).
+  )");
+  // Each V literal doubles the union: 2^12 exceeds the configured cap.
+  std::string body = "V(a)";
+  for (int i = 1; i < 12; ++i) body += ", V(a)";
+  UnfoldOptions options;
+  options.max_disjuncts = 512;
+  UnfoldResult result =
+      Unfold(MustParseUnionQuery("Q(a) :- " + body + "."), views, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("max_disjuncts"), std::string::npos);
+}
+
+TEST(UnfoldTest, ArityMismatchIsAnError) {
+  ViewRegistry views = ViewRegistry::MustParse("V(x) :- R(x).");
+  UnfoldResult result = Unfold(MustParseUnionQuery("Q(a) :- V(a, a)."), views);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("arity"), std::string::npos);
+}
+
+// Semantics check: unfolding preserves answers. Views are materialized by
+// evaluating their definitions; the client query over the materialized
+// views must match the unfolded query over the sources.
+TEST(UnfoldTest, UnfoldingPreservesSemantics) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Good(x) :- R(x, y), S(y).
+    Good(x) :- T(x).
+    Flag(x) :- S(x).
+  )");
+  UnionQuery client = MustParseUnionQuery(
+      "Q(a) :- Good(a), not Flag(a).");
+  UnfoldResult unfolded = Unfold(client, views);
+  ASSERT_TRUE(unfolded.ok) << unfolded.error;
+
+  std::mt19937 rng(5);
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/1: o\n");
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomInstanceOptions options;
+    options.domain_size = 4;
+    options.tuples_per_relation = 8;
+    Database sources = RandomDatabase(&rng, catalog, options);
+    // Materialize the views on top of the sources.
+    MaterializationResult materialized = MaterializeViews(views, sources);
+    ASSERT_TRUE(materialized.ok) << materialized.error;
+    EXPECT_EQ(OracleEvaluate(unfolded.query, sources),
+              OracleEvaluate(client, materialized.database))
+        << "trial " << trial;
+  }
+}
+
+// The full mediator pipeline: unfold, then run the standard feasibility
+// machinery on the result.
+TEST(UnfoldTest, UnfoldedPlanFeedsFeasibility) {
+  ViewRegistry views = ViewRegistry::MustParse(R"(
+    Books(i, a, t) :- B(i, a, t).
+    InCatalog(i, a) :- C(i, a).
+  )");
+  Catalog catalog = Catalog::MustParse(R"(
+    relation B/3: ioo oio
+    relation C/2: oo
+    relation L/1: o
+  )");
+  UnionQuery client = MustParseUnionQuery(
+      "Q(i, a, t) :- Books(i, a, t), InCatalog(i, a), not L(i).");
+  UnfoldResult unfolded = Unfold(client, views);
+  ASSERT_TRUE(unfolded.ok);
+  FeasibleResult feasible = Feasible(unfolded.query, catalog);
+  EXPECT_TRUE(feasible.feasible);  // Example 1 in disguise
+}
+
+}  // namespace
+}  // namespace ucqn

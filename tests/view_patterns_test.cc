@@ -1,0 +1,130 @@
+#include "feasibility/view_patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "feasibility/feasible.h"
+
+namespace ucqn {
+namespace {
+
+TEST(FeasibleWithHeadPatternTest, ParameterUnblocksInputOnlySource) {
+  // Image^io needs the subject; the view alone is infeasible, but with the
+  // subject supplied by the caller it becomes executable.
+  Catalog catalog = Catalog::MustParse("Image/2: io\n");
+  UnionQuery view = MustParseUnionQuery("V(s, i) :- Image(s, i).");
+  EXPECT_FALSE(IsFeasible(view, catalog));
+  EXPECT_FALSE(FeasibleWithHeadPattern(view, catalog,
+                                       AccessPattern::MustParse("oo")));
+  EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                      AccessPattern::MustParse("io")));
+  // Binding the output column does not help: s stays unbound.
+  EXPECT_FALSE(FeasibleWithHeadPattern(view, catalog,
+                                       AccessPattern::MustParse("oi")));
+  EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                      AccessPattern::MustParse("ii")));
+}
+
+TEST(FeasibleWithHeadPatternTest, FeasibleViewSupportsEverything) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\n");
+  UnionQuery view = MustParseUnionQuery("V(x, y) :- R(x, y).");
+  for (const char* word : {"oo", "io", "oi", "ii"}) {
+    EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                        AccessPattern::MustParse(word)))
+        << word;
+  }
+}
+
+TEST(FeasibleWithHeadPatternTest, ParametersFlowIntoAllDisjuncts) {
+  Catalog catalog = Catalog::MustParse("A/2: io\nB/2: io\n");
+  UnionQuery view = MustParseUnionQuery(R"(
+    V(k, v) :- A(k, v).
+    V(k, v) :- B(k, v).
+  )");
+  EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                      AccessPattern::MustParse("io")));
+  EXPECT_FALSE(FeasibleWithHeadPattern(view, catalog,
+                                       AccessPattern::MustParse("oo")));
+}
+
+TEST(FeasibleWithHeadPatternTest, RepeatedHeadVariable) {
+  Catalog catalog = Catalog::MustParse("R/2: io\n");
+  UnionQuery view = MustParseUnionQuery("V(x, x) :- R(x, x).");
+  // Supplying either column supplies x.
+  EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                      AccessPattern::MustParse("io")));
+  EXPECT_TRUE(FeasibleWithHeadPattern(view, catalog,
+                                      AccessPattern::MustParse("oi")));
+  EXPECT_FALSE(FeasibleWithHeadPattern(view, catalog,
+                                       AccessPattern::MustParse("oo")));
+}
+
+TEST(SupportedHeadPatternsTest, EnumerationAndMonotonicity) {
+  Catalog catalog = Catalog::MustParse("Image/2: io\n");
+  UnionQuery view = MustParseUnionQuery("V(s, i) :- Image(s, i).");
+  std::vector<AccessPattern> supported = SupportedHeadPatterns(view, catalog);
+  // Supported: io and ii ("bound is easier" closure of io).
+  ASSERT_EQ(supported.size(), 2u);
+  EXPECT_EQ(supported[0].word(), "ii");
+  EXPECT_EQ(supported[1].word(), "io");
+
+  std::vector<AccessPattern> minimal =
+      MinimalSupportedHeadPatterns(view, catalog);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].word(), "io");
+}
+
+TEST(SupportedHeadPatternsTest, FeasibleViewAdvertisesAllOutput) {
+  Catalog catalog = Catalog::MustParse("R/2: oo\n");
+  UnionQuery view = MustParseUnionQuery("V(x, y) :- R(x, y).");
+  std::vector<AccessPattern> minimal =
+      MinimalSupportedHeadPatterns(view, catalog);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].word(), "oo");
+  EXPECT_EQ(SupportedHeadPatterns(view, catalog).size(), 4u);
+}
+
+TEST(SupportedHeadPatternsTest, HopelessViewSupportsNothing) {
+  // The existential w can never be bound, no matter which head columns the
+  // caller provides.
+  Catalog catalog = Catalog::MustParse("R/2: oo\nB/1: i\n");
+  UnionQuery view = MustParseUnionQuery("V(x, y) :- R(x, y), B(w).");
+  EXPECT_TRUE(SupportedHeadPatterns(view, catalog).empty());
+  EXPECT_TRUE(MinimalSupportedHeadPatterns(view, catalog).empty());
+}
+
+TEST(SupportedHeadPatternsTest, ViewsBecomeSources) {
+  // The derived patterns can be registered in a higher-level catalog and
+  // queried against — the mediator-over-mediator composition.
+  Catalog sources = Catalog::MustParse("Image/2: io\nSubjects/1: o\n");
+  UnionQuery view = MustParseUnionQuery("V(s, i) :- Image(s, i).");
+  Catalog upper;
+  upper.AddRelation("V", 2);
+  for (const AccessPattern& p : MinimalSupportedHeadPatterns(view, sources)) {
+    upper.AddPattern("V", p.word());
+  }
+  upper.AddPattern("Subjects", "o");
+  // A client query over the view: feasible because Subjects seeds s.
+  UnionQuery client =
+      MustParseUnionQuery("Q(s, i) :- Subjects(s), V(s, i).");
+  EXPECT_TRUE(IsFeasible(client, upper));
+  // Without the seed, infeasible — exactly what V^io advertises.
+  EXPECT_FALSE(
+      IsFeasible(MustParseUnionQuery("Q(s, i) :- V(s, i)."), upper));
+}
+
+TEST(SupportedHeadPatternsTest, HeadConstantsAreNeutral) {
+  Catalog catalog = Catalog::MustParse("R/2: io\n");
+  UnionQuery view = MustParseUnionQuery("V(\"tag\", y) :- R(\"tag\", y).");
+  // The constant column contributes nothing either way; feasibility holds
+  // for every adornment because R's input slot is the constant.
+  EXPECT_EQ(SupportedHeadPatterns(view, catalog).size(), 4u);
+}
+
+TEST(SupportedHeadPatternsTest, FalseViewHasNoPatterns) {
+  Catalog catalog;
+  EXPECT_TRUE(SupportedHeadPatterns(UnionQuery(), catalog).empty());
+}
+
+}  // namespace
+}  // namespace ucqn

