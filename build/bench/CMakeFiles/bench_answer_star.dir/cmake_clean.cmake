@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_answer_star.dir/bench_answer_star.cc.o"
+  "CMakeFiles/bench_answer_star.dir/bench_answer_star.cc.o.d"
+  "bench_answer_star"
+  "bench_answer_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_answer_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_answerable.dir/bench_answerable.cc.o"
+  "CMakeFiles/bench_answerable.dir/bench_answerable.cc.o.d"
+  "bench_answerable"
+  "bench_answerable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_answerable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

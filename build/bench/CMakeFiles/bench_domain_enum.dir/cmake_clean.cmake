@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_enum.dir/bench_domain_enum.cc.o"
+  "CMakeFiles/bench_domain_enum.dir/bench_domain_enum.cc.o.d"
+  "bench_domain_enum"
+  "bench_domain_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feasible.dir/bench_feasible.cc.o"
+  "CMakeFiles/bench_feasible.dir/bench_feasible.cc.o.d"
+  "bench_feasible"
+  "bench_feasible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feasible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

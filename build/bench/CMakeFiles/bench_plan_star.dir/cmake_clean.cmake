@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_star.dir/bench_plan_star.cc.o"
+  "CMakeFiles/bench_plan_star.dir/bench_plan_star.cc.o.d"
+  "bench_plan_star"
+  "bench_plan_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

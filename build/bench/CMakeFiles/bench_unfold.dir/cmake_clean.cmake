@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unfold.dir/bench_unfold.cc.o"
+  "CMakeFiles/bench_unfold.dir/bench_unfold.cc.o.d"
+  "bench_unfold"
+  "bench_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

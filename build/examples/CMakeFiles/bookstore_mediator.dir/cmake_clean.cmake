@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_mediator.dir/bookstore_mediator.cc.o"
+  "CMakeFiles/bookstore_mediator.dir/bookstore_mediator.cc.o.d"
+  "bookstore_mediator"
+  "bookstore_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

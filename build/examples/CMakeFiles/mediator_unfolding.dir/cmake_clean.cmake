@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_unfolding.dir/mediator_unfolding.cc.o"
+  "CMakeFiles/mediator_unfolding.dir/mediator_unfolding.cc.o.d"
+  "mediator_unfolding"
+  "mediator_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

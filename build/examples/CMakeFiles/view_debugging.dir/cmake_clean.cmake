@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_debugging.dir/view_debugging.cc.o"
+  "CMakeFiles/view_debugging.dir/view_debugging.cc.o.d"
+  "view_debugging"
+  "view_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_service_composition.dir/web_service_composition.cc.o"
+  "CMakeFiles/web_service_composition.dir/web_service_composition.cc.o.d"
+  "web_service_composition"
+  "web_service_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_service_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

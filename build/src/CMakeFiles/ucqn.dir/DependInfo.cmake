@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/atom.cc" "src/CMakeFiles/ucqn.dir/ast/atom.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/ast/atom.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/ucqn.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/query.cc" "src/CMakeFiles/ucqn.dir/ast/query.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/ast/query.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/CMakeFiles/ucqn.dir/ast/substitution.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/ast/substitution.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/CMakeFiles/ucqn.dir/ast/term.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/ast/term.cc.o.d"
+  "/root/repo/src/constraints/inclusion.cc" "src/CMakeFiles/ucqn.dir/constraints/inclusion.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/constraints/inclusion.cc.o.d"
+  "/root/repo/src/containment/brute_force.cc" "src/CMakeFiles/ucqn.dir/containment/brute_force.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/containment/brute_force.cc.o.d"
+  "/root/repo/src/containment/cq_containment.cc" "src/CMakeFiles/ucqn.dir/containment/cq_containment.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/containment/cq_containment.cc.o.d"
+  "/root/repo/src/containment/homomorphism.cc" "src/CMakeFiles/ucqn.dir/containment/homomorphism.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/containment/homomorphism.cc.o.d"
+  "/root/repo/src/containment/minimize.cc" "src/CMakeFiles/ucqn.dir/containment/minimize.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/containment/minimize.cc.o.d"
+  "/root/repo/src/containment/ucqn_containment.cc" "src/CMakeFiles/ucqn.dir/containment/ucqn_containment.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/containment/ucqn_containment.cc.o.d"
+  "/root/repo/src/eval/answer_star.cc" "src/CMakeFiles/ucqn.dir/eval/answer_star.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/answer_star.cc.o.d"
+  "/root/repo/src/eval/database.cc" "src/CMakeFiles/ucqn.dir/eval/database.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/database.cc.o.d"
+  "/root/repo/src/eval/domain_enum.cc" "src/CMakeFiles/ucqn.dir/eval/domain_enum.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/domain_enum.cc.o.d"
+  "/root/repo/src/eval/executor.cc" "src/CMakeFiles/ucqn.dir/eval/executor.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/executor.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/CMakeFiles/ucqn.dir/eval/explain.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/explain.cc.o.d"
+  "/root/repo/src/eval/oracle.cc" "src/CMakeFiles/ucqn.dir/eval/oracle.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/oracle.cc.o.d"
+  "/root/repo/src/eval/planner.cc" "src/CMakeFiles/ucqn.dir/eval/planner.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/planner.cc.o.d"
+  "/root/repo/src/eval/source.cc" "src/CMakeFiles/ucqn.dir/eval/source.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/source.cc.o.d"
+  "/root/repo/src/eval/source_adapters.cc" "src/CMakeFiles/ucqn.dir/eval/source_adapters.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/eval/source_adapters.cc.o.d"
+  "/root/repo/src/feasibility/answerable.cc" "src/CMakeFiles/ucqn.dir/feasibility/answerable.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/answerable.cc.o.d"
+  "/root/repo/src/feasibility/compile.cc" "src/CMakeFiles/ucqn.dir/feasibility/compile.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/compile.cc.o.d"
+  "/root/repo/src/feasibility/feasible.cc" "src/CMakeFiles/ucqn.dir/feasibility/feasible.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/feasible.cc.o.d"
+  "/root/repo/src/feasibility/li_chang.cc" "src/CMakeFiles/ucqn.dir/feasibility/li_chang.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/li_chang.cc.o.d"
+  "/root/repo/src/feasibility/plan_star.cc" "src/CMakeFiles/ucqn.dir/feasibility/plan_star.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/plan_star.cc.o.d"
+  "/root/repo/src/feasibility/reduction.cc" "src/CMakeFiles/ucqn.dir/feasibility/reduction.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/reduction.cc.o.d"
+  "/root/repo/src/feasibility/view_patterns.cc" "src/CMakeFiles/ucqn.dir/feasibility/view_patterns.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/feasibility/view_patterns.cc.o.d"
+  "/root/repo/src/gen/hard_instances.cc" "src/CMakeFiles/ucqn.dir/gen/hard_instances.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/gen/hard_instances.cc.o.d"
+  "/root/repo/src/gen/random_instance.cc" "src/CMakeFiles/ucqn.dir/gen/random_instance.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/gen/random_instance.cc.o.d"
+  "/root/repo/src/gen/random_query.cc" "src/CMakeFiles/ucqn.dir/gen/random_query.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/gen/random_query.cc.o.d"
+  "/root/repo/src/gen/scenarios.cc" "src/CMakeFiles/ucqn.dir/gen/scenarios.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/gen/scenarios.cc.o.d"
+  "/root/repo/src/mediator/capabilities.cc" "src/CMakeFiles/ucqn.dir/mediator/capabilities.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/mediator/capabilities.cc.o.d"
+  "/root/repo/src/mediator/unfold.cc" "src/CMakeFiles/ucqn.dir/mediator/unfold.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/mediator/unfold.cc.o.d"
+  "/root/repo/src/schema/access_pattern.cc" "src/CMakeFiles/ucqn.dir/schema/access_pattern.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/schema/access_pattern.cc.o.d"
+  "/root/repo/src/schema/adornment.cc" "src/CMakeFiles/ucqn.dir/schema/adornment.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/schema/adornment.cc.o.d"
+  "/root/repo/src/schema/catalog.cc" "src/CMakeFiles/ucqn.dir/schema/catalog.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/schema/catalog.cc.o.d"
+  "/root/repo/src/schema/relation_schema.cc" "src/CMakeFiles/ucqn.dir/schema/relation_schema.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/schema/relation_schema.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/ucqn.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/ucqn.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerable_test.dir/answerable_test.cc.o"
+  "CMakeFiles/answerable_test.dir/answerable_test.cc.o.d"
+  "answerable_test"
+  "answerable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

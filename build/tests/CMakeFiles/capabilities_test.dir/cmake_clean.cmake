@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capabilities_test.dir/capabilities_test.cc.o"
+  "CMakeFiles/capabilities_test.dir/capabilities_test.cc.o.d"
+  "capabilities_test"
+  "capabilities_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capabilities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

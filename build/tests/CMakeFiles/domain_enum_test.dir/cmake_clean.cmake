@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_enum_test.dir/domain_enum_test.cc.o"
+  "CMakeFiles/domain_enum_test.dir/domain_enum_test.cc.o.d"
+  "domain_enum_test"
+  "domain_enum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasible_test.dir/feasible_test.cc.o"
+  "CMakeFiles/feasible_test.dir/feasible_test.cc.o.d"
+  "feasible_test"
+  "feasible_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/li_chang_test.dir/li_chang_test.cc.o"
+  "CMakeFiles/li_chang_test.dir/li_chang_test.cc.o.d"
+  "li_chang_test"
+  "li_chang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/li_chang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

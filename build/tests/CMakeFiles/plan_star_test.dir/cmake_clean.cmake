@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_star_test.dir/plan_star_test.cc.o"
+  "CMakeFiles/plan_star_test.dir/plan_star_test.cc.o.d"
+  "plan_star_test"
+  "plan_star_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_adapters_test.dir/source_adapters_test.cc.o"
+  "CMakeFiles/source_adapters_test.dir/source_adapters_test.cc.o.d"
+  "source_adapters_test"
+  "source_adapters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_adapters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucqn_containment_test.dir/ucqn_containment_test.cc.o"
+  "CMakeFiles/ucqn_containment_test.dir/ucqn_containment_test.cc.o.d"
+  "ucqn_containment_test"
+  "ucqn_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucqn_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

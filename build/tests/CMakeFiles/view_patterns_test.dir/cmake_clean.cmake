@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_patterns_test.dir/view_patterns_test.cc.o"
+  "CMakeFiles/view_patterns_test.dir/view_patterns_test.cc.o.d"
+  "view_patterns_test"
+  "view_patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

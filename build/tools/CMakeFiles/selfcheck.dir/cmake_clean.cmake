@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfcheck.dir/selfcheck.cc.o"
+  "CMakeFiles/selfcheck.dir/selfcheck.cc.o.d"
+  "selfcheck"
+  "selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucqnc.dir/ucqnc.cc.o"
+  "CMakeFiles/ucqnc.dir/ucqnc.cc.o.d"
+  "ucqnc"
+  "ucqnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucqnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
