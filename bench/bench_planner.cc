@@ -14,6 +14,7 @@
 #include "eval/planner.h"
 #include "eval/source_adapters.h"
 #include "feasibility/answerable.h"
+#include "runtime/caching_source.h"
 
 namespace ucqn {
 namespace {

@@ -1,0 +1,237 @@
+// Source-access runtime overhead and savings.
+//
+//  * BM_AnswerStarCacheSavings — ANSWER* on the paper scenarios with and
+//    without the call cache. Qᵘ's calls are a subset of Qᵒ's, so one cache
+//    shared across both plans absorbs the overlap; `calls_saved_pct` is
+//    the headline number (>= 30% on the running example).
+//  * BM_JoinPipelineCache — a selective join re-executed against a slow
+//    simulated service; hit ratio and backend calls with/without cache.
+//  * BM_RetryUnderFaults — a flaky service (seeded transient failures)
+//    behind the retrying stack; measures attempts vs. logical calls and
+//    the virtual time spent backing off.
+//  * BM_StackOverhead — the full stack on an in-memory source, i.e. the
+//    pure decorator cost when nothing goes wrong.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ast/parser.h"
+#include "eval/answer_star.h"
+#include "eval/executor.h"
+#include "gen/scenarios.h"
+#include "runtime/fault_injection.h"
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+namespace {
+
+// Scenarios whose ANSWER* run issues source calls (a database instance is
+// bundled and both plans are non-trivial).
+std::vector<Scenario> RuntimeScenarios() {
+  std::vector<Scenario> out;
+  for (Scenario& s : AllScenarios()) {
+    if (s.database.TotalTuples() > 0) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void BM_AnswerStarCacheSavings(benchmark::State& state) {
+  std::vector<Scenario> scenarios = RuntimeScenarios();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= scenarios.size()) {
+    state.SkipWithError("no such scenario");
+    return;
+  }
+  const Scenario& s = scenarios[index];
+  const bool cached = state.range(1) != 0;
+
+  ExecutionOptions options;
+  options.runtime.cache = cached;
+
+  std::uint64_t calls_bare = 0;
+  std::uint64_t calls_used = 0;
+  double hit_ratio = 0.0;
+  for (auto _ : state) {
+    // Baseline calls, outside the timed region's interest: the bare run.
+    state.PauseTiming();
+    DatabaseSource bare(&s.database, &s.catalog);
+    AnswerStarReport plain = AnswerStar(s.query, s.catalog, &bare);
+    if (!plain.ok) {
+      state.SkipWithError("baseline ANSWER* failed");
+      return;
+    }
+    calls_bare = bare.stats().calls;
+    DatabaseSource backend(&s.database, &s.catalog);
+    state.ResumeTiming();
+
+    AnswerStarReport report = AnswerStar(s.query, s.catalog, &backend,
+                                         options);
+    if (!report.ok) {
+      state.SkipWithError("ANSWER* failed");
+      return;
+    }
+    calls_used = backend.stats().calls;
+    hit_ratio = report.runtime.CacheHitRatio();
+  }
+  state.SetLabel(s.name);
+  state.counters["cached"] = cached ? 1.0 : 0.0;
+  state.counters["calls_bare"] = static_cast<double>(calls_bare);
+  state.counters["calls_used"] = static_cast<double>(calls_used);
+  state.counters["calls_saved_pct"] =
+      calls_bare == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(calls_bare - calls_used) /
+                static_cast<double>(calls_bare);
+  state.counters["cache_hit_ratio"] = hit_ratio;
+}
+BENCHMARK(BM_AnswerStarCacheSavings)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}});
+
+Catalog JoinCatalog() {
+  return Catalog::MustParse(R"(
+    relation Big/2: oo io
+    relation Mid/2: io
+    relation Small/1: o
+  )");
+}
+
+Database JoinDatabase(int big_size) {
+  Database db;
+  for (int i = 0; i < big_size; ++i) {
+    db.Insert("Big", {Term::Constant("k" + std::to_string(i)),
+                      Term::Constant("m" + std::to_string(i % 17))});
+    db.Insert("Mid", {Term::Constant("m" + std::to_string(i % 17)),
+                      Term::Constant("v" + std::to_string(i % 5))});
+  }
+  for (int i = 0; i < 8; ++i) {
+    db.Insert("Small", {Term::Constant("k" + std::to_string(i * 3))});
+  }
+  return db;
+}
+
+void BM_JoinPipelineCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  Catalog catalog = JoinCatalog();
+  Database db = JoinDatabase(1024);
+  ConjunctiveQuery plan =
+      MustParseRule("Q(x, v) :- Small(x), Big(x, m), Mid(m, v).");
+
+  // A simulated 500us/call service: the virtual clock prices each backend
+  // call, so `service_us` shows what the cache saves in access latency,
+  // not just call count.
+  ExecutionOptions options;
+  options.runtime.cache = cached;
+  options.runtime.metering = true;
+
+  std::uint64_t backend_calls = 0;
+  double hit_ratio = 0.0;
+  std::uint64_t service_micros = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseSource backend(&db, &catalog);
+    FaultPlan faults;
+    faults.latency_micros = 500;
+    SimulatedClock clock;
+    FaultInjectingSource slow(&backend, faults, &clock);
+    state.ResumeTiming();
+
+    // The query repeats Mid probes for every Big row sharing a key: the
+    // cache collapses them. Two consecutive executions model the
+    // ANSWER*-style repeat on top.
+    SourceStack stack(&slow, options.runtime, &clock);
+    ExecutionResult a = Execute(plan, catalog, stack.source());
+    ExecutionResult b = Execute(plan, catalog, stack.source());
+    if (!a.ok || !b.ok) {
+      state.SkipWithError("execution failed");
+      return;
+    }
+    backend_calls = backend.stats().calls;
+    hit_ratio = stack.stats().CacheHitRatio();
+    service_micros = slow.fault_stats().injected_latency_micros;
+  }
+  state.counters["cached"] = cached ? 1.0 : 0.0;
+  state.counters["backend_calls"] = static_cast<double>(backend_calls);
+  state.counters["cache_hit_ratio"] = hit_ratio;
+  state.counters["service_us"] = static_cast<double>(service_micros);
+}
+BENCHMARK(BM_JoinPipelineCache)->Arg(0)->Arg(1);
+
+void BM_RetryUnderFaults(benchmark::State& state) {
+  const double failure_probability =
+      static_cast<double>(state.range(0)) / 100.0;
+  Catalog catalog = JoinCatalog();
+  Database db = JoinDatabase(256);
+  ConjunctiveQuery plan =
+      MustParseRule("Q(x, v) :- Small(x), Big(x, m), Mid(m, v).");
+
+  RuntimeOptions runtime;
+  runtime.retry = true;
+  runtime.retry_policy.max_attempts = 8;
+  runtime.retry_policy.initial_backoff_micros = 100;
+  runtime.metering = true;
+
+  std::uint64_t attempts = 0;
+  std::uint64_t logical_calls = 0;
+  std::uint64_t backoff_micros = 0;
+  std::uint64_t giveups = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseSource backend(&db, &catalog);
+    FaultPlan faults;
+    faults.failure_probability = failure_probability;
+    faults.seed = 17;
+    SimulatedClock clock;
+    FaultInjectingSource flaky(&backend, faults, &clock);
+    state.ResumeTiming();
+
+    SourceStack stack(&flaky, runtime, &clock);
+    ExecutionResult result = Execute(plan, catalog, stack.source());
+    if (!result.ok) {
+      state.SkipWithError(result.error.c_str());
+      return;
+    }
+    RuntimeStats stats = stack.stats();
+    attempts = stats.source_calls;
+    logical_calls = stats.source_calls - stats.retries;
+    backoff_micros = stats.backoff_micros;
+    giveups = stats.giveups;
+  }
+  state.counters["failure_pct"] = static_cast<double>(state.range(0));
+  state.counters["attempts"] = static_cast<double>(attempts);
+  state.counters["logical_calls"] = static_cast<double>(logical_calls);
+  state.counters["backoff_us"] = static_cast<double>(backoff_micros);
+  state.counters["giveups"] = static_cast<double>(giveups);
+}
+BENCHMARK(BM_RetryUnderFaults)->Arg(0)->Arg(10)->Arg(30);
+
+void BM_StackOverhead(benchmark::State& state) {
+  const bool stacked = state.range(0) != 0;
+  Catalog catalog = JoinCatalog();
+  Database db = JoinDatabase(1024);
+  ConjunctiveQuery plan =
+      MustParseRule("Q(x, v) :- Small(x), Big(x, m), Mid(m, v).");
+
+  ExecutionOptions options;
+  if (stacked) {
+    options.runtime.cache = true;
+    options.runtime.retry = true;
+    options.runtime.metering = true;
+  }
+  DatabaseSource backend(&db, &catalog);
+  for (auto _ : state) {
+    ExecutionResult result = Execute(plan, catalog, &backend, options);
+    if (!result.ok) {
+      state.SkipWithError(result.error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.tuples);
+  }
+  state.counters["stacked"] = stacked ? 1.0 : 0.0;
+}
+BENCHMARK(BM_StackOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ucqn
+
+BENCHMARK_MAIN();

@@ -2,20 +2,39 @@
 
 #include <algorithm>
 
-#include "eval/executor.h"
 #include "util/logging.h"
 
 namespace ucqn {
 
 AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
-                            Source* source) {
+                            Source* source, const ExecutionOptions& options) {
   AnswerStarReport report;
   report.plans = PlanStar(q, catalog);
 
-  ExecutionResult under = Execute(report.plans.under, catalog, source);
-  UCQN_CHECK_MSG(under.ok, under.error.c_str());
-  ExecutionResult over = Execute(report.plans.over, catalog, source);
-  UCQN_CHECK_MSG(over.ok, over.error.c_str());
+  // One stack for both plans: Qᵘ and Qᵒ overlap heavily (the underestimate
+  // drops unanswerable parts of the overestimate's disjuncts), so sharing
+  // the cache absorbs the duplicate calls.
+  std::optional<SourceStack> stack;
+  Source* effective = source;
+  ExecutionOptions plan_options = options;
+  if (options.runtime.Enabled()) {
+    stack.emplace(source, options.runtime);
+    effective = stack->source();
+    plan_options.runtime = RuntimeOptions{};
+  }
+
+  ExecutionResult under =
+      Execute(report.plans.under, catalog, effective, plan_options);
+  ExecutionResult over =
+      under.ok ? Execute(report.plans.over, catalog, effective, plan_options)
+               : ExecutionResult{};
+  if (stack.has_value()) report.runtime = stack->stats();
+  if (!under.ok || !over.ok) {
+    report.error = !under.ok ? "underestimate plan failed: " + under.error
+                             : "overestimate plan failed: " + over.error;
+    return report;
+  }
+  report.ok = true;
 
   report.under = std::move(under.tuples);
   report.over = std::move(over.tuples);
@@ -41,6 +60,7 @@ AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
 }
 
 std::string AnswerStarReport::Summary() const {
+  if (!ok) return "ANSWER* failed: " + error;
   std::string out = TupleSetToString(under);
   if (!out.empty()) out += "\n";
   if (complete) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ast/query.h"
+#include "eval/executor.h"
 #include "eval/source.h"
 #include "feasibility/plan_star.h"
 
@@ -14,6 +15,13 @@ namespace ucqn {
 // Output of algorithm ANSWER* (Fig. 4): runtime under-/over-estimates of
 // the exact answer plus the completeness information reported to the user.
 struct AnswerStarReport {
+  // False only when a source call failed (transient error past its
+  // retries, or an exhausted call/deadline budget); `error` says why. The
+  // estimate sets are empty in that case. With infallible sources (the
+  // in-memory ones) this is always true: PLAN*'s plans are executable by
+  // construction.
+  bool ok = false;
+  std::string error;
   // ansᵤ = ANSWER(Qᵘ, D): every tuple here is a guaranteed answer.
   std::set<Tuple> under;
   // ansₒ = ANSWER(Qᵒ, D): every actual answer appears here, possibly with
@@ -31,6 +39,9 @@ struct AnswerStarReport {
   std::optional<double> completeness_lower_bound;
   // The compiled plans, for diagnostics.
   PlanStarResult plans;
+  // What the source-access runtime did across both plan executions, when
+  // ExecutionOptions::runtime enabled any of its layers.
+  RuntimeStats runtime;
 
   // The user-facing messages of Fig. 4, verbatim in spirit.
   std::string Summary() const;
@@ -38,10 +49,15 @@ struct AnswerStarReport {
 
 // Algorithm ANSWER*: compiles Q with PLAN*, evaluates both plans against
 // the sources, and reports the underestimate together with completeness
-// information. The plans produced by PLAN* are always executable, so this
-// cannot fail on well-formed catalogs.
+// information. The plans produced by PLAN* are always executable, so on
+// well-formed catalogs this can fail (report.ok == false) only through the
+// source failure channel. A runtime stack configured via
+// `options.runtime` is shared across both plan executions — exactly the
+// duplicate-call shape (Qᵘ's calls are a subset of Qᵒ's) where caching
+// pays off; see bench_runtime.
 AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
-                            Source* source);
+                            Source* source,
+                            const ExecutionOptions& options = {});
 
 }  // namespace ucqn
 

@@ -56,8 +56,14 @@ DomainEnumResult EnumerateDomain(const Catalog& catalog, Source* source,
               return;
             }
             ++result.source_calls;
-            for (const Tuple& tuple :
-                 source->Fetch(schema->name(), pattern, inputs)) {
+            FetchResult fetched = source->Fetch(schema->name(), pattern, inputs);
+            if (!fetched.ok()) {
+              // Best-effort: a failed call contributes no values. Dropping
+              // it keeps the domain sound (a subset of the reachable one).
+              ++result.source_errors;
+              return;
+            }
+            for (const Tuple& tuple : fetched.tuples) {
               for (const Term& value : tuple) {
                 if (result.domain.insert(value).second) changed = true;
               }
@@ -86,12 +92,14 @@ class DomainAssistedEvaluator {
  public:
   DomainAssistedEvaluator(const Catalog& catalog, Source* source,
                           const std::set<Term>& domain,
-                          std::uint64_t max_calls, std::uint64_t* calls)
+                          std::uint64_t max_calls, std::uint64_t* calls,
+                          std::uint64_t* errors)
       : catalog_(catalog),
         source_(source),
         domain_(domain.begin(), domain.end()),
         max_calls_(max_calls),
-        calls_(calls) {}
+        calls_(calls),
+        errors_(errors) {}
 
   void Evaluate(const DisjunctPlan& plan, std::set<Tuple>* out) {
     if (!plan.answerable.has_value()) return;  // unsatisfiable disjunct
@@ -192,8 +200,15 @@ class DomainAssistedEvaluator {
       }
     }
     ++*calls_;
-    std::vector<Tuple> fetched =
-        source_->Fetch(literal.relation(), pattern, inputs);
+    FetchResult result = source_->Fetch(literal.relation(), pattern, inputs);
+    if (!result.ok()) {
+      // Drop the binding in both polarities: claiming a positive match or
+      // a verified absence without source confirmation would break the
+      // underestimate's soundness guarantee.
+      ++*errors_;
+      return;
+    }
+    const std::vector<Tuple>& fetched = result.tuples;
     if (literal.positive()) {
       for (const Tuple& tuple : fetched) {
         Substitution extended = binding;
@@ -222,6 +237,7 @@ class DomainAssistedEvaluator {
   std::vector<Term> domain_;
   std::uint64_t max_calls_;
   std::uint64_t* calls_;
+  std::uint64_t* errors_;
 };
 
 }  // namespace
@@ -247,7 +263,8 @@ ImprovedUnderestimate ImproveUnderestimate(const UnionQuery& q,
 
   DomainAssistedEvaluator evaluator(catalog, source, result.domain.domain,
                                     options.max_calls,
-                                    &result.evaluation_calls);
+                                    &result.evaluation_calls,
+                                    &result.evaluation_errors);
   for (const DisjunctPlan& plan : plans.disjuncts) {
     if (plan.unanswerable.empty()) continue;  // already exact in Q^u
     std::set<Tuple> extra;

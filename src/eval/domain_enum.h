@@ -30,6 +30,9 @@ struct DomainEnumResult {
   // True if max_calls stopped the fixpoint early (domain may be partial —
   // still sound for underestimates).
   bool budget_exhausted = false;
+  // Source calls that failed (flaky sources). Their values are simply not
+  // harvested — the domain stays sound, possibly smaller.
+  std::uint64_t source_errors = 0;
 };
 
 DomainEnumResult EnumerateDomain(const Catalog& catalog, Source* source,
@@ -54,6 +57,9 @@ struct ImprovedUnderestimate {
   // Source calls spent evaluating the domain-assisted disjuncts (on top of
   // domain.source_calls).
   std::uint64_t evaluation_calls = 0;
+  // Evaluation calls that failed. The affected bindings are dropped —
+  // conservative in both polarities, so `tuples` remains an underestimate.
+  std::uint64_t evaluation_errors = 0;
 };
 
 ImprovedUnderestimate ImproveUnderestimate(const UnionQuery& q,

@@ -46,11 +46,11 @@ std::optional<Substitution> UnifyWithTuple(const Literal& literal,
   return extended;
 }
 
-}  // namespace
-
-BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
-                                  const Catalog& catalog, Source* source,
-                                  const ExecutionOptions& options) {
+// The core left-to-right loop, talking to `source` directly (any runtime
+// stack has already been interposed by the public entry points).
+BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
+                                     const Catalog& catalog, Source* source,
+                                     const ExecutionOptions& options) {
   BindingsResult result;
   result.bindings.emplace_back();
   BoundVariables bound;
@@ -66,10 +66,15 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
     std::vector<Substitution> next;
     if (literal.positive()) {
       for (const Substitution& binding : result.bindings) {
-        std::vector<Tuple> fetched =
-            source->Fetch(literal.relation(), *pattern,
-                          FetchInputs(literal, binding));
-        for (const Tuple& tuple : fetched) {
+        FetchResult fetched = source->Fetch(literal.relation(), *pattern,
+                                            FetchInputs(literal, binding));
+        if (!fetched.ok()) {
+          result.error = "source call for literal " + literal.ToString() +
+                         " failed: " + fetched.error;
+          result.bindings.clear();
+          return result;
+        }
+        for (const Tuple& tuple : fetched.tuples) {
           std::optional<Substitution> extended =
               UnifyWithTuple(literal, tuple, binding);
           if (extended.has_value()) next.push_back(std::move(*extended));
@@ -80,12 +85,17 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
       // All variables are bound (ChoosePattern guarantees it): probe for
       // the instantiated tuple and keep the binding iff it is absent.
       for (const Substitution& binding : result.bindings) {
-        std::vector<Tuple> fetched =
-            source->Fetch(literal.relation(), *pattern,
-                          FetchInputs(literal, binding));
+        FetchResult fetched = source->Fetch(literal.relation(), *pattern,
+                                            FetchInputs(literal, binding));
+        if (!fetched.ok()) {
+          result.error = "source call for literal " + literal.ToString() +
+                         " failed: " + fetched.error;
+          result.bindings.clear();
+          return result;
+        }
         Tuple instantiated = binding.Apply(literal.args());
         bool present = false;
-        for (const Tuple& tuple : fetched) {
+        for (const Tuple& tuple : fetched.tuples) {
           if (tuple == instantiated) {
             present = true;
             break;
@@ -109,8 +119,8 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
   return result;
 }
 
-ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
-                        Source* source, const ExecutionOptions& options) {
+ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
+                           Source* source, const ExecutionOptions& options) {
   ExecutionResult result;
 
   // Empty body: the head must already be ground (overestimate null rows).
@@ -127,7 +137,7 @@ ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
     return result;
   }
 
-  BindingsResult body = ExecuteForBindings(q, catalog, source, options);
+  BindingsResult body = ExecuteForBindingsRaw(q, catalog, source, options);
   if (!body.ok) {
     result.error = std::move(body.error);
     return result;
@@ -154,15 +164,54 @@ ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
   return result;
 }
 
+}  // namespace
+
+BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
+                                  const Catalog& catalog, Source* source,
+                                  const ExecutionOptions& options) {
+  if (!options.runtime.Enabled()) {
+    return ExecuteForBindingsRaw(q, catalog, source, options);
+  }
+  SourceStack stack(source, options.runtime);
+  BindingsResult result =
+      ExecuteForBindingsRaw(q, catalog, stack.source(), options);
+  result.runtime = stack.stats();
+  return result;
+}
+
+ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
+                        Source* source, const ExecutionOptions& options) {
+  if (!options.runtime.Enabled()) {
+    return ExecuteRaw(q, catalog, source, options);
+  }
+  SourceStack stack(source, options.runtime);
+  ExecutionResult result = ExecuteRaw(q, catalog, stack.source(), options);
+  result.runtime = stack.stats();
+  return result;
+}
+
 ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options) {
+  // One stack for the whole union: the cache carries results across
+  // disjuncts (they typically share relations) and the budget is a
+  // per-query, not per-disjunct, limit.
+  std::optional<SourceStack> stack;
+  Source* effective = source;
+  if (options.runtime.Enabled()) {
+    stack.emplace(source, options.runtime);
+    effective = stack->source();
+  }
   ExecutionResult result;
   result.ok = true;
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    ExecutionResult part = Execute(disjunct, catalog, source, options);
-    if (!part.ok) return part;
+    ExecutionResult part = ExecuteRaw(disjunct, catalog, effective, options);
+    if (!part.ok) {
+      if (stack.has_value()) part.runtime = stack->stats();
+      return part;
+    }
     result.tuples.insert(part.tuples.begin(), part.tuples.end());
   }
+  if (stack.has_value()) result.runtime = stack->stats();
   return result;
 }
 

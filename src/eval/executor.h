@@ -6,6 +6,7 @@
 
 #include "ast/query.h"
 #include "eval/source.h"
+#include "runtime/source_stack.h"
 #include "schema/adornment.h"
 #include "schema/catalog.h"
 
@@ -23,17 +24,28 @@ struct ExecutionOptions {
   // it fails the execution rather than exhausting memory on a hostile
   // plan/source combination. 0 = unlimited.
   std::size_t max_bindings = 0;
+  // Source-access runtime configuration (src/runtime/): call caching,
+  // retry/backoff, call/deadline budgets, metrics. Disabled by default —
+  // the executor then talks to `source` directly. When any layer is
+  // enabled, Execute wraps `source` in a per-call SourceStack (shared
+  // across the disjuncts of a union) and reports what it did through the
+  // result's `runtime` field.
+  RuntimeOptions runtime;
 };
 
 // Result of executing a plan against sources.
 struct ExecutionResult {
   bool ok = false;
   // Set only when !ok: why the plan could not be executed (e.g. a literal
-  // had no usable access pattern at its position).
+  // had no usable access pattern at its position, or a source call failed
+  // after exhausting its retries or budget).
   std::string error;
   // The answer tuples (set semantics). Head terms may include null for
   // overestimate plans.
   std::set<Tuple> tuples;
+  // What the source-access runtime did, when ExecutionOptions::runtime
+  // enabled any of its layers (zeroes otherwise).
+  RuntimeStats runtime;
 };
 
 // Executes an *executable* CQ¬ left-to-right (Definition 3's reading of a
@@ -41,7 +53,9 @@ struct ExecutionResult {
 // bindings, negative literals are membership probes filtering them out.
 // Access patterns are chosen greedily per literal (most input slots
 // usable). Fails — without partial answers — if some literal cannot be
-// called at its position, or if an empty-body rule has a non-ground head.
+// called at its position, if an empty-body rule has a non-ground head, or
+// if a source call ultimately fails (transient error past its retries, or
+// an exhausted call/deadline budget).
 //
 // An empty-body rule with ground head terms yields exactly its head tuple;
 // this is how overestimate disjuncts whose answerable part is empty
@@ -50,7 +64,8 @@ ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options = {});
 
 // Executes every disjunct and unions the results. Fails if any disjunct
-// fails. The `false` query yields the empty set.
+// fails. The `false` query yields the empty set. A configured runtime
+// stack (cache, budget, ...) is shared across all disjuncts.
 ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options = {});
 
@@ -62,6 +77,7 @@ struct BindingsResult {
   bool ok = false;
   std::string error;
   std::vector<Substitution> bindings;
+  RuntimeStats runtime;
 };
 BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
                                   const Catalog& catalog, Source* source,

@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/database.h"
@@ -21,23 +22,72 @@ struct SourceStats {
   void Reset() { *this = SourceStats{}; }
 };
 
+// Outcome of a source call. In-memory sources always succeed; sources that
+// model (or are) remote services can fail transiently, and the runtime
+// layer (src/runtime/) retries, budgets, and reports those failures
+// instead of aborting the process.
+enum class FetchStatus {
+  kOk,
+  // The call failed in a way that may succeed if retried (network blip,
+  // throttling, service restart).
+  kTransientError,
+  // A per-query call or deadline budget refused the call; retrying within
+  // the same query cannot succeed.
+  kBudgetExhausted,
+};
+
+// Status-or-tuples result of Source::Fetch. `tuples` is meaningful only
+// when ok(); `error` is meaningful only when !ok().
+struct FetchResult {
+  FetchStatus status = FetchStatus::kOk;
+  std::string error;
+  std::vector<Tuple> tuples;
+
+  bool ok() const { return status == FetchStatus::kOk; }
+
+  static FetchResult Ok(std::vector<Tuple> tuples) {
+    FetchResult r;
+    r.tuples = std::move(tuples);
+    return r;
+  }
+  static FetchResult TransientError(std::string error) {
+    FetchResult r;
+    r.status = FetchStatus::kTransientError;
+    r.error = std::move(error);
+    return r;
+  }
+  static FetchResult BudgetExhausted(std::string error) {
+    FetchResult r;
+    r.status = FetchStatus::kBudgetExhausted;
+    r.error = std::move(error);
+    return r;
+  }
+};
+
 // The runtime face of a relation with access patterns: one Fetch per
 // web-service operation (Section 1). Implementations must enforce the
 // pattern — a call that fails to supply a value for every input slot is a
-// contract violation.
+// contract violation (a programming error, CHECK-failed), while transport
+// failures are reported through FetchResult's status channel.
 class Source {
  public:
   virtual ~Source() = default;
 
   // Calls `relation` through `pattern`. `inputs` has one entry per slot;
   // entries at input slots must hold ground terms, entries at output slots
-  // are ignored. Returns every tuple of the relation agreeing with the
-  // supplied input values. Note the source does NOT filter on output
-  // slots — per the paper's footnote 4, output-side selections are the
-  // caller's job.
-  virtual std::vector<Tuple> Fetch(
+  // are ignored. On success returns every tuple of the relation agreeing
+  // with the supplied input values. Note the source does NOT filter on
+  // output slots — per the paper's footnote 4, output-side selections are
+  // the caller's job.
+  virtual FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) = 0;
+
+  // Convenience for call sites whose source cannot fail (in-memory
+  // databases, tests): returns the tuples, CHECK-failing on any error.
+  std::vector<Tuple> FetchOrDie(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs);
 };
 
 // A `Source` serving an in-memory Database, enforcing the catalog's
@@ -51,7 +101,7 @@ class DatabaseSource : public Source {
   DatabaseSource(const Database* db, const Catalog* catalog)
       : db_(db), catalog_(catalog) {}
 
-  std::vector<Tuple> Fetch(
+  FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
 

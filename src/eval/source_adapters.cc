@@ -6,42 +6,6 @@ namespace ucqn {
 
 namespace {
 
-std::string CacheKey(const std::string& relation, const AccessPattern& pattern,
-                     const std::vector<std::optional<Term>>& inputs) {
-  std::string key = relation + "^" + pattern.word();
-  for (std::size_t j = 0; j < inputs.size(); ++j) {
-    key += "|";
-    // Only input slots participate in the call signature; the source
-    // ignores values at output slots, so two calls differing only there
-    // are the same call.
-    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
-      key += inputs[j]->ToString();
-    }
-  }
-  return key;
-}
-
-}  // namespace
-
-std::vector<Tuple> CachingSource::Fetch(
-    const std::string& relation, const AccessPattern& pattern,
-    const std::vector<std::optional<Term>>& inputs) {
-  const std::string key = CacheKey(relation, pattern, inputs);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++stats_.hits;
-    return it->second;
-  }
-  ++stats_.misses;
-  std::vector<Tuple> result = inner_->Fetch(relation, pattern, inputs);
-  cache_.emplace(std::move(key), result);
-  return result;
-}
-
-void CachingSource::Invalidate() { cache_.clear(); }
-
-namespace {
-
 // Renders the input-slot projection of `tuple` under `pattern` as the
 // index key. Term::ToString is injective enough here (quoted constants vs
 // variables never collide, and tuples contain ground terms only).
@@ -66,21 +30,24 @@ const IndexedDatabaseSource::Index& IndexedDatabaseSource::GetOrBuildIndex(
   Index& index = indexes_[index_key];
   if (const std::set<Tuple>* tuples = db_->Find(relation)) {
     for (const Tuple& tuple : *tuples) {
+      UCQN_CHECK_MSG(tuple.size() == pattern.arity(),
+                     "stored tuple arity mismatches the relation's declared "
+                     "arity");
       index.buckets[ProjectionKey(pattern, tuple)].push_back(tuple);
     }
   }
   return index;
 }
 
-std::vector<Tuple> IndexedDatabaseSource::Fetch(
+FetchResult IndexedDatabaseSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
   const RelationSchema* schema = catalog_->Find(relation);
   UCQN_CHECK_MSG(schema != nullptr, "fetch of undeclared relation");
   UCQN_CHECK_MSG(schema->HasPattern(pattern),
                  "fetch with undeclared access pattern");
-  UCQN_CHECK_MSG(inputs.size() == pattern.arity(),
-                 "fetch inputs must have one entry per slot");
+  UCQN_CHECK_MSG(inputs.size() == schema->arity(),
+                 "fetch inputs must have one entry per declared slot");
   std::string key;
   for (std::size_t j = 0; j < pattern.arity(); ++j) {
     if (pattern.IsInputSlot(j)) {
@@ -93,9 +60,9 @@ std::vector<Tuple> IndexedDatabaseSource::Fetch(
   ++stats_.calls;
   const Index& index = GetOrBuildIndex(relation, pattern);
   auto bucket = index.buckets.find(key);
-  if (bucket == index.buckets.end()) return {};
+  if (bucket == index.buckets.end()) return FetchResult::Ok({});
   stats_.tuples_returned += bucket->second.size();
-  return bucket->second;
+  return FetchResult::Ok(bucket->second);
 }
 
 void CompositeSource::Route(const std::string& relation, Source* source) {
@@ -103,7 +70,7 @@ void CompositeSource::Route(const std::string& relation, Source* source) {
   routes_[relation] = source;
 }
 
-std::vector<Tuple> CompositeSource::Fetch(
+FetchResult CompositeSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
   auto it = routes_.find(relation);

@@ -11,35 +11,10 @@
 
 namespace ucqn {
 
-// Memoizes identical source calls. Web-service operations are pure lookups
-// for the duration of a query, and both ANSWER* (two plans over the same
-// sources) and domain enumeration re-issue many identical calls; a cache
-// in front of the transport turns those into no-ops. The cache key is the
-// full call signature (relation, pattern, input values).
-class CachingSource : public Source {
- public:
-  struct CacheStats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-  };
-
-  // Does not take ownership; `inner` must outlive the adapter.
-  explicit CachingSource(Source* inner) : inner_(inner) {}
-
-  std::vector<Tuple> Fetch(
-      const std::string& relation, const AccessPattern& pattern,
-      const std::vector<std::optional<Term>>& inputs) override;
-
-  const CacheStats& cache_stats() const { return stats_; }
-  // Drops all cached results (e.g. when the underlying data may have
-  // changed between queries).
-  void Invalidate();
-
- private:
-  Source* inner_;
-  std::unordered_map<std::string, std::vector<Tuple>> cache_;
-  CacheStats stats_;
-};
+// Note: the call-memoizing cache adapter lives in the source-access
+// runtime layer as runtime/caching_source.h (LRU, eviction counters,
+// invalidation hooks), alongside the retry/fault-injection/metrics
+// decorators it composes with.
 
 // A Source over an in-memory Database that answers keyed calls through a
 // hash index instead of DatabaseSource's full scan: the first call for a
@@ -54,7 +29,7 @@ class IndexedDatabaseSource : public Source {
   IndexedDatabaseSource(const Database* db, const Catalog* catalog)
       : db_(db), catalog_(catalog) {}
 
-  std::vector<Tuple> Fetch(
+  FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
 
@@ -90,7 +65,7 @@ class CompositeSource : public Source {
     return routes_.count(relation) > 0;
   }
 
-  std::vector<Tuple> Fetch(
+  FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
 

@@ -1,0 +1,64 @@
+#include "runtime/caching_source.h"
+
+namespace ucqn {
+
+namespace {
+
+std::string CacheKey(const std::string& relation, const AccessPattern& pattern,
+                     const std::vector<std::optional<Term>>& inputs) {
+  std::string key = relation + "^" + pattern.word();
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    key += "|";
+    // Only input slots participate in the call signature; the source
+    // ignores values at output slots, so two calls differing only there
+    // are the same call.
+    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
+      key += inputs[j]->ToString();
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+FetchResult CachingSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  std::string key = CacheKey(relation, pattern, inputs);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    // Move to the front of the LRU order.
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return FetchResult::Ok(it->second->tuples);
+  }
+  ++stats_.misses;
+  FetchResult result = inner_->Fetch(relation, pattern, inputs);
+  if (!result.ok()) return result;  // failures are not cached
+  entries_.push_front(Entry{key, relation, result.tuples});
+  index_.emplace(std::move(key), entries_.begin());
+  if (capacity_ != 0 && entries_.size() > capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return result;
+}
+
+void CachingSource::Invalidate() {
+  entries_.clear();
+  index_.clear();
+}
+
+void CachingSource::InvalidateRelation(const std::string& relation) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->relation == relation) {
+      index_.erase(it->key);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ucqn

@@ -1,0 +1,70 @@
+#ifndef UCQN_RUNTIME_CACHING_SOURCE_H_
+#define UCQN_RUNTIME_CACHING_SOURCE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/source.h"
+
+namespace ucqn {
+
+// Memoizes identical source calls with LRU eviction. Web-service
+// operations are pure lookups for the duration of a query, and both
+// ANSWER* (two plans over the same sources) and the executor itself (one
+// Fetch per live binding) re-issue many identical calls; a cache in front
+// of the transport turns those into no-ops.
+//
+// The cache key is (relation, pattern word, input-slot values) — output
+// slots do not participate, per the paper's footnote 4: the source ignores
+// values supplied there, so two calls differing only at output slots are
+// the same call. Only successful results are cached; a failed call stays
+// uncached so a later retry can succeed.
+class CachingSource : public Source {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  // Does not take ownership; `inner` must outlive the adapter.
+  // `capacity` bounds the number of cached call results (LRU eviction);
+  // 0 means unbounded.
+  explicit CachingSource(Source* inner, std::size_t capacity = 0)
+      : inner_(inner), capacity_(capacity) {}
+
+  FetchResult Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  const CacheStats& cache_stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Invalidation hooks: drop everything (e.g. when the underlying data may
+  // have changed between queries), or just one relation's entries (e.g. a
+  // single updated service).
+  void Invalidate();
+  void InvalidateRelation(const std::string& relation);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string relation;
+    std::vector<Tuple> tuples;
+  };
+
+  Source* inner_;
+  std::size_t capacity_;
+  // Front = most recently used. `index_` points into `entries_`.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_CACHING_SOURCE_H_

@@ -1,0 +1,59 @@
+#ifndef UCQN_RUNTIME_CLOCK_H_
+#define UCQN_RUNTIME_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace ucqn {
+
+// Time source for the runtime layer (retry backoff, deadlines, latency
+// metrics). Everything is expressed in integer microseconds so simulated
+// and real time share one arithmetic.
+//
+// The decorators in src/runtime/ never touch std::chrono directly; they
+// go through a Clock*. Passing a SimulatedClock makes retry/backoff and
+// latency-injection tests fully deterministic and lets the benches report
+// "network time saved" without actually sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic now, in microseconds since an arbitrary epoch.
+  virtual std::uint64_t NowMicros() = 0;
+
+  // Blocks (or pretends to) for `micros` microseconds.
+  virtual void SleepMicros(std::uint64_t micros) = 0;
+};
+
+// Real wall-clock time: steady_clock + this_thread::sleep_for.
+class SteadyClock : public Clock {
+ public:
+  std::uint64_t NowMicros() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void SleepMicros(std::uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+// Virtual time: starts at zero, advances only via SleepMicros/Advance.
+// Shared between FaultInjectingSource (which injects latency by sleeping)
+// and MeteredSource (which timestamps calls), this yields exact,
+// repeatable latency histograms.
+class SimulatedClock : public Clock {
+ public:
+  std::uint64_t NowMicros() override { return now_micros_; }
+  void SleepMicros(std::uint64_t micros) override { now_micros_ += micros; }
+  void Advance(std::uint64_t micros) { now_micros_ += micros; }
+
+ private:
+  std::uint64_t now_micros_ = 0;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_CLOCK_H_

@@ -1,0 +1,59 @@
+#include "runtime/fault_injection.h"
+
+namespace ucqn {
+
+namespace {
+
+std::string CallKey(const std::string& relation, const AccessPattern& pattern,
+                    const std::vector<std::optional<Term>>& inputs) {
+  std::string key = relation + "^" + pattern.word();
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    key += "|";
+    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
+      key += inputs[j]->ToString();
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+FetchResult FaultInjectingSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  ++stats_.calls;
+
+  // Latency is injected up front: a failing service still makes you wait.
+  std::uint64_t latency = plan_.latency_micros;
+  if (plan_.latency_jitter_micros > 0) {
+    std::uniform_int_distribution<std::uint64_t> dist(
+        0, plan_.latency_jitter_micros);
+    latency += dist(rng_);
+  }
+  if (latency > 0) {
+    stats_.injected_latency_micros += latency;
+    if (clock_ != nullptr) clock_->SleepMicros(latency);
+  }
+
+  bool fail = false;
+  if (stats_.calls <= plan_.fail_first_calls) fail = true;
+  if (!fail && plan_.fail_first_per_key > 0) {
+    std::uint64_t& seen = per_key_failures_[CallKey(relation, pattern, inputs)];
+    if (seen < plan_.fail_first_per_key) {
+      ++seen;
+      fail = true;
+    }
+  }
+  if (!fail && plan_.failure_probability > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    fail = dist(rng_) < plan_.failure_probability;
+  }
+  if (fail) {
+    ++stats_.injected_failures;
+    return FetchResult::TransientError("injected transient failure on " +
+                                       relation + "^" + pattern.word());
+  }
+  return inner_->Fetch(relation, pattern, inputs);
+}
+
+}  // namespace ucqn

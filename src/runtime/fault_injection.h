@@ -1,0 +1,71 @@
+#ifndef UCQN_RUNTIME_FAULT_INJECTION_H_
+#define UCQN_RUNTIME_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/source.h"
+#include "runtime/clock.h"
+
+namespace ucqn {
+
+// What a FaultInjectingSource does to the calls passing through it. All
+// randomness is seeded, so a given plan replays identically — tests and
+// benches get deterministic flakiness.
+struct FaultPlan {
+  // Each call independently fails with this probability (after the
+  // deterministic fail_first_* rules below have been satisfied).
+  double failure_probability = 0.0;
+  std::uint64_t seed = 42;
+  // The first N calls overall fail — models a source that is down and
+  // comes back.
+  std::uint64_t fail_first_calls = 0;
+  // The first N attempts of each distinct call signature fail, then that
+  // signature succeeds forever — the canonical retry-path test: a bare
+  // source never sees a success for a fresh call, a retrying source does.
+  std::uint64_t fail_first_per_key = 0;
+  // Injected per-call service latency, slept on the clock (virtual time
+  // under SimulatedClock): fixed part + seeded U[0, jitter].
+  std::uint64_t latency_micros = 0;
+  std::uint64_t latency_jitter_micros = 0;
+};
+
+// Decorator that makes a reliable source flaky and slow on demand — the
+// test double for the paper's remote web services. Failures surface as
+// FetchStatus::kTransientError; latency is charged to the clock so
+// MeteredSource (sharing the same clock) observes it.
+class FaultInjectingSource : public Source {
+ public:
+  struct FaultStats {
+    std::uint64_t calls = 0;
+    std::uint64_t injected_failures = 0;
+    std::uint64_t injected_latency_micros = 0;
+  };
+
+  // Does not take ownership; `inner` (and `clock`, if given) must outlive
+  // the adapter. With a null clock, latency is recorded in the stats but
+  // not slept anywhere.
+  FaultInjectingSource(Source* inner, FaultPlan plan, Clock* clock = nullptr)
+      : inner_(inner), plan_(plan), clock_(clock), rng_(plan.seed) {}
+
+  FetchResult Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+ private:
+  Source* inner_;
+  FaultPlan plan_;
+  Clock* clock_;
+  std::mt19937_64 rng_;
+  FaultStats stats_;
+  std::unordered_map<std::string, std::uint64_t> per_key_failures_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_FAULT_INJECTION_H_

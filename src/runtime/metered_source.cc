@@ -1,0 +1,141 @@
+#include "runtime/metered_source.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ucqn {
+
+namespace {
+
+std::size_t BucketFor(std::uint64_t micros) {
+  std::size_t b = 0;
+  while (micros > 1 && b + 1 < LatencyHistogram::kBuckets) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t micros) {
+  ++buckets_[BucketFor(micros)];
+  if (count_ == 0 || micros < min_) min_ = micros;
+  max_ = std::max(max_, micros);
+  sum_ += micros;
+  ++count_;
+}
+
+std::uint64_t LatencyHistogram::PercentileUpperBoundMicros(double p) const {
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= std::max<std::uint64_t>(rank, 1)) {
+      return b == 0 ? 1 : (std::uint64_t{2} << b) - 1;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToString() const {
+  return "n=" + std::to_string(count_) + " mean=" + FormatDouble(mean_micros()) +
+         "us p50<=" + std::to_string(PercentileUpperBoundMicros(0.5)) +
+         "us p99<=" + std::to_string(PercentileUpperBoundMicros(0.99)) +
+         "us max=" + std::to_string(max_micros()) + "us";
+}
+
+FetchResult MeteredSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  const std::uint64_t start = clock_ != nullptr ? clock_->NowMicros() : 0;
+  FetchResult result = inner_->Fetch(relation, pattern, inputs);
+  const std::uint64_t elapsed =
+      clock_ != nullptr ? clock_->NowMicros() - start : 0;
+
+  RelationMetrics& rel = per_relation_[relation];
+  for (RelationMetrics* m : {&totals_, &rel}) {
+    ++m->calls;
+    if (result.ok()) {
+      m->tuples += result.tuples.size();
+    } else {
+      ++m->errors;
+    }
+    m->latency.Record(elapsed);
+  }
+  return result;
+}
+
+void MeteredSource::Reset() {
+  totals_ = RelationMetrics{};
+  per_relation_.clear();
+}
+
+namespace {
+
+std::string MetricsLine(const std::string& name, const RelationMetrics& m) {
+  return name + ": calls=" + std::to_string(m.calls) +
+         " errors=" + std::to_string(m.errors) +
+         " tuples=" + std::to_string(m.tuples) + " latency[" +
+         m.latency.ToString() + "]";
+}
+
+std::string MetricsJson(const RelationMetrics& m) {
+  std::string out = "{\"calls\": " + std::to_string(m.calls) +
+                    ", \"errors\": " + std::to_string(m.errors) +
+                    ", \"tuples\": " + std::to_string(m.tuples) +
+                    ", \"latency_us\": {\"count\": " +
+                    std::to_string(m.latency.count()) +
+                    ", \"sum\": " + std::to_string(m.latency.sum_micros()) +
+                    ", \"min\": " + std::to_string(m.latency.min_micros()) +
+                    ", \"max\": " + std::to_string(m.latency.max_micros()) +
+                    ", \"p50\": " +
+                    std::to_string(m.latency.PercentileUpperBoundMicros(0.5)) +
+                    ", \"p99\": " +
+                    std::to_string(m.latency.PercentileUpperBoundMicros(0.99)) +
+                    ", \"buckets\": [";
+  // Trailing zero buckets are elided to keep the export compact.
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (m.latency.buckets()[b] != 0) last = b + 1;
+  }
+  for (std::size_t b = 0; b < last; ++b) {
+    if (b != 0) out += ", ";
+    out += std::to_string(m.latency.buckets()[b]);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace
+
+std::string MeteredSource::ToText() const {
+  std::string out;
+  for (const auto& [name, metrics] : per_relation_) {
+    out += MetricsLine(name, metrics) + "\n";
+  }
+  out += MetricsLine("TOTAL", totals_);
+  return out;
+}
+
+std::string MeteredSource::ToJson() const {
+  std::string out = "{\"totals\": " + MetricsJson(totals_) +
+                    ", \"relations\": {";
+  bool first = true;
+  for (const auto& [name, metrics] : per_relation_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + MetricsJson(metrics);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ucqn

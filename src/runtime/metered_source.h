@@ -1,0 +1,94 @@
+#ifndef UCQN_RUNTIME_METERED_SOURCE_H_
+#define UCQN_RUNTIME_METERED_SOURCE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/source.h"
+#include "runtime/clock.h"
+
+namespace ucqn {
+
+// Latency histogram over power-of-two microsecond buckets: bucket b counts
+// samples in [2^b, 2^(b+1)) us (bucket 0 also holds 0us samples). 30
+// buckets cover up to ~18 minutes per call.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 30;
+
+  void Record(std::uint64_t micros);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_micros() const { return sum_; }
+  std::uint64_t min_micros() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max_micros() const { return max_; }
+  double mean_micros() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+  // Upper bound of the bucket holding the p-th percentile sample
+  // (0 < p <= 1); 0 when empty.
+  std::uint64_t PercentileUpperBoundMicros(double p) const;
+
+  // e.g. "n=12 mean=34.5us p50<=64us p99<=128us max=97us".
+  std::string ToString() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Per-relation call/tuple/error counters plus a latency histogram — the
+// access-cost observability the paper's web-service model calls for.
+struct RelationMetrics {
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t tuples = 0;
+  LatencyHistogram latency;
+};
+
+// Decorator that meters every call reaching the wrapped source. Sits at
+// the bottom of the stack (directly above the transport) so each retry
+// attempt and every cache miss is measured, while cache hits are not.
+class MeteredSource : public Source {
+ public:
+  // Does not take ownership; `inner` (and `clock`, if given) must outlive
+  // the adapter. Without a clock, latencies are all recorded as zero but
+  // call/tuple/error counting still works.
+  explicit MeteredSource(Source* inner, Clock* clock = nullptr)
+      : inner_(inner), clock_(clock) {}
+
+  FetchResult Fetch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::optional<Term>>& inputs) override;
+
+  const RelationMetrics& totals() const { return totals_; }
+  const std::map<std::string, RelationMetrics>& per_relation() const {
+    return per_relation_;
+  }
+  void Reset();
+
+  // Human-readable table, one line per relation plus a totals line.
+  std::string ToText() const;
+  // Machine-readable export for dashboards/benches:
+  // {"totals": {...}, "relations": {"R": {...}, ...}}.
+  std::string ToJson() const;
+
+ private:
+  Source* inner_;
+  Clock* clock_;
+  RelationMetrics totals_;
+  std::map<std::string, RelationMetrics> per_relation_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_METERED_SOURCE_H_

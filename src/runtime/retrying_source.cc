@@ -1,0 +1,88 @@
+#include "runtime/retrying_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ucqn {
+
+RetryingSource::RetryingSource(Source* inner, RetryPolicy policy,
+                               CallBudget budget, Clock* clock)
+    : inner_(inner),
+      policy_(policy),
+      budget_(budget),
+      clock_(clock != nullptr ? clock : &own_clock_),
+      rng_(policy.jitter_seed) {
+  UCQN_CHECK_MSG(policy_.max_attempts >= 1, "retry needs at least 1 attempt");
+  budget_start_micros_ = clock_->NowMicros();
+}
+
+void RetryingSource::ResetBudget() {
+  calls_used_ = 0;
+  budget_start_micros_ = clock_->NowMicros();
+}
+
+bool RetryingSource::BudgetExceeded(std::string* why) const {
+  if (budget_.max_calls != 0 && calls_used_ >= budget_.max_calls) {
+    *why = "call budget of " + std::to_string(budget_.max_calls) +
+           " source calls exhausted";
+    return true;
+  }
+  if (budget_.deadline_micros != 0) {
+    // NowMicros is monotone, so elapsed never underflows.
+    const std::uint64_t elapsed =
+        const_cast<Clock*>(clock_)->NowMicros() - budget_start_micros_;
+    if (elapsed >= budget_.deadline_micros) {
+      *why = "deadline of " + std::to_string(budget_.deadline_micros) +
+             "us exceeded (" + std::to_string(elapsed) + "us elapsed)";
+      return true;
+    }
+  }
+  return false;
+}
+
+FetchResult RetryingSource::Fetch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  std::string last_error;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    std::string why;
+    if (BudgetExceeded(&why)) {
+      ++stats_.budget_refusals;
+      if (!last_error.empty()) why += "; last error: " + last_error;
+      return FetchResult::BudgetExhausted(std::move(why));
+    }
+    ++calls_used_;
+    ++stats_.attempts;
+    if (attempt > 1) ++stats_.retries;
+    FetchResult result = inner_->Fetch(relation, pattern, inputs);
+    if (result.ok()) {
+      ++stats_.successes;
+      return result;
+    }
+    // A budget refusal from a nested layer is terminal — retrying within
+    // the same query can only burn more of an already-empty budget.
+    if (result.status == FetchStatus::kBudgetExhausted) return result;
+    last_error = std::move(result.error);
+    if (attempt < policy_.max_attempts) {
+      double backoff = static_cast<double>(policy_.initial_backoff_micros) *
+                       std::pow(policy_.backoff_multiplier, attempt - 1);
+      backoff = std::min(backoff,
+                         static_cast<double>(policy_.max_backoff_micros));
+      if (policy_.jitter > 0.0) {
+        std::uniform_real_distribution<double> dist(0.0, policy_.jitter);
+        backoff *= 1.0 + dist(rng_);
+      }
+      const auto micros = static_cast<std::uint64_t>(backoff);
+      stats_.backoff_micros_total += micros;
+      clock_->SleepMicros(micros);
+    }
+  }
+  ++stats_.giveups;
+  return FetchResult::TransientError(
+      "giving up on " + relation + " after " +
+      std::to_string(policy_.max_attempts) + " attempt(s): " + last_error);
+}
+
+}  // namespace ucqn

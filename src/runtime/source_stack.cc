@@ -1,0 +1,73 @@
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+
+SourceStack::SourceStack(Source* base, const RuntimeOptions& options,
+                         Clock* clock) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<SimulatedClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  top_ = base;
+  if (options.metering) {
+    meter_ = std::make_unique<MeteredSource>(top_, clock_);
+    top_ = meter_.get();
+  }
+  if (options.retry || options.budget.max_calls != 0 ||
+      options.budget.deadline_micros != 0) {
+    RetryPolicy policy = options.retry_policy;
+    if (!options.retry) policy.max_attempts = 1;  // budget only, no retry
+    retry_ = std::make_unique<RetryingSource>(top_, policy, options.budget,
+                                              clock_);
+    top_ = retry_.get();
+  }
+  if (options.cache) {
+    cache_ = std::make_unique<CachingSource>(top_, options.cache_capacity);
+    top_ = cache_.get();
+  }
+}
+
+RuntimeStats SourceStack::stats() const {
+  RuntimeStats s;
+  if (meter_ != nullptr) {
+    s.source_calls = meter_->totals().calls;
+    s.tuples_fetched = meter_->totals().tuples;
+  } else if (retry_ != nullptr) {
+    s.source_calls = retry_->retry_stats().attempts;
+  } else if (cache_ != nullptr) {
+    s.source_calls = cache_->cache_stats().misses;
+  }
+  if (cache_ != nullptr) {
+    s.cache_hits = cache_->cache_stats().hits;
+    s.cache_misses = cache_->cache_stats().misses;
+    s.cache_evictions = cache_->cache_stats().evictions;
+  }
+  if (retry_ != nullptr) {
+    s.retries = retry_->retry_stats().retries;
+    s.giveups = retry_->retry_stats().giveups;
+    s.budget_refusals = retry_->retry_stats().budget_refusals;
+    s.backoff_micros = retry_->retry_stats().backoff_micros_total;
+  }
+  return s;
+}
+
+std::string RuntimeStats::ToString() const {
+  std::string out = "source_calls=" + std::to_string(source_calls) +
+                    " tuples=" + std::to_string(tuples_fetched);
+  if (cache_hits + cache_misses != 0) {
+    out += " cache_hits=" + std::to_string(cache_hits) +
+           " cache_misses=" + std::to_string(cache_misses) +
+           " cache_evictions=" + std::to_string(cache_evictions);
+  }
+  if (retries + giveups + budget_refusals != 0 || backoff_micros != 0) {
+    out += " retries=" + std::to_string(retries) +
+           " giveups=" + std::to_string(giveups) +
+           " budget_refusals=" + std::to_string(budget_refusals) +
+           " backoff_us=" + std::to_string(backoff_micros);
+  }
+  return out;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,100 @@
+#ifndef UCQN_RUNTIME_SOURCE_STACK_H_
+#define UCQN_RUNTIME_SOURCE_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "eval/source.h"
+#include "runtime/caching_source.h"
+#include "runtime/clock.h"
+#include "runtime/metered_source.h"
+#include "runtime/retrying_source.h"
+
+namespace ucqn {
+
+// Configuration of the per-query source-access runtime, carried inside
+// ExecutionOptions. Default-constructed options disable every layer, so
+// plain Execute calls pay nothing.
+struct RuntimeOptions {
+  // Deduplicate identical calls (LRU keyed on relation/pattern/input
+  // values; capacity 0 = unbounded).
+  bool cache = false;
+  std::size_t cache_capacity = 0;
+  // Retry transient failures with backoff (see RetryPolicy).
+  bool retry = false;
+  RetryPolicy retry_policy;
+  // Per-query call/deadline budget, enforced even when retry is off.
+  CallBudget budget;
+  // Per-relation call/tuple/latency metrics (see MeteredSource).
+  bool metering = false;
+
+  bool Enabled() const {
+    return cache || retry || metering || budget.max_calls != 0 ||
+           budget.deadline_micros != 0;
+  }
+};
+
+// Snapshot of what a source stack did during one execution, reported via
+// ExecutionResult/AnswerStarReport.
+struct RuntimeStats {
+  // Calls that reached the wrapped (transport) source, and the tuples they
+  // returned. Unknown layers report 0.
+  std::uint64_t source_calls = 0;
+  std::uint64_t tuples_fetched = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t budget_refusals = 0;
+  std::uint64_t backoff_micros = 0;
+
+  double CacheHitRatio() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+  std::string ToString() const;
+};
+
+// Composes the configured decorators over a base source, bottom-up:
+//
+//   base -> MeteredSource -> RetryingSource -> CachingSource (top)
+//
+// so the meter times every physical attempt (including retries), the
+// retrier only sees cache misses, and cache hits cost nothing. Layers
+// whose options are off are simply not constructed; source() is then the
+// base itself.
+class SourceStack {
+ public:
+  // Does not take ownership of `base` or `clock`. With a null clock the
+  // stack owns a SimulatedClock — deterministic virtual time, no real
+  // sleeping.
+  SourceStack(Source* base, const RuntimeOptions& options,
+              Clock* clock = nullptr);
+
+  // The top of the stack; issue all Fetches through this.
+  Source* source() { return top_; }
+  Clock* clock() { return clock_; }
+
+  // Individual layers, nullptr when disabled.
+  CachingSource* cache() { return cache_.get(); }
+  RetryingSource* retrier() { return retry_.get(); }
+  MeteredSource* meter() { return meter_.get(); }
+
+  RuntimeStats stats() const;
+
+ private:
+  std::unique_ptr<SimulatedClock> owned_clock_;
+  Clock* clock_;
+  std::unique_ptr<MeteredSource> meter_;
+  std::unique_ptr<RetryingSource> retry_;
+  std::unique_ptr<CachingSource> cache_;
+  Source* top_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_SOURCE_STACK_H_

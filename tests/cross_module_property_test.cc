@@ -23,6 +23,7 @@
 #include "feasibility/view_patterns.h"
 #include "gen/random_instance.h"
 #include "gen/random_query.h"
+#include "runtime/caching_source.h"
 
 namespace ucqn {
 namespace {

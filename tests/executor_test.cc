@@ -175,6 +175,61 @@ TEST_F(ExecutorTest, MaxBindingsGuardFailsCleanly) {
   EXPECT_TRUE(unlimited.ok);
 }
 
+TEST_F(ExecutorTest, MaxBindingsHitExactlyAtTheBoundaryPasses) {
+  // The guard fails only on *exceeding* the cap: a plan whose largest
+  // intermediate result equals max_bindings runs to completion.
+  DatabaseSource source(&db_, &catalog_);
+  ConjunctiveQuery plan = MustParseRule("Q(i, a) :- C(i, a).");
+  ExecutionOptions exact;
+  exact.max_bindings = 3;  // C has exactly 3 tuples
+  ExecutionResult result = Execute(plan, catalog_, &source, exact);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tuples.size(), 3u);
+
+  ExecutionOptions below;
+  below.max_bindings = 2;
+  EXPECT_FALSE(Execute(plan, catalog_, &source, below).ok);
+}
+
+TEST_F(ExecutorTest, MaxBindingsOfOneAllowsFullySelectivePlans) {
+  DatabaseSource source(&db_, &catalog_);
+  ExecutionOptions options;
+  options.max_bindings = 1;
+  // Every literal keeps at most one live binding: the constant probe picks
+  // a single book.
+  ExecutionResult selective = Execute(MustParseRule("Q(a, t) :- B(1, a, t)."),
+                                      catalog_, &source, options);
+  ASSERT_TRUE(selective.ok) << selective.error;
+  EXPECT_EQ(selective.tuples.size(), 1u);
+  // The same cap rejects any scan with more than one match.
+  ExecutionResult scan = Execute(MustParseRule("Q(i, a) :- C(i, a)."),
+                                 catalog_, &source, options);
+  EXPECT_FALSE(scan.ok);
+  EXPECT_NE(scan.error.find("max_bindings"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, MaxBindingsIsCheckedBeforeNegationCanShrinkTheSet) {
+  // C yields 3 bindings, then `not L` filters book 2 out, leaving 2. The
+  // cap is enforced per literal on the intermediate size, so max_bindings=2
+  // fails at C even though the post-negation (and final) size fits; the
+  // error names the literal that tripped the guard.
+  DatabaseSource source(&db_, &catalog_);
+  ConjunctiveQuery plan = MustParseRule("Q(i, a) :- C(i, a), not L(i).");
+  ExecutionOptions roomy;
+  roomy.max_bindings = 3;
+  ExecutionResult ok = Execute(plan, catalog_, &source, roomy);
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.tuples.size(), 2u);
+
+  ExecutionOptions tight;
+  tight.max_bindings = 2;
+  ExecutionResult tripped = Execute(plan, catalog_, &source, tight);
+  EXPECT_FALSE(tripped.ok);
+  EXPECT_TRUE(tripped.tuples.empty());
+  EXPECT_NE(tripped.error.find("max_bindings"), std::string::npos);
+  EXPECT_NE(tripped.error.find("C(i, a)"), std::string::npos);
+}
+
 TEST_F(ExecutorTest, PatternPreferenceChangesCallShape) {
   // With both B^ioo and B^ooo declared, the kMostInputs executor probes by
   // ISBN (small transfers); kFewestInputs scans and filters client-side —

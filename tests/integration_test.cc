@@ -17,6 +17,7 @@
 #include "feasibility/li_chang.h"
 #include "gen/scenarios.h"
 #include "mediator/capabilities.h"
+#include "runtime/caching_source.h"
 #include "schema/adornment.h"
 
 namespace ucqn {

@@ -1,0 +1,157 @@
+#include "runtime/metered_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "runtime/fault_injection.h"
+
+namespace ucqn {
+namespace {
+
+TEST(LatencyHistogramTest, BucketsArePowersOfTwo) {
+  LatencyHistogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 0
+  h.Record(2);    // bucket 1
+  h.Record(3);    // bucket 1
+  h.Record(4);    // bucket 2
+  h.Record(100);  // bucket 6: [64, 128)
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[6], 1u);
+  EXPECT_EQ(h.sum_micros(), 110u);
+  EXPECT_EQ(h.min_micros(), 0u);
+  EXPECT_EQ(h.max_micros(), 100u);
+}
+
+TEST(LatencyHistogramTest, PercentileUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);  // bucket 3: [8, 16)
+  h.Record(1000);                             // bucket 9: [512, 1024)
+  // Inclusive upper bound of the bucket holding the percentile sample.
+  EXPECT_EQ(h.PercentileUpperBoundMicros(0.50), 15u);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(0.99), 15u);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(1.0), 1023u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsSafe) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_micros(), 0.0);
+  EXPECT_EQ(h.min_micros(), 0u);
+  EXPECT_EQ(h.PercentileUpperBoundMicros(0.5), 0u);
+  EXPECT_NE(h.ToString().find("n=0"), std::string::npos);
+}
+
+class MeteredSourceTest : public ::testing::Test {
+ protected:
+  MeteredSourceTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "d").
+      S("b").
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST_F(MeteredSourceTest, CountsCallsAndTuplesPerRelation) {
+  DatabaseSource backend(&db_, &catalog_);
+  MeteredSource metered(&backend);
+  metered.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                     {std::nullopt, std::nullopt});
+  metered.FetchOrDie("R", AccessPattern::MustParse("io"),
+                     {Term::Constant("a"), std::nullopt});
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(metered.totals().calls, 3u);
+  EXPECT_EQ(metered.totals().tuples, 4u);
+  EXPECT_EQ(metered.totals().errors, 0u);
+  ASSERT_EQ(metered.per_relation().size(), 2u);
+  EXPECT_EQ(metered.per_relation().at("R").calls, 2u);
+  EXPECT_EQ(metered.per_relation().at("R").tuples, 3u);
+  EXPECT_EQ(metered.per_relation().at("S").calls, 1u);
+  EXPECT_EQ(metered.per_relation().at("S").tuples, 1u);
+}
+
+TEST_F(MeteredSourceTest, CountsErrorsWithoutLosingThem) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_calls = 1;
+  FaultInjectingSource flaky(&backend, faults);
+  MeteredSource metered(&flaky);
+  FetchResult failed =
+      metered.Fetch("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_FALSE(failed.ok());  // the failure passes through untouched
+  FetchResult ok =
+      metered.Fetch("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(metered.totals().calls, 2u);
+  EXPECT_EQ(metered.totals().errors, 1u);
+  EXPECT_EQ(metered.per_relation().at("S").errors, 1u);
+}
+
+TEST_F(MeteredSourceTest, RecordsLatencyFromTheClock) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.latency_micros = 100;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  MeteredSource metered(&slow, &clock);
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  const LatencyHistogram& latency = metered.per_relation().at("S").latency;
+  EXPECT_EQ(latency.count(), 2u);
+  EXPECT_EQ(latency.sum_micros(), 200u);
+  EXPECT_EQ(latency.min_micros(), 100u);
+  EXPECT_EQ(latency.max_micros(), 100u);
+}
+
+TEST_F(MeteredSourceTest, TextExportListsRelationsAndTotals) {
+  DatabaseSource backend(&db_, &catalog_);
+  MeteredSource metered(&backend);
+  metered.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                     {std::nullopt, std::nullopt});
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  const std::string text = metered.ToText();
+  EXPECT_NE(text.find("R"), std::string::npos);
+  EXPECT_NE(text.find("S"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST_F(MeteredSourceTest, JsonExportIsWellFormedEnoughToGrep) {
+  DatabaseSource backend(&db_, &catalog_);
+  SimulatedClock clock;
+  FaultPlan faults;
+  faults.latency_micros = 64;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  MeteredSource metered(&slow, &clock);
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  const std::string json = metered.ToJson();
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"relations\""), std::string::npos);
+  EXPECT_NE(json.find("\"S\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  // Braces balance — cheap structural sanity without a JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(MeteredSourceTest, ResetClearsEverything) {
+  DatabaseSource backend(&db_, &catalog_);
+  MeteredSource metered(&backend);
+  metered.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  metered.Reset();
+  EXPECT_EQ(metered.totals().calls, 0u);
+  EXPECT_TRUE(metered.per_relation().empty());
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,252 @@
+#include "runtime/retrying_source.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/executor.h"
+#include "runtime/fault_injection.h"
+
+namespace ucqn {
+namespace {
+
+class RetryingSourceTest : public ::testing::Test {
+ protected:
+  RetryingSourceTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "d").
+      S("b").
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST_F(RetryingSourceTest, RetriesThroughTransientFailures) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 2;  // every fresh call fails twice, then works
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingSource retrying(&flaky, policy);
+
+  FetchResult result = retrying.Fetch("S", AccessPattern::MustParse("o"),
+                                      {std::nullopt});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(retrying.retry_stats().attempts, 3u);
+  EXPECT_EQ(retrying.retry_stats().retries, 2u);
+  EXPECT_EQ(retrying.retry_stats().successes, 1u);
+  EXPECT_EQ(retrying.retry_stats().giveups, 0u);
+}
+
+TEST_F(RetryingSourceTest, GivesUpAfterMaxAttempts) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 5;
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingSource retrying(&flaky, policy);
+
+  FetchResult result = retrying.Fetch("S", AccessPattern::MustParse("o"),
+                                      {std::nullopt});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, FetchStatus::kTransientError);
+  EXPECT_NE(result.error.find("giving up"), std::string::npos);
+  EXPECT_NE(result.error.find("3 attempt"), std::string::npos);
+  EXPECT_EQ(retrying.retry_stats().giveups, 1u);
+}
+
+TEST_F(RetryingSourceTest, BackoffGrowsExponentiallyAndIsCapped) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 4;
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 300;  // caps the 3rd and 4th backoff
+  policy.jitter = 0.0;              // deterministic schedule
+  SimulatedClock clock;
+  RetryingSource retrying(&flaky, policy, CallBudget{}, &clock);
+
+  ASSERT_TRUE(
+      retrying.Fetch("S", AccessPattern::MustParse("o"), {std::nullopt}).ok());
+  // Backoffs: 100, 200, min(400,300)=300, min(800,300)=300.
+  EXPECT_EQ(retrying.retry_stats().backoff_micros_total, 900u);
+  EXPECT_EQ(clock.NowMicros(), 900u);
+}
+
+TEST_F(RetryingSourceTest, JitterIsSeededAndBounded) {
+  auto run = [this](std::uint64_t seed) {
+    DatabaseSource backend(&db_, &catalog_);
+    FaultPlan faults;
+    faults.fail_first_per_key = 3;
+    FaultInjectingSource flaky(&backend, faults);
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff_micros = 1000;
+    policy.backoff_multiplier = 1.0;
+    policy.max_backoff_micros = 1000;
+    policy.jitter = 0.5;
+    policy.jitter_seed = seed;
+    RetryingSource retrying(&flaky, policy);
+    EXPECT_TRUE(retrying.Fetch("S", AccessPattern::MustParse("o"),
+                               {std::nullopt})
+                    .ok());
+    return retrying.retry_stats().backoff_micros_total;
+  };
+  const std::uint64_t a = run(7);
+  // Three backoffs of base 1000us, each stretched by [1, 1.5).
+  EXPECT_GE(a, 3000u);
+  EXPECT_LT(a, 4500u);
+  EXPECT_EQ(a, run(7));  // same seed, same schedule
+  EXPECT_NE(a, run(8));  // different seed, different schedule
+}
+
+TEST_F(RetryingSourceTest, CallBudgetRefusesFurtherCalls) {
+  DatabaseSource backend(&db_, &catalog_);
+  CallBudget budget;
+  budget.max_calls = 2;
+  RetryingSource retrying(&backend, RetryPolicy{}, budget);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+
+  EXPECT_TRUE(
+      retrying.Fetch("R", keyed, {Term::Constant("a"), std::nullopt}).ok());
+  EXPECT_TRUE(
+      retrying.Fetch("R", keyed, {Term::Constant("c"), std::nullopt}).ok());
+  FetchResult third =
+      retrying.Fetch("R", keyed, {Term::Constant("x"), std::nullopt});
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status, FetchStatus::kBudgetExhausted);
+  EXPECT_EQ(retrying.retry_stats().budget_refusals, 1u);
+
+  // A new query restarts the accounting.
+  retrying.ResetBudget();
+  EXPECT_TRUE(
+      retrying.Fetch("R", keyed, {Term::Constant("x"), std::nullopt}).ok());
+}
+
+TEST_F(RetryingSourceTest, RetryAttemptsCountAgainstTheCallBudget) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 10;
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  CallBudget budget;
+  budget.max_calls = 4;
+  RetryingSource retrying(&flaky, policy, budget);
+
+  FetchResult result = retrying.Fetch("S", AccessPattern::MustParse("o"),
+                                      {std::nullopt});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, FetchStatus::kBudgetExhausted);
+  // Exactly 4 attempts were allowed through before the refusal; the refusal
+  // escalates the last transient error for diagnosis.
+  EXPECT_EQ(retrying.retry_stats().attempts, 4u);
+  EXPECT_NE(result.error.find("injected transient failure"),
+            std::string::npos);
+}
+
+TEST_F(RetryingSourceTest, DeadlineBudgetCountsBackoffTime) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 100;
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_micros = 1000;
+  policy.jitter = 0.0;
+  CallBudget budget;
+  budget.deadline_micros = 3500;  // room for 3 backoffs of 1000us
+  SimulatedClock clock;
+  RetryingSource retrying(&flaky, policy, budget, &clock);
+
+  FetchResult result = retrying.Fetch("S", AccessPattern::MustParse("o"),
+                                      {std::nullopt});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, FetchStatus::kBudgetExhausted);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+  EXPECT_EQ(retrying.retry_stats().attempts, 4u);
+}
+
+TEST_F(RetryingSourceTest, QuerySucceedsThroughRetryWhereBareSourceFails) {
+  // The acceptance scenario: every fresh call fails once, so the bare
+  // executor cannot finish, but the retrying stack completes and computes
+  // the exact same answer an unfaulted source would.
+  ConjunctiveQuery plan = MustParseRule("Q(x) :- R(x, z), not S(z).");
+
+  DatabaseSource reference_backend(&db_, &catalog_);
+  ExecutionResult reference = Execute(plan, catalog_, &reference_backend);
+  ASSERT_TRUE(reference.ok);
+
+  FaultPlan faults;
+  faults.fail_first_per_key = 1;
+
+  DatabaseSource bare_backend(&db_, &catalog_);
+  FaultInjectingSource bare(&bare_backend, faults);
+  ExecutionResult without_retry = Execute(plan, catalog_, &bare);
+  EXPECT_FALSE(without_retry.ok);
+  EXPECT_NE(without_retry.error.find("injected transient failure"),
+            std::string::npos);
+
+  DatabaseSource retry_backend(&db_, &catalog_);
+  FaultInjectingSource flaky(&retry_backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingSource retrying(&flaky, policy);
+  ExecutionResult with_retry = Execute(plan, catalog_, &retrying);
+  ASSERT_TRUE(with_retry.ok) << with_retry.error;
+  EXPECT_EQ(with_retry.tuples, reference.tuples);
+  EXPECT_GT(retrying.retry_stats().retries, 0u);
+}
+
+TEST(FaultInjectionTest, SeededFailuresAreDeterministic) {
+  Catalog catalog = Catalog::MustParse("S/1: o\n");
+  Database db = Database::MustParseFacts("S(\"b\").\n");
+  auto outcomes = [&](std::uint64_t seed) {
+    DatabaseSource backend(&db, &catalog);
+    FaultPlan plan;
+    plan.failure_probability = 0.5;
+    plan.seed = seed;
+    FaultInjectingSource flaky(&backend, plan);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += flaky.Fetch("S", AccessPattern::MustParse("o"), {std::nullopt})
+                         .ok()
+                     ? 'o'
+                     : 'x';
+    }
+    return pattern;
+  };
+  EXPECT_EQ(outcomes(5), outcomes(5));
+  EXPECT_NE(outcomes(5), outcomes(6));
+  EXPECT_NE(outcomes(5).find('x'), std::string::npos);
+  EXPECT_NE(outcomes(5).find('o'), std::string::npos);
+}
+
+TEST(FaultInjectionTest, LatencyIsChargedToTheClock) {
+  Catalog catalog = Catalog::MustParse("S/1: o\n");
+  Database db = Database::MustParseFacts("S(\"b\").\n");
+  DatabaseSource backend(&db, &catalog);
+  FaultPlan plan;
+  plan.latency_micros = 250;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, plan, &clock);
+  slow.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  slow.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(clock.NowMicros(), 500u);
+  EXPECT_EQ(slow.fault_stats().injected_latency_micros, 500u);
+  EXPECT_EQ(slow.fault_stats().calls, 2u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -25,20 +25,31 @@ TEST_F(DatabaseSourceTest, FetchByInputSlot) {
   DatabaseSource source(&db_, &catalog_);
   // Example 2: with B^oio, an author yields the matching books.
   std::vector<Tuple> result =
-      source.Fetch("B", AccessPattern::MustParse("oio"),
-                    {std::nullopt, Term::Constant("Knuth"), std::nullopt});
+      source.FetchOrDie("B", AccessPattern::MustParse("oio"),
+                        {std::nullopt, Term::Constant("Knuth"), std::nullopt});
   EXPECT_EQ(result.size(), 2u);
-  result = source.Fetch("B", AccessPattern::MustParse("ioo"),
-                        {Term::Constant("2"), std::nullopt, std::nullopt});
+  result = source.FetchOrDie("B", AccessPattern::MustParse("ioo"),
+                             {Term::Constant("2"), std::nullopt, std::nullopt});
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0][1], Term::Constant("Date"));
+}
+
+TEST_F(DatabaseSourceTest, FetchReportsOkStatus) {
+  DatabaseSource source(&db_, &catalog_);
+  FetchResult result =
+      source.Fetch("B", AccessPattern::MustParse("ooo"),
+                   {std::nullopt, std::nullopt, std::nullopt});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.status, FetchStatus::kOk);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(result.tuples.size(), 3u);
 }
 
 TEST_F(DatabaseSourceTest, FullScanPattern) {
   DatabaseSource source(&db_, &catalog_);
   std::vector<Tuple> result =
-      source.Fetch("B", AccessPattern::MustParse("ooo"),
-                    {std::nullopt, std::nullopt, std::nullopt});
+      source.FetchOrDie("B", AccessPattern::MustParse("ooo"),
+                        {std::nullopt, std::nullopt, std::nullopt});
   EXPECT_EQ(result.size(), 3u);
 }
 
@@ -47,22 +58,22 @@ TEST_F(DatabaseSourceTest, OutputSlotValuesAreNotFiltered) {
   // Supplying a value at an output slot is ignored by the source (the
   // paper's footnote 4: the caller must filter).
   std::vector<Tuple> result =
-      source.Fetch("B", AccessPattern::MustParse("oio"),
-                    {Term::Constant("1"), Term::Constant("Knuth"),
-                     std::nullopt});
+      source.FetchOrDie("B", AccessPattern::MustParse("oio"),
+                        {Term::Constant("1"), Term::Constant("Knuth"),
+                         std::nullopt});
   EXPECT_EQ(result.size(), 2u);  // both Knuth books, not just isbn 1
 }
 
 TEST_F(DatabaseSourceTest, MembershipProbe) {
   DatabaseSource source(&db_, &catalog_);
   EXPECT_EQ(source
-                .Fetch("L", AccessPattern::MustParse("i"),
-                       {Term::Constant("2")})
+                .FetchOrDie("L", AccessPattern::MustParse("i"),
+                            {Term::Constant("2")})
                 .size(),
             1u);
   EXPECT_TRUE(source
-                  .Fetch("L", AccessPattern::MustParse("i"),
-                         {Term::Constant("9")})
+                  .FetchOrDie("L", AccessPattern::MustParse("i"),
+                              {Term::Constant("9")})
                   .empty());
 }
 
@@ -71,7 +82,7 @@ TEST_F(DatabaseSourceTest, EmptyRelationYieldsNothing) {
   Database empty;
   DatabaseSource source(&empty, &catalog);
   EXPECT_TRUE(
-      source.Fetch("X", AccessPattern::MustParse("o"), {std::nullopt})
+      source.FetchOrDie("X", AccessPattern::MustParse("o"), {std::nullopt})
           .empty());
   EXPECT_EQ(source.stats().calls, 1u);
   EXPECT_EQ(source.stats().tuples_returned, 0u);
@@ -79,9 +90,9 @@ TEST_F(DatabaseSourceTest, EmptyRelationYieldsNothing) {
 
 TEST_F(DatabaseSourceTest, StatsAccumulateAndReset) {
   DatabaseSource source(&db_, &catalog_);
-  source.Fetch("B", AccessPattern::MustParse("ooo"),
-               {std::nullopt, std::nullopt, std::nullopt});
-  source.Fetch("L", AccessPattern::MustParse("o"), {std::nullopt});
+  source.FetchOrDie("B", AccessPattern::MustParse("ooo"),
+                    {std::nullopt, std::nullopt, std::nullopt});
+  source.FetchOrDie("L", AccessPattern::MustParse("o"), {std::nullopt});
   EXPECT_EQ(source.stats().calls, 2u);
   EXPECT_EQ(source.stats().tuples_returned, 4u);
   ASSERT_EQ(source.per_relation_stats().size(), 2u);
@@ -115,6 +126,48 @@ TEST_F(DatabaseSourceDeathTest, EnforcesDeclaredRelation) {
   EXPECT_DEATH(
       source.Fetch("Nope", AccessPattern::MustParse("o"), {std::nullopt}),
       "undeclared relation");
+}
+
+TEST_F(DatabaseSourceDeathTest, RejectsInputArityMismatchingDeclaredArity) {
+  // Regression: an inputs vector sized for some other relation must be
+  // rejected against B's declared arity (3), not silently zipped with the
+  // pattern.
+  DatabaseSource source(&db_, &catalog_);
+  EXPECT_DEATH(source.Fetch("B", AccessPattern::MustParse("oio"),
+                            {std::nullopt, Term::Constant("Knuth")}),
+               "one entry per declared slot");
+  EXPECT_DEATH(source.Fetch("B", AccessPattern::MustParse("oio"),
+                            {std::nullopt, Term::Constant("Knuth"),
+                             std::nullopt, std::nullopt}),
+               "one entry per declared slot");
+}
+
+TEST_F(DatabaseSourceDeathTest, RejectsStoredTupleArityMismatch) {
+  // Regression: Database has no catalog, so a relation can be loaded with
+  // an arity that disagrees with its declaration; fetching it must die
+  // instead of indexing out of bounds.
+  Database bad;
+  bad.Insert("B", {Term::Constant("7"), Term::Constant("Short")});
+  DatabaseSource source(&bad, &catalog_);
+  EXPECT_DEATH(source.Fetch("B", AccessPattern::MustParse("ooo"),
+                            {std::nullopt, std::nullopt, std::nullopt}),
+               "stored tuple arity");
+}
+
+TEST(FetchResultTest, FactoriesSetStatusAndPayload) {
+  FetchResult ok = FetchResult::Ok({{Term::Constant("a")}});
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.tuples.size(), 1u);
+
+  FetchResult transient = FetchResult::TransientError("boom");
+  EXPECT_FALSE(transient.ok());
+  EXPECT_EQ(transient.status, FetchStatus::kTransientError);
+  EXPECT_EQ(transient.error, "boom");
+
+  FetchResult budget = FetchResult::BudgetExhausted("spent");
+  EXPECT_FALSE(budget.ok());
+  EXPECT_EQ(budget.status, FetchStatus::kBudgetExhausted);
+  EXPECT_EQ(budget.error, "spent");
 }
 
 }  // namespace

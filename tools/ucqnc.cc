@@ -13,6 +13,15 @@
 //   ucqnc --schema schema.txt --query query.txt
 //         [--views views.txt] [--constraints deps.txt]
 //         [--facts facts.txt] [--improve]
+//         [--cache] [--cache-capacity N] [--retry N] [--max-calls N]
+//         [--metrics text|json]
+//
+// The runtime flags configure the source-access stack (src/runtime/) that
+// ANSWER* runs against: --cache deduplicates repeated source calls (LRU,
+// unbounded unless --cache-capacity is given), --retry N retries
+// transient failures up to N attempts with backoff, --max-calls N caps
+// the total calls per run, and --metrics prints the per-relation
+// call/tuple/latency table (text) or its JSON export.
 //
 // With --views, the query may reference global-as-view definitions; it is
 // unfolded into a plan over the sources before analysis (Section 4.2's
@@ -20,6 +29,7 @@
 // README.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -34,6 +44,7 @@
 #include "feasibility/answerable.h"
 #include "feasibility/compile.h"
 #include "mediator/unfold.h"
+#include "runtime/source_stack.h"
 #include "schema/adornment.h"
 
 namespace {
@@ -49,7 +60,8 @@ std::optional<std::string> ReadFile(const char* path) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema FILE --query FILE [--constraints FILE] "
-               "[--facts FILE] [--improve]\n",
+               "[--facts FILE] [--improve] [--cache] [--cache-capacity N] "
+               "[--retry N] [--max-calls N] [--metrics text|json]\n",
                argv0);
   return 2;
 }
@@ -64,11 +76,21 @@ int main(int argc, char** argv) {
   const char* constraints_path = nullptr;
   const char* facts_path = nullptr;
   bool improve = false;
+  RuntimeOptions runtime;
+  const char* metrics_format = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char*& slot) {
       if (i + 1 >= argc) return false;
       slot = argv[++i];
+      return true;
+    };
+    auto next_count = [&](std::size_t& slot) {
+      const char* text = nullptr;
+      if (!next(text)) return false;
+      const long value = std::atol(text);
+      if (value <= 0) return false;
+      slot = static_cast<std::size_t>(value);
       return true;
     };
     if (std::strcmp(argv[i], "--schema") == 0) {
@@ -83,6 +105,29 @@ int main(int argc, char** argv) {
       if (!next(facts_path)) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--improve") == 0) {
       improve = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      runtime.cache = true;
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      std::size_t capacity = 0;
+      if (!next_count(capacity)) return Usage(argv[0]);
+      runtime.cache = true;
+      runtime.cache_capacity = capacity;
+    } else if (std::strcmp(argv[i], "--retry") == 0) {
+      std::size_t attempts = 0;
+      if (!next_count(attempts)) return Usage(argv[0]);
+      runtime.retry = true;
+      runtime.retry_policy.max_attempts = static_cast<int>(attempts);
+    } else if (std::strcmp(argv[i], "--max-calls") == 0) {
+      std::size_t max_calls = 0;
+      if (!next_count(max_calls)) return Usage(argv[0]);
+      runtime.budget.max_calls = max_calls;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (!next(metrics_format)) return Usage(argv[0]);
+      if (std::strcmp(metrics_format, "text") != 0 &&
+          std::strcmp(metrics_format, "json") != 0) {
+        return Usage(argv[0]);
+      }
+      runtime.metering = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -184,27 +229,51 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "warning: facts violate the declared constraints\n");
     }
-    DatabaseSource source(&*db, &*catalog);
+    DatabaseSource backend(&*db, &*catalog);
+    // The runtime flags build the source stack here (rather than through
+    // ExecutionOptions) so the whole run — ANSWER*, Δ explanations, the
+    // improved underestimate — shares one cache/budget, and the meter can
+    // be printed at the end.
+    SourceStack stack(&backend, runtime);
+    Source* source = stack.source();
     AnswerStarReport report =
-        AnswerStar(compiled.analyzed_query, *catalog, &source);
+        AnswerStar(compiled.analyzed_query, *catalog, source);
     std::printf("\nANSWER*:\n%s\n", report.Summary().c_str());
     std::printf("source calls: %llu, tuples: %llu\n",
-                static_cast<unsigned long long>(source.stats().calls),
+                static_cast<unsigned long long>(backend.stats().calls),
                 static_cast<unsigned long long>(
-                    source.stats().tuples_returned));
+                    backend.stats().tuples_returned));
+    if (runtime.Enabled()) {
+      std::printf("runtime: %s\n", stack.stats().ToString().c_str());
+    }
+    if (!report.ok) {
+      if (metrics_format != nullptr) {
+        std::printf("\nmetrics:\n%s\n",
+                    std::strcmp(metrics_format, "json") == 0
+                        ? stack.meter()->ToJson().c_str()
+                        : stack.meter()->ToText().c_str());
+      }
+      return 1;
+    }
 
     if (!report.complete) {
       for (const DeltaExplanation& e : ExplainDelta(
-               compiled.analyzed_query, *catalog, &source, report)) {
+               compiled.analyzed_query, *catalog, source, report)) {
         std::printf("  maybe %s\n", e.ToString().c_str());
       }
     }
     if (improve && !report.complete) {
       ImprovedUnderestimate improved =
-          ImproveUnderestimate(compiled.analyzed_query, *catalog, &source);
+          ImproveUnderestimate(compiled.analyzed_query, *catalog, source);
       std::printf("\nimproved underestimate (%zu tuples, %zu gained):\n%s\n",
                   improved.tuples.size(), improved.gained.size(),
                   TupleSetToString(improved.tuples).c_str());
+    }
+    if (metrics_format != nullptr) {
+      std::printf("\nmetrics:\n%s\n",
+                  std::strcmp(metrics_format, "json") == 0
+                      ? stack.meter()->ToJson().c_str()
+                      : stack.meter()->ToText().c_str());
     }
   }
   return 0;
