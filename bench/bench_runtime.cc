@@ -11,9 +11,21 @@
 //    the virtual time spent backing off.
 //  * BM_StackOverhead — the full stack on an in-memory source, i.e. the
 //    pure decorator cost when nothing goes wrong.
+//  * BM_ParallelFanout — the paper's cost model head-on: one seed call
+//    fanning out into k = 64 keyed calls of 500us each. The executor
+//    batches the fan-out into one wave and the parallel dispatcher
+//    overlaps it, so simulated wall-clock drops from (1 + k) x L
+//    sequentially to (1 + ceil(k/p)) x L at parallelism p — with
+//    byte-identical answers (asserted via `answers_match`).
+//
+// The binary also writes BENCH_runtime.json (machine-readable summary of
+// the fan-out sweep) to the working directory before running the
+// benchmarks.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <set>
 #include <string>
 
 #include "ast/parser.h"
@@ -231,7 +243,119 @@ void BM_StackOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_StackOverhead)->Arg(0)->Arg(1);
 
+Catalog FanoutCatalog() {
+  return Catalog::MustParse(R"(
+    relation Seed/1: o
+    relation Item/2: io
+  )");
+}
+
+Database FanoutDatabase(int k) {
+  Database db;
+  for (int i = 0; i < k; ++i) {
+    db.Insert("Seed", {Term::Constant("s" + std::to_string(i))});
+    db.Insert("Item", {Term::Constant("s" + std::to_string(i)),
+                       Term::Constant("v" + std::to_string(i % 7))});
+  }
+  return db;
+}
+
+constexpr int kFanout = 64;
+
+struct FanoutRun {
+  bool ok = false;
+  std::uint64_t sim_wall_micros = 0;
+  std::uint64_t backend_calls = 0;
+  std::set<Tuple> answers;
+};
+
+// One seed scan + kFanout keyed probes against a 500us/call simulated
+// service, executed through a stack with the given worker count. The
+// SimulatedClock makes the wall-clock exact and repeatable: (1 +
+// ceil(k/p)) x 500us.
+FanoutRun RunFanout(std::size_t parallelism) {
+  Catalog catalog = FanoutCatalog();
+  Database db = FanoutDatabase(kFanout);
+  ConjunctiveQuery plan = MustParseRule("Q(x, v) :- Seed(x), Item(x, v).");
+  DatabaseSource backend(&db, &catalog);
+  FaultPlan faults;
+  faults.latency_micros = 500;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  RuntimeOptions runtime;
+  runtime.metering = true;  // keeps the stack enabled at parallelism 1 too
+  runtime.parallelism = parallelism;
+  SourceStack stack(&slow, runtime, &clock);
+  ExecutionResult result = Execute(plan, catalog, stack.source());
+  FanoutRun run;
+  run.ok = result.ok;
+  run.sim_wall_micros = clock.NowMicros();
+  run.backend_calls = backend.stats().calls;
+  run.answers = std::move(result.tuples);
+  return run;
+}
+
+void BM_ParallelFanout(benchmark::State& state) {
+  const auto parallelism = static_cast<std::size_t>(state.range(0));
+  FanoutRun sequential = RunFanout(1);
+  FanoutRun run;
+  for (auto _ : state) {
+    run = RunFanout(parallelism);
+    if (!run.ok) {
+      state.SkipWithError("fan-out execution failed");
+      return;
+    }
+  }
+  state.counters["parallelism"] = static_cast<double>(parallelism);
+  state.counters["sim_wall_us"] = static_cast<double>(run.sim_wall_micros);
+  state.counters["speedup"] =
+      run.sim_wall_micros == 0
+          ? 0.0
+          : static_cast<double>(sequential.sim_wall_micros) /
+                static_cast<double>(run.sim_wall_micros);
+  state.counters["answers_match"] =
+      run.answers == sequential.answers ? 1.0 : 0.0;
+  state.counters["backend_calls"] = static_cast<double>(run.backend_calls);
+}
+BENCHMARK(BM_ParallelFanout)->Arg(1)->Arg(4)->Arg(16);
+
+// Machine-readable summary of the fan-out sweep, for EXPERIMENTS.md and
+// CI trend lines.
+void WriteBenchJson(const char* path) {
+  FanoutRun sequential = RunFanout(1);
+  std::string json = "{\"fanout\": {\"k\": " + std::to_string(kFanout) +
+                     ", \"latency_us\": 500, \"runs\": [";
+  bool first = true;
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}}) {
+    FanoutRun run = RunFanout(parallelism);
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"parallelism\": " + std::to_string(parallelism) +
+            ", \"calls\": " + std::to_string(run.backend_calls) +
+            ", \"sim_wall_us\": " + std::to_string(run.sim_wall_micros) +
+            ", \"answers_match\": " +
+            (run.answers == sequential.answers ? "true" : "false") + "}";
+  }
+  json += "]}}\n";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_runtime: cannot write %s\n", path);
+    return;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace ucqn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ucqn::WriteBenchJson("BENCH_runtime.json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -54,7 +54,9 @@ struct AnswerStarReport {
 // source failure channel. A runtime stack configured via
 // `options.runtime` is shared across both plan executions — exactly the
 // duplicate-call shape (Qᵘ's calls are a subset of Qᵒ's) where caching
-// pays off; see bench_runtime.
+// pays off; with `options.runtime.parallelism` > 1 the shared stack's
+// parallel dispatcher also overlaps each literal's batched wave of calls
+// across both plans; see bench_runtime.
 AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
                             Source* source,
                             const ExecutionOptions& options = {});

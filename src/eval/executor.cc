@@ -1,5 +1,6 @@
 #include "eval/executor.h"
 
+#include <unordered_map>
 #include <vector>
 
 #include "ast/substitution.h"
@@ -46,6 +47,52 @@ std::optional<Substitution> UnifyWithTuple(const Literal& literal,
   return extended;
 }
 
+// Dedup key for one wave request. Term::ToString is injective on ground
+// terms (constants are quoted) and 0x1f never occurs in a rendering, so
+// distinct input vectors get distinct keys.
+std::string RequestKey(const std::vector<std::optional<Term>>& inputs) {
+  std::string key;
+  for (const std::optional<Term>& value : inputs) {
+    if (value.has_value()) key += value->ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+// One literal's wave: the deduplicated source calls serving all live
+// bindings, issued as a single FetchBatch.
+struct Wave {
+  std::vector<FetchResult> fetched;  // one per distinct request
+  std::vector<std::size_t> slot_of;  // binding index -> slot in `fetched`
+};
+
+// Builds and issues the wave for `literal` across `bindings`: identical
+// (same ground input values) requests from different bindings collapse to
+// one call even without a cache in the stack. Returns the error of the
+// first failed call in request (first-occurrence) order, or nullopt.
+std::optional<std::string> RunWave(const Literal& literal,
+                                   const AccessPattern& pattern,
+                                   const std::vector<Substitution>& bindings,
+                                   Source* source, Wave* wave) {
+  std::vector<std::vector<std::optional<Term>>> requests;
+  std::unordered_map<std::string, std::size_t> index;
+  wave->slot_of.resize(bindings.size());
+  for (std::size_t b = 0; b < bindings.size(); ++b) {
+    std::vector<std::optional<Term>> inputs = FetchInputs(literal, bindings[b]);
+    auto [it, fresh] = index.try_emplace(RequestKey(inputs), requests.size());
+    if (fresh) requests.push_back(std::move(inputs));
+    wave->slot_of[b] = it->second;
+  }
+  wave->fetched = source->FetchBatch(literal.relation(), pattern, requests);
+  for (const FetchResult& fetched : wave->fetched) {
+    if (!fetched.ok()) {
+      return "source call for literal " + literal.ToString() +
+             " failed: " + fetched.error;
+    }
+  }
+  return std::nullopt;
+}
+
 // The core left-to-right loop, talking to `source` directly (any runtime
 // stack has already been interposed by the public entry points).
 BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
@@ -64,7 +111,45 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
       return result;
     }
     std::vector<Substitution> next;
-    if (literal.positive()) {
+    if (options.batch) {
+      // Wave mode (default): every live binding's call for this literal
+      // flies as one batched, deduplicated FetchBatch, then the results
+      // are merged per binding in the original order — the answer set is
+      // identical to the per-binding loop below, only the transport
+      // scheduling differs.
+      Wave wave;
+      std::optional<std::string> error =
+          RunWave(literal, *pattern, result.bindings, source, &wave);
+      if (error.has_value()) {
+        result.error = std::move(*error);
+        result.bindings.clear();
+        return result;
+      }
+      for (std::size_t b = 0; b < result.bindings.size(); ++b) {
+        const Substitution& binding = result.bindings[b];
+        const FetchResult& fetched = wave.fetched[wave.slot_of[b]];
+        if (literal.positive()) {
+          for (const Tuple& tuple : fetched.tuples) {
+            std::optional<Substitution> extended =
+                UnifyWithTuple(literal, tuple, binding);
+            if (extended.has_value()) next.push_back(std::move(*extended));
+          }
+        } else {
+          // All variables are bound (ChoosePattern guarantees it): probe
+          // for the instantiated tuple, keep the binding iff absent.
+          Tuple instantiated = binding.Apply(literal.args());
+          bool present = false;
+          for (const Tuple& tuple : fetched.tuples) {
+            if (tuple == instantiated) {
+              present = true;
+              break;
+            }
+          }
+          if (!present) next.push_back(binding);
+        }
+      }
+      if (literal.positive()) BindVariables(literal, &bound);
+    } else if (literal.positive()) {
       for (const Substitution& binding : result.bindings) {
         FetchResult fetched = source->Fetch(literal.relation(), *pattern,
                                             FetchInputs(literal, binding));

@@ -24,6 +24,12 @@ struct ExecutionOptions {
   // it fails the execution rather than exhausting memory on a hostile
   // plan/source combination. 0 = unlimited.
   std::size_t max_bindings = 0;
+  // Collect each literal's source calls across all live bindings into one
+  // batched wave (deduplicated, then issued via Source::FetchBatch so a
+  // parallel dispatcher can overlap them). Answers are identical to the
+  // per-binding reference loop — waves only change transport scheduling —
+  // so this is on by default; turn it off to run the reference semantics.
+  bool batch = true;
   // Source-access runtime configuration (src/runtime/): call caching,
   // retry/backoff, call/deadline budgets, metrics. Disabled by default —
   // the executor then talks to `source` directly. When any layer is

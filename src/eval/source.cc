@@ -4,6 +4,17 @@
 
 namespace ucqn {
 
+std::vector<FetchResult> Source::FetchBatch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::vector<std::optional<Term>>>& inputs) {
+  std::vector<FetchResult> results;
+  results.reserve(inputs.size());
+  for (const std::vector<std::optional<Term>>& request : inputs) {
+    results.push_back(Fetch(relation, pattern, request));
+  }
+  return results;
+}
+
 std::vector<Tuple> Source::FetchOrDie(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
@@ -31,34 +42,39 @@ FetchResult DatabaseSource::Fetch(
     }
   }
 
-  ++stats_.calls;
-  SourceStats& rel_stats = per_relation_stats_[relation];
-  ++rel_stats.calls;
-
   std::vector<Tuple> result;
   const std::set<Tuple>* tuples = db_->Find(relation);
-  if (tuples == nullptr) return FetchResult::Ok(std::move(result));
-  for (const Tuple& tuple : *tuples) {
-    // A stored tuple whose arity disagrees with the declared schema is a
-    // data-loading bug; indexing it by pattern position would be UB.
-    UCQN_CHECK_MSG(tuple.size() == schema->arity(),
-                   "stored tuple arity mismatches the relation's declared "
-                   "arity");
-    bool matches = true;
-    for (std::size_t j = 0; j < pattern.arity(); ++j) {
-      if (pattern.IsInputSlot(j) && tuple[j] != *inputs[j]) {
-        matches = false;
-        break;
+  if (tuples != nullptr) {
+    for (const Tuple& tuple : *tuples) {
+      // A stored tuple whose arity disagrees with the declared schema is a
+      // data-loading bug; indexing it by pattern position would be UB.
+      UCQN_CHECK_MSG(tuple.size() == schema->arity(),
+                     "stored tuple arity mismatches the relation's declared "
+                     "arity");
+      bool matches = true;
+      for (std::size_t j = 0; j < pattern.arity(); ++j) {
+        if (pattern.IsInputSlot(j) && tuple[j] != *inputs[j]) {
+          matches = false;
+          break;
+        }
       }
+      if (matches) result.push_back(tuple);
     }
-    if (matches) result.push_back(tuple);
   }
-  stats_.tuples_returned += result.size();
-  rel_stats.tuples_returned += result.size();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.calls;
+    stats_.tuples_returned += result.size();
+    SourceStats& rel_stats = per_relation_stats_[relation];
+    ++rel_stats.calls;
+    rel_stats.tuples_returned += result.size();
+  }
   return FetchResult::Ok(std::move(result));
 }
 
 void DatabaseSource::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.Reset();
   per_relation_stats_.clear();
 }

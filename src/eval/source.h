@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -83,6 +84,17 @@ class Source {
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) = 0;
 
+  // One wave of calls against the same (relation, pattern): result i
+  // answers inputs[i], in order. The executor issues each literal's full
+  // set of per-binding calls through this so the runtime stack can overlap
+  // them (runtime/parallel_source.h); the default implementation simply
+  // loops over Fetch, so plain sources keep today's sequential behavior
+  // and stats. Overrides must preserve per-request semantics: batching is
+  // a transport optimization, never a semantic change.
+  virtual std::vector<FetchResult> FetchBatch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::vector<std::optional<Term>>>& inputs);
+
   // Convenience for call sites whose source cannot fail (in-memory
   // databases, tests): returns the tuples, CHECK-failing on any error.
   std::vector<Tuple> FetchOrDie(
@@ -95,6 +107,12 @@ class Source {
 // simulated stand-in for the paper's remote web services: identical
 // interface contract (values required at input slots, no output-side
 // filtering), with call accounting in place of network cost.
+//
+// Fetch is safe to call from multiple threads (a ParallelSource worker
+// pool fans batched waves out over the transport); the database itself is
+// read-only during execution, so only the statistics need the lock. The
+// stats accessors are meant for after-the-wave inspection, not for
+// concurrent reading while a wave is in flight.
 class DatabaseSource : public Source {
  public:
   // Does not take ownership; `db` and `catalog` must outlive the source.
@@ -116,6 +134,7 @@ class DatabaseSource : public Source {
  private:
   const Database* db_;
   const Catalog* catalog_;
+  std::mutex mu_;
   SourceStats stats_;
   std::map<std::string, SourceStats> per_relation_stats_;
 };

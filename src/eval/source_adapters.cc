@@ -22,8 +22,9 @@ std::string ProjectionKey(const AccessPattern& pattern, const Tuple& tuple) {
 
 }  // namespace
 
-const IndexedDatabaseSource::Index& IndexedDatabaseSource::GetOrBuildIndex(
-    const std::string& relation, const AccessPattern& pattern) {
+const IndexedDatabaseSource::Index&
+IndexedDatabaseSource::GetOrBuildIndexLocked(const std::string& relation,
+                                             const AccessPattern& pattern) {
   const std::string index_key = relation + "^" + pattern.word();
   auto it = indexes_.find(index_key);
   if (it != indexes_.end()) return it->second;
@@ -57,8 +58,9 @@ FetchResult IndexedDatabaseSource::Fetch(
       key += '|';
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.calls;
-  const Index& index = GetOrBuildIndex(relation, pattern);
+  const Index& index = GetOrBuildIndexLocked(relation, pattern);
   auto bucket = index.buckets.find(key);
   if (bucket == index.buckets.end()) return FetchResult::Ok({});
   stats_.tuples_returned += bucket->second.size();
@@ -76,6 +78,14 @@ FetchResult CompositeSource::Fetch(
   auto it = routes_.find(relation);
   UCQN_CHECK_MSG(it != routes_.end(), "no route for relation");
   return it->second->Fetch(relation, pattern, inputs);
+}
+
+std::vector<FetchResult> CompositeSource::FetchBatch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::vector<std::optional<Term>>>& inputs) {
+  auto it = routes_.find(relation);
+  UCQN_CHECK_MSG(it != routes_.end(), "no route for relation");
+  return it->second->FetchBatch(relation, pattern, inputs);
 }
 
 }  // namespace ucqn

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,10 @@ namespace ucqn {
 // identical to DatabaseSource (asserted by the adapter tests); only the
 // access path differs — this is the "production" source the benches use
 // for large instances.
+//
+// Thread-safe: Fetch may be called concurrently from a parallel
+// dispatcher's pool threads (lazy index builds and stats updates are
+// serialized under one lock; the underlying Database is read-only).
 class IndexedDatabaseSource : public Source {
  public:
   // Does not take ownership; `db` and `catalog` must outlive the source.
@@ -42,11 +47,14 @@ class IndexedDatabaseSource : public Source {
     std::unordered_map<std::string, std::vector<Tuple>> buckets;
   };
 
-  const Index& GetOrBuildIndex(const std::string& relation,
-                               const AccessPattern& pattern);
+  // Requires mu_ to be held (node-based map: returned reference stays
+  // valid across later inserts, but builds must not race).
+  const Index& GetOrBuildIndexLocked(const std::string& relation,
+                                     const AccessPattern& pattern);
 
   const Database* db_;
   const Catalog* catalog_;
+  std::mutex mu_;
   SourceStats stats_;
   std::map<std::string, Index> indexes_;  // keyed by relation + "^" + word
 };
@@ -68,6 +76,13 @@ class CompositeSource : public Source {
   FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
+
+  // A wave is per-literal, hence per-relation, so the whole batch routes
+  // to one backend — forwarded intact so that backend's own stack (and
+  // any batching it does) sees the wave as a unit.
+  std::vector<FetchResult> FetchBatch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::vector<std::optional<Term>>>& inputs) override;
 
  private:
   std::map<std::string, Source*> routes_;

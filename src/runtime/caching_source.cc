@@ -1,5 +1,7 @@
 #include "runtime/caching_source.h"
 
+#include <unordered_map>
+
 namespace ucqn {
 
 namespace {
@@ -21,6 +23,17 @@ std::string CacheKey(const std::string& relation, const AccessPattern& pattern,
 
 }  // namespace
 
+void CachingSource::Insert(std::string key, const std::string& relation,
+                           std::vector<Tuple> tuples) {
+  entries_.push_front(Entry{key, relation, std::move(tuples)});
+  index_.emplace(std::move(key), entries_.begin());
+  if (capacity_ != 0 && entries_.size() > capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
 FetchResult CachingSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
@@ -35,14 +48,63 @@ FetchResult CachingSource::Fetch(
   ++stats_.misses;
   FetchResult result = inner_->Fetch(relation, pattern, inputs);
   if (!result.ok()) return result;  // failures are not cached
-  entries_.push_front(Entry{key, relation, result.tuples});
-  index_.emplace(std::move(key), entries_.begin());
-  if (capacity_ != 0 && entries_.size() > capacity_) {
-    index_.erase(entries_.back().key);
-    entries_.pop_back();
-    ++stats_.evictions;
-  }
+  Insert(std::move(key), relation, result.tuples);
   return result;
+}
+
+std::vector<FetchResult> CachingSource::FetchBatch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::vector<std::optional<Term>>>& inputs) {
+  const std::size_t n = inputs.size();
+  constexpr std::size_t kHit = static_cast<std::size_t>(-1);
+  std::vector<FetchResult> out(n);
+  std::vector<std::string> keys(n);
+  // Lookup phase: answer hits, group misses by key. The first requester of
+  // a missed key becomes its "leader"; later requesters of the same key
+  // piggyback on the single flight and count as hits.
+  std::unordered_map<std::string, std::size_t> flight;  // key -> flight slot
+  std::vector<std::size_t> leaders;      // flight slot -> request index
+  std::vector<std::size_t> flight_of(n, kHit);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = CacheKey(relation, pattern, inputs[i]);
+    auto it = index_.find(keys[i]);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      entries_.splice(entries_.begin(), entries_, it->second);
+      out[i] = FetchResult::Ok(it->second->tuples);
+      continue;
+    }
+    auto [fit, fresh] = flight.try_emplace(keys[i], leaders.size());
+    if (fresh) {
+      ++stats_.misses;
+      leaders.push_back(i);
+    } else {
+      ++stats_.hits;
+    }
+    flight_of[i] = fit->second;
+  }
+  if (leaders.empty()) return out;
+
+  // Fetch phase: one request per distinct missed key, batched so the
+  // layers below can overlap them.
+  std::vector<std::vector<std::optional<Term>>> missed;
+  missed.reserve(leaders.size());
+  for (std::size_t request : leaders) missed.push_back(inputs[request]);
+  std::vector<FetchResult> fetched =
+      inner_->FetchBatch(relation, pattern, missed);
+
+  // Insert phase: cache each distinct successful result once, then fan
+  // every result (including failures, which stay uncached) back out to
+  // all requesters of its key.
+  for (std::size_t f = 0; f < leaders.size(); ++f) {
+    if (fetched[f].ok()) {
+      Insert(keys[leaders[f]], relation, fetched[f].tuples);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flight_of[i] != kHit) out[i] = fetched[flight_of[i]];
+  }
+  return out;
 }
 
 void CachingSource::Invalidate() {

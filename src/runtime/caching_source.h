@@ -40,6 +40,17 @@ class CachingSource : public Source {
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
 
+  // Batch lookups with single-flight semantics: hits are answered from the
+  // cache, misses are grouped by cache key so each distinct call is
+  // forwarded exactly once however many requests in the wave share it, and
+  // each successful result is inserted once. Duplicates of an in-flight
+  // miss count as hits — they never reach the wrapped source, mirroring
+  // what the sequential path would have done one call later. Hit/miss
+  // accounting is therefore identical at every parallelism level.
+  std::vector<FetchResult> FetchBatch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::vector<std::optional<Term>>>& inputs) override;
+
   const CacheStats& cache_stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -56,6 +67,10 @@ class CachingSource : public Source {
     std::string relation;
     std::vector<Tuple> tuples;
   };
+
+  // Caches a successful result under `key`, evicting LRU past capacity.
+  void Insert(std::string key, const std::string& relation,
+              std::vector<Tuple> tuples);
 
   Source* inner_;
   std::size_t capacity_;

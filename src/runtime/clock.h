@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <thread>
 
 namespace ucqn {
@@ -24,9 +26,19 @@ class Clock {
 
   // Blocks (or pretends to) for `micros` microseconds.
   virtual void SleepMicros(std::uint64_t micros) = 0;
+
+  // Brackets a parallel fetch wave (runtime/parallel_source.h): between
+  // BeginWave and EndWave, up to `workers` threads sleep on this clock
+  // concurrently, and those sleeps overlap in wall-clock terms. Real
+  // clocks overlap naturally and ignore the bracket; a SimulatedClock uses
+  // it to charge the wave max-over-workers instead of sum-over-calls.
+  // Waves do not nest.
+  virtual void BeginWave(std::size_t workers) { (void)workers; }
+  virtual void EndWave() {}
 };
 
-// Real wall-clock time: steady_clock + this_thread::sleep_for.
+// Real wall-clock time: steady_clock + this_thread::sleep_for. Concurrent
+// sleeps genuinely overlap, so the wave bracket is a no-op.
 class SteadyClock : public Clock {
  public:
   std::uint64_t NowMicros() override {
@@ -44,14 +56,59 @@ class SteadyClock : public Clock {
 // Shared between FaultInjectingSource (which injects latency by sleeping)
 // and MeteredSource (which timestamps calls), this yields exact,
 // repeatable latency histograms.
+//
+// Safe for concurrent use. Outside a wave, concurrent sleeps serialize:
+// each call advances the shared clock by its full duration (sum
+// semantics, matching sequential execution). Inside a wave each sleeping
+// thread accrues a private offset — its own virtual timeline — and
+// EndWave advances the shared clock by the *maximum* offset: the wave
+// costs what its slowest worker cost, exactly the wall-clock model of
+// truly overlapped remote calls. Because ParallelSource assigns requests
+// to workers statically, each worker's offset is a fixed sum of its own
+// requests' latencies, so the advance is deterministic under any thread
+// interleaving.
 class SimulatedClock : public Clock {
  public:
-  std::uint64_t NowMicros() override { return now_micros_; }
-  void SleepMicros(std::uint64_t micros) override { now_micros_ += micros; }
-  void Advance(std::uint64_t micros) { now_micros_ += micros; }
+  std::uint64_t NowMicros() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_wave_) {
+      auto it = wave_offsets_.find(std::this_thread::get_id());
+      return now_micros_ + (it == wave_offsets_.end() ? 0 : it->second);
+    }
+    return now_micros_;
+  }
+  void SleepMicros(std::uint64_t micros) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_wave_) {
+      wave_offsets_[std::this_thread::get_id()] += micros;
+    } else {
+      now_micros_ += micros;
+    }
+  }
+  void Advance(std::uint64_t micros) { SleepMicros(micros); }
+
+  void BeginWave(std::size_t workers) override {
+    (void)workers;
+    std::lock_guard<std::mutex> lock(mu_);
+    in_wave_ = true;
+    wave_offsets_.clear();
+  }
+  void EndWave() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t longest = 0;
+    for (const auto& [tid, offset] : wave_offsets_) {
+      if (offset > longest) longest = offset;
+    }
+    now_micros_ += longest;
+    wave_offsets_.clear();
+    in_wave_ = false;
+  }
 
  private:
+  std::mutex mu_;
   std::uint64_t now_micros_ = 0;
+  bool in_wave_ = false;
+  std::map<std::thread::id, std::uint64_t> wave_offsets_;
 };
 
 }  // namespace ucqn

@@ -1,5 +1,7 @@
 #include "runtime/fault_injection.h"
 
+#include "util/hash.h"
+
 namespace ucqn {
 
 namespace {
@@ -21,34 +23,50 @@ std::string CallKey(const std::string& relation, const AccessPattern& pattern,
 FetchResult FaultInjectingSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
-  ++stats_.calls;
+  const std::string key = CallKey(relation, pattern, inputs);
+  std::uint64_t call_number;  // global arrival index (fail_first_calls only)
+  std::uint64_t occurrence;   // per-signature repeat count
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    call_number = ++stats_.calls;
+    occurrence = per_key_calls_[key]++;
+  }
+
+  // Per-request randomness is derived from the request's content (call
+  // signature + occurrence number), not from a shared stream consumed in
+  // arrival order: a parallel wave replays identically however its
+  // threads interleave.
+  std::size_t request_seed = static_cast<std::size_t>(plan_.seed);
+  HashCombine(&request_seed, key);
+  HashCombine(&request_seed, occurrence);
+  std::mt19937_64 rng(request_seed);
 
   // Latency is injected up front: a failing service still makes you wait.
   std::uint64_t latency = plan_.latency_micros;
   if (plan_.latency_jitter_micros > 0) {
     std::uniform_int_distribution<std::uint64_t> dist(
         0, plan_.latency_jitter_micros);
-    latency += dist(rng_);
+    latency += dist(rng);
   }
   if (latency > 0) {
-    stats_.injected_latency_micros += latency;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.injected_latency_micros += latency;
+    }
     if (clock_ != nullptr) clock_->SleepMicros(latency);
   }
 
-  bool fail = false;
-  if (stats_.calls <= plan_.fail_first_calls) fail = true;
-  if (!fail && plan_.fail_first_per_key > 0) {
-    std::uint64_t& seen = per_key_failures_[CallKey(relation, pattern, inputs)];
-    if (seen < plan_.fail_first_per_key) {
-      ++seen;
-      fail = true;
-    }
+  bool fail = call_number <= plan_.fail_first_calls;
+  if (!fail && plan_.fail_first_per_key > 0 &&
+      occurrence < plan_.fail_first_per_key) {
+    fail = true;
   }
   if (!fail && plan_.failure_probability > 0.0) {
     std::uniform_real_distribution<double> dist(0.0, 1.0);
-    fail = dist(rng_) < plan_.failure_probability;
+    fail = dist(rng) < plan_.failure_probability;
   }
   if (fail) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.injected_failures;
     return FetchResult::TransientError("injected transient failure on " +
                                        relation + "^" + pattern.word());

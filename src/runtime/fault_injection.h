@@ -2,6 +2,7 @@
 #define UCQN_RUNTIME_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -21,7 +22,10 @@ struct FaultPlan {
   double failure_probability = 0.0;
   std::uint64_t seed = 42;
   // The first N calls overall fail — models a source that is down and
-  // comes back.
+  // comes back. Note this is the only arrival-order rule: under parallel
+  // waves the *count* of failures stays exactly N, but which concurrent
+  // calls absorb them depends on scheduling. Use fail_first_per_key for
+  // interleaving-independent behavior.
   std::uint64_t fail_first_calls = 0;
   // The first N attempts of each distinct call signature fail, then that
   // signature succeeds forever — the canonical retry-path test: a bare
@@ -37,6 +41,13 @@ struct FaultPlan {
 // test double for the paper's remote web services. Failures surface as
 // FetchStatus::kTransientError; latency is charged to the clock so
 // MeteredSource (sharing the same clock) observes it.
+//
+// Safe for concurrent use: ParallelSource fans batched waves out over
+// the transport, so Fetch may run on several pool threads at once. All
+// per-call randomness (latency jitter, probabilistic failure) is seeded
+// from the plan seed plus the *request's content* — its call signature
+// and per-signature occurrence number — never from global arrival order,
+// so a wave injects the same faults however its threads interleave.
 class FaultInjectingSource : public Source {
  public:
   struct FaultStats {
@@ -49,7 +60,7 @@ class FaultInjectingSource : public Source {
   // the adapter. With a null clock, latency is recorded in the stats but
   // not slept anywhere.
   FaultInjectingSource(Source* inner, FaultPlan plan, Clock* clock = nullptr)
-      : inner_(inner), plan_(plan), clock_(clock), rng_(plan.seed) {}
+      : inner_(inner), plan_(plan), clock_(clock) {}
 
   FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
@@ -61,9 +72,9 @@ class FaultInjectingSource : public Source {
   Source* inner_;
   FaultPlan plan_;
   Clock* clock_;
-  std::mt19937_64 rng_;
+  std::mutex mu_;
   FaultStats stats_;
-  std::unordered_map<std::string, std::uint64_t> per_key_failures_;
+  std::unordered_map<std::string, std::uint64_t> per_key_calls_;
 };
 
 }  // namespace ucqn

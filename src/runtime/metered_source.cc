@@ -73,6 +73,34 @@ FetchResult MeteredSource::Fetch(
   return result;
 }
 
+std::vector<FetchResult> MeteredSource::FetchBatch(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::vector<std::optional<Term>>>& inputs) {
+  const std::uint64_t start = clock_ != nullptr ? clock_->NowMicros() : 0;
+  std::vector<FetchResult> results =
+      inner_->FetchBatch(relation, pattern, inputs);
+  const std::uint64_t elapsed =
+      clock_ != nullptr ? clock_->NowMicros() - start : 0;
+
+  RelationMetrics& rel = per_relation_[relation];
+  for (RelationMetrics* m : {&totals_, &rel}) {
+    ++m->batches;
+    m->batch_size.Record(inputs.size());
+    // The wave is timed as one unit: under a parallel dispatcher the
+    // sub-calls overlap, so this is the wave's wall-clock, not a sum.
+    m->wave_micros.Record(elapsed);
+    for (const FetchResult& result : results) {
+      ++m->calls;
+      if (result.ok()) {
+        m->tuples += result.tuples.size();
+      } else {
+        ++m->errors;
+      }
+    }
+  }
+  return results;
+}
+
 void MeteredSource::Reset() {
   totals_ = RelationMetrics{};
   per_relation_.clear();
@@ -81,10 +109,16 @@ void MeteredSource::Reset() {
 namespace {
 
 std::string MetricsLine(const std::string& name, const RelationMetrics& m) {
-  return name + ": calls=" + std::to_string(m.calls) +
-         " errors=" + std::to_string(m.errors) +
-         " tuples=" + std::to_string(m.tuples) + " latency[" +
-         m.latency.ToString() + "]";
+  std::string line = name + ": calls=" + std::to_string(m.calls) +
+                     " errors=" + std::to_string(m.errors) +
+                     " tuples=" + std::to_string(m.tuples) + " latency[" +
+                     m.latency.ToString() + "]";
+  if (m.batches != 0) {
+    line += " batches=" + std::to_string(m.batches) + " batch_size[" +
+            m.batch_size.ToString() + "] wave[" + m.wave_micros.ToString() +
+            "]";
+  }
+  return line;
 }
 
 std::string MetricsJson(const RelationMetrics& m) {

@@ -46,18 +46,27 @@ class LatencyHistogram {
   std::uint64_t max_ = 0;
 };
 
-// Per-relation call/tuple/error counters plus a latency histogram — the
+// Per-relation call/tuple/error counters plus latency histograms — the
 // access-cost observability the paper's web-service model calls for.
+// `latency` holds per-call timings from the single-Fetch path; batched
+// waves are timed as a unit instead (individual sub-call latencies overlap
+// below the parallel dispatcher and are not observable from above):
+// `batch_size` histograms how many sub-calls each wave carried and
+// `wave_micros` how long the whole wave took wall-clock.
 struct RelationMetrics {
   std::uint64_t calls = 0;
   std::uint64_t errors = 0;
   std::uint64_t tuples = 0;
+  std::uint64_t batches = 0;
   LatencyHistogram latency;
+  LatencyHistogram batch_size;   // unit: sub-calls per wave, not micros
+  LatencyHistogram wave_micros;  // wall-clock per wave
 };
 
 // Decorator that meters every call reaching the wrapped source. Sits at
-// the bottom of the stack (directly above the transport) so each retry
-// attempt and every cache miss is measured, while cache hits are not.
+// the bottom of the stack (directly above the transport, or above the
+// parallel dispatcher when one is configured) so each retry attempt and
+// every cache miss is measured, while cache hits are not.
 class MeteredSource : public Source {
  public:
   // Does not take ownership; `inner` (and `clock`, if given) must outlive
@@ -69,6 +78,10 @@ class MeteredSource : public Source {
   FetchResult Fetch(
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
+
+  std::vector<FetchResult> FetchBatch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::vector<std::optional<Term>>>& inputs) override;
 
   const RelationMetrics& totals() const { return totals_; }
   const std::map<std::string, RelationMetrics>& per_relation() const {

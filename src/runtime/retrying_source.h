@@ -2,6 +2,7 @@
 #define UCQN_RUNTIME_RETRYING_SOURCE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <random>
 #include <string>
 #include <vector>
@@ -41,6 +42,14 @@ struct CallBudget {
 // Wraps a flaky source with retry/backoff and enforces a call/deadline
 // budget. Transient errors are retried up to the policy's attempt limit;
 // budget refusals are terminal for the query.
+//
+// FetchBatch retries sub-calls independently: a wave's failures are
+// collected and re-batched together in the next retry round (so retries
+// overlap just like first attempts), with one backoff sleep per round —
+// the pending sub-calls back off together instead of serializing their
+// individual sleeps. The call/deadline budget is one per-query total,
+// debited per sub-call in request order under a lock, so the cap holds
+// exactly at any batch size or parallelism.
 class RetryingSource : public Source {
  public:
   struct RetryStats {
@@ -62,19 +71,27 @@ class RetryingSource : public Source {
       const std::string& relation, const AccessPattern& pattern,
       const std::vector<std::optional<Term>>& inputs) override;
 
+  std::vector<FetchResult> FetchBatch(
+      const std::string& relation, const AccessPattern& pattern,
+      const std::vector<std::vector<std::optional<Term>>>& inputs) override;
+
   const RetryStats& retry_stats() const { return stats_; }
 
   // Restarts the call/deadline accounting (a new query begins).
   void ResetBudget();
 
  private:
-  bool BudgetExceeded(std::string* why) const;
+  // All Locked helpers require mu_ to be held.
+  bool BudgetExceededLocked(std::string* why);
+  // Backoff duration before attempt `attempt` + 1, jitter applied.
+  std::uint64_t BackoffMicrosLocked(int attempt);
 
   Source* inner_;
   RetryPolicy policy_;
   CallBudget budget_;
   SimulatedClock own_clock_;
   Clock* clock_;
+  std::mutex mu_;
   std::mt19937_64 rng_;
   RetryStats stats_;
   std::uint64_t calls_used_ = 0;

@@ -11,6 +11,11 @@ SourceStack::SourceStack(Source* base, const RuntimeOptions& options,
     clock_ = clock;
   }
   top_ = base;
+  if (options.parallelism > 1) {
+    parallel_ = std::make_unique<ParallelSource>(top_, options.parallelism,
+                                                 clock_);
+    top_ = parallel_.get();
+  }
   if (options.metering) {
     meter_ = std::make_unique<MeteredSource>(top_, clock_);
     top_ = meter_.get();
@@ -50,6 +55,10 @@ RuntimeStats SourceStack::stats() const {
     s.budget_refusals = retry_->retry_stats().budget_refusals;
     s.backoff_micros = retry_->retry_stats().backoff_micros_total;
   }
+  if (parallel_ != nullptr) {
+    s.parallel_waves = parallel_->parallel_stats().parallel_batches;
+    s.batched_requests = parallel_->parallel_stats().requests;
+  }
   return s;
 }
 
@@ -66,6 +75,10 @@ std::string RuntimeStats::ToString() const {
            " giveups=" + std::to_string(giveups) +
            " budget_refusals=" + std::to_string(budget_refusals) +
            " backoff_us=" + std::to_string(backoff_micros);
+  }
+  if (parallel_waves != 0) {
+    out += " parallel_waves=" + std::to_string(parallel_waves) +
+           " batched_requests=" + std::to_string(batched_requests);
   }
   return out;
 }

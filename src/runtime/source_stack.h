@@ -9,6 +9,7 @@
 #include "runtime/caching_source.h"
 #include "runtime/clock.h"
 #include "runtime/metered_source.h"
+#include "runtime/parallel_source.h"
 #include "runtime/retrying_source.h"
 
 namespace ucqn {
@@ -28,10 +29,13 @@ struct RuntimeOptions {
   CallBudget budget;
   // Per-relation call/tuple/latency metrics (see MeteredSource).
   bool metering = false;
+  // Worker threads for overlapping the sub-calls of one batched wave
+  // (see ParallelSource). 1 = sequential dispatch, no threads.
+  std::size_t parallelism = 1;
 
   bool Enabled() const {
-    return cache || retry || metering || budget.max_calls != 0 ||
-           budget.deadline_micros != 0;
+    return cache || retry || metering || parallelism > 1 ||
+           budget.max_calls != 0 || budget.deadline_micros != 0;
   }
 };
 
@@ -49,6 +53,10 @@ struct RuntimeStats {
   std::uint64_t giveups = 0;
   std::uint64_t budget_refusals = 0;
   std::uint64_t backoff_micros = 0;
+  // Waves the parallel dispatcher actually fanned out (>= 2 sub-calls),
+  // and the total sub-calls it carried across all waves.
+  std::uint64_t parallel_waves = 0;
+  std::uint64_t batched_requests = 0;
 
   double CacheHitRatio() const {
     const std::uint64_t lookups = cache_hits + cache_misses;
@@ -61,12 +69,17 @@ struct RuntimeStats {
 
 // Composes the configured decorators over a base source, bottom-up:
 //
-//   base -> MeteredSource -> RetryingSource -> CachingSource (top)
+//   base -> ParallelSource -> MeteredSource -> RetryingSource
+//        -> CachingSource (top)
 //
 // so the meter times every physical attempt (including retries), the
-// retrier only sees cache misses, and cache hits cost nothing. Layers
-// whose options are off are simply not constructed; source() is then the
-// base itself.
+// retrier only sees cache misses, and cache hits cost nothing. The
+// parallel dispatcher sits at the very bottom, directly above the
+// transport: everything above it stays single-threaded (only the base
+// source's Fetch runs on pool threads), and a batched wave keeps its
+// cache/retry/metering semantics bit-identical to sequential dispatch.
+// Layers whose options are off are simply not constructed; source() is
+// then the base itself.
 class SourceStack {
  public:
   // Does not take ownership of `base` or `clock`. With a null clock the
@@ -83,12 +96,14 @@ class SourceStack {
   CachingSource* cache() { return cache_.get(); }
   RetryingSource* retrier() { return retry_.get(); }
   MeteredSource* meter() { return meter_.get(); }
+  ParallelSource* parallel() { return parallel_.get(); }
 
   RuntimeStats stats() const;
 
  private:
   std::unique_ptr<SimulatedClock> owned_clock_;
   Clock* clock_;
+  std::unique_ptr<ParallelSource> parallel_;
   std::unique_ptr<MeteredSource> meter_;
   std::unique_ptr<RetryingSource> retry_;
   std::unique_ptr<CachingSource> cache_;

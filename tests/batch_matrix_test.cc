@@ -1,0 +1,160 @@
+// Matrix test for batched + parallel source fetch: every runtime layer
+// combination, at parallelism 1 and 4, must produce byte-identical
+// answers to the plain per-binding reference loop, identical cache
+// counters at every parallelism, and never exceed a call budget.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "ast/parser.h"
+#include "eval/executor.h"
+#include "runtime/fault_injection.h"
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+namespace {
+
+class BatchMatrixTest : public ::testing::Test {
+ protected:
+  BatchMatrixTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\nT/2: oo io\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "d").
+      R("e", "b").
+      R("g", "h").
+      T("b", "t1").
+      T("d", "t2").
+      T("h", "t3").
+      S("b").
+    )");
+  }
+
+  // The reference semantics: per-binding loop, no runtime layers, no
+  // faults.
+  std::set<Tuple> ReferenceAnswers() {
+    DatabaseSource backend(&db_, &catalog_);
+    ExecutionOptions options;
+    options.batch = false;
+    ExecutionResult result = Execute(query_, catalog_, &backend, options);
+    EXPECT_TRUE(result.ok) << result.error;
+    return result.tuples;
+  }
+
+  Catalog catalog_;
+  Database db_;
+  ConjunctiveQuery query_ =
+      MustParseRule("Q(x, w) :- R(x, z), T(z, w), not S(z).");
+};
+
+TEST_F(BatchMatrixTest, AnswersMatchReferenceAcrossEveryLayerCombination) {
+  const std::set<Tuple> expected = ReferenceAnswers();
+  ASSERT_EQ(expected.size(), 2u);  // Q("c","t2"), Q("g","t3")
+
+  // combo bits: 1 = cache, 2 = retry (+ injected failures), 4 = metering.
+  // A latency-injecting fault layer is always present so parallelism has
+  // something to overlap; failures are injected only when retry is on.
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> cache_counts_at_1;
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    for (int combo = 0; combo < 8; ++combo) {
+      const bool with_cache = (combo & 1) != 0;
+      const bool with_retry = (combo & 2) != 0;
+      const bool with_meter = (combo & 4) != 0;
+      SCOPED_TRACE("parallelism=" + std::to_string(parallelism) +
+                   " cache=" + std::to_string(with_cache) +
+                   " retry=" + std::to_string(with_retry) +
+                   " meter=" + std::to_string(with_meter));
+
+      DatabaseSource backend(&db_, &catalog_);
+      FaultPlan faults;
+      faults.latency_micros = 100;
+      if (with_retry) faults.fail_first_per_key = 1;
+      FaultInjectingSource flaky(&backend, faults);
+
+      ExecutionOptions options;
+      options.runtime.cache = with_cache;
+      options.runtime.retry = with_retry;
+      options.runtime.retry_policy.max_attempts = 3;
+      options.runtime.metering = with_meter;
+      options.runtime.parallelism = parallelism;
+      ExecutionResult result = Execute(query_, catalog_, &flaky, options);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.tuples, expected);
+
+      if (with_cache) {
+        // The cache must count exactly the same hits and misses at any
+        // parallelism — single-flighting keeps the ledger sequential.
+        const auto counts = std::make_pair(result.runtime.cache_hits,
+                                           result.runtime.cache_misses);
+        if (parallelism == 1) {
+          cache_counts_at_1[combo] = counts;
+        } else {
+          EXPECT_EQ(counts, cache_counts_at_1[combo]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BatchMatrixTest, CallCountsAreIdenticalAcrossParallelism) {
+  // 1 R scan + 3 deduplicated T probes + 3 deduplicated S probes = 7
+  // physical calls, whatever the worker count.
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    DatabaseSource backend(&db_, &catalog_);
+    ExecutionOptions options;
+    options.runtime.metering = true;
+    options.runtime.budget.max_calls = 10;
+    options.runtime.parallelism = parallelism;
+    ExecutionResult result = Execute(query_, catalog_, &backend, options);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.runtime.source_calls, 7u)
+        << "parallelism=" << parallelism;
+    EXPECT_EQ(result.tuples, ReferenceAnswers());
+  }
+}
+
+TEST_F(BatchMatrixTest, TightBudgetFailsCleanlyAtAnyParallelism) {
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    DatabaseSource backend(&db_, &catalog_);
+    ExecutionOptions options;
+    options.runtime.budget.max_calls = 1;  // not enough for the join
+    options.runtime.metering = true;
+    options.runtime.parallelism = parallelism;
+    ExecutionResult result = Execute(query_, catalog_, &backend, options);
+    EXPECT_FALSE(result.ok) << "parallelism=" << parallelism;
+    EXPECT_TRUE(result.tuples.empty());
+    EXPECT_NE(result.error.find("budget"), std::string::npos);
+    EXPECT_GT(result.runtime.budget_refusals, 0u);
+    // The cap is a hard ceiling on physical calls, batched or not.
+    EXPECT_LE(result.runtime.source_calls, 1u);
+  }
+}
+
+TEST_F(BatchMatrixTest, RetryBudgetInteractionNeverExceedsTheCap) {
+  // Every fresh signature fails once, so finishing would need 2 calls per
+  // distinct request (8 total); a budget of 5 must stop the query at
+  // exactly 5 attempts — deterministically, at any parallelism.
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    DatabaseSource backend(&db_, &catalog_);
+    FaultPlan faults;
+    faults.fail_first_per_key = 1;
+    FaultInjectingSource flaky(&backend, faults);
+    ExecutionOptions options;
+    options.runtime.retry = true;
+    options.runtime.retry_policy.max_attempts = 3;
+    options.runtime.budget.max_calls = 5;
+    options.runtime.metering = true;
+    options.runtime.parallelism = parallelism;
+    ExecutionResult result = Execute(query_, catalog_, &flaky, options);
+    EXPECT_FALSE(result.ok) << "parallelism=" << parallelism;
+    EXPECT_NE(result.error.find("budget"), std::string::npos);
+    EXPECT_EQ(result.runtime.source_calls, 5u)
+        << "parallelism=" << parallelism;
+    EXPECT_GT(result.runtime.budget_refusals, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,114 @@
+#include "runtime/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ucqn {
+namespace {
+
+TEST(SimulatedClockTest, StartsAtZeroAndAdvancesBySleeps) {
+  SimulatedClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0u);
+  clock.SleepMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 250u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 300u);
+}
+
+TEST(SimulatedClockTest, ConcurrentSleepsOutsideAWaveSum) {
+  // Outside a wave the clock models sequential execution: every sleep
+  // advances shared time by its full duration, whichever thread slept.
+  SimulatedClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 100; ++i) clock.SleepMicros(10);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(clock.NowMicros(), 4u * 100u * 10u);
+}
+
+TEST(SimulatedClockTest, WaveChargesTheMaximumWorkerOffset) {
+  // Inside a wave each thread accrues a private timeline; EndWave advances
+  // shared time by the slowest worker only — the wall-clock of overlapped
+  // remote calls.
+  SimulatedClock clock;
+  clock.SleepMicros(1000);
+  clock.BeginWave(3);
+  std::vector<std::thread> threads;
+  const std::uint64_t budgets[] = {300, 700, 500};
+  for (std::uint64_t budget : budgets) {
+    threads.emplace_back([&clock, budget] {
+      // Sleep in uneven slices so interleavings differ run to run.
+      clock.SleepMicros(budget / 2);
+      clock.SleepMicros(budget - budget / 2);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  clock.EndWave();
+  EXPECT_EQ(clock.NowMicros(), 1000u + 700u);
+}
+
+TEST(SimulatedClockTest, WaveAdvanceIsDeterministicUnderInterleaving) {
+  // Satellite regression: the wave advance must be a pure function of the
+  // per-thread sleep totals, never of scheduling. 50 repetitions with
+  // racing threads must all land on the same virtual duration.
+  for (int repetition = 0; repetition < 50; ++repetition) {
+    SimulatedClock clock;
+    clock.BeginWave(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&clock, t] {
+        for (int i = 0; i <= t; ++i) clock.SleepMicros(100);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    clock.EndWave();
+    EXPECT_EQ(clock.NowMicros(), 400u);  // slowest worker: 4 x 100us
+  }
+}
+
+TEST(SimulatedClockTest, NowInsideAWaveIsPerThread) {
+  SimulatedClock clock;
+  clock.SleepMicros(100);
+  clock.BeginWave(2);
+  std::uint64_t worker_now = 0;
+  std::thread worker([&] {
+    clock.SleepMicros(40);
+    worker_now = clock.NowMicros();
+  });
+  worker.join();
+  // The worker sees its own offset; the dispatcher (which has not slept
+  // during the wave) still sees the wave's start time.
+  EXPECT_EQ(worker_now, 140u);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.EndWave();
+  EXPECT_EQ(clock.NowMicros(), 140u);
+}
+
+TEST(SimulatedClockTest, BackToBackWavesAccumulate) {
+  SimulatedClock clock;
+  for (int wave = 0; wave < 3; ++wave) {
+    clock.BeginWave(2);
+    std::thread a([&clock] { clock.SleepMicros(10); });
+    std::thread b([&clock] { clock.SleepMicros(30); });
+    a.join();
+    b.join();
+    clock.EndWave();
+  }
+  EXPECT_EQ(clock.NowMicros(), 90u);
+}
+
+TEST(SteadyClockTest, IsMonotoneAndSleepsAtLeastTheRequest) {
+  SteadyClock clock;
+  const std::uint64_t before = clock.NowMicros();
+  clock.SleepMicros(1000);
+  const std::uint64_t after = clock.NowMicros();
+  EXPECT_GE(after, before + 1000u);
+}
+
+}  // namespace
+}  // namespace ucqn

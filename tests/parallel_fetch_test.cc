@@ -1,0 +1,295 @@
+#include "runtime/parallel_source.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/executor.h"
+#include "eval/source_adapters.h"
+#include "runtime/caching_source.h"
+#include "runtime/fault_injection.h"
+#include "runtime/retrying_source.h"
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+namespace {
+
+class ParallelFetchTest : public ::testing::Test {
+ protected:
+  ParallelFetchTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\nT/1: i\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "b").
+      R("e", "f").
+      S("b").
+      T("b").
+    )");
+  }
+
+  // Distinct keyed requests for R^io: {"k0"}, {"k1"}, ... plus the real
+  // keys so some calls return tuples.
+  static std::vector<std::vector<std::optional<Term>>> KeyedRequests(
+      std::size_t n) {
+    std::vector<std::vector<std::optional<Term>>> requests;
+    const char* real[] = {"a", "c", "e"};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string key =
+          i < 3 ? real[i] : "k" + std::to_string(i);
+      requests.push_back({Term::Constant(key), std::nullopt});
+    }
+    return requests;
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST_F(ParallelFetchTest, DefaultFetchBatchLoopsOverFetch) {
+  DatabaseSource source(&db_, &catalog_);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const auto requests = KeyedRequests(4);
+  std::vector<FetchResult> batched =
+      source.FetchBatch("R", keyed, requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    FetchResult single = source.Fetch("R", keyed, requests[i]);
+    ASSERT_TRUE(batched[i].ok());
+    EXPECT_EQ(batched[i].tuples, single.tuples);
+  }
+}
+
+TEST_F(ParallelFetchTest, ResultsArriveInRequestOrderAtAnyParallelism) {
+  DatabaseSource reference(&db_, &catalog_);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const auto requests = KeyedRequests(8);
+  std::vector<FetchResult> expected =
+      reference.FetchBatch("R", keyed, requests);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{16}}) {
+    DatabaseSource backend(&db_, &catalog_);
+    ParallelSource parallel(&backend, workers);
+    std::vector<FetchResult> got =
+        parallel.FetchBatch("R", keyed, requests);
+    ASSERT_EQ(got.size(), expected.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].ok());
+      EXPECT_EQ(got[i].tuples, expected[i].tuples)
+          << "workers=" << workers << " request=" << i;
+    }
+    EXPECT_EQ(parallel.parallel_stats().batches, 1u);
+    EXPECT_EQ(parallel.parallel_stats().requests, requests.size());
+    EXPECT_EQ(parallel.parallel_stats().parallel_batches,
+              workers > 1 ? 1u : 0u);
+  }
+}
+
+TEST_F(ParallelFetchTest, WaveVirtualTimeIsCeilOfRequestsOverWorkers) {
+  // Satellite regression: with k = 8 requests of L = 100us each, a wave
+  // on w workers must cost exactly ceil(k/w) x L of virtual time —
+  // deterministically, not just on a lucky schedule.
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const auto requests = KeyedRequests(8);
+  struct Case {
+    std::size_t workers;
+    std::uint64_t expected_micros;
+  };
+  for (const Case& c : {Case{1, 800}, Case{2, 400}, Case{4, 200},
+                        Case{8, 100}}) {
+    for (int repetition = 0; repetition < 5; ++repetition) {
+      SimulatedClock clock;
+      DatabaseSource backend(&db_, &catalog_);
+      FaultPlan plan;
+      plan.latency_micros = 100;
+      FaultInjectingSource slow(&backend, plan, &clock);
+      ParallelSource parallel(&slow, c.workers, &clock);
+      std::vector<FetchResult> got =
+          parallel.FetchBatch("R", keyed, requests);
+      ASSERT_EQ(got.size(), requests.size());
+      EXPECT_EQ(clock.NowMicros(), c.expected_micros)
+          << "workers=" << c.workers << " repetition=" << repetition;
+    }
+  }
+}
+
+TEST_F(ParallelFetchTest, ExecutorBatchAndReferenceLoopAgree) {
+  const auto query = MustParseRule("Q(x) :- R(x, z), not S(z).");
+  DatabaseSource batched_backend(&db_, &catalog_);
+  ExecutionOptions batched;  // batch defaults on
+  ExecutionResult with_batch =
+      Execute(query, catalog_, &batched_backend, batched);
+
+  DatabaseSource reference_backend(&db_, &catalog_);
+  ExecutionOptions reference;
+  reference.batch = false;
+  ExecutionResult without =
+      Execute(query, catalog_, &reference_backend, reference);
+
+  ASSERT_TRUE(with_batch.ok) << with_batch.error;
+  ASSERT_TRUE(without.ok) << without.error;
+  EXPECT_EQ(with_batch.tuples, without.tuples);
+}
+
+TEST_F(ParallelFetchTest, ExecutorWaveDedupsIdenticalCalls) {
+  // R yields bindings z=b (twice) and z=f; the T(z) wave then carries two
+  // identical requests, which must collapse to one source call even with
+  // no cache configured anywhere.
+  const auto query = MustParseRule("Q(x) :- R(x, z), T(z).");
+  DatabaseSource batched_backend(&db_, &catalog_);
+  ExecutionResult with_batch = Execute(query, catalog_, &batched_backend);
+
+  DatabaseSource reference_backend(&db_, &catalog_);
+  ExecutionOptions reference;
+  reference.batch = false;
+  ExecutionResult without =
+      Execute(query, catalog_, &reference_backend, reference);
+
+  ASSERT_TRUE(with_batch.ok) << with_batch.error;
+  ASSERT_TRUE(without.ok) << without.error;
+  EXPECT_EQ(with_batch.tuples, without.tuples);
+  EXPECT_EQ(reference_backend.stats().calls, 4u);  // 1 scan + 3 probes
+  EXPECT_EQ(batched_backend.stats().calls, 3u);    // 1 scan + 2 deduped
+}
+
+TEST_F(ParallelFetchTest, CachingSourceSingleFlightsDuplicateMisses) {
+  DatabaseSource backend(&db_, &catalog_);
+  CachingSource cached(&backend);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const std::vector<std::vector<std::optional<Term>>> requests = {
+      {Term::Constant("a"), std::nullopt},
+      {Term::Constant("c"), std::nullopt},
+      {Term::Constant("a"), std::nullopt},
+  };
+  std::vector<FetchResult> first = cached.FetchBatch("R", keyed, requests);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].tuples, first[2].tuples);
+  // Two distinct keys miss; the duplicate rides the single flight as a
+  // hit. Exactly what sequential dispatch would have counted.
+  EXPECT_EQ(backend.stats().calls, 2u);
+  EXPECT_EQ(cached.cache_stats().misses, 2u);
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+
+  std::vector<FetchResult> second = cached.FetchBatch("R", keyed, requests);
+  EXPECT_EQ(backend.stats().calls, 2u);  // everything cached now
+  EXPECT_EQ(cached.cache_stats().hits, 4u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(second[i].tuples, first[i].tuples);
+  }
+}
+
+TEST_F(ParallelFetchTest, RetryingSourceRebatchesOnlyTheFailures) {
+  DatabaseSource backend(&db_, &catalog_);
+  FaultPlan faults;
+  faults.fail_first_per_key = 1;  // every signature fails once, then works
+  FaultInjectingSource flaky(&backend, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingSource retrying(&flaky, policy);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  std::vector<FetchResult> got =
+      retrying.FetchBatch("R", keyed, KeyedRequests(3));
+  for (const FetchResult& result : got) EXPECT_TRUE(result.ok());
+  // Round 1: three first attempts fail. Round 2: the three retries fly
+  // together and succeed.
+  EXPECT_EQ(retrying.retry_stats().attempts, 6u);
+  EXPECT_EQ(retrying.retry_stats().retries, 3u);
+  EXPECT_EQ(retrying.retry_stats().successes, 3u);
+  EXPECT_EQ(retrying.retry_stats().giveups, 0u);
+}
+
+TEST_F(ParallelFetchTest, BatchBudgetIsDebitedPerSubCallInRequestOrder) {
+  DatabaseSource backend(&db_, &catalog_);
+  CallBudget budget;
+  budget.max_calls = 2;
+  RetryingSource retrying(&backend, RetryPolicy{}, budget);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  std::vector<FetchResult> got =
+      retrying.FetchBatch("R", keyed, KeyedRequests(4));
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].ok());
+  EXPECT_TRUE(got[1].ok());
+  EXPECT_EQ(got[2].status, FetchStatus::kBudgetExhausted);
+  EXPECT_EQ(got[3].status, FetchStatus::kBudgetExhausted);
+  EXPECT_EQ(retrying.retry_stats().attempts, 2u);
+  EXPECT_EQ(retrying.retry_stats().budget_refusals, 2u);
+}
+
+TEST_F(ParallelFetchTest, InjectedFaultsAreScheduleIndependent) {
+  // The same fault plan must produce the same per-request outcome whether
+  // the wave runs sequentially or on four threads: seeding is derived
+  // from each request's content, not its arrival order.
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const auto requests = KeyedRequests(12);
+  FaultPlan plan;
+  plan.failure_probability = 0.4;
+  plan.latency_micros = 50;
+  plan.latency_jitter_micros = 25;
+  plan.seed = 7;
+
+  auto run = [&](std::size_t workers) {
+    SimulatedClock clock;
+    DatabaseSource backend(&db_, &catalog_);
+    FaultInjectingSource flaky(&backend, plan, &clock);
+    ParallelSource parallel(&flaky, workers, &clock);
+    return parallel.FetchBatch("R", keyed, requests);
+  };
+  std::vector<FetchResult> sequential = run(1);
+  for (int repetition = 0; repetition < 5; ++repetition) {
+    std::vector<FetchResult> parallel = run(4);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].ok(), sequential[i].ok()) << "request=" << i;
+      EXPECT_EQ(parallel[i].error, sequential[i].error) << "request=" << i;
+      EXPECT_EQ(parallel[i].tuples, sequential[i].tuples) << "request=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelFetchTest, CompositeSourceForwardsTheWholeBatch) {
+  // The batch must reach the routed backend as one unit so its own
+  // decorators see the wave: the caching layer behind the composite
+  // single-flights the duplicate.
+  DatabaseSource backend(&db_, &catalog_);
+  CachingSource cached(&backend);
+  CompositeSource mediator;
+  mediator.Route("R", &cached);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const std::vector<std::vector<std::optional<Term>>> requests = {
+      {Term::Constant("a"), std::nullopt},
+      {Term::Constant("a"), std::nullopt},
+  };
+  std::vector<FetchResult> got = mediator.FetchBatch("R", keyed, requests);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].tuples, got[1].tuples);
+  EXPECT_EQ(backend.stats().calls, 1u);
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+}
+
+TEST_F(ParallelFetchTest, SourceStackWiresTheDispatcherAtTheBottom) {
+  DatabaseSource backend(&db_, &catalog_);
+  RuntimeOptions options;
+  options.parallelism = 4;
+  options.cache = true;
+  options.metering = true;
+  EXPECT_TRUE(options.Enabled());
+  SourceStack stack(&backend, options);
+  ASSERT_NE(stack.parallel(), nullptr);
+  EXPECT_EQ(stack.parallel()->workers(), 4u);
+
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  std::vector<FetchResult> got =
+      stack.source()->FetchBatch("R", keyed, KeyedRequests(8));
+  for (const FetchResult& result : got) EXPECT_TRUE(result.ok());
+  RuntimeStats stats = stack.stats();
+  EXPECT_EQ(stats.parallel_waves, 1u);
+  EXPECT_EQ(stats.batched_requests, 8u);
+  EXPECT_EQ(stats.cache_misses, 8u);
+  // The meter (above the dispatcher) timed the wave as one unit.
+  EXPECT_EQ(stack.meter()->totals().batches, 1u);
+  EXPECT_EQ(stack.meter()->totals().batch_size.max_micros(), 8u);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("parallel_waves"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -14,14 +14,17 @@
 //         [--views views.txt] [--constraints deps.txt]
 //         [--facts facts.txt] [--improve]
 //         [--cache] [--cache-capacity N] [--retry N] [--max-calls N]
-//         [--metrics text|json]
+//         [--parallelism N] [--no-batch] [--metrics text|json]
 //
 // The runtime flags configure the source-access stack (src/runtime/) that
 // ANSWER* runs against: --cache deduplicates repeated source calls (LRU,
 // unbounded unless --cache-capacity is given), --retry N retries
 // transient failures up to N attempts with backoff, --max-calls N caps
-// the total calls per run, and --metrics prints the per-relation
-// call/tuple/latency table (text) or its JSON export.
+// the total calls per run, --parallelism N overlaps each literal's
+// batched wave of source calls on N worker threads, --no-batch reverts
+// the executor to the per-binding reference loop (--batch restores the
+// default), and --metrics prints the per-relation call/tuple/latency
+// table (text) or its JSON export.
 //
 // With --views, the query may reference global-as-view definitions; it is
 // unfolded into a plan over the sources before analysis (Section 4.2's
@@ -61,7 +64,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema FILE --query FILE [--constraints FILE] "
                "[--facts FILE] [--improve] [--cache] [--cache-capacity N] "
-               "[--retry N] [--max-calls N] [--metrics text|json]\n",
+               "[--retry N] [--max-calls N] [--parallelism N] "
+               "[--batch|--no-batch] [--metrics text|json]\n",
                argv0);
   return 2;
 }
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
   const char* facts_path = nullptr;
   bool improve = false;
   RuntimeOptions runtime;
+  ExecutionOptions exec;
   const char* metrics_format = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +126,12 @@ int main(int argc, char** argv) {
       std::size_t max_calls = 0;
       if (!next_count(max_calls)) return Usage(argv[0]);
       runtime.budget.max_calls = max_calls;
+    } else if (std::strcmp(argv[i], "--parallelism") == 0) {
+      if (!next_count(runtime.parallelism)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      exec.batch = true;
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      exec.batch = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       if (!next(metrics_format)) return Usage(argv[0]);
       if (std::strcmp(metrics_format, "text") != 0 &&
@@ -232,12 +243,13 @@ int main(int argc, char** argv) {
     DatabaseSource backend(&*db, &*catalog);
     // The runtime flags build the source stack here (rather than through
     // ExecutionOptions) so the whole run — ANSWER*, Δ explanations, the
-    // improved underestimate — shares one cache/budget, and the meter can
-    // be printed at the end.
+    // improved underestimate — shares one cache/budget/worker pool, and
+    // the meter can be printed at the end. `exec.runtime` stays disabled:
+    // the stack is this one, not a per-Execute one.
     SourceStack stack(&backend, runtime);
     Source* source = stack.source();
     AnswerStarReport report =
-        AnswerStar(compiled.analyzed_query, *catalog, source);
+        AnswerStar(compiled.analyzed_query, *catalog, source, exec);
     std::printf("\nANSWER*:\n%s\n", report.Summary().c_str());
     std::printf("source calls: %llu, tuples: %llu\n",
                 static_cast<unsigned long long>(backend.stats().calls),
