@@ -17,6 +17,13 @@
 //    overlaps it, so simulated wall-clock drops from (1 + k) x L
 //    sequentially to (1 + ceil(k/p)) x L at parallelism p — with
 //    byte-identical answers (asserted via `answers_match`).
+//  * BM_CostModelSlowService — the adaptive cost model's headline
+//    scenario: 64 keyed probes vs. one full scan of a 5000-tuple
+//    relation. When the service is fast (500us/call) the keyed pattern
+//    wins and both models issue it; when the same service is 10x slower
+//    (5000us/call) the adaptive model — seeded with a StatsCatalog
+//    observing that latency — flips to the scan pattern and cuts
+//    simulated wall-clock by ~50x, with identical answers.
 //
 // The binary also writes BENCH_runtime.json (machine-readable summary of
 // the fan-out sweep) to the working directory before running the
@@ -29,6 +36,8 @@
 #include <string>
 
 #include "ast/parser.h"
+#include "cost/cost_model.h"
+#include "cost/stats_catalog.h"
 #include "eval/answer_star.h"
 #include "eval/executor.h"
 #include "gen/scenarios.h"
@@ -319,6 +328,140 @@ void BM_ParallelFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelFanout)->Arg(1)->Arg(4)->Arg(16);
 
+// --- adaptive cost model vs. a slow service -------------------------------
+
+Catalog CostModelCatalog() {
+  return Catalog::MustParse(R"(
+    relation Seed/1: o
+    relation Lookup/2: io oo
+  )");
+}
+
+constexpr int kCostSeeds = 64;
+constexpr int kLookupCardinality = 5000;
+
+// Every seed key has exactly one Lookup row; the rest of the relation is
+// filler the keyed pattern never touches but the scan must haul over.
+Database CostModelDatabase() {
+  Database db;
+  for (int i = 0; i < kCostSeeds; ++i) {
+    db.Insert("Seed", {Term::Constant("s" + std::to_string(i))});
+    db.Insert("Lookup", {Term::Constant("s" + std::to_string(i)),
+                         Term::Constant("v" + std::to_string(i % 7))});
+  }
+  for (int i = kCostSeeds; i < kLookupCardinality; ++i) {
+    db.Insert("Lookup", {Term::Constant("f" + std::to_string(i)),
+                         Term::Constant("w" + std::to_string(i % 11))});
+  }
+  return db;
+}
+
+struct CostModelRun {
+  bool ok = false;
+  std::uint64_t sim_wall_micros = 0;
+  std::uint64_t backend_calls = 0;
+  std::string lookup_pattern;
+  std::set<Tuple> answers;
+};
+
+// One execution of Q(x, v) :- Seed(x), Lookup(x, v) against a simulated
+// service where Lookup calls cost `lookup_latency_micros` each. With
+// `adaptive` false the executor runs its default (static) policy and
+// issues 64 keyed io probes; with `adaptive` true an AdaptiveCostModel —
+// seeded with a StatsCatalog that has observed the given latency — prices
+// both patterns as expected_calls x p50 + expected_tuples x tuple_cost
+// and flips to the single oo scan once the keyed probes' latency bill
+// exceeds the scan's tuple-transfer bill.
+CostModelRun RunCostModel(std::uint64_t lookup_latency_micros, bool adaptive) {
+  Catalog catalog = CostModelCatalog();
+  Database db = CostModelDatabase();
+  ConjunctiveQuery plan = MustParseRule("Q(x, v) :- Seed(x), Lookup(x, v).");
+  DatabaseSource backend(&db, &catalog);
+  FaultPlan faults;
+  faults.latency_micros = 500;
+  faults.relation_latency_micros["Lookup"] = lookup_latency_micros;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  RuntimeOptions runtime;
+  runtime.metering = true;
+  SourceStack stack(&slow, runtime, &clock);
+
+  // The stats a prior metered run against this fleet would have left
+  // behind: 64 keyed Lookup calls at the service's latency, one tuple
+  // each (what `ucqnc --stats-out` serializes).
+  StatsCatalog stats;
+  RelationStats seed_stats;
+  seed_stats.calls = 1;
+  seed_stats.tuples = kCostSeeds;
+  seed_stats.p50_latency_micros = 500.0;
+  stats.Record("Seed", seed_stats);
+  RelationStats lookup_stats;
+  lookup_stats.calls = kCostSeeds;
+  lookup_stats.tuples = kCostSeeds;
+  lookup_stats.p50_latency_micros =
+      static_cast<double>(lookup_latency_micros);
+  stats.Record("Lookup", lookup_stats);
+
+  AdaptiveCostOptions cost_options;
+  cost_options.tuple_cost_micros = 50.0;
+  AdaptiveCostModel model(&stats, CardinalityEstimates::FromDatabase(db),
+                          cost_options);
+
+  ExecutionOptions options;
+  if (adaptive) options.cost_model = &model;
+  ExecutionResult result = Execute(plan, catalog, stack.source(), options);
+
+  CostModelRun run;
+  run.ok = result.ok;
+  run.sim_wall_micros = clock.NowMicros();
+  run.backend_calls = backend.stats().calls;
+  run.answers = std::move(result.tuples);
+  // Re-derive the Lookup decision at the executor's state (x bound, 64
+  // live bindings) for the counters.
+  {
+    const CostModel* used =
+        adaptive ? static_cast<const CostModel*>(&model) : nullptr;
+    StaticCostModel fallback;
+    if (used == nullptr) used = &fallback;
+    BoundVariables bound;
+    bound.insert("x");
+    PlanContext context;
+    context.live_bindings = static_cast<double>(kCostSeeds);
+    std::optional<AccessPattern> chosen = ChoosePattern(
+        catalog, plan.body()[1], bound, *used, context);
+    run.lookup_pattern = chosen.has_value() ? chosen->word() : "none";
+  }
+  return run;
+}
+
+void BM_CostModelSlowService(benchmark::State& state) {
+  const auto latency = static_cast<std::uint64_t>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  CostModelRun baseline = RunCostModel(latency, /*adaptive=*/false);
+  CostModelRun run;
+  for (auto _ : state) {
+    run = RunCostModel(latency, adaptive);
+    if (!run.ok) {
+      state.SkipWithError("cost-model execution failed");
+      return;
+    }
+  }
+  state.SetLabel((adaptive ? std::string("adaptive ") : std::string("static ")) +
+                 "Lookup^" + run.lookup_pattern);
+  state.counters["lookup_latency_us"] = static_cast<double>(latency);
+  state.counters["adaptive"] = adaptive ? 1.0 : 0.0;
+  state.counters["sim_wall_us"] = static_cast<double>(run.sim_wall_micros);
+  state.counters["backend_calls"] = static_cast<double>(run.backend_calls);
+  state.counters["speedup_vs_static"] =
+      run.sim_wall_micros == 0
+          ? 0.0
+          : static_cast<double>(baseline.sim_wall_micros) /
+                static_cast<double>(run.sim_wall_micros);
+  state.counters["answers_match"] =
+      run.answers == baseline.answers ? 1.0 : 0.0;
+}
+BENCHMARK(BM_CostModelSlowService)->ArgsProduct({{500, 5000}, {0, 1}});
+
 // Machine-readable summary of the fan-out sweep, for EXPERIMENTS.md and
 // CI trend lines.
 void WriteBenchJson(const char* path) {
@@ -336,6 +479,26 @@ void WriteBenchJson(const char* path) {
             ", \"sim_wall_us\": " + std::to_string(run.sim_wall_micros) +
             ", \"answers_match\": " +
             (run.answers == sequential.answers ? "true" : "false") + "}";
+  }
+  json += "]}, \"cost_model\": {\"seeds\": " + std::to_string(kCostSeeds) +
+          ", \"lookup_cardinality\": " + std::to_string(kLookupCardinality) +
+          ", \"runs\": [";
+  first = true;
+  for (std::uint64_t latency : {std::uint64_t{500}, std::uint64_t{5000}}) {
+    CostModelRun baseline = RunCostModel(latency, /*adaptive=*/false);
+    for (bool adaptive : {false, true}) {
+      CostModelRun run = RunCostModel(latency, adaptive);
+      if (!first) json += ", ";
+      first = false;
+      json += "{\"lookup_latency_us\": " + std::to_string(latency) +
+              ", \"model\": \"" +
+              (adaptive ? std::string("adaptive") : std::string("static")) +
+              "\", \"lookup_pattern\": \"" + run.lookup_pattern +
+              "\", \"calls\": " + std::to_string(run.backend_calls) +
+              ", \"sim_wall_us\": " + std::to_string(run.sim_wall_micros) +
+              ", \"answers_match\": " +
+              (run.answers == baseline.answers ? "true" : "false") + "}";
+    }
   }
   json += "]}}\n";
   std::FILE* out = std::fopen(path, "w");

@@ -1,0 +1,259 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ucqn {
+
+namespace {
+
+std::string FormatCost(double cost) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", cost);
+  return buf;
+}
+
+// Number of argument positions of `literal` that sit in input slots of
+// `pattern` and are ground or bound — the positions the source filters on
+// server-side.
+std::size_t BoundInputSlots(const Literal& literal, const AccessPattern& pattern,
+                            const BoundVariables& bound) {
+  std::size_t n = 0;
+  const std::vector<Term>& args = literal.args();
+  for (std::size_t j = 0; j < args.size() && j < pattern.arity(); ++j) {
+    if (!pattern.IsInputSlot(j)) continue;
+    if (args[j].IsGround() ||
+        (args[j].IsVariable() && bound.count(args[j].name()) > 0)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Number of argument positions that are ground or bound anywhere — the
+// positions unification filters on, server- or client-side.
+std::size_t BoundArgs(const Literal& literal, const BoundVariables& bound) {
+  std::size_t n = 0;
+  for (const Term& arg : literal.args()) {
+    if (arg.IsGround() ||
+        (arg.IsVariable() && bound.count(arg.name()) > 0)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// True if some input slot of `pattern` holds a variable: distinct
+// bindings then issue distinct requests, so the wave dedup cannot
+// collapse them to one call.
+bool PatternKeyedByVariables(const Literal& literal,
+                             const AccessPattern& pattern) {
+  const std::vector<Term>& args = literal.args();
+  for (std::size_t j = 0; j < args.size() && j < pattern.arity(); ++j) {
+    if (pattern.IsInputSlot(j) && args[j].IsVariable()) return true;
+  }
+  return false;
+}
+
+double FanoutEstimate(const Literal& literal, const BoundVariables& bound,
+                      const CardinalityEstimates& estimates,
+                      const StaticCostOptions& options) {
+  double size = estimates.Get(literal.relation(), options.fallback_cardinality);
+  for (std::size_t i = 0; i < BoundArgs(literal, bound); ++i) {
+    size *= options.bound_arg_selectivity;
+  }
+  return size;
+}
+
+}  // namespace
+
+std::string PatternDecision::ToString() const {
+  std::string out = relation + ":";
+  if (candidates.empty()) return out + " no declared patterns";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const PatternCandidate& c = candidates[i];
+    out += (i == 0 ? " " : ", ") + c.pattern.word();
+    if (!c.usable) {
+      out += " unusable";
+    } else {
+      out += " cost=" + FormatCost(c.cost);
+      if (c.chosen) out += " (chosen)";
+    }
+  }
+  if (!chosen.has_value()) out += " -- no usable pattern";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StaticCostModel: the pre-cost-layer heuristics, expressed as costs.
+
+double StaticCostModel::PatternCost(const Literal& literal,
+                                    const AccessPattern& pattern,
+                                    const BoundVariables& bound,
+                                    const PlanContext& context) const {
+  (void)literal;
+  (void)bound;
+  (void)context;
+  // Ranking by input-slot count alone reproduces the historical strict
+  // comparison: under kMostInputs a later pattern wins only with strictly
+  // more inputs (strictly lower cost here), so ties keep the earliest
+  // declared pattern — the historical tie-break.
+  const auto inputs = static_cast<double>(pattern.InputCount());
+  return preference_ == PatternPreference::kMostInputs ? -inputs : inputs;
+}
+
+LiteralScore StaticCostModel::ScoreLiteral(const Catalog& catalog,
+                                           const Literal& literal,
+                                           const BoundVariables& bound,
+                                           const PlanContext& context) const {
+  (void)catalog;
+  (void)context;
+  LiteralScore score;
+  score.filter = literal.negative() || AllVariablesBound(literal, bound);
+  score.cost = score.filter ? 0.0 : ExpectedFanout(literal, bound);
+  return score;
+}
+
+double StaticCostModel::ExpectedFanout(const Literal& literal,
+                                       const BoundVariables& bound) const {
+  return FanoutEstimate(literal, bound, estimates_, options_);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveCostModel: expected_calls x p50_latency + expected_tuples x
+// tuple_cost, fed by observed runtime statistics.
+
+double AdaptiveCostModel::LatencyMicros(const std::string& relation) const {
+  if (stats_ != nullptr) {
+    const RelationStats* observed = stats_->Find(relation);
+    if (observed != nullptr && observed->calls > 0) {
+      return observed->p50_latency_micros;
+    }
+  }
+  return options_.default_latency_micros;
+}
+
+double AdaptiveCostModel::ExpectedTuplesPerCall(
+    const Literal& literal, const AccessPattern& pattern,
+    const BoundVariables& bound) const {
+  // Keyed access (values pushed into input slots): trust the observed
+  // per-call result size when we have one — it reflects the source's real
+  // key selectivity far better than a uniform-selectivity guess.
+  const std::size_t filtered = BoundInputSlots(literal, pattern, bound);
+  if (filtered > 0 && stats_ != nullptr) {
+    const RelationStats* observed = stats_->Find(literal.relation());
+    if (observed != nullptr && observed->calls > 0) {
+      return observed->MeanTuplesPerCall();
+    }
+  }
+  // Scans (and unobserved keyed access): the relation's cardinality cut
+  // by the uniform selectivity per server-side-filtered position.
+  double size = estimates_.Get(literal.relation(),
+                               options_.static_options.fallback_cardinality);
+  for (std::size_t i = 0; i < filtered; ++i) {
+    size *= options_.static_options.bound_arg_selectivity;
+  }
+  return size;
+}
+
+double AdaptiveCostModel::PatternCost(const Literal& literal,
+                                      const AccessPattern& pattern,
+                                      const BoundVariables& bound,
+                                      const PlanContext& context) const {
+  // A pattern whose input slots carry no variables issues the same
+  // request for every live binding — the executor's wave dedup collapses
+  // those to one physical call.
+  const double expected_calls =
+      PatternKeyedByVariables(literal, pattern)
+          ? std::max(context.live_bindings, 1.0)
+          : 1.0;
+  const double expected_tuples =
+      expected_calls * ExpectedTuplesPerCall(literal, pattern, bound);
+  return expected_calls * LatencyMicros(literal.relation()) +
+         expected_tuples * options_.tuple_cost_micros;
+}
+
+LiteralScore AdaptiveCostModel::ScoreLiteral(const Catalog& catalog,
+                                             const Literal& literal,
+                                             const BoundVariables& bound,
+                                             const PlanContext& context) const {
+  LiteralScore score;
+  score.filter = literal.negative() || AllVariablesBound(literal, bound);
+  // Cost of running the literal next through its cheapest pattern, plus
+  // the client-side cost of the bindings it fans out into (which multiply
+  // every later literal's calls).
+  double best_pattern = std::numeric_limits<double>::infinity();
+  PatternDecision decision;
+  if (ChoosePattern(catalog, literal, bound, *this, context, &decision)
+          .has_value()) {
+    for (const PatternCandidate& candidate : decision.candidates) {
+      if (candidate.chosen) best_pattern = candidate.cost;
+    }
+  }
+  if (!std::isfinite(best_pattern)) {
+    // No usable pattern (the ordering loop filters these out before
+    // scoring, but stay total): fall back to the fanout term alone.
+    best_pattern = 0.0;
+  }
+  score.cost = score.filter
+                   ? best_pattern
+                   : best_pattern + ExpectedFanout(literal, bound) *
+                                        options_.tuple_cost_micros;
+  return score;
+}
+
+double AdaptiveCostModel::ExpectedFanout(const Literal& literal,
+                                         const BoundVariables& bound) const {
+  return FanoutEstimate(literal, bound, estimates_, options_.static_options);
+}
+
+// ---------------------------------------------------------------------------
+
+std::optional<AccessPattern> ChoosePattern(const Catalog& catalog,
+                                           const Literal& literal,
+                                           const BoundVariables& bound,
+                                           const CostModel& model,
+                                           const PlanContext& context,
+                                           PatternDecision* decision) {
+  if (decision != nullptr) {
+    decision->relation = literal.relation();
+    decision->chosen.reset();
+    decision->candidates.clear();
+  }
+  const RelationSchema* schema = catalog.Find(literal.relation());
+  if (schema == nullptr || schema->arity() != literal.atom().arity()) {
+    return std::nullopt;
+  }
+  // A negated call can only filter out answers, never produce bindings, so
+  // all of its variables must already be bound (Definition 3).
+  if (literal.negative() && !AllVariablesBound(literal, bound)) {
+    return std::nullopt;
+  }
+  std::optional<AccessPattern> best;
+  double best_cost = 0.0;
+  std::size_t best_index = 0;
+  for (const AccessPattern& p : schema->patterns()) {
+    PatternCandidate candidate;
+    candidate.pattern = p;
+    candidate.usable = PatternUsable(literal, p, bound);
+    if (candidate.usable) {
+      candidate.cost = model.PatternCost(literal, p, bound, context);
+      if (!best.has_value() || candidate.cost < best_cost) {
+        best = p;
+        best_cost = candidate.cost;
+        if (decision != nullptr) best_index = decision->candidates.size();
+      }
+    }
+    if (decision != nullptr) {
+      decision->candidates.push_back(std::move(candidate));
+    }
+  }
+  if (decision != nullptr) {
+    decision->chosen = best;
+    if (best.has_value()) decision->candidates[best_index].chosen = true;
+  }
+  return best;
+}
+
+}  // namespace ucqn

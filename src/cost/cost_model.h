@@ -1,0 +1,212 @@
+#ifndef UCQN_COST_COST_MODEL_H_
+#define UCQN_COST_COST_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "cost/estimates.h"
+#include "cost/stats_catalog.h"
+#include "schema/adornment.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// What the decision point knows about the execution state beyond the
+// bound-variable set: how many live bindings the next literal will be
+// probed with. The executor passes the actual count; the planner passes a
+// running selectivity estimate. Models that only rank statically (the
+// default StaticCostModel) ignore it.
+struct PlanContext {
+  double live_bindings = 1.0;
+};
+
+// One scored alternative of a pattern decision — kept for --explain
+// output and tests, so a rejected candidate can be shown next to the
+// winner with the cost that rejected it.
+struct PatternCandidate {
+  AccessPattern pattern;
+  double cost = 0.0;
+  bool usable = false;
+  bool chosen = false;
+};
+
+// The full record of one ChoosePattern call: every declared pattern of
+// the relation with its usability and cost, plus the winner.
+struct PatternDecision {
+  std::string relation;
+  std::optional<AccessPattern> chosen;
+  std::vector<PatternCandidate> candidates;
+
+  // e.g. "Lookup: io cost=35200 (chosen), oo cost=250500, ii unusable".
+  std::string ToString() const;
+};
+
+// How a literal ranks as the next step of a left-to-right plan. Filters
+// (negations and fully-bound positives) always schedule before
+// non-filters — that part is a soundness-flavoured policy shared by every
+// model — and `cost` orders candidates within each class, lower first.
+struct LiteralScore {
+  bool filter = false;
+  double cost = 0.0;
+};
+
+// Every plan-quality decision — which access pattern the executor calls a
+// literal through, and which literal the planner schedules next — flows
+// through one of these. Implementations rank candidates; the mechanics of
+// usability (PatternUsable, the negative-literal all-bound rule) stay in
+// the shared ChoosePattern below, so a model can never pick an invalid
+// plan, only a slow one.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Lower-is-better cost of calling `literal` through `pattern` (already
+  // known usable) given `bound` and `context`. Ties fall to declaration
+  // order, so equal-cost models are deterministic.
+  virtual double PatternCost(const Literal& literal,
+                             const AccessPattern& pattern,
+                             const BoundVariables& bound,
+                             const PlanContext& context) const = 0;
+
+  // Lower-is-better priority of scheduling `literal` next. Called only
+  // for literals that are executable next (CanExecuteNext holds).
+  virtual LiteralScore ScoreLiteral(const Catalog& catalog,
+                                    const Literal& literal,
+                                    const BoundVariables& bound,
+                                    const PlanContext& context) const = 0;
+
+  // Estimated result-set size of executing `literal` against one binding
+  // — the planner multiplies these along the chosen prefix to keep
+  // PlanContext::live_bindings current.
+  virtual double ExpectedFanout(const Literal& literal,
+                                const BoundVariables& bound) const = 0;
+};
+
+// Knobs shared by the static model and the static parts of the adaptive
+// one. The defaults reproduce the historical planner behaviour exactly.
+struct StaticCostOptions {
+  // The fraction of a relation's tuples expected to survive each bound
+  // argument position (a crude uniform-selectivity model — enough to rank
+  // candidate literals, which is all the greedy planner needs).
+  double bound_arg_selectivity = 0.2;
+  // Cardinality assumed for relations absent from the estimates. See
+  // kDefaultFallbackCardinality.
+  double fallback_cardinality = kDefaultFallbackCardinality;
+};
+
+// The historical heuristics, verbatim, behind the CostModel interface:
+// patterns rank purely by input-slot count per `preference` (declaration
+// order breaks ties), literals by estimated fanout with filters first.
+// This is the bit-compatible default — an executor or planner given no
+// model behaves exactly as before the cost layer existed.
+class StaticCostModel : public CostModel {
+ public:
+  explicit StaticCostModel(
+      PatternPreference preference = PatternPreference::kMostInputs,
+      CardinalityEstimates estimates = {}, StaticCostOptions options = {})
+      : preference_(preference),
+        estimates_(std::move(estimates)),
+        options_(options) {}
+
+  std::string name() const override { return "static"; }
+  double PatternCost(const Literal& literal, const AccessPattern& pattern,
+                     const BoundVariables& bound,
+                     const PlanContext& context) const override;
+  LiteralScore ScoreLiteral(const Catalog& catalog, const Literal& literal,
+                            const BoundVariables& bound,
+                            const PlanContext& context) const override;
+  double ExpectedFanout(const Literal& literal,
+                        const BoundVariables& bound) const override;
+
+ private:
+  PatternPreference preference_;
+  CardinalityEstimates estimates_;
+  StaticCostOptions options_;
+};
+
+struct AdaptiveCostOptions {
+  // Client-side cost of receiving and filtering one tuple, in the same
+  // unit as the observed latencies (simulated microseconds).
+  double tuple_cost_micros = 1.0;
+  // Assumed p50 call latency for relations with no observed stats.
+  double default_latency_micros = 1000.0;
+  // Static fallbacks for the expected-tuple terms.
+  StaticCostOptions static_options;
+};
+
+// Scores each (literal, pattern) candidate as
+//
+//   expected_calls x p50_latency + expected_tuples x tuple_cost
+//
+// with the latency taken from a StatsCatalog snapshot of observed
+// runtime metrics. expected_calls is 1 for a pattern whose input slots
+// carry no variables (every live binding issues the same request, which
+// the executor's wave dedup collapses to one call) and live_bindings
+// otherwise; expected_tuples per call is the observed mean for keyed
+// access, or the relation's cardinality estimate for a scan. The result:
+// a relation observed to be slow gets its per-binding probes priced at
+// the real latency, and the model flips to a scan-and-filter pattern (or
+// reorders the literal later) when that is cheaper end-to-end.
+class AdaptiveCostModel : public CostModel {
+ public:
+  // Does not take ownership of `stats`; it must outlive the model. A null
+  // or empty catalog degrades gracefully to the defaults in `options`.
+  explicit AdaptiveCostModel(const StatsCatalog* stats,
+                             CardinalityEstimates estimates = {},
+                             AdaptiveCostOptions options = {})
+      : stats_(stats), estimates_(std::move(estimates)), options_(options) {}
+
+  std::string name() const override { return "adaptive"; }
+  double PatternCost(const Literal& literal, const AccessPattern& pattern,
+                     const BoundVariables& bound,
+                     const PlanContext& context) const override;
+  LiteralScore ScoreLiteral(const Catalog& catalog, const Literal& literal,
+                            const BoundVariables& bound,
+                            const PlanContext& context) const override;
+  double ExpectedFanout(const Literal& literal,
+                        const BoundVariables& bound) const override;
+
+  // The p50 latency the model will charge calls to `relation` — observed
+  // if the stats catalog has the relation, the configured default
+  // otherwise. Exposed for tests and --explain.
+  double LatencyMicros(const std::string& relation) const;
+
+ private:
+  // Expected tuples one call through `pattern` returns.
+  double ExpectedTuplesPerCall(const Literal& literal,
+                               const AccessPattern& pattern,
+                               const BoundVariables& bound) const;
+
+  const StatsCatalog* stats_;
+  CardinalityEstimates estimates_;
+  AdaptiveCostOptions options_;
+};
+
+// THE pattern-decision call site: picks, among the declared patterns of
+// `literal`'s relation that are usable under `bound`, the one minimizing
+// `model.PatternCost` (declaration order breaks ties). Returns nullopt if
+// the relation is undeclared, has the wrong arity, has no usable pattern,
+// or — for negative literals — some variable is unbound (a negated call
+// can only filter, never bind; Definition 3). When `decision` is given,
+// every declared pattern is recorded with its usability and cost for
+// explain output.
+std::optional<AccessPattern> ChoosePattern(const Catalog& catalog,
+                                           const Literal& literal,
+                                           const BoundVariables& bound,
+                                           const CostModel& model,
+                                           const PlanContext& context = {},
+                                           PatternDecision* decision = nullptr);
+
+// True when `a` schedules before `b`: filters first, then lower cost.
+inline bool BetterLiteralScore(const LiteralScore& a, const LiteralScore& b) {
+  if (a.filter != b.filter) return a.filter;
+  return a.cost < b.cost;
+}
+
+}  // namespace ucqn
+
+#endif  // UCQN_COST_COST_MODEL_H_

@@ -1,0 +1,35 @@
+#include "cost/estimates.h"
+
+namespace ucqn {
+
+CardinalityEstimates CardinalityEstimates::FromDatabase(const Database& db) {
+  CardinalityEstimates estimates;
+  for (const std::string& name : db.RelationNames()) {
+    estimates.Set(name, static_cast<double>(db.TupleCount(name)));
+  }
+  return estimates;
+}
+
+CardinalityEstimates CardinalityEstimates::FromCatalog(
+    const Catalog& catalog) {
+  CardinalityEstimates estimates;
+  for (const RelationSchema* schema : catalog.Relations()) {
+    if (schema->cardinality().has_value()) {
+      estimates.Set(schema->name(), *schema->cardinality());
+    }
+  }
+  return estimates;
+}
+
+void CardinalityEstimates::Set(const std::string& relation,
+                               double cardinality) {
+  cardinalities_[relation] = cardinality;
+}
+
+double CardinalityEstimates::Get(const std::string& relation,
+                                 double fallback) const {
+  auto it = cardinalities_.find(relation);
+  return it == cardinalities_.end() ? fallback : it->second;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,49 @@
+#ifndef UCQN_COST_ESTIMATES_H_
+#define UCQN_COST_ESTIMATES_H_
+
+#include <map>
+#include <string>
+
+#include "eval/database.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// The cardinality assumed for a relation nobody declared an estimate for.
+// Every fallback in the cost layer (CardinalityEstimates::Get,
+// PlannerOptions::fallback_cardinality, the cost models' expected-tuple
+// terms) defaults to this one constant so an unknown relation is priced
+// identically wherever it is consulted.
+inline constexpr double kDefaultFallbackCardinality = 1000.0;
+
+// Per-relation cardinality estimates driving plan-quality decisions (the
+// greedy reorderer and both cost models). Real mediators get these from
+// service metadata; tests and benches build them from an instance.
+class CardinalityEstimates {
+ public:
+  CardinalityEstimates() = default;
+
+  // Uses the actual tuple counts of `db`.
+  static CardinalityEstimates FromDatabase(const Database& db);
+
+  // Uses the `@N` cardinality annotations of `catalog` (relations without
+  // one keep the per-call fallback).
+  static CardinalityEstimates FromCatalog(const Catalog& catalog);
+
+  void Set(const std::string& relation, double cardinality);
+  // Returns the estimate, or `fallback` for unknown relations. The default
+  // fallback is kDefaultFallbackCardinality (1000).
+  double Get(const std::string& relation,
+             double fallback = kDefaultFallbackCardinality) const;
+
+  bool Has(const std::string& relation) const {
+    return cardinalities_.count(relation) > 0;
+  }
+
+ private:
+  std::map<std::string, double> cardinalities_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_COST_ESTIMATES_H_

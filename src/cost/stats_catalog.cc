@@ -1,0 +1,201 @@
+#include "cost/stats_catalog.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ucqn {
+
+void StatsCatalog::Record(const std::string& relation,
+                          const RelationStats& observed) {
+  RelationStats& entry = relations_[relation];
+  const double total_calls =
+      static_cast<double>(entry.calls) + static_cast<double>(observed.calls);
+  if (total_calls > 0.0) {
+    entry.p50_latency_micros =
+        (entry.p50_latency_micros * static_cast<double>(entry.calls) +
+         observed.p50_latency_micros * static_cast<double>(observed.calls)) /
+        total_calls;
+  }
+  entry.calls += observed.calls;
+  entry.errors += observed.errors;
+  entry.tuples += observed.tuples;
+}
+
+void StatsCatalog::Observe(const MeteredSource& meter) {
+  for (const auto& [relation, metrics] : meter.per_relation()) {
+    RelationStats snapshot;
+    snapshot.calls = metrics.calls;
+    snapshot.errors = metrics.errors;
+    snapshot.tuples = metrics.tuples;
+    snapshot.p50_latency_micros = static_cast<double>(
+        metrics.latency.PercentileUpperBoundMicros(0.5));
+    Record(relation, snapshot);
+  }
+}
+
+const RelationStats* StatsCatalog::Find(const std::string& relation) const {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+// Minimal recursive-descent reader for the flat two-level object ToJson
+// emits. Not a general JSON parser: strings may not contain escapes
+// (relation names never do) and values are numbers or nested objects.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ReadString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return Fail("escapes are not supported");
+      out->push_back(text_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ReadNumber(double* out) {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a number");
+    *out = std::atof(text_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool ReadRelationStats(JsonReader* in, RelationStats* stats) {
+  if (!in->Consume('{')) return false;
+  if (in->Peek('}')) return in->Consume('}');
+  while (true) {
+    std::string key;
+    double value = 0.0;
+    if (!in->ReadString(&key) || !in->Consume(':') || !in->ReadNumber(&value)) {
+      return false;
+    }
+    if (key == "calls") {
+      stats->calls = static_cast<std::uint64_t>(value);
+    } else if (key == "errors") {
+      stats->errors = static_cast<std::uint64_t>(value);
+    } else if (key == "tuples") {
+      stats->tuples = static_cast<std::uint64_t>(value);
+    } else if (key == "p50_latency_us") {
+      stats->p50_latency_micros = value;
+    }  // unknown scalar keys are ignored for forward compatibility
+    if (in->Peek(',')) {
+      in->Consume(',');
+      continue;
+    }
+    return in->Consume('}');
+  }
+}
+
+}  // namespace
+
+std::string StatsCatalog::ToJson() const {
+  std::string out = "{\"relations\": {";
+  bool first = true;
+  for (const auto& [relation, stats] : relations_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + relation + "\": {\"calls\": " + std::to_string(stats.calls) +
+           ", \"errors\": " + std::to_string(stats.errors) +
+           ", \"tuples\": " + std::to_string(stats.tuples) +
+           ", \"p50_latency_us\": " + FormatDouble(stats.p50_latency_micros) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<StatsCatalog> StatsCatalog::FromJson(const std::string& text,
+                                                   std::string* error) {
+  JsonReader in(text);
+  StatsCatalog catalog;
+  auto fail = [&](const std::string& why) -> std::optional<StatsCatalog> {
+    if (error != nullptr) {
+      *error = in.error().empty() ? why : in.error();
+    }
+    return std::nullopt;
+  };
+  std::string key;
+  if (!in.Consume('{') || !in.ReadString(&key) || !in.Consume(':')) {
+    return fail("malformed stats object");
+  }
+  if (key != "relations") return fail("expected a \"relations\" key");
+  if (!in.Consume('{')) return fail("malformed relations object");
+  if (!in.Peek('}')) {
+    while (true) {
+      std::string relation;
+      RelationStats stats;
+      if (!in.ReadString(&relation) || !in.Consume(':') ||
+          !ReadRelationStats(&in, &stats)) {
+        return fail("malformed relation entry");
+      }
+      catalog.Record(relation, stats);
+      if (in.Peek(',')) {
+        in.Consume(',');
+        continue;
+      }
+      break;
+    }
+  }
+  if (!in.Consume('}') || !in.Consume('}')) return fail("unterminated object");
+  if (!in.AtEnd()) return fail("trailing characters");
+  return catalog;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,78 @@
+#ifndef UCQN_COST_STATS_CATALOG_H_
+#define UCQN_COST_STATS_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "runtime/metered_source.h"
+
+namespace ucqn {
+
+// What the cost layer remembers about one relation's observed access
+// behaviour — a compact snapshot of MeteredSource's RelationMetrics that
+// survives across executions (and JSON round-trips).
+struct RelationStats {
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t tuples = 0;
+  // Upper bound of the histogram bucket holding the median call latency at
+  // snapshot time. Merged snapshots keep a call-count-weighted average —
+  // an approximation, but percentiles cannot be merged exactly from
+  // aggregates and ranking candidates only needs the order of magnitude.
+  double p50_latency_micros = 0.0;
+
+  // Observed tuples per physical call — the keyed-access result size the
+  // adaptive model uses when a pattern pushes bindings to the source.
+  double MeanTuplesPerCall() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(tuples) / static_cast<double>(calls);
+  }
+};
+
+// Per-relation observed statistics feeding AdaptiveCostModel. Snapshots
+// accumulate: Observe() after each execution merges the meter's counters
+// into the running totals, so a long-lived catalog converges on the
+// source fleet's steady-state behaviour. Serializes to JSON so a snapshot
+// can be persisted (`ucqnc --stats-out`) and replayed (`--stats-in`) for
+// reproducible planning decisions.
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  // Merges `observed` into the entry for `relation`: counters add, the
+  // p50 latency becomes the call-count-weighted average of old and new.
+  void Record(const std::string& relation, const RelationStats& observed);
+
+  // Merges every per-relation entry of `meter` (one execution's worth of
+  // metrics) into this catalog. Call between executions; MeteredSource
+  // counts cumulatively, so observe a given meter only once (or Reset it).
+  void Observe(const MeteredSource& meter);
+
+  // nullptr when the relation has never been observed.
+  const RelationStats* Find(const std::string& relation) const;
+
+  bool empty() const { return relations_.empty(); }
+  std::size_t size() const { return relations_.size(); }
+  const std::map<std::string, RelationStats>& relations() const {
+    return relations_;
+  }
+
+  // {"relations": {"R": {"calls": 3, "errors": 0, "tuples": 12,
+  //                      "p50_latency_us": 500.0}, ...}}
+  std::string ToJson() const;
+
+  // Parses ToJson()'s format (unknown scalar keys are ignored, so exports
+  // from newer versions load). Returns nullopt and sets `*error` on
+  // malformed input.
+  static std::optional<StatsCatalog> FromJson(const std::string& text,
+                                              std::string* error = nullptr);
+
+ private:
+  std::map<std::string, RelationStats> relations_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_COST_STATS_CATALOG_H_

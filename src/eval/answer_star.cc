@@ -2,33 +2,72 @@
 
 #include <algorithm>
 
+#include "cost/cost_model.h"
+#include "cost/stats_catalog.h"
+#include "eval/planner.h"
 #include "util/logging.h"
 
 namespace ucqn {
+
+namespace {
+
+// With a cost model in play, the literal order PLAN* emitted (body order)
+// is itself a plan-quality decision: route it through the model. A
+// disjunct the model cannot order (not orderable under the greedy rule)
+// keeps its PLAN* order, which is executable by construction.
+UnionQuery ReorderPlan(const UnionQuery& plan, const Catalog& catalog,
+                       const CostModel& model) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& disjunct : plan.disjuncts()) {
+    std::optional<ConjunctiveQuery> ordered =
+        OptimizeLiteralOrder(disjunct, catalog, model);
+    out.AddDisjunct(ordered.has_value() ? std::move(*ordered) : disjunct);
+  }
+  return out;
+}
+
+}  // namespace
 
 AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
                             Source* source, const ExecutionOptions& options) {
   AnswerStarReport report;
   report.plans = PlanStar(q, catalog);
 
+  UnionQuery under_plan = report.plans.under;
+  UnionQuery over_plan = report.plans.over;
+  if (options.cost_model != nullptr) {
+    under_plan = ReorderPlan(under_plan, catalog, *options.cost_model);
+    over_plan = ReorderPlan(over_plan, catalog, *options.cost_model);
+  }
+
   // One stack for both plans: Qᵘ and Qᵒ overlap heavily (the underestimate
   // drops unanswerable parts of the overestimate's disjuncts), so sharing
-  // the cache absorbs the duplicate calls.
+  // the cache absorbs the duplicate calls. The stats sink, if any, is
+  // drained once from this shared stack (the per-plan Execute calls run
+  // with runtime and sink disabled).
   std::optional<SourceStack> stack;
   Source* effective = source;
   ExecutionOptions plan_options = options;
-  if (options.runtime.Enabled()) {
-    stack.emplace(source, options.runtime);
+  RuntimeOptions runtime = options.runtime;
+  if (options.stats_sink != nullptr) runtime.metering = true;
+  if (runtime.Enabled()) {
+    stack.emplace(source, runtime);
     effective = stack->source();
     plan_options.runtime = RuntimeOptions{};
+    plan_options.stats_sink = nullptr;
   }
 
   ExecutionResult under =
-      Execute(report.plans.under, catalog, effective, plan_options);
+      Execute(under_plan, catalog, effective, plan_options);
   ExecutionResult over =
-      under.ok ? Execute(report.plans.over, catalog, effective, plan_options)
+      under.ok ? Execute(over_plan, catalog, effective, plan_options)
                : ExecutionResult{};
-  if (stack.has_value()) report.runtime = stack->stats();
+  if (stack.has_value()) {
+    report.runtime = stack->stats();
+    if (options.stats_sink != nullptr && stack->meter() != nullptr) {
+      options.stats_sink->Observe(*stack->meter());
+    }
+  }
   if (!under.ok || !over.ok) {
     report.error = !under.ok ? "underestimate plan failed: " + under.error
                              : "overestimate plan failed: " + over.error;

@@ -1,24 +1,58 @@
 #include "eval/executor.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/substitution.h"
+#include "cost/cost_model.h"
+#include "cost/stats_catalog.h"
 #include "schema/adornment.h"
 
 namespace ucqn {
 
 namespace {
 
+// Resolves the model every pattern decision flows through: the caller's,
+// or a StaticCostModel built from the legacy preference knob. `storage`
+// keeps the fallback alive for the duration of the execution.
+const CostModel* ResolveCostModel(const ExecutionOptions& options,
+                                  std::optional<StaticCostModel>* storage) {
+  if (options.cost_model != nullptr) return options.cost_model;
+  storage->emplace(options.pattern_preference);
+  return &**storage;
+}
+
+// The runtime configuration actually used: a stats sink needs the meter,
+// so requesting one forces metering on.
+RuntimeOptions EffectiveRuntime(const ExecutionOptions& options) {
+  RuntimeOptions runtime = options.runtime;
+  if (options.stats_sink != nullptr) runtime.metering = true;
+  return runtime;
+}
+
+// Feeds one finished stack's observed metrics into the sink, if any.
+void DrainStats(const ExecutionOptions& options, SourceStack* stack) {
+  if (options.stats_sink != nullptr && stack->meter() != nullptr) {
+    options.stats_sink->Observe(*stack->meter());
+  }
+}
+
 // Builds the Fetch argument vector for `literal` under binding `binding`:
-// ground values where known, empty elsewhere.
+// ground values in the pattern's input slots, empty elsewhere. Output
+// slots stay empty even when the binding knows their value — a source
+// only accepts its declared inputs (Definition 1; the executor filters
+// returned tuples against the binding itself), and leaking bound values
+// into output slots would split the wave dedup below into per-binding
+// calls for patterns that are not actually keyed on those values.
 std::vector<std::optional<Term>> FetchInputs(const Literal& literal,
+                                             const AccessPattern& pattern,
                                              const Substitution& binding) {
   std::vector<std::optional<Term>> inputs;
   inputs.reserve(literal.args().size());
-  for (const Term& arg : literal.args()) {
-    Term value = binding.Apply(arg);
-    if (value.IsGround()) {
+  for (std::size_t j = 0; j < literal.args().size(); ++j) {
+    Term value = binding.Apply(literal.args()[j]);
+    if (pattern.IsInputSlot(j) && value.IsGround()) {
       inputs.emplace_back(std::move(value));
     } else {
       inputs.emplace_back(std::nullopt);
@@ -78,7 +112,8 @@ std::optional<std::string> RunWave(const Literal& literal,
   std::unordered_map<std::string, std::size_t> index;
   wave->slot_of.resize(bindings.size());
   for (std::size_t b = 0; b < bindings.size(); ++b) {
-    std::vector<std::optional<Term>> inputs = FetchInputs(literal, bindings[b]);
+    std::vector<std::optional<Term>> inputs =
+        FetchInputs(literal, pattern, bindings[b]);
     auto [it, fresh] = index.try_emplace(RequestKey(inputs), requests.size());
     if (fresh) requests.push_back(std::move(inputs));
     wave->slot_of[b] = it->second;
@@ -101,9 +136,14 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
   BindingsResult result;
   result.bindings.emplace_back();
   BoundVariables bound;
+  std::optional<StaticCostModel> fallback_model;
+  const CostModel* model = ResolveCostModel(options, &fallback_model);
   for (const Literal& literal : q.body()) {
+    PlanContext context;
+    context.live_bindings = static_cast<double>(
+        std::max<std::size_t>(result.bindings.size(), 1));
     std::optional<AccessPattern> pattern =
-        ChoosePattern(catalog, literal, bound, options.pattern_preference);
+        ChoosePattern(catalog, literal, bound, *model, context);
     if (!pattern.has_value()) {
       result.error = "literal " + literal.ToString() +
                      " has no usable access pattern at its position";
@@ -152,7 +192,8 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
     } else if (literal.positive()) {
       for (const Substitution& binding : result.bindings) {
         FetchResult fetched = source->Fetch(literal.relation(), *pattern,
-                                            FetchInputs(literal, binding));
+                                            FetchInputs(literal, *pattern,
+                                                        binding));
         if (!fetched.ok()) {
           result.error = "source call for literal " + literal.ToString() +
                          " failed: " + fetched.error;
@@ -171,7 +212,8 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
       // the instantiated tuple and keep the binding iff it is absent.
       for (const Substitution& binding : result.bindings) {
         FetchResult fetched = source->Fetch(literal.relation(), *pattern,
-                                            FetchInputs(literal, binding));
+                                            FetchInputs(literal, *pattern,
+                                                        binding));
         if (!fetched.ok()) {
           result.error = "source call for literal " + literal.ToString() +
                          " failed: " + fetched.error;
@@ -254,24 +296,28 @@ ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
 BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
                                   const Catalog& catalog, Source* source,
                                   const ExecutionOptions& options) {
-  if (!options.runtime.Enabled()) {
+  const RuntimeOptions runtime = EffectiveRuntime(options);
+  if (!runtime.Enabled()) {
     return ExecuteForBindingsRaw(q, catalog, source, options);
   }
-  SourceStack stack(source, options.runtime);
+  SourceStack stack(source, runtime);
   BindingsResult result =
       ExecuteForBindingsRaw(q, catalog, stack.source(), options);
   result.runtime = stack.stats();
+  DrainStats(options, &stack);
   return result;
 }
 
 ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options) {
-  if (!options.runtime.Enabled()) {
+  const RuntimeOptions runtime = EffectiveRuntime(options);
+  if (!runtime.Enabled()) {
     return ExecuteRaw(q, catalog, source, options);
   }
-  SourceStack stack(source, options.runtime);
+  SourceStack stack(source, runtime);
   ExecutionResult result = ExecuteRaw(q, catalog, stack.source(), options);
   result.runtime = stack.stats();
+  DrainStats(options, &stack);
   return result;
 }
 
@@ -280,10 +326,11 @@ ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
   // One stack for the whole union: the cache carries results across
   // disjuncts (they typically share relations) and the budget is a
   // per-query, not per-disjunct, limit.
+  const RuntimeOptions runtime = EffectiveRuntime(options);
   std::optional<SourceStack> stack;
   Source* effective = source;
-  if (options.runtime.Enabled()) {
-    stack.emplace(source, options.runtime);
+  if (runtime.Enabled()) {
+    stack.emplace(source, runtime);
     effective = stack->source();
   }
   ExecutionResult result;
@@ -291,12 +338,18 @@ ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
     ExecutionResult part = ExecuteRaw(disjunct, catalog, effective, options);
     if (!part.ok) {
-      if (stack.has_value()) part.runtime = stack->stats();
+      if (stack.has_value()) {
+        part.runtime = stack->stats();
+        DrainStats(options, &*stack);
+      }
       return part;
     }
     result.tuples.insert(part.tuples.begin(), part.tuples.end());
   }
-  if (stack.has_value()) result.runtime = stack->stats();
+  if (stack.has_value()) {
+    result.runtime = stack->stats();
+    DrainStats(options, &*stack);
+  }
   return result;
 }
 

@@ -12,13 +12,29 @@
 
 namespace ucqn {
 
+class CostModel;
+class StatsCatalog;
+
 // Knobs for plan execution.
 struct ExecutionOptions {
   // Which usable access pattern to call per literal. kMostInputs (default)
   // pushes every available binding to the source; kFewestInputs fetches
   // broadly and filters client-side. bench_ablation measures the
-  // difference in calls/tuples.
+  // difference in calls/tuples. Ignored when `cost_model` is set.
   PatternPreference pattern_preference = PatternPreference::kMostInputs;
+  // The cost model every pattern decision flows through (src/cost/). Not
+  // owned; must outlive the execution. When null (the default) the
+  // executor builds a StaticCostModel from `pattern_preference` — the
+  // bit-compatible historical behavior. An AdaptiveCostModel fed by a
+  // StatsCatalog snapshot instead prices each candidate pattern by
+  // observed latency and expected tuples, and ANSWER* additionally
+  // reorders plan literals through it (see eval/answer_star.h).
+  const CostModel* cost_model = nullptr;
+  // When set, every execution that runs a source stack feeds the meter's
+  // per-relation metrics into this catalog afterwards (metering is forced
+  // on). Not owned. This closes the adaptive loop: run, observe, plan the
+  // next query with an AdaptiveCostModel over the same catalog.
+  StatsCatalog* stats_sink = nullptr;
   // Hard cap on the number of live variable bindings after any literal
   // (the intermediate-result size of the left-to-right join). Exceeding
   // it fails the execution rather than exhausting memory on a hostile

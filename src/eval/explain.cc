@@ -1,8 +1,11 @@
 #include "eval/explain.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "eval/executor.h"
+#include "schema/adornment.h"
 #include "util/logging.h"
 
 namespace ucqn {
@@ -45,6 +48,58 @@ std::vector<DeltaExplanation> ExplainDelta(const UnionQuery& q,
         explanations.push_back(std::move(explanation));
       }
     }
+  }
+  return explanations;
+}
+
+std::string PlanExplanation::ToString() const {
+  std::string out = "cost model: " + model + "\n";
+  for (const LiteralPlanStep& step : steps) {
+    out += "  " + step.literal.ToString() + " -> " + step.decision.ToString();
+    if (!step.score.filter && step.decision.chosen.has_value()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f", step.score.cost);
+      out += " [score=" + std::string(buf) + "]";
+    }
+    if (step.score.filter) out += " [filter]";
+    out += "\n";
+  }
+  if (!ok) out += "  plan is not executable at the last literal\n";
+  return out;
+}
+
+PlanExplanation ExplainPlan(const ConjunctiveQuery& q, const Catalog& catalog,
+                            const CostModel& model) {
+  PlanExplanation explanation;
+  explanation.model = model.name();
+  BoundVariables bound;
+  PlanContext context;  // same running estimate the planner keeps
+  for (const Literal& literal : q.body()) {
+    LiteralPlanStep step;
+    step.literal = literal;
+    std::optional<AccessPattern> pattern = ChoosePattern(
+        catalog, literal, bound, model, context, &step.decision);
+    step.score = model.ScoreLiteral(catalog, literal, bound, context);
+    const bool executable = pattern.has_value();
+    explanation.steps.push_back(std::move(step));
+    if (!executable) return explanation;  // ok stays false
+    if (!explanation.steps.back().score.filter) {
+      context.live_bindings = std::max(
+          1.0, context.live_bindings * model.ExpectedFanout(literal, bound));
+    }
+    if (literal.positive()) BindVariables(literal, &bound);
+  }
+  explanation.ok = true;
+  return explanation;
+}
+
+std::vector<PlanExplanation> ExplainPlan(const UnionQuery& q,
+                                         const Catalog& catalog,
+                                         const CostModel& model) {
+  std::vector<PlanExplanation> explanations;
+  explanations.reserve(q.disjuncts().size());
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    explanations.push_back(ExplainPlan(disjunct, catalog, model));
   }
   return explanations;
 }

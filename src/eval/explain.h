@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ast/query.h"
+#include "cost/cost_model.h"
 #include "eval/answer_star.h"
 #include "eval/source.h"
 #include "schema/catalog.h"
@@ -42,6 +43,43 @@ std::vector<DeltaExplanation> ExplainDelta(const UnionQuery& q,
                                            const Catalog& catalog,
                                            Source* source,
                                            const AnswerStarReport& report);
+
+// One literal's pattern decision as the executor would make it: the
+// chosen adornment, every rejected candidate, and the cost the model
+// assigned each — the observable trace of the cost layer (src/cost/).
+struct LiteralPlanStep {
+  Literal literal;
+  // All declared patterns of the literal's relation with usability, cost,
+  // and the winner flagged. `decision.chosen` is empty when the literal
+  // cannot be called at its position (the plan is not executable there).
+  PatternDecision decision;
+  // The scheduling score the model gave this literal at its position.
+  LiteralScore score;
+};
+
+// The per-literal decision trace of executing `q`'s body left to right
+// under `model` — what `ucqnc --explain` prints.
+struct PlanExplanation {
+  // False when some literal has no usable pattern at its position; the
+  // steps up to and including the failing literal are still reported.
+  bool ok = false;
+  std::string model;  // the cost model's name()
+  std::vector<LiteralPlanStep> steps;
+
+  // e.g. "  Lookup(x, v): io cost=35200.0 (chosen), oo cost=250500.0".
+  std::string ToString() const;
+};
+
+// Walks `q`'s body in order, recording every pattern decision `model`
+// makes (with the same live-binding estimates the planner uses). Purely
+// static — no source calls are issued.
+PlanExplanation ExplainPlan(const ConjunctiveQuery& q, const Catalog& catalog,
+                            const CostModel& model);
+
+// Per-disjunct traces for a union plan, in disjunct order.
+std::vector<PlanExplanation> ExplainPlan(const UnionQuery& q,
+                                         const Catalog& catalog,
+                                         const CostModel& model);
 
 }  // namespace ucqn
 

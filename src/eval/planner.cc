@@ -1,94 +1,45 @@
 #include "eval/planner.h"
 
-#include <cmath>
+#include <algorithm>
 #include <vector>
 
 #include "schema/adornment.h"
 
 namespace ucqn {
 
-CardinalityEstimates CardinalityEstimates::FromDatabase(const Database& db) {
-  CardinalityEstimates estimates;
-  for (const std::string& name : db.RelationNames()) {
-    estimates.Set(name, static_cast<double>(db.TupleCount(name)));
-  }
-  return estimates;
-}
-
-CardinalityEstimates CardinalityEstimates::FromCatalog(
-    const Catalog& catalog) {
-  CardinalityEstimates estimates;
-  for (const RelationSchema* schema : catalog.Relations()) {
-    if (schema->cardinality().has_value()) {
-      estimates.Set(schema->name(), *schema->cardinality());
-    }
-  }
-  return estimates;
-}
-
-void CardinalityEstimates::Set(const std::string& relation,
-                               double cardinality) {
-  cardinalities_[relation] = cardinality;
-}
-
-double CardinalityEstimates::Get(const std::string& relation,
-                                 double fallback) const {
-  auto it = cardinalities_.find(relation);
-  return it == cardinalities_.end() ? fallback : it->second;
-}
-
-namespace {
-
-// Estimated number of tuples a call for `literal` returns, given the
-// currently bound variables: every ground-or-bound argument position cuts
-// the relation by the configured selectivity.
-double EstimateFanout(const Literal& literal, const BoundVariables& bound,
-                      const CardinalityEstimates& estimates,
-                      const PlannerOptions& options) {
-  double size = estimates.Get(literal.relation());
-  for (const Term& arg : literal.args()) {
-    if (arg.IsGround() || (arg.IsVariable() && bound.count(arg.name()) > 0)) {
-      size *= options.bound_arg_selectivity;
-    }
-  }
-  return size;
-}
-
-}  // namespace
-
-std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
-    const ConjunctiveQuery& q, const Catalog& catalog,
-    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+std::optional<ConjunctiveQuery> OptimizeLiteralOrder(const ConjunctiveQuery& q,
+                                                     const Catalog& catalog,
+                                                     const CostModel& model) {
   const std::vector<Literal>& body = q.body();
   std::vector<bool> taken(body.size(), false);
   std::vector<Literal> ordered;
   ordered.reserve(body.size());
   BoundVariables bound;
+  PlanContext context;  // running estimate of live bindings
 
   for (std::size_t step = 0; step < body.size(); ++step) {
     int best = -1;
-    bool best_is_filter = false;
-    double best_fanout = 0;
+    LiteralScore best_score;
     for (std::size_t i = 0; i < body.size(); ++i) {
       if (taken[i]) continue;
       if (!CanExecuteNext(catalog, body[i], bound)) continue;
-      const bool filter =
-          body[i].negative() || AllVariablesBound(body[i], bound);
-      const double fanout =
-          filter ? 0.0 : EstimateFanout(body[i], bound, estimates, options);
-      const bool better =
-          best < 0 || (filter && !best_is_filter) ||
-          (filter == best_is_filter && fanout < best_fanout);
-      if (better) {
+      const LiteralScore score =
+          model.ScoreLiteral(catalog, body[i], bound, context);
+      if (best < 0 || BetterLiteralScore(score, best_score)) {
         best = static_cast<int>(i);
-        best_is_filter = filter;
-        best_fanout = fanout;
+        best_score = score;
       }
     }
     if (best < 0) return std::nullopt;  // not orderable
     taken[static_cast<std::size_t>(best)] = true;
     const Literal& chosen = body[static_cast<std::size_t>(best)];
     ordered.push_back(chosen);
+    if (!best_score.filter) {
+      // Expanding literals multiply the live bindings every later literal
+      // is probed with; filters keep them (at most) level.
+      context.live_bindings = std::max(
+          1.0, context.live_bindings * model.ExpectedFanout(chosen, bound));
+    }
     if (chosen.positive()) BindVariables(chosen, &bound);
   }
   // Orderability also requires the head variables to be bound.
@@ -98,17 +49,42 @@ std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
   return q.WithBody(std::move(ordered));
 }
 
-std::optional<UnionQuery> OptimizeLiteralOrder(
-    const UnionQuery& q, const Catalog& catalog,
-    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+std::optional<UnionQuery> OptimizeLiteralOrder(const UnionQuery& q,
+                                               const Catalog& catalog,
+                                               const CostModel& model) {
   UnionQuery out;
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
     std::optional<ConjunctiveQuery> ordered =
-        OptimizeLiteralOrder(disjunct, catalog, estimates, options);
+        OptimizeLiteralOrder(disjunct, catalog, model);
     if (!ordered.has_value()) return std::nullopt;
     out.AddDisjunct(std::move(*ordered));
   }
   return out;
+}
+
+namespace {
+
+StaticCostModel ModelFromOptions(const CardinalityEstimates& estimates,
+                                 const PlannerOptions& options) {
+  StaticCostOptions cost_options;
+  cost_options.bound_arg_selectivity = options.bound_arg_selectivity;
+  cost_options.fallback_cardinality = options.fallback_cardinality;
+  return StaticCostModel(PatternPreference::kMostInputs, estimates,
+                         cost_options);
+}
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
+    const ConjunctiveQuery& q, const Catalog& catalog,
+    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+  return OptimizeLiteralOrder(q, catalog, ModelFromOptions(estimates, options));
+}
+
+std::optional<UnionQuery> OptimizeLiteralOrder(
+    const UnionQuery& q, const Catalog& catalog,
+    const CardinalityEstimates& estimates, const PlannerOptions& options) {
+  return OptimizeLiteralOrder(q, catalog, ModelFromOptions(estimates, options));
 }
 
 }  // namespace ucqn

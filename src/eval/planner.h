@@ -1,66 +1,64 @@
 #ifndef UCQN_EVAL_PLANNER_H_
 #define UCQN_EVAL_PLANNER_H_
 
-#include <map>
 #include <optional>
 #include <string>
 
 #include "ast/query.h"
+#include "cost/cost_model.h"
+#include "cost/estimates.h"
 #include "eval/database.h"
 #include "schema/catalog.h"
 
 namespace ucqn {
-
-// Per-relation cardinality estimates driving the greedy plan reorderer.
-// Real mediators get these from service metadata; tests and benches build
-// them from an instance.
-class CardinalityEstimates {
- public:
-  CardinalityEstimates() = default;
-
-  // Uses the actual tuple counts of `db`.
-  static CardinalityEstimates FromDatabase(const Database& db);
-
-  // Uses the `@N` cardinality annotations of `catalog` (relations without
-  // one keep the per-call fallback).
-  static CardinalityEstimates FromCatalog(const Catalog& catalog);
-
-  void Set(const std::string& relation, double cardinality);
-  // Returns the estimate, or `fallback` for unknown relations.
-  double Get(const std::string& relation, double fallback = 1000.0) const;
-
- private:
-  std::map<std::string, double> cardinalities_;
-};
 
 struct PlannerOptions {
   // The fraction of a relation's tuples expected to survive each bound
   // argument position (a crude uniform-selectivity model — enough to rank
   // candidate literals, which is all the greedy planner needs).
   double bound_arg_selectivity = 0.2;
+  // The cardinality assumed for a relation the estimates do not cover.
+  // This is the documented fallback everywhere an unknown relation is
+  // priced: EstimateFanout treats it exactly like a relation whose
+  // estimate is this value (see cost/estimates.h).
+  double fallback_cardinality = kDefaultFallbackCardinality;
 };
 
 // Greedy cost-aware literal ordering for an orderable CQ¬ (the executor
 // runs plans left to right, so literal order is the entire join order):
-// at every step, among the literals executable next, prefer
+// at every step, among the literals executable next, the cost model's
+// ScoreLiteral picks the winner. Under the default StaticCostModel that
+// means
 //   1. negative literals and fully-bound positives (pure filters,
 //      fanout <= 1), then
 //   2. the positive literal with the smallest estimated result size
-//      (cardinality * selectivity^bound_args).
-// Algorithm ANSWERABLE instead picks literals in body order — sound, but
-// it can put a huge scan in front of a selective probe; bench_planner
-// quantifies the difference in source calls and tuples moved.
+//      (cardinality * selectivity^bound_args);
+// an AdaptiveCostModel additionally prices each candidate's observed p50
+// call latency, so a slow service is scheduled as late as its fanout
+// allows. Algorithm ANSWERABLE instead picks literals in body order —
+// sound, but it can put a huge scan in front of a selective probe;
+// bench_planner quantifies the difference in source calls and tuples
+// moved.
 //
 // Returns nullopt when `q` is not orderable (no executable ordering
 // exists) — callers fall back to PLAN*'s approximations. Unsatisfiable
 // queries are ordered like any other (they execute to the empty answer);
 // dropping them outright is PLAN*'s job.
 std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
-    const ConjunctiveQuery& q, const Catalog& catalog,
-    const CardinalityEstimates& estimates, const PlannerOptions& options = {});
+    const ConjunctiveQuery& q, const Catalog& catalog, const CostModel& model);
 
 // Applies OptimizeLiteralOrder to every disjunct; nullopt if any disjunct
 // is not orderable.
+std::optional<UnionQuery> OptimizeLiteralOrder(const UnionQuery& q,
+                                               const Catalog& catalog,
+                                               const CostModel& model);
+
+// Legacy entry points: build a StaticCostModel from `estimates` and
+// `options` and delegate — bit-compatible with the pre-cost-layer greedy
+// planner.
+std::optional<ConjunctiveQuery> OptimizeLiteralOrder(
+    const ConjunctiveQuery& q, const Catalog& catalog,
+    const CardinalityEstimates& estimates, const PlannerOptions& options = {});
 std::optional<UnionQuery> OptimizeLiteralOrder(
     const UnionQuery& q, const Catalog& catalog,
     const CardinalityEstimates& estimates, const PlannerOptions& options = {});

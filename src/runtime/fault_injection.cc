@@ -43,6 +43,10 @@ FetchResult FaultInjectingSource::Fetch(
 
   // Latency is injected up front: a failing service still makes you wait.
   std::uint64_t latency = plan_.latency_micros;
+  auto relation_latency = plan_.relation_latency_micros.find(relation);
+  if (relation_latency != plan_.relation_latency_micros.end()) {
+    latency = relation_latency->second;
+  }
   if (plan_.latency_jitter_micros > 0) {
     std::uniform_int_distribution<std::uint64_t> dist(
         0, plan_.latency_jitter_micros);

@@ -2,6 +2,7 @@
 #define UCQN_RUNTIME_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <random>
 #include <string>
@@ -35,6 +36,10 @@ struct FaultPlan {
   // under SimulatedClock): fixed part + seeded U[0, jitter].
   std::uint64_t latency_micros = 0;
   std::uint64_t latency_jitter_micros = 0;
+  // Per-relation override of the fixed latency part (jitter still
+  // applies): models a fleet where one service is slower than the rest —
+  // the scenario the adaptive cost model exists for.
+  std::map<std::string, std::uint64_t> relation_latency_micros;
 };
 
 // Decorator that makes a reliable source flaky and slow on demand — the

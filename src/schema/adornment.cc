@@ -1,5 +1,6 @@
 #include "schema/adornment.h"
 
+#include "cost/cost_model.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -47,28 +48,10 @@ std::optional<AccessPattern> ChoosePattern(const Catalog& catalog,
                                            const Literal& literal,
                                            const BoundVariables& bound,
                                            PatternPreference preference) {
-  const RelationSchema* schema = catalog.Find(literal.relation());
-  if (schema == nullptr || schema->arity() != literal.atom().arity()) {
-    return std::nullopt;
-  }
-  // A negated call can only filter out answers, never produce bindings, so
-  // all of its variables must already be bound (Definition 3).
-  if (literal.negative() && !AllVariablesBound(literal, bound)) {
-    return std::nullopt;
-  }
-  std::optional<AccessPattern> best;
-  for (const AccessPattern& p : schema->patterns()) {
-    if (!PatternUsable(literal, p, bound)) continue;
-    if (!best.has_value()) {
-      best = p;
-      continue;
-    }
-    const bool better = preference == PatternPreference::kMostInputs
-                            ? p.InputCount() > best->InputCount()
-                            : p.InputCount() < best->InputCount();
-    if (better) best = p;
-  }
-  return best;
+  // Preference-only choice is the static cost model's pattern ranking;
+  // delegate so every adornment decision flows through the one cost-layer
+  // call site (cost/cost_model.h).
+  return ChoosePattern(catalog, literal, bound, StaticCostModel(preference));
 }
 
 bool CanExecuteNext(const Catalog& catalog, const Literal& literal,

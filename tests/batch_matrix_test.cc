@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "ast/parser.h"
+#include "cost/cost_model.h"
 #include "eval/executor.h"
 #include "runtime/fault_injection.h"
 #include "runtime/source_stack.h"
@@ -99,8 +100,11 @@ TEST_F(BatchMatrixTest, AnswersMatchReferenceAcrossEveryLayerCombination) {
 }
 
 TEST_F(BatchMatrixTest, CallCountsAreIdenticalAcrossParallelism) {
-  // 1 R scan + 3 deduplicated T probes + 3 deduplicated S probes = 7
-  // physical calls, whatever the worker count.
+  // 1 R scan + 3 deduplicated T probes + 1 S scan = 5 physical calls,
+  // whatever the worker count. S/1 only declares the scan pattern `o`,
+  // and a scan request carries no input values — the executor masks
+  // bound values out of output slots (the source would ignore them
+  // anyway), so all three negated probes collapse into one wave call.
   for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
     DatabaseSource backend(&db_, &catalog_);
     ExecutionOptions options;
@@ -109,9 +113,48 @@ TEST_F(BatchMatrixTest, CallCountsAreIdenticalAcrossParallelism) {
     options.runtime.parallelism = parallelism;
     ExecutionResult result = Execute(query_, catalog_, &backend, options);
     ASSERT_TRUE(result.ok) << result.error;
-    EXPECT_EQ(result.runtime.source_calls, 7u)
+    EXPECT_EQ(result.runtime.source_calls, 5u)
         << "parallelism=" << parallelism;
     EXPECT_EQ(result.tuples, ReferenceAnswers());
+  }
+}
+
+TEST_F(BatchMatrixTest, ExplicitStaticCostModelIsBitCompatibleWithDefault) {
+  // The contract behind ExecutionOptions::cost_model's null default: an
+  // explicitly-passed StaticCostModel must reproduce the no-model
+  // behaviour exactly — same answers, same physical call count, same
+  // cache ledger — across every runtime layer combination. Anything less
+  // means the cost refactor changed a decision somewhere.
+  StaticCostModel static_model;  // kMostInputs, like the default knob
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    for (int combo = 0; combo < 8; ++combo) {
+      SCOPED_TRACE("parallelism=" + std::to_string(parallelism) +
+                   " combo=" + std::to_string(combo));
+      ExecutionResult baseline, modeled;
+      for (bool with_model : {false, true}) {
+        DatabaseSource backend(&db_, &catalog_);
+        FaultPlan faults;
+        faults.latency_micros = 100;
+        if ((combo & 2) != 0) faults.fail_first_per_key = 1;
+        FaultInjectingSource flaky(&backend, faults);
+
+        ExecutionOptions options;
+        options.runtime.cache = (combo & 1) != 0;
+        options.runtime.retry = (combo & 2) != 0;
+        options.runtime.retry_policy.max_attempts = 3;
+        options.runtime.metering = true;  // always meter: compare calls
+        options.runtime.parallelism = parallelism;
+        if (with_model) options.cost_model = &static_model;
+        ExecutionResult result = Execute(query_, catalog_, &flaky, options);
+        ASSERT_TRUE(result.ok) << result.error;
+        (with_model ? modeled : baseline) = std::move(result);
+      }
+      EXPECT_EQ(modeled.tuples, baseline.tuples);
+      EXPECT_EQ(modeled.runtime.source_calls, baseline.runtime.source_calls);
+      EXPECT_EQ(modeled.runtime.cache_hits, baseline.runtime.cache_hits);
+      EXPECT_EQ(modeled.runtime.cache_misses, baseline.runtime.cache_misses);
+      EXPECT_EQ(modeled.runtime.retries, baseline.runtime.retries);
+    }
   }
 }
 
@@ -134,8 +177,9 @@ TEST_F(BatchMatrixTest, TightBudgetFailsCleanlyAtAnyParallelism) {
 
 TEST_F(BatchMatrixTest, RetryBudgetInteractionNeverExceedsTheCap) {
   // Every fresh signature fails once, so finishing would need 2 calls per
-  // distinct request (8 total); a budget of 5 must stop the query at
-  // exactly 5 attempts — deterministically, at any parallelism.
+  // distinct request (10 total across the 5 distinct signatures); a budget
+  // of 5 must stop the query at exactly 5 attempts — deterministically,
+  // at any parallelism.
   for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
     DatabaseSource backend(&db_, &catalog_);
     FaultPlan faults;

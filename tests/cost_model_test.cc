@@ -1,0 +1,277 @@
+// The cost subsystem: StaticCostModel's bit-compatibility with the
+// legacy pattern/ordering heuristics (including tie-breaks), the
+// AdaptiveCostModel scoring formula, and the pattern/order flips it
+// produces when the stats say a service is slow.
+
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "cost/stats_catalog.h"
+#include "eval/planner.h"
+#include "schema/adornment.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+namespace {
+
+Literal BodyLiteral(const std::string& rule, std::size_t index = 0) {
+  return MustParseRule(rule).body()[index];
+}
+
+// --- StaticCostModel vs. the legacy heuristics ----------------------------
+
+TEST(StaticCostModelTest, MatchesLegacyChoosePatternUnderBothPreferences) {
+  Catalog catalog = Catalog::MustParse("R/3: iio ioo ooo\nN/1: i\n");
+  const Literal r = BodyLiteral("Q(x, y, z) :- R(x, y, z).");
+  for (PatternPreference preference :
+       {PatternPreference::kMostInputs, PatternPreference::kFewestInputs}) {
+    StaticCostModel model(preference);
+    for (const BoundVariables& bound :
+         {BoundVariables{}, BoundVariables{"x"}, BoundVariables{"x", "y"}}) {
+      std::optional<AccessPattern> legacy =
+          ChoosePattern(catalog, r, bound, preference);
+      std::optional<AccessPattern> modeled =
+          ChoosePattern(catalog, r, bound, model);
+      ASSERT_EQ(legacy.has_value(), modeled.has_value());
+      if (legacy.has_value()) EXPECT_EQ(legacy->word(), modeled->word());
+    }
+  }
+  // Spot-check the concrete winners, not just agreement.
+  BoundVariables xy{"x", "y"};
+  EXPECT_EQ(ChoosePattern(catalog, r, xy,
+                          StaticCostModel(PatternPreference::kMostInputs))
+                ->word(),
+            "iio");
+  EXPECT_EQ(ChoosePattern(catalog, r, xy,
+                          StaticCostModel(PatternPreference::kFewestInputs))
+                ->word(),
+            "ooo");
+}
+
+TEST(StaticCostModelTest, PreservesTheNullAndNegativeRules) {
+  Catalog catalog = Catalog::MustParse("R/2: io\nN/1: o\n");
+  StaticCostModel model;
+  // Undeclared relation.
+  EXPECT_FALSE(ChoosePattern(catalog, BodyLiteral("Q(x) :- M(x)."), {}, model)
+                   .has_value());
+  // Arity mismatch.
+  EXPECT_FALSE(ChoosePattern(catalog, BodyLiteral("Q(x) :- R(x)."), {}, model)
+                   .has_value());
+  // No usable pattern (io needs x bound).
+  EXPECT_FALSE(
+      ChoosePattern(catalog, BodyLiteral("Q(x, y) :- R(x, y)."), {}, model)
+          .has_value());
+  // Negative literal with an unbound variable can never be called.
+  const Literal negated = BodyLiteral("Q(x) :- not N(x).");
+  EXPECT_FALSE(ChoosePattern(catalog, negated, {}, model).has_value());
+  BoundVariables x{"x"};
+  EXPECT_TRUE(ChoosePattern(catalog, negated, x, model).has_value());
+}
+
+// Satellite: two usable patterns with the same input-slot count must
+// resolve deterministically — to the first declared — under BOTH
+// preferences, for the legacy API and the cost-model API alike.
+TEST(StaticCostModelTest, EqualInputCountTieFallsToDeclarationOrder) {
+  Catalog io_first = Catalog::MustParse("R/2: io oi\n");
+  Catalog oi_first = Catalog::MustParse("R/2: oi io\n");
+  const Literal r = BodyLiteral("Q(x, y) :- R(x, y).");
+  BoundVariables both{"x", "y"};  // either pattern is usable
+  for (PatternPreference preference :
+       {PatternPreference::kMostInputs, PatternPreference::kFewestInputs}) {
+    SCOPED_TRACE(preference == PatternPreference::kMostInputs ? "most"
+                                                              : "fewest");
+    EXPECT_EQ(ChoosePattern(io_first, r, both, preference)->word(), "io");
+    EXPECT_EQ(ChoosePattern(oi_first, r, both, preference)->word(), "oi");
+    StaticCostModel model(preference);
+    PatternDecision decision;
+    EXPECT_EQ(
+        ChoosePattern(io_first, r, both, model, {}, &decision)->word(), "io");
+    // Both candidates were usable, scored equal, and the record shows it.
+    ASSERT_EQ(decision.candidates.size(), 2u);
+    EXPECT_TRUE(decision.candidates[0].usable);
+    EXPECT_TRUE(decision.candidates[1].usable);
+    EXPECT_DOUBLE_EQ(decision.candidates[0].cost, decision.candidates[1].cost);
+    EXPECT_TRUE(decision.candidates[0].chosen);
+    EXPECT_FALSE(decision.candidates[1].chosen);
+  }
+}
+
+// Satellite: the documented fallback for relations absent from the
+// estimates. kDefaultFallbackCardinality is THE constant every consumer
+// shares; an unknown relation must be priced exactly like a relation
+// whose estimate is that value.
+TEST(StaticCostModelTest, UnknownRelationUsesDocumentedFallbackCardinality) {
+  EXPECT_DOUBLE_EQ(kDefaultFallbackCardinality, 1000.0);
+  EXPECT_DOUBLE_EQ(PlannerOptions{}.fallback_cardinality,
+                   kDefaultFallbackCardinality);
+  EXPECT_DOUBLE_EQ(CardinalityEstimates().Get("Absent"),
+                   kDefaultFallbackCardinality);
+
+  StaticCostModel no_estimates;
+  const Literal u = BodyLiteral("Q(x, y) :- U(x, y).");
+  EXPECT_DOUBLE_EQ(no_estimates.ExpectedFanout(u, {}),
+                   kDefaultFallbackCardinality);
+  // One bound arg applies one selectivity factor to the fallback.
+  BoundVariables x{"x"};
+  EXPECT_DOUBLE_EQ(no_estimates.ExpectedFanout(u, x),
+                   kDefaultFallbackCardinality * 0.2);
+  // And an explicit estimate of exactly the fallback value is
+  // indistinguishable from no estimate at all.
+  CardinalityEstimates pinned;
+  pinned.Set("U", kDefaultFallbackCardinality);
+  StaticCostModel with_pinned(PatternPreference::kMostInputs, pinned);
+  EXPECT_DOUBLE_EQ(with_pinned.ExpectedFanout(u, x),
+                   no_estimates.ExpectedFanout(u, x));
+}
+
+// --- AdaptiveCostModel ----------------------------------------------------
+
+class AdaptiveCostModelTest : public ::testing::Test {
+ protected:
+  // Seed/1 scans into 64 bindings; Lookup/2 offers a keyed probe and a
+  // scan over 5000 tuples. Stats describe a fleet where Lookup answered
+  // 64 keyed calls with one tuple each.
+  AdaptiveCostModelTest() {
+    catalog_ = Catalog::MustParse("Seed/1: o\nLookup/2: io oo\n");
+    estimates_.Set("Seed", 64.0);
+    estimates_.Set("Lookup", 5000.0);
+    options_.tuple_cost_micros = 50.0;
+  }
+
+  StatsCatalog StatsWithLookupLatency(double p50_micros) {
+    StatsCatalog stats;
+    RelationStats seed;
+    seed.calls = 1;
+    seed.tuples = 64;
+    seed.p50_latency_micros = 500.0;
+    stats.Record("Seed", seed);
+    RelationStats lookup;
+    lookup.calls = 64;
+    lookup.tuples = 64;
+    lookup.p50_latency_micros = p50_micros;
+    stats.Record("Lookup", lookup);
+    return stats;
+  }
+
+  Catalog catalog_;
+  CardinalityEstimates estimates_;
+  AdaptiveCostOptions options_;
+  Literal lookup_ = BodyLiteral("Q(x, v) :- Seed(x), Lookup(x, v).", 1);
+  BoundVariables x_bound_{"x"};
+};
+
+TEST_F(AdaptiveCostModelTest, LatencyComesFromStatsWithConfiguredDefault) {
+  StatsCatalog stats = StatsWithLookupLatency(5000.0);
+  AdaptiveCostModel model(&stats, estimates_, options_);
+  EXPECT_DOUBLE_EQ(model.LatencyMicros("Lookup"), 5000.0);
+  EXPECT_DOUBLE_EQ(model.LatencyMicros("Seed"), 500.0);
+  // Unobserved relation: the configured default.
+  EXPECT_DOUBLE_EQ(model.LatencyMicros("Elsewhere"),
+                   options_.default_latency_micros);
+  // No stats at all: everything defaults.
+  AdaptiveCostModel bare(nullptr, estimates_, options_);
+  EXPECT_DOUBLE_EQ(bare.LatencyMicros("Lookup"),
+                   options_.default_latency_micros);
+}
+
+TEST_F(AdaptiveCostModelTest, PatternCostIsCallsTimesLatencyPlusTuples) {
+  StatsCatalog stats = StatsWithLookupLatency(5000.0);
+  AdaptiveCostModel model(&stats, estimates_, options_);
+  PlanContext context;
+  context.live_bindings = 64.0;
+  // Keyed probe: 64 calls (one per live binding) x 5000us, plus 64
+  // observed tuples (one per call) x 50us.
+  EXPECT_DOUBLE_EQ(
+      model.PatternCost(lookup_, AccessPattern::MustParse("io"), x_bound_,
+                        context),
+      64.0 * 5000.0 + 64.0 * 1.0 * 50.0);
+  // Scan: the wave dedup collapses 64 identical requests to ONE call,
+  // which hauls the whole 5000-tuple relation.
+  EXPECT_DOUBLE_EQ(
+      model.PatternCost(lookup_, AccessPattern::MustParse("oo"), x_bound_,
+                        context),
+      1.0 * 5000.0 + 5000.0 * 50.0);
+}
+
+TEST_F(AdaptiveCostModelTest, FlipsToScanWhenKeyedProbesAreSlow) {
+  // Fast service: 64 keyed probes (32ms of latency) beat hauling 5000
+  // tuples; the adaptive choice agrees with the static kMostInputs one.
+  StatsCatalog fast = StatsWithLookupLatency(500.0);
+  AdaptiveCostModel fast_model(&fast, estimates_, options_);
+  PlanContext context;
+  context.live_bindings = 64.0;
+  EXPECT_EQ(
+      ChoosePattern(catalog_, lookup_, x_bound_, fast_model, context)->word(),
+      "io");
+
+  // 10x slower service: the same 64 probes now cost 320ms of latency —
+  // more than the scan's transfer bill — so the model flips to oo.
+  StatsCatalog slow = StatsWithLookupLatency(5000.0);
+  AdaptiveCostModel slow_model(&slow, estimates_, options_);
+  PatternDecision decision;
+  EXPECT_EQ(ChoosePattern(catalog_, lookup_, x_bound_, slow_model, context,
+                          &decision)
+                ->word(),
+            "oo");
+  // The rejected candidate is on record with the cost that rejected it.
+  ASSERT_EQ(decision.candidates.size(), 2u);
+  EXPECT_EQ(decision.candidates[0].pattern.word(), "io");
+  EXPECT_TRUE(decision.candidates[0].usable);
+  EXPECT_FALSE(decision.candidates[0].chosen);
+  EXPECT_GT(decision.candidates[0].cost, decision.candidates[1].cost);
+  EXPECT_TRUE(decision.candidates[1].chosen);
+  const std::string rendered = decision.ToString();
+  EXPECT_NE(rendered.find("io cost="), std::string::npos);
+  EXPECT_NE(rendered.find("oo cost="), std::string::npos);
+  EXPECT_NE(rendered.find("(chosen)"), std::string::npos);
+}
+
+TEST_F(AdaptiveCostModelTest, FewerLiveBindingsKeepTheKeyedProbe) {
+  // The flip is binding-count-sensitive: with one live binding even the
+  // slow service's single probe beats a full scan.
+  StatsCatalog slow = StatsWithLookupLatency(5000.0);
+  AdaptiveCostModel model(&slow, estimates_, options_);
+  PlanContext one;
+  one.live_bindings = 1.0;
+  EXPECT_EQ(ChoosePattern(catalog_, lookup_, x_bound_, model, one)->word(),
+            "io");
+}
+
+TEST(AdaptiveOrderingTest, SchedulesTheFastRelationFirstOnTies) {
+  // Two interchangeable scans (same cardinality): the static model ties
+  // and keeps body order; the adaptive model sees one service is 10x
+  // slower and schedules the fast one first.
+  Catalog catalog = Catalog::MustParse("SlowR/1: o\nFastR/1: o\n");
+  ConjunctiveQuery q = MustParseRule("Q(x, y) :- SlowR(x), FastR(y).");
+  CardinalityEstimates estimates;
+  estimates.Set("SlowR", 100.0);
+  estimates.Set("FastR", 100.0);
+
+  std::optional<ConjunctiveQuery> static_order =
+      OptimizeLiteralOrder(q, catalog, estimates);
+  ASSERT_TRUE(static_order.has_value());
+  EXPECT_EQ(static_order->body()[0].relation(), "SlowR");  // body order kept
+
+  StatsCatalog stats;
+  RelationStats slow;
+  slow.calls = 10;
+  slow.tuples = 1000;
+  slow.p50_latency_micros = 5000.0;
+  stats.Record("SlowR", slow);
+  RelationStats fast;
+  fast.calls = 10;
+  fast.tuples = 1000;
+  fast.p50_latency_micros = 500.0;
+  stats.Record("FastR", fast);
+  AdaptiveCostModel model(&stats, estimates);
+  std::optional<ConjunctiveQuery> adaptive_order =
+      OptimizeLiteralOrder(q, catalog, model);
+  ASSERT_TRUE(adaptive_order.has_value());
+  EXPECT_EQ(adaptive_order->body()[0].relation(), "FastR");
+  EXPECT_EQ(adaptive_order->body()[1].relation(), "SlowR");
+}
+
+}  // namespace
+}  // namespace ucqn

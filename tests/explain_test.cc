@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "ast/parser.h"
+#include "cost/cost_model.h"
+#include "cost/stats_catalog.h"
 #include "gen/scenarios.h"
 
 namespace ucqn {
@@ -79,6 +81,71 @@ TEST(ExplainDeltaTest, MultipleWitnessesMultipleExplanations) {
   for (const DeltaExplanation& e : explanations) rendered += e.ToString();
   EXPECT_NE(rendered.find("b1"), std::string::npos);
   EXPECT_NE(rendered.find("b2"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, RecordsChosenAndRejectedPatternsWithCosts) {
+  Catalog catalog = Catalog::MustParse("Seed/1: o\nLookup/2: io oo\n");
+  ConjunctiveQuery q = MustParseRule("Q(x, v) :- Seed(x), Lookup(x, v).");
+
+  StatsCatalog stats;
+  RelationStats lookup;
+  lookup.calls = 64;
+  lookup.tuples = 64;
+  lookup.p50_latency_micros = 5000.0;
+  stats.Record("Lookup", lookup);
+  CardinalityEstimates estimates;
+  estimates.Set("Seed", 64.0);
+  estimates.Set("Lookup", 5000.0);
+  AdaptiveCostOptions options;
+  options.tuple_cost_micros = 50.0;
+  AdaptiveCostModel model(&stats, estimates, options);
+
+  PlanExplanation explanation = ExplainPlan(q, catalog, model);
+  EXPECT_TRUE(explanation.ok);
+  EXPECT_EQ(explanation.model, "adaptive");
+  ASSERT_EQ(explanation.steps.size(), 2u);
+  // The Lookup step records every candidate: the rejected keyed probe
+  // (io, priced at 64 slow calls) next to the chosen scan.
+  const PatternDecision& decision = explanation.steps[1].decision;
+  ASSERT_TRUE(decision.chosen.has_value());
+  EXPECT_EQ(decision.chosen->word(), "oo");
+  ASSERT_EQ(decision.candidates.size(), 2u);
+  EXPECT_EQ(decision.candidates[0].pattern.word(), "io");
+  EXPECT_FALSE(decision.candidates[0].chosen);
+  EXPECT_TRUE(decision.candidates[1].chosen);
+  EXPECT_GT(decision.candidates[0].cost, decision.candidates[1].cost);
+
+  const std::string rendered = explanation.ToString();
+  EXPECT_NE(rendered.find("cost model: adaptive"), std::string::npos);
+  EXPECT_NE(rendered.find("io cost="), std::string::npos);
+  EXPECT_NE(rendered.find("oo cost="), std::string::npos);
+  EXPECT_NE(rendered.find("(chosen)"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, StopsAtTheFirstNonExecutableLiteral) {
+  // Lookup only declares a keyed pattern, so with nothing bound the plan
+  // is not executable at literal 0 — the explanation says so.
+  Catalog catalog = Catalog::MustParse("Lookup/2: io\n");
+  ConjunctiveQuery q = MustParseRule("Q(x, v) :- Lookup(x, v).");
+  StaticCostModel model;
+  PlanExplanation explanation = ExplainPlan(q, catalog, model);
+  EXPECT_FALSE(explanation.ok);
+  ASSERT_EQ(explanation.steps.size(), 1u);
+  EXPECT_FALSE(explanation.steps[0].decision.chosen.has_value());
+  EXPECT_NE(explanation.ToString().find("not executable"), std::string::npos);
+  EXPECT_NE(explanation.ToString().find("unusable"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, CoversEveryDisjunctOfAUnion) {
+  Catalog catalog = Catalog::MustParse("R/1: o\nS/1: o\n");
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x).\nQ(x) :- S(x).\n");
+  StaticCostModel model;
+  std::vector<PlanExplanation> explanations = ExplainPlan(q, catalog, model);
+  ASSERT_EQ(explanations.size(), 2u);
+  EXPECT_TRUE(explanations[0].ok);
+  EXPECT_TRUE(explanations[1].ok);
+  EXPECT_EQ(explanations[0].steps[0].decision.relation, "R");
+  EXPECT_EQ(explanations[1].steps[0].decision.relation, "S");
 }
 
 }  // namespace

@@ -142,6 +142,43 @@ TEST(OptimizeLiteralOrderTest, ReducesSourceTrafficOnSelectiveJoins) {
             naive_source.stats().tuples_returned);
 }
 
+// Satellite regression for the documented fallback: a relation absent
+// from the estimates is ordered exactly as if its cardinality were
+// kDefaultFallbackCardinality (1000) — bracketed from both sides, so a
+// silent change of the constant (or an inconsistency between Get's
+// default and PlannerOptions::fallback_cardinality) fails here.
+TEST(PlannerFallbackTest, UnknownRelationIsPricedAtTheDocumentedFallback) {
+  Catalog catalog = Catalog::MustParse("Unknown/1: o\nKnown/1: o\n");
+  ConjunctiveQuery q = MustParseRule("Q(x, y) :- Unknown(x), Known(y).");
+
+  // Known just below the fallback: it is cheaper, so it runs first.
+  CardinalityEstimates below;
+  below.Set("Known", kDefaultFallbackCardinality - 1.0);
+  std::optional<ConjunctiveQuery> plan =
+      OptimizeLiteralOrder(q, catalog, below);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->body()[0].relation(), "Known");
+
+  // Known just above the fallback: now the unknown relation is cheaper.
+  CardinalityEstimates above;
+  above.Set("Known", kDefaultFallbackCardinality + 1.0);
+  plan = OptimizeLiteralOrder(q, catalog, above);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->body()[0].relation(), "Unknown");
+
+  // And a caller-chosen fallback moves the bracket with it.
+  PlannerOptions options;
+  options.fallback_cardinality = 10.0;
+  plan = OptimizeLiteralOrder(q, catalog, above, options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->body()[0].relation(), "Unknown");
+  CardinalityEstimates tiny;
+  tiny.Set("Known", 5.0);
+  plan = OptimizeLiteralOrder(q, catalog, tiny, options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->body()[0].relation(), "Known");
+}
+
 // Property sweep: the optimized order preserves semantics on random
 // orderable queries.
 class PlannerPropertyTest : public ::testing::TestWithParam<int> {};

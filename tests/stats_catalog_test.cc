@@ -1,0 +1,169 @@
+// StatsCatalog: merging observed runtime metrics across executions,
+// snapshotting a MeteredSource, and the JSON round-trip behind
+// `ucqnc --stats-out` / `--stats-in`.
+
+#include "cost/stats_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/database.h"
+#include "runtime/clock.h"
+#include "runtime/fault_injection.h"
+#include "runtime/metered_source.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+namespace {
+
+TEST(RelationStatsTest, MeanTuplesPerCall) {
+  RelationStats stats;
+  EXPECT_DOUBLE_EQ(stats.MeanTuplesPerCall(), 0.0);  // no division by zero
+  stats.calls = 4;
+  stats.tuples = 10;
+  EXPECT_DOUBLE_EQ(stats.MeanTuplesPerCall(), 2.5);
+}
+
+TEST(StatsCatalogTest, RecordMergesCountersAndWeightsLatency) {
+  StatsCatalog catalog;
+  EXPECT_TRUE(catalog.empty());
+  EXPECT_EQ(catalog.Find("R"), nullptr);
+
+  RelationStats first;
+  first.calls = 3;
+  first.errors = 1;
+  first.tuples = 9;
+  first.p50_latency_micros = 100.0;
+  catalog.Record("R", first);
+
+  RelationStats second;
+  second.calls = 1;
+  second.errors = 0;
+  second.tuples = 5;
+  second.p50_latency_micros = 500.0;
+  catalog.Record("R", second);
+
+  const RelationStats* merged = catalog.Find("R");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->calls, 4u);
+  EXPECT_EQ(merged->errors, 1u);
+  EXPECT_EQ(merged->tuples, 14u);
+  // Call-count-weighted average: (3*100 + 1*500) / 4.
+  EXPECT_DOUBLE_EQ(merged->p50_latency_micros, 200.0);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(StatsCatalogTest, ObserveSnapshotsAMeteredSource) {
+  Catalog schema = Catalog::MustParse("R/1: o\nS/1: o\n");
+  Database db = Database::MustParseFacts(R"(
+    R("a").
+    R("b").
+    S("c").
+  )");
+  DatabaseSource backend(&db, &schema);
+  FaultPlan faults;
+  faults.latency_micros = 300;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  MeteredSource meter(&slow, &clock);
+
+  AccessPattern scan = AccessPattern::MustParse("o");
+  ASSERT_TRUE(meter.Fetch("R", scan, {std::nullopt}).ok());
+  ASSERT_TRUE(meter.Fetch("R", scan, {std::nullopt}).ok());
+  ASSERT_TRUE(meter.Fetch("S", scan, {std::nullopt}).ok());
+
+  StatsCatalog stats;
+  stats.Observe(meter);
+  const RelationStats* r = stats.Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->calls, 2u);
+  EXPECT_EQ(r->tuples, 4u);
+  // 300us sleeps land in the [256, 512) histogram bucket; the snapshot
+  // carries the bucket's inclusive upper bound.
+  EXPECT_DOUBLE_EQ(r->p50_latency_micros, 511.0);
+  const RelationStats* s = stats.Find("S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 1u);
+  EXPECT_EQ(s->tuples, 1u);
+}
+
+TEST(StatsCatalogTest, JsonRoundTrip) {
+  StatsCatalog catalog;
+  RelationStats r;
+  r.calls = 64;
+  r.errors = 2;
+  r.tuples = 640;
+  r.p50_latency_micros = 5000.0;
+  catalog.Record("Lookup", r);
+  RelationStats s;
+  s.calls = 1;
+  s.tuples = 64;
+  s.p50_latency_micros = 512.0;
+  catalog.Record("Seed", s);
+
+  const std::string json = catalog.ToJson();
+  std::string error;
+  std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->size(), 2u);
+  const RelationStats* lookup = parsed->Find("Lookup");
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->calls, 64u);
+  EXPECT_EQ(lookup->errors, 2u);
+  EXPECT_EQ(lookup->tuples, 640u);
+  EXPECT_DOUBLE_EQ(lookup->p50_latency_micros, 5000.0);
+  const RelationStats* seed = parsed->Find("Seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->calls, 1u);
+  // A second round-trip is byte-stable.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(StatsCatalogTest, FromJsonIgnoresUnknownScalarKeys) {
+  // Forward compatibility: a snapshot from a newer version with extra
+  // per-relation fields still loads.
+  const std::string json =
+      R"({"relations": {"R": {"calls": 2, "tuples": 6, "p99_latency_us": 9.0,)"
+      R"( "p50_latency_us": 128.0}}})";
+  std::string error;
+  std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const RelationStats* r = parsed->Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->calls, 2u);
+  EXPECT_EQ(r->tuples, 6u);
+  EXPECT_DOUBLE_EQ(r->p50_latency_micros, 128.0);
+}
+
+TEST(StatsCatalogTest, FromJsonRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(StatsCatalog::FromJson("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(StatsCatalog::FromJson("{", &error).has_value());
+  EXPECT_FALSE(StatsCatalog::FromJson(R"({"relations": [1, 2]})", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      StatsCatalog::FromJson(R"({"relations": {"R": {"calls": }}})", &error)
+          .has_value());
+}
+
+TEST(StatsCatalogTest, ObserveTwiceAccumulates) {
+  // The documented contract: Observe() merges, so observing two separate
+  // meters (two executions) sums their counters.
+  Catalog schema = Catalog::MustParse("R/1: o\n");
+  Database db = Database::MustParseFacts("R(\"a\").\n");
+  AccessPattern scan = AccessPattern::MustParse("o");
+  StatsCatalog stats;
+  for (int run = 0; run < 2; ++run) {
+    DatabaseSource backend(&db, &schema);
+    MeteredSource meter(&backend);
+    ASSERT_TRUE(meter.Fetch("R", scan, {std::nullopt}).ok());
+    stats.Observe(meter);
+  }
+  const RelationStats* r = stats.Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->calls, 2u);
+  EXPECT_EQ(r->tuples, 2u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -15,6 +15,8 @@
 //         [--facts facts.txt] [--improve]
 //         [--cache] [--cache-capacity N] [--retry N] [--max-calls N]
 //         [--parallelism N] [--no-batch] [--metrics text|json]
+//         [--cost-model static|adaptive] [--stats-in FILE]
+//         [--stats-out FILE] [--explain]
 //
 // The runtime flags configure the source-access stack (src/runtime/) that
 // ANSWER* runs against: --cache deduplicates repeated source calls (LRU,
@@ -25,6 +27,16 @@
 // the executor to the per-binding reference loop (--batch restores the
 // default), and --metrics prints the per-relation call/tuple/latency
 // table (text) or its JSON export.
+//
+// The cost-model flags configure the plan-quality layer (src/cost/):
+// --cost-model adaptive scores every (literal, access pattern) candidate
+// as expected_calls x observed p50 latency + expected tuples x tuple
+// cost, seeded from the --stats-in JSON snapshot (a previous run's
+// --stats-out); the default static model reproduces the classic
+// input-slot-count preference. --explain prints, per plan literal, the
+// chosen pattern, the rejected candidates, and the cost the model gave
+// each. --stats-out FILE writes the observed per-relation metrics of
+// this run as a stats snapshot for the next one (forces metering).
 //
 // With --views, the query may reference global-as-view definitions; it is
 // unfolded into a plan over the sources before analysis (Section 4.2's
@@ -41,11 +53,14 @@
 
 #include "ast/parser.h"
 #include "constraints/inclusion.h"
+#include "cost/cost_model.h"
+#include "cost/stats_catalog.h"
 #include "eval/answer_star.h"
 #include "eval/domain_enum.h"
 #include "eval/explain.h"
 #include "feasibility/answerable.h"
 #include "feasibility/compile.h"
+#include "feasibility/plan_star.h"
 #include "mediator/unfold.h"
 #include "runtime/source_stack.h"
 #include "schema/adornment.h"
@@ -65,7 +80,9 @@ int Usage(const char* argv0) {
                "usage: %s --schema FILE --query FILE [--constraints FILE] "
                "[--facts FILE] [--improve] [--cache] [--cache-capacity N] "
                "[--retry N] [--max-calls N] [--parallelism N] "
-               "[--batch|--no-batch] [--metrics text|json]\n",
+               "[--batch|--no-batch] [--metrics text|json] "
+               "[--cost-model static|adaptive] [--stats-in FILE] "
+               "[--stats-out FILE] [--explain]\n",
                argv0);
   return 2;
 }
@@ -83,6 +100,11 @@ int main(int argc, char** argv) {
   RuntimeOptions runtime;
   ExecutionOptions exec;
   const char* metrics_format = nullptr;
+  const char* cost_model_name = "static";
+  bool cost_model_explicit = false;
+  const char* stats_in_path = nullptr;
+  const char* stats_out_path = nullptr;
+  bool explain_plans = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char*& slot) {
@@ -139,6 +161,20 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       runtime.metering = true;
+    } else if (std::strcmp(argv[i], "--cost-model") == 0) {
+      if (!next(cost_model_name)) return Usage(argv[0]);
+      if (std::strcmp(cost_model_name, "static") != 0 &&
+          std::strcmp(cost_model_name, "adaptive") != 0) {
+        return Usage(argv[0]);
+      }
+      cost_model_explicit = true;
+    } else if (std::strcmp(argv[i], "--stats-in") == 0) {
+      if (!next(stats_in_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--stats-out") == 0) {
+      if (!next(stats_out_path)) return Usage(argv[0]);
+      runtime.metering = true;  // the snapshot is read off the meter
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain_plans = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -225,6 +261,49 @@ int main(int argc, char** argv) {
   CompileResult compiled = Compile(*query, *catalog, options);
   std::printf("%s\n", compiled.Report().c_str());
 
+  // Plan-quality layer (src/cost/): the model every pattern and ordering
+  // decision flows through. The static model is also used for --explain
+  // when no model was requested; exec.cost_model is only set when
+  // --cost-model was passed, so default runs keep the classic plans.
+  StatsCatalog stats;
+  if (stats_in_path != nullptr) {
+    std::optional<std::string> text = ReadFile(stats_in_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", stats_in_path);
+      return 1;
+    }
+    std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(*text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "stats error in %s: %s\n", stats_in_path,
+                   error.c_str());
+      return 1;
+    }
+    stats = std::move(*parsed);
+    std::printf("loaded stats for %zu relation(s) from %s\n", stats.size(),
+                stats_in_path);
+  }
+  StaticCostModel static_model(exec.pattern_preference);
+  AdaptiveCostModel adaptive_model(&stats,
+                                   CardinalityEstimates::FromCatalog(*catalog));
+  const bool adaptive = std::strcmp(cost_model_name, "adaptive") == 0;
+  const CostModel* model =
+      adaptive ? static_cast<const CostModel*>(&adaptive_model)
+               : static_cast<const CostModel*>(&static_model);
+  if (cost_model_explicit) exec.cost_model = model;
+
+  if (explain_plans) {
+    PlanStarResult plans = PlanStar(compiled.analyzed_query, *catalog);
+    const auto print_decisions = [&](const char* title,
+                                     const UnionQuery& plan) {
+      std::printf("\n%s plan decisions:\n", title);
+      for (const PlanExplanation& e : ExplainPlan(plan, *catalog, *model)) {
+        std::printf("%s", e.ToString().c_str());
+      }
+    };
+    print_decisions("underestimate", plans.under);
+    print_decisions("overestimate", plans.over);
+  }
+
   if (facts_path != nullptr) {
     std::optional<std::string> text = ReadFile(facts_path);
     if (!text) {
@@ -258,6 +337,19 @@ int main(int argc, char** argv) {
     if (runtime.Enabled()) {
       std::printf("runtime: %s\n", stack.stats().ToString().c_str());
     }
+    const auto write_stats_out = [&]() {
+      if (stats_out_path == nullptr) return;
+      StatsCatalog snapshot;
+      snapshot.Observe(*stack.meter());
+      std::ofstream out(stats_out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", stats_out_path);
+        return;
+      }
+      out << snapshot.ToJson() << "\n";
+      std::printf("wrote stats snapshot (%zu relation(s)) to %s\n",
+                  snapshot.size(), stats_out_path);
+    };
     if (!report.ok) {
       if (metrics_format != nullptr) {
         std::printf("\nmetrics:\n%s\n",
@@ -265,6 +357,7 @@ int main(int argc, char** argv) {
                         ? stack.meter()->ToJson().c_str()
                         : stack.meter()->ToText().c_str());
       }
+      write_stats_out();
       return 1;
     }
 
@@ -287,6 +380,7 @@ int main(int argc, char** argv) {
                       ? stack.meter()->ToJson().c_str()
                       : stack.meter()->ToText().c_str());
     }
+    write_stats_out();
   }
   return 0;
 }
