@@ -4,6 +4,12 @@
 //    without the call cache. Qᵘ's calls are a subset of Qᵒ's, so one cache
 //    shared across both plans absorbs the overlap; `calls_saved_pct` is
 //    the headline number (>= 30% on the running example).
+//  * BM_SharedCacheWarm — the cross-query version of the same overlap: a
+//    scenario's ANSWER* run executed twice against one process-wide
+//    SharedCacheStore (two SourceStacks, one store). The warm run's
+//    physical calls drop to zero with byte-identical reports;
+//    `warm_saved_pct` is the headline number (>= 50% required, 100%
+//    measured on every scenario).
 //  * BM_JoinPipelineCache — a selective join re-executed against a slow
 //    simulated service; hit ratio and backend calls with/without cache.
 //  * BM_RetryUnderFaults — a flaky service (seeded transient failures)
@@ -108,6 +114,69 @@ void BM_AnswerStarCacheSavings(benchmark::State& state) {
 }
 BENCHMARK(BM_AnswerStarCacheSavings)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}});
+
+// --- cross-query reuse through the process-wide store ---------------------
+
+struct SharedCacheRun {
+  bool ok = false;
+  std::uint64_t cold_calls = 0;  // physical calls of the first execution
+  std::uint64_t warm_calls = 0;  // physical calls of the repeat
+  double warm_hit_ratio = 0.0;
+  bool answers_match = false;
+};
+
+// One scenario's ANSWER* run executed twice, each through its own
+// SourceStack, both viewing one SharedCacheStore — the multi-query
+// session `ucqnc --queries --shared-cache` runs, in miniature.
+SharedCacheRun RunSharedCacheWarm(const Scenario& s) {
+  DatabaseSource backend(&s.database, &s.catalog);
+  SharedCacheStore store;
+  RuntimeOptions runtime;
+  runtime.shared_cache = &store;
+
+  SourceStack cold_stack(&backend, runtime);
+  AnswerStarReport cold = AnswerStar(s.query, s.catalog, cold_stack.source());
+  SharedCacheRun run;
+  run.cold_calls = backend.stats().calls;
+
+  SourceStack warm_stack(&backend, runtime);
+  AnswerStarReport warm = AnswerStar(s.query, s.catalog, warm_stack.source());
+  run.warm_calls = backend.stats().calls - run.cold_calls;
+  run.warm_hit_ratio = warm_stack.stats().CacheHitRatio();
+  run.ok = cold.ok && warm.ok;
+  run.answers_match = cold.under == warm.under && cold.over == warm.over &&
+                      cold.complete == warm.complete;
+  return run;
+}
+
+void BM_SharedCacheWarm(benchmark::State& state) {
+  std::vector<Scenario> scenarios = RuntimeScenarios();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= scenarios.size()) {
+    state.SkipWithError("no such scenario");
+    return;
+  }
+  const Scenario& s = scenarios[index];
+  SharedCacheRun run;
+  for (auto _ : state) {
+    run = RunSharedCacheWarm(s);
+    if (!run.ok) {
+      state.SkipWithError("ANSWER* failed");
+      return;
+    }
+  }
+  state.SetLabel(s.name);
+  state.counters["cold_calls"] = static_cast<double>(run.cold_calls);
+  state.counters["warm_calls"] = static_cast<double>(run.warm_calls);
+  state.counters["warm_saved_pct"] =
+      run.cold_calls == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(run.cold_calls - run.warm_calls) /
+                static_cast<double>(run.cold_calls);
+  state.counters["warm_hit_ratio"] = run.warm_hit_ratio;
+  state.counters["answers_match"] = run.answers_match ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SharedCacheWarm)->DenseRange(0, 4);
 
 Catalog JoinCatalog() {
   return Catalog::MustParse(R"(
@@ -479,6 +548,24 @@ void WriteBenchJson(const char* path) {
             ", \"sim_wall_us\": " + std::to_string(run.sim_wall_micros) +
             ", \"answers_match\": " +
             (run.answers == sequential.answers ? "true" : "false") + "}";
+  }
+  json += "]}, \"shared_cache\": {\"runs\": [";
+  first = true;
+  for (const Scenario& s : RuntimeScenarios()) {
+    SharedCacheRun run = RunSharedCacheWarm(s);
+    if (!first) json += ", ";
+    first = false;
+    const double saved_pct =
+        run.cold_calls == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(run.cold_calls - run.warm_calls) /
+                  static_cast<double>(run.cold_calls);
+    json += "{\"scenario\": \"" + s.name +
+            "\", \"cold_calls\": " + std::to_string(run.cold_calls) +
+            ", \"warm_calls\": " + std::to_string(run.warm_calls) +
+            ", \"warm_saved_pct\": " + std::to_string(saved_pct) +
+            ", \"answers_match\": " + (run.answers_match ? "true" : "false") +
+            "}";
   }
   json += "]}, \"cost_model\": {\"seeds\": " + std::to_string(kCostSeeds) +
           ", \"lookup_cardinality\": " + std::to_string(kLookupCardinality) +

@@ -134,6 +134,22 @@ double AdaptiveCostModel::LatencyMicros(const std::string& relation) const {
   return options_.default_latency_micros;
 }
 
+double AdaptiveCostModel::LatencyMicros(
+    const std::string& relation, const std::string& pattern_word) const {
+  if (stats_ != nullptr) {
+    const RelationStats* keyed = stats_->Find(relation, pattern_word);
+    if (keyed != nullptr && keyed->calls > 0) {
+      return keyed->p50_latency_micros;
+    }
+  }
+  return LatencyMicros(relation);  // pooled entry or the default
+}
+
+double AdaptiveCostModel::MissRate(const std::string& relation) const {
+  if (options_.shared_cache == nullptr) return 1.0;
+  return 1.0 - options_.shared_cache->RelationHitRate(relation);
+}
+
 double AdaptiveCostModel::ExpectedTuplesPerCall(
     const Literal& literal, const AccessPattern& pattern,
     const BoundVariables& bound) const {
@@ -142,7 +158,13 @@ double AdaptiveCostModel::ExpectedTuplesPerCall(
   // key selectivity far better than a uniform-selectivity guess.
   const std::size_t filtered = BoundInputSlots(literal, pattern, bound);
   if (filtered > 0 && stats_ != nullptr) {
-    const RelationStats* observed = stats_->Find(literal.relation());
+    // The keyed entry is the exact thing wanted here — the observed
+    // result size of this very operation; the pooled entry mixes in the
+    // relation's other patterns (a scan's full-table results would dwarf
+    // a point lookup's) and is only a fallback for pre-split snapshots.
+    const RelationStats* observed =
+        stats_->Find(literal.relation(), pattern.word());
+    if (observed == nullptr) observed = stats_->Find(literal.relation());
     if (observed != nullptr && observed->calls > 0) {
       return observed->MeanTuplesPerCall();
     }
@@ -170,7 +192,13 @@ double AdaptiveCostModel::PatternCost(const Literal& literal,
           : 1.0;
   const double expected_tuples =
       expected_calls * ExpectedTuplesPerCall(literal, pattern, bound);
-  return expected_calls * LatencyMicros(literal.relation()) +
+  // Only the expected *misses* pay transport latency: against a shared
+  // cache that has been serving this relation, most repeats never leave
+  // the process. The tuple term stays — cached tuples are still received
+  // and filtered client-side.
+  const double physical_calls =
+      expected_calls * MissRate(literal.relation());
+  return physical_calls * LatencyMicros(literal.relation(), pattern.word()) +
          expected_tuples * options_.tuple_cost_micros;
 }
 

@@ -8,6 +8,7 @@
 #include "ast/query.h"
 #include "cost/estimates.h"
 #include "cost/stats_catalog.h"
+#include "runtime/shared_cache.h"
 #include "schema/adornment.h"
 #include "schema/catalog.h"
 
@@ -136,6 +137,12 @@ struct AdaptiveCostOptions {
   double default_latency_micros = 1000.0;
   // Static fallbacks for the expected-tuple terms.
   StaticCostOptions static_options;
+  // The process-wide cache the execution will run against, if any (not
+  // owned). When set, the latency term of each candidate is scaled by
+  // the relation's observed *miss* rate: a cached-hot relation's repeat
+  // calls mostly never reach the transport, so its patterns price near
+  // zero and the model stops avoiding it.
+  const SharedCacheStore* shared_cache = nullptr;
 };
 
 // Scores each (literal, pattern) candidate as
@@ -174,6 +181,15 @@ class AdaptiveCostModel : public CostModel {
   // if the stats catalog has the relation, the configured default
   // otherwise. Exposed for tests and --explain.
   double LatencyMicros(const std::string& relation) const;
+  // Same, but preferring the (relation, pattern) keyed entry when the
+  // catalog has one — a service's operations can have wildly different
+  // latencies, and the pooled number would misprice both.
+  double LatencyMicros(const std::string& relation,
+                       const std::string& pattern_word) const;
+
+  // 1 - the shared cache's observed hit rate for `relation`; 1.0 when no
+  // shared cache is configured (every expected call is physical).
+  double MissRate(const std::string& relation) const;
 
  private:
   // Expected tuples one call through `pattern` returns.

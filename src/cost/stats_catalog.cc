@@ -5,37 +5,67 @@
 
 namespace ucqn {
 
-void StatsCatalog::Record(const std::string& relation,
-                          const RelationStats& observed) {
-  RelationStats& entry = relations_[relation];
+namespace {
+
+// Counters add; the p50 becomes the call-count-weighted average of old
+// and new (percentiles cannot be merged exactly from aggregates, and
+// ranking candidates only needs the order of magnitude).
+void MergeInto(RelationStats* entry, const RelationStats& observed) {
   const double total_calls =
-      static_cast<double>(entry.calls) + static_cast<double>(observed.calls);
+      static_cast<double>(entry->calls) + static_cast<double>(observed.calls);
   if (total_calls > 0.0) {
-    entry.p50_latency_micros =
-        (entry.p50_latency_micros * static_cast<double>(entry.calls) +
+    entry->p50_latency_micros =
+        (entry->p50_latency_micros * static_cast<double>(entry->calls) +
          observed.p50_latency_micros * static_cast<double>(observed.calls)) /
         total_calls;
   }
-  entry.calls += observed.calls;
-  entry.errors += observed.errors;
-  entry.tuples += observed.tuples;
+  entry->calls += observed.calls;
+  entry->errors += observed.errors;
+  entry->tuples += observed.tuples;
+}
+
+}  // namespace
+
+void StatsCatalog::Record(const std::string& relation,
+                          const RelationStats& observed) {
+  MergeInto(&relations_[relation], observed);
+}
+
+void StatsCatalog::Record(const std::string& relation,
+                          const std::string& pattern_word,
+                          const RelationStats& observed) {
+  MergeInto(&patterns_[relation][pattern_word], observed);
+  Record(relation, observed);  // pooled stays the sum of the keyed entries
 }
 
 void StatsCatalog::Observe(const MeteredSource& meter) {
-  for (const auto& [relation, metrics] : meter.per_relation()) {
-    RelationStats snapshot;
-    snapshot.calls = metrics.calls;
-    snapshot.errors = metrics.errors;
-    snapshot.tuples = metrics.tuples;
-    snapshot.p50_latency_micros = static_cast<double>(
-        metrics.latency.PercentileUpperBoundMicros(0.5));
-    Record(relation, snapshot);
+  // Only the per-(relation, pattern) split is read: the keyed Record
+  // folds each snapshot into the pooled entry too, and reading
+  // per_relation() as well would double-count.
+  for (const auto& [relation, split] : meter.per_access()) {
+    for (const auto& [word, metrics] : split) {
+      RelationStats snapshot;
+      snapshot.calls = metrics.calls;
+      snapshot.errors = metrics.errors;
+      snapshot.tuples = metrics.tuples;
+      snapshot.p50_latency_micros = static_cast<double>(
+          metrics.latency.PercentileUpperBoundMicros(0.5));
+      Record(relation, word, snapshot);
+    }
   }
 }
 
 const RelationStats* StatsCatalog::Find(const std::string& relation) const {
   auto it = relations_.find(relation);
   return it == relations_.end() ? nullptr : &it->second;
+}
+
+const RelationStats* StatsCatalog::Find(
+    const std::string& relation, const std::string& pattern_word) const {
+  auto it = patterns_.find(relation);
+  if (it == patterns_.end()) return nullptr;
+  auto entry = it->second.find(pattern_word);
+  return entry == it->second.end() ? nullptr : &entry->second;
 }
 
 namespace {
@@ -117,24 +147,51 @@ class JsonReader {
   std::string error_;
 };
 
-bool ReadRelationStats(JsonReader* in, RelationStats* stats) {
+// Reads one stats object. When `patterns` is non-null a nested
+// "patterns" object of pattern-word -> stats is accepted (the keyed
+// split); pre-split snapshots simply don't have the key and load as
+// pooled-only.
+bool ReadRelationStats(JsonReader* in, RelationStats* stats,
+                       std::map<std::string, RelationStats>* patterns) {
   if (!in->Consume('{')) return false;
   if (in->Peek('}')) return in->Consume('}');
   while (true) {
     std::string key;
-    double value = 0.0;
-    if (!in->ReadString(&key) || !in->Consume(':') || !in->ReadNumber(&value)) {
-      return false;
+    if (!in->ReadString(&key) || !in->Consume(':')) return false;
+    if (key == "patterns" && patterns != nullptr) {
+      if (!in->Consume('{')) return false;
+      if (in->Peek('}')) {
+        in->Consume('}');
+      } else {
+        while (true) {
+          std::string word;
+          RelationStats keyed;
+          if (!in->ReadString(&word) || !in->Consume(':') ||
+              !ReadRelationStats(in, &keyed, nullptr)) {
+            return false;
+          }
+          (*patterns)[word] = keyed;
+          if (in->Peek(',')) {
+            in->Consume(',');
+            continue;
+          }
+          if (!in->Consume('}')) return false;
+          break;
+        }
+      }
+    } else {
+      double value = 0.0;
+      if (!in->ReadNumber(&value)) return false;
+      if (key == "calls") {
+        stats->calls = static_cast<std::uint64_t>(value);
+      } else if (key == "errors") {
+        stats->errors = static_cast<std::uint64_t>(value);
+      } else if (key == "tuples") {
+        stats->tuples = static_cast<std::uint64_t>(value);
+      } else if (key == "p50_latency_us") {
+        stats->p50_latency_micros = value;
+      }  // unknown scalar keys are ignored for forward compatibility
     }
-    if (key == "calls") {
-      stats->calls = static_cast<std::uint64_t>(value);
-    } else if (key == "errors") {
-      stats->errors = static_cast<std::uint64_t>(value);
-    } else if (key == "tuples") {
-      stats->tuples = static_cast<std::uint64_t>(value);
-    } else if (key == "p50_latency_us") {
-      stats->p50_latency_micros = value;
-    }  // unknown scalar keys are ignored for forward compatibility
     if (in->Peek(',')) {
       in->Consume(',');
       continue;
@@ -145,17 +202,36 @@ bool ReadRelationStats(JsonReader* in, RelationStats* stats) {
 
 }  // namespace
 
+namespace {
+
+std::string StatsJsonFields(const RelationStats& stats) {
+  return "\"calls\": " + std::to_string(stats.calls) +
+         ", \"errors\": " + std::to_string(stats.errors) +
+         ", \"tuples\": " + std::to_string(stats.tuples) +
+         ", \"p50_latency_us\": " + FormatDouble(stats.p50_latency_micros);
+}
+
+}  // namespace
+
 std::string StatsCatalog::ToJson() const {
   std::string out = "{\"relations\": {";
   bool first = true;
   for (const auto& [relation, stats] : relations_) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + relation + "\": {\"calls\": " + std::to_string(stats.calls) +
-           ", \"errors\": " + std::to_string(stats.errors) +
-           ", \"tuples\": " + std::to_string(stats.tuples) +
-           ", \"p50_latency_us\": " + FormatDouble(stats.p50_latency_micros) +
-           "}";
+    out += "\"" + relation + "\": {" + StatsJsonFields(stats);
+    auto split = patterns_.find(relation);
+    if (split != patterns_.end() && !split->second.empty()) {
+      out += ", \"patterns\": {";
+      bool first_pattern = true;
+      for (const auto& [word, keyed] : split->second) {
+        if (!first_pattern) out += ", ";
+        first_pattern = false;
+        out += "\"" + word + "\": {" + StatsJsonFields(keyed) + "}";
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "}}";
   return out;
@@ -181,11 +257,16 @@ std::optional<StatsCatalog> StatsCatalog::FromJson(const std::string& text,
     while (true) {
       std::string relation;
       RelationStats stats;
+      std::map<std::string, RelationStats> keyed;
       if (!in.ReadString(&relation) || !in.Consume(':') ||
-          !ReadRelationStats(&in, &stats)) {
+          !ReadRelationStats(&in, &stats, &keyed)) {
         return fail("malformed relation entry");
       }
-      catalog.Record(relation, stats);
+      // Direct assignment, not Record: the pooled entry already includes
+      // the keyed ones (Record would double-count it) and must survive
+      // the round-trip byte-identically.
+      catalog.relations_[relation] = stats;
+      if (!keyed.empty()) catalog.patterns_[relation] = std::move(keyed);
       if (in.Peek(',')) {
         in.Consume(',');
         continue;

@@ -41,36 +41,63 @@ class StatsCatalog {
  public:
   StatsCatalog() = default;
 
-  // Merges `observed` into the entry for `relation`: counters add, the
-  // p50 latency becomes the call-count-weighted average of old and new.
+  // Merges `observed` into the pooled entry for `relation`: counters add,
+  // the p50 latency becomes the call-count-weighted average of old and
+  // new.
   void Record(const std::string& relation, const RelationStats& observed);
 
-  // Merges every per-relation entry of `meter` (one execution's worth of
-  // metrics) into this catalog. Call between executions; MeteredSource
-  // counts cumulatively, so observe a given meter only once (or Reset it).
+  // Merges `observed` into the keyed entry for (relation, pattern word)
+  // AND folds it into the pooled entry, so pooled stats stay the sum of
+  // the keyed ones. The keyed split is what the adaptive model prefers:
+  // one service's operations (the paper's `B^oio`-style patterns) can
+  // have wildly different latencies, and pooling them misprices both.
+  void Record(const std::string& relation, const std::string& pattern_word,
+              const RelationStats& observed);
+
+  // Merges every per-(relation, pattern) entry of `meter` (one
+  // execution's worth of metrics) into this catalog. Call between
+  // executions; MeteredSource counts cumulatively, so observe a given
+  // meter only once (or Reset it).
   void Observe(const MeteredSource& meter);
 
-  // nullptr when the relation has never been observed.
+  // Pooled stats; nullptr when the relation has never been observed.
   const RelationStats* Find(const std::string& relation) const;
+  // Keyed stats for one access pattern; nullptr when that (relation,
+  // pattern) pair has never been observed — e.g. a snapshot written
+  // before the split existed (migration: its pooled entries still load
+  // and Find(relation) still answers).
+  const RelationStats* Find(const std::string& relation,
+                            const std::string& pattern_word) const;
 
   bool empty() const { return relations_.empty(); }
   std::size_t size() const { return relations_.size(); }
   const std::map<std::string, RelationStats>& relations() const {
     return relations_;
   }
+  // Relation -> pattern word -> keyed stats. Relations loaded from an
+  // old pooled-only snapshot have no entry here.
+  const std::map<std::string, std::map<std::string, RelationStats>>&
+  patterns() const {
+    return patterns_;
+  }
 
   // {"relations": {"R": {"calls": 3, "errors": 0, "tuples": 12,
-  //                      "p50_latency_us": 500.0}, ...}}
+  //                      "p50_latency_us": 500.0,
+  //                      "patterns": {"io": {...}, ...}}, ...}}
+  // The "patterns" key is omitted for relations without keyed stats, so a
+  // pooled-only catalog emits the pre-split format unchanged.
   std::string ToJson() const;
 
   // Parses ToJson()'s format (unknown scalar keys are ignored, so exports
-  // from newer versions load). Returns nullopt and sets `*error` on
+  // from newer versions load; pre-split snapshots without "patterns"
+  // load as pooled-only entries). Returns nullopt and sets `*error` on
   // malformed input.
   static std::optional<StatsCatalog> FromJson(const std::string& text,
                                               std::string* error = nullptr);
 
  private:
   std::map<std::string, RelationStats> relations_;
+  std::map<std::string, std::map<std::string, RelationStats>> patterns_;
 };
 
 }  // namespace ucqn

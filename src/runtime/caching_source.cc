@@ -4,123 +4,172 @@
 
 namespace ucqn {
 
-namespace {
-
-std::string CacheKey(const std::string& relation, const AccessPattern& pattern,
-                     const std::vector<std::optional<Term>>& inputs) {
-  std::string key = relation + "^" + pattern.word();
-  for (std::size_t j = 0; j < inputs.size(); ++j) {
-    key += "|";
-    // Only input slots participate in the call signature; the source
-    // ignores values at output slots, so two calls differing only there
-    // are the same call.
-    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
-      key += inputs[j]->ToString();
-    }
-  }
-  return key;
+CachingSource::CachingSource(Source* inner, std::size_t capacity)
+    : inner_(inner), capacity_(capacity) {
+  // One shard reproduces the original exact global LRU order; the store
+  // lives and dies with this view, so entries never expire by age.
+  SharedCacheStore::Options options;
+  options.shards = 1;
+  options.max_entries = capacity;
+  owned_store_ = std::make_unique<SharedCacheStore>(options);
+  store_ = owned_store_.get();
 }
 
-}  // namespace
+CachingSource::CachingSource(Source* inner, SharedCacheStore& store)
+    : inner_(inner), capacity_(0), store_(&store) {}
 
-void CachingSource::Insert(std::string key, const std::string& relation,
-                           std::vector<Tuple> tuples) {
-  entries_.push_front(Entry{key, relation, std::move(tuples)});
-  index_.emplace(std::move(key), entries_.begin());
-  if (capacity_ != 0 && entries_.size() > capacity_) {
-    index_.erase(entries_.back().key);
-    entries_.pop_back();
-    ++stats_.evictions;
+FetchResult CachingSource::FetchShared(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs, const std::string& key) {
+  while (true) {
+    SharedCacheStore::Lookup lookup = store_->TryAcquire(key, relation);
+    if (lookup.stale_drop) ++stats_.stale_drops;
+    switch (lookup.state) {
+      case SharedCacheStore::LookupState::kHit:
+        ++stats_.hits;
+        return FetchResult::Ok(std::move(lookup.tuples));
+      case SharedCacheStore::LookupState::kFollower: {
+        // Another execution is fetching this key; reuse its result. An
+        // abandoned flight (the leader's call failed) falls through to a
+        // fresh lookup so this execution can try the call itself.
+        auto tuples = store_->WaitForFlight(key);
+        if (tuples.has_value()) {
+          ++stats_.hits;
+          ++stats_.flight_waits;
+          return FetchResult::Ok(std::move(*tuples));
+        }
+        continue;
+      }
+      case SharedCacheStore::LookupState::kLeader: {
+        ++stats_.misses;
+        FetchResult result = inner_->Fetch(relation, pattern, inputs);
+        if (result.ok()) {
+          stats_.evictions += store_->Publish(key, relation, result.tuples);
+        } else {
+          store_->Abandon(key);  // failures are not cached
+        }
+        return result;
+      }
+    }
   }
 }
 
 FetchResult CachingSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
-  std::string key = CacheKey(relation, pattern, inputs);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++stats_.hits;
-    // Move to the front of the LRU order.
-    entries_.splice(entries_.begin(), entries_, it->second);
-    return FetchResult::Ok(it->second->tuples);
-  }
-  ++stats_.misses;
-  FetchResult result = inner_->Fetch(relation, pattern, inputs);
-  if (!result.ok()) return result;  // failures are not cached
-  Insert(std::move(key), relation, result.tuples);
-  return result;
+  return FetchShared(relation, pattern, inputs,
+                     SourceCacheKey(relation, pattern, inputs));
 }
 
 std::vector<FetchResult> CachingSource::FetchBatch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::vector<std::optional<Term>>>& inputs) {
   const std::size_t n = inputs.size();
-  constexpr std::size_t kHit = static_cast<std::size_t>(-1);
   std::vector<FetchResult> out(n);
   std::vector<std::string> keys(n);
-  // Lookup phase: answer hits, group misses by key. The first requester of
-  // a missed key becomes its "leader"; later requesters of the same key
-  // piggyback on the single flight and count as hits.
-  std::unordered_map<std::string, std::size_t> flight;  // key -> flight slot
-  std::vector<std::size_t> leaders;      // flight slot -> request index
-  std::vector<std::size_t> flight_of(n, kHit);
+  // Group the wave by cache key *before* touching the store: each
+  // distinct key gets exactly one TryAcquire, so a wave can never become
+  // a follower of its own flight. The first requester of a key is its
+  // group leader; later requesters piggyback and count as hits.
+  std::unordered_map<std::string, std::size_t> group_of;  // key -> group
+  std::vector<std::size_t> group_leader;   // group -> request index
+  std::vector<std::vector<std::size_t>> group_members;
+  std::vector<std::size_t> request_group(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = CacheKey(relation, pattern, inputs[i]);
-    auto it = index_.find(keys[i]);
-    if (it != index_.end()) {
-      ++stats_.hits;
-      entries_.splice(entries_.begin(), entries_, it->second);
-      out[i] = FetchResult::Ok(it->second->tuples);
-      continue;
-    }
-    auto [fit, fresh] = flight.try_emplace(keys[i], leaders.size());
+    keys[i] = SourceCacheKey(relation, pattern, inputs[i]);
+    auto [it, fresh] = group_of.try_emplace(keys[i], group_leader.size());
     if (fresh) {
-      ++stats_.misses;
-      leaders.push_back(i);
-    } else {
-      ++stats_.hits;
+      group_leader.push_back(i);
+      group_members.emplace_back();
     }
-    flight_of[i] = fit->second;
+    request_group[i] = it->second;
+    group_members[it->second].push_back(i);
   }
-  if (leaders.empty()) return out;
+
+  // Lookup phase: one store lookup per distinct key. Hits answer their
+  // whole group; leader groups are collected for one batched fetch;
+  // follower groups (in flight in another execution) are parked until
+  // after this wave's own leaders publish — waiting first could deadlock
+  // two waves leading/following each other's keys.
+  enum class Role { kHit, kLeader, kFollower };
+  std::vector<Role> role(group_leader.size(), Role::kHit);
+  std::vector<std::size_t> leader_groups;
+  std::vector<std::size_t> follower_groups;
+  for (std::size_t g = 0; g < group_leader.size(); ++g) {
+    const std::size_t i = group_leader[g];
+    SharedCacheStore::Lookup lookup = store_->TryAcquire(keys[i], relation);
+    if (lookup.stale_drop) ++stats_.stale_drops;
+    switch (lookup.state) {
+      case SharedCacheStore::LookupState::kHit: {
+        stats_.hits += group_members[g].size();
+        for (std::size_t member : group_members[g]) {
+          out[member] = FetchResult::Ok(lookup.tuples);
+        }
+        break;
+      }
+      case SharedCacheStore::LookupState::kLeader:
+        role[g] = Role::kLeader;
+        leader_groups.push_back(g);
+        ++stats_.misses;
+        stats_.hits += group_members[g].size() - 1;  // piggybacked dupes
+        break;
+      case SharedCacheStore::LookupState::kFollower:
+        role[g] = Role::kFollower;
+        follower_groups.push_back(g);
+        stats_.hits += group_members[g].size();
+        stats_.flight_waits += 1;
+        break;
+    }
+  }
 
   // Fetch phase: one request per distinct missed key, batched so the
-  // layers below can overlap them.
-  std::vector<std::vector<std::optional<Term>>> missed;
-  missed.reserve(leaders.size());
-  for (std::size_t request : leaders) missed.push_back(inputs[request]);
-  std::vector<FetchResult> fetched =
-      inner_->FetchBatch(relation, pattern, missed);
-
-  // Insert phase: cache each distinct successful result once, then fan
-  // every result (including failures, which stay uncached) back out to
-  // all requesters of its key.
-  for (std::size_t f = 0; f < leaders.size(); ++f) {
-    if (fetched[f].ok()) {
-      Insert(keys[leaders[f]], relation, fetched[f].tuples);
+  // layers below can overlap them; then publish successes (waking any
+  // cross-execution followers) and abandon failures so nothing stays
+  // pinned in flight.
+  if (!leader_groups.empty()) {
+    std::vector<std::vector<std::optional<Term>>> missed;
+    missed.reserve(leader_groups.size());
+    for (std::size_t g : leader_groups) {
+      missed.push_back(inputs[group_leader[g]]);
+    }
+    std::vector<FetchResult> fetched =
+        inner_->FetchBatch(relation, pattern, missed);
+    for (std::size_t f = 0; f < leader_groups.size(); ++f) {
+      const std::size_t g = leader_groups[f];
+      const std::string& key = keys[group_leader[g]];
+      if (fetched[f].ok()) {
+        stats_.evictions += store_->Publish(key, relation, fetched[f].tuples);
+      } else {
+        store_->Abandon(key);
+      }
+      for (std::size_t member : group_members[g]) out[member] = fetched[f];
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (flight_of[i] != kHit) out[i] = fetched[flight_of[i]];
+
+  // Wait phase: collect the other executions' flights. Abandoned flights
+  // fall back to the sequential acquire loop (rare: the other execution's
+  // call failed), which re-counts that lookup on whatever path it takes.
+  for (std::size_t g : follower_groups) {
+    const std::size_t i = group_leader[g];
+    FetchResult result;
+    auto tuples = store_->WaitForFlight(keys[i]);
+    if (tuples.has_value()) {
+      result = FetchResult::Ok(std::move(*tuples));
+    } else {
+      stats_.hits -= group_members[g].size();  // undo the optimistic count
+      stats_.flight_waits -= 1;
+      result = FetchShared(relation, pattern, inputs[i], keys[i]);
+      if (result.ok()) stats_.hits += group_members[g].size() - 1;
+    }
+    for (std::size_t member : group_members[g]) out[member] = result;
   }
   return out;
 }
 
-void CachingSource::Invalidate() {
-  entries_.clear();
-  index_.clear();
-}
+void CachingSource::Invalidate() { store_->InvalidateAll(); }
 
 void CachingSource::InvalidateRelation(const std::string& relation) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->relation == relation) {
-      index_.erase(it->key);
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  store_->InvalidateRelation(relation);
 }
 
 }  // namespace ucqn

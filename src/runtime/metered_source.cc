@@ -61,7 +61,8 @@ FetchResult MeteredSource::Fetch(
       clock_ != nullptr ? clock_->NowMicros() - start : 0;
 
   RelationMetrics& rel = per_relation_[relation];
-  for (RelationMetrics* m : {&totals_, &rel}) {
+  RelationMetrics& access = per_access_[relation][pattern.word()];
+  for (RelationMetrics* m : {&totals_, &rel, &access}) {
     ++m->calls;
     if (result.ok()) {
       m->tuples += result.tuples.size();
@@ -83,7 +84,8 @@ std::vector<FetchResult> MeteredSource::FetchBatch(
       clock_ != nullptr ? clock_->NowMicros() - start : 0;
 
   RelationMetrics& rel = per_relation_[relation];
-  for (RelationMetrics* m : {&totals_, &rel}) {
+  RelationMetrics& access = per_access_[relation][pattern.word()];
+  for (RelationMetrics* m : {&totals_, &rel, &access}) {
     ++m->batches;
     m->batch_size.Record(inputs.size());
     // The wave is timed as one unit: under a parallel dispatcher the
@@ -104,6 +106,7 @@ std::vector<FetchResult> MeteredSource::FetchBatch(
 void MeteredSource::Reset() {
   totals_ = RelationMetrics{};
   per_relation_.clear();
+  per_access_.clear();
 }
 
 namespace {
@@ -121,7 +124,10 @@ std::string MetricsLine(const std::string& name, const RelationMetrics& m) {
   return line;
 }
 
-std::string MetricsJson(const RelationMetrics& m) {
+// `extra_fields` is spliced into the object before its closing brace
+// (", \"key\": ..." form) — used to nest the per-pattern split.
+std::string MetricsJson(const RelationMetrics& m,
+                        const std::string& extra_fields = "") {
   std::string out = "{\"calls\": " + std::to_string(m.calls) +
                     ", \"errors\": " + std::to_string(m.errors) +
                     ", \"tuples\": " + std::to_string(m.tuples) +
@@ -144,7 +150,7 @@ std::string MetricsJson(const RelationMetrics& m) {
     if (b != 0) out += ", ";
     out += std::to_string(m.latency.buckets()[b]);
   }
-  out += "]}}";
+  out += "]}" + extra_fields + "}";
   return out;
 }
 
@@ -154,6 +160,14 @@ std::string MeteredSource::ToText() const {
   std::string out;
   for (const auto& [name, metrics] : per_relation_) {
     out += MetricsLine(name, metrics) + "\n";
+    auto split = per_access_.find(name);
+    if (split != per_access_.end() && split->second.size() > 1) {
+      // Only worth a line per pattern when the relation was actually
+      // reached through more than one.
+      for (const auto& [word, access] : split->second) {
+        out += "  " + MetricsLine(name + "^" + word, access) + "\n";
+      }
+    }
   }
   out += MetricsLine("TOTAL", totals_);
   return out;
@@ -166,7 +180,19 @@ std::string MeteredSource::ToJson() const {
   for (const auto& [name, metrics] : per_relation_) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + name + "\": " + MetricsJson(metrics);
+    std::string patterns;
+    auto split = per_access_.find(name);
+    if (split != per_access_.end()) {
+      patterns = ", \"patterns\": {";
+      bool first_pattern = true;
+      for (const auto& [word, access] : split->second) {
+        if (!first_pattern) patterns += ", ";
+        first_pattern = false;
+        patterns += "\"" + word + "\": " + MetricsJson(access);
+      }
+      patterns += "}";
+    }
+    out += "\"" + name + "\": " + MetricsJson(metrics, patterns);
   }
   out += "}}";
   return out;

@@ -87,6 +87,15 @@ class MeteredSource : public Source {
   const std::map<std::string, RelationMetrics>& per_relation() const {
     return per_relation_;
   }
+  // Relation -> pattern word -> metrics. The same counters as
+  // per_relation(), split by the access pattern the call went through —
+  // the paper's `B^oio`-style operations of one service can have wildly
+  // different latencies, and pooling them would misprice both (see
+  // StatsCatalog, which snapshots this split per (relation, pattern)).
+  const std::map<std::string, std::map<std::string, RelationMetrics>>&
+  per_access() const {
+    return per_access_;
+  }
   void Reset();
 
   // Human-readable table, one line per relation plus a totals line.
@@ -100,6 +109,7 @@ class MeteredSource : public Source {
   Clock* clock_;
   RelationMetrics totals_;
   std::map<std::string, RelationMetrics> per_relation_;
+  std::map<std::string, std::map<std::string, RelationMetrics>> per_access_;
 };
 
 }  // namespace ucqn

@@ -1,0 +1,296 @@
+#include "runtime/shared_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ucqn {
+
+std::string SourceCacheKey(const std::string& relation,
+                           const AccessPattern& pattern,
+                           const std::vector<std::optional<Term>>& inputs) {
+  std::string key = relation + "^" + pattern.word();
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    key += "|";
+    // Only input slots participate in the call signature; the source
+    // ignores values at output slots, so two calls differing only there
+    // are the same call (footnote 4).
+    if (pattern.IsInputSlot(j) && inputs[j].has_value()) {
+      key += inputs[j]->ToString();
+    }
+  }
+  return key;
+}
+
+SharedCacheStore::SharedCacheStore() : SharedCacheStore(Options()) {}
+
+SharedCacheStore::SharedCacheStore(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.clock == nullptr) {
+    owned_clock_ = std::make_unique<SteadyClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = options_.clock;
+  }
+  // Split the global limits evenly; a shard always gets at least one
+  // entry/tuple of room so a tiny budget still caches something.
+  shard_max_entries_ =
+      options_.max_entries == 0
+          ? 0
+          : std::max<std::size_t>(1, options_.max_entries / options_.shards);
+  shard_budget_tuples_ =
+      options_.budget_tuples == 0
+          ? 0
+          : std::max<std::size_t>(1, options_.budget_tuples / options_.shards);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SharedCacheStore::Shard& SharedCacheStore::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const SharedCacheStore::Shard& SharedCacheStore::ShardFor(
+    const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void SharedCacheStore::SetRelationTtl(const std::string& relation,
+                                      std::uint64_t ttl_micros) {
+  std::lock_guard<std::mutex> lock(ttl_mu_);
+  relation_ttls_[relation] = ttl_micros;
+}
+
+std::uint64_t SharedCacheStore::TtlFor(const std::string& relation) const {
+  std::lock_guard<std::mutex> lock(ttl_mu_);
+  auto it = relation_ttls_.find(relation);
+  return it == relation_ttls_.end() ? options_.default_ttl_micros : it->second;
+}
+
+void SharedCacheStore::Erase(Shard& shard, std::list<Entry>::iterator it) {
+  shard.tuples_held -= it->tuple_cost;
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+}
+
+SharedCacheStore::Lookup SharedCacheStore::TryAcquire(
+    const std::string& key, const std::string& relation) {
+  Shard& shard = ShardFor(key);
+  Lookup result;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Entry& entry = *it->second;
+    if (entry.expire_at_micros != 0 &&
+        clock_->NowMicros() >= entry.expire_at_micros) {
+      // Expired: drop it and fall through to the miss path.
+      ++shard.stats.stale_drops;
+      result.stale_drop = true;
+      Erase(shard, it->second);
+    } else {
+      ++shard.stats.hits;
+      ++shard.per_relation[relation].hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      result.state = LookupState::kHit;
+      result.tuples = entry.tuples;
+      return result;
+    }
+  }
+  if (shard.flights.count(key) > 0) {
+    // Someone else is already fetching this key: coalesce. Counted as a
+    // hit — no physical call will be made on our behalf.
+    ++shard.stats.hits;
+    ++shard.stats.flight_waits;
+    ++shard.per_relation[relation].hits;
+    result.state = LookupState::kFollower;
+    return result;
+  }
+  ++shard.stats.misses;
+  ++shard.per_relation[relation].misses;
+  shard.flights.insert(key);
+  result.state = LookupState::kLeader;
+  return result;
+}
+
+std::size_t SharedCacheStore::Publish(const std::string& key,
+                                      const std::string& relation,
+                                      std::vector<Tuple> tuples) {
+  const std::uint64_t ttl = TtlFor(relation);
+  Shard& shard = ShardFor(key);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.flights.erase(key);
+    // A stale follower of an abandoned flight may publish a key that was
+    // republished meanwhile; replace, keeping occupancy consistent.
+    auto existing = shard.index.find(key);
+    if (existing != shard.index.end()) Erase(shard, existing->second);
+
+    Entry entry;
+    entry.key = key;
+    entry.relation = relation;
+    entry.tuple_cost = std::max<std::size_t>(1, tuples.size());
+    entry.tuples = std::move(tuples);
+    entry.expire_at_micros = ttl == 0 ? 0 : clock_->NowMicros() + ttl;
+    shard.tuples_held += entry.tuple_cost;
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.stats.inserts;
+
+    while (!shard.lru.empty() &&
+           ((shard_max_entries_ != 0 &&
+             shard.lru.size() > shard_max_entries_) ||
+            (shard_budget_tuples_ != 0 &&
+             shard.tuples_held > shard_budget_tuples_))) {
+      // Never evict the entry we just inserted — a result larger than the
+      // whole budget still serves this execution's repeats.
+      if (std::prev(shard.lru.end()) == shard.lru.begin()) break;
+      Erase(shard, std::prev(shard.lru.end()));
+      ++shard.stats.evictions;
+      ++evicted;
+    }
+  }
+  shard.cv.notify_all();
+  return evicted;
+}
+
+void SharedCacheStore::Abandon(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.flights.erase(key);
+  }
+  shard.cv.notify_all();
+}
+
+std::optional<std::vector<Tuple>> SharedCacheStore::WaitForFlight(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.cv.wait(lock, [&] { return shard.flights.count(key) == 0; });
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;  // abandoned or evicted
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->tuples;
+}
+
+void SharedCacheStore::InvalidateRelation(const std::string& relation) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->relation == relation) {
+        auto victim = it++;
+        Erase(*shard, victim);
+        ++shard->stats.invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SharedCacheStore::InvalidateAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats.invalidated += shard->lru.size();
+    shard->lru.clear();
+    shard->index.clear();
+    shard->tuples_held = 0;
+  }
+}
+
+SharedCacheStore::Stats SharedCacheStore::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.flight_waits += shard->stats.flight_waits;
+    total.inserts += shard->stats.inserts;
+    total.evictions += shard->stats.evictions;
+    total.stale_drops += shard->stats.stale_drops;
+    total.invalidated += shard->stats.invalidated;
+    total.entries += shard->lru.size();
+    total.tuples += shard->tuples_held;
+  }
+  return total;
+}
+
+std::map<std::string, SharedCacheStore::RelationCounters>
+SharedCacheStore::relation_counters() const {
+  std::map<std::string, RelationCounters> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [relation, counters] : shard->per_relation) {
+      out[relation].hits += counters.hits;
+      out[relation].misses += counters.misses;
+    }
+  }
+  return out;
+}
+
+double SharedCacheStore::RelationHitRate(const std::string& relation) const {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->per_relation.find(relation);
+    if (it != shard->per_relation.end()) {
+      hits += it->second.hits;
+      misses += it->second.misses;
+    }
+  }
+  const std::uint64_t lookups = hits + misses;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+std::size_t SharedCacheStore::size() const { return stats().entries; }
+
+std::size_t SharedCacheStore::tuples() const { return stats().tuples; }
+
+std::string SharedCacheStore::ToText() const {
+  const Stats s = stats();
+  std::string out =
+      "shared-cache: entries=" + std::to_string(s.entries) +
+      " tuples=" + std::to_string(s.tuples) +
+      " hits=" + std::to_string(s.hits) +
+      " misses=" + std::to_string(s.misses) +
+      " flight_waits=" + std::to_string(s.flight_waits) +
+      " evictions=" + std::to_string(s.evictions) +
+      " stale=" + std::to_string(s.stale_drops) +
+      " invalidated=" + std::to_string(s.invalidated);
+  for (const auto& [relation, counters] : relation_counters()) {
+    out += "\n" + relation + ": hits=" + std::to_string(counters.hits) +
+           " misses=" + std::to_string(counters.misses);
+  }
+  return out;
+}
+
+std::string SharedCacheStore::ToJson() const {
+  const Stats s = stats();
+  std::string out =
+      "{\"totals\": {\"entries\": " + std::to_string(s.entries) +
+      ", \"tuples\": " + std::to_string(s.tuples) +
+      ", \"hits\": " + std::to_string(s.hits) +
+      ", \"misses\": " + std::to_string(s.misses) +
+      ", \"flight_waits\": " + std::to_string(s.flight_waits) +
+      ", \"inserts\": " + std::to_string(s.inserts) +
+      ", \"evictions\": " + std::to_string(s.evictions) +
+      ", \"stale_drops\": " + std::to_string(s.stale_drops) +
+      ", \"invalidated\": " + std::to_string(s.invalidated) +
+      "}, \"relations\": {";
+  bool first = true;
+  for (const auto& [relation, counters] : relation_counters()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + relation + "\": {\"hits\": " + std::to_string(counters.hits) +
+           ", \"misses\": " + std::to_string(counters.misses) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ucqn

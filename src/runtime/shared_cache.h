@@ -1,0 +1,214 @@
+#ifndef UCQN_RUNTIME_SHARED_CACHE_H_
+#define UCQN_RUNTIME_SHARED_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eval/source.h"
+#include "runtime/clock.h"
+
+namespace ucqn {
+
+// The footnote-4 call signature: relation, pattern word, and the values at
+// the pattern's *input* slots. Output-slot values never participate — the
+// source ignores them, so two calls differing only there are the same
+// physical call. This is the cache key of both the per-execution
+// CachingSource view and the process-wide SharedCacheStore.
+std::string SourceCacheKey(const std::string& relation,
+                           const AccessPattern& pattern,
+                           const std::vector<std::optional<Term>>& inputs);
+
+// A process-wide cache of source-call results that outlives individual
+// executions: repeated user queries over the same services (the
+// multi-tenant analogue of ANSWER*'s Qᵘ/Qᵒ overlap) reuse each other's
+// calls instead of paying full price every time.
+//
+// Structure: a sharded LRU keyed by SourceCacheKey. Each shard has its own
+// mutex, so concurrently executing queries mostly contend only when they
+// touch the same keys. Staleness is handled at the physical-access layer
+// (per-relation TTLs plus explicit InvalidateRelation/InvalidateAll
+// hooks) — predicting which *relations* a future query will touch is
+// undecidable (Martinenghi), but dropping one service's entries when that
+// service is known to have changed is always sound.
+//
+// Single-flight: when two executions miss the same key concurrently, the
+// first becomes the *leader* (it performs the physical call and publishes
+// the result) and the rest become *followers* (they block until the leader
+// publishes, then reuse the result) — one physical call per distinct key
+// no matter how many queries race on it. A leader that fails Abandon()s
+// the flight and followers fall back to fetching themselves, so a
+// transient error is never pinned and never deadlocks a waiter.
+//
+// The store itself never calls a Source: CachingSource (the thin
+// per-execution view) drives the TryAcquire/Publish/Abandon/WaitForFlight
+// protocol around its wrapped source. This keeps the store free of any
+// per-execution state and lets each view keep per-execution hit/miss
+// accounting while the store keeps the process-wide ledger.
+class SharedCacheStore {
+ public:
+  struct Options {
+    // Number of independently locked LRU shards. 1 gives exact global LRU
+    // order (the per-execution CachingSource default); more shards trade
+    // LRU exactness for less lock contention across queries.
+    std::size_t shards = 8;
+    // Maximum cached entries (0 = unbounded), split evenly across shards.
+    std::size_t max_entries = 0;
+    // Size budget in *tuples* (0 = unbounded), split evenly across shards;
+    // an empty result is charged as one tuple so it still occupies space.
+    std::size_t budget_tuples = 0;
+    // TTL applied to relations without a SetRelationTtl override; 0 means
+    // entries never expire by age.
+    std::uint64_t default_ttl_micros = 0;
+    // Time source for TTL stamps. Not owned; pass a SimulatedClock for
+    // deterministic expiry tests. Null = the store owns a SteadyClock.
+    Clock* clock = nullptr;
+  };
+
+  // Process-wide counters, aggregated over all shards on read.
+  struct Stats {
+    std::uint64_t hits = 0;          // lookups served from the cache
+    std::uint64_t misses = 0;        // lookups that became leaders
+    std::uint64_t flight_waits = 0;  // lookups coalesced onto a flight
+    std::uint64_t inserts = 0;       // published results
+    std::uint64_t evictions = 0;     // entries dropped for capacity/budget
+    std::uint64_t stale_drops = 0;   // entries dropped for TTL expiry
+    std::uint64_t invalidated = 0;   // entries dropped via Invalidate*
+    std::uint64_t entries = 0;       // current occupancy
+    std::uint64_t tuples = 0;        // current occupancy, in tuples
+
+    double HitRatio() const {
+      const std::uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+
+  struct RelationCounters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  SharedCacheStore();
+  explicit SharedCacheStore(Options options);
+
+  // Overrides the default TTL for one relation's entries (0 = that
+  // relation's entries never expire). Applies to entries inserted after
+  // the call.
+  void SetRelationTtl(const std::string& relation, std::uint64_t ttl_micros);
+
+  // --- lookup protocol (driven by CachingSource) --------------------------
+
+  enum class LookupState {
+    kHit,       // `tuples` holds the cached result
+    kLeader,    // caller owns the flight: fetch, then Publish or Abandon
+    kFollower,  // another caller is fetching this key: WaitForFlight
+  };
+  struct Lookup {
+    LookupState state = LookupState::kLeader;
+    std::vector<Tuple> tuples;  // meaningful only for kHit
+    // True when this lookup dropped a TTL-expired entry on its way to a
+    // miss — the per-execution staleness attribution.
+    bool stale_drop = false;
+  };
+
+  // Non-blocking lookup. On kLeader the caller MUST eventually Publish or
+  // Abandon the key (CachingSource does so on every path), or followers
+  // would wait for the process lifetime.
+  Lookup TryAcquire(const std::string& key, const std::string& relation);
+
+  // Publishes a leader's successful result and wakes the key's followers.
+  // Returns the number of entries evicted to make room.
+  std::size_t Publish(const std::string& key, const std::string& relation,
+                      std::vector<Tuple> tuples);
+
+  // Releases a leader's flight without a result (the physical call
+  // failed). Followers wake and fetch for themselves; the failure is not
+  // cached.
+  void Abandon(const std::string& key);
+
+  // Blocks until the in-flight fetch of `key` publishes or abandons.
+  // Returns the published tuples, or nullopt when the flight was
+  // abandoned (or the entry already evicted again) — the caller then
+  // fetches for itself.
+  std::optional<std::vector<Tuple>> WaitForFlight(const std::string& key);
+
+  // --- invalidation (the staleness hooks) ---------------------------------
+
+  // Drops every entry of `relation` — call when one service is known to
+  // have changed. In-flight fetches are unaffected (their result reflects
+  // the post-change service anyway).
+  void InvalidateRelation(const std::string& relation);
+  // Drops everything.
+  void InvalidateAll();
+
+  // --- observability ------------------------------------------------------
+
+  Stats stats() const;
+  // Observed per-relation lookup counters (hits/misses including
+  // coalesced flights as hits).
+  std::map<std::string, RelationCounters> relation_counters() const;
+  // hits / (hits + misses) for one relation; 0 when never looked up. The
+  // cache-aware cost model prices a hot relation's expected calls with
+  // this (see AdaptiveCostOptions::shared_cache).
+  double RelationHitRate(const std::string& relation) const;
+
+  // Human-readable summary: a totals line plus one line per relation,
+  // MeteredSource-style.
+  std::string ToText() const;
+  // {"totals": {...}, "relations": {"R": {"hits": h, "misses": m}, ...}}
+  std::string ToJson() const;
+
+  std::size_t size() const;    // current entries
+  std::size_t tuples() const;  // current tuples held
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string relation;
+    std::vector<Tuple> tuples;
+    std::size_t tuple_cost = 1;       // max(1, tuples.size())
+    std::uint64_t expire_at_micros = 0;  // 0 = never
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    // Front = most recently used; `index` points into `lru`.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    // Keys currently owned by a leader.
+    std::unordered_set<std::string> flights;
+    std::size_t tuples_held = 0;
+    Stats stats;  // entries/tuples fields unused; filled on aggregate
+    std::map<std::string, RelationCounters> per_relation;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  std::uint64_t TtlFor(const std::string& relation) const;
+  // Drops `it` from `shard` (lock held). Does not touch counters.
+  void Erase(Shard& shard, std::list<Entry>::iterator it);
+
+  Options options_;
+  std::unique_ptr<SteadyClock> owned_clock_;
+  Clock* clock_;
+  std::size_t shard_max_entries_;   // 0 = unbounded
+  std::size_t shard_budget_tuples_; // 0 = unbounded
+  mutable std::mutex ttl_mu_;
+  std::unordered_map<std::string, std::uint64_t> relation_ttls_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_RUNTIME_SHARED_CACHE_H_

@@ -28,7 +28,10 @@ SourceStack::SourceStack(Source* base, const RuntimeOptions& options,
                                               clock_);
     top_ = retry_.get();
   }
-  if (options.cache) {
+  if (options.shared_cache != nullptr) {
+    cache_ = std::make_unique<CachingSource>(top_, *options.shared_cache);
+    top_ = cache_.get();
+  } else if (options.cache) {
     cache_ = std::make_unique<CachingSource>(top_, options.cache_capacity);
     top_ = cache_.get();
   }
@@ -48,6 +51,8 @@ RuntimeStats SourceStack::stats() const {
     s.cache_hits = cache_->cache_stats().hits;
     s.cache_misses = cache_->cache_stats().misses;
     s.cache_evictions = cache_->cache_stats().evictions;
+    s.cache_flight_waits = cache_->cache_stats().flight_waits;
+    s.cache_stale_drops = cache_->cache_stats().stale_drops;
   }
   if (retry_ != nullptr) {
     s.retries = retry_->retry_stats().retries;
@@ -69,6 +74,10 @@ std::string RuntimeStats::ToString() const {
     out += " cache_hits=" + std::to_string(cache_hits) +
            " cache_misses=" + std::to_string(cache_misses) +
            " cache_evictions=" + std::to_string(cache_evictions);
+    if (cache_flight_waits != 0 || cache_stale_drops != 0) {
+      out += " cache_flight_waits=" + std::to_string(cache_flight_waits) +
+             " cache_stale_drops=" + std::to_string(cache_stale_drops);
+    }
   }
   if (retries + giveups + budget_refusals != 0 || backoff_micros != 0) {
     out += " retries=" + std::to_string(retries) +

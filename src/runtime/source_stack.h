@@ -22,6 +22,11 @@ struct RuntimeOptions {
   // values; capacity 0 = unbounded).
   bool cache = false;
   std::size_t cache_capacity = 0;
+  // Process-wide cache store (runtime/shared_cache.h). Not owned; when
+  // set, the stack's CachingSource becomes a view over this store instead
+  // of a private per-execution cache, so executions sharing the store
+  // reuse (and single-flight) each other's calls. Implies `cache`.
+  SharedCacheStore* shared_cache = nullptr;
   // Retry transient failures with backoff (see RetryPolicy).
   bool retry = false;
   RetryPolicy retry_policy;
@@ -34,8 +39,9 @@ struct RuntimeOptions {
   std::size_t parallelism = 1;
 
   bool Enabled() const {
-    return cache || retry || metering || parallelism > 1 ||
-           budget.max_calls != 0 || budget.deadline_micros != 0;
+    return cache || shared_cache != nullptr || retry || metering ||
+           parallelism > 1 || budget.max_calls != 0 ||
+           budget.deadline_micros != 0;
   }
 };
 
@@ -49,6 +55,10 @@ struct RuntimeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Shared-store extras: misses served by another execution's in-flight
+  // fetch, and TTL-expired entries dropped on the way to a miss.
+  std::uint64_t cache_flight_waits = 0;
+  std::uint64_t cache_stale_drops = 0;
   std::uint64_t retries = 0;
   std::uint64_t giveups = 0;
   std::uint64_t budget_refusals = 0;

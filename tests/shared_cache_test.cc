@@ -1,0 +1,294 @@
+// SharedCacheStore: the process-wide source-call cache — TTL expiry,
+// invalidation hooks, tuple budgets, the single-flight lookup protocol,
+// and its wiring through CachingSource views, SourceStack, and the
+// cache-aware adaptive cost model. Concurrency coverage (two executions
+// racing on one store) lives in shared_cache_concurrency_test.cc.
+
+#include "runtime/shared_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "cost/cost_model.h"
+#include "eval/answer_star.h"
+#include "eval/source.h"
+#include "runtime/caching_source.h"
+#include "runtime/clock.h"
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+namespace {
+
+class SharedCacheTest : public ::testing::Test {
+ protected:
+  SharedCacheTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "d").
+      S("b").
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST_F(SharedCacheTest, SourceCacheKeyIgnoresOutputSlots) {
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const std::string a = SourceCacheKey(
+      "R", keyed, {Term::Constant("a"), Term::Constant("b")});
+  const std::string b =
+      SourceCacheKey("R", keyed, {Term::Constant("a"), std::nullopt});
+  EXPECT_EQ(a, b);  // footnote 4: the source ignores output-slot values
+  const std::string c =
+      SourceCacheKey("R", keyed, {Term::Constant("c"), std::nullopt});
+  EXPECT_NE(a, c);
+  // Same inputs through a different pattern is a different operation.
+  const std::string scan = SourceCacheKey(
+      "R", AccessPattern::MustParse("oo"), {std::nullopt, std::nullopt});
+  EXPECT_NE(a, scan);
+}
+
+TEST_F(SharedCacheTest, SurvivesAcrossViews) {
+  // The cross-query story in miniature: two executions, two views, one
+  // store — the second execution never touches the backend.
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore store;
+  const AccessPattern scan = AccessPattern::MustParse("oo");
+  {
+    CachingSource first(&backend, store);
+    first.FetchOrDie("R", scan, {std::nullopt, std::nullopt});
+    EXPECT_EQ(first.cache_stats().misses, 1u);
+  }
+  EXPECT_EQ(backend.stats().calls, 1u);
+  CachingSource second(&backend, store);
+  std::vector<Tuple> warm =
+      second.FetchOrDie("R", scan, {std::nullopt, std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 1u);  // served from the store
+  EXPECT_EQ(warm.size(), 2u);
+  EXPECT_EQ(second.cache_stats().hits, 1u);
+  EXPECT_EQ(second.cache_stats().misses, 0u);
+  EXPECT_DOUBLE_EQ(store.RelationHitRate("R"), 0.5);
+}
+
+TEST_F(SharedCacheTest, TtlExpiresEntries) {
+  DatabaseSource backend(&db_, &catalog_);
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+  CachingSource cached(&backend, store);
+  const AccessPattern scan = AccessPattern::MustParse("o");
+
+  cached.FetchOrDie("S", scan, {std::nullopt});
+  clock.Advance(999);
+  cached.FetchOrDie("S", scan, {std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 1u);  // still fresh at TTL - 1
+  clock.Advance(1);
+  cached.FetchOrDie("S", scan, {std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);  // expired exactly at the TTL
+  EXPECT_EQ(store.stats().stale_drops, 1u);
+  EXPECT_EQ(cached.cache_stats().stale_drops, 1u);
+  // The refetch re-armed the entry with a fresh TTL.
+  cached.FetchOrDie("S", scan, {std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);
+}
+
+TEST_F(SharedCacheTest, PerRelationTtlOverridesDefault) {
+  DatabaseSource backend(&db_, &catalog_);
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+  store.SetRelationTtl("R", 0);  // R's entries never expire
+  CachingSource cached(&backend, store);
+
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  cached.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  clock.Advance(5000);
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);  // R still cached
+  cached.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 3u);  // S expired under the default TTL
+}
+
+TEST_F(SharedCacheTest, InvalidateRelationDropsOnlyThatRelation) {
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore store;
+  CachingSource cached(&backend, store);
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  cached.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(store.size(), 2u);
+
+  store.InvalidateRelation("S");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().invalidated, 1u);
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);  // R survived
+  cached.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 3u);  // S refetched
+
+  store.InvalidateAll();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.tuples(), 0u);
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 4u);
+}
+
+TEST_F(SharedCacheTest, TupleBudgetEvictsLru) {
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore::Options options;
+  options.shards = 1;  // exact global LRU for a deterministic victim
+  options.budget_tuples = 3;
+  SharedCacheStore store(options);
+  CachingSource cached(&backend, store);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+
+  // Each keyed result is 1 tuple but charged max(1, n); the scan is 2.
+  cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
+  cached.FetchOrDie("R", keyed, {Term::Constant("c"), std::nullopt});
+  EXPECT_EQ(store.tuples(), 2u);
+  // The 2-tuple scan pushes the total to 4 > 3: the LRU entry ("a") goes.
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.tuples(), 3u);
+  cached.FetchOrDie("R", keyed, {Term::Constant("c"), std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 3u);  // "c" still cached
+  cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 4u);  // "a" was the victim
+}
+
+TEST_F(SharedCacheTest, OversizedResultIsKeptForItsOwnExecution) {
+  // A result bigger than the whole budget must not evict itself — the
+  // execution that fetched it still repeats the call.
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore::Options options;
+  options.shards = 1;
+  options.budget_tuples = 1;
+  SharedCacheStore store(options);
+  CachingSource cached(&backend, store);
+  const AccessPattern scan = AccessPattern::MustParse("oo");
+  cached.FetchOrDie("R", scan, {std::nullopt, std::nullopt});  // 2 tuples
+  cached.FetchOrDie("R", scan, {std::nullopt, std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(SharedCacheTest, AbandonedFlightIsNotCached) {
+  SharedCacheStore store;
+  SharedCacheStore::Lookup first = store.TryAcquire("k", "R");
+  EXPECT_EQ(first.state, SharedCacheStore::LookupState::kLeader);
+  store.Abandon("k");
+  // The failure was not published: the next lookup leads again.
+  SharedCacheStore::Lookup second = store.TryAcquire("k", "R");
+  EXPECT_EQ(second.state, SharedCacheStore::LookupState::kLeader);
+  store.Publish("k", "R", {});
+  SharedCacheStore::Lookup third = store.TryAcquire("k", "R");
+  EXPECT_EQ(third.state, SharedCacheStore::LookupState::kHit);
+  EXPECT_TRUE(third.tuples.empty());  // empty results are cacheable
+}
+
+TEST_F(SharedCacheTest, StackWiringAndAnswerStar) {
+  // RuntimeOptions.shared_cache builds the stack's cache as a view over
+  // the external store; a second ANSWER* run over the same store is
+  // fully warm with byte-identical answers.
+  UnionQuery q = MustParseUnionQuery("Q(x) :- R(x, z), not S(z).");
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore store;
+  RuntimeOptions runtime;
+  runtime.shared_cache = &store;
+  EXPECT_TRUE(runtime.Enabled());
+
+  SourceStack cold_stack(&backend, runtime);
+  ASSERT_NE(cold_stack.cache(), nullptr);
+  EXPECT_EQ(cold_stack.cache()->shared(), &store);
+  AnswerStarReport cold = AnswerStar(q, catalog_, cold_stack.source());
+  const std::uint64_t cold_calls = backend.stats().calls;
+  ASSERT_TRUE(cold.ok);
+  EXPECT_GT(cold_calls, 0u);
+
+  SourceStack warm_stack(&backend, runtime);
+  AnswerStarReport warm = AnswerStar(q, catalog_, warm_stack.source());
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.under, cold.under);
+  EXPECT_EQ(warm.over, cold.over);
+  EXPECT_EQ(backend.stats().calls, cold_calls);  // zero new physical calls
+  EXPECT_EQ(warm_stack.stats().cache_misses, 0u);
+  EXPECT_GT(warm_stack.stats().cache_hits, 0u);
+}
+
+TEST_F(SharedCacheTest, MetricsExportsAreWellFormed) {
+  DatabaseSource backend(&db_, &catalog_);
+  SharedCacheStore store;
+  CachingSource cached(&backend, store);
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
+                    {std::nullopt, std::nullopt});
+  const std::string text = store.ToText();
+  EXPECT_NE(text.find("hits=1"), std::string::npos);
+  EXPECT_NE(text.find("misses=1"), std::string::npos);
+  EXPECT_NE(text.find("R:"), std::string::npos);
+  const std::string json = store.ToJson();
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"relations\""), std::string::npos);
+  EXPECT_NE(json.find("\"R\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(SharedCacheTest, AdaptiveModelPricesCachedHotRelationsNearZero) {
+  // Feed the model a store where R is cached-hot; the latency term of R's
+  // candidates scales by the miss rate, so its patterns price near zero.
+  SharedCacheStore store;
+  store.Publish(SourceCacheKey("R", AccessPattern::MustParse("oo"),
+                               {std::nullopt, std::nullopt}),
+                "R", {});
+  // 1 miss, then 9 hits: 90% hit rate.
+  (void)store.TryAcquire("probe", "R");
+  store.Abandon("probe");
+  for (int i = 0; i < 9; ++i) {
+    (void)store.TryAcquire(SourceCacheKey("R", AccessPattern::MustParse("oo"),
+                                          {std::nullopt, std::nullopt}),
+                           "R");
+  }
+
+  StatsCatalog stats;
+  RelationStats observed;
+  observed.calls = 10;
+  observed.tuples = 10;
+  observed.p50_latency_micros = 10000.0;
+  stats.Record("R", observed);
+
+  Literal lit = MustParseRule("Q(x) :- R(x, y).").body()[0];
+  const AccessPattern scan = AccessPattern::MustParse("oo");
+  BoundVariables bound;
+  PlanContext context;
+
+  AdaptiveCostModel uncached(&stats);
+  AdaptiveCostOptions cache_aware_options;
+  cache_aware_options.shared_cache = &store;
+  AdaptiveCostModel cache_aware(&stats, {}, cache_aware_options);
+
+  EXPECT_DOUBLE_EQ(uncached.MissRate("R"), 1.0);
+  EXPECT_DOUBLE_EQ(cache_aware.MissRate("R"), 0.1);
+  const double full = uncached.PatternCost(lit, scan, bound, context);
+  const double warm = cache_aware.PatternCost(lit, scan, bound, context);
+  EXPECT_LT(warm, full);
+  // The latency term shrank 10x; the tuple term is unchanged.
+  EXPECT_NEAR(full - warm, 9000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ucqn

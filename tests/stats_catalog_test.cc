@@ -146,6 +146,127 @@ TEST(StatsCatalogTest, FromJsonRejectsMalformedInput) {
           .has_value());
 }
 
+TEST(StatsCatalogTest, KeyedRecordSplitsPatternsAndFoldsPooled) {
+  StatsCatalog catalog;
+  RelationStats point;
+  point.calls = 4;
+  point.tuples = 4;
+  point.p50_latency_micros = 100.0;
+  catalog.Record("R", "io", point);
+  RelationStats scan;
+  scan.calls = 1;
+  scan.tuples = 1000;
+  scan.p50_latency_micros = 9000.0;
+  catalog.Record("R", "oo", scan);
+
+  // Each pattern keeps its own entry...
+  const RelationStats* keyed = catalog.Find("R", "io");
+  ASSERT_NE(keyed, nullptr);
+  EXPECT_EQ(keyed->calls, 4u);
+  EXPECT_DOUBLE_EQ(keyed->p50_latency_micros, 100.0);
+  const RelationStats* scanned = catalog.Find("R", "oo");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_DOUBLE_EQ(scanned->p50_latency_micros, 9000.0);
+  EXPECT_EQ(catalog.Find("R", "ii"), nullptr);
+  // ...and the pooled entry stays the sum (weighted latency: 5*x = 4*100
+  // + 1*9000).
+  const RelationStats* pooled = catalog.Find("R");
+  ASSERT_NE(pooled, nullptr);
+  EXPECT_EQ(pooled->calls, 5u);
+  EXPECT_EQ(pooled->tuples, 1004u);
+  EXPECT_DOUBLE_EQ(pooled->p50_latency_micros, 1880.0);
+}
+
+TEST(StatsCatalogTest, ObserveKeysEntriesPerAccessPattern) {
+  Catalog schema = Catalog::MustParse("R/2: oo io\n");
+  Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    R("c", "d").
+  )");
+  DatabaseSource backend(&db, &schema);
+  MeteredSource meter(&backend);
+  ASSERT_TRUE(meter.Fetch("R", AccessPattern::MustParse("oo"),
+                          {std::nullopt, std::nullopt})
+                  .ok());
+  ASSERT_TRUE(meter.Fetch("R", AccessPattern::MustParse("io"),
+                          {Term::Constant("a"), std::nullopt})
+                  .ok());
+
+  StatsCatalog stats;
+  stats.Observe(meter);
+  const RelationStats* scan = stats.Find("R", "oo");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->calls, 1u);
+  EXPECT_EQ(scan->tuples, 2u);
+  const RelationStats* keyed = stats.Find("R", "io");
+  ASSERT_NE(keyed, nullptr);
+  EXPECT_EQ(keyed->calls, 1u);
+  EXPECT_EQ(keyed->tuples, 1u);
+  const RelationStats* pooled = stats.Find("R");
+  ASSERT_NE(pooled, nullptr);
+  EXPECT_EQ(pooled->calls, 2u);
+  EXPECT_EQ(pooled->tuples, 3u);
+}
+
+TEST(StatsCatalogTest, KeyedJsonRoundTripIsByteStable) {
+  StatsCatalog catalog;
+  RelationStats point;
+  point.calls = 4;
+  point.tuples = 4;
+  point.p50_latency_micros = 100.0;
+  catalog.Record("R", "io", point);
+  RelationStats scan;
+  scan.calls = 1;
+  scan.tuples = 1000;
+  scan.p50_latency_micros = 9000.0;
+  catalog.Record("R", "oo", scan);
+  RelationStats pooled_only;
+  pooled_only.calls = 7;
+  catalog.Record("S", pooled_only);
+
+  const std::string json = catalog.ToJson();
+  EXPECT_NE(json.find("\"patterns\""), std::string::npos);
+  std::string error;
+  std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const RelationStats* keyed = parsed->Find("R", "io");
+  ASSERT_NE(keyed, nullptr);
+  EXPECT_EQ(keyed->calls, 4u);
+  EXPECT_DOUBLE_EQ(keyed->p50_latency_micros, 100.0);
+  const RelationStats* pooled = parsed->Find("R");
+  ASSERT_NE(pooled, nullptr);
+  EXPECT_EQ(pooled->calls, 5u);
+  // S never had keyed stats; reloading must not invent any.
+  EXPECT_EQ(parsed->patterns().count("S"), 0u);
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(StatsCatalogTest, PreSplitSnapshotMigratesAsPooledOnly) {
+  // A snapshot written before the per-pattern split has no "patterns"
+  // objects. It must load (pooled answers still work), report no keyed
+  // entries, and — so old fleets can keep exchanging snapshots — write
+  // back in the identical pre-split format.
+  const std::string old_json =
+      R"({"relations": {"Lookup": {"calls": 64, "errors": 2, "tuples": 640,)"
+      R"( "p50_latency_us": 5000.0}}})";
+  std::string error;
+  std::optional<StatsCatalog> parsed =
+      StatsCatalog::FromJson(old_json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const RelationStats* pooled = parsed->Find("Lookup");
+  ASSERT_NE(pooled, nullptr);
+  EXPECT_EQ(pooled->calls, 64u);
+  EXPECT_DOUBLE_EQ(pooled->p50_latency_micros, 5000.0);
+  EXPECT_EQ(parsed->Find("Lookup", "io"), nullptr);
+  EXPECT_TRUE(parsed->patterns().empty());
+  EXPECT_EQ(parsed->ToJson().find("\"patterns\""), std::string::npos);
+  // Round-trip through the current writer stays loadable and stable.
+  std::optional<StatsCatalog> again =
+      StatsCatalog::FromJson(parsed->ToJson(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->ToJson(), parsed->ToJson());
+}
+
 TEST(StatsCatalogTest, ObserveTwiceAccumulates) {
   // The documented contract: Observe() merges, so observing two separate
   // meters (two executions) sums their counters.

@@ -9,33 +9,39 @@
 //   * with --facts: the ANSWER* runtime report, and (on request) the
 //     domain-enumeration-improved underestimate.
 //
-// Usage:
-//   ucqnc --schema schema.txt --query query.txt
-//         [--views views.txt] [--constraints deps.txt]
-//         [--facts facts.txt] [--improve]
-//         [--cache] [--cache-capacity N] [--retry N] [--max-calls N]
-//         [--parallelism N] [--no-batch] [--metrics text|json]
-//         [--cost-model static|adaptive] [--stats-in FILE]
-//         [--stats-out FILE] [--explain]
+// Run `ucqnc --help` for the flag reference.
 //
 // The runtime flags configure the source-access stack (src/runtime/) that
 // ANSWER* runs against: --cache deduplicates repeated source calls (LRU,
-// unbounded unless --cache-capacity is given), --retry N retries
-// transient failures up to N attempts with backoff, --max-calls N caps
-// the total calls per run, --parallelism N overlaps each literal's
-// batched wave of source calls on N worker threads, --no-batch reverts
-// the executor to the per-binding reference loop (--batch restores the
-// default), and --metrics prints the per-relation call/tuple/latency
-// table (text) or its JSON export.
+// unbounded unless --cache-capacity is given), --shared-cache upgrades the
+// cache to a process-wide SharedCacheStore that persists across the
+// queries of a --queries session (with --cache-ttl-ms expiry and a
+// --cache-budget tuple bound), --retry N retries transient failures up to
+// N attempts with backoff, --max-calls N caps the total calls per run,
+// --parallelism N overlaps each literal's batched wave of source calls on
+// N worker threads, --no-batch reverts the executor to the per-binding
+// reference loop (--batch restores the default), and --metrics prints the
+// per-relation call/tuple/latency table (text) or its JSON export.
+//
+// --queries FILE runs a multi-query session: the file holds one query per
+// block, blocks separated by lines containing only `---`, executed in
+// order against one shared runtime. With --shared-cache the later queries
+// run warm — the paper's premise is that the physical calls are the cost,
+// and overlapping queries re-derive the same accesses (see
+// docs/RUNTIME.md and EXPERIMENTS.md E16). Metering is forced on in this
+// mode so each query's observed stats feed the adaptive cost model of the
+// queries after it.
 //
 // The cost-model flags configure the plan-quality layer (src/cost/):
 // --cost-model adaptive scores every (literal, access pattern) candidate
 // as expected_calls x observed p50 latency + expected tuples x tuple
 // cost, seeded from the --stats-in JSON snapshot (a previous run's
 // --stats-out); the default static model reproduces the classic
-// input-slot-count preference. --explain prints, per plan literal, the
-// chosen pattern, the rejected candidates, and the cost the model gave
-// each. --stats-out FILE writes the observed per-relation metrics of
+// input-slot-count preference. With --shared-cache the adaptive model
+// also scales each relation's expected physical calls by its observed
+// cache miss rate. --explain prints, per plan literal, the chosen
+// pattern, the rejected candidates, and the cost the model gave each.
+// --stats-out FILE writes the observed per-(relation, pattern) metrics of
 // this run as a stats snapshot for the next one (forces metering).
 //
 // With --views, the query may reference global-as-view definitions; it is
@@ -43,6 +49,7 @@
 // mediator pipeline). File formats are the library's textual formats (see
 // README.md).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +57,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ast/parser.h"
 #include "constraints/inclusion.h"
@@ -62,6 +70,7 @@
 #include "feasibility/compile.h"
 #include "feasibility/plan_star.h"
 #include "mediator/unfold.h"
+#include "runtime/shared_cache.h"
 #include "runtime/source_stack.h"
 #include "schema/adornment.h"
 
@@ -75,16 +84,81 @@ std::optional<std::string> ReadFile(const char* path) {
   return out.str();
 }
 
-int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --schema FILE --query FILE [--constraints FILE] "
-               "[--facts FILE] [--improve] [--cache] [--cache-capacity N] "
-               "[--retry N] [--max-calls N] [--parallelism N] "
-               "[--batch|--no-batch] [--metrics text|json] "
-               "[--cost-model static|adaptive] [--stats-in FILE] "
-               "[--stats-out FILE] [--explain]\n",
-               argv0);
+constexpr char kUsage[] =
+    "usage: ucqnc --schema FILE --query FILE [options]\n"
+    "       ucqnc --schema FILE --queries FILE --facts FILE [options]\n"
+    "\n"
+    "input:\n"
+    "  --schema FILE        relations + access patterns (required)\n"
+    "  --query FILE         one UCQ-with-negation query\n"
+    "  --queries FILE       multi-query session: query blocks separated by\n"
+    "                       lines containing only ---, run in order against\n"
+    "                       one shared runtime (requires --facts)\n"
+    "  --views FILE         global-as-view definitions to unfold against\n"
+    "  --constraints FILE   inclusion dependencies\n"
+    "  --facts FILE         database instance; runs ANSWER*\n"
+    "  --improve            also compute the domain-enumeration-improved\n"
+    "                       underestimate when the answer is incomplete\n"
+    "\n"
+    "runtime stack (src/runtime/, see docs/RUNTIME.md):\n"
+    "  --cache              per-run source-call cache (LRU, input-slot keys)\n"
+    "  --cache-capacity N   bound the per-run cache to N call results\n"
+    "  --shared-cache       process-wide cache store shared across the\n"
+    "                       queries of a --queries session, single-flighting\n"
+    "                       concurrent misses\n"
+    "  --cache-ttl-ms N     expire shared-cache entries N ms after insert\n"
+    "                       (implies --shared-cache)\n"
+    "  --cache-budget N     bound the shared cache to N tuples, LRU eviction\n"
+    "                       (implies --shared-cache)\n"
+    "  --retry N            retry transient source failures up to N attempts\n"
+    "  --max-calls N        per-run physical source-call budget\n"
+    "  --parallelism N      overlap each batched wave on N worker threads\n"
+    "  --batch | --no-batch batched waves (default) or the per-binding\n"
+    "                       reference loop\n"
+    "  --metrics text|json  print the per-relation metrics table after runs\n"
+    "\n"
+    "cost model (src/cost/):\n"
+    "  --cost-model static|adaptive\n"
+    "                       model behind pattern choice + literal ordering\n"
+    "  --stats-in FILE      stats snapshot feeding the adaptive model\n"
+    "  --stats-out FILE     write this run's observed stats snapshot\n"
+    "  --explain            print per-literal pattern decisions with costs\n"
+    "\n"
+    "  --help               print this text and exit\n";
+
+int Usage() {
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
+}
+
+// Splits a --queries file into its query blocks: separator lines contain
+// only `---` (surrounding whitespace allowed); blank blocks are dropped.
+std::vector<std::string> SplitQueryBlocks(const std::string& text) {
+  std::vector<std::string> blocks;
+  std::string current;
+  auto flush = [&] {
+    if (current.find_first_not_of(" \t\r\n") != std::string::npos) {
+      blocks.push_back(current);
+    }
+    current.clear();
+  };
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string trimmed = line;
+    const std::size_t first = trimmed.find_first_not_of(" \t\r");
+    const std::size_t last = trimmed.find_last_not_of(" \t\r");
+    trimmed = first == std::string::npos
+                  ? ""
+                  : trimmed.substr(first, last - first + 1);
+    if (trimmed == "---") {
+      flush();
+    } else {
+      current += line + "\n";
+    }
+  }
+  flush();
+  return blocks;
 }
 
 }  // namespace
@@ -93,12 +167,16 @@ int main(int argc, char** argv) {
   using namespace ucqn;
   const char* schema_path = nullptr;
   const char* query_path = nullptr;
+  const char* queries_path = nullptr;
   const char* views_path = nullptr;
   const char* constraints_path = nullptr;
   const char* facts_path = nullptr;
   bool improve = false;
   RuntimeOptions runtime;
   ExecutionOptions exec;
+  bool shared_cache = false;
+  std::size_t cache_ttl_ms = 0;
+  std::size_t cache_budget = 0;
   const char* metrics_format = nullptr;
   const char* cost_model_name = "static";
   bool cost_model_explicit = false;
@@ -120,67 +198,110 @@ int main(int argc, char** argv) {
       slot = static_cast<std::size_t>(value);
       return true;
     };
-    if (std::strcmp(argv[i], "--schema") == 0) {
-      if (!next(schema_path)) return Usage(argv[0]);
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (std::strcmp(argv[i], "--schema") == 0) {
+      if (!next(schema_path)) return Usage();
     } else if (std::strcmp(argv[i], "--query") == 0) {
-      if (!next(query_path)) return Usage(argv[0]);
+      if (!next(query_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      if (!next(queries_path)) return Usage();
     } else if (std::strcmp(argv[i], "--views") == 0) {
-      if (!next(views_path)) return Usage(argv[0]);
+      if (!next(views_path)) return Usage();
     } else if (std::strcmp(argv[i], "--constraints") == 0) {
-      if (!next(constraints_path)) return Usage(argv[0]);
+      if (!next(constraints_path)) return Usage();
     } else if (std::strcmp(argv[i], "--facts") == 0) {
-      if (!next(facts_path)) return Usage(argv[0]);
+      if (!next(facts_path)) return Usage();
     } else if (std::strcmp(argv[i], "--improve") == 0) {
       improve = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       runtime.cache = true;
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
       std::size_t capacity = 0;
-      if (!next_count(capacity)) return Usage(argv[0]);
+      if (!next_count(capacity)) return Usage();
       runtime.cache = true;
       runtime.cache_capacity = capacity;
+    } else if (std::strcmp(argv[i], "--shared-cache") == 0) {
+      shared_cache = true;
+    } else if (std::strcmp(argv[i], "--cache-ttl-ms") == 0) {
+      if (!next_count(cache_ttl_ms)) return Usage();
+      shared_cache = true;
+    } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
+      if (!next_count(cache_budget)) return Usage();
+      shared_cache = true;
     } else if (std::strcmp(argv[i], "--retry") == 0) {
       std::size_t attempts = 0;
-      if (!next_count(attempts)) return Usage(argv[0]);
+      if (!next_count(attempts)) return Usage();
       runtime.retry = true;
       runtime.retry_policy.max_attempts = static_cast<int>(attempts);
     } else if (std::strcmp(argv[i], "--max-calls") == 0) {
       std::size_t max_calls = 0;
-      if (!next_count(max_calls)) return Usage(argv[0]);
+      if (!next_count(max_calls)) return Usage();
       runtime.budget.max_calls = max_calls;
     } else if (std::strcmp(argv[i], "--parallelism") == 0) {
-      if (!next_count(runtime.parallelism)) return Usage(argv[0]);
+      if (!next_count(runtime.parallelism)) return Usage();
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       exec.batch = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       exec.batch = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      if (!next(metrics_format)) return Usage(argv[0]);
+      if (!next(metrics_format)) return Usage();
       if (std::strcmp(metrics_format, "text") != 0 &&
           std::strcmp(metrics_format, "json") != 0) {
-        return Usage(argv[0]);
+        return Usage();
       }
       runtime.metering = true;
     } else if (std::strcmp(argv[i], "--cost-model") == 0) {
-      if (!next(cost_model_name)) return Usage(argv[0]);
+      if (!next(cost_model_name)) return Usage();
       if (std::strcmp(cost_model_name, "static") != 0 &&
           std::strcmp(cost_model_name, "adaptive") != 0) {
-        return Usage(argv[0]);
+        return Usage();
       }
       cost_model_explicit = true;
     } else if (std::strcmp(argv[i], "--stats-in") == 0) {
-      if (!next(stats_in_path)) return Usage(argv[0]);
+      if (!next(stats_in_path)) return Usage();
     } else if (std::strcmp(argv[i], "--stats-out") == 0) {
-      if (!next(stats_out_path)) return Usage(argv[0]);
+      if (!next(stats_out_path)) return Usage();
       runtime.metering = true;  // the snapshot is read off the meter
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain_plans = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage(argv[0]);
+      return Usage();
     }
   }
-  if (schema_path == nullptr || query_path == nullptr) return Usage(argv[0]);
+  if (schema_path == nullptr ||
+      (query_path == nullptr && queries_path == nullptr)) {
+    return Usage();
+  }
+  if (queries_path != nullptr) {
+    if (query_path != nullptr) {
+      std::fprintf(stderr, "--query and --queries are mutually exclusive\n");
+      return Usage();
+    }
+    if (facts_path == nullptr) {
+      std::fprintf(stderr, "--queries requires --facts\n");
+      return Usage();
+    }
+    if (views_path != nullptr) {
+      std::fprintf(stderr, "--views is not supported with --queries\n");
+      return Usage();
+    }
+    // Each query's observed stats feed the adaptive model (and the
+    // session summary) of the queries after it.
+    runtime.metering = true;
+  }
+
+  // The process-wide cache store. Constructed unconditionally (it is
+  // cheap when unused) so its lifetime spans every execution below; wired
+  // into the runtime stack and the adaptive model only when requested.
+  SharedCacheStore::Options store_options;
+  store_options.default_ttl_micros =
+      static_cast<std::uint64_t>(cache_ttl_ms) * 1000;
+  store_options.budget_tuples = cache_budget;
+  SharedCacheStore shared_store(store_options);
+  if (shared_cache) runtime.shared_cache = &shared_store;
 
   std::string error;
 
@@ -195,40 +316,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::optional<std::string> query_text = ReadFile(query_path);
-  if (!query_text) {
-    std::fprintf(stderr, "cannot read %s\n", query_path);
-    return 1;
-  }
-  std::optional<UnionQuery> query = ParseUnionQuery(*query_text, &error);
-  if (!query) {
-    std::fprintf(stderr, "query error: %s\n", error.c_str());
-    return 1;
-  }
-  if (views_path != nullptr) {
-    std::optional<std::string> text = ReadFile(views_path);
-    if (!text) {
-      std::fprintf(stderr, "cannot read %s\n", views_path);
+  std::optional<UnionQuery> query;
+  if (query_path != nullptr) {
+    std::optional<std::string> query_text = ReadFile(query_path);
+    if (!query_text) {
+      std::fprintf(stderr, "cannot read %s\n", query_path);
       return 1;
     }
-    std::optional<ViewRegistry> views = ViewRegistry::Parse(*text, &error);
-    if (!views) {
-      std::fprintf(stderr, "views error: %s\n", error.c_str());
+    query = ParseUnionQuery(*query_text, &error);
+    if (!query) {
+      std::fprintf(stderr, "query error: %s\n", error.c_str());
       return 1;
     }
-    UnfoldResult unfolded = Unfold(*query, *views);
-    if (!unfolded.ok) {
-      std::fprintf(stderr, "unfolding error: %s\n", unfolded.error.c_str());
+    if (views_path != nullptr) {
+      std::optional<std::string> text = ReadFile(views_path);
+      if (!text) {
+        std::fprintf(stderr, "cannot read %s\n", views_path);
+        return 1;
+      }
+      std::optional<ViewRegistry> views = ViewRegistry::Parse(*text, &error);
+      if (!views) {
+        std::fprintf(stderr, "views error: %s\n", error.c_str());
+        return 1;
+      }
+      UnfoldResult unfolded = Unfold(*query, *views);
+      if (!unfolded.ok) {
+        std::fprintf(stderr, "unfolding error: %s\n", unfolded.error.c_str());
+        return 1;
+      }
+      std::printf("unfolded against %zu view(s), %zu expansion(s):\n%s\n\n",
+                  views->size(), unfolded.expansions,
+                  unfolded.query.ToString().c_str());
+      *query = std::move(unfolded.query);
+    }
+    if (!catalog->CoversQuery(*query, &error)) {
+      std::fprintf(stderr, "schema/query mismatch: %s\n", error.c_str());
       return 1;
     }
-    std::printf("unfolded against %zu view(s), %zu expansion(s):\n%s\n\n",
-                views->size(), unfolded.expansions,
-                unfolded.query.ToString().c_str());
-    *query = std::move(unfolded.query);
-  }
-  if (!catalog->CoversQuery(*query, &error)) {
-    std::fprintf(stderr, "schema/query mismatch: %s\n", error.c_str());
-    return 1;
   }
 
   ConstraintSet constraints;
@@ -246,20 +370,8 @@ int main(int argc, char** argv) {
     constraints = std::move(*parsed);
   }
 
-  std::printf("schema:\n%s\n\nquery:\n%s\n\n", catalog->ToString().c_str(),
-              query->ToString().c_str());
-  if (!constraints.empty()) {
-    std::printf("constraints:\n%s\n\n", constraints.ToString().c_str());
-  }
-
-  std::printf("executable: %s\norderable:  %s\n",
-              IsExecutable(*query, *catalog) ? "yes" : "no",
-              IsOrderable(*query, *catalog) ? "yes" : "no");
-
   CompileOptions options;
   if (!constraints.empty()) options.constraints = &constraints;
-  CompileResult compiled = Compile(*query, *catalog, options);
-  std::printf("%s\n", compiled.Report().c_str());
 
   // Plan-quality layer (src/cost/): the model every pattern and ordering
   // decision flows through. The static model is also used for --explain
@@ -283,13 +395,120 @@ int main(int argc, char** argv) {
                 stats_in_path);
   }
   StaticCostModel static_model(exec.pattern_preference);
+  AdaptiveCostOptions adaptive_options;
+  if (shared_cache) adaptive_options.shared_cache = &shared_store;
   AdaptiveCostModel adaptive_model(&stats,
-                                   CardinalityEstimates::FromCatalog(*catalog));
+                                   CardinalityEstimates::FromCatalog(*catalog),
+                                   adaptive_options);
   const bool adaptive = std::strcmp(cost_model_name, "adaptive") == 0;
   const CostModel* model =
       adaptive ? static_cast<const CostModel*>(&adaptive_model)
                : static_cast<const CostModel*>(&static_model);
   if (cost_model_explicit) exec.cost_model = model;
+
+  const auto write_stats_out = [&](const StatsCatalog& snapshot) {
+    if (stats_out_path == nullptr) return;
+    std::ofstream out(stats_out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", stats_out_path);
+      return;
+    }
+    out << snapshot.ToJson() << "\n";
+    std::printf("wrote stats snapshot (%zu relation(s)) to %s\n",
+                snapshot.size(), stats_out_path);
+  };
+
+  // -------------------------------------------------------------------
+  // Multi-query session: every block runs against the same backend and —
+  // with --shared-cache — the same cache store, so later queries reuse
+  // earlier queries' physical calls. Each query gets a fresh SourceStack
+  // view (per-query metrics, budgets, and hit/miss ledger).
+  if (queries_path != nullptr) {
+    std::optional<std::string> text = ReadFile(queries_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", queries_path);
+      return 1;
+    }
+    std::vector<std::string> blocks = SplitQueryBlocks(*text);
+    if (blocks.empty()) {
+      std::fprintf(stderr, "no queries in %s\n", queries_path);
+      return 1;
+    }
+    std::optional<std::string> facts_text = ReadFile(facts_path);
+    if (!facts_text) {
+      std::fprintf(stderr, "cannot read %s\n", facts_path);
+      return 1;
+    }
+    std::optional<Database> db = Database::ParseFacts(*facts_text, &error);
+    if (!db) {
+      std::fprintf(stderr, "facts error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!constraints.empty() && !constraints.HoldsIn(*db)) {
+      std::fprintf(stderr,
+                   "warning: facts violate the declared constraints\n");
+    }
+    DatabaseSource backend(&*db, &*catalog);
+    std::printf("session: %zu queries from %s\n", blocks.size(), queries_path);
+    int status = 0;
+    std::uint64_t calls_before = 0;
+    for (std::size_t qi = 0; qi < blocks.size(); ++qi) {
+      std::optional<UnionQuery> q = ParseUnionQuery(blocks[qi], &error);
+      if (!q) {
+        std::fprintf(stderr, "query %zu error: %s\n", qi + 1, error.c_str());
+        return 1;
+      }
+      if (!catalog->CoversQuery(*q, &error)) {
+        std::fprintf(stderr, "query %zu schema mismatch: %s\n", qi + 1,
+                     error.c_str());
+        return 1;
+      }
+      CompileResult compiled = Compile(*q, *catalog, options);
+      SourceStack stack(&backend, runtime);
+      AnswerStarReport report =
+          AnswerStar(compiled.analyzed_query, *catalog, stack.source(), exec);
+      const std::uint64_t physical = backend.stats().calls - calls_before;
+      calls_before = backend.stats().calls;
+      std::printf("\nquery %zu: %s\n", qi + 1, q->ToString().c_str());
+      if (!report.ok) {
+        std::printf("  failed: %s\n", report.error.c_str());
+        status = 1;
+      } else {
+        std::printf("  answers: %zu under, %zu over, %s\n",
+                    report.under.size(), report.over.size(),
+                    report.complete ? "complete" : "incomplete");
+      }
+      std::printf("  physical calls: %llu\n",
+                  static_cast<unsigned long long>(physical));
+      std::printf("  runtime: %s\n", stack.stats().ToString().c_str());
+      if (metrics_format != nullptr) {
+        std::printf("  metrics:\n%s\n",
+                    std::strcmp(metrics_format, "json") == 0
+                        ? stack.meter()->ToJson().c_str()
+                        : stack.meter()->ToText().c_str());
+      }
+      // Feed this query's observations to the next one's adaptive model.
+      if (stack.meter() != nullptr) stats.Observe(*stack.meter());
+    }
+    if (shared_cache) {
+      std::printf("\n%s\n", shared_store.ToText().c_str());
+    }
+    write_stats_out(stats);
+    return status;
+  }
+
+  std::printf("schema:\n%s\n\nquery:\n%s\n\n", catalog->ToString().c_str(),
+              query->ToString().c_str());
+  if (!constraints.empty()) {
+    std::printf("constraints:\n%s\n\n", constraints.ToString().c_str());
+  }
+
+  std::printf("executable: %s\norderable:  %s\n",
+              IsExecutable(*query, *catalog) ? "yes" : "no",
+              IsOrderable(*query, *catalog) ? "yes" : "no");
+
+  CompileResult compiled = Compile(*query, *catalog, options);
+  std::printf("%s\n", compiled.Report().c_str());
 
   if (explain_plans) {
     PlanStarResult plans = PlanStar(compiled.analyzed_query, *catalog);
@@ -337,18 +556,14 @@ int main(int argc, char** argv) {
     if (runtime.Enabled()) {
       std::printf("runtime: %s\n", stack.stats().ToString().c_str());
     }
-    const auto write_stats_out = [&]() {
+    if (shared_cache) {
+      std::printf("%s\n", shared_store.ToText().c_str());
+    }
+    const auto snapshot_and_write = [&]() {
       if (stats_out_path == nullptr) return;
       StatsCatalog snapshot;
       snapshot.Observe(*stack.meter());
-      std::ofstream out(stats_out_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", stats_out_path);
-        return;
-      }
-      out << snapshot.ToJson() << "\n";
-      std::printf("wrote stats snapshot (%zu relation(s)) to %s\n",
-                  snapshot.size(), stats_out_path);
+      write_stats_out(snapshot);
     };
     if (!report.ok) {
       if (metrics_format != nullptr) {
@@ -357,7 +572,7 @@ int main(int argc, char** argv) {
                         ? stack.meter()->ToJson().c_str()
                         : stack.meter()->ToText().c_str());
       }
-      write_stats_out();
+      snapshot_and_write();
       return 1;
     }
 
@@ -380,7 +595,7 @@ int main(int argc, char** argv) {
                       ? stack.meter()->ToJson().c_str()
                       : stack.meter()->ToText().c_str());
     }
-    write_stats_out();
+    snapshot_and_write();
   }
   return 0;
 }
