@@ -1,6 +1,7 @@
 #include "cost/stats_catalog.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace ucqn {
@@ -11,9 +12,19 @@ namespace {
 // and new (percentiles cannot be merged exactly from aggregates, and
 // ranking candidates only needs the order of magnitude).
 void MergeInto(RelationStats* entry, const RelationStats& observed) {
-  const double total_calls =
-      static_cast<double>(entry->calls) + static_cast<double>(observed.calls);
-  if (total_calls > 0.0) {
+  // A snapshot with calls == 0 (e.g. recorded from a fully-cached run)
+  // says nothing about latency, so it must leave the entry's p50 alone:
+  // the naive call-weighted average divides zero by zero and the NaN
+  // permanently poisons AdaptiveCostModel pricing for this relation.
+  // Non-finite inputs (a hand-edited or overflowed snapshot — atof
+  // happily parses "1e999" to inf) are refused for the same reason:
+  // inf × 0 is NaN even under a nonzero denominator.
+  if (!std::isfinite(entry->p50_latency_micros)) {
+    entry->p50_latency_micros = 0.0;
+  }
+  if (observed.calls > 0 && std::isfinite(observed.p50_latency_micros)) {
+    const double total_calls = static_cast<double>(entry->calls) +
+                               static_cast<double>(observed.calls);
     entry->p50_latency_micros =
         (entry->p50_latency_micros * static_cast<double>(entry->calls) +
          observed.p50_latency_micros * static_cast<double>(observed.calls)) /
@@ -189,7 +200,10 @@ bool ReadRelationStats(JsonReader* in, RelationStats* stats,
       } else if (key == "tuples") {
         stats->tuples = static_cast<std::uint64_t>(value);
       } else if (key == "p50_latency_us") {
-        stats->p50_latency_micros = value;
+        // A non-finite latency (overflowed literal, hand-edited file)
+        // would NaN-poison every later weighted merge; load it as
+        // "unknown" instead.
+        stats->p50_latency_micros = std::isfinite(value) ? value : 0.0;
       }  // unknown scalar keys are ignored for forward compatibility
     }
     if (in->Peek(',')) {

@@ -54,6 +54,12 @@ AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
     stack.emplace(source, runtime);
     effective = stack->source();
     plan_options.runtime = RuntimeOptions{};
+    // Inter-literal pipelining is an executor-side decision, not a stack
+    // layer, so it must survive the handoff to the per-plan Execute calls
+    // — along with the shared clock, so overlapped waves are charged
+    // against the same timeline the outer stack's layers sleep on.
+    plan_options.runtime.pipeline_depth = runtime.pipeline_depth;
+    plan_options.runtime.clock = stack->clock();
     plan_options.stats_sink = nullptr;
   }
 
@@ -64,6 +70,12 @@ AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
                : ExecutionResult{};
   if (stack.has_value()) {
     report.runtime = stack->stats();
+    // The executor-side pipelining counters live in the per-plan results,
+    // not the shared stack; fold both plans' counts into the report.
+    report.runtime.pipeline_rounds =
+        under.runtime.pipeline_rounds + over.runtime.pipeline_rounds;
+    report.runtime.pipeline_overlaps =
+        under.runtime.pipeline_overlaps + over.runtime.pipeline_overlaps;
     if (options.stats_sink != nullptr && stack->meter() != nullptr) {
       options.stats_sink->Observe(*stack->meter());
     }

@@ -1,7 +1,9 @@
 #include "eval/executor.h"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ast/substitution.h"
@@ -128,6 +130,202 @@ std::optional<std::string> RunWave(const Literal& literal,
   return std::nullopt;
 }
 
+// What the pipelined loop did, merged into RuntimeStats by the public
+// entry points (the stack itself cannot see executor-side scheduling).
+struct PipelineCounters {
+  std::uint64_t rounds = 0;
+  std::uint64_t overlaps = 0;
+};
+
+// Inter-literal pipelining (RuntimeOptions::pipeline_depth > 1): instead
+// of draining literal i's full wave before literal i+1 issues anything,
+// each stage keeps a FIFO frontier of bindings waiting to run its
+// literal, and every round services up to `pipeline_depth` non-empty
+// stages at once — a chunk of at most max(1, parallelism) bindings per
+// stage, each chunk issued as one deduplicated FetchBatchAsync wave, all
+// of the round's waves resolved inside one clock overlap bracket so a
+// SimulatedClock charges them max-over-waves. Bindings that clear a
+// stage are appended to the next stage's frontier in order; because
+// every frontier is consumed and produced FIFO along a single chain, the
+// final bindings come out in exactly the depth-1 derivation order, and
+// the answer set is identical at every depth — pipelining only changes
+// transport scheduling.
+//
+// Differences from the one-wave-at-a-time path, by design:
+//   - wave dedup applies per chunk (a cache layer still dedups across
+//     chunks);
+//   - max_bindings bounds the *total* live bindings across all stages
+//     after each round (the honest measure of intermediate-result size
+//     when several stages hold bindings at once);
+//   - a failed call aborts with the error of the shallowest failing
+//     stage of the round that observed it, which may name a different
+//     literal than sequential execution would have reached first.
+BindingsResult ExecuteForBindingsPipelined(const ConjunctiveQuery& q,
+                                           const Catalog& catalog,
+                                           Source* source,
+                                           const ExecutionOptions& options,
+                                           Clock* clock,
+                                           PipelineCounters* counters) {
+  BindingsResult result;
+  const std::vector<Literal>& body = q.body();
+  const std::size_t n = body.size();
+  std::optional<StaticCostModel> fallback_model;
+  const CostModel* model = ResolveCostModel(options, &fallback_model);
+
+  // The variables bound before each stage depend only on literal order,
+  // not on data, so they can be precomputed.
+  std::vector<BoundVariables> bound_before(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    bound_before[i + 1] = bound_before[i];
+    if (body[i].positive()) BindVariables(body[i], &bound_before[i + 1]);
+  }
+
+  std::vector<std::deque<Substitution>> frontier(n);
+  frontier[0].emplace_back();
+  std::deque<Substitution> done;
+  // Chosen lazily the first time bindings reach the stage (so an unusable
+  // pattern only fails executions whose bindings actually get there, as
+  // in the sequential path), then pinned for all of that stage's chunks.
+  std::vector<std::optional<AccessPattern>> chosen(n);
+
+  const std::size_t depth = options.runtime.pipeline_depth;
+  const std::size_t chunk =
+      std::max<std::size_t>(options.runtime.parallelism, 1);
+
+  while (true) {
+    // Service the deepest non-empty stages first: draining the pipe
+    // bounds the number of bindings parked mid-chain.
+    std::vector<std::size_t> stages;
+    for (std::size_t i = n; i-- > 0;) {
+      if (!frontier[i].empty()) {
+        stages.push_back(i);
+        if (stages.size() == depth) break;
+      }
+    }
+    if (stages.empty()) break;
+    std::sort(stages.begin(), stages.end());
+
+    for (std::size_t i : stages) {
+      if (chosen[i].has_value()) continue;
+      PlanContext context;
+      context.live_bindings = static_cast<double>(
+          std::max<std::size_t>(frontier[i].size(), 1));
+      chosen[i] = ChoosePattern(catalog, body[i], bound_before[i], *model,
+                                context);
+      if (!chosen[i].has_value()) {
+        result.error = "literal " + body[i].ToString() +
+                       " has no usable access pattern at its position";
+        result.bindings.clear();
+        return result;
+      }
+    }
+
+    // Issue one chunk per stage as an async wave (issue order: ascending
+    // literal), then resolve them all inside one overlap bracket.
+    struct Lane {
+      std::size_t stage = 0;
+      std::vector<Substitution> batch;
+      std::vector<std::size_t> slot_of;  // batch index -> request slot
+      FetchFuture future;
+    };
+    std::vector<Lane> lanes;
+    lanes.reserve(stages.size());
+    for (std::size_t i : stages) {
+      Lane lane;
+      lane.stage = i;
+      const std::size_t take = std::min(chunk, frontier[i].size());
+      lane.batch.reserve(take);
+      for (std::size_t k = 0; k < take; ++k) {
+        lane.batch.push_back(std::move(frontier[i].front()));
+        frontier[i].pop_front();
+      }
+      std::vector<std::vector<std::optional<Term>>> requests;
+      std::unordered_map<std::string, std::size_t> index;
+      lane.slot_of.resize(lane.batch.size());
+      for (std::size_t b = 0; b < lane.batch.size(); ++b) {
+        std::vector<std::optional<Term>> inputs =
+            FetchInputs(body[i], *chosen[i], lane.batch[b]);
+        auto [it, fresh] =
+            index.try_emplace(RequestKey(inputs), requests.size());
+        if (fresh) requests.push_back(std::move(inputs));
+        lane.slot_of[b] = it->second;
+      }
+      lane.future = source->FetchBatchAsync(body[i].relation(), *chosen[i],
+                                            std::move(requests));
+      lanes.push_back(std::move(lane));
+    }
+
+    ++counters->rounds;
+    const bool overlapped = lanes.size() >= 2;
+    if (overlapped) ++counters->overlaps;
+    if (overlapped && clock != nullptr) clock->BeginOverlap();
+    std::vector<std::vector<FetchResult>> resolved(lanes.size());
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      if (overlapped && clock != nullptr) clock->BeginLane();
+      resolved[l] = lanes[l].future.Take();
+      if (overlapped && clock != nullptr) clock->EndLane();
+    }
+    if (overlapped && clock != nullptr) clock->EndOverlap();
+
+    // Merge in ascending literal order; the shallowest failing stage of
+    // the round reports its first failed request.
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      Lane& lane = lanes[l];
+      const Literal& literal = body[lane.stage];
+      for (const FetchResult& fetched : resolved[l]) {
+        if (!fetched.ok()) {
+          result.error = "source call for literal " + literal.ToString() +
+                         " failed: " + fetched.error;
+          result.bindings.clear();
+          return result;
+        }
+      }
+      std::deque<Substitution>& out =
+          lane.stage + 1 == n ? done : frontier[lane.stage + 1];
+      for (std::size_t b = 0; b < lane.batch.size(); ++b) {
+        const Substitution& binding = lane.batch[b];
+        const FetchResult& fetched = resolved[l][lane.slot_of[b]];
+        if (literal.positive()) {
+          for (const Tuple& tuple : fetched.tuples) {
+            std::optional<Substitution> extended =
+                UnifyWithTuple(literal, tuple, binding);
+            if (extended.has_value()) out.push_back(std::move(*extended));
+          }
+        } else {
+          // All variables are bound (ChoosePattern guarantees it): probe
+          // for the instantiated tuple, keep the binding iff absent.
+          Tuple instantiated = binding.Apply(literal.args());
+          bool present = false;
+          for (const Tuple& tuple : fetched.tuples) {
+            if (tuple == instantiated) {
+              present = true;
+              break;
+            }
+          }
+          if (!present) out.push_back(binding);
+        }
+      }
+    }
+
+    if (options.max_bindings != 0) {
+      std::size_t live = done.size();
+      for (const std::deque<Substitution>& f : frontier) live += f.size();
+      if (live > options.max_bindings) {
+        result.error = "execution exceeded max_bindings (" +
+                       std::to_string(options.max_bindings) +
+                       ") across pipeline stages";
+        result.bindings.clear();
+        return result;
+      }
+    }
+  }
+
+  result.ok = true;
+  result.bindings.assign(std::make_move_iterator(done.begin()),
+                         std::make_move_iterator(done.end()));
+  return result;
+}
+
 // The core left-to-right loop, talking to `source` directly (any runtime
 // stack has already been interposed by the public entry points).
 BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
@@ -246,8 +444,24 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
   return result;
 }
 
+// Routes a body to the pipelined loop when it can actually pipeline
+// (depth > 1, wave mode, and at least two literals to overlap); all other
+// configurations take the historical path, bit-identical to depth 1.
+BindingsResult ExecuteBodyRaw(const ConjunctiveQuery& q,
+                              const Catalog& catalog, Source* source,
+                              const ExecutionOptions& options, Clock* clock,
+                              PipelineCounters* counters) {
+  if (options.batch && options.runtime.pipeline_depth > 1 &&
+      q.body().size() >= 2) {
+    return ExecuteForBindingsPipelined(q, catalog, source, options, clock,
+                                       counters);
+  }
+  return ExecuteForBindingsRaw(q, catalog, source, options);
+}
+
 ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
-                           Source* source, const ExecutionOptions& options) {
+                           Source* source, const ExecutionOptions& options,
+                           Clock* clock, PipelineCounters* counters) {
   ExecutionResult result;
 
   // Empty body: the head must already be ground (overestimate null rows).
@@ -264,7 +478,8 @@ ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
     return result;
   }
 
-  BindingsResult body = ExecuteForBindingsRaw(q, catalog, source, options);
+  BindingsResult body =
+      ExecuteBodyRaw(q, catalog, source, options, clock, counters);
   if (!body.ok) {
     result.error = std::move(body.error);
     return result;
@@ -297,13 +512,16 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
                                   const Catalog& catalog, Source* source,
                                   const ExecutionOptions& options) {
   const RuntimeOptions runtime = EffectiveRuntime(options);
+  PipelineCounters counters;
   if (!runtime.Enabled()) {
-    return ExecuteForBindingsRaw(q, catalog, source, options);
+    return ExecuteBodyRaw(q, catalog, source, options, nullptr, &counters);
   }
   SourceStack stack(source, runtime);
-  BindingsResult result =
-      ExecuteForBindingsRaw(q, catalog, stack.source(), options);
+  BindingsResult result = ExecuteBodyRaw(q, catalog, stack.source(), options,
+                                         stack.clock(), &counters);
   result.runtime = stack.stats();
+  result.runtime.pipeline_rounds = counters.rounds;
+  result.runtime.pipeline_overlaps = counters.overlaps;
   DrainStats(options, &stack);
   return result;
 }
@@ -311,12 +529,16 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
 ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options) {
   const RuntimeOptions runtime = EffectiveRuntime(options);
+  PipelineCounters counters;
   if (!runtime.Enabled()) {
-    return ExecuteRaw(q, catalog, source, options);
+    return ExecuteRaw(q, catalog, source, options, nullptr, &counters);
   }
   SourceStack stack(source, runtime);
-  ExecutionResult result = ExecuteRaw(q, catalog, stack.source(), options);
+  ExecutionResult result = ExecuteRaw(q, catalog, stack.source(), options,
+                                      stack.clock(), &counters);
   result.runtime = stack.stats();
+  result.runtime.pipeline_rounds = counters.rounds;
+  result.runtime.pipeline_overlaps = counters.overlaps;
   DrainStats(options, &stack);
   return result;
 }
@@ -329,17 +551,23 @@ ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
   const RuntimeOptions runtime = EffectiveRuntime(options);
   std::optional<SourceStack> stack;
   Source* effective = source;
+  Clock* clock = nullptr;
   if (runtime.Enabled()) {
     stack.emplace(source, runtime);
     effective = stack->source();
+    clock = stack->clock();
   }
+  PipelineCounters counters;
   ExecutionResult result;
   result.ok = true;
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    ExecutionResult part = ExecuteRaw(disjunct, catalog, effective, options);
+    ExecutionResult part =
+        ExecuteRaw(disjunct, catalog, effective, options, clock, &counters);
     if (!part.ok) {
       if (stack.has_value()) {
         part.runtime = stack->stats();
+        part.runtime.pipeline_rounds = counters.rounds;
+        part.runtime.pipeline_overlaps = counters.overlaps;
         DrainStats(options, &*stack);
       }
       return part;
@@ -348,6 +576,8 @@ ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
   }
   if (stack.has_value()) {
     result.runtime = stack->stats();
+    result.runtime.pipeline_rounds = counters.rounds;
+    result.runtime.pipeline_overlaps = counters.overlaps;
     DrainStats(options, &*stack);
   }
   return result;

@@ -35,6 +35,19 @@ class Clock {
   // Waves do not nest.
   virtual void BeginWave(std::size_t workers) { (void)workers; }
   virtual void EndWave() {}
+
+  // Brackets a group of *different literals'* waves resolved back-to-back
+  // by the pipelined executor (eval/executor.cc, pipeline_depth > 1).
+  // Each wave's resolution runs inside its own BeginLane/EndLane pair;
+  // EndOverlap charges the group max-over-lanes, the wall-clock model of
+  // futures genuinely in flight together. Inside a lane, sleeps (and any
+  // nested parallel-wave bracket) accrue to that lane's private timeline.
+  // Real clocks ignore the brackets; overlaps do not nest, and lanes only
+  // appear inside an overlap, one at a time.
+  virtual void BeginOverlap() {}
+  virtual void BeginLane() {}
+  virtual void EndLane() {}
+  virtual void EndOverlap() {}
 };
 
 // Real wall-clock time: steady_clock + this_thread::sleep_for. Concurrent
@@ -67,20 +80,32 @@ class SteadyClock : public Clock {
 // to workers statically, each worker's offset is a fixed sum of its own
 // requests' latencies, so the advance is deterministic under any thread
 // interleaving.
+// Overlap brackets extend the same idea one level up: between
+// BeginOverlap and EndOverlap, each BeginLane/EndLane pair accrues its
+// sleeps (and any nested parallel wave's max-over-workers charge) into a
+// private lane timeline, and EndOverlap advances the shared clock by the
+// *maximum* lane total — several literals' waves in flight together cost
+// what the slowest one cost. NowMicros inside a lane sees the lane's
+// private progress, so deadline checks (runtime/retrying_source.h) stay
+// consistent with what a truly-async transport's worker would observe.
 class SimulatedClock : public Clock {
  public:
   std::uint64_t NowMicros() override {
     std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t now = now_micros_;
+    if (in_lane_) now += lane_offset_;
     if (in_wave_) {
       auto it = wave_offsets_.find(std::this_thread::get_id());
-      return now_micros_ + (it == wave_offsets_.end() ? 0 : it->second);
+      if (it != wave_offsets_.end()) now += it->second;
     }
-    return now_micros_;
+    return now;
   }
   void SleepMicros(std::uint64_t micros) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (in_wave_) {
       wave_offsets_[std::this_thread::get_id()] += micros;
+    } else if (in_lane_) {
+      lane_offset_ += micros;
     } else {
       now_micros_ += micros;
     }
@@ -99,9 +124,39 @@ class SimulatedClock : public Clock {
     for (const auto& [tid, offset] : wave_offsets_) {
       if (offset > longest) longest = offset;
     }
-    now_micros_ += longest;
+    // A wave nested inside a lane is part of that lane's timeline: its
+    // cost competes with the other lanes' totals instead of advancing the
+    // shared clock immediately.
+    if (in_lane_) {
+      lane_offset_ += longest;
+    } else {
+      now_micros_ += longest;
+    }
     wave_offsets_.clear();
     in_wave_ = false;
+  }
+
+  void BeginOverlap() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_overlap_ = true;
+    overlap_longest_ = 0;
+  }
+  void BeginLane() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_lane_ = true;
+    lane_offset_ = 0;
+  }
+  void EndLane() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lane_offset_ > overlap_longest_) overlap_longest_ = lane_offset_;
+    lane_offset_ = 0;
+    in_lane_ = false;
+  }
+  void EndOverlap() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_micros_ += overlap_longest_;
+    overlap_longest_ = 0;
+    in_overlap_ = false;
   }
 
  private:
@@ -109,6 +164,10 @@ class SimulatedClock : public Clock {
   std::uint64_t now_micros_ = 0;
   bool in_wave_ = false;
   std::map<std::thread::id, std::uint64_t> wave_offsets_;
+  bool in_overlap_ = false;
+  bool in_lane_ = false;
+  std::uint64_t lane_offset_ = 0;
+  std::uint64_t overlap_longest_ = 0;
 };
 
 }  // namespace ucqn

@@ -54,6 +54,13 @@ std::uint64_t RetryingSource::BackoffMicrosLocked(int attempt) {
   return static_cast<std::uint64_t>(backoff);
 }
 
+bool RetryingSource::BackoffCrossesDeadlineLocked(std::uint64_t backoff) {
+  if (budget_.deadline_micros == 0) return false;
+  const std::uint64_t elapsed = clock_->NowMicros() - budget_start_micros_;
+  if (elapsed >= budget_.deadline_micros) return true;
+  return backoff >= budget_.deadline_micros - elapsed;
+}
+
 FetchResult RetryingSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
@@ -83,10 +90,25 @@ FetchResult RetryingSource::Fetch(
     last_error = std::move(result.error);
     if (attempt < policy_.max_attempts) {
       std::uint64_t micros;
+      bool crosses;
       {
         std::lock_guard<std::mutex> lock(mu_);
         micros = BackoffMicrosLocked(attempt);
-        stats_.backoff_micros_total += micros;
+        crosses = BackoffCrossesDeadlineLocked(micros);
+        if (crosses) {
+          // The retry this sleep would set up could never be admitted, so
+          // sleeping is pure waste: fail now, without the sleep and
+          // without debiting the call budget for an attempt never made.
+          ++stats_.budget_refusals;
+        } else {
+          stats_.backoff_micros_total += micros;
+        }
+      }
+      if (crosses) {
+        return FetchResult::BudgetExhausted(
+            "deadline of " + std::to_string(budget_.deadline_micros) +
+            "us would be crossed by a " + std::to_string(micros) +
+            "us backoff; last error: " + last_error);
       }
       clock_->SleepMicros(micros);
     }
@@ -169,10 +191,29 @@ std::vector<FetchResult> RetryingSource::FetchBatch(
       // One backoff per retry round: the pending sub-calls back off
       // together rather than serializing their individual sleeps.
       std::uint64_t micros;
+      bool crosses;
       {
         std::lock_guard<std::mutex> lock(mu_);
         micros = BackoffMicrosLocked(attempt);
-        stats_.backoff_micros_total += micros;
+        crosses = BackoffCrossesDeadlineLocked(micros);
+        if (crosses) {
+          // No request of the next round could be admitted after this
+          // sleep, so skip it and fail the round's survivors here: each
+          // is counted as a refusal (as the admission gate would have),
+          // and no call-budget attempt is debited for calls never made.
+          stats_.budget_refusals += pending.size();
+        } else {
+          stats_.backoff_micros_total += micros;
+        }
+      }
+      if (crosses) {
+        for (std::size_t request : pending) {
+          out[request] = FetchResult::BudgetExhausted(
+              "deadline of " + std::to_string(budget_.deadline_micros) +
+              "us would be crossed by a " + std::to_string(micros) +
+              "us backoff; last error: " + last_error[request]);
+        }
+        return out;
       }
       clock_->SleepMicros(micros);
     }

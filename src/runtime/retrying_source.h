@@ -85,6 +85,11 @@ class RetryingSource : public Source {
   bool BudgetExceededLocked(std::string* why);
   // Backoff duration before attempt `attempt` + 1, jitter applied.
   std::uint64_t BackoffMicrosLocked(int attempt);
+  // True when sleeping `backoff` would reach or cross the deadline — the
+  // retry then cannot be admitted anyway, so the sleep is pure waste and
+  // the caller fails the pending requests immediately instead. Always
+  // false without a deadline.
+  bool BackoffCrossesDeadlineLocked(std::uint64_t backoff);
 
   Source* inner_;
   RetryPolicy policy_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 
 namespace ucqn {
 
@@ -68,6 +69,12 @@ std::uint64_t SharedCacheStore::TtlFor(const std::string& relation) const {
   return it == relation_ttls_.end() ? options_.default_ttl_micros : it->second;
 }
 
+std::uint64_t SharedCacheStore::ExpiryFor(std::uint64_t now,
+                                          std::uint64_t ttl) {
+  const std::uint64_t never = std::numeric_limits<std::uint64_t>::max();
+  return ttl >= never - now ? never : now + ttl;
+}
+
 void SharedCacheStore::Erase(Shard& shard, std::list<Entry>::iterator it) {
   shard.tuples_held -= it->tuple_cost;
   shard.index.erase(it->key);
@@ -82,8 +89,7 @@ SharedCacheStore::Lookup SharedCacheStore::TryAcquire(
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     Entry& entry = *it->second;
-    if (entry.expire_at_micros != 0 &&
-        clock_->NowMicros() >= entry.expire_at_micros) {
+    if (IsExpired(entry, clock_->NowMicros())) {
       // Expired: drop it and fall through to the miss path.
       ++shard.stats.stale_drops;
       result.stale_drop = true;
@@ -132,7 +138,12 @@ std::size_t SharedCacheStore::Publish(const std::string& key,
     entry.relation = relation;
     entry.tuple_cost = std::max<std::size_t>(1, tuples.size());
     entry.tuples = std::move(tuples);
-    entry.expire_at_micros = ttl == 0 ? 0 : clock_->NowMicros() + ttl;
+    // ttl == 0 keeps the "never expires" sentinel; otherwise saturate so
+    // an enormous TTL cannot wrap around into the sentinel (or into the
+    // past). ttl > 0 and a saturating sum also mean a *computed* expiry
+    // can never be 0, so the sentinel is unambiguous.
+    entry.expire_at_micros =
+        ttl == 0 ? 0 : ExpiryFor(clock_->NowMicros(), ttl);
     shard.tuples_held += entry.tuple_cost;
     shard.lru.push_front(std::move(entry));
     shard.index.emplace(key, shard.lru.begin());
@@ -171,6 +182,16 @@ std::optional<std::vector<Tuple>> SharedCacheStore::WaitForFlight(
   shard.cv.wait(lock, [&] { return shard.flights.count(key) == 0; });
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;  // abandoned or evicted
+  // Apply the same staleness rule as TryAcquire: a follower that wakes at
+  // (or after) the published entry's expiry must not be handed a result
+  // that a fresh lookup at the same instant would have stale-dropped.
+  // (Reachable with a SimulatedClock or when a relation's TTL is shorter
+  // than the wait; counted in the same stale-drop ledger.)
+  if (IsExpired(*it->second, clock_->NowMicros())) {
+    ++shard.stats.stale_drops;
+    Erase(shard, it->second);
+    return std::nullopt;  // caller refetches, as after an abandoned flight
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->tuples;
 }

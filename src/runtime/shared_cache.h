@@ -196,6 +196,17 @@ class SharedCacheStore {
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
   std::uint64_t TtlFor(const std::string& relation) const;
+  // The one staleness rule, used by every path that reads an entry: an
+  // entry is stale from the instant now == expire_at_micros (a TTL of T
+  // serves reads at now+0 .. now+T-1). 0 = never expires.
+  static bool IsExpired(const Entry& entry, std::uint64_t now) {
+    return entry.expire_at_micros != 0 && now >= entry.expire_at_micros;
+  }
+  // now + ttl, saturating at the top of the range instead of wrapping —
+  // a huge TTL must mean "practically never", and a wrapped sum could
+  // otherwise collide with the 0 = "never expires" sentinel or land in
+  // the past.
+  static std::uint64_t ExpiryFor(std::uint64_t now, std::uint64_t ttl);
   // Drops `it` from `shard` (lock held). Does not touch counters.
   void Erase(Shard& shard, std::list<Entry>::iterator it);
 

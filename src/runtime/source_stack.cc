@@ -4,6 +4,7 @@ namespace ucqn {
 
 SourceStack::SourceStack(Source* base, const RuntimeOptions& options,
                          Clock* clock) {
+  if (clock == nullptr) clock = options.clock;
   if (clock == nullptr) {
     owned_clock_ = std::make_unique<SimulatedClock>();
     clock_ = owned_clock_.get();
@@ -88,6 +89,10 @@ std::string RuntimeStats::ToString() const {
   if (parallel_waves != 0) {
     out += " parallel_waves=" + std::to_string(parallel_waves) +
            " batched_requests=" + std::to_string(batched_requests);
+  }
+  if (pipeline_rounds != 0) {
+    out += " pipeline_rounds=" + std::to_string(pipeline_rounds) +
+           " pipeline_overlaps=" + std::to_string(pipeline_overlaps);
   }
   return out;
 }

@@ -37,10 +37,23 @@ struct RuntimeOptions {
   // Worker threads for overlapping the sub-calls of one batched wave
   // (see ParallelSource). 1 = sequential dispatch, no threads.
   std::size_t parallelism = 1;
+  // How many *different literals'* waves the executor may keep in flight
+  // at once (inter-literal pipelining, eval/executor.cc): bindings that
+  // cleared literal i advance to literal i+1 and issue its probes while
+  // literal i's remaining wave is still resolving, up to this many
+  // pipeline stages deep. 1 (and 0) = today's one-wave-at-a-time
+  // execution, bit-identical answers and scheduling. Values > 1 change
+  // only transport scheduling, never the answer set.
+  std::size_t pipeline_depth = 1;
+  // Time source shared with whatever sits *under* the stack (e.g. a
+  // latency-injecting test source). Not owned; may be null, in which case
+  // the stack owns a SimulatedClock. A SourceStack constructor clock
+  // argument, when non-null, takes precedence.
+  Clock* clock = nullptr;
 
   bool Enabled() const {
     return cache || shared_cache != nullptr || retry || metering ||
-           parallelism > 1 || budget.max_calls != 0 ||
+           parallelism > 1 || pipeline_depth > 1 || budget.max_calls != 0 ||
            budget.deadline_micros != 0;
   }
 };
@@ -67,6 +80,11 @@ struct RuntimeStats {
   // and the total sub-calls it carried across all waves.
   std::uint64_t parallel_waves = 0;
   std::uint64_t batched_requests = 0;
+  // Inter-literal pipelining (executor-side, filled in by the executor
+  // when pipeline_depth > 1): rounds the pipelined loop ran, and how many
+  // of them had >= 2 literals' waves genuinely in flight together.
+  std::uint64_t pipeline_rounds = 0;
+  std::uint64_t pipeline_overlaps = 0;
 
   double CacheHitRatio() const {
     const std::uint64_t lookups = cache_hits + cache_misses;

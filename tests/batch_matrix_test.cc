@@ -200,5 +200,65 @@ TEST_F(BatchMatrixTest, RetryBudgetInteractionNeverExceedsTheCap) {
   }
 }
 
+TEST_F(BatchMatrixTest, BackoffCrossingTheDeadlineFailsTheRoundCleanly) {
+  // Satellite regression: when a retry round's backoff sleep would reach
+  // or cross the deadline, the retrier must fail the round's survivors
+  // immediately — no sleep, no call-budget debit for attempts never
+  // made, every survivor counted as exactly one budget refusal — and
+  // identically at any parallelism.
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+    SimulatedClock clock;
+    DatabaseSource backend(&db_, &catalog_);
+    FaultPlan faults;
+    faults.latency_micros = 100;
+    faults.fail_first_per_key = 10;  // these probes never succeed here
+    FaultInjectingSource flaky(&backend, faults, &clock);
+    ParallelSource parallel(&flaky, parallelism, &clock);
+
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_micros = 1000000;  // dwarfs the deadline
+    policy.max_backoff_micros = 1000000;
+    policy.jitter = 0.0;
+    CallBudget budget;
+    budget.max_calls = 3;
+    budget.deadline_micros = 10000;
+    RetryingSource retry(&parallel, policy, budget, &clock);
+
+    const AccessPattern keyed = AccessPattern::MustParse("io");
+    const std::vector<std::vector<std::optional<Term>>> probes = {
+        {Term::Constant("b"), std::nullopt},
+        {Term::Constant("d"), std::nullopt},
+        {Term::Constant("h"), std::nullopt}};
+    std::vector<FetchResult> results = retry.FetchBatch("T", keyed, probes);
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("request " + std::to_string(i));
+      EXPECT_EQ(results[i].status, FetchStatus::kBudgetExhausted);
+      EXPECT_NE(results[i].error.find("would be crossed by a 1000000us"),
+                std::string::npos)
+          << results[i].error;
+    }
+
+    const RetryingSource::RetryStats& stats = retry.retry_stats();
+    EXPECT_EQ(stats.attempts, 3u);  // round 1 only; round 2 never flew
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.budget_refusals, 3u);  // one per pending request
+    EXPECT_EQ(stats.backoff_micros_total, 0u);  // the sleep was skipped
+    EXPECT_LT(clock.NowMicros(), budget.deadline_micros);
+
+    // The call budget was debited for exactly the three round-1 attempts
+    // (not over-debited for the refused round): the next call trips the
+    // max_calls gate, not the deadline.
+    FetchResult after =
+        retry.Fetch("T", keyed, {Term::Constant("b"), std::nullopt});
+    EXPECT_EQ(after.status, FetchStatus::kBudgetExhausted);
+    EXPECT_NE(after.error.find("call budget of 3"), std::string::npos)
+        << after.error;
+    EXPECT_EQ(retry.retry_stats().attempts, 3u);
+  }
+}
+
 }  // namespace
 }  // namespace ucqn

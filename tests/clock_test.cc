@@ -102,6 +102,98 @@ TEST(SimulatedClockTest, BackToBackWavesAccumulate) {
   EXPECT_EQ(clock.NowMicros(), 90u);
 }
 
+TEST(SimulatedClockTest, OverlapChargesTheLongestLane) {
+  // The executor's inter-literal pipelining bracket: several literals'
+  // waves resolve concurrently, each in its own lane; EndOverlap advances
+  // shared time by the slowest lane only.
+  SimulatedClock clock;
+  clock.SleepMicros(100);
+  clock.BeginOverlap();
+  clock.BeginLane();
+  clock.SleepMicros(300);
+  clock.EndLane();
+  clock.BeginLane();
+  clock.SleepMicros(500);
+  clock.EndLane();
+  clock.BeginLane();
+  clock.SleepMicros(200);
+  clock.EndLane();
+  clock.EndOverlap();
+  EXPECT_EQ(clock.NowMicros(), 100u + 500u);
+}
+
+TEST(SimulatedClockTest, NowInsideALaneIncludesLaneProgress) {
+  // Deadline checks made mid-lane (e.g. RetryingSource's budget gate)
+  // must see the lane's own progress, while a later lane of the same
+  // overlap starts back at the overlap's start time.
+  SimulatedClock clock;
+  clock.SleepMicros(1000);
+  clock.BeginOverlap();
+  clock.BeginLane();
+  clock.SleepMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 1250u);
+  clock.EndLane();
+  clock.BeginLane();
+  EXPECT_EQ(clock.NowMicros(), 1000u);  // lanes are alternative timelines
+  clock.SleepMicros(100);
+  EXPECT_EQ(clock.NowMicros(), 1100u);
+  clock.EndLane();
+  clock.EndOverlap();
+  EXPECT_EQ(clock.NowMicros(), 1250u);
+}
+
+TEST(SimulatedClockTest, WaveNestedInALaneFoldsIntoTheLane) {
+  // A parallel wave resolving inside an overlapped lane (ParallelSource
+  // under the pipelined executor): the wave's max-over-workers charge
+  // lands on the lane, and the overlap still takes max-over-lanes.
+  SimulatedClock clock;
+  clock.BeginOverlap();
+  clock.BeginLane();
+  clock.BeginWave(2);
+  std::thread a([&clock] { clock.SleepMicros(100); });
+  std::thread b([&clock] { clock.SleepMicros(300); });
+  a.join();
+  b.join();
+  clock.EndWave();
+  clock.SleepMicros(50);  // post-wave work, still in the lane
+  clock.EndLane();
+  clock.BeginLane();
+  clock.SleepMicros(200);
+  clock.EndLane();
+  clock.EndOverlap();
+  EXPECT_EQ(clock.NowMicros(), 300u + 50u);  // max(350, 200)
+}
+
+TEST(SimulatedClockTest, EmptyAndBackToBackOverlapsAreCheap) {
+  SimulatedClock clock;
+  clock.BeginOverlap();
+  clock.EndOverlap();
+  EXPECT_EQ(clock.NowMicros(), 0u);  // nothing ran, nothing charged
+  for (int i = 0; i < 3; ++i) {
+    clock.BeginOverlap();
+    clock.BeginLane();
+    clock.SleepMicros(10);
+    clock.EndLane();
+    clock.BeginLane();
+    clock.SleepMicros(30);
+    clock.EndLane();
+    clock.EndOverlap();
+  }
+  EXPECT_EQ(clock.NowMicros(), 90u);  // 3 x max(10, 30)
+}
+
+TEST(SteadyClockTest, OverlapBracketsAreNoOpsOnRealClocks) {
+  // Real clocks already overlap for real; the brackets must be safely
+  // ignorable by every Clock implementation.
+  SteadyClock clock;
+  const std::uint64_t before = clock.NowMicros();
+  clock.BeginOverlap();
+  clock.BeginLane();
+  clock.EndLane();
+  clock.EndOverlap();
+  EXPECT_GE(clock.NowMicros(), before);
+}
+
 TEST(SteadyClockTest, IsMonotoneAndSleepsAtLeastTheRequest) {
   SteadyClock clock;
   const std::uint64_t before = clock.NowMicros();

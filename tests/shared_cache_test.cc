@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include "ast/parser.h"
 #include "cost/cost_model.h"
@@ -117,6 +119,82 @@ TEST_F(SharedCacheTest, PerRelationTtlOverridesDefault) {
   EXPECT_EQ(backend.stats().calls, 2u);  // R still cached
   cached.FetchOrDie("S", AccessPattern::MustParse("o"), {std::nullopt});
   EXPECT_EQ(backend.stats().calls, 3u);  // S expired under the default TTL
+}
+
+TEST_F(SharedCacheTest, ExpiryBoundaryIsTheSameOnEveryReadPath) {
+  // Satellite regression: `now == expire_at` must read as stale on BOTH
+  // lookup paths — TryAcquire and the post-flight index read inside
+  // WaitForFlight — with every stale drop landing in the ledger exactly
+  // once. A TTL of T serves reads at now+0 .. now+T-1.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+
+  store.Publish("k", "R", {});
+  clock.Advance(999);
+  SharedCacheStore::Lookup fresh = store.TryAcquire("k", "R");
+  EXPECT_EQ(fresh.state, SharedCacheStore::LookupState::kHit);
+  EXPECT_FALSE(fresh.stale_drop);
+  clock.Advance(1);  // now == expire_at exactly
+  SharedCacheStore::Lookup stale = store.TryAcquire("k", "R");
+  EXPECT_EQ(stale.state, SharedCacheStore::LookupState::kLeader);
+  EXPECT_TRUE(stale.stale_drop);
+  EXPECT_EQ(store.stats().stale_drops, 1u);
+  store.Abandon("k");
+
+  // Same boundary through WaitForFlight's entry read: a published result
+  // that expires before a late waiter gets to it must not be served.
+  store.Publish("k2", "R", {});
+  clock.Advance(999);
+  std::optional<std::vector<Tuple>> served = store.WaitForFlight("k2");
+  EXPECT_TRUE(served.has_value());  // TTL - 1: still fresh
+  clock.Advance(1);  // now == expire_at exactly
+  EXPECT_FALSE(store.WaitForFlight("k2").has_value());
+  EXPECT_EQ(store.stats().stale_drops, 2u);
+  // The drop really evicted the entry, not just hid it.
+  EXPECT_EQ(store.TryAcquire("k2", "R").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Abandon("k2");
+}
+
+TEST_F(SharedCacheTest, HugeTtlSaturatesInsteadOfWrapping) {
+  // now + ttl beyond the uint64 range must clamp to "practically never",
+  // not wrap around into the past or collide with the 0 = "never
+  // expires" sentinel (which would make the entry immortal by accident —
+  // or, wrapped low, instantly stale).
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+  store.SetRelationTtl("R", std::numeric_limits<std::uint64_t>::max());
+
+  clock.Advance(5000);  // now != 0 so now + ttl overflows
+  store.Publish("k", "R", {});
+  clock.Advance(std::numeric_limits<std::uint64_t>::max() / 2);
+  SharedCacheStore::Lookup lookup = store.TryAcquire("k", "R");
+  EXPECT_EQ(lookup.state, SharedCacheStore::LookupState::kHit);
+  EXPECT_FALSE(lookup.stale_drop);
+  EXPECT_EQ(store.stats().stale_drops, 0u);
+}
+
+TEST_F(SharedCacheTest, ZeroTtlMeansNeverExpiresAtAnyClockValue) {
+  // ttl == 0 is the "never expires" sentinel; an entry published at a
+  // huge `now` must not be mistaken for one whose expiry wrapped to 0.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.clock = &clock;
+  SharedCacheStore store(options);  // default TTL 0
+
+  clock.Advance(std::numeric_limits<std::uint64_t>::max() - 10);
+  store.Publish("k", "R", {});
+  clock.Advance(5);
+  EXPECT_EQ(store.TryAcquire("k", "R").state,
+            SharedCacheStore::LookupState::kHit);
+  std::optional<std::vector<Tuple>> served = store.WaitForFlight("k");
+  EXPECT_TRUE(served.has_value());
+  EXPECT_EQ(store.stats().stale_drops, 0u);
 }
 
 TEST_F(SharedCacheTest, InvalidateRelationDropsOnlyThatRelation) {

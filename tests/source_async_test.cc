@@ -1,0 +1,213 @@
+// FetchFuture and Source::FetchBatchAsync: the single-shot completion
+// token's state machine, the default wrapper's deferral of the *virtual*
+// FetchBatch, and async/sync parity (results and stats) through every
+// SourceStack decorator combination — including interleaved futures.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "eval/executor.h"
+#include "eval/source.h"
+#include "runtime/fault_injection.h"
+#include "runtime/source_stack.h"
+
+namespace ucqn {
+namespace {
+
+std::vector<std::vector<std::optional<Term>>> ScanRequest(std::size_t arity) {
+  return {std::vector<std::optional<Term>>(arity, std::nullopt)};
+}
+
+std::vector<std::vector<std::optional<Term>>> Probes(
+    const std::vector<std::string>& keys) {
+  std::vector<std::vector<std::optional<Term>>> requests;
+  for (const std::string& key : keys) {
+    requests.push_back({Term::Constant(key), std::nullopt});
+  }
+  return requests;
+}
+
+void ExpectSameResults(const std::vector<FetchResult>& async_results,
+                       const std::vector<FetchResult>& sync_results) {
+  ASSERT_EQ(async_results.size(), sync_results.size());
+  for (std::size_t i = 0; i < async_results.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(async_results[i].status, sync_results[i].status);
+    EXPECT_EQ(async_results[i].error, sync_results[i].error);
+    EXPECT_EQ(async_results[i].tuples, sync_results[i].tuples);
+  }
+}
+
+class SourceAsyncTest : public ::testing::Test {
+ protected:
+  SourceAsyncTest() {
+    catalog_ = Catalog::MustParse("R/2: oo io\nS/1: o\nT/2: oo io\n");
+    db_ = Database::MustParseFacts(R"(
+      R("a", "b").
+      R("c", "d").
+      T("b", "t1").
+      T("d", "t2").
+      S("b").
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+};
+
+TEST(FetchFutureTest, DefaultConstructedIsInvalid) {
+  FetchFuture future;
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(FetchFutureTest, ReadyFutureIsSingleShot) {
+  std::vector<FetchResult> results;
+  results.push_back(FetchResult::Ok({Tuple{Term::Constant("a")}}));
+  FetchFuture future = FetchFuture::Ready(std::move(results));
+  ASSERT_TRUE(future.valid());
+  std::vector<FetchResult> taken = future.Take();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(taken[0].ok());
+  ASSERT_EQ(taken[0].tuples.size(), 1u);
+  EXPECT_FALSE(future.valid());  // consumed
+}
+
+TEST(FetchFutureTest, DeferredRunsTheClosureOnlyAtTake) {
+  int runs = 0;
+  FetchFuture future = FetchFuture::Deferred([&runs] {
+    ++runs;
+    return std::vector<FetchResult>{FetchResult::TransientError("boom")};
+  });
+  EXPECT_TRUE(future.valid());
+  EXPECT_EQ(runs, 0);  // staged, not yet resolved
+  std::vector<FetchResult> taken = future.Take();
+  EXPECT_EQ(runs, 1);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].status, FetchStatus::kTransientError);
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(FetchFutureTest, MoveTransfersValidity) {
+  FetchFuture source = FetchFuture::Ready({});
+  FetchFuture destination = std::move(source);
+  EXPECT_TRUE(destination.valid());
+  EXPECT_TRUE(destination.Take().empty());
+}
+
+TEST_F(SourceAsyncTest, DefaultAsyncDefersTheVirtualFetchBatch) {
+  DatabaseSource backend(&db_, &catalog_);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  FetchFuture future =
+      backend.FetchBatchAsync("T", keyed, Probes({"b", "d"}));
+  // Nothing has hit the transport yet: the wave resolves at Take().
+  EXPECT_EQ(backend.stats().calls, 0u);
+  std::vector<FetchResult> async_results = future.Take();
+  EXPECT_EQ(backend.stats().calls, 2u);
+
+  DatabaseSource reference(&db_, &catalog_);
+  ExpectSameResults(async_results,
+                    reference.FetchBatch("T", keyed, Probes({"b", "d"})));
+}
+
+TEST_F(SourceAsyncTest, AsyncParityThroughEveryStackCombo) {
+  // The tentpole contract: because the default FetchBatchAsync defers the
+  // *virtual* FetchBatch, every decorator's batch semantics — cache
+  // ledger, retry rounds, metering, parallel fan-out — reach async
+  // callers unchanged. Same requests, same results, same stats.
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  // A repeated key so the cache has something to dedup inside the wave.
+  const std::vector<std::string> keys = {"b", "d", "b"};
+  // combo bits: 1 = cache, 2 = retry (+ injected failures), 4 = metering.
+  for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+    for (int combo = 0; combo < 8; ++combo) {
+      SCOPED_TRACE("parallelism=" + std::to_string(parallelism) +
+                   " combo=" + std::to_string(combo));
+      RuntimeOptions runtime;
+      runtime.cache = (combo & 1) != 0;
+      runtime.retry = (combo & 2) != 0;
+      runtime.retry_policy.max_attempts = 3;
+      runtime.metering = (combo & 4) != 0;
+      runtime.parallelism = parallelism;
+
+      FaultPlan faults;
+      faults.latency_micros = 100;
+      if (runtime.retry) faults.fail_first_per_key = 1;
+
+      RuntimeStats sync_stats, async_stats;
+      std::vector<FetchResult> sync_results, async_results;
+      for (bool use_async : {false, true}) {
+        DatabaseSource backend(&db_, &catalog_);
+        FaultInjectingSource flaky(&backend, faults);
+        SourceStack stack(&flaky, runtime);
+        if (use_async) {
+          FetchFuture future =
+              stack.source()->FetchBatchAsync("T", keyed, Probes(keys));
+          async_results = future.Take();
+          async_stats = stack.stats();
+        } else {
+          sync_results = stack.source()->FetchBatch("T", keyed, Probes(keys));
+          sync_stats = stack.stats();
+        }
+      }
+      ExpectSameResults(async_results, sync_results);
+      EXPECT_EQ(async_stats.source_calls, sync_stats.source_calls);
+      EXPECT_EQ(async_stats.tuples_fetched, sync_stats.tuples_fetched);
+      EXPECT_EQ(async_stats.cache_hits, sync_stats.cache_hits);
+      EXPECT_EQ(async_stats.cache_misses, sync_stats.cache_misses);
+      EXPECT_EQ(async_stats.retries, sync_stats.retries);
+      EXPECT_EQ(async_stats.batched_requests, sync_stats.batched_requests);
+    }
+  }
+}
+
+TEST_F(SourceAsyncTest, InterleavedFuturesMatchSequentialBatches) {
+  // Two waves staged before either resolves: taking them in issue order
+  // must behave exactly like two sequential FetchBatch calls — including
+  // the cache warm-up the first wave performs for the second.
+  RuntimeOptions runtime;
+  runtime.cache = true;
+  runtime.metering = true;
+
+  DatabaseSource sequential_backend(&db_, &catalog_);
+  SourceStack sequential(&sequential_backend, runtime);
+  std::vector<FetchResult> first_sync = sequential.source()->FetchBatch(
+      "R", AccessPattern::MustParse("oo"), ScanRequest(2));
+  std::vector<FetchResult> second_sync = sequential.source()->FetchBatch(
+      "R", AccessPattern::MustParse("oo"), ScanRequest(2));
+
+  DatabaseSource interleaved_backend(&db_, &catalog_);
+  SourceStack interleaved(&interleaved_backend, runtime);
+  FetchFuture first = interleaved.source()->FetchBatchAsync(
+      "R", AccessPattern::MustParse("oo"), ScanRequest(2));
+  FetchFuture second = interleaved.source()->FetchBatchAsync(
+      "R", AccessPattern::MustParse("oo"), ScanRequest(2));
+  ExpectSameResults(first.Take(), first_sync);
+  ExpectSameResults(second.Take(), second_sync);
+
+  EXPECT_EQ(interleaved.stats().source_calls, 1u);  // 2nd wave was a hit
+  EXPECT_EQ(interleaved.stats().cache_hits, sequential.stats().cache_hits);
+  EXPECT_EQ(interleaved.stats().cache_misses,
+            sequential.stats().cache_misses);
+}
+
+TEST_F(SourceAsyncTest, AsyncErrorsCarryTheStatusChannel) {
+  // A wave that exhausts its budget reports kBudgetExhausted per request
+  // through the future, never by throwing or aborting.
+  RuntimeOptions runtime;
+  runtime.budget.max_calls = 1;
+  DatabaseSource backend(&db_, &catalog_);
+  SourceStack stack(&backend, runtime);
+  FetchFuture future = stack.source()->FetchBatchAsync(
+      "T", AccessPattern::MustParse("io"), Probes({"b", "d"}));
+  std::vector<FetchResult> results = future.Take();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status, FetchStatus::kBudgetExhausted);
+  EXPECT_NE(results[1].error.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucqn

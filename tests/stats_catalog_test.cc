@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "eval/database.h"
 #include "runtime/clock.h"
 #include "runtime/fault_injection.h"
@@ -265,6 +268,85 @@ TEST(StatsCatalogTest, PreSplitSnapshotMigratesAsPooledOnly) {
       StatsCatalog::FromJson(parsed->ToJson(), &error);
   ASSERT_TRUE(again.has_value()) << error;
   EXPECT_EQ(again->ToJson(), parsed->ToJson());
+}
+
+TEST(StatsCatalogTest, ZeroCallSnapshotsNeverPoisonTheLatencyAverage) {
+  // Satellite regression: merging a zero-call observation must leave the
+  // weighted p50 untouched instead of computing 0/0 = NaN — the classic
+  // fully-cached-run snapshot, where the meter saw lookups but no
+  // physical calls. And once an entry is NaN it stays NaN forever, so
+  // this guards the whole adaptive feedback loop.
+  StatsCatalog catalog;
+  RelationStats empty;  // calls = 0, p50 = 0.0
+  catalog.Record("R", empty);
+  const RelationStats* after_empty = catalog.Find("R");
+  ASSERT_NE(after_empty, nullptr);
+  EXPECT_EQ(after_empty->calls, 0u);
+  EXPECT_TRUE(std::isfinite(after_empty->p50_latency_micros));
+  EXPECT_DOUBLE_EQ(after_empty->p50_latency_micros, 0.0);
+
+  // A later real observation merges cleanly on top of the placeholder.
+  RelationStats real;
+  real.calls = 2;
+  real.tuples = 4;
+  real.p50_latency_micros = 300.0;
+  catalog.Record("R", real);
+  const RelationStats* merged = catalog.Find("R");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->calls, 2u);
+  EXPECT_DOUBLE_EQ(merged->p50_latency_micros, 300.0);
+
+  // And a zero-call observation on top of real stats changes nothing.
+  catalog.Record("R", empty);
+  EXPECT_DOUBLE_EQ(catalog.Find("R")->p50_latency_micros, 300.0);
+
+  // Keyed entries take the same guarded path.
+  catalog.Record("S", "io", empty);
+  catalog.Record("S", "io", real);
+  const RelationStats* keyed = catalog.Find("S", "io");
+  ASSERT_NE(keyed, nullptr);
+  EXPECT_DOUBLE_EQ(keyed->p50_latency_micros, 300.0);
+}
+
+TEST(StatsCatalogTest, NonFiniteLatencyInAMergeIsDiscarded) {
+  // A corrupted in-memory observation (inf/NaN p50) must not infect the
+  // pooled average: the counters still merge, the latency keeps its last
+  // finite value.
+  StatsCatalog catalog;
+  RelationStats good;
+  good.calls = 3;
+  good.p50_latency_micros = 100.0;
+  catalog.Record("R", good);
+  RelationStats bad;
+  bad.calls = 1;
+  bad.p50_latency_micros = std::numeric_limits<double>::quiet_NaN();
+  catalog.Record("R", bad);
+  const RelationStats* merged = catalog.Find("R");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->calls, 4u);
+  EXPECT_TRUE(std::isfinite(merged->p50_latency_micros));
+  EXPECT_DOUBLE_EQ(merged->p50_latency_micros, 100.0);
+}
+
+TEST(StatsCatalogTest, FromJsonSanitizesNonFiniteLatency) {
+  // strtod-style parsing turns "1e999" into +inf; a snapshot carrying it
+  // must load with the latency clamped to 0, not propagate inf into
+  // every future weighted merge (and NaN into inf * 0 paths).
+  const std::string json =
+      R"({"relations": {"R": {"calls": 2, "tuples": 6,)"
+      R"( "p50_latency_us": 1e999}}})";
+  std::string error;
+  std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const RelationStats* r = parsed->Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->calls, 2u);
+  EXPECT_TRUE(std::isfinite(r->p50_latency_micros));
+  EXPECT_DOUBLE_EQ(r->p50_latency_micros, 0.0);
+  // The sanitized snapshot re-serializes as plain finite JSON.
+  std::optional<StatsCatalog> again =
+      StatsCatalog::FromJson(parsed->ToJson(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
 }
 
 TEST(StatsCatalogTest, ObserveTwiceAccumulates) {

@@ -1,0 +1,53 @@
+# check_flag_errors.cmake — bad numeric flag values must be rejected with
+# a one-line diagnostic naming the flag, never crash or silently misparse.
+#
+# Run as a script:
+#   cmake -DUCQNC=<path-to-ucqnc> -P check_flag_errors.cmake
+#
+# Covers the numeric flags (--parallelism, --cache-ttl-ms, --cache-budget,
+# --max-calls, --pipeline-depth, ...) against garbage tokens, trailing
+# junk, zero/negative values, overflow, and a missing value.
+#
+# Wired as the `flag_value_check` ctest (labels: tier1;docs).
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED UCQNC)
+  message(FATAL_ERROR
+      "usage: cmake -DUCQNC=<ucqnc> -P check_flag_errors.cmake")
+endif()
+
+# Runs ucqnc with the trailing arguments and requires a nonzero exit plus
+# the given diagnostic fragment on stderr.
+function(expect_rejects expected_fragment)
+  execute_process(
+      COMMAND "${UCQNC}" ${ARGN}
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err
+      RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "ucqnc ${ARGN} exited 0; expected a usage error")
+  endif()
+  string(FIND "${err}" "${expected_fragment}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+        "ucqnc ${ARGN}: stderr lacks \"${expected_fragment}\"; got:\n${err}")
+  endif()
+endfunction()
+
+expect_rejects("--parallelism expects a positive integer, got \"banana\""
+    --parallelism banana)
+expect_rejects("--cache-ttl-ms expects a positive integer, got \"0\""
+    --cache-ttl-ms 0)
+expect_rejects("--cache-budget expects a positive integer, got \"10x\""
+    --cache-budget 10x)
+expect_rejects("--max-calls expects a positive integer, got \"-3\""
+    --max-calls -3)
+expect_rejects("--retry expects a positive integer, got \"99999999999999999999\""
+    --retry 99999999999999999999)
+expect_rejects("--pipeline-depth expects a positive integer value"
+    --pipeline-depth)
+expect_rejects("--cache-capacity expects a positive integer, got \"3.5\""
+    --cache-capacity 3.5)
+
+message(STATUS "bad numeric flag values are rejected with diagnostics")

@@ -49,6 +49,8 @@
 // mediator pipeline). File formats are the library's textual formats (see
 // README.md).
 
+#include <cerrno>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -113,6 +115,8 @@ constexpr char kUsage[] =
     "  --retry N            retry transient source failures up to N attempts\n"
     "  --max-calls N        per-run physical source-call budget\n"
     "  --parallelism N      overlap each batched wave on N worker threads\n"
+    "  --pipeline-depth N   keep up to N different literals' waves in\n"
+    "                       flight at once (1 = classic one-wave-at-a-time)\n"
     "  --batch | --no-batch batched waves (default) or the per-binding\n"
     "                       reference loop\n"
     "  --metrics text|json  print the per-relation metrics table after runs\n"
@@ -190,11 +194,26 @@ int main(int argc, char** argv) {
       slot = argv[++i];
       return true;
     };
+    // Strict numeric flag values: the whole token must be a positive
+    // decimal integer in range. Garbage ("banana"), trailing junk
+    // ("10x"), zero/negative values, overflow, and a missing value each
+    // get a one-line diagnostic naming the flag, then the usage text.
     auto next_count = [&](std::size_t& slot) {
+      const char* flag = argv[i];
       const char* text = nullptr;
-      if (!next(text)) return false;
-      const long value = std::atol(text);
-      if (value <= 0) return false;
+      if (!next(text)) {
+        std::fprintf(stderr, "%s expects a positive integer value\n", flag);
+        return false;
+      }
+      char* end = nullptr;
+      errno = 0;
+      const long long value = std::strtoll(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || value <= 0 ||
+          value == LLONG_MAX) {
+        std::fprintf(stderr, "%s expects a positive integer, got \"%s\"\n",
+                     flag, text);
+        return false;
+      }
       slot = static_cast<std::size_t>(value);
       return true;
     };
@@ -241,6 +260,8 @@ int main(int argc, char** argv) {
       runtime.budget.max_calls = max_calls;
     } else if (std::strcmp(argv[i], "--parallelism") == 0) {
       if (!next_count(runtime.parallelism)) return Usage();
+    } else if (std::strcmp(argv[i], "--pipeline-depth") == 0) {
+      if (!next_count(exec.runtime.pipeline_depth)) return Usage();
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       exec.batch = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
@@ -465,6 +486,10 @@ int main(int argc, char** argv) {
       }
       CompileResult compiled = Compile(*q, *catalog, options);
       SourceStack stack(&backend, runtime);
+      // --pipeline-depth rides through exec.runtime (it is an executor
+      // decision, not a stack layer); share this stack's clock so
+      // overlapped waves are charged on the session timeline.
+      exec.runtime.clock = stack.clock();
       AnswerStarReport report =
           AnswerStar(compiled.analyzed_query, *catalog, stack.source(), exec);
       const std::uint64_t physical = backend.stats().calls - calls_before;
@@ -542,9 +567,12 @@ int main(int argc, char** argv) {
     // The runtime flags build the source stack here (rather than through
     // ExecutionOptions) so the whole run — ANSWER*, Δ explanations, the
     // improved underestimate — shares one cache/budget/worker pool, and
-    // the meter can be printed at the end. `exec.runtime` stays disabled:
-    // the stack is this one, not a per-Execute one.
+    // the meter can be printed at the end. `exec.runtime` carries only
+    // the executor-side pipelining knob (--pipeline-depth) and this
+    // stack's clock; the layered stack is this one, not a per-Execute
+    // one.
     SourceStack stack(&backend, runtime);
+    exec.runtime.clock = stack.clock();
     Source* source = stack.source();
     AnswerStarReport report =
         AnswerStar(compiled.analyzed_query, *catalog, source, exec);
