@@ -23,6 +23,11 @@
 //    overlaps it, so simulated wall-clock drops from (1 + k) x L
 //    sequentially to (1 + ceil(k/p)) x L at parallelism p — with
 //    byte-identical answers (asserted via `answers_match`).
+//  * BM_DaemonWarmStart — two QueryDaemon lifetimes over one snapshot
+//    directory: the first serves a query cold and drains (spilling
+//    cache.json/stats.json), the second boots from those files over a
+//    fresh backend and serves the same query entirely from the restored
+//    cache — `warm_physical_calls` is 0 with byte-identical answers.
 //  * BM_CostModelSlowService — the adaptive cost model's headline
 //    scenario: 64 keyed probes vs. one full scan of a 5000-tuple
 //    relation. When the service is fast (500us/call) the keyed pattern
@@ -38,6 +43,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <string>
 
@@ -49,6 +55,7 @@
 #include "gen/scenarios.h"
 #include "runtime/fault_injection.h"
 #include "runtime/source_stack.h"
+#include "server/daemon.h"
 
 namespace ucqn {
 namespace {
@@ -486,6 +493,83 @@ void BM_PipelinedChain(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedChain)->Arg(1)->Arg(2)->Arg(3);
 
+// --- daemon warm restart over spilled snapshots ---------------------------
+
+struct DaemonWarmRun {
+  bool ok = false;
+  std::uint64_t cold_physical_calls = 0;
+  std::uint64_t warm_physical_calls = 0;
+  std::uint64_t warm_backend_calls = 0;  // what reaches the second backend
+  bool answers_match = false;
+};
+
+// Two ucqnd lifetimes over one snapshot directory. The first daemon
+// serves the join query cold and drains — the drain spills
+// cache.json/stats.json. The second boots from those files over a fresh
+// DatabaseSource and serves the same query; the acceptance bar is that
+// it answers entirely from the restored cache: zero physical calls (both
+// by the session's meter and by the backend's own counter), with
+// byte-identical answers.
+DaemonWarmRun RunDaemonWarmStart() {
+  Catalog catalog = JoinCatalog();
+  Database db = JoinDatabase(1024);
+  const std::string snapshot_dir =
+      (std::filesystem::temp_directory_path() / "ucqn_bench_daemon_snap")
+          .string();
+  std::filesystem::remove_all(snapshot_dir);
+
+  ServiceRequest request;
+  request.id = "bench";
+  request.query = "Q(x, v) :- Small(x), Big(x, m), Mid(m, v).";
+
+  QueryDaemon::Options options;
+  options.snapshot_dir = snapshot_dir;
+
+  DaemonWarmRun run;
+  ServiceResponse cold;
+  {
+    DatabaseSource backend(&db, &catalog);
+    QueryDaemon daemon(&catalog, &backend, options);
+    cold = daemon.Submit(request);
+    daemon.Drain();
+  }
+  run.cold_physical_calls = cold.physical_calls;
+
+  DatabaseSource warm_backend(&db, &catalog);
+  QueryDaemon daemon(&catalog, &warm_backend, options);
+  SnapshotLoadReport report;
+  std::string error;
+  if (!daemon.LoadSnapshots(&report, &error)) return run;
+  ServiceResponse warm = daemon.Submit(request);
+  run.warm_physical_calls = warm.physical_calls;
+  run.warm_backend_calls = warm_backend.stats().calls;
+  run.answers_match = cold.under == warm.under && cold.over == warm.over &&
+                      cold.complete == warm.complete;
+  run.ok = cold.status == ServiceResponse::Status::kOk &&
+           warm.status == ServiceResponse::Status::kOk;
+  std::filesystem::remove_all(snapshot_dir);
+  return run;
+}
+
+void BM_DaemonWarmStart(benchmark::State& state) {
+  DaemonWarmRun run;
+  for (auto _ : state) {
+    run = RunDaemonWarmStart();
+    if (!run.ok) {
+      state.SkipWithError("daemon warm start failed");
+      return;
+    }
+  }
+  state.counters["cold_physical_calls"] =
+      static_cast<double>(run.cold_physical_calls);
+  state.counters["warm_physical_calls"] =
+      static_cast<double>(run.warm_physical_calls);
+  state.counters["warm_backend_calls"] =
+      static_cast<double>(run.warm_backend_calls);
+  state.counters["answers_match"] = run.answers_match ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DaemonWarmStart);
+
 // --- adaptive cost model vs. a slow service -------------------------------
 
 Catalog CostModelCatalog() {
@@ -695,7 +779,19 @@ void WriteBenchJson(const char* path) {
               (run.answers == baseline.answers ? "true" : "false") + "}";
     }
   }
-  json += "]}}\n";
+  json += "]}, \"daemon_warm_start\": ";
+  {
+    DaemonWarmRun run = RunDaemonWarmStart();
+    json += "{\"cold_physical_calls\": " +
+            std::to_string(run.cold_physical_calls) +
+            ", \"warm_physical_calls\": " +
+            std::to_string(run.warm_physical_calls) +
+            ", \"warm_backend_calls\": " +
+            std::to_string(run.warm_backend_calls) +
+            ", \"answers_match\": " + (run.answers_match ? "true" : "false") +
+            "}";
+  }
+  json += "}\n";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_runtime: cannot write %s\n", path);

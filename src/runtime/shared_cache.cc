@@ -24,7 +24,8 @@ std::string SourceCacheKey(const std::string& relation,
 
 SharedCacheStore::SharedCacheStore() : SharedCacheStore(Options()) {}
 
-SharedCacheStore::SharedCacheStore(Options options) : options_(options) {
+SharedCacheStore::SharedCacheStore(Options options)
+    : options_(options), negative_ttl_micros_(options.negative_ttl_micros) {
   if (options_.shards == 0) options_.shards = 1;
   if (options_.clock == nullptr) {
     owned_clock_ = std::make_unique<SteadyClock>();
@@ -63,8 +64,15 @@ void SharedCacheStore::SetRelationTtl(const std::string& relation,
   relation_ttls_[relation] = ttl_micros;
 }
 
-std::uint64_t SharedCacheStore::TtlFor(const std::string& relation) const {
+void SharedCacheStore::SetNegativeTtl(std::uint64_t ttl_micros) {
   std::lock_guard<std::mutex> lock(ttl_mu_);
+  negative_ttl_micros_ = ttl_micros;
+}
+
+std::uint64_t SharedCacheStore::TtlFor(const std::string& relation,
+                                       bool negative) const {
+  std::lock_guard<std::mutex> lock(ttl_mu_);
+  if (negative && negative_ttl_micros_ != 0) return negative_ttl_micros_;
   auto it = relation_ttls_.find(relation);
   return it == relation_ttls_.end() ? options_.default_ttl_micros : it->second;
 }
@@ -119,10 +127,26 @@ SharedCacheStore::Lookup SharedCacheStore::TryAcquire(
   return result;
 }
 
+std::size_t SharedCacheStore::EvictOverflow(Shard& shard) {
+  std::size_t evicted = 0;
+  while (!shard.lru.empty() &&
+         ((shard_max_entries_ != 0 && shard.lru.size() > shard_max_entries_) ||
+          (shard_budget_tuples_ != 0 &&
+           shard.tuples_held > shard_budget_tuples_))) {
+    // Never evict the entry just inserted at the front — a result larger
+    // than the whole budget still serves this execution's repeats.
+    if (std::prev(shard.lru.end()) == shard.lru.begin()) break;
+    Erase(shard, std::prev(shard.lru.end()));
+    ++shard.stats.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
 std::size_t SharedCacheStore::Publish(const std::string& key,
                                       const std::string& relation,
                                       std::vector<Tuple> tuples) {
-  const std::uint64_t ttl = TtlFor(relation);
+  const std::uint64_t ttl = TtlFor(relation, /*negative=*/tuples.empty());
   Shard& shard = ShardFor(key);
   std::size_t evicted = 0;
   {
@@ -149,21 +173,55 @@ std::size_t SharedCacheStore::Publish(const std::string& key,
     shard.index.emplace(key, shard.lru.begin());
     ++shard.stats.inserts;
 
-    while (!shard.lru.empty() &&
-           ((shard_max_entries_ != 0 &&
-             shard.lru.size() > shard_max_entries_) ||
-            (shard_budget_tuples_ != 0 &&
-             shard.tuples_held > shard_budget_tuples_))) {
-      // Never evict the entry we just inserted — a result larger than the
-      // whole budget still serves this execution's repeats.
-      if (std::prev(shard.lru.end()) == shard.lru.begin()) break;
-      Erase(shard, std::prev(shard.lru.end()));
-      ++shard.stats.evictions;
-      ++evicted;
-    }
+    evicted = EvictOverflow(shard);
   }
   shard.cv.notify_all();
   return evicted;
+}
+
+std::vector<SharedCacheStore::ExportedEntry> SharedCacheStore::ExportEntries()
+    const {
+  std::vector<ExportedEntry> out;
+  const std::uint64_t now = clock_->NowMicros();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) {
+      if (IsExpired(entry, now)) continue;  // not worth carrying across
+      ExportedEntry exported;
+      exported.key = entry.key;
+      exported.relation = entry.relation;
+      exported.tuples = entry.tuples;
+      exported.ttl_remaining_micros =
+          entry.expire_at_micros == 0 ? 0 : entry.expire_at_micros - now;
+      out.push_back(std::move(exported));
+    }
+  }
+  return out;
+}
+
+void SharedCacheStore::RestoreEntry(const ExportedEntry& restored) {
+  Shard& shard = ShardFor(restored.key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto existing = shard.index.find(restored.key);
+  if (existing != shard.index.end()) Erase(shard, existing->second);
+
+  Entry entry;
+  entry.key = restored.key;
+  entry.relation = restored.relation;
+  entry.tuple_cost = std::max<std::size_t>(1, restored.tuples.size());
+  entry.tuples = restored.tuples;
+  // The exporter stored remaining lifetime; the clock epoch restarts
+  // here. 0 stays the "never expires" sentinel, and ExpiryFor keeps a
+  // huge remainder from wrapping into it.
+  entry.expire_at_micros =
+      restored.ttl_remaining_micros == 0
+          ? 0
+          : ExpiryFor(clock_->NowMicros(), restored.ttl_remaining_micros);
+  shard.tuples_held += entry.tuple_cost;
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(restored.key, shard.lru.begin());
+  ++shard.stats.inserts;
+  EvictOverflow(shard);
 }
 
 void SharedCacheStore::Abandon(const std::string& key) {

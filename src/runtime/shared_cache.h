@@ -68,6 +68,13 @@ class SharedCacheStore {
     // TTL applied to relations without a SetRelationTtl override; 0 means
     // entries never expire by age.
     std::uint64_t default_ttl_micros = 0;
+    // TTL for *negative* (empty) results, overriding the relation/default
+    // TTL when non-zero. An empty result is the cache's claim that a call
+    // has no answer — the claim hardest to keep fresh (a tuple appearing
+    // at the source flips it from true to false), so services commonly
+    // expire it faster than positive data. 0 = no split: empty results
+    // age exactly like non-empty ones.
+    std::uint64_t negative_ttl_micros = 0;
     // Time source for TTL stamps. Not owned; pass a SimulatedClock for
     // deterministic expiry tests. Null = the store owns a SteadyClock.
     Clock* clock = nullptr;
@@ -105,6 +112,11 @@ class SharedCacheStore {
   // relation's entries never expire). Applies to entries inserted after
   // the call.
   void SetRelationTtl(const std::string& relation, std::uint64_t ttl_micros);
+
+  // Overrides Options::negative_ttl_micros (0 = disable the split).
+  // Applies to empty results published after the call. A non-zero
+  // negative TTL beats every positive override, including SetRelationTtl.
+  void SetNegativeTtl(std::uint64_t ttl_micros);
 
   // --- lookup protocol (driven by CachingSource) --------------------------
 
@@ -151,6 +163,32 @@ class SharedCacheStore {
   // Drops everything.
   void InvalidateAll();
 
+  // --- snapshots (cross-process persistence) ------------------------------
+
+  // One cache entry as exported for a snapshot. TTLs are exported as
+  // *remaining* lifetime rather than absolute expiry stamps: the store's
+  // clock epoch is arbitrary (steady or simulated), so only durations
+  // survive a process boundary. 0 = never expires.
+  struct ExportedEntry {
+    std::string key;
+    std::string relation;
+    std::vector<Tuple> tuples;
+    std::uint64_t ttl_remaining_micros = 0;
+  };
+
+  // Copies every live entry out, LRU order per shard (most recent first),
+  // skipping entries already expired at export time. In-flight fetches
+  // are not exported (they have no result yet).
+  std::vector<ExportedEntry> ExportEntries() const;
+
+  // Re-inserts a snapshot entry: expiry restarts at now +
+  // ttl_remaining_micros (0 = never). Counted as an insert; the capacity
+  // and tuple budgets apply exactly as in Publish, so restoring into a
+  // smaller store evicts from the cold end. Never touches flights — call
+  // before serving, or concurrently with traffic (both are safe; a racing
+  // Publish of the same key simply wins or is replaced by LRU age).
+  void RestoreEntry(const ExportedEntry& entry);
+
   // --- observability ------------------------------------------------------
 
   Stats stats() const;
@@ -195,7 +233,10 @@ class SharedCacheStore {
 
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
-  std::uint64_t TtlFor(const std::string& relation) const;
+  // The TTL for a result of `relation` that is empty (`negative` true) or
+  // not: negative results take the negative TTL when one is configured,
+  // everything else the relation/default TTL.
+  std::uint64_t TtlFor(const std::string& relation, bool negative) const;
   // The one staleness rule, used by every path that reads an entry: an
   // entry is stale from the instant now == expire_at_micros (a TTL of T
   // serves reads at now+0 .. now+T-1). 0 = never expires.
@@ -209,6 +250,10 @@ class SharedCacheStore {
   static std::uint64_t ExpiryFor(std::uint64_t now, std::uint64_t ttl);
   // Drops `it` from `shard` (lock held). Does not touch counters.
   void Erase(Shard& shard, std::list<Entry>::iterator it);
+  // Evicts from the cold end while the shard exceeds its entry/tuple
+  // limits, never dropping the just-inserted front entry (lock held).
+  // Returns the number of evictions (also counted in the shard ledger).
+  std::size_t EvictOverflow(Shard& shard);
 
   Options options_;
   std::unique_ptr<SteadyClock> owned_clock_;
@@ -217,6 +262,7 @@ class SharedCacheStore {
   std::size_t shard_budget_tuples_; // 0 = unbounded
   mutable std::mutex ttl_mu_;
   std::unordered_map<std::string, std::uint64_t> relation_ttls_;
+  std::uint64_t negative_ttl_micros_;  // guarded by ttl_mu_
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,85 @@
+#include "server/admission.h"
+
+#include "util/json.h"
+
+namespace ucqn {
+
+AdmissionController::Outcome AdmissionController::Enter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++counters_.drain_refusals;
+    return Outcome::kDraining;
+  }
+  if (options_.max_in_flight == 0 ||
+      counters_.in_flight < options_.max_in_flight) {
+    ++counters_.in_flight;
+    ++counters_.admitted;
+    return Outcome::kAdmitted;
+  }
+  if (counters_.waiting >= options_.max_queued) {
+    ++counters_.shed;
+    return Outcome::kShed;
+  }
+  ++counters_.waiting;
+  ++counters_.queued;
+  cv_.wait(lock, [&] {
+    return draining_ || counters_.in_flight < options_.max_in_flight;
+  });
+  --counters_.waiting;
+  if (draining_) {
+    ++counters_.drain_refusals;
+    // Others may be waiting on the same wake condition.
+    cv_.notify_all();
+    return Outcome::kDraining;
+  }
+  ++counters_.in_flight;
+  ++counters_.admitted;
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (counters_.in_flight > 0) --counters_.in_flight;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void AdmissionController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return counters_.in_flight == 0; });
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string AdmissionController::ToJson() const {
+  const Counters c = counters();
+  JsonValue out = JsonValue::Object();
+  out.Set("in_flight", JsonValue::Number(static_cast<double>(c.in_flight)));
+  out.Set("waiting", JsonValue::Number(static_cast<double>(c.waiting)));
+  out.Set("admitted", JsonValue::Number(static_cast<double>(c.admitted)));
+  out.Set("queued", JsonValue::Number(static_cast<double>(c.queued)));
+  out.Set("shed", JsonValue::Number(static_cast<double>(c.shed)));
+  out.Set("drain_refusals",
+          JsonValue::Number(static_cast<double>(c.drain_refusals)));
+  out.Set("draining", JsonValue::Bool(draining()));
+  return out.Dump();
+}
+
+}  // namespace ucqn

@@ -1,0 +1,75 @@
+#ifndef UCQN_SERVER_ADMISSION_H_
+#define UCQN_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ucqn {
+
+// Bounds the daemon's in-flight work. Requests past the bound wait in a
+// bounded FIFO queue; requests past the queue are shed immediately — the
+// classic admission triage (run / wait / refuse), so an overloaded
+// daemon degrades by answering "shed" fast instead of by queueing
+// without bound and timing everything out.
+//
+// Drain (graceful shutdown) flips a latch: new arrivals and queued
+// waiters are refused with kDraining (queued work has not started, so
+// refusing it is cheap for the client to retry elsewhere), in-flight
+// requests finish normally, and WaitIdle returns once the last one left
+// — the point at which state can be snapshotted and the process exit.
+class AdmissionController {
+ public:
+  struct Options {
+    // Requests running concurrently; 0 = unbounded (queue never used).
+    std::size_t max_in_flight = 0;
+    // Requests allowed to wait for a slot before arrivals are shed.
+    std::size_t max_queued = 0;
+  };
+
+  enum class Outcome {
+    kAdmitted,  // run now; pair with Leave()
+    kShed,      // over in-flight + queue bounds; tell the client to retry
+    kDraining,  // shutting down; no new work
+  };
+
+  struct Counters {
+    std::uint64_t admitted = 0;
+    std::uint64_t queued = 0;         // admissions that had to wait first
+    std::uint64_t shed = 0;
+    std::uint64_t drain_refusals = 0;
+    std::size_t in_flight = 0;
+    std::size_t waiting = 0;
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  // Blocks while queued; never blocks once the outcome is decided.
+  Outcome Enter();
+  // Releases an admitted request's slot.
+  void Leave();
+
+  // Starts refusing new and queued work. Idempotent.
+  void BeginDrain();
+  bool draining() const;
+  // Blocks until no admitted request remains in flight. Call after
+  // BeginDrain (without it, new admissions can keep this waiting
+  // forever).
+  void WaitIdle();
+
+  Counters counters() const;
+  std::string ToJson() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  Counters counters_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_SERVER_ADMISSION_H_

@@ -1,0 +1,174 @@
+#include "server/daemon.h"
+
+#include <sstream>
+#include <utility>
+
+#include "server/snapshot.h"
+
+namespace ucqn {
+
+QueryDaemon::QueryDaemon(const Catalog* catalog, Source* backend,
+                         Options options)
+    : options_(std::move(options)),
+      catalog_(catalog),
+      backend_(backend),
+      store_(options_.cache),
+      tenants_(options_.default_quota),
+      admission_(options_.admission) {}
+
+ServiceResponse QueryDaemon::Submit(const ServiceRequest& request) {
+  if (request.op != ServiceRequest::Op::kQuery) return RunAdminOp(request);
+
+  ServiceResponse response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  response.include_answers = request.include_answers;
+
+  // Tenant quota first (cheap, per-tenant), then the global admission
+  // gate — a tenant over its own cap never occupies a queue slot that a
+  // within-quota tenant could use.
+  if (!tenants_.TryEnter(request.tenant)) {
+    response.status = ServiceResponse::Status::kQuotaRefused;
+    response.error = "tenant over max_concurrent quota";
+    return response;
+  }
+  switch (admission_.Enter()) {
+    case AdmissionController::Outcome::kShed:
+      tenants_.Leave(request.tenant);
+      response.status = ServiceResponse::Status::kShed;
+      response.error = "admission queue full";
+      return response;
+    case AdmissionController::Outcome::kDraining:
+      tenants_.Leave(request.tenant);
+      response.status = ServiceResponse::Status::kDraining;
+      response.error = "daemon is draining";
+      return response;
+    case AdmissionController::Outcome::kAdmitted:
+      break;
+  }
+
+  SessionEnv env;
+  env.catalog = catalog_;
+  env.backend = backend_;
+  env.shared_cache = &store_;
+  env.stats = &stats_;
+  env.stats_mu = &stats_mu_;
+  env.runtime = options_.runtime;
+  env.adaptive_cost_model = options_.adaptive_cost_model;
+  response = RunQuerySession(env, request, tenants_.QuotaFor(request.tenant));
+
+  admission_.Leave();
+  tenants_.Leave(request.tenant);
+  {
+    std::lock_guard<std::mutex> lock(served_mu_);
+    ++queries_served_;
+  }
+  return response;
+}
+
+std::string QueryDaemon::SubmitLine(const std::string& line) {
+  std::string error;
+  std::optional<ServiceRequest> request = ParseServiceRequest(line, &error);
+  if (!request) {
+    ServiceResponse response;
+    response.status = ServiceResponse::Status::kError;
+    response.error = "bad request: " + error;
+    return response.ToJsonLine();
+  }
+  return Submit(*request).ToJsonLine();
+}
+
+ServiceResponse QueryDaemon::RunAdminOp(const ServiceRequest& request) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  response.include_answers = false;
+  switch (request.op) {
+    case ServiceRequest::Op::kStats:
+      response.payload_json = StatusJson();
+      break;
+    case ServiceRequest::Op::kInvalidate: {
+      const std::size_t before = store_.size();
+      if (request.relation.empty()) {
+        store_.InvalidateAll();
+      } else {
+        store_.InvalidateRelation(request.relation);
+      }
+      std::ostringstream payload;
+      payload << "{\"dropped\": " << (before - store_.size()) << "}";
+      response.payload_json = payload.str();
+      break;
+    }
+    case ServiceRequest::Op::kSnapshot: {
+      std::string error;
+      if (!SaveSnapshots(&error)) {
+        response.status = ServiceResponse::Status::kError;
+        response.error = error;
+      } else {
+        response.payload_json =
+            "{\"snapshot_dir\": \"" + options_.snapshot_dir + "\"}";
+      }
+      break;
+    }
+    case ServiceRequest::Op::kQuery:
+      break;  // unreachable: Submit routes queries before this switch
+  }
+  return response;
+}
+
+bool QueryDaemon::LoadSnapshots(SnapshotLoadReport* report,
+                                std::string* error) {
+  if (options_.snapshot_dir.empty()) {
+    if (report != nullptr) *report = {};
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return LoadSnapshotFiles(options_.snapshot_dir, &store_, &stats_, report,
+                           error);
+}
+
+bool QueryDaemon::SaveSnapshots(std::string* error) {
+  if (options_.snapshot_dir.empty()) {
+    if (error != nullptr) *error = "no --snapshot-dir configured";
+    return false;
+  }
+  // Copy the catalog under its lock so a concurrent session's Observe
+  // never races the serializer; the cache store locks per shard itself.
+  StatsCatalog stats_copy;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_copy = stats_;
+  }
+  return SaveSnapshotFiles(options_.snapshot_dir, store_, stats_copy, error);
+}
+
+void QueryDaemon::Drain() {
+  admission_.BeginDrain();
+  admission_.WaitIdle();
+  if (!options_.snapshot_dir.empty()) {
+    std::string error;
+    SaveSnapshots(&error);  // best effort: drain must complete regardless
+  }
+}
+
+std::uint64_t QueryDaemon::queries_served() const {
+  std::lock_guard<std::mutex> lock(served_mu_);
+  return queries_served_;
+}
+
+std::string QueryDaemon::StatusJson() const {
+  std::size_t stats_relations = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_relations = stats_.size();
+  }
+  std::ostringstream out;
+  out << "{\"admission\": " << admission_.ToJson()
+      << ", \"tenants\": " << tenants_.ToJson()
+      << ", \"cache\": " << store_.ToJson()
+      << ", \"stats_relations\": " << stats_relations
+      << ", \"queries_served\": " << queries_served() << "}";
+  return out.str();
+}
+
+}  // namespace ucqn

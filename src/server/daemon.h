@@ -1,0 +1,106 @@
+#ifndef UCQN_SERVER_DAEMON_H_
+#define UCQN_SERVER_DAEMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cost/stats_catalog.h"
+#include "runtime/shared_cache.h"
+#include "runtime/source_stack.h"
+#include "schema/catalog.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "server/snapshot.h"
+#include "server/tenant.h"
+
+namespace ucqn {
+
+// The long-lived, multi-tenant face of the mediator: one process, one
+// SharedCacheStore + StatsCatalog + backend transport, many concurrent
+// query sessions multiplexed onto them. Each Submit is one session —
+// admission-controlled, quota-checked, executed on the caller's thread
+// against a fresh SourceStack view of the shared state. The transport
+// fronts (listener.h's Unix socket, ucqnd's --stdio loop) are thin
+// adapters over Submit; tests drive Submit directly.
+//
+// Lifecycle: construct → LoadSnapshots (optional, warm start) → serve
+// Submits from any number of threads → Drain (finish in-flight, refuse
+// new, spill snapshots) → destruct.
+class QueryDaemon {
+ public:
+  struct Options {
+    AdmissionController::Options admission;
+    TenantQuota default_quota;
+    // Stack template for every session: retry policy, parallelism,
+    // pipeline depth, deadline default. Per-session fields (shared
+    // cache, metering, budgets) are overridden per request.
+    RuntimeOptions runtime;
+    // Configuration of the daemon-owned SharedCacheStore (TTLs including
+    // the negative split, tuple budget, shards).
+    SharedCacheStore::Options cache;
+    // Plan from observed stats (AdaptiveCostModel over the shared
+    // StatsCatalog) instead of the static heuristics.
+    bool adaptive_cost_model = false;
+    // Directory for cache.json/stats.json spill files; empty = snapshots
+    // only on explicit request (op "snapshot" fails without a dir).
+    std::string snapshot_dir;
+  };
+
+  // Does not take ownership of `catalog` or `backend`; both must outlive
+  // the daemon and `backend->Fetch` must be thread-safe (DatabaseSource
+  // is; remote transports must be too).
+  QueryDaemon(const Catalog* catalog, Source* backend, Options options);
+
+  // Thread-safe; blocks while queued by admission control. Handles every
+  // protocol op: queries run sessions, admin ops answer from the shared
+  // state.
+  ServiceResponse Submit(const ServiceRequest& request);
+
+  // Parses `line` and Submits it; protocol errors become error
+  // responses, so a transport can always just write the returned line.
+  std::string SubmitLine(const std::string& line);
+
+  // Restores cache.json/stats.json from options.snapshot_dir (missing
+  // files are fine — a first boot). Call before serving.
+  bool LoadSnapshots(SnapshotLoadReport* report, std::string* error);
+  // Spills the shared cache + stats catalog to options.snapshot_dir.
+  bool SaveSnapshots(std::string* error);
+
+  // Graceful shutdown: refuse new work, let in-flight sessions finish,
+  // then spill snapshots (when a snapshot_dir is configured). Returns
+  // once the daemon is idle and spilled.
+  void Drain();
+
+  // {"admission": {...}, "tenants": {...}, "cache": {...},
+  //  "stats_relations": N, "queries_served": N}
+  std::string StatusJson() const;
+
+  SharedCacheStore* shared_cache() { return &store_; }
+  StatsCatalog* stats() { return &stats_; }
+  std::mutex* stats_mu() { return &stats_mu_; }
+  TenantRegistry* tenants() { return &tenants_; }
+  AdmissionController* admission() { return &admission_; }
+  const Options& options() const { return options_; }
+  std::uint64_t queries_served() const;
+
+ private:
+  ServiceResponse RunAdminOp(const ServiceRequest& request);
+
+  Options options_;
+  const Catalog* catalog_;
+  Source* backend_;
+  SharedCacheStore store_;
+  StatsCatalog stats_;
+  mutable std::mutex stats_mu_;
+  TenantRegistry tenants_;
+  AdmissionController admission_;
+  mutable std::mutex served_mu_;
+  std::uint64_t queries_served_ = 0;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_SERVER_DAEMON_H_

@@ -1,0 +1,61 @@
+#ifndef UCQN_SERVER_LISTENER_H_
+#define UCQN_SERVER_LISTENER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/daemon.h"
+
+namespace ucqn {
+
+// The daemon's transport front: a Unix-domain stream socket speaking the
+// line-delimited protocol. One accept loop, one thread per connection,
+// responses written strictly in each connection's request order — the
+// concurrency story lives entirely in QueryDaemon::Submit, which every
+// connection thread calls directly. Local-socket-only is deliberate: the
+// daemon multiplexes *sessions*, not networks; filesystem permissions on
+// the socket path are the access boundary.
+class SocketListener {
+ public:
+  // `daemon` must outlive the listener.
+  explicit SocketListener(QueryDaemon* daemon) : daemon_(daemon) {}
+  ~SocketListener() { Stop(); }
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  // Binds `path` (unlinking a stale socket file first) and starts the
+  // accept loop in a background thread. Returns false and sets `*error`
+  // when the bind fails.
+  bool Start(const std::string& path, std::string* error);
+
+  // Stops accepting, shuts down live connections, joins every thread,
+  // and unlinks the socket file. Idempotent. In-flight Submits finish
+  // (their sockets are shut down, so the response write may fail, but
+  // the daemon-side work completes) — call daemon->Drain() first for a
+  // graceful close.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryDaemon* daemon_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;          // guarded by conn_mu_
+  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_SERVER_LISTENER_H_

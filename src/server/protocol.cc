@@ -1,0 +1,192 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+#include "util/json.h"
+
+namespace ucqn {
+
+namespace {
+
+JsonValue TupleToJson(const Tuple& tuple) {
+  JsonValue row = JsonValue::Array();
+  for (const Term& term : tuple) {
+    // Answers are ground: constants and the distinguished null (Ex. 7's
+    // unknown values). null maps to JSON null so clients need no
+    // sentinel convention.
+    row.Append(term.IsNull() ? JsonValue::Null()
+                             : JsonValue::String(term.name()));
+  }
+  return row;
+}
+
+JsonValue TupleSetToJson(const std::set<Tuple>& tuples) {
+  JsonValue rows = JsonValue::Array();
+  for (const Tuple& tuple : tuples) rows.Append(TupleToJson(tuple));
+  return rows;
+}
+
+bool JsonToTupleSet(const JsonValue& rows, std::set<Tuple>* out,
+                    std::string* error) {
+  if (!rows.is_array()) {
+    *error = "expected an array of tuples";
+    return false;
+  }
+  for (const JsonValue& row : rows.items()) {
+    if (!row.is_array()) {
+      *error = "expected a tuple array";
+      return false;
+    }
+    Tuple tuple;
+    for (const JsonValue& cell : row.items()) {
+      if (cell.is_null()) {
+        tuple.push_back(Term::Null());
+      } else if (cell.is_string()) {
+        tuple.push_back(Term::Constant(cell.AsString()));
+      } else {
+        *error = "tuple cells must be strings or null";
+        return false;
+      }
+    }
+    out->insert(std::move(tuple));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ServiceRequest> ParseServiceRequest(const std::string& line,
+                                                  std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> json = ParseJson(line, &parse_error);
+  auto fail = [&](const std::string& why) -> std::optional<ServiceRequest> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!json) return fail("malformed request: " + parse_error);
+  if (!json->is_object()) return fail("request must be a JSON object");
+
+  ServiceRequest request;
+  const std::string op = json->GetString("op", "query");
+  if (op == "query") {
+    request.op = ServiceRequest::Op::kQuery;
+  } else if (op == "stats") {
+    request.op = ServiceRequest::Op::kStats;
+  } else if (op == "invalidate") {
+    request.op = ServiceRequest::Op::kInvalidate;
+  } else if (op == "snapshot") {
+    request.op = ServiceRequest::Op::kSnapshot;
+  } else {
+    return fail("unknown op \"" + op + "\"");
+  }
+  request.id = json->GetString("id");
+  request.tenant = json->GetString("tenant", "default");
+  if (request.tenant.empty()) request.tenant = "default";
+  request.query = json->GetString("query");
+  request.relation = json->GetString("relation");
+  const double max_calls = json->GetNumber("max_calls", 0.0);
+  if (max_calls < 0) return fail("max_calls must be non-negative");
+  request.max_calls = static_cast<std::uint64_t>(max_calls);
+  request.include_answers = json->GetBool("answers", true);
+  if (request.op == ServiceRequest::Op::kQuery && request.query.empty()) {
+    return fail("query op without a \"query\" field");
+  }
+  return request;
+}
+
+const char* ServiceResponse::StatusWord(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kShed: return "shed";
+    case Status::kDraining: return "draining";
+    case Status::kQuotaRefused: return "quota";
+  }
+  return "error";
+}
+
+std::string ServiceResponse::ToJsonLine() const {
+  JsonValue out = JsonValue::Object();
+  if (!id.empty()) out.Set("id", JsonValue::String(id));
+  if (!tenant.empty()) out.Set("tenant", JsonValue::String(tenant));
+  out.Set("status", JsonValue::String(StatusWord(status)));
+  if (status != Status::kOk) {
+    out.Set("error", JsonValue::String(error));
+    return out.Dump();
+  }
+  if (!payload_json.empty()) {
+    // Admin payloads (cache/stats exports) are already JSON; splice the
+    // text in verbatim rather than re-modelling it.
+    std::string line = out.Dump();
+    line.pop_back();  // trailing '}'
+    return line + ", \"payload\": " + payload_json + "}";
+  }
+  out.Set("under_count",
+          JsonValue::Number(static_cast<double>(under.size())));
+  out.Set("over_count", JsonValue::Number(static_cast<double>(over.size())));
+  out.Set("complete", JsonValue::Bool(complete));
+  if (include_answers) {
+    out.Set("under", TupleSetToJson(under));
+    out.Set("over", TupleSetToJson(over));
+  }
+  out.Set("physical_calls",
+          JsonValue::Number(static_cast<double>(physical_calls)));
+  out.Set("cache_hits", JsonValue::Number(static_cast<double>(cache_hits)));
+  out.Set("cache_misses",
+          JsonValue::Number(static_cast<double>(cache_misses)));
+  return out.Dump();
+}
+
+std::optional<ServiceResponse> ParseServiceResponse(const std::string& line,
+                                                    std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> json = ParseJson(line, &parse_error);
+  auto fail = [&](const std::string& why) -> std::optional<ServiceResponse> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!json) return fail("malformed response: " + parse_error);
+  if (!json->is_object()) return fail("response must be a JSON object");
+
+  ServiceResponse response;
+  response.id = json->GetString("id");
+  response.tenant = json->GetString("tenant");
+  const std::string status = json->GetString("status");
+  if (status == "ok") {
+    response.status = ServiceResponse::Status::kOk;
+  } else if (status == "error") {
+    response.status = ServiceResponse::Status::kError;
+  } else if (status == "shed") {
+    response.status = ServiceResponse::Status::kShed;
+  } else if (status == "draining") {
+    response.status = ServiceResponse::Status::kDraining;
+  } else if (status == "quota") {
+    response.status = ServiceResponse::Status::kQuotaRefused;
+  } else {
+    return fail("unknown status \"" + status + "\"");
+  }
+  response.error = json->GetString("error");
+  response.complete = json->GetBool("complete");
+  response.physical_calls =
+      static_cast<std::uint64_t>(json->GetNumber("physical_calls"));
+  response.cache_hits =
+      static_cast<std::uint64_t>(json->GetNumber("cache_hits"));
+  response.cache_misses =
+      static_cast<std::uint64_t>(json->GetNumber("cache_misses"));
+  std::string tuple_error;
+  const JsonValue* under = json->Find("under");
+  if (under != nullptr &&
+      !JsonToTupleSet(*under, &response.under, &tuple_error)) {
+    return fail("bad under set: " + tuple_error);
+  }
+  const JsonValue* over = json->Find("over");
+  if (over != nullptr && !JsonToTupleSet(*over, &response.over, &tuple_error)) {
+    return fail("bad over set: " + tuple_error);
+  }
+  response.include_answers = under != nullptr || over != nullptr;
+  const JsonValue* payload = json->Find("payload");
+  if (payload != nullptr) response.payload_json = payload->Dump();
+  return response;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,110 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ast/parser.h"
+#include "cost/cost_model.h"
+#include "cost/estimates.h"
+#include "eval/answer_star.h"
+#include "feasibility/compile.h"
+
+namespace ucqn {
+
+namespace {
+
+// The smaller of two caps where 0 means "uncapped".
+std::uint64_t MinCap(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+}  // namespace
+
+ServiceResponse RunQuerySession(const SessionEnv& env,
+                                const ServiceRequest& request,
+                                const TenantQuota& quota) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  response.include_answers = request.include_answers;
+
+  std::string error;
+  std::optional<UnionQuery> query = ParseUnionQuery(request.query, &error);
+  if (!query) {
+    response.status = ServiceResponse::Status::kError;
+    response.error = "query error: " + error;
+    return response;
+  }
+  if (!env.catalog->CoversQuery(*query, &error)) {
+    response.status = ServiceResponse::Status::kError;
+    response.error = "schema mismatch: " + error;
+    return response;
+  }
+  CompileResult compiled = Compile(*query, *env.catalog, {});
+
+  // The per-session stack: a fresh view (budgets, meter, hit/miss ledger)
+  // over the shared store. Metering is forced on so physical calls are
+  // attributable to this request, and the tenant's caps ride the
+  // CallBudget the retry layer already enforces.
+  RuntimeOptions runtime = env.runtime;
+  runtime.shared_cache = env.shared_cache;
+  runtime.metering = true;
+  runtime.budget.max_calls =
+      MinCap(request.max_calls, quota.max_calls_per_query);
+  runtime.budget.deadline_micros =
+      MinCap(runtime.budget.deadline_micros, quota.deadline_micros);
+
+  // Adaptive planning prices candidates from a point-in-time copy of the
+  // shared stats catalog: the copy is taken under the lock, the model
+  // reads it lock-free, and concurrent sessions keep observing into the
+  // original — the same snapshot discipline as `ucqnc --stats-in`.
+  StatsCatalog stats_snapshot;
+  if (env.adaptive_cost_model && env.stats != nullptr) {
+    std::lock_guard<std::mutex> lock(*env.stats_mu);
+    stats_snapshot = *env.stats;
+  }
+  AdaptiveCostOptions adaptive_options;
+  adaptive_options.shared_cache = env.shared_cache;
+  AdaptiveCostModel adaptive_model(
+      &stats_snapshot, CardinalityEstimates::FromCatalog(*env.catalog),
+      adaptive_options);
+
+  ExecutionOptions exec;
+  if (env.adaptive_cost_model) exec.cost_model = &adaptive_model;
+  exec.runtime.pipeline_depth = env.runtime.pipeline_depth;
+
+  SourceStack stack(env.backend, runtime);
+  exec.runtime.clock = stack.clock();
+  AnswerStarReport report =
+      AnswerStar(compiled.analyzed_query, *env.catalog, stack.source(), exec);
+
+  const RuntimeStats stats = stack.stats();
+  response.physical_calls =
+      stack.meter() != nullptr ? stack.meter()->totals().calls : 0;
+  response.cache_hits = stats.cache_hits;
+  response.cache_misses = stats.cache_misses;
+
+  // Feed this session's observations to every later session's adaptive
+  // model (and the stats snapshot file).
+  if (env.stats != nullptr && stack.meter() != nullptr) {
+    std::lock_guard<std::mutex> lock(*env.stats_mu);
+    env.stats->Observe(*stack.meter());
+  }
+
+  if (!report.ok) {
+    response.status = ServiceResponse::Status::kError;
+    response.error = report.error;
+    return response;
+  }
+  response.status = ServiceResponse::Status::kOk;
+  response.under = std::move(report.under);
+  response.over = std::move(report.over);
+  response.complete = report.complete;
+  return response;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,168 @@
+#include "server/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace ucqn {
+
+namespace {
+
+bool ReadFileTo(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFileFrom(const std::string& path, const std::string& text,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    *error = "cannot write " + path;
+    return false;
+  }
+  out << text << "\n";
+  out.close();
+  if (!out) {
+    *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CacheSnapshotToJson(const SharedCacheStore& store) {
+  JsonValue out = JsonValue::Object();
+  JsonValue entries = JsonValue::Array();
+  for (const SharedCacheStore::ExportedEntry& entry : store.ExportEntries()) {
+    JsonValue e = JsonValue::Object();
+    e.Set("key", JsonValue::String(entry.key));
+    e.Set("relation", JsonValue::String(entry.relation));
+    e.Set("ttl_remaining_us",
+          JsonValue::Number(static_cast<double>(entry.ttl_remaining_micros)));
+    JsonValue tuples = JsonValue::Array();
+    for (const Tuple& tuple : entry.tuples) {
+      JsonValue row = JsonValue::Array();
+      for (const Term& term : tuple) {
+        row.Append(term.IsNull() ? JsonValue::Null()
+                                 : JsonValue::String(term.name()));
+      }
+      tuples.Append(std::move(row));
+    }
+    e.Set("tuples", std::move(tuples));
+    entries.Append(std::move(e));
+  }
+  out.Set("entries", std::move(entries));
+  return out.Dump();
+}
+
+bool RestoreCacheSnapshot(const std::string& json, SharedCacheStore* store,
+                          std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> parsed = ParseJson(json, &parse_error);
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!parsed) return fail("malformed cache snapshot: " + parse_error);
+  if (!parsed->is_object()) return fail("cache snapshot must be an object");
+  const JsonValue* entries = parsed->Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return fail("cache snapshot lacks an \"entries\" array");
+  }
+  for (const JsonValue& e : entries->items()) {
+    if (!e.is_object()) return fail("snapshot entry must be an object");
+    SharedCacheStore::ExportedEntry entry;
+    entry.key = e.GetString("key");
+    entry.relation = e.GetString("relation");
+    if (entry.key.empty() || entry.relation.empty()) {
+      return fail("snapshot entry lacks key/relation");
+    }
+    const double ttl = e.GetNumber("ttl_remaining_us", 0.0);
+    if (ttl < 0) return fail("negative ttl_remaining_us");
+    entry.ttl_remaining_micros = static_cast<std::uint64_t>(ttl);
+    const JsonValue* tuples = e.Find("tuples");
+    if (tuples == nullptr || !tuples->is_array()) {
+      return fail("snapshot entry lacks a \"tuples\" array");
+    }
+    for (const JsonValue& row : tuples->items()) {
+      if (!row.is_array()) return fail("snapshot tuple must be an array");
+      Tuple tuple;
+      for (const JsonValue& cell : row.items()) {
+        if (cell.is_null()) {
+          tuple.push_back(Term::Null());
+        } else if (cell.is_string()) {
+          tuple.push_back(Term::Constant(cell.AsString()));
+        } else {
+          return fail("snapshot tuple cells must be strings or null");
+        }
+      }
+      entry.tuples.push_back(std::move(tuple));
+    }
+    store->RestoreEntry(entry);
+  }
+  return true;
+}
+
+bool SaveSnapshotFiles(const std::string& dir, const SharedCacheStore& store,
+                       const StatsCatalog& stats, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  std::string why;
+  if (!WriteFileFrom(dir + "/cache.json", CacheSnapshotToJson(store), &why) ||
+      !WriteFileFrom(dir + "/stats.json", stats.ToJson(), &why)) {
+    if (error != nullptr) *error = why;
+    return false;
+  }
+  return true;
+}
+
+bool LoadSnapshotFiles(const std::string& dir, SharedCacheStore* store,
+                       StatsCatalog* stats, SnapshotLoadReport* report,
+                       std::string* error) {
+  SnapshotLoadReport loaded;
+  std::string text;
+  if (ReadFileTo(dir + "/cache.json", &text)) {
+    if (!RestoreCacheSnapshot(text, store, error)) return false;
+    loaded.cache_loaded = true;
+    loaded.cache_entries = store->size();
+  }
+  if (ReadFileTo(dir + "/stats.json", &text)) {
+    std::string why;
+    std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(text, &why);
+    if (!parsed) {
+      if (error != nullptr) *error = "bad stats snapshot: " + why;
+      return false;
+    }
+    // Merge rather than assign, so a pre-seeded catalog keeps its state.
+    for (const auto& [relation, split] : parsed->patterns()) {
+      for (const auto& [word, entry] : split) {
+        stats->Record(relation, word, entry);
+      }
+    }
+    for (const auto& [relation, entry] : parsed->relations()) {
+      // Pooled-only relations (pre-split snapshots) have no keyed rows;
+      // keyed ones were already folded into the pool by Record above.
+      if (parsed->patterns().count(relation) == 0) {
+        stats->Record(relation, entry);
+      }
+    }
+    loaded.stats_loaded = true;
+    loaded.stats_relations = parsed->size();
+  }
+  if (report != nullptr) *report = loaded;
+  return true;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,80 @@
+#include "server/tenant.h"
+
+#include "util/json.h"
+
+namespace ucqn {
+
+void TenantRegistry::SetDefaultQuota(const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_quota_ = quota;
+  // Tenants that never got an explicit quota track the default.
+  for (auto& [name, state] : tenants_) {
+    if (!state.quota_set) state.quota = quota;
+  }
+}
+
+void TenantRegistry::SetQuota(const std::string& tenant,
+                              const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = tenants_[tenant];
+  if (state.counters.admitted == 0 && !state.quota_set) {
+    state.quota = default_quota_;  // initialize fresh entry before override
+  }
+  state.quota = quota;
+  state.quota_set = true;
+}
+
+TenantQuota TenantRegistry::QuotaFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.quota_set) return default_quota_;
+  return it->second.quota;
+}
+
+bool TenantRegistry::TryEnter(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  State& state = it->second;
+  if (inserted) state.quota = default_quota_;
+  if (state.quota.max_concurrent != 0 &&
+      state.counters.in_flight >= state.quota.max_concurrent) {
+    ++state.counters.quota_refusals;
+    return false;
+  }
+  ++state.counters.in_flight;
+  ++state.counters.admitted;
+  return true;
+}
+
+void TenantRegistry::Leave(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.counters.in_flight == 0) return;
+  --it->second.counters.in_flight;
+  ++it->second.counters.completed;
+}
+
+std::map<std::string, TenantRegistry::Counters> TenantRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Counters> out;
+  for (const auto& [name, state] : tenants_) out[name] = state.counters;
+  return out;
+}
+
+std::string TenantRegistry::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [name, c] : counters()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("in_flight", JsonValue::Number(static_cast<double>(c.in_flight)));
+    entry.Set("admitted", JsonValue::Number(static_cast<double>(c.admitted)));
+    entry.Set("completed",
+              JsonValue::Number(static_cast<double>(c.completed)));
+    entry.Set("quota_refusals",
+              JsonValue::Number(static_cast<double>(c.quota_refusals)));
+    out.Set(name, std::move(entry));
+  }
+  return out.Dump();
+}
+
+}  // namespace ucqn

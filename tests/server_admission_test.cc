@@ -1,0 +1,153 @@
+// AdmissionController: the run / wait / shed triage bounding the
+// daemon's in-flight work, and the drain latch behind graceful shutdown.
+// Runs under the tsan gate via the `concurrency` label.
+
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ucqn {
+namespace {
+
+TEST(AdmissionTest, UnboundedByDefault) {
+  AdmissionController admission;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+  }
+  EXPECT_EQ(admission.counters().in_flight, 100u);
+  for (int i = 0; i < 100; ++i) admission.Leave();
+  EXPECT_EQ(admission.counters().in_flight, 0u);
+  EXPECT_EQ(admission.counters().shed, 0u);
+}
+
+TEST(AdmissionTest, ShedsPastTheQueueBound) {
+  AdmissionController::Options options;
+  options.max_in_flight = 1;
+  options.max_queued = 0;
+  AdmissionController admission(options);
+
+  EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+  // Slot taken, no queue: the second arrival is refused immediately.
+  EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kShed);
+  EXPECT_EQ(admission.counters().shed, 1u);
+  admission.Leave();
+  EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+  admission.Leave();
+}
+
+TEST(AdmissionTest, QueuedArrivalRunsWhenTheSlotFrees) {
+  AdmissionController::Options options;
+  options.max_in_flight = 1;
+  options.max_queued = 1;
+  AdmissionController admission(options);
+
+  ASSERT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+    admitted.store(true);
+    admission.Leave();
+  });
+  // The waiter parks in the queue; a third arrival overflows it.
+  while (admission.counters().waiting == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kShed);
+  admission.Leave();  // frees the slot; the waiter admits
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission.counters().queued, 1u);
+  EXPECT_EQ(admission.counters().shed, 1u);
+  EXPECT_EQ(admission.counters().in_flight, 0u);
+}
+
+TEST(AdmissionTest, DrainRefusesNewAndQueuedButFinishesInFlight) {
+  AdmissionController::Options options;
+  options.max_in_flight = 1;
+  options.max_queued = 4;
+  AdmissionController admission(options);
+
+  ASSERT_EQ(admission.Enter(), AdmissionController::Outcome::kAdmitted);
+  std::atomic<int> refused{0};
+  std::thread queued([&] {
+    if (admission.Enter() == AdmissionController::Outcome::kDraining) {
+      refused.fetch_add(1);
+    } else {
+      admission.Leave();
+    }
+  });
+  while (admission.counters().waiting == 0) std::this_thread::yield();
+
+  admission.BeginDrain();
+  EXPECT_TRUE(admission.draining());
+  // The queued waiter wakes refused; new arrivals are refused outright.
+  queued.join();
+  EXPECT_EQ(refused.load(), 1);
+  EXPECT_EQ(admission.Enter(), AdmissionController::Outcome::kDraining);
+  EXPECT_EQ(admission.counters().drain_refusals, 2u);
+
+  // WaitIdle returns only after the in-flight request leaves.
+  std::atomic<bool> idle{false};
+  std::thread waiter([&] {
+    admission.WaitIdle();
+    idle.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(idle.load());
+  admission.Leave();
+  waiter.join();
+  EXPECT_TRUE(idle.load());
+  EXPECT_EQ(admission.counters().in_flight, 0u);
+}
+
+TEST(AdmissionTest, ManyThreadsNeverExceedTheBound) {
+  AdmissionController::Options options;
+  options.max_in_flight = 3;
+  options.max_queued = 64;
+  AdmissionController admission(options);
+
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        if (admission.Enter() != AdmissionController::Outcome::kAdmitted) {
+          continue;
+        }
+        const int now = running.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::yield();
+        running.fetch_sub(1);
+        admission.Leave();
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GT(completed.load(), 0);
+  const AdmissionController::Counters counters = admission.counters();
+  EXPECT_EQ(counters.in_flight, 0u);
+  EXPECT_EQ(counters.waiting, 0u);
+  EXPECT_EQ(counters.admitted + counters.shed, 16u * 20u);
+  EXPECT_EQ(counters.admitted, static_cast<std::uint64_t>(completed.load()));
+}
+
+TEST(AdmissionTest, ToJsonIsWellFormed) {
+  AdmissionController admission;
+  (void)admission.Enter();
+  const std::string json = admission.ToJson();
+  EXPECT_NE(json.find("\"admitted\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight\": 1"), std::string::npos);
+  admission.Leave();
+}
+
+}  // namespace
+}  // namespace ucqn

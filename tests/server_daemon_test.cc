@@ -1,0 +1,309 @@
+// QueryDaemon: the multi-tenant service core — sessions over the shared
+// runtime, tenant quotas, admission shed/drain behavior under
+// over-admission, snapshot spill/restore, and the warm-restart contract
+// (a previously seen query costs zero physical source calls).
+
+#include "server/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/snapshot.h"
+
+namespace ucqn {
+namespace {
+
+// Wraps a source so every Fetch parks until the gate opens — the test's
+// handle on "a session is in flight right now".
+class GatedSource : public Source {
+ public:
+  explicit GatedSource(Source* inner) : inner_(inner) {}
+
+  FetchResult Fetch(const std::string& relation, const AccessPattern& pattern,
+                    const std::vector<std::optional<Term>>& inputs) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+    }
+    return inner_->Fetch(relation, pattern, inputs);
+  }
+
+  void WaitUntilEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  Source* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+ServiceRequest QueryRequest(const std::string& id, const std::string& tenant,
+                            const std::string& query) {
+  ServiceRequest request;
+  request.id = id;
+  request.tenant = tenant;
+  request.query = query;
+  return request;
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonTest() {
+    catalog_ = Catalog::MustParse("L/1: o\nB/2: io\n");
+    db_ = Database::MustParseFacts(R"(
+      L("a").
+      L("b").
+      B("a", "x").
+      B("b", "y").
+    )");
+  }
+
+  Catalog catalog_;
+  Database db_;
+  const std::string join_query_ = "Q(x, y) :- L(x), B(x, y).";
+};
+
+TEST_F(DaemonTest, ServesQueriesOverOneSharedCache) {
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon daemon(&catalog_, &backend, {});
+
+  ServiceResponse cold = daemon.Submit(QueryRequest("q1", "alice", join_query_));
+  ASSERT_EQ(cold.status, ServiceResponse::Status::kOk) << cold.error;
+  EXPECT_EQ(cold.under.size(), 2u);
+  EXPECT_TRUE(cold.complete);
+  EXPECT_GT(cold.physical_calls, 0u);
+
+  // A different tenant repeats the query: every call hits the shared
+  // store — the multi-tenant reuse the daemon exists for.
+  const std::uint64_t backend_calls = backend.stats().calls;
+  ServiceResponse warm = daemon.Submit(QueryRequest("q2", "bob", join_query_));
+  ASSERT_EQ(warm.status, ServiceResponse::Status::kOk) << warm.error;
+  EXPECT_EQ(warm.under, cold.under);
+  EXPECT_EQ(warm.over, cold.over);
+  EXPECT_EQ(backend.stats().calls, backend_calls);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(daemon.queries_served(), 2u);
+
+  const std::string status = daemon.StatusJson();
+  EXPECT_NE(status.find("\"queries_served\": 2"), std::string::npos);
+  EXPECT_NE(status.find("\"alice\""), std::string::npos);
+  EXPECT_NE(status.find("\"bob\""), std::string::npos);
+}
+
+TEST_F(DaemonTest, BadQueriesPoisonOnlyThemselves) {
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon daemon(&catalog_, &backend, {});
+
+  ServiceResponse parse_error =
+      daemon.Submit(QueryRequest("q1", "alice", "Q(x) :- L(x"));
+  EXPECT_EQ(parse_error.status, ServiceResponse::Status::kError);
+  EXPECT_NE(parse_error.error.find("query error"), std::string::npos);
+
+  ServiceResponse schema_error =
+      daemon.Submit(QueryRequest("q2", "alice", "Q(x) :- Missing(x)."));
+  EXPECT_EQ(schema_error.status, ServiceResponse::Status::kError);
+  EXPECT_NE(schema_error.error.find("schema mismatch"), std::string::npos);
+
+  // A garbage line through the transport path is also just one error.
+  const std::string bad = daemon.SubmitLine("not json at all");
+  EXPECT_NE(bad.find("\"status\": \"error\""), std::string::npos);
+
+  ServiceResponse ok = daemon.Submit(QueryRequest("q3", "alice", join_query_));
+  EXPECT_EQ(ok.status, ServiceResponse::Status::kOk) << ok.error;
+}
+
+TEST_F(DaemonTest, TenantQuotaRefusesConcurrentOveruse) {
+  DatabaseSource backend(&db_, &catalog_);
+  GatedSource gated(&backend);
+  QueryDaemon::Options options;
+  options.default_quota.max_concurrent = 1;
+  QueryDaemon daemon(&catalog_, &gated, options);
+
+  std::thread busy([&] {
+    ServiceResponse r = daemon.Submit(QueryRequest("q1", "alice", join_query_));
+    EXPECT_EQ(r.status, ServiceResponse::Status::kOk) << r.error;
+  });
+  gated.WaitUntilEntered(1);
+
+  // alice is at her cap; bob is not.
+  ServiceResponse refused =
+      daemon.Submit(QueryRequest("q2", "alice", join_query_));
+  EXPECT_EQ(refused.status, ServiceResponse::Status::kQuotaRefused);
+
+  gated.Open();
+  busy.join();
+  // With her slot back, alice is served again.
+  ServiceResponse ok = daemon.Submit(QueryRequest("q3", "alice", join_query_));
+  EXPECT_EQ(ok.status, ServiceResponse::Status::kOk) << ok.error;
+}
+
+TEST_F(DaemonTest, OverAdmissionShedsInsteadOfQueueingUnbounded) {
+  DatabaseSource backend(&db_, &catalog_);
+  GatedSource gated(&backend);
+  QueryDaemon::Options options;
+  options.admission.max_in_flight = 1;
+  options.admission.max_queued = 0;
+  QueryDaemon daemon(&catalog_, &gated, options);
+
+  std::thread busy([&] {
+    ServiceResponse r = daemon.Submit(QueryRequest("q1", "alice", join_query_));
+    EXPECT_EQ(r.status, ServiceResponse::Status::kOk) << r.error;
+  });
+  gated.WaitUntilEntered(1);
+
+  ServiceResponse shed = daemon.Submit(QueryRequest("q2", "bob", join_query_));
+  EXPECT_EQ(shed.status, ServiceResponse::Status::kShed);
+  EXPECT_EQ(daemon.admission()->counters().shed, 1u);
+  // The shed request's tenant slot was released, not leaked.
+  EXPECT_EQ(daemon.tenants()->counters()["bob"].in_flight, 0u);
+
+  gated.Open();
+  busy.join();
+  ServiceResponse ok = daemon.Submit(QueryRequest("q3", "bob", join_query_));
+  EXPECT_EQ(ok.status, ServiceResponse::Status::kOk) << ok.error;
+}
+
+TEST_F(DaemonTest, DrainFinishesInFlightAndRefusesNew) {
+  DatabaseSource backend(&db_, &catalog_);
+  GatedSource gated(&backend);
+  QueryDaemon daemon(&catalog_, &gated, {});
+
+  std::atomic<bool> in_flight_done{false};
+  std::thread busy([&] {
+    ServiceResponse r = daemon.Submit(QueryRequest("q1", "alice", join_query_));
+    EXPECT_EQ(r.status, ServiceResponse::Status::kOk) << r.error;
+    in_flight_done.store(true);
+  });
+  gated.WaitUntilEntered(1);
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    daemon.Drain();
+    drained.store(true);
+  });
+  while (!daemon.admission()->draining()) std::this_thread::yield();
+
+  // New arrivals are refused while the in-flight session runs on.
+  ServiceResponse refused =
+      daemon.Submit(QueryRequest("q2", "bob", join_query_));
+  EXPECT_EQ(refused.status, ServiceResponse::Status::kDraining);
+  EXPECT_FALSE(drained.load());
+
+  gated.Open();
+  busy.join();
+  drainer.join();
+  EXPECT_TRUE(in_flight_done.load());
+  EXPECT_TRUE(drained.load());
+}
+
+TEST_F(DaemonTest, WarmRestartServesSeenQueriesWithZeroPhysicalCalls) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "ucqnd_warm_restart")
+          .string();
+  std::filesystem::remove_all(dir);
+  QueryDaemon::Options options;
+  options.snapshot_dir = dir;
+
+  ServiceResponse cold;
+  {
+    DatabaseSource backend(&db_, &catalog_);
+    QueryDaemon daemon(&catalog_, &backend, options);
+    SnapshotLoadReport report;
+    std::string error;
+    ASSERT_TRUE(daemon.LoadSnapshots(&report, &error)) << error;
+    EXPECT_FALSE(report.cache_loaded);  // first boot: nothing to load
+    cold = daemon.Submit(QueryRequest("q1", "alice", join_query_));
+    ASSERT_EQ(cold.status, ServiceResponse::Status::kOk) << cold.error;
+    EXPECT_GT(cold.physical_calls, 0u);
+    daemon.Drain();  // spills cache.json + stats.json
+  }
+
+  // A new process: fresh backend, fresh daemon, same snapshot dir. The
+  // seen query is served entirely from the restored cache — the backend
+  // is never called at all.
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon daemon(&catalog_, &backend, options);
+  SnapshotLoadReport report;
+  std::string error;
+  ASSERT_TRUE(daemon.LoadSnapshots(&report, &error)) << error;
+  EXPECT_TRUE(report.cache_loaded);
+  EXPECT_TRUE(report.stats_loaded);
+  EXPECT_GT(report.cache_entries, 0u);
+
+  ServiceResponse warm = daemon.Submit(QueryRequest("w1", "bob", join_query_));
+  ASSERT_EQ(warm.status, ServiceResponse::Status::kOk) << warm.error;
+  EXPECT_EQ(warm.under, cold.under);
+  EXPECT_EQ(warm.over, cold.over);
+  EXPECT_EQ(warm.complete, cold.complete);
+  EXPECT_EQ(warm.physical_calls, 0u);
+  EXPECT_EQ(backend.stats().calls, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DaemonTest, AdminOpsReportAndInvalidate) {
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon daemon(&catalog_, &backend, {});
+  ASSERT_EQ(daemon.Submit(QueryRequest("q1", "alice", join_query_)).status,
+            ServiceResponse::Status::kOk);
+  EXPECT_GT(daemon.shared_cache()->size(), 0u);
+
+  ServiceRequest stats;
+  stats.op = ServiceRequest::Op::kStats;
+  stats.id = "s1";
+  ServiceResponse stats_response = daemon.Submit(stats);
+  ASSERT_EQ(stats_response.status, ServiceResponse::Status::kOk);
+  EXPECT_NE(stats_response.payload_json.find("\"queries_served\": 1"),
+            std::string::npos);
+
+  ServiceRequest invalidate;
+  invalidate.op = ServiceRequest::Op::kInvalidate;
+  ServiceResponse inv_response = daemon.Submit(invalidate);
+  ASSERT_EQ(inv_response.status, ServiceResponse::Status::kOk);
+  EXPECT_EQ(daemon.shared_cache()->size(), 0u);
+
+  // Snapshot op without a configured dir is a per-request error, not a
+  // crash — and not a daemon-wide failure.
+  ServiceRequest snapshot;
+  snapshot.op = ServiceRequest::Op::kSnapshot;
+  ServiceResponse snap_response = daemon.Submit(snapshot);
+  EXPECT_EQ(snap_response.status, ServiceResponse::Status::kError);
+  EXPECT_EQ(daemon.Submit(QueryRequest("q2", "alice", join_query_)).status,
+            ServiceResponse::Status::kOk);
+}
+
+TEST_F(DaemonTest, TenantCallBudgetCapsTheRequestAsk) {
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon::Options options;
+  options.default_quota.max_calls_per_query = 1;
+  QueryDaemon daemon(&catalog_, &backend, options);
+
+  // The join needs 3 physical calls; a 1-call tenant budget stops it.
+  ServiceRequest request = QueryRequest("q1", "alice", join_query_);
+  request.max_calls = 100;  // the request cannot raise its tenant's cap
+  ServiceResponse capped = daemon.Submit(request);
+  EXPECT_EQ(capped.status, ServiceResponse::Status::kError);
+  EXPECT_FALSE(capped.error.empty());
+}
+
+}  // namespace
+}  // namespace ucqn

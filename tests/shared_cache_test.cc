@@ -368,5 +368,82 @@ TEST_F(SharedCacheTest, AdaptiveModelPricesCachedHotRelationsNearZero) {
   EXPECT_NEAR(full - warm, 9000.0, 1e-6);
 }
 
+TEST_F(SharedCacheTest, NegativeTtlSplitsEmptyFromPositiveResults) {
+  // With a negative TTL configured, an empty result ages on its own
+  // (shorter) clock while positive results keep the relation/default TTL.
+  DatabaseSource backend(&db_, &catalog_);
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 10000;
+  options.negative_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+  CachingSource cached(&backend, store);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+
+  // R("a", _) has answers; R("zzz", _) is empty — a negative claim.
+  cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
+  cached.FetchOrDie("R", keyed, {Term::Constant("zzz"), std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);
+
+  clock.Advance(1000);  // past the negative TTL, inside the default
+  cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 2u);  // positive entry still fresh
+  cached.FetchOrDie("R", keyed, {Term::Constant("zzz"), std::nullopt});
+  EXPECT_EQ(backend.stats().calls, 3u);  // negative entry re-fetched
+  EXPECT_EQ(store.stats().stale_drops, 1u);
+}
+
+TEST_F(SharedCacheTest, NegativeTtlExpiryBoundaryMatchesTheTtlRule) {
+  // Same `now == expire_at` boundary as every other TTL: a negative TTL
+  // of T serves the empty result at now+0 .. now+T-1 and drops it at
+  // now+T exactly.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 10000;
+  options.negative_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+
+  store.Publish("neg", "R", {});
+  clock.Advance(999);
+  SharedCacheStore::Lookup fresh = store.TryAcquire("neg", "R");
+  EXPECT_EQ(fresh.state, SharedCacheStore::LookupState::kHit);
+  EXPECT_FALSE(fresh.stale_drop);
+  clock.Advance(1);  // now == expire_at exactly
+  SharedCacheStore::Lookup stale = store.TryAcquire("neg", "R");
+  EXPECT_EQ(stale.state, SharedCacheStore::LookupState::kLeader);
+  EXPECT_TRUE(stale.stale_drop);
+  EXPECT_EQ(store.stats().stale_drops, 1u);
+  store.Abandon("neg");
+}
+
+TEST_F(SharedCacheTest, NegativeTtlBeatsPerRelationOverride) {
+  // SetRelationTtl tunes positive data; the negative split still wins for
+  // empty results of the same relation — and SetNegativeTtl(0) disables
+  // the split again, returning empty results to the relation TTL.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.negative_ttl_micros = 100;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+  store.SetRelationTtl("R", 10000);
+
+  store.Publish("neg", "R", {});
+  store.Publish("pos", "R", {{Term::Constant("a")}});
+  clock.Advance(100);
+  EXPECT_EQ(store.TryAcquire("neg", "R").state,
+            SharedCacheStore::LookupState::kLeader);  // negative: expired
+  store.Abandon("neg");
+  EXPECT_EQ(store.TryAcquire("pos", "R").state,
+            SharedCacheStore::LookupState::kHit);  // positive: relation TTL
+
+  store.SetNegativeTtl(0);
+  store.Publish("neg2", "R", {});
+  clock.Advance(5000);  // far past the old negative TTL
+  EXPECT_EQ(store.TryAcquire("neg2", "R").state,
+            SharedCacheStore::LookupState::kHit);
+}
+
 }  // namespace
 }  // namespace ucqn

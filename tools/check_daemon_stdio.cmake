@@ -1,0 +1,78 @@
+# check_daemon_stdio.cmake — end-to-end exercise of the ucqnd binary over
+# its --stdio transport, including the warm-restart contract: a daemon
+# started from the previous run's snapshots must serve a previously seen
+# query with ZERO physical source calls.
+#
+# Run as a script:
+#   cmake -DUCQND=<path-to-ucqnd> -DWORK_DIR=<scratch dir> \
+#       -P check_daemon_stdio.cmake
+#
+# Wired as the `daemon_stdio_check` ctest (labels: tier1;server).
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED UCQND OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DUCQND=<ucqnd> -DWORK_DIR=<dir> -P check_daemon_stdio.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(WRITE "${WORK_DIR}/schema.txt" "L/1: o\nB/2: io\n")
+file(WRITE "${WORK_DIR}/facts.txt"
+    "L(\"a\").\nL(\"b\").\nB(\"a\", \"x\").\nB(\"b\", \"y\").\n")
+
+function(expect_contains label haystack needle)
+  string(FIND "${haystack}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${label} lacks \"${needle}\"; got:\n${haystack}")
+  endif()
+endfunction()
+
+function(run_daemon out_var requests)
+  file(WRITE "${WORK_DIR}/requests.jsonl" "${requests}")
+  execute_process(
+      COMMAND "${UCQND}"
+          --schema "${WORK_DIR}/schema.txt"
+          --facts "${WORK_DIR}/facts.txt"
+          --stdio
+          --snapshot-dir "${WORK_DIR}/snap"
+      INPUT_FILE "${WORK_DIR}/requests.jsonl"
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ucqnd exited ${rc}:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Cold run: the query pays physical calls, a malformed line and a bad
+# query poison only themselves, and EOF drains (spilling the snapshots).
+run_daemon(cold
+    "{\"op\": \"query\", \"id\": \"q1\", \"tenant\": \"alice\", \"query\": \"Q(x, y) :- L(x), B(x, y).\"}\nthis is not json\n{\"op\": \"query\", \"id\": \"q2\", \"query\": \"Q(x) :- L(x\"}\n{\"op\": \"stats\", \"id\": \"s1\"}\n")
+expect_contains("cold q1" "${cold}" "\"id\": \"q1\"")
+expect_contains("cold q1" "${cold}" "\"status\": \"ok\"")
+expect_contains("cold q1" "${cold}" "[\"a\", \"x\"]")
+expect_contains("cold bad line" "${cold}" "bad request:")
+expect_contains("cold q2" "${cold}" "\"id\": \"q2\"")
+expect_contains("cold q2" "${cold}" "query error:")
+expect_contains("cold stats" "${cold}" "\"queries_served\": 2")
+string(FIND "${cold}" "\"physical_calls\": 0" cold_zero)
+if(NOT cold_zero EQUAL -1)
+  message(FATAL_ERROR "cold run claims zero physical calls:\n${cold}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/snap/cache.json" OR
+   NOT EXISTS "${WORK_DIR}/snap/stats.json")
+  message(FATAL_ERROR "drain did not spill snapshots into ${WORK_DIR}/snap")
+endif()
+
+# Warm run: a fresh process, same snapshot dir, same query — served
+# entirely from the restored cache, zero physical source calls.
+run_daemon(warm
+    "{\"op\": \"query\", \"id\": \"w1\", \"tenant\": \"bob\", \"query\": \"Q(x, y) :- L(x), B(x, y).\"}\n")
+expect_contains("warm w1" "${warm}" "\"status\": \"ok\"")
+expect_contains("warm w1" "${warm}" "[\"a\", \"x\"]")
+expect_contains("warm w1" "${warm}" "\"physical_calls\": 0")
+
+message(STATUS "ucqnd --stdio serves, recovers per-line, and restarts warm")

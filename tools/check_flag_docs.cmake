@@ -1,40 +1,45 @@
-# check_flag_docs.cmake — keep flag documentation in sync with the binary.
+# check_flag_docs.cmake — keep flag documentation in sync with the binaries.
 #
 # Run as a script:
-#   cmake -DUCQNC=<path-to-ucqnc> -DREPO_ROOT=<repo root> -P check_flag_docs.cmake
+#   cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DREPO_ROOT=<repo root> \
+#       -P check_flag_docs.cmake
 #
 # Two directions:
 #   1. every `--flag` token mentioned in README.md or docs/RUNTIME.md must be
-#      a flag `ucqnc --help` advertises (modulo an allowlist of foreign tools'
-#      flags, e.g. ctest's --output-on-failure);
-#   2. every flag `ucqnc --help` advertises must be documented in
-#      docs/RUNTIME.md (the flag reference table).
+#      a flag that `ucqnc --help` or `ucqnd --help` advertises (modulo an
+#      allowlist of foreign tools' flags, e.g. ctest's --output-on-failure);
+#   2. every flag either binary advertises must be documented in
+#      docs/RUNTIME.md (the flag reference tables).
 #
 # Wired as the `docs_flag_check` ctest (labels: tier1;docs).
 
 cmake_minimum_required(VERSION 3.16)  # script mode: enables IN_LIST (CMP0057)
 
-if(NOT DEFINED UCQNC OR NOT DEFINED REPO_ROOT)
+if(NOT DEFINED UCQNC OR NOT DEFINED UCQND OR NOT DEFINED REPO_ROOT)
   message(FATAL_ERROR
-      "usage: cmake -DUCQNC=<ucqnc> -DREPO_ROOT=<repo> -P check_flag_docs.cmake")
+      "usage: cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DREPO_ROOT=<repo> -P check_flag_docs.cmake")
 endif()
 
-execute_process(
-    COMMAND "${UCQNC}" --help
-    OUTPUT_VARIABLE help_text
-    ERROR_VARIABLE help_err
-    RESULT_VARIABLE help_rc)
-if(NOT help_rc EQUAL 0)
-  message(FATAL_ERROR "ucqnc --help exited with ${help_rc}: ${help_err}")
-endif()
-
-# The authoritative flag set: every double-dash token in the help text.
-string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" help_flags "${help_text}")
+# The authoritative flag set: every double-dash token in each help text.
+set(help_flags "")
+foreach(binary "${UCQNC}" "${UCQND}")
+  execute_process(
+      COMMAND "${binary}" --help
+      OUTPUT_VARIABLE help_text
+      ERROR_VARIABLE help_err
+      RESULT_VARIABLE help_rc)
+  if(NOT help_rc EQUAL 0)
+    message(FATAL_ERROR "${binary} --help exited with ${help_rc}: ${help_err}")
+  endif()
+  string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" binary_flags "${help_text}")
+  list(LENGTH binary_flags n_binary_flags)
+  if(n_binary_flags EQUAL 0)
+    message(FATAL_ERROR "${binary} --help produced no --flag tokens; check the binary")
+  endif()
+  list(APPEND help_flags ${binary_flags})
+endforeach()
 list(REMOVE_DUPLICATES help_flags)
 list(LENGTH help_flags n_help_flags)
-if(n_help_flags EQUAL 0)
-  message(FATAL_ERROR "ucqnc --help produced no --flag tokens; check the binary")
-endif()
 
 # Flags that belong to other tools and legitimately appear in the docs.
 set(foreign_flags
@@ -44,11 +49,12 @@ set(foreign_flags
     --build               # cmake --build
     --seeds               # bench harness knob
     --benchmark_filter    # google-benchmark
+    --label-regex         # ctest -L
 )
 
 set(problems "")
 
-# Direction 1: documented flags must exist in the binary.
+# Direction 1: documented flags must exist in one of the binaries.
 foreach(doc README.md docs/RUNTIME.md)
   file(READ "${REPO_ROOT}/${doc}" doc_text)
   string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" doc_flags "${doc_text}")
@@ -58,7 +64,7 @@ foreach(doc README.md docs/RUNTIME.md)
       continue()
     endif()
     if(NOT flag IN_LIST help_flags)
-      list(APPEND problems "${doc} documents ${flag}, which ucqnc --help does not accept")
+      list(APPEND problems "${doc} documents ${flag}, which neither ucqnc nor ucqnd --help accepts")
     endif()
   endforeach()
 endforeach()
@@ -69,7 +75,7 @@ string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" runtime_flags "${runtime_md}")
 list(REMOVE_DUPLICATES runtime_flags)
 foreach(flag IN LISTS help_flags)
   if(NOT flag IN_LIST runtime_flags)
-    list(APPEND problems "ucqnc --help advertises ${flag}, but docs/RUNTIME.md never mentions it")
+    list(APPEND problems "a binary's --help advertises ${flag}, but docs/RUNTIME.md never mentions it")
   endif()
 endforeach()
 

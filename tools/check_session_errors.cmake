@@ -1,0 +1,70 @@
+# check_session_errors.cmake — a malformed block in a `ucqnc --queries`
+# session must poison only itself: the session diagnoses it by number,
+# keeps running the blocks after it, and exits nonzero at the end.
+#
+# Run as a script:
+#   cmake -DUCQNC=<path-to-ucqnc> -DWORK_DIR=<scratch dir> \
+#       -P check_session_errors.cmake
+#
+# Wired as the `session_error_check` ctest (labels: tier1;docs).
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED UCQNC OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DUCQNC=<ucqnc> -DWORK_DIR=<dir> -P check_session_errors.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(WRITE "${WORK_DIR}/schema.txt" "L/1: o\nB/2: io\n")
+file(WRITE "${WORK_DIR}/facts.txt"
+    "L(\"a\").\nL(\"b\").\nB(\"a\", \"x\").\nB(\"b\", \"y\").\n")
+# Block 2 fails to parse; block 3 references a relation the schema lacks;
+# blocks 1 and 4 are fine. The session must run 1 and 4 regardless.
+file(WRITE "${WORK_DIR}/queries.txt"
+    "Q(x) :- L(x).\n"
+    "---\n"
+    "Q(x) :- L(x\n"
+    "---\n"
+    "Q(x) :- Missing(x).\n"
+    "---\n"
+    "Q(x, y) :- L(x), B(x, y).\n")
+
+execute_process(
+    COMMAND "${UCQNC}"
+        --schema "${WORK_DIR}/schema.txt"
+        --queries "${WORK_DIR}/queries.txt"
+        --facts "${WORK_DIR}/facts.txt"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+
+# The session saw failures, so it must exit nonzero — but it must not die
+# on block 2: the queries after the bad ones still have to run.
+if(rc EQUAL 0)
+  message(FATAL_ERROR "session with malformed blocks exited 0:\n${out}")
+endif()
+
+function(expect_contains haystack_name haystack needle)
+  string(FIND "${haystack}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+        "${haystack_name} lacks \"${needle}\"; got:\n${haystack}")
+  endif()
+endfunction()
+
+expect_contains(stderr "${err}" "query 2 error:")
+expect_contains(stderr "${err}" "query 3 schema mismatch:")
+expect_contains(stdout "${out}" "query 2: skipped (parse error)")
+expect_contains(stdout "${out}" "query 3: skipped (schema mismatch)")
+# The good blocks around the bad ones both produced answers.
+expect_contains(stdout "${out}" "query 1: Q(x) :- L(x).")
+expect_contains(stdout "${out}" "query 4: Q(x, y) :- L(x), B(x, y).")
+string(REGEX MATCHALL "answers: [0-9]+ under" answered "${out}")
+list(LENGTH answered n_answered)
+if(NOT n_answered EQUAL 2)
+  message(FATAL_ERROR
+      "expected 2 answered queries around the malformed blocks, saw ${n_answered}:\n${out}")
+endif()
+
+message(STATUS "malformed --queries blocks are diagnosed and skipped; the session continues")

@@ -110,6 +110,10 @@ constexpr char kUsage[] =
     "                       concurrent misses\n"
     "  --cache-ttl-ms N     expire shared-cache entries N ms after insert\n"
     "                       (implies --shared-cache)\n"
+    "  --cache-negative-ttl-ms N\n"
+    "                       expire *empty* shared-cache results after N ms\n"
+    "                       instead of the relation/default TTL (implies\n"
+    "                       --shared-cache)\n"
     "  --cache-budget N     bound the shared cache to N tuples, LRU eviction\n"
     "                       (implies --shared-cache)\n"
     "  --retry N            retry transient source failures up to N attempts\n"
@@ -180,6 +184,7 @@ int main(int argc, char** argv) {
   ExecutionOptions exec;
   bool shared_cache = false;
   std::size_t cache_ttl_ms = 0;
+  std::size_t cache_negative_ttl_ms = 0;
   std::size_t cache_budget = 0;
   const char* metrics_format = nullptr;
   const char* cost_model_name = "static";
@@ -245,6 +250,9 @@ int main(int argc, char** argv) {
       shared_cache = true;
     } else if (std::strcmp(argv[i], "--cache-ttl-ms") == 0) {
       if (!next_count(cache_ttl_ms)) return Usage();
+      shared_cache = true;
+    } else if (std::strcmp(argv[i], "--cache-negative-ttl-ms") == 0) {
+      if (!next_count(cache_negative_ttl_ms)) return Usage();
       shared_cache = true;
     } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
       if (!next_count(cache_budget)) return Usage();
@@ -320,6 +328,8 @@ int main(int argc, char** argv) {
   SharedCacheStore::Options store_options;
   store_options.default_ttl_micros =
       static_cast<std::uint64_t>(cache_ttl_ms) * 1000;
+  store_options.negative_ttl_micros =
+      static_cast<std::uint64_t>(cache_negative_ttl_ms) * 1000;
   store_options.budget_tuples = cache_budget;
   SharedCacheStore shared_store(store_options);
   if (shared_cache) runtime.shared_cache = &shared_store;
@@ -474,15 +484,22 @@ int main(int argc, char** argv) {
     int status = 0;
     std::uint64_t calls_before = 0;
     for (std::size_t qi = 0; qi < blocks.size(); ++qi) {
+      // A malformed block poisons only itself: diagnose it by number,
+      // mark the session failed, and keep serving the blocks after it —
+      // one typo must not cost the rest of the session its warm cache.
       std::optional<UnionQuery> q = ParseUnionQuery(blocks[qi], &error);
       if (!q) {
         std::fprintf(stderr, "query %zu error: %s\n", qi + 1, error.c_str());
-        return 1;
+        std::printf("\nquery %zu: skipped (parse error)\n", qi + 1);
+        status = 1;
+        continue;
       }
       if (!catalog->CoversQuery(*q, &error)) {
         std::fprintf(stderr, "query %zu schema mismatch: %s\n", qi + 1,
                      error.c_str());
-        return 1;
+        std::printf("\nquery %zu: skipped (schema mismatch)\n", qi + 1);
+        status = 1;
+        continue;
       }
       CompileResult compiled = Compile(*q, *catalog, options);
       SourceStack stack(&backend, runtime);

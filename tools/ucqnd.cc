@@ -1,0 +1,292 @@
+// ucqnd — the UCQ¬ mediator as a long-lived, multi-tenant query service.
+// Where ucqnc runs one session and exits, ucqnd loads the schema and
+// facts once, then serves any number of concurrent query sessions over a
+// line-delimited JSON protocol (see docs/RUNTIME.md, "The daemon"),
+// multiplexing all of them onto one shared runtime: a process-wide
+// SharedCacheStore (so tenants reuse each other's physical calls), one
+// StatsCatalog feeding the adaptive cost model, and one backend
+// transport.
+//
+// Transports: --socket PATH listens on a Unix-domain stream socket (one
+// response line per request line, per-connection ordering); --stdio
+// serves a single session on stdin/stdout — the form tests and shell
+// pipes use. Protocol example:
+//
+//   {"op": "query", "id": "q1", "tenant": "alice", "query": "Q(x) :- L(x)."}
+//
+// Admission control (--max-in-flight / --max-queued) triages arrivals
+// into run / wait / shed; per-tenant quotas (--tenant-*) ride the
+// call/deadline budgets the runtime stack already enforces. On SIGINT,
+// SIGTERM, or stdin EOF the daemon drains: new work is refused, in-flight
+// sessions finish, and — with --snapshot-dir — the cache and stats spill
+// to JSON so the next start serves warm (a previously seen query costs
+// zero physical calls).
+//
+// Run `ucqnd --help` for the flag reference.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "ast/parser.h"
+#include "eval/database.h"
+#include "schema/catalog.h"
+#include "server/daemon.h"
+#include "server/listener.h"
+#include "server/snapshot.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop = 1; }
+
+std::optional<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+constexpr char kUsage[] =
+    "usage: ucqnd --schema FILE --facts FILE (--socket PATH | --stdio)\n"
+    "             [options]\n"
+    "\n"
+    "input:\n"
+    "  --schema FILE        relations + access patterns (required)\n"
+    "  --facts FILE         database instance backing the sources (required)\n"
+    "\n"
+    "transport (exactly one):\n"
+    "  --socket PATH        listen on a Unix-domain socket; one JSON request\n"
+    "                       per line in, one JSON response per line out\n"
+    "  --stdio              serve a single session on stdin/stdout; drains\n"
+    "                       and exits at EOF\n"
+    "\n"
+    "admission and quotas:\n"
+    "  --max-in-flight N    sessions running concurrently; arrivals past\n"
+    "                       this wait (default: unbounded)\n"
+    "  --max-queued N       arrivals allowed to wait for a slot; the rest\n"
+    "                       are shed with status \"shed\" (default: 0)\n"
+    "  --tenant-max-concurrent N\n"
+    "                       per-tenant concurrent-session cap; over-quota\n"
+    "                       requests get status \"quota\"\n"
+    "  --tenant-max-calls N per-tenant physical-call budget per query\n"
+    "                       (a request's own max_calls is clamped to it)\n"
+    "  --tenant-deadline-ms N\n"
+    "                       per-tenant per-query deadline, virtual ms\n"
+    "\n"
+    "shared cache (the process-wide store every session runs against):\n"
+    "  --cache-ttl-ms N     expire entries N ms after insert\n"
+    "  --cache-negative-ttl-ms N\n"
+    "                       expire *empty* results after N ms instead —\n"
+    "                       negative answers go stale on the first insert\n"
+    "                       at the source, so age them faster\n"
+    "  --cache-budget N     bound the store to N tuples, LRU eviction\n"
+    "\n"
+    "warm restarts:\n"
+    "  --snapshot-dir DIR   restore DIR/cache.json + DIR/stats.json at\n"
+    "                       start, spill them on drain (and on the\n"
+    "                       \"snapshot\" protocol op)\n"
+    "\n"
+    "runtime and cost model (as in ucqnc):\n"
+    "  --retry N            retry transient source failures up to N attempts\n"
+    "  --parallelism N      overlap each batched wave on N worker threads\n"
+    "  --pipeline-depth N   keep up to N literals' waves in flight at once\n"
+    "  --cost-model static|adaptive\n"
+    "                       plan from heuristics or from the observed stats\n"
+    "                       the sessions accumulate\n"
+    "\n"
+    "  --help               print this text and exit\n";
+
+int Usage() {
+  std::fprintf(stderr, "%s", kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ucqn;
+  const char* schema_path = nullptr;
+  const char* facts_path = nullptr;
+  const char* socket_path = nullptr;
+  bool stdio = false;
+  QueryDaemon::Options options;
+  std::size_t cache_ttl_ms = 0;
+  std::size_t cache_negative_ttl_ms = 0;
+  std::size_t tenant_deadline_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char*& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    // Strict numeric values, same contract as ucqnc: the whole token must
+    // be a positive decimal integer in range, or the flag is named in a
+    // one-line diagnostic followed by the usage text.
+    auto next_count = [&](std::size_t& slot) {
+      const char* flag = argv[i];
+      const char* text = nullptr;
+      if (!next(text)) {
+        std::fprintf(stderr, "%s expects a positive integer value\n", flag);
+        return false;
+      }
+      char* end = nullptr;
+      errno = 0;
+      const long long value = std::strtoll(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || value <= 0 ||
+          value == LLONG_MAX) {
+        std::fprintf(stderr, "%s expects a positive integer, got \"%s\"\n",
+                     flag, text);
+        return false;
+      }
+      slot = static_cast<std::size_t>(value);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (std::strcmp(argv[i], "--schema") == 0) {
+      if (!next(schema_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--facts") == 0) {
+      if (!next(facts_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      if (!next(socket_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
+      if (!next_count(options.admission.max_in_flight)) return Usage();
+    } else if (std::strcmp(argv[i], "--max-queued") == 0) {
+      if (!next_count(options.admission.max_queued)) return Usage();
+    } else if (std::strcmp(argv[i], "--tenant-max-concurrent") == 0) {
+      if (!next_count(options.default_quota.max_concurrent)) return Usage();
+    } else if (std::strcmp(argv[i], "--tenant-max-calls") == 0) {
+      std::size_t max_calls = 0;
+      if (!next_count(max_calls)) return Usage();
+      options.default_quota.max_calls_per_query = max_calls;
+    } else if (std::strcmp(argv[i], "--tenant-deadline-ms") == 0) {
+      if (!next_count(tenant_deadline_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--cache-ttl-ms") == 0) {
+      if (!next_count(cache_ttl_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--cache-negative-ttl-ms") == 0) {
+      if (!next_count(cache_negative_ttl_ms)) return Usage();
+    } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
+      if (!next_count(options.cache.budget_tuples)) return Usage();
+    } else if (std::strcmp(argv[i], "--snapshot-dir") == 0) {
+      const char* dir = nullptr;
+      if (!next(dir)) return Usage();
+      options.snapshot_dir = dir;
+    } else if (std::strcmp(argv[i], "--retry") == 0) {
+      std::size_t attempts = 0;
+      if (!next_count(attempts)) return Usage();
+      options.runtime.retry = true;
+      options.runtime.retry_policy.max_attempts = static_cast<int>(attempts);
+    } else if (std::strcmp(argv[i], "--parallelism") == 0) {
+      if (!next_count(options.runtime.parallelism)) return Usage();
+    } else if (std::strcmp(argv[i], "--pipeline-depth") == 0) {
+      if (!next_count(options.runtime.pipeline_depth)) return Usage();
+    } else if (std::strcmp(argv[i], "--cost-model") == 0) {
+      const char* name = nullptr;
+      if (!next(name)) return Usage();
+      if (std::strcmp(name, "static") != 0 &&
+          std::strcmp(name, "adaptive") != 0) {
+        return Usage();
+      }
+      options.adaptive_cost_model = std::strcmp(name, "adaptive") == 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (schema_path == nullptr || facts_path == nullptr) return Usage();
+  if (stdio == (socket_path != nullptr)) {
+    std::fprintf(stderr, "pick exactly one transport: --socket or --stdio\n");
+    return Usage();
+  }
+  options.cache.default_ttl_micros =
+      static_cast<std::uint64_t>(cache_ttl_ms) * 1000;
+  options.cache.negative_ttl_micros =
+      static_cast<std::uint64_t>(cache_negative_ttl_ms) * 1000;
+  options.default_quota.deadline_micros =
+      static_cast<std::uint64_t>(tenant_deadline_ms) * 1000;
+
+  std::string error;
+  std::optional<std::string> schema_text = ReadFile(schema_path);
+  if (!schema_text) {
+    std::fprintf(stderr, "cannot read %s\n", schema_path);
+    return 1;
+  }
+  std::optional<Catalog> catalog = Catalog::Parse(*schema_text, &error);
+  if (!catalog) {
+    std::fprintf(stderr, "schema error: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<std::string> facts_text = ReadFile(facts_path);
+  if (!facts_text) {
+    std::fprintf(stderr, "cannot read %s\n", facts_path);
+    return 1;
+  }
+  std::optional<Database> db = Database::ParseFacts(*facts_text, &error);
+  if (!db) {
+    std::fprintf(stderr, "facts error: %s\n", error.c_str());
+    return 1;
+  }
+
+  DatabaseSource backend(&*db, &*catalog);
+  QueryDaemon daemon(&*catalog, &backend, options);
+
+  SnapshotLoadReport loaded;
+  if (!daemon.LoadSnapshots(&loaded, &error)) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (loaded.cache_loaded || loaded.stats_loaded) {
+    std::fprintf(stderr,
+                 "warm start: %zu cache entr%s, stats for %zu relation(s)\n",
+                 loaded.cache_entries, loaded.cache_entries == 1 ? "y" : "ies",
+                 loaded.stats_relations);
+  }
+
+  // Diagnostics go to stderr throughout so stdout stays pure protocol in
+  // --stdio mode.
+  if (stdio) {
+    std::fprintf(stderr, "ucqnd: serving on stdio (EOF drains and exits)\n");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::printf("%s\n", daemon.SubmitLine(line).c_str());
+      std::fflush(stdout);
+    }
+    daemon.Drain();
+    std::fprintf(stderr, "ucqnd: drained (%llu queries served)\n",
+                 static_cast<unsigned long long>(daemon.queries_served()));
+    return 0;
+  }
+
+  SocketListener listener(&daemon);
+  if (!listener.Start(socket_path, &error)) {
+    std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::fprintf(stderr, "ucqnd: listening on %s\n", socket_path);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "ucqnd: draining\n");
+  daemon.Drain();     // refuse new work, finish in-flight, spill snapshots
+  listener.Stop();    // then tear the transport down
+  std::fprintf(stderr, "ucqnd: drained (%llu queries served)\n",
+               static_cast<unsigned long long>(daemon.queries_served()));
+  return 0;
+}
