@@ -12,6 +12,14 @@
 //    measured on every scenario).
 //  * BM_JoinPipelineCache — a selective join re-executed against a slow
 //    simulated service; hit ratio and backend calls with/without cache.
+//  * BM_DictionaryEncodedWaves — the dictionary-encoding payoff on a
+//    wide-frontier join (thousands of live bindings, long constant
+//    names) with a negated literal and a warm shared-cache rerun: wave
+//    dedup, anti-join membership probes, and cache keys all run over
+//    flat uint32 ids instead of strings. Measures the encoded executor
+//    against the --no-dictionary string-path oracle on the same
+//    workload; `speedup` is the headline number (>= 1.5x required) with
+//    byte-identical answers at parallelism 1.
 //  * BM_RetryUnderFaults — a flaky service (seeded transient failures)
 //    behind the retrying stack; measures attempts vs. logical calls and
 //    the virtual time spent backing off.
@@ -42,6 +50,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <set>
@@ -253,6 +262,100 @@ void BM_JoinPipelineCache(benchmark::State& state) {
   state.counters["service_us"] = static_cast<double>(service_micros);
 }
 BENCHMARK(BM_JoinPipelineCache)->Arg(0)->Arg(1);
+
+// The dictionary-encoding workload: a frontier thousands of rows wide
+// with deliberately long constant names (string hashing cost scales with
+// them; id hashing does not), a keyed probe whose wave dedup collapses
+// the frontier ~60:1, a negated literal filtering every row through a
+// membership probe, and a second execution served from the warm shared
+// cache — so wave-dedup signatures, anti-join probes, and cache keys
+// dominate the profile, which is exactly where the ids pay.
+Catalog EncodedWavesCatalog() {
+  return Catalog::MustParse(R"(
+    relation Wide/2: oo
+    relation Probe/2: io
+    relation Banned/1: o
+  )");
+}
+
+Database EncodedWavesDatabase() {
+  Database db;
+  for (int i = 0; i < 6000; ++i) {
+    db.Insert("Wide",
+              {Term::Constant("wide-row-constant-" + std::to_string(i)),
+               Term::Constant("mid-join-constant-" + std::to_string(i % 96))});
+  }
+  for (int j = 0; j < 96; ++j) {
+    db.Insert("Probe",
+              {Term::Constant("mid-join-constant-" + std::to_string(j)),
+               Term::Constant("value-constant-" + std::to_string(j % 7))});
+    if (j % 2 == 0) {
+      db.Insert("Banned",
+                {Term::Constant("mid-join-constant-" + std::to_string(j))});
+    }
+  }
+  return db;
+}
+
+struct EncodedWavesRun {
+  bool ok = false;
+  std::uint64_t wall_micros = 0;
+  std::set<Tuple> answers;
+  std::uint64_t warm_hits = 0;
+};
+
+EncodedWavesRun RunEncodedWaves(const Catalog& catalog, const Database& db,
+                                bool dictionary) {
+  const ConjunctiveQuery plan =
+      MustParseRule("Q(x, v) :- Wide(x, m), Probe(m, v), not Banned(m).");
+  DatabaseSource backend(&db, &catalog);
+  ExecutionOptions options;
+  options.batch = true;
+  options.dictionary = dictionary;
+  options.runtime.cache = true;
+  options.runtime.metering = true;
+
+  EncodedWavesRun run;
+  // One stack, two executions: the second is the warm rerun — every wave
+  // resolves against the cache, isolating key construction + probe cost.
+  SourceStack stack(&backend, options.runtime);
+  const auto start = std::chrono::steady_clock::now();
+  ExecutionResult cold = Execute(plan, catalog, stack.source(), options);
+  ExecutionResult warm = Execute(plan, catalog, stack.source(), options);
+  run.wall_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!cold.ok || !warm.ok || cold.tuples != warm.tuples) return run;
+  run.ok = true;
+  run.answers = std::move(cold.tuples);
+  run.warm_hits = stack.stats().cache_hits;
+  return run;
+}
+
+void BM_DictionaryEncodedWaves(benchmark::State& state) {
+  const bool dictionary = state.range(0) != 0;
+  const Catalog catalog = EncodedWavesCatalog();
+  const Database db = EncodedWavesDatabase();
+
+  EncodedWavesRun run;
+  EncodedWavesRun oracle;
+  for (auto _ : state) {
+    run = RunEncodedWaves(catalog, db, dictionary);
+    if (!run.ok) {
+      state.SkipWithError("execution failed or cold/warm answers diverged");
+      return;
+    }
+  }
+  oracle = RunEncodedWaves(catalog, db, /*dictionary=*/false);
+  state.SetLabel(dictionary ? "encoded" : "string-path oracle");
+  state.counters["dictionary"] = dictionary ? 1.0 : 0.0;
+  state.counters["answers"] = static_cast<double>(run.answers.size());
+  state.counters["warm_hits"] = static_cast<double>(run.warm_hits);
+  state.counters["answers_match"] =
+      run.answers == oracle.answers ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DictionaryEncodedWaves)->Arg(0)->Arg(1);
 
 void BM_RetryUnderFaults(benchmark::State& state) {
   const double failure_probability =
@@ -740,7 +843,42 @@ void WriteBenchJson(const char* path) {
             ", \"answers_match\": " + (run.answers_match ? "true" : "false") +
             "}";
   }
-  json += "]}, \"pipeline\": {\"chain_width\": " +
+  json += "]}, \"dictionary\": ";
+  {
+    const Catalog catalog = EncodedWavesCatalog();
+    const Database db = EncodedWavesDatabase();
+    // Best of a few repetitions per mode: the workload is CPU-bound on
+    // dedup/probe/key work, so min filters scheduler noise.
+    EncodedWavesRun encoded;
+    EncodedWavesRun oracle;
+    for (int rep = 0; rep < 5; ++rep) {
+      EncodedWavesRun e = RunEncodedWaves(catalog, db, /*dictionary=*/true);
+      EncodedWavesRun o = RunEncodedWaves(catalog, db, /*dictionary=*/false);
+      if (!encoded.ok || (e.ok && e.wall_micros < encoded.wall_micros)) {
+        encoded = std::move(e);
+      }
+      if (!oracle.ok || (o.ok && o.wall_micros < oracle.wall_micros)) {
+        oracle = std::move(o);
+      }
+    }
+    const double speedup =
+        encoded.wall_micros == 0
+            ? 0.0
+            : static_cast<double>(oracle.wall_micros) /
+                  static_cast<double>(encoded.wall_micros);
+    json += "{\"frontier_rows\": 6000, \"distinct_probes\": 96"
+            ", \"encoded_wall_us\": " + std::to_string(encoded.wall_micros) +
+            ", \"string_wall_us\": " + std::to_string(oracle.wall_micros) +
+            ", \"speedup\": " + std::to_string(speedup) +
+            ", \"warm_hits\": " + std::to_string(encoded.warm_hits) +
+            ", \"answers\": " + std::to_string(encoded.answers.size()) +
+            ", \"answers_match\": " +
+            (encoded.ok && oracle.ok && encoded.answers == oracle.answers
+                 ? "true"
+                 : "false") +
+            "}";
+  }
+  json += ", \"pipeline\": {\"chain_width\": " +
           std::to_string(kChainWidth) + ", \"latency_us\": 500, \"runs\": [";
   first = true;
   {

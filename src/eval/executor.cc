@@ -1,14 +1,18 @@
 #include "eval/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "ast/substitution.h"
 #include "cost/cost_model.h"
 #include "cost/stats_catalog.h"
+#include "dict/term_dictionary.h"
+#include "eval/frontier.h"
 #include "schema/adornment.h"
 
 namespace ucqn {
@@ -93,6 +97,30 @@ std::string RequestKey(const std::vector<std::optional<Term>>& inputs) {
     key += '\x1f';
   }
   return key;
+}
+
+// Id-encoded dedup key for one wave request: four raw bytes per slot
+// (TermDictionary::kAbsentId for empty ones) instead of rendering every
+// value to a string. Groups requests exactly like RequestKey — the
+// dictionary is injective on spellings and keeps Δ-null distinct from
+// the constant "null" — just with integer hashing.
+std::string EncodedRequestKey(const std::vector<std::optional<Term>>& inputs) {
+  TermDictionary& dict = TermDictionary::Global();
+  std::string key;
+  key.resize(inputs.size() * sizeof(std::uint32_t));
+  char* raw = key.data();
+  for (const std::optional<Term>& value : inputs) {
+    const std::uint32_t id = value.has_value() ? dict.EncodeGround(*value)
+                                               : TermDictionary::kAbsentId;
+    std::memcpy(raw, &id, sizeof(id));
+    raw += sizeof(id);
+  }
+  return key;
+}
+
+std::string WaveDedupKey(const std::vector<std::optional<Term>>& inputs,
+                         bool dictionary) {
+  return dictionary ? EncodedRequestKey(inputs) : RequestKey(inputs);
 }
 
 // One literal's wave: the deduplicated source calls serving all live
@@ -245,8 +273,10 @@ BindingsResult ExecuteForBindingsPipelined(const ConjunctiveQuery& q,
       for (std::size_t b = 0; b < lane.batch.size(); ++b) {
         std::vector<std::optional<Term>> inputs =
             FetchInputs(body[i], *chosen[i], lane.batch[b]);
-        auto [it, fresh] =
-            index.try_emplace(RequestKey(inputs), requests.size());
+        // Dedup within the chunk by id signature (default) or rendered
+        // string — the grouping is identical either way.
+        auto [it, fresh] = index.try_emplace(
+            WaveDedupKey(inputs, options.dictionary), requests.size());
         if (fresh) requests.push_back(std::move(inputs));
         lane.slot_of[b] = it->second;
       }
@@ -323,6 +353,235 @@ BindingsResult ExecuteForBindingsPipelined(const ConjunctiveQuery& q,
   result.ok = true;
   result.bindings.assign(std::make_move_iterator(done.begin()),
                          std::make_move_iterator(done.end()));
+  return result;
+}
+
+// The id-encoded batch loop (ExecutionOptions::dictionary): the same
+// wave structure as ExecuteForBindingsRaw's batch mode — one
+// deduplicated FetchBatch per literal across all live bindings, results
+// merged per binding in order — but the frontier lives in columnar id
+// form (one contiguous uint32 column per variable), wave dedup hashes
+// flat id signatures instead of rendered strings, joins compare ids
+// against columns, and negated literals probe an id-keyed hash set.
+// Requests on the wire, answers, witness order, and every runtime
+// ledger are byte-identical to the string path; strings are decoded
+// only for the distinct requests handed to the Source API and for the
+// final bindings.
+BindingsResult ExecuteForBindingsEncoded(const ConjunctiveQuery& q,
+                                         const Catalog& catalog,
+                                         Source* source,
+                                         const ExecutionOptions& options) {
+  BindingsResult result;
+  TermDictionary& dict = TermDictionary::Global();
+  ColumnarFrontier frontier;
+  BoundVariables bound;
+  std::optional<StaticCostModel> fallback_model;
+  const CostModel* model = ResolveCostModel(options, &fallback_model);
+
+  for (const Literal& literal : q.body()) {
+    PlanContext context;
+    context.live_bindings =
+        static_cast<double>(std::max<std::size_t>(frontier.rows(), 1));
+    std::optional<AccessPattern> pattern =
+        ChoosePattern(catalog, literal, bound, *model, context);
+    if (!pattern.has_value()) {
+      result.error = "literal " + literal.ToString() +
+                     " has no usable access pattern at its position";
+      result.bindings.clear();
+      return result;
+    }
+
+    // Classify each slot once; the per-row loops below are then pure
+    // integer work.
+    const std::vector<Term>& args = literal.args();
+    const std::size_t arity = args.size();
+    enum class Slot { kConst, kColumn, kBindFirst, kBindRepeat };
+    struct SlotPlan {
+      Slot kind = Slot::kConst;
+      std::uint32_t id = 0;    // kConst: the ground value's id
+      std::size_t column = 0;  // kColumn: frontier column of the variable
+      std::size_t first = 0;   // kBindRepeat: slot of the first occurrence
+    };
+    std::vector<SlotPlan> plan(arity);
+    std::vector<std::size_t> binder_slots;  // slots introducing new vars
+    std::unordered_map<std::string, std::size_t> first_occurrence;
+    bool binds_new = false;
+    for (std::size_t j = 0; j < arity; ++j) {
+      if (args[j].IsGround()) {
+        plan[j].kind = Slot::kConst;
+        plan[j].id = dict.EncodeGround(args[j]);
+        continue;
+      }
+      const std::size_t c = frontier.ColumnOf(args[j].name());
+      if (c != ColumnarFrontier::kNoColumn) {
+        plan[j].kind = Slot::kColumn;
+        plan[j].column = c;
+        continue;
+      }
+      auto [it, fresh] = first_occurrence.try_emplace(args[j].name(), j);
+      if (fresh) {
+        plan[j].kind = Slot::kBindFirst;
+        binder_slots.push_back(j);
+        binds_new = true;
+      } else {
+        plan[j].kind = Slot::kBindRepeat;
+        plan[j].first = it->second;
+      }
+    }
+
+    // Build the wave: one flat id signature per row (FetchInputs' rule
+    // in id form — input slots whose value is known before the call),
+    // deduplicated by integer hashing. Only the distinct signatures
+    // decode to Term vectors for the Source API, so the requests on the
+    // wire are equal to the string path's, in the same first-occurrence
+    // order.
+    std::unordered_map<EncodedTuple, std::size_t, EncodedTupleHash> index;
+    std::vector<std::vector<std::optional<Term>>> requests;
+    std::vector<std::size_t> slot_of(frontier.rows());
+    EncodedTuple signature(arity);
+    for (std::size_t r = 0; r < frontier.rows(); ++r) {
+      for (std::size_t j = 0; j < arity; ++j) {
+        std::uint32_t id = TermDictionary::kAbsentId;
+        if (pattern->IsInputSlot(j)) {
+          if (plan[j].kind == Slot::kConst) {
+            id = plan[j].id;
+          } else if (plan[j].kind == Slot::kColumn) {
+            id = frontier.Column(plan[j].column)[r];
+          }
+        }
+        signature[j] = id;
+      }
+      auto [it, fresh] = index.try_emplace(signature, requests.size());
+      if (fresh) {
+        std::vector<std::optional<Term>> request(arity);
+        for (std::size_t j = 0; j < arity; ++j) {
+          if (signature[j] != TermDictionary::kAbsentId) {
+            request[j] = dict.DecodeTerm(signature[j]);
+          }
+        }
+        requests.push_back(std::move(request));
+      }
+      slot_of[r] = it->second;
+    }
+
+    std::vector<FetchResult> fetched =
+        source->FetchBatch(literal.relation(), *pattern, requests);
+    for (const FetchResult& f : fetched) {
+      if (!f.ok()) {
+        result.error = "source call for literal " + literal.ToString() +
+                       " failed: " + f.error;
+        result.bindings.clear();
+        return result;
+      }
+    }
+
+    // Encode each distinct result set once. A tuple whose arity differs
+    // from the literal's can never unify, and a tuple carrying a
+    // variable is not a fact — both are dropped here exactly as the
+    // string path's unification would reject them.
+    std::vector<std::vector<EncodedTuple>> encoded(fetched.size());
+    for (std::size_t f = 0; f < fetched.size(); ++f) {
+      encoded[f].reserve(fetched[f].tuples.size());
+      for (const Tuple& tuple : fetched[f].tuples) {
+        if (tuple.size() != arity) continue;
+        bool ground = true;
+        for (const Term& term : tuple) {
+          if (!term.IsGround()) {
+            ground = false;
+            break;
+          }
+        }
+        if (!ground) continue;
+        EncodedTuple ids(arity);
+        for (std::size_t j = 0; j < arity; ++j) {
+          ids[j] = dict.EncodeGround(tuple[j]);
+        }
+        encoded[f].push_back(std::move(ids));
+      }
+    }
+
+    if (literal.positive()) {
+      // Join: stream rows in order through their request's tuples (in
+      // fetch order), appending matches column-wise — exactly the
+      // binding-order × tuple-order the string path derives witnesses
+      // in.
+      ColumnarFrontier next;
+      for (const std::string& var : frontier.vars()) next.AddVar(var);
+      for (std::size_t s : binder_slots) next.AddVar(args[s].name());
+      std::size_t out_rows = 0;
+      const std::size_t base = frontier.width();
+      for (std::size_t r = 0; r < frontier.rows(); ++r) {
+        for (const EncodedTuple& tuple : encoded[slot_of[r]]) {
+          bool match = true;
+          for (std::size_t j = 0; j < arity && match; ++j) {
+            switch (plan[j].kind) {
+              case Slot::kConst:
+                match = tuple[j] == plan[j].id;
+                break;
+              case Slot::kColumn:
+                match = tuple[j] == frontier.Column(plan[j].column)[r];
+                break;
+              case Slot::kBindFirst:
+                break;
+              case Slot::kBindRepeat:
+                match = tuple[j] == tuple[plan[j].first];
+                break;
+            }
+          }
+          if (!match) continue;
+          for (std::size_t c = 0; c < base; ++c) {
+            next.MutableColumn(c).push_back(frontier.Column(c)[r]);
+          }
+          for (std::size_t v = 0; v < binder_slots.size(); ++v) {
+            next.MutableColumn(base + v).push_back(tuple[binder_slots[v]]);
+          }
+          ++out_rows;
+        }
+      }
+      next.SetRows(out_rows);
+      frontier = std::move(next);
+      BindVariables(literal, &bound);
+    } else if (!binds_new) {
+      // Anti-join: probe each row's instantiated tuple against an
+      // id-keyed hash set of its request's result; keep the row iff
+      // absent (ChoosePattern guarantees all variables are bound here).
+      std::vector<std::unordered_set<EncodedTuple, EncodedTupleHash>> probe(
+          encoded.size());
+      for (std::size_t f = 0; f < encoded.size(); ++f) {
+        probe[f].insert(encoded[f].begin(), encoded[f].end());
+      }
+      std::vector<std::size_t> keep;
+      keep.reserve(frontier.rows());
+      EncodedTuple instantiated(arity);
+      for (std::size_t r = 0; r < frontier.rows(); ++r) {
+        for (std::size_t j = 0; j < arity; ++j) {
+          instantiated[j] = plan[j].kind == Slot::kConst
+                                ? plan[j].id
+                                : frontier.Column(plan[j].column)[r];
+        }
+        if (probe[slot_of[r]].count(instantiated) == 0) {
+          keep.push_back(r);
+        }
+      }
+      frontier.Retain(keep);
+    }
+    // A negated literal with an unbound variable (unreachable while
+    // ChoosePattern holds its guarantee) filters nothing: a ground
+    // tuple never equals a tuple containing a variable, so the string
+    // path keeps every binding and so do we.
+
+    if (options.max_bindings != 0 && frontier.rows() > options.max_bindings) {
+      result.error = "execution exceeded max_bindings (" +
+                     std::to_string(options.max_bindings) + ") at literal " +
+                     literal.ToString();
+      result.bindings.clear();
+      return result;
+    }
+    if (frontier.rows() == 0) break;  // negations cannot revive answers
+  }
+
+  result.ok = true;
+  result.bindings = frontier.DecodeAll(dict);
   return result;
 }
 
@@ -445,8 +704,10 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
 }
 
 // Routes a body to the pipelined loop when it can actually pipeline
-// (depth > 1, wave mode, and at least two literals to overlap); all other
-// configurations take the historical path, bit-identical to depth 1.
+// (depth > 1, wave mode, and at least two literals to overlap), to the
+// dictionary-encoded columnar loop for the default batch mode, and to
+// the historical string path otherwise — all three produce identical
+// answers in identical witness order.
 BindingsResult ExecuteBodyRaw(const ConjunctiveQuery& q,
                               const Catalog& catalog, Source* source,
                               const ExecutionOptions& options, Clock* clock,
@@ -455,6 +716,9 @@ BindingsResult ExecuteBodyRaw(const ConjunctiveQuery& q,
       q.body().size() >= 2) {
     return ExecuteForBindingsPipelined(q, catalog, source, options, clock,
                                        counters);
+  }
+  if (options.batch && options.dictionary) {
+    return ExecuteForBindingsEncoded(q, catalog, source, options);
   }
   return ExecuteForBindingsRaw(q, catalog, source, options);
 }

@@ -46,6 +46,16 @@ struct ExecutionOptions {
   // per-binding reference loop — waves only change transport scheduling —
   // so this is on by default; turn it off to run the reference semantics.
   bool batch = true;
+  // Run the batch path dictionary-encoded (default): constants intern
+  // into the process-wide TermDictionary, the binding frontier is stored
+  // columnar (eval/frontier.h), wave dedup hashes flat id signatures,
+  // and negated literals probe an id-keyed hash set — strings are
+  // decoded only at result materialization. Answers, witness order, and
+  // runtime ledgers are byte-identical to the string path (the
+  // regression corpus pins this); turn it off to run the string-path
+  // oracle. Ignored when `batch` is off (the reference loop is always
+  // string-based).
+  bool dictionary = true;
   // Source-access runtime configuration (src/runtime/): call caching,
   // retry/backoff, call/deadline budgets, metrics. Disabled by default —
   // the executor then talks to `source` directly. When any layer is

@@ -57,8 +57,11 @@ FetchResult CachingSource::FetchShared(
 FetchResult CachingSource::Fetch(
     const std::string& relation, const AccessPattern& pattern,
     const std::vector<std::optional<Term>>& inputs) {
+  // Packed id keys: same footnote-4 signature as the textual
+  // SourceCacheKey, but built from dictionary ids (a few integer
+  // stores) instead of rendering every input value to a string.
   return FetchShared(relation, pattern, inputs,
-                     SourceCacheKey(relation, pattern, inputs));
+                     PackedSourceCacheKey(relation, pattern, inputs));
 }
 
 std::vector<FetchResult> CachingSource::FetchBatch(
@@ -76,7 +79,7 @@ std::vector<FetchResult> CachingSource::FetchBatch(
   std::vector<std::vector<std::size_t>> group_members;
   std::vector<std::size_t> request_group(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = SourceCacheKey(relation, pattern, inputs[i]);
+    keys[i] = PackedSourceCacheKey(relation, pattern, inputs[i]);
     auto [it, fresh] = group_of.try_emplace(keys[i], group_leader.size());
     if (fresh) {
       group_leader.push_back(i);

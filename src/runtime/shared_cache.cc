@@ -1,6 +1,7 @@
 #include "runtime/shared_cache.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <limits>
 
@@ -22,6 +23,85 @@ std::string SourceCacheKey(const std::string& relation,
   return key;
 }
 
+namespace {
+
+void AppendId(std::string* key, std::uint32_t id) {
+  char raw[sizeof(id)];
+  std::memcpy(raw, &id, sizeof(id));
+  key->append(raw, sizeof(id));
+}
+
+std::uint32_t IdAt(const std::string& key, std::size_t index) {
+  std::uint32_t id;
+  std::memcpy(&id, key.data() + index * sizeof(id), sizeof(id));
+  return id;
+}
+
+}  // namespace
+
+std::string PackSourceCacheSignature(
+    const std::string& relation, const std::string& pattern_word,
+    const std::vector<std::optional<Term>>& slots) {
+  TermDictionary& dict = TermDictionary::Global();
+  std::string key;
+  key.reserve((2 + slots.size()) * sizeof(std::uint32_t));
+  AppendId(&key, dict.Intern(relation));
+  AppendId(&key, dict.Intern(pattern_word));
+  for (const std::optional<Term>& slot : slots) {
+    AppendId(&key, slot.has_value() ? dict.EncodeGround(*slot)
+                                    : TermDictionary::kAbsentId);
+  }
+  return key;
+}
+
+std::string PackedSourceCacheKey(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs) {
+  TermDictionary& dict = TermDictionary::Global();
+  std::string key;
+  key.reserve((2 + inputs.size()) * sizeof(std::uint32_t));
+  AppendId(&key, dict.Intern(relation));
+  AppendId(&key, dict.Intern(pattern.word()));
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    // Footnote 4 again: values at output slots never reach the key.
+    const bool keyed = pattern.IsInputSlot(j) && inputs[j].has_value();
+    AppendId(&key, keyed ? dict.EncodeGround(*inputs[j])
+                         : TermDictionary::kAbsentId);
+  }
+  return key;
+}
+
+bool UnpackSourceCacheKey(const std::string& key, const std::string& relation,
+                          std::string* pattern_word,
+                          std::vector<std::optional<Term>>* slots) {
+  const std::size_t width = sizeof(std::uint32_t);
+  if (key.size() < 2 * width || key.size() % width != 0) return false;
+  const TermDictionary& dict = TermDictionary::Global();
+  const std::size_t minted = dict.size();
+  const std::size_t ids = key.size() / width;
+  for (std::size_t i = 0; i < ids; ++i) {
+    const std::uint32_t id = IdAt(key, i);
+    if (i < 2 && id == TermDictionary::kAbsentId) return false;
+    if (id != TermDictionary::kAbsentId && id >= minted) return false;
+  }
+  // An opaque key of the right shape could still alias valid ids; the
+  // entry's own relation disambiguates — a genuine packed key always
+  // round-trips it.
+  if (dict.Decode(IdAt(key, 0)) != relation) return false;
+  *pattern_word = dict.Decode(IdAt(key, 1));
+  slots->clear();
+  slots->reserve(ids - 2);
+  for (std::size_t i = 2; i < ids; ++i) {
+    const std::uint32_t id = IdAt(key, i);
+    if (id == TermDictionary::kAbsentId) {
+      slots->emplace_back(std::nullopt);
+    } else {
+      slots->emplace_back(dict.DecodeTerm(id));
+    }
+  }
+  return true;
+}
+
 SharedCacheStore::SharedCacheStore() : SharedCacheStore(Options()) {}
 
 SharedCacheStore::SharedCacheStore(Options options)
@@ -39,10 +119,10 @@ SharedCacheStore::SharedCacheStore(Options options)
       options_.max_entries == 0
           ? 0
           : std::max<std::size_t>(1, options_.max_entries / options_.shards);
-  shard_budget_tuples_ =
-      options_.budget_tuples == 0
+  shard_budget_bytes_ =
+      options_.budget_bytes == 0
           ? 0
-          : std::max<std::size_t>(1, options_.budget_tuples / options_.shards);
+          : std::max<std::size_t>(1, options_.budget_bytes / options_.shards);
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -83,8 +163,20 @@ std::uint64_t SharedCacheStore::ExpiryFor(std::uint64_t now,
   return ttl >= never - now ? never : now + ttl;
 }
 
+std::size_t SharedCacheStore::EntryCost(const std::string& key,
+                                        const std::string& relation,
+                                        const std::vector<Tuple>& tuples) {
+  std::size_t bytes = sizeof(Entry) + key.size() + relation.size();
+  for (const Tuple& tuple : tuples) {
+    bytes += sizeof(Tuple);
+    for (const Term& term : tuple) bytes += sizeof(Term) + term.name().size();
+  }
+  return bytes;
+}
+
 void SharedCacheStore::Erase(Shard& shard, std::list<Entry>::iterator it) {
   shard.tuples_held -= it->tuple_cost;
+  shard.bytes_held -= it->byte_cost;
   shard.index.erase(it->key);
   shard.lru.erase(it);
 }
@@ -131,8 +223,8 @@ std::size_t SharedCacheStore::EvictOverflow(Shard& shard) {
   std::size_t evicted = 0;
   while (!shard.lru.empty() &&
          ((shard_max_entries_ != 0 && shard.lru.size() > shard_max_entries_) ||
-          (shard_budget_tuples_ != 0 &&
-           shard.tuples_held > shard_budget_tuples_))) {
+          (shard_budget_bytes_ != 0 &&
+           shard.bytes_held > shard_budget_bytes_))) {
     // Never evict the entry just inserted at the front — a result larger
     // than the whole budget still serves this execution's repeats.
     if (std::prev(shard.lru.end()) == shard.lru.begin()) break;
@@ -141,6 +233,20 @@ std::size_t SharedCacheStore::EvictOverflow(Shard& shard) {
     ++evicted;
   }
   return evicted;
+}
+
+std::size_t SharedCacheStore::InsertFront(Shard& shard, Entry entry) {
+  // A stale follower of an abandoned flight may publish a key that was
+  // republished meanwhile; replace, keeping occupancy consistent.
+  auto existing = shard.index.find(entry.key);
+  if (existing != shard.index.end()) Erase(shard, existing->second);
+  shard.tuples_held += entry.tuple_cost;
+  shard.bytes_held += entry.byte_cost;
+  const std::string key = entry.key;
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.inserts;
+  return EvictOverflow(shard);
 }
 
 std::size_t SharedCacheStore::Publish(const std::string& key,
@@ -152,15 +258,12 @@ std::size_t SharedCacheStore::Publish(const std::string& key,
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.flights.erase(key);
-    // A stale follower of an abandoned flight may publish a key that was
-    // republished meanwhile; replace, keeping occupancy consistent.
-    auto existing = shard.index.find(key);
-    if (existing != shard.index.end()) Erase(shard, existing->second);
 
     Entry entry;
     entry.key = key;
     entry.relation = relation;
     entry.tuple_cost = std::max<std::size_t>(1, tuples.size());
+    entry.byte_cost = EntryCost(key, relation, tuples);
     entry.tuples = std::move(tuples);
     // ttl == 0 keeps the "never expires" sentinel; otherwise saturate so
     // an enormous TTL cannot wrap around into the sentinel (or into the
@@ -168,12 +271,7 @@ std::size_t SharedCacheStore::Publish(const std::string& key,
     // can never be 0, so the sentinel is unambiguous.
     entry.expire_at_micros =
         ttl == 0 ? 0 : ExpiryFor(clock_->NowMicros(), ttl);
-    shard.tuples_held += entry.tuple_cost;
-    shard.lru.push_front(std::move(entry));
-    shard.index.emplace(key, shard.lru.begin());
-    ++shard.stats.inserts;
-
-    evicted = EvictOverflow(shard);
+    evicted = InsertFront(shard, std::move(entry));
   }
   shard.cv.notify_all();
   return evicted;
@@ -188,8 +286,15 @@ std::vector<SharedCacheStore::ExportedEntry> SharedCacheStore::ExportEntries()
     for (const Entry& entry : shard->lru) {
       if (IsExpired(entry, now)) continue;  // not worth carrying across
       ExportedEntry exported;
-      exported.key = entry.key;
       exported.relation = entry.relation;
+      // Decode the packed key so the snapshot carries strings: ids are
+      // process-local, and the restoring side re-encodes against its
+      // own dictionary. Keys the unpacker does not recognize (opaque
+      // test keys) travel verbatim instead.
+      if (!UnpackSourceCacheKey(entry.key, entry.relation,
+                                &exported.pattern_word, &exported.inputs)) {
+        exported.key = entry.key;
+      }
       exported.tuples = entry.tuples;
       exported.ttl_remaining_micros =
           entry.expire_at_micros == 0 ? 0 : entry.expire_at_micros - now;
@@ -200,15 +305,22 @@ std::vector<SharedCacheStore::ExportedEntry> SharedCacheStore::ExportEntries()
 }
 
 void SharedCacheStore::RestoreEntry(const ExportedEntry& restored) {
-  Shard& shard = ShardFor(restored.key);
+  // Decoded entries re-encode against the current process dictionary —
+  // this is what makes snapshots survive dictionary renumbering across
+  // restarts. Opaque entries keep their verbatim key.
+  const std::string key =
+      restored.key.empty()
+          ? PackSourceCacheSignature(restored.relation, restored.pattern_word,
+                                     restored.inputs)
+          : restored.key;
+  Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto existing = shard.index.find(restored.key);
-  if (existing != shard.index.end()) Erase(shard, existing->second);
 
   Entry entry;
-  entry.key = restored.key;
+  entry.key = key;
   entry.relation = restored.relation;
   entry.tuple_cost = std::max<std::size_t>(1, restored.tuples.size());
+  entry.byte_cost = EntryCost(key, restored.relation, restored.tuples);
   entry.tuples = restored.tuples;
   // The exporter stored remaining lifetime; the clock epoch restarts
   // here. 0 stays the "never expires" sentinel, and ExpiryFor keeps a
@@ -217,11 +329,7 @@ void SharedCacheStore::RestoreEntry(const ExportedEntry& restored) {
       restored.ttl_remaining_micros == 0
           ? 0
           : ExpiryFor(clock_->NowMicros(), restored.ttl_remaining_micros);
-  shard.tuples_held += entry.tuple_cost;
-  shard.lru.push_front(std::move(entry));
-  shard.index.emplace(restored.key, shard.lru.begin());
-  ++shard.stats.inserts;
-  EvictOverflow(shard);
+  InsertFront(shard, std::move(entry));
 }
 
 void SharedCacheStore::Abandon(const std::string& key) {
@@ -276,6 +384,7 @@ void SharedCacheStore::InvalidateAll() {
     shard->lru.clear();
     shard->index.clear();
     shard->tuples_held = 0;
+    shard->bytes_held = 0;
   }
 }
 
@@ -292,6 +401,7 @@ SharedCacheStore::Stats SharedCacheStore::stats() const {
     total.invalidated += shard->stats.invalidated;
     total.entries += shard->lru.size();
     total.tuples += shard->tuples_held;
+    total.bytes += shard->bytes_held;
   }
   return total;
 }
@@ -330,11 +440,14 @@ std::size_t SharedCacheStore::size() const { return stats().entries; }
 
 std::size_t SharedCacheStore::tuples() const { return stats().tuples; }
 
+std::size_t SharedCacheStore::bytes() const { return stats().bytes; }
+
 std::string SharedCacheStore::ToText() const {
   const Stats s = stats();
   std::string out =
       "shared-cache: entries=" + std::to_string(s.entries) +
       " tuples=" + std::to_string(s.tuples) +
+      " bytes=" + std::to_string(s.bytes) +
       " hits=" + std::to_string(s.hits) +
       " misses=" + std::to_string(s.misses) +
       " flight_waits=" + std::to_string(s.flight_waits) +
@@ -353,6 +466,7 @@ std::string SharedCacheStore::ToJson() const {
   std::string out =
       "{\"totals\": {\"entries\": " + std::to_string(s.entries) +
       ", \"tuples\": " + std::to_string(s.tuples) +
+      ", \"bytes\": " + std::to_string(s.bytes) +
       ", \"hits\": " + std::to_string(s.hits) +
       ", \"misses\": " + std::to_string(s.misses) +
       ", \"flight_waits\": " + std::to_string(s.flight_waits) +

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dict/term_dictionary.h"
 #include "eval/source.h"
 #include "runtime/clock.h"
 
@@ -21,11 +22,37 @@ namespace ucqn {
 // The footnote-4 call signature: relation, pattern word, and the values at
 // the pattern's *input* slots. Output-slot values never participate — the
 // source ignores them, so two calls differing only there are the same
-// physical call. This is the cache key of both the per-execution
-// CachingSource view and the process-wide SharedCacheStore.
+// physical call. This textual rendering is kept for diagnostics and
+// tests; the store itself is keyed by the packed id form below.
 std::string SourceCacheKey(const std::string& relation,
                            const AccessPattern& pattern,
                            const std::vector<std::optional<Term>>& inputs);
+
+// The same signature as a fixed-width id sequence: raw uint32s
+// [relation_id, word_id, one id per slot] against the process-wide
+// TermDictionary (TermDictionary::kAbsentId for output slots and for
+// input slots the binding does not ground). Building one is a handful
+// of integer stores — no per-value string rendering — and hashing or
+// comparing it is a short memcmp, which is what makes cache probes on
+// the executor's hot path cheap. Packed keys are process-local (ids do
+// not survive a restart); snapshots therefore persist the *decoded*
+// signature and re-encode on restore (see ExportedEntry).
+std::string PackedSourceCacheKey(
+    const std::string& relation, const AccessPattern& pattern,
+    const std::vector<std::optional<Term>>& inputs);
+
+// Packs an already-decoded signature: one entry per slot, nullopt for
+// "no value" (the snapshot-restore and testing entry point).
+std::string PackSourceCacheSignature(
+    const std::string& relation, const std::string& pattern_word,
+    const std::vector<std::optional<Term>>& slots);
+
+// Decodes a packed key back into (pattern word, per-slot values),
+// verifying it round-trips against `relation`. Returns false for keys
+// not produced by PackedSourceCacheKey (e.g. opaque test keys).
+bool UnpackSourceCacheKey(const std::string& key, const std::string& relation,
+                          std::string* pattern_word,
+                          std::vector<std::optional<Term>>* slots);
 
 // A process-wide cache of source-call results that outlives individual
 // executions: repeated user queries over the same services (the
@@ -62,9 +89,12 @@ class SharedCacheStore {
     std::size_t shards = 8;
     // Maximum cached entries (0 = unbounded), split evenly across shards.
     std::size_t max_entries = 0;
-    // Size budget in *tuples* (0 = unbounded), split evenly across shards;
-    // an empty result is charged as one tuple so it still occupies space.
-    std::size_t budget_tuples = 0;
+    // Resident-size budget in *bytes* (0 = unbounded), split evenly
+    // across shards. Charged per entry by EntryCost below — exact bytes
+    // including key, relation and tuple payloads, so a wide tuple costs
+    // what it actually holds and an empty (negative) result still pays
+    // its bookkeeping footprint instead of a flat one-tuple charge.
+    std::size_t budget_bytes = 0;
     // TTL applied to relations without a SetRelationTtl override; 0 means
     // entries never expire by age.
     std::uint64_t default_ttl_micros = 0;
@@ -91,6 +121,7 @@ class SharedCacheStore {
     std::uint64_t invalidated = 0;   // entries dropped via Invalidate*
     std::uint64_t entries = 0;       // current occupancy
     std::uint64_t tuples = 0;        // current occupancy, in tuples
+    std::uint64_t bytes = 0;         // current occupancy, exact bytes
 
     double HitRatio() const {
       const std::uint64_t lookups = hits + misses;
@@ -169,9 +200,19 @@ class SharedCacheStore {
   // *remaining* lifetime rather than absolute expiry stamps: the store's
   // clock epoch is arbitrary (steady or simulated), so only durations
   // survive a process boundary. 0 = never expires.
+  //
+  // Keys are exported *decoded*: a packed id key is unpacked into
+  // (pattern word, per-slot values) so the snapshot carries strings,
+  // not ids — the restoring process re-encodes against its own
+  // dictionary, which makes warm restarts survive dictionary
+  // renumbering. Entries whose key was not produced by
+  // PackedSourceCacheKey (tests publishing opaque keys) carry the raw
+  // key verbatim in `key` instead, with `pattern_word`/`inputs` empty.
   struct ExportedEntry {
-    std::string key;
+    std::string key;  // verbatim opaque key; empty for decoded entries
     std::string relation;
+    std::string pattern_word;                 // decoded signature...
+    std::vector<std::optional<Term>> inputs;  // ...nullopt = no value
     std::vector<Tuple> tuples;
     std::uint64_t ttl_remaining_micros = 0;
   };
@@ -182,12 +223,22 @@ class SharedCacheStore {
   std::vector<ExportedEntry> ExportEntries() const;
 
   // Re-inserts a snapshot entry: expiry restarts at now +
-  // ttl_remaining_micros (0 = never). Counted as an insert; the capacity
-  // and tuple budgets apply exactly as in Publish, so restoring into a
+  // ttl_remaining_micros (0 = never). Decoded entries are re-encoded
+  // into a packed key against the current process dictionary; opaque
+  // entries keep their verbatim key. Counted as an insert; the capacity
+  // and byte budgets apply exactly as in Publish, so restoring into a
   // smaller store evicts from the cold end. Never touches flights — call
   // before serving, or concurrently with traffic (both are safe; a racing
   // Publish of the same key simply wins or is replaced by LRU age).
   void RestoreEntry(const ExportedEntry& entry);
+
+  // The exact resident cost Publish charges for one entry: struct
+  // bookkeeping plus the key, relation, and every tuple's terms. Public
+  // so budget tests and capacity planning can compute thresholds rather
+  // than hard-coding platform-dependent sizes.
+  static std::size_t EntryCost(const std::string& key,
+                               const std::string& relation,
+                               const std::vector<Tuple>& tuples);
 
   // --- observability ------------------------------------------------------
 
@@ -208,6 +259,7 @@ class SharedCacheStore {
 
   std::size_t size() const;    // current entries
   std::size_t tuples() const;  // current tuples held
+  std::size_t bytes() const;   // current resident bytes held
 
  private:
   struct Entry {
@@ -215,10 +267,16 @@ class SharedCacheStore {
     std::string relation;
     std::vector<Tuple> tuples;
     std::size_t tuple_cost = 1;       // max(1, tuples.size())
+    std::size_t byte_cost = 0;        // EntryCost at publish time
     std::uint64_t expire_at_micros = 0;  // 0 = never
   };
 
-  struct Shard {
+  // Cache-line aligned: shards are allocated independently, but the
+  // alignment guarantees two shards' mutexes and counters never share a
+  // line even if an allocator packs them — concurrent executions on
+  // different shards must not false-share (the CacheScope
+  // FalseSharingAnalysis counter layout is the exemplar here).
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::condition_variable cv;
     // Front = most recently used; `index` points into `lru`.
@@ -227,7 +285,8 @@ class SharedCacheStore {
     // Keys currently owned by a leader.
     std::unordered_set<std::string> flights;
     std::size_t tuples_held = 0;
-    Stats stats;  // entries/tuples fields unused; filled on aggregate
+    std::size_t bytes_held = 0;
+    Stats stats;  // entries/tuples/bytes fields unused; filled on aggregate
     std::map<std::string, RelationCounters> per_relation;
   };
 
@@ -250,16 +309,19 @@ class SharedCacheStore {
   static std::uint64_t ExpiryFor(std::uint64_t now, std::uint64_t ttl);
   // Drops `it` from `shard` (lock held). Does not touch counters.
   void Erase(Shard& shard, std::list<Entry>::iterator it);
-  // Evicts from the cold end while the shard exceeds its entry/tuple
+  // Evicts from the cold end while the shard exceeds its entry/byte
   // limits, never dropping the just-inserted front entry (lock held).
   // Returns the number of evictions (also counted in the shard ledger).
   std::size_t EvictOverflow(Shard& shard);
+  // Inserts at the front of `shard`'s LRU and evicts overflow (lock
+  // held) — the shared tail of Publish and RestoreEntry.
+  std::size_t InsertFront(Shard& shard, Entry entry);
 
   Options options_;
   std::unique_ptr<SteadyClock> owned_clock_;
   Clock* clock_;
   std::size_t shard_max_entries_;   // 0 = unbounded
-  std::size_t shard_budget_tuples_; // 0 = unbounded
+  std::size_t shard_budget_bytes_;  // 0 = unbounded
   mutable std::mutex ttl_mu_;
   std::unordered_map<std::string, std::uint64_t> relation_ttls_;
   std::uint64_t negative_ttl_micros_;  // guarded by ttl_mu_

@@ -43,7 +43,30 @@ std::string CacheSnapshotToJson(const SharedCacheStore& store) {
   JsonValue entries = JsonValue::Array();
   for (const SharedCacheStore::ExportedEntry& entry : store.ExportEntries()) {
     JsonValue e = JsonValue::Object();
-    e.Set("key", JsonValue::String(entry.key));
+    if (entry.key.empty()) {
+      // Decoded call signature: the store unpacked its id key into
+      // strings, so the snapshot is portable across processes whose
+      // dictionaries numbered the constants differently. Input cells:
+      // string = constant, JSON null = no value at that slot (output
+      // slot), true = the distinguished Δ-null.
+      e.Set("pattern", JsonValue::String(entry.pattern_word));
+      JsonValue inputs = JsonValue::Array();
+      for (const std::optional<Term>& slot : entry.inputs) {
+        if (!slot.has_value()) {
+          inputs.Append(JsonValue::Null());
+        } else if (slot->IsNull()) {
+          inputs.Append(JsonValue::Bool(true));
+        } else {
+          inputs.Append(JsonValue::String(slot->name()));
+        }
+      }
+      e.Set("inputs", std::move(inputs));
+    } else {
+      // An opaque key (not minted by PackedSourceCacheKey) travels
+      // verbatim — it can only ever hit again in a store that looks it
+      // up verbatim too.
+      e.Set("key", JsonValue::String(entry.key));
+    }
     e.Set("relation", JsonValue::String(entry.relation));
     e.Set("ttl_remaining_us",
           JsonValue::Number(static_cast<double>(entry.ttl_remaining_micros)));
@@ -82,8 +105,33 @@ bool RestoreCacheSnapshot(const std::string& json, SharedCacheStore* store,
     SharedCacheStore::ExportedEntry entry;
     entry.key = e.GetString("key");
     entry.relation = e.GetString("relation");
-    if (entry.key.empty() || entry.relation.empty()) {
+    if (entry.relation.empty()) {
       return fail("snapshot entry lacks key/relation");
+    }
+    if (entry.key.empty()) {
+      // Decoded form: pattern word plus per-slot input values. The
+      // store re-encodes these against the current dictionary.
+      const JsonValue* pattern = e.Find("pattern");
+      const JsonValue* slots = e.Find("inputs");
+      if (pattern == nullptr || !pattern->is_string() || slots == nullptr ||
+          !slots->is_array()) {
+        return fail("snapshot entry lacks key/relation");
+      }
+      entry.pattern_word = pattern->AsString();
+      if (entry.pattern_word.empty()) {
+        return fail("snapshot entry has an empty pattern word");
+      }
+      for (const JsonValue& cell : slots->items()) {
+        if (cell.is_null()) {
+          entry.inputs.emplace_back(std::nullopt);
+        } else if (cell.is_bool() && cell.AsBool()) {
+          entry.inputs.emplace_back(Term::Null());
+        } else if (cell.is_string()) {
+          entry.inputs.emplace_back(Term::Constant(cell.AsString()));
+        } else {
+          return fail("snapshot input cells must be strings, true, or null");
+        }
+      }
     }
     const double ttl = e.GetNumber("ttl_remaining_us", 0.0);
     if (ttl < 0) return fail("negative ttl_remaining_us");

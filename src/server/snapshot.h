@@ -22,8 +22,18 @@ namespace ucqn {
 // sound for a cache whose invalidation story is explicit
 // (InvalidateRelation), and exactly what "restart warm" asks for.
 
-// {"entries": [{"key": "...", "relation": "R", "ttl_remaining_us": 0,
+// Cache keys are persisted *decoded* — the store's packed dictionary-id
+// keys are process-local, so each entry carries its call signature as
+// strings (pattern word + per-slot input values) and the restoring
+// process re-encodes it against its own TermDictionary. Warm restarts
+// therefore survive dictionary renumbering. Opaque keys (not minted by
+// PackedSourceCacheKey) travel verbatim under "key" instead.
+//
+// {"entries": [{"pattern": "io", "inputs": ["a", null], "relation": "R",
+//               "ttl_remaining_us": 0,
 //               "tuples": [["a", "b"], ["c", null]]}, ...]}
+// Input cells: string = constant, null = no value at that slot, true =
+// the distinguished Δ-null.
 std::string CacheSnapshotToJson(const SharedCacheStore& store);
 
 // Restores CacheSnapshotToJson output into `store` (entries append; call

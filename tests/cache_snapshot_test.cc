@@ -120,16 +120,19 @@ TEST(CacheSnapshotTest, RestoreHonorsTheReceivingStoresBudget) {
   big.Publish("k2", "R", {{Term::Constant("c")}, {Term::Constant("d")}});
   const std::string json = CacheSnapshotToJson(big);
 
+  // A budget that fits exactly one of the two (cost-symmetric) entries.
+  const std::size_t one_entry = SharedCacheStore::EntryCost(
+      "k1", "R", {{Term::Constant("a")}, {Term::Constant("b")}});
   SharedCacheStore::Options small_options;
   small_options.shards = 1;
-  small_options.budget_tuples = 2;
+  small_options.budget_bytes = one_entry;
   SharedCacheStore small(small_options);
   std::string error;
   ASSERT_TRUE(RestoreCacheSnapshot(json, &small, &error)) << error;
   // Restoring into a smaller store evicts from the cold end, exactly as
   // Publish would.
   EXPECT_EQ(small.size(), 1u);
-  EXPECT_LE(small.tuples(), 2u);
+  EXPECT_LE(small.bytes(), one_entry);
 }
 
 TEST(CacheSnapshotTest, FileRoundTripCarriesCacheAndStats) {

@@ -1,8 +1,8 @@
 // SharedCacheStore: the process-wide source-call cache — TTL expiry,
-// invalidation hooks, tuple budgets, the single-flight lookup protocol,
-// and its wiring through CachingSource views, SourceStack, and the
-// cache-aware adaptive cost model. Concurrency coverage (two executions
-// racing on one store) lives in shared_cache_concurrency_test.cc.
+// invalidation hooks, exact-byte budgets, the single-flight lookup
+// protocol, and its wiring through CachingSource views, SourceStack, and
+// the cache-aware adaptive cost model. Concurrency coverage (two
+// executions racing on one store) lives in shared_cache_concurrency_test.
 
 #include "runtime/shared_cache.h"
 
@@ -52,6 +52,50 @@ TEST_F(SharedCacheTest, SourceCacheKeyIgnoresOutputSlots) {
   const std::string scan = SourceCacheKey(
       "R", AccessPattern::MustParse("oo"), {std::nullopt, std::nullopt});
   EXPECT_NE(a, scan);
+}
+
+TEST_F(SharedCacheTest, PackedKeyMatchesTextualKeyEquivalence) {
+  // The packed id key groups calls exactly like the textual key:
+  // output-slot values ignored, inputs and pattern word significant —
+  // just as fixed-width id sequences instead of rendered strings.
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const std::string a = PackedSourceCacheKey(
+      "R", keyed, {Term::Constant("a"), Term::Constant("b")});
+  const std::string b =
+      PackedSourceCacheKey("R", keyed, {Term::Constant("a"), std::nullopt});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 4 * sizeof(std::uint32_t));  // relation, word, 2 slots
+  const std::string c =
+      PackedSourceCacheKey("R", keyed, {Term::Constant("c"), std::nullopt});
+  EXPECT_NE(a, c);
+  const std::string scan = PackedSourceCacheKey(
+      "R", AccessPattern::MustParse("oo"), {std::nullopt, std::nullopt});
+  EXPECT_NE(a, scan);
+  // Δ-null at an input slot keys differently from the constant "null".
+  const std::string null_key =
+      PackedSourceCacheKey("R", keyed, {Term::Null(), std::nullopt});
+  const std::string null_const = PackedSourceCacheKey(
+      "R", keyed, {Term::Constant("null"), std::nullopt});
+  EXPECT_NE(null_key, null_const);
+}
+
+TEST_F(SharedCacheTest, PackedKeyUnpacksToItsSignature) {
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const std::string key =
+      PackedSourceCacheKey("R", keyed, {Term::Constant("a"), std::nullopt});
+  std::string word;
+  std::vector<std::optional<Term>> slots;
+  ASSERT_TRUE(UnpackSourceCacheKey(key, "R", &word, &slots));
+  EXPECT_EQ(word, "io");
+  ASSERT_EQ(slots.size(), 2u);
+  ASSERT_TRUE(slots[0].has_value());
+  EXPECT_EQ(*slots[0], Term::Constant("a"));
+  EXPECT_FALSE(slots[1].has_value());
+  // Re-packing the unpacked signature reproduces the key bit-for-bit.
+  EXPECT_EQ(PackSourceCacheSignature("R", word, slots), key);
+  // Opaque keys are recognized as such.
+  EXPECT_FALSE(UnpackSourceCacheKey("not-a-packed-key", "R", &word, &slots));
+  EXPECT_FALSE(UnpackSourceCacheKey(key, "NotR", &word, &slots));
 }
 
 TEST_F(SharedCacheTest, SurvivesAcrossViews) {
@@ -223,28 +267,59 @@ TEST_F(SharedCacheTest, InvalidateRelationDropsOnlyThatRelation) {
   EXPECT_EQ(backend.stats().calls, 4u);
 }
 
-TEST_F(SharedCacheTest, TupleBudgetEvictsLru) {
+TEST_F(SharedCacheTest, ByteBudgetEvictsLru) {
   DatabaseSource backend(&db_, &catalog_);
+  const AccessPattern keyed = AccessPattern::MustParse("io");
+  const AccessPattern scan = AccessPattern::MustParse("oo");
+  // Compute the exact resident cost of each entry the test will insert —
+  // the budget is in bytes, so thresholds come from EntryCost rather
+  // than platform-dependent literals.
+  const Tuple ab = {Term::Constant("a"), Term::Constant("b")};
+  const Tuple cd = {Term::Constant("c"), Term::Constant("d")};
+  const std::size_t cost_a = SharedCacheStore::EntryCost(
+      PackedSourceCacheKey("R", keyed, {Term::Constant("a"), std::nullopt}),
+      "R", {ab});
+  const std::size_t cost_c = SharedCacheStore::EntryCost(
+      PackedSourceCacheKey("R", keyed, {Term::Constant("c"), std::nullopt}),
+      "R", {cd});
+  const std::size_t cost_scan = SharedCacheStore::EntryCost(
+      PackedSourceCacheKey("R", scan, {std::nullopt, std::nullopt}), "R",
+      {ab, cd});
+
   SharedCacheStore::Options options;
   options.shards = 1;  // exact global LRU for a deterministic victim
-  options.budget_tuples = 3;
+  // Room for the "c" entry plus the scan, but not the "a" entry too.
+  options.budget_bytes = cost_c + cost_scan;
   SharedCacheStore store(options);
   CachingSource cached(&backend, store);
-  const AccessPattern keyed = AccessPattern::MustParse("io");
 
-  // Each keyed result is 1 tuple but charged max(1, n); the scan is 2.
   cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
   cached.FetchOrDie("R", keyed, {Term::Constant("c"), std::nullopt});
-  EXPECT_EQ(store.tuples(), 2u);
-  // The 2-tuple scan pushes the total to 4 > 3: the LRU entry ("a") goes.
-  cached.FetchOrDie("R", AccessPattern::MustParse("oo"),
-                    {std::nullopt, std::nullopt});
+  EXPECT_EQ(store.bytes(), cost_a + cost_c);
+  // The 2-tuple scan overflows the budget: the LRU entry ("a") goes.
+  cached.FetchOrDie("R", scan, {std::nullopt, std::nullopt});
   EXPECT_EQ(store.stats().evictions, 1u);
-  EXPECT_EQ(store.tuples(), 3u);
+  EXPECT_EQ(store.bytes(), cost_c + cost_scan);
   cached.FetchOrDie("R", keyed, {Term::Constant("c"), std::nullopt});
   EXPECT_EQ(backend.stats().calls, 3u);  // "c" still cached
   cached.FetchOrDie("R", keyed, {Term::Constant("a"), std::nullopt});
   EXPECT_EQ(backend.stats().calls, 4u);  // "a" was the victim
+}
+
+TEST_F(SharedCacheTest, EmptyResultsStillPayTheirFootprint) {
+  // The old tuple ledger charged an empty (negative) result one flat
+  // tuple — the byte ledger charges its real bookkeeping footprint, so
+  // negative entries can no longer ride for (nearly) free.
+  SharedCacheStore store;
+  store.Publish("k", "R", {});
+  EXPECT_GT(store.bytes(), 0u);
+  EXPECT_EQ(store.bytes(), SharedCacheStore::EntryCost("k", "R", {}));
+  // And a wide tuple costs more than a narrow one under the same key.
+  const Tuple narrow = {Term::Constant("x")};
+  const Tuple wide = {Term::Constant("a-much-longer-constant-value"),
+                      Term::Constant("second"), Term::Constant("third")};
+  EXPECT_GT(SharedCacheStore::EntryCost("k", "R", {wide}),
+            SharedCacheStore::EntryCost("k", "R", {narrow}));
 }
 
 TEST_F(SharedCacheTest, OversizedResultIsKeptForItsOwnExecution) {
@@ -253,7 +328,7 @@ TEST_F(SharedCacheTest, OversizedResultIsKeptForItsOwnExecution) {
   DatabaseSource backend(&db_, &catalog_);
   SharedCacheStore::Options options;
   options.shards = 1;
-  options.budget_tuples = 1;
+  options.budget_bytes = 1;
   SharedCacheStore store(options);
   CachingSource cached(&backend, store);
   const AccessPattern scan = AccessPattern::MustParse("oo");

@@ -16,11 +16,13 @@
 // unbounded unless --cache-capacity is given), --shared-cache upgrades the
 // cache to a process-wide SharedCacheStore that persists across the
 // queries of a --queries session (with --cache-ttl-ms expiry and a
-// --cache-budget tuple bound), --retry N retries transient failures up to
-// N attempts with backoff, --max-calls N caps the total calls per run,
-// --parallelism N overlaps each literal's batched wave of source calls on
-// N worker threads, --no-batch reverts the executor to the per-binding
-// reference loop (--batch restores the default), and --metrics prints the
+// --cache-budget resident-byte bound), --retry N retries transient
+// failures up to N attempts with backoff, --max-calls N caps the total
+// calls per run, --parallelism N overlaps each literal's batched wave of
+// source calls on N worker threads, --no-batch reverts the executor to
+// the per-binding reference loop (--batch restores the default),
+// --no-dictionary runs the string-path oracle instead of the
+// dictionary-encoded columnar executor, and --metrics prints the
 // per-relation call/tuple/latency table (text) or its JSON export.
 //
 // --queries FILE runs a multi-query session: the file holds one query per
@@ -114,7 +116,8 @@ constexpr char kUsage[] =
     "                       expire *empty* shared-cache results after N ms\n"
     "                       instead of the relation/default TTL (implies\n"
     "                       --shared-cache)\n"
-    "  --cache-budget N     bound the shared cache to N tuples, LRU eviction\n"
+    "  --cache-budget N     bound the shared cache to N resident bytes\n"
+    "                       (exact entry+tuple footprint), LRU eviction\n"
     "                       (implies --shared-cache)\n"
     "  --retry N            retry transient source failures up to N attempts\n"
     "  --max-calls N        per-run physical source-call budget\n"
@@ -123,6 +126,9 @@ constexpr char kUsage[] =
     "                       flight at once (1 = classic one-wave-at-a-time)\n"
     "  --batch | --no-batch batched waves (default) or the per-binding\n"
     "                       reference loop\n"
+    "  --no-dictionary      run the string-path executor instead of the\n"
+    "                       dictionary-encoded columnar default (answers\n"
+    "                       and witness order are identical either way)\n"
     "  --metrics text|json  print the per-relation metrics table after runs\n"
     "\n"
     "cost model (src/cost/):\n"
@@ -274,6 +280,8 @@ int main(int argc, char** argv) {
       exec.batch = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       exec.batch = false;
+    } else if (std::strcmp(argv[i], "--no-dictionary") == 0) {
+      exec.dictionary = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       if (!next(metrics_format)) return Usage();
       if (std::strcmp(metrics_format, "text") != 0 &&
@@ -330,7 +338,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cache_ttl_ms) * 1000;
   store_options.negative_ttl_micros =
       static_cast<std::uint64_t>(cache_negative_ttl_ms) * 1000;
-  store_options.budget_tuples = cache_budget;
+  store_options.budget_bytes = cache_budget;
   SharedCacheStore shared_store(store_options);
   if (shared_cache) runtime.shared_cache = &shared_store;
 

@@ -89,7 +89,8 @@ constexpr char kUsage[] =
     "                       expire *empty* results after N ms instead —\n"
     "                       negative answers go stale on the first insert\n"
     "                       at the source, so age them faster\n"
-    "  --cache-budget N     bound the store to N tuples, LRU eviction\n"
+    "  --cache-budget N     bound the store to N resident bytes (exact\n"
+    "                       entry+tuple footprint), LRU eviction\n"
     "\n"
     "warm restarts:\n"
     "  --snapshot-dir DIR   restore DIR/cache.json + DIR/stats.json at\n"
@@ -180,7 +181,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-negative-ttl-ms") == 0) {
       if (!next_count(cache_negative_ttl_ms)) return Usage();
     } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
-      if (!next_count(options.cache.budget_tuples)) return Usage();
+      if (!next_count(options.cache.budget_bytes)) return Usage();
     } else if (std::strcmp(argv[i], "--snapshot-dir") == 0) {
       const char* dir = nullptr;
       if (!next(dir)) return Usage();
