@@ -31,6 +31,16 @@
 //    overlaps it, so simulated wall-clock drops from (1 + k) x L
 //    sequentially to (1 + ceil(k/p)) x L at parallelism p — with
 //    byte-identical answers (asserted via `answers_match`).
+//  * BM_OperatorDagDisjuncts — the operator-DAG executor's concurrency
+//    payoff: a three-disjunct UCQ¬ (each disjunct a scan fanning a
+//    6000-row combined frontier into keyed probes plus a negated
+//    anti-join probe) against a 500us/call simulated service. The legacy
+//    loop and the DAG at disjunct_concurrency 1 cost the same simulated
+//    wall-clock (byte-identical schedules); at disjunct_concurrency 3
+//    the three chains stage one wave each per round and resolve them in
+//    one overlap bracket, so each round costs its slowest lane —
+//    simulated wall-clock drops ~3x (>= 1.5x required) with identical
+//    answers.
 //  * BM_DaemonWarmStart — two QueryDaemon lifetimes over one snapshot
 //    directory: the first serves a query cold and drains (spilling
 //    cache.json/stats.json), the second boots from those files over a
@@ -596,6 +606,113 @@ void BM_PipelinedChain(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedChain)->Arg(1)->Arg(2)->Arg(3);
 
+// --- concurrent disjunct chains through the operator DAG ------------------
+
+constexpr int kDagDisjuncts = 3;
+constexpr int kDagRowsPerDisjunct = 2000;  // 6000-row combined frontier
+constexpr int kDagKeys = 32;
+
+Catalog OperatorDagCatalog() {
+  return Catalog::MustParse(R"(
+    relation D1/2: oo
+    relation D2/2: oo
+    relation D3/2: oo
+    relation T/2: io
+    relation N/1: i
+  )");
+}
+
+Database OperatorDagDatabase() {
+  Database db;
+  const std::vector<std::string> scans = {"D1", "D2", "D3"};
+  for (std::size_t d = 0; d < scans.size(); ++d) {
+    for (int i = 0; i < kDagRowsPerDisjunct; ++i) {
+      db.Insert(scans[d],
+                {Term::Constant(scans[d] + "_row" + std::to_string(i)),
+                 Term::Constant("k" + std::to_string(i % kDagKeys))});
+    }
+  }
+  for (int k = 0; k < kDagKeys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    db.Insert("T", {Term::Constant(key), Term::Constant("t" + key)});
+    // Half the keys are negated away by the anti-join.
+    if (k % 2 == 0) db.Insert("N", {Term::Constant(key)});
+  }
+  return db;
+}
+
+struct OperatorDagRun {
+  bool ok = false;
+  std::uint64_t sim_wall_micros = 0;
+  std::uint64_t backend_calls = 0;
+  std::uint64_t disjuncts = 0;
+  std::uint64_t morsels = 0;
+  std::uint64_t antijoin_build = 0;
+  std::set<Tuple> answers;
+};
+
+// Three structurally identical disjuncts — scan, keyed join, negated
+// probe — so every chain has the same per-round latency profile and the
+// overlap bracket's max-over-lanes is a clean 1/3 of the serial sum.
+// `dag=false` runs the legacy encoded loop (the --legacy-executor
+// oracle); concurrency is only meaningful on the DAG path.
+OperatorDagRun RunOperatorDag(bool dag, std::size_t concurrency) {
+  Catalog catalog = OperatorDagCatalog();
+  Database db = OperatorDagDatabase();
+  UnionQuery query = MustParseUnionQuery(R"(
+    Q(x, w) :- D1(x, z), T(z, w), not N(z).
+    Q(x, w) :- D2(x, z), T(z, w), not N(z).
+    Q(x, w) :- D3(x, z), T(z, w), not N(z).
+  )");
+  DatabaseSource backend(&db, &catalog);
+  FaultPlan faults;
+  faults.latency_micros = 500;
+  SimulatedClock clock;
+  FaultInjectingSource slow(&backend, faults, &clock);
+  ExecutionOptions options;
+  options.dag = dag;
+  options.disjunct_concurrency = concurrency;
+  options.runtime.metering = true;
+  options.runtime.clock = &clock;
+  ExecutionResult result = Execute(query, catalog, &slow, options);
+  OperatorDagRun run;
+  run.ok = result.ok;
+  run.sim_wall_micros = clock.NowMicros();
+  run.backend_calls = backend.stats().calls;
+  run.disjuncts = result.runtime.disjuncts_executed;
+  run.morsels = result.runtime.morsels;
+  run.antijoin_build = result.runtime.antijoin_build_tuples;
+  run.answers = std::move(result.tuples);
+  return run;
+}
+
+void BM_OperatorDagDisjuncts(benchmark::State& state) {
+  // range(0): 0 = legacy loop, otherwise the DAG at that concurrency.
+  const auto concurrency = static_cast<std::size_t>(state.range(0));
+  OperatorDagRun legacy = RunOperatorDag(/*dag=*/false, 1);
+  OperatorDagRun run;
+  for (auto _ : state) {
+    run = RunOperatorDag(/*dag=*/concurrency > 0,
+                         concurrency > 0 ? concurrency : 1);
+    if (!run.ok) {
+      state.SkipWithError("operator-DAG execution failed");
+      return;
+    }
+  }
+  state.counters["disjunct_concurrency"] = static_cast<double>(concurrency);
+  state.counters["calls"] = static_cast<double>(run.backend_calls);
+  state.counters["sim_wall_us"] = static_cast<double>(run.sim_wall_micros);
+  state.counters["speedup"] =
+      run.sim_wall_micros == 0
+          ? 0.0
+          : static_cast<double>(legacy.sim_wall_micros) /
+                static_cast<double>(run.sim_wall_micros);
+  state.counters["morsels"] = static_cast<double>(run.morsels);
+  state.counters["antijoin_build"] = static_cast<double>(run.antijoin_build);
+  state.counters["answers_match"] = run.answers == legacy.answers ? 1.0 : 0.0;
+}
+BENCHMARK(BM_OperatorDagDisjuncts)->Arg(0)->Arg(1)->Arg(3);
+
 // --- daemon warm restart over spilled snapshots ---------------------------
 
 struct DaemonWarmRun {
@@ -894,6 +1011,44 @@ void WriteBenchJson(const char* path) {
               ", \"overlapped_rounds\": " + std::to_string(run.overlaps) +
               ", \"answers_match\": " +
               (run.answers == chain_sequential.answers ? "true" : "false") +
+              "}";
+    }
+  }
+  json += "]}, \"operator_dag\": {\"disjuncts\": " +
+          std::to_string(kDagDisjuncts) + ", \"frontier_rows\": " +
+          std::to_string(kDagDisjuncts * kDagRowsPerDisjunct) +
+          ", \"latency_us\": 500, \"runs\": [";
+  first = true;
+  {
+    OperatorDagRun legacy = RunOperatorDag(/*dag=*/false, 1);
+    struct Mode {
+      const char* executor;
+      bool dag;
+      std::size_t concurrency;
+    };
+    for (const Mode& mode :
+         {Mode{"legacy", false, 1}, Mode{"dag", true, 1},
+          Mode{"dag", true, 3}}) {
+      OperatorDagRun run = RunOperatorDag(mode.dag, mode.concurrency);
+      if (!first) json += ", ";
+      first = false;
+      const double speedup =
+          run.sim_wall_micros == 0
+              ? 0.0
+              : static_cast<double>(legacy.sim_wall_micros) /
+                    static_cast<double>(run.sim_wall_micros);
+      json += "{\"executor\": \"" + std::string(mode.executor) +
+              "\", \"disjunct_concurrency\": " +
+              std::to_string(mode.concurrency) +
+              ", \"calls\": " + std::to_string(run.backend_calls) +
+              ", \"sim_wall_us\": " + std::to_string(run.sim_wall_micros) +
+              ", \"speedup\": " + std::to_string(speedup) +
+              ", \"morsels\": " + std::to_string(run.morsels) +
+              ", \"antijoin_build\": " + std::to_string(run.antijoin_build) +
+              ", \"answers_match\": " +
+              (run.ok && legacy.ok && run.answers == legacy.answers
+                   ? "true"
+                   : "false") +
               "}";
     }
   }

@@ -110,7 +110,7 @@ LiteralScore StaticCostModel::ScoreLiteral(const Catalog& catalog,
   (void)catalog;
   (void)context;
   LiteralScore score;
-  score.filter = literal.negative() || AllVariablesBound(literal, bound);
+  score.filter = IsFilterLiteral(literal, bound);
   score.cost = score.filter ? 0.0 : ExpectedFanout(literal, bound);
   return score;
 }
@@ -207,7 +207,7 @@ LiteralScore AdaptiveCostModel::ScoreLiteral(const Catalog& catalog,
                                              const BoundVariables& bound,
                                              const PlanContext& context) const {
   LiteralScore score;
-  score.filter = literal.negative() || AllVariablesBound(literal, bound);
+  score.filter = IsFilterLiteral(literal, bound);
   // Cost of running the literal next through its cheapest pattern, plus
   // the client-side cost of the bindings it fans out into (which multiply
   // every later literal's calls).

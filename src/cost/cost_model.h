@@ -223,6 +223,18 @@ inline bool BetterLiteralScore(const LiteralScore& a, const LiteralScore& b) {
   return a.cost < b.cost;
 }
 
+// THE filter-placement predicate: a literal that cannot grow the binding
+// set — a negation or a fully-bound positive — only shrinks it, so every
+// consumer of the notion (both ScoreLiteral implementations scheduling
+// filters first, and the DAG lowering classifying a literal as Filter /
+// HashAntiJoin rather than a scan or join) must share this definition or
+// the plan the explain dump shows and the chain the executor runs could
+// disagree.
+inline bool IsFilterLiteral(const Literal& literal,
+                            const BoundVariables& bound) {
+  return literal.negative() || AllVariablesBound(literal, bound);
+}
+
 }  // namespace ucqn
 
 #endif  // UCQN_COST_COST_MODEL_H_

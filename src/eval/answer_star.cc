@@ -70,16 +70,23 @@ AnswerStarReport AnswerStar(const UnionQuery& q, const Catalog& catalog,
                : ExecutionResult{};
   if (stack.has_value()) {
     report.runtime = stack->stats();
-    // The executor-side pipelining counters live in the per-plan results,
-    // not the shared stack; fold both plans' counts into the report.
-    report.runtime.pipeline_rounds =
-        under.runtime.pipeline_rounds + over.runtime.pipeline_rounds;
-    report.runtime.pipeline_overlaps =
-        under.runtime.pipeline_overlaps + over.runtime.pipeline_overlaps;
     if (options.stats_sink != nullptr && stack->meter() != nullptr) {
       options.stats_sink->Observe(*stack->meter());
     }
   }
+  // The executor-side scheduling counters (pipelining rounds, operator-DAG
+  // disjunct/morsel/anti-join work) live in the per-plan results, not the
+  // shared stack; fold both plans' counts into the report — whether or not
+  // a stack ran, since the executor did either way.
+  report.runtime.pipeline_rounds =
+      under.runtime.pipeline_rounds + over.runtime.pipeline_rounds;
+  report.runtime.pipeline_overlaps =
+      under.runtime.pipeline_overlaps + over.runtime.pipeline_overlaps;
+  report.runtime.disjuncts_executed =
+      under.runtime.disjuncts_executed + over.runtime.disjuncts_executed;
+  report.runtime.morsels = under.runtime.morsels + over.runtime.morsels;
+  report.runtime.antijoin_build_tuples = under.runtime.antijoin_build_tuples +
+                                         over.runtime.antijoin_build_tuples;
   if (!under.ok || !over.ok) {
     report.error = !under.ok ? "underestimate plan failed: " + under.error
                              : "overestimate plan failed: " + over.error;

@@ -1,0 +1,215 @@
+#include "eval/dag_executor.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "cost/cost_model.h"
+#include "dict/term_dictionary.h"
+#include "eval/frontier.h"
+#include "eval/op/lowering.h"
+#include "eval/op/operators.h"
+
+namespace ucqn {
+
+namespace {
+
+const CostModel* ResolveCostModel(const ExecutionOptions& options,
+                                  std::optional<StaticCostModel>* storage) {
+  if (options.cost_model != nullptr) return options.cost_model;
+  storage->emplace(options.pattern_preference);
+  return &**storage;
+}
+
+// One disjunct's compiled chain plus its execution state: a FIFO morsel
+// queue in front of every fetch operator, and the sink. A chain is done
+// when every queue has drained (all its morsels either died or were
+// materialized).
+struct Chain {
+  const ConjunctiveQuery* q = nullptr;
+  std::vector<FetchOperator> ops;
+  std::vector<std::deque<ColumnarFrontier>> queues;
+  MaterializeOp materialize;
+  bool done = false;
+
+  static constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+
+  // The deepest stage holding a pending morsel (draining deep-first
+  // bounds the rows parked mid-chain, as in the pipelined executor), or
+  // kNoStage when the chain has no work left.
+  std::size_t DeepestStage() const {
+    for (std::size_t i = queues.size(); i-- > 0;) {
+      if (!queues[i].empty()) return i;
+    }
+    return kNoStage;
+  }
+};
+
+// Enqueues `out`, split into chunks of at most `morsel_rows` rows
+// (0 = unsplit — the byte-compatible default where a whole frontier is
+// one morsel). Chunks keep row order, so witness order survives
+// splitting.
+void EnqueueMorsels(ColumnarFrontier&& out, std::size_t morsel_rows,
+                    std::deque<ColumnarFrontier>* queue) {
+  if (morsel_rows == 0 || out.rows() <= morsel_rows) {
+    queue->push_back(std::move(out));
+    return;
+  }
+  for (std::size_t start = 0; start < out.rows(); start += morsel_rows) {
+    const std::size_t end = std::min(start + morsel_rows, out.rows());
+    ColumnarFrontier chunk;
+    for (const std::string& var : out.vars()) chunk.AddVar(var);
+    for (std::size_t c = 0; c < out.width(); ++c) {
+      chunk.MutableColumn(c).assign(out.Column(c).begin() + start,
+                                    out.Column(c).begin() + end);
+    }
+    chunk.SetRows(end - start);
+    queue->push_back(std::move(chunk));
+  }
+}
+
+}  // namespace
+
+UnionChainsResult ExecuteChainsDag(
+    const std::vector<const ConjunctiveQuery*>& disjuncts,
+    const Catalog& catalog, Source* source, const ExecutionOptions& options,
+    Clock* clock, OperatorCounters* counters) {
+  UnionChainsResult result;
+  TermDictionary& dict = TermDictionary::Global();
+  std::optional<StaticCostModel> fallback_model;
+  const CostModel* model = ResolveCostModel(options, &fallback_model);
+
+  std::vector<Chain> chains;
+  chains.reserve(disjuncts.size());
+  for (const ConjunctiveQuery* q : disjuncts) {
+    Chain chain;
+    chain.q = q;
+    const std::vector<Literal>& body = q->body();
+    if (body.empty()) {
+      // An empty body satisfies the one empty binding it started from.
+      chain.materialize.Push(ColumnarFrontier(), dict);
+      chain.done = true;
+      ++counters->disjuncts_executed;
+      chains.push_back(std::move(chain));
+      continue;
+    }
+    std::vector<OperatorKind> kinds = LowerOperatorKinds(*q);
+    chain.ops.reserve(body.size());
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      chain.ops.emplace_back(kinds[i], &body[i], &catalog, model, counters);
+    }
+    chain.queues.resize(body.size());
+    chain.queues[0].emplace_back();  // the unit frontier every plan seeds
+    chains.push_back(std::move(chain));
+  }
+
+  const std::size_t concurrency =
+      std::max<std::size_t>(options.disjunct_concurrency, 1);
+
+  struct Lane {
+    Chain* chain = nullptr;
+    std::size_t stage = 0;
+    PendingWave wave;
+    FetchFuture future;
+    std::vector<FetchResult> fetched;
+  };
+
+  while (true) {
+    // Collect this round's lanes: the first `concurrency` chains (in
+    // disjunct order) with pending morsels each stage their deepest one.
+    // At concurrency 1 this degenerates to driving chain 0 to completion
+    // before chain 1 starts a wave — the sequential union order, so the
+    // shared cache observes the exact same call sequence.
+    std::vector<Lane> lanes;
+    for (Chain& chain : chains) {
+      if (lanes.size() == concurrency) break;
+      if (chain.done) continue;
+      const std::size_t stage = chain.DeepestStage();
+      if (stage == Chain::kNoStage) {
+        chain.done = true;
+        ++counters->disjuncts_executed;
+        continue;
+      }
+      Lane lane;
+      lane.chain = &chain;
+      lane.stage = stage;
+      ColumnarFrontier morsel = std::move(chain.queues[stage].front());
+      chain.queues[stage].pop_front();
+      if (!chain.ops[stage].Stage(std::move(morsel), &lane.wave)) {
+        ++counters->disjuncts_executed;
+        result.error = chain.ops[stage].error();
+        return result;
+      }
+      lanes.push_back(std::move(lane));
+    }
+    if (lanes.empty()) break;
+
+    if (lanes.size() == 1) {
+      // Synchronous wave: the same FetchBatch the sequential executor
+      // issues, so cache/retry/parallel ledgers stay byte-identical.
+      Lane& lane = lanes.front();
+      const FetchOperator& op = lane.chain->ops[lane.stage];
+      lane.fetched = source->FetchBatch(op.literal().relation(),
+                                        *op.pattern(), lane.wave.requests);
+    } else {
+      // Concurrent waves: issue in ascending disjunct order, resolve all
+      // inside one overlap bracket (a SimulatedClock charges the round
+      // max-over-lanes; see runtime/clock.h).
+      for (Lane& lane : lanes) {
+        const FetchOperator& op = lane.chain->ops[lane.stage];
+        lane.future =
+            source->FetchBatchAsync(op.literal().relation(), *op.pattern(),
+                                    std::move(lane.wave.requests));
+      }
+      if (clock != nullptr) clock->BeginOverlap();
+      for (Lane& lane : lanes) {
+        if (clock != nullptr) clock->BeginLane();
+        lane.fetched = lane.future.Take();
+        if (clock != nullptr) clock->EndLane();
+      }
+      if (clock != nullptr) clock->EndOverlap();
+    }
+
+    // Merge in ascending disjunct order; the first failing lane aborts
+    // the whole union, exactly like a failing disjunct of the sequential
+    // loop (no partial answers).
+    for (Lane& lane : lanes) {
+      Chain& chain = *lane.chain;
+      FetchOperator& op = chain.ops[lane.stage];
+      ColumnarFrontier out;
+      if (!op.Absorb(std::move(lane.wave), std::move(lane.fetched), &out)) {
+        ++counters->disjuncts_executed;
+        result.error = op.error();
+        return result;
+      }
+      if (options.max_bindings != 0 &&
+          op.rows_out() > options.max_bindings) {
+        ++counters->disjuncts_executed;
+        result.error = "execution exceeded max_bindings (" +
+                       std::to_string(options.max_bindings) +
+                       ") at literal " + op.literal().ToString();
+        return result;
+      }
+      // A dead morsel is simply not pushed downstream — later operators
+      // never see it, never choose a pattern, never error, reproducing
+      // the sequential loop's break on an empty frontier.
+      if (out.rows() == 0) continue;
+      if (lane.stage + 1 == chain.ops.size()) {
+        chain.materialize.Push(out, dict);
+      } else {
+        EnqueueMorsels(std::move(out), options.morsel_rows,
+                       &chain.queues[lane.stage + 1]);
+      }
+    }
+  }
+
+  result.ok = true;
+  result.bindings.reserve(chains.size());
+  for (Chain& chain : chains) {
+    result.bindings.push_back(std::move(chain.materialize.bindings()));
+  }
+  return result;
+}
+
+}  // namespace ucqn

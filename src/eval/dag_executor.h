@@ -1,0 +1,54 @@
+#ifndef UCQN_EVAL_DAG_EXECUTOR_H_
+#define UCQN_EVAL_DAG_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/substitution.h"
+#include "eval/executor.h"
+#include "eval/op/operator.h"
+#include "eval/source.h"
+#include "runtime/clock.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// Result of driving a set of disjunct chains through the operator DAG:
+// either every chain ran to completion (ok, one binding vector per
+// disjunct in input order, each in witness order), or some operator
+// failed and the whole execution aborted with its error — no partial
+// answers, matching the sequential executor's contract.
+struct UnionChainsResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::vector<Substitution>> bindings;
+};
+
+// The push-based DAG driver: lowers each disjunct into a chain of fetch
+// operators over ColumnarFrontier morsels (eval/op/) feeding a
+// Materialize sink, then drives all chains in rounds. Per round, up to
+// ExecutionOptions::disjunct_concurrency chains (ascending disjunct
+// order) each stage their deepest pending morsel; a single-lane round
+// issues its wave synchronously (the exact FetchBatch call sequence of
+// the sequential executor — this is what keeps every runtime ledger
+// byte-identical at concurrency 1), while a multi-lane round issues all
+// waves as FetchBatchAsync and resolves them inside one clock overlap
+// bracket, so a SimulatedClock charges racing disjuncts max-over-lanes.
+// All staging, fetching, and merging happens on the calling thread —
+// concurrency is overlap of waves in flight, not executor threads — so
+// answers are independent of `disjunct_concurrency` and, at the default
+// morsel_rows = 0, byte-identical to the legacy encoded loop.
+//
+// `disjuncts` must be non-empty; empty-body disjuncts yield their single
+// empty binding (callers handle ground-head projection). `clock` may be
+// null (no overlap accounting). `source` is the effective source — any
+// runtime stack has already been interposed by the caller.
+UnionChainsResult ExecuteChainsDag(
+    const std::vector<const ConjunctiveQuery*>& disjuncts,
+    const Catalog& catalog, Source* source, const ExecutionOptions& options,
+    Clock* clock, OperatorCounters* counters);
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_DAG_EXECUTOR_H_

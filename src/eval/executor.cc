@@ -12,7 +12,9 @@
 #include "cost/cost_model.h"
 #include "cost/stats_catalog.h"
 #include "dict/term_dictionary.h"
+#include "eval/dag_executor.h"
 #include "eval/frontier.h"
+#include "eval/op/operator.h"
 #include "schema/adornment.h"
 
 namespace ucqn {
@@ -164,6 +166,19 @@ struct PipelineCounters {
   std::uint64_t rounds = 0;
   std::uint64_t overlaps = 0;
 };
+
+// Executor-side scheduling counters -> the result's RuntimeStats. Folded
+// on every path, including executions that run no stack: the DAG
+// counters describe the executor, not the transport.
+void FoldExecutorCounters(RuntimeStats* stats,
+                          const PipelineCounters& pipeline,
+                          const OperatorCounters& ops) {
+  stats->pipeline_rounds = pipeline.rounds;
+  stats->pipeline_overlaps = pipeline.overlaps;
+  stats->disjuncts_executed = ops.disjuncts_executed;
+  stats->morsels = ops.morsels;
+  stats->antijoin_build_tuples = ops.antijoin_build_tuples;
+}
 
 // Inter-literal pipelining (RuntimeOptions::pipeline_depth > 1): instead
 // of draining literal i's full wave before literal i+1 issues anything,
@@ -705,17 +720,29 @@ BindingsResult ExecuteForBindingsRaw(const ConjunctiveQuery& q,
 
 // Routes a body to the pipelined loop when it can actually pipeline
 // (depth > 1, wave mode, and at least two literals to overlap), to the
-// dictionary-encoded columnar loop for the default batch mode, and to
-// the historical string path otherwise — all three produce identical
-// answers in identical witness order.
+// operator-DAG driver for the default encoded batch mode, to the
+// pre-DAG encoded loop when the DAG is off (--legacy-executor — kept as
+// the byte-compatibility oracle), and to the historical string path
+// otherwise — all four produce identical answers in identical witness
+// order.
 BindingsResult ExecuteBodyRaw(const ConjunctiveQuery& q,
                               const Catalog& catalog, Source* source,
                               const ExecutionOptions& options, Clock* clock,
-                              PipelineCounters* counters) {
+                              PipelineCounters* counters,
+                              OperatorCounters* op_counters) {
   if (options.batch && options.runtime.pipeline_depth > 1 &&
       q.body().size() >= 2) {
     return ExecuteForBindingsPipelined(q, catalog, source, options, clock,
                                        counters);
+  }
+  if (options.batch && options.dictionary && options.dag) {
+    UnionChainsResult chains = ExecuteChainsDag({&q}, catalog, source,
+                                                options, clock, op_counters);
+    BindingsResult result;
+    result.ok = chains.ok;
+    result.error = std::move(chains.error);
+    if (chains.ok) result.bindings = std::move(chains.bindings.front());
+    return result;
   }
   if (options.batch && options.dictionary) {
     return ExecuteForBindingsEncoded(q, catalog, source, options);
@@ -723,33 +750,30 @@ BindingsResult ExecuteBodyRaw(const ConjunctiveQuery& q,
   return ExecuteForBindingsRaw(q, catalog, source, options);
 }
 
-ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
-                           Source* source, const ExecutionOptions& options,
-                           Clock* clock, PipelineCounters* counters) {
+// Empty body: the head must already be ground (overestimate null rows).
+// Shared by the sequential per-disjunct loop and the concurrent union
+// path, which handles true-queries inline before racing the chains.
+ExecutionResult ExecuteTrueQuery(const ConjunctiveQuery& q) {
   ExecutionResult result;
-
-  // Empty body: the head must already be ground (overestimate null rows).
-  if (q.IsTrueQuery()) {
-    for (const Term& t : q.head_terms()) {
-      if (!t.IsGround()) {
-        result.error = "empty-body rule with non-ground head is not a plan: " +
-                       q.ToString();
-        return result;
-      }
+  for (const Term& t : q.head_terms()) {
+    if (!t.IsGround()) {
+      result.error = "empty-body rule with non-ground head is not a plan: " +
+                     q.ToString();
+      return result;
     }
-    result.ok = true;
-    result.tuples.insert(q.head_terms());
-    return result;
-  }
-
-  BindingsResult body =
-      ExecuteBodyRaw(q, catalog, source, options, clock, counters);
-  if (!body.ok) {
-    result.error = std::move(body.error);
-    return result;
   }
   result.ok = true;
-  for (const Substitution& binding : body.bindings) {
+  result.tuples.insert(q.head_terms());
+  return result;
+}
+
+// Projects the body's witnesses through `q`'s head into `result`'s tuple
+// set (set semantics). False — with the error set and the tuples cleared
+// — when some witness leaves a head term non-ground.
+bool ProjectHead(const ConjunctiveQuery& q,
+                 const std::vector<Substitution>& bindings,
+                 ExecutionResult* result) {
+  for (const Substitution& binding : bindings) {
     Tuple head = binding.Apply(q.head_terms());
     bool ground = true;
     for (const Term& t : head) {
@@ -759,14 +783,32 @@ ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
       }
     }
     if (!ground) {
-      result.ok = false;
-      result.error = "head not fully bound by executable body: " +
-                     q.ToString();
-      result.tuples.clear();
-      return result;
+      result->ok = false;
+      result->error = "head not fully bound by executable body: " +
+                      q.ToString();
+      result->tuples.clear();
+      return false;
     }
-    result.tuples.insert(std::move(head));
+    result->tuples.insert(std::move(head));
   }
+  return true;
+}
+
+ExecutionResult ExecuteRaw(const ConjunctiveQuery& q, const Catalog& catalog,
+                           Source* source, const ExecutionOptions& options,
+                           Clock* clock, PipelineCounters* counters,
+                           OperatorCounters* op_counters) {
+  if (q.IsTrueQuery()) return ExecuteTrueQuery(q);
+
+  ExecutionResult result;
+  BindingsResult body = ExecuteBodyRaw(q, catalog, source, options, clock,
+                                       counters, op_counters);
+  if (!body.ok) {
+    result.error = std::move(body.error);
+    return result;
+  }
+  result.ok = true;
+  ProjectHead(q, body.bindings, &result);
   return result;
 }
 
@@ -777,15 +819,22 @@ BindingsResult ExecuteForBindings(const ConjunctiveQuery& q,
                                   const ExecutionOptions& options) {
   const RuntimeOptions runtime = EffectiveRuntime(options);
   PipelineCounters counters;
+  OperatorCounters op_counters;
   if (!runtime.Enabled()) {
-    return ExecuteBodyRaw(q, catalog, source, options, nullptr, &counters);
+    // No stack, but a caller-supplied clock (runtime.clock) still drives
+    // overlap accounting for concurrent waves.
+    BindingsResult result = ExecuteBodyRaw(q, catalog, source, options,
+                                           runtime.clock, &counters,
+                                           &op_counters);
+    FoldExecutorCounters(&result.runtime, counters, op_counters);
+    return result;
   }
   SourceStack stack(source, runtime);
   BindingsResult result = ExecuteBodyRaw(q, catalog, stack.source(), options,
-                                         stack.clock(), &counters);
+                                         stack.clock(), &counters,
+                                         &op_counters);
   result.runtime = stack.stats();
-  result.runtime.pipeline_rounds = counters.rounds;
-  result.runtime.pipeline_overlaps = counters.overlaps;
+  FoldExecutorCounters(&result.runtime, counters, op_counters);
   DrainStats(options, &stack);
   return result;
 }
@@ -794,15 +843,19 @@ ExecutionResult Execute(const ConjunctiveQuery& q, const Catalog& catalog,
                         Source* source, const ExecutionOptions& options) {
   const RuntimeOptions runtime = EffectiveRuntime(options);
   PipelineCounters counters;
+  OperatorCounters op_counters;
   if (!runtime.Enabled()) {
-    return ExecuteRaw(q, catalog, source, options, nullptr, &counters);
+    ExecutionResult result = ExecuteRaw(q, catalog, source, options,
+                                        runtime.clock, &counters,
+                                        &op_counters);
+    FoldExecutorCounters(&result.runtime, counters, op_counters);
+    return result;
   }
   SourceStack stack(source, runtime);
   ExecutionResult result = ExecuteRaw(q, catalog, stack.source(), options,
-                                      stack.clock(), &counters);
+                                      stack.clock(), &counters, &op_counters);
   result.runtime = stack.stats();
-  result.runtime.pipeline_rounds = counters.rounds;
-  result.runtime.pipeline_overlaps = counters.overlaps;
+  FoldExecutorCounters(&result.runtime, counters, op_counters);
   DrainStats(options, &stack);
   return result;
 }
@@ -815,35 +868,81 @@ ExecutionResult Execute(const UnionQuery& q, const Catalog& catalog,
   const RuntimeOptions runtime = EffectiveRuntime(options);
   std::optional<SourceStack> stack;
   Source* effective = source;
-  Clock* clock = nullptr;
+  Clock* clock = runtime.clock;
   if (runtime.Enabled()) {
     stack.emplace(source, runtime);
     effective = stack->source();
     clock = stack->clock();
   }
   PipelineCounters counters;
+  OperatorCounters op_counters;
   ExecutionResult result;
   result.ok = true;
-  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    ExecutionResult part =
-        ExecuteRaw(disjunct, catalog, effective, options, clock, &counters);
-    if (!part.ok) {
-      if (stack.has_value()) {
-        part.runtime = stack->stats();
-        part.runtime.pipeline_rounds = counters.rounds;
-        part.runtime.pipeline_overlaps = counters.overlaps;
-        DrainStats(options, &*stack);
+
+  const auto finish = [&](ExecutionResult* r) {
+    if (stack.has_value()) {
+      r->runtime = stack->stats();
+      FoldExecutorCounters(&r->runtime, counters, op_counters);
+      DrainStats(options, &*stack);
+    } else {
+      FoldExecutorCounters(&r->runtime, counters, op_counters);
+    }
+  };
+
+  if (options.batch && options.dictionary && options.dag &&
+      options.disjunct_concurrency > 1 && runtime.pipeline_depth <= 1) {
+    // Concurrent disjuncts: true-queries resolve inline (in disjunct
+    // order), then every remaining chain races through one DAG drive —
+    // each round overlaps one wave per runnable chain. Heads project in
+    // disjunct order afterwards, so the answer set (and every error
+    // string) matches the sequential loop below.
+    std::vector<const ConjunctiveQuery*> bodies;
+    std::vector<std::size_t> body_index;  // disjunct index of bodies[i]
+    const std::vector<ConjunctiveQuery>& disjuncts = q.disjuncts();
+    for (std::size_t d = 0; d < disjuncts.size(); ++d) {
+      if (disjuncts[d].IsTrueQuery()) {
+        ExecutionResult part = ExecuteTrueQuery(disjuncts[d]);
+        if (!part.ok) {
+          finish(&part);
+          return part;
+        }
+        result.tuples.insert(part.tuples.begin(), part.tuples.end());
+      } else {
+        bodies.push_back(&disjuncts[d]);
+        body_index.push_back(d);
       }
+    }
+    if (!bodies.empty()) {
+      UnionChainsResult chains = ExecuteChainsDag(
+          bodies, catalog, effective, options, clock, &op_counters);
+      if (!chains.ok) {
+        ExecutionResult part;
+        part.error = std::move(chains.error);
+        finish(&part);
+        return part;
+      }
+      for (std::size_t i = 0; i < bodies.size(); ++i) {
+        if (!ProjectHead(disjuncts[body_index[i]], chains.bindings[i],
+                         &result)) {
+          finish(&result);
+          return result;
+        }
+      }
+    }
+    finish(&result);
+    return result;
+  }
+
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    ExecutionResult part = ExecuteRaw(disjunct, catalog, effective, options,
+                                      clock, &counters, &op_counters);
+    if (!part.ok) {
+      finish(&part);
       return part;
     }
     result.tuples.insert(part.tuples.begin(), part.tuples.end());
   }
-  if (stack.has_value()) {
-    result.runtime = stack->stats();
-    result.runtime.pipeline_rounds = counters.rounds;
-    result.runtime.pipeline_overlaps = counters.overlaps;
-    DrainStats(options, &*stack);
-  }
+  finish(&result);
   return result;
 }
 

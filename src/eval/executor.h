@@ -56,6 +56,31 @@ struct ExecutionOptions {
   // oracle. Ignored when `batch` is off (the reference loop is always
   // string-based).
   bool dictionary = true;
+  // Run the encoded batch path through the push-based operator DAG
+  // (eval/op/, eval/dag_executor.h) — the default executor. Each
+  // disjunct lowers to a chain of fetch operators over ColumnarFrontier
+  // morsels, which is what `morsel_rows` and `disjunct_concurrency`
+  // below schedule. Answers, witness order, and runtime ledgers are
+  // byte-identical to the pre-DAG encoded loop at the defaults (the
+  // regression corpus pins this); turn it off (--legacy-executor) to run
+  // that loop as the oracle. Ignored when `batch` or `dictionary` is
+  // off, or when runtime.pipeline_depth > 1 (inter-literal pipelining
+  // has its own loop).
+  bool dag = true;
+  // Rows per morsel pushed through the DAG. 0 (default) keeps each
+  // whole frontier as one morsel — the byte-compatible schedule. When
+  // set, wide frontiers split into chunks of at most this many rows
+  // (witness order preserved), so one literal's work feeds the parallel
+  // dispatcher as several waves instead of one.
+  std::size_t morsel_rows = 0;
+  // How many disjunct chains of a union may stage waves in the same
+  // round. 1 (default) drives disjuncts to completion in order — the
+  // sequential union, byte-identical ledgers. Values >= 2 let disjuncts
+  // race: each round issues one wave per runnable chain and resolves
+  // them inside one clock overlap bracket, so a SimulatedClock charges
+  // the round max-over-lanes. Answers are identical at every setting —
+  // concurrency only changes transport scheduling.
+  std::size_t disjunct_concurrency = 1;
   // Source-access runtime configuration (src/runtime/): call caching,
   // retry/backoff, call/deadline budgets, metrics. Disabled by default —
   // the executor then talks to `source` directly. When any layer is

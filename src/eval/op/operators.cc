@@ -1,0 +1,224 @@
+#include "eval/op/operators.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace ucqn {
+
+// The pattern decision and slot classification happen on first contact
+// with the frontier — not at lowering time — so that (a) a literal no
+// morsel ever reaches never errors, exactly like the legacy loop's
+// early-out on an empty frontier, and (b) an adaptive cost model prices
+// the decision with the *actual* live-binding count, not the planner's
+// estimate. The frontier's column set is fixed per chain stage, so one
+// preparation serves every later morsel.
+bool FetchOperator::Prepare(const ColumnarFrontier& frontier) {
+  TermDictionary& dict = TermDictionary::Global();
+  // The variables bound before this literal are exactly the frontier's
+  // columns: positive literals add their new variables as columns, and
+  // nothing else binds.
+  BoundVariables bound(frontier.vars().begin(), frontier.vars().end());
+  PlanContext context;
+  context.live_bindings =
+      static_cast<double>(std::max<std::size_t>(frontier.rows(), 1));
+  pattern_ = ChoosePattern(*catalog_, *literal_, bound, *model_, context);
+  if (!pattern_.has_value()) {
+    return Fail("literal " + literal_->ToString() +
+                " has no usable access pattern at its position");
+  }
+
+  // Classify each slot once; the per-row loops below are then pure
+  // integer work (the encoded executor's plan, verbatim).
+  const std::vector<Term>& args = literal_->args();
+  const std::size_t arity = args.size();
+  plan_.assign(arity, SlotPlan{});
+  std::unordered_map<std::string, std::size_t> first_occurrence;
+  for (std::size_t j = 0; j < arity; ++j) {
+    if (args[j].IsGround()) {
+      plan_[j].kind = Slot::kConst;
+      plan_[j].id = dict.EncodeGround(args[j]);
+      continue;
+    }
+    const std::size_t c = frontier.ColumnOf(args[j].name());
+    if (c != ColumnarFrontier::kNoColumn) {
+      plan_[j].kind = Slot::kColumn;
+      plan_[j].column = c;
+      continue;
+    }
+    auto [it, fresh] = first_occurrence.try_emplace(args[j].name(), j);
+    if (fresh) {
+      plan_[j].kind = Slot::kBindFirst;
+      binder_slots_.push_back(j);
+      binds_new_ = true;
+    } else {
+      plan_[j].kind = Slot::kBindRepeat;
+      plan_[j].first = it->second;
+    }
+  }
+  prepared_ = true;
+  return true;
+}
+
+bool FetchOperator::Stage(ColumnarFrontier&& morsel, PendingWave* wave) {
+  if (!prepared_ && !Prepare(morsel)) return false;
+  ++counters_->morsels;
+  TermDictionary& dict = TermDictionary::Global();
+  const std::size_t arity = literal_->args().size();
+
+  // Build the wave: one flat id signature per row (input slots whose
+  // value is known before the call), deduplicated by integer hashing.
+  // Only the distinct signatures decode to Term vectors for the Source
+  // API, so the requests on the wire equal the legacy loop's, in the
+  // same first-occurrence order.
+  std::unordered_map<EncodedTuple, std::size_t, EncodedTupleHash> index;
+  wave->requests.clear();
+  wave->slot_of.assign(morsel.rows(), 0);
+  EncodedTuple signature(arity);
+  for (std::size_t r = 0; r < morsel.rows(); ++r) {
+    for (std::size_t j = 0; j < arity; ++j) {
+      std::uint32_t id = TermDictionary::kAbsentId;
+      if (pattern_->IsInputSlot(j)) {
+        if (plan_[j].kind == Slot::kConst) {
+          id = plan_[j].id;
+        } else if (plan_[j].kind == Slot::kColumn) {
+          id = morsel.Column(plan_[j].column)[r];
+        }
+      }
+      signature[j] = id;
+    }
+    auto [it, fresh] = index.try_emplace(signature, wave->requests.size());
+    if (fresh) {
+      std::vector<std::optional<Term>> request(arity);
+      for (std::size_t j = 0; j < arity; ++j) {
+        if (signature[j] != TermDictionary::kAbsentId) {
+          request[j] = dict.DecodeTerm(signature[j]);
+        }
+      }
+      wave->requests.push_back(std::move(request));
+    }
+    wave->slot_of[r] = it->second;
+  }
+  wave->morsel = std::move(morsel);
+  return true;
+}
+
+bool FetchOperator::Absorb(PendingWave&& wave,
+                           std::vector<FetchResult> fetched,
+                           ColumnarFrontier* out) {
+  TermDictionary& dict = TermDictionary::Global();
+  const std::vector<Term>& args = literal_->args();
+  const std::size_t arity = args.size();
+  ColumnarFrontier& frontier = wave.morsel;
+  const std::vector<std::size_t>& slot_of = wave.slot_of;
+
+  for (const FetchResult& f : fetched) {
+    if (!f.ok()) {
+      return Fail("source call for literal " + literal_->ToString() +
+                  " failed: " + f.error);
+    }
+  }
+
+  // Encode each distinct result set once. A tuple whose arity differs
+  // from the literal's can never unify, and a tuple carrying a variable
+  // is not a fact — both are dropped here exactly as string-path
+  // unification would reject them.
+  std::vector<std::vector<EncodedTuple>> encoded(fetched.size());
+  for (std::size_t f = 0; f < fetched.size(); ++f) {
+    encoded[f].reserve(fetched[f].tuples.size());
+    for (const Tuple& tuple : fetched[f].tuples) {
+      if (tuple.size() != arity) continue;
+      bool ground = true;
+      for (const Term& term : tuple) {
+        if (!term.IsGround()) {
+          ground = false;
+          break;
+        }
+      }
+      if (!ground) continue;
+      EncodedTuple ids(arity);
+      for (std::size_t j = 0; j < arity; ++j) {
+        ids[j] = dict.EncodeGround(tuple[j]);
+      }
+      encoded[f].push_back(std::move(ids));
+    }
+  }
+
+  if (literal_->positive()) {
+    // AccessScan / HashJoin / Filter: stream rows in order through their
+    // request's tuples (in fetch order), appending matches column-wise —
+    // exactly the binding-order x tuple-order the paper's left-to-right
+    // reading derives witnesses in. A Filter simply has no binder slots:
+    // surviving rows repeat once per matching fetched tuple, preserving
+    // witness multiplicity.
+    ColumnarFrontier next;
+    for (const std::string& var : frontier.vars()) next.AddVar(var);
+    for (std::size_t s : binder_slots_) next.AddVar(args[s].name());
+    std::size_t matched = 0;
+    const std::size_t base = frontier.width();
+    for (std::size_t r = 0; r < frontier.rows(); ++r) {
+      for (const EncodedTuple& tuple : encoded[slot_of[r]]) {
+        bool match = true;
+        for (std::size_t j = 0; j < arity && match; ++j) {
+          switch (plan_[j].kind) {
+            case Slot::kConst:
+              match = tuple[j] == plan_[j].id;
+              break;
+            case Slot::kColumn:
+              match = tuple[j] == frontier.Column(plan_[j].column)[r];
+              break;
+            case Slot::kBindFirst:
+              break;
+            case Slot::kBindRepeat:
+              match = tuple[j] == tuple[plan_[j].first];
+              break;
+          }
+        }
+        if (!match) continue;
+        for (std::size_t c = 0; c < base; ++c) {
+          next.MutableColumn(c).push_back(frontier.Column(c)[r]);
+        }
+        for (std::size_t v = 0; v < binder_slots_.size(); ++v) {
+          next.MutableColumn(base + v).push_back(tuple[binder_slots_[v]]);
+        }
+        ++matched;
+      }
+    }
+    next.SetRows(matched);
+    *out = std::move(next);
+  } else if (!binds_new_) {
+    // HashAntiJoin: build an id-keyed hash set per distinct request from
+    // its fetched tuples, probe each row's instantiation, and keep the
+    // row iff absent (ChoosePattern guarantees all variables are bound).
+    std::vector<std::unordered_set<EncodedTuple, EncodedTupleHash>> probe(
+        encoded.size());
+    for (std::size_t f = 0; f < encoded.size(); ++f) {
+      probe[f].insert(encoded[f].begin(), encoded[f].end());
+      counters_->antijoin_build_tuples += probe[f].size();
+    }
+    std::vector<std::size_t> keep;
+    keep.reserve(frontier.rows());
+    EncodedTuple instantiated(arity);
+    for (std::size_t r = 0; r < frontier.rows(); ++r) {
+      for (std::size_t j = 0; j < arity; ++j) {
+        instantiated[j] = plan_[j].kind == Slot::kConst
+                              ? plan_[j].id
+                              : frontier.Column(plan_[j].column)[r];
+      }
+      if (probe[slot_of[r]].count(instantiated) == 0) {
+        keep.push_back(r);
+      }
+    }
+    frontier.Retain(keep);
+    *out = std::move(frontier);
+  } else {
+    // A negated literal with an unbound variable (unreachable while
+    // ChoosePattern holds its guarantee) filters nothing: a ground tuple
+    // never equals a tuple containing a variable.
+    *out = std::move(frontier);
+  }
+  rows_out_ += out->rows();
+  return true;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,124 @@
+#ifndef UCQN_EVAL_OP_OPERATORS_H_
+#define UCQN_EVAL_OP_OPERATORS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/substitution.h"
+#include "cost/cost_model.h"
+#include "dict/term_dictionary.h"
+#include "eval/frontier.h"
+#include "eval/op/operator.h"
+#include "eval/source.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// One staged (not yet fetched) wave of a fetch operator for one input
+// morsel: the deduplicated requests (first-occurrence order — the order
+// every runtime ledger is keyed on) plus the row -> request mapping the
+// merge needs back. The driver owns the transport call between Stage and
+// Absorb, which is what lets several disjuncts' waves resolve inside one
+// clock overlap bracket.
+struct PendingWave {
+  ColumnarFrontier morsel;
+  std::vector<std::vector<std::optional<Term>>> requests;
+  std::vector<std::size_t> slot_of;  // row -> index into `requests`
+};
+
+// A source-literal operator of the DAG (AccessScan / HashJoin / Filter /
+// HashAntiJoin — the kind is a lowering-time classification; all four
+// share the fetch-and-merge core, which is exactly what keeps the DAG
+// byte-identical to the encoded loop it replaces). Push-based with an
+// explicit seam: Stage(morsel) chooses the access pattern (first morsel
+// only; live_bindings = that morsel's rows, the same actual count the
+// legacy loop passed) and builds the deduplicated wave; the driver
+// fetches; Absorb(wave, results) merges into the output morsel.
+//
+// Not thread-safe; one instance belongs to one execution's chain.
+class FetchOperator {
+ public:
+  // None of the pointers are owned; all must outlive the operator.
+  FetchOperator(OperatorKind kind, const Literal* literal,
+                const Catalog* catalog, const CostModel* model,
+                OperatorCounters* counters)
+      : kind_(kind),
+        literal_(literal),
+        catalog_(catalog),
+        model_(model),
+        counters_(counters) {}
+
+  OperatorKind kind() const { return kind_; }
+  const Literal& literal() const { return *literal_; }
+  // Set by the first successful Stage.
+  const std::optional<AccessPattern>& pattern() const { return pattern_; }
+  // Cumulative output rows across all absorbed morsels — the DAG's
+  // reading of the legacy per-literal frontier size, which max_bindings
+  // bounds.
+  std::size_t rows_out() const { return rows_out_; }
+  const std::string& error() const { return error_; }
+
+  // Classifies slots and chooses the pattern on first contact, then
+  // builds `morsel`'s deduplicated wave. False on failure (error()).
+  bool Stage(ColumnarFrontier&& morsel, PendingWave* wave);
+
+  // Merges one fetched wave into `out` (join kinds append matched rows
+  // column-wise; the anti-join retains non-members), preserving row
+  // order. False on failure (a failed fetch, reported in request order).
+  bool Absorb(PendingWave&& wave, std::vector<FetchResult> fetched,
+              ColumnarFrontier* out);
+
+ private:
+  // The encoded executor's slot classification, verbatim: how each
+  // argument position of the literal maps onto the frontier.
+  enum class Slot { kConst, kColumn, kBindFirst, kBindRepeat };
+  struct SlotPlan {
+    Slot kind = Slot::kConst;
+    std::uint32_t id = 0;    // kConst: the ground value's id
+    std::size_t column = 0;  // kColumn: frontier column of the variable
+    std::size_t first = 0;   // kBindRepeat: slot of the first occurrence
+  };
+
+  bool Prepare(const ColumnarFrontier& frontier);
+  bool Fail(std::string error) {
+    error_ = std::move(error);
+    return false;
+  }
+
+  OperatorKind kind_;
+  const Literal* literal_;
+  const Catalog* catalog_;
+  const CostModel* model_;
+  OperatorCounters* counters_;
+
+  bool prepared_ = false;
+  std::optional<AccessPattern> pattern_;
+  std::vector<SlotPlan> plan_;
+  std::vector<std::size_t> binder_slots_;  // slots introducing new vars
+  bool binds_new_ = false;
+  std::size_t rows_out_ = 0;
+  std::string error_;
+};
+
+// The chain sink: decodes surviving morsels back into Substitutions, in
+// push (= derivation = witness) order.
+class MaterializeOp {
+ public:
+  void Push(const ColumnarFrontier& morsel, const TermDictionary& dict) {
+    std::vector<Substitution> decoded = morsel.DecodeAll(dict);
+    bindings_.insert(bindings_.end(),
+                     std::make_move_iterator(decoded.begin()),
+                     std::make_move_iterator(decoded.end()));
+  }
+  std::vector<Substitution>& bindings() { return bindings_; }
+
+ private:
+  std::vector<Substitution> bindings_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_OP_OPERATORS_H_

@@ -94,6 +94,11 @@ std::string RuntimeStats::ToString() const {
     out += " pipeline_rounds=" + std::to_string(pipeline_rounds) +
            " pipeline_overlaps=" + std::to_string(pipeline_overlaps);
   }
+  if (disjuncts_executed + morsels + antijoin_build_tuples != 0) {
+    out += " disjuncts=" + std::to_string(disjuncts_executed) +
+           " morsels=" + std::to_string(morsels) +
+           " antijoin_build=" + std::to_string(antijoin_build_tuples);
+  }
   return out;
 }
 

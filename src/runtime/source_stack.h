@@ -85,6 +85,13 @@ struct RuntimeStats {
   // of them had >= 2 literals' waves genuinely in flight together.
   std::uint64_t pipeline_rounds = 0;
   std::uint64_t pipeline_overlaps = 0;
+  // Operator-DAG executor counters (executor-side, filled in when the
+  // default DAG path runs — eval/dag_executor.h): disjunct chains driven
+  // to completion or failure, morsels staged through fetch operators,
+  // and tuples inserted into anti-join build-side hash sets.
+  std::uint64_t disjuncts_executed = 0;
+  std::uint64_t morsels = 0;
+  std::uint64_t antijoin_build_tuples = 0;
 
   double CacheHitRatio() const {
     const std::uint64_t lookups = cache_hits + cache_misses;

@@ -54,6 +54,8 @@ ServiceResponse QueryDaemon::Submit(const ServiceRequest& request) {
   env.stats = &stats_;
   env.stats_mu = &stats_mu_;
   env.runtime = options_.runtime;
+  env.disjunct_concurrency = options_.disjunct_concurrency;
+  env.operator_totals = &operator_totals_;
   env.adaptive_cost_model = options_.adaptive_cost_model;
   response = RunQuerySession(env, request, tenants_.QuotaFor(request.tenant));
 
@@ -156,17 +158,27 @@ std::uint64_t QueryDaemon::queries_served() const {
   return queries_served_;
 }
 
+RuntimeStats QueryDaemon::operator_totals() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return operator_totals_;
+}
+
 std::string QueryDaemon::StatusJson() const {
   std::size_t stats_relations = 0;
+  RuntimeStats op;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_relations = stats_.size();
+    op = operator_totals_;
   }
   std::ostringstream out;
   out << "{\"admission\": " << admission_.ToJson()
       << ", \"tenants\": " << tenants_.ToJson()
       << ", \"cache\": " << store_.ToJson()
       << ", \"stats_relations\": " << stats_relations
+      << ", \"operator\": {\"disjuncts\": " << op.disjuncts_executed
+      << ", \"morsels\": " << op.morsels
+      << ", \"antijoin_build\": " << op.antijoin_build_tuples << "}"
       << ", \"queries_served\": " << queries_served() << "}";
   return out.str();
 }

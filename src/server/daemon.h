@@ -38,6 +38,9 @@ class QueryDaemon {
     // pipeline depth, deadline default. Per-session fields (shared
     // cache, metering, budgets) are overridden per request.
     RuntimeOptions runtime;
+    // Disjunct chains each session's operator-DAG execution may overlap
+    // per round (1 = sequential disjuncts).
+    std::size_t disjunct_concurrency = 1;
     // Configuration of the daemon-owned SharedCacheStore (TTLs including
     // the negative split, tuple budget, shards).
     SharedCacheStore::Options cache;
@@ -75,8 +78,12 @@ class QueryDaemon {
   void Drain();
 
   // {"admission": {...}, "tenants": {...}, "cache": {...},
-  //  "stats_relations": N, "queries_served": N}
+  //  "stats_relations": N, "operator": {...}, "queries_served": N}
   std::string StatusJson() const;
+
+  // Cumulative executor-side operator-DAG counters across every session
+  // served (only the disjuncts/morsels/anti-join fields are populated).
+  RuntimeStats operator_totals() const;
 
   SharedCacheStore* shared_cache() { return &store_; }
   StatsCatalog* stats() { return &stats_; }
@@ -95,6 +102,8 @@ class QueryDaemon {
   SharedCacheStore store_;
   StatsCatalog stats_;
   mutable std::mutex stats_mu_;
+  // Guarded by stats_mu_, like the catalog it sits next to.
+  RuntimeStats operator_totals_;
   TenantRegistry tenants_;
   AdmissionController admission_;
   mutable std::mutex served_mu_;

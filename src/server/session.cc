@@ -76,6 +76,7 @@ ServiceResponse RunQuerySession(const SessionEnv& env,
   ExecutionOptions exec;
   if (env.adaptive_cost_model) exec.cost_model = &adaptive_model;
   exec.runtime.pipeline_depth = env.runtime.pipeline_depth;
+  exec.disjunct_concurrency = env.disjunct_concurrency;
 
   SourceStack stack(env.backend, runtime);
   exec.runtime.clock = stack.clock();
@@ -93,6 +94,17 @@ ServiceResponse RunQuerySession(const SessionEnv& env,
   if (env.stats != nullptr && stack.meter() != nullptr) {
     std::lock_guard<std::mutex> lock(*env.stats_mu);
     env.stats->Observe(*stack.meter());
+  }
+  // Merge this session's executor-side operator-DAG work into the
+  // process-wide totals, race-free under the same lock concurrent
+  // sessions' Observes take.
+  if (env.operator_totals != nullptr && env.stats_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*env.stats_mu);
+    env.operator_totals->disjuncts_executed +=
+        report.runtime.disjuncts_executed;
+    env.operator_totals->morsels += report.runtime.morsels;
+    env.operator_totals->antijoin_build_tuples +=
+        report.runtime.antijoin_build_tuples;
   }
 
   if (!report.ok) {

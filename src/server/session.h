@@ -30,6 +30,15 @@ struct SessionEnv {
   // (per-request physical-call accounting), and folds the tenant quota
   // into the budget.
   RuntimeOptions runtime;
+  // How many disjunct chains each session's operator-DAG execution may
+  // overlap per round (ExecutionOptions::disjunct_concurrency); 1 =
+  // sequential disjuncts.
+  std::size_t disjunct_concurrency = 1;
+  // Process-wide accumulator of executor-side operator-DAG counters
+  // (disjuncts/morsels/anti-join build tuples), merged under `stats_mu`
+  // after every session — the daemon's `stats` op reports it. May be
+  // null; requires `stats_mu` when set.
+  RuntimeStats* operator_totals = nullptr;
   // Price patterns/orderings from the observed stats instead of the
   // static heuristics. Each session plans against a point-in-time *copy*
   // of the catalog taken under stats_mu — the model reads it lock-free

@@ -1,0 +1,286 @@
+// Regression corpus for the push-based operator-DAG executor: across the
+// paper's worked examples (gen/scenarios.h, Examples 1-10) and the
+// parallelism grid, the DAG path (the default) must be byte-identical to
+// the pre-DAG encoded loop (--legacy-executor) — answer sets, ANSWER*
+// brackets and summaries, witness order, runtime ledgers, and error
+// messages. Morsel splitting must preserve answers and witness order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "cost/cost_model.h"
+#include "eval/answer_star.h"
+#include "eval/executor.h"
+#include "eval/op/lowering.h"
+#include "feasibility/plan_star.h"
+#include "gen/scenarios.h"
+
+namespace ucqn {
+namespace {
+
+ExecutionOptions GridOptions(bool dag, std::size_t parallelism) {
+  ExecutionOptions options;
+  options.batch = true;
+  options.dictionary = true;
+  options.dag = dag;
+  options.runtime.metering = true;  // force a stack so ledgers are live
+  options.runtime.parallelism = parallelism;
+  return options;
+}
+
+std::vector<std::string> BindingStrings(const BindingsResult& result) {
+  std::vector<std::string> order;
+  order.reserve(result.bindings.size());
+  for (const Substitution& binding : result.bindings) {
+    order.push_back(binding.ToString());
+  }
+  return order;
+}
+
+TEST(OperatorDagTest, AnswerStarBracketsMatchTheLegacyOracleAcrossTheGrid) {
+  for (const Scenario& scenario : AllScenarios()) {
+    for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(scenario.name +
+                   " parallelism=" + std::to_string(parallelism));
+
+      DatabaseSource oracle_backend(&scenario.database, &scenario.catalog);
+      AnswerStarReport oracle =
+          AnswerStar(scenario.query, scenario.catalog, &oracle_backend,
+                     GridOptions(/*dag=*/false, parallelism));
+      ASSERT_TRUE(oracle.ok) << oracle.error;
+
+      DatabaseSource dag_backend(&scenario.database, &scenario.catalog);
+      AnswerStarReport dag =
+          AnswerStar(scenario.query, scenario.catalog, &dag_backend,
+                     GridOptions(/*dag=*/true, parallelism));
+      ASSERT_TRUE(dag.ok) << dag.error;
+
+      // The full bracket, byte for byte — including the null-padded
+      // overestimate rows (Ex. 7) that exercise the Δ-null sentinel.
+      EXPECT_EQ(dag.under, oracle.under);
+      EXPECT_EQ(dag.over, oracle.over);
+      EXPECT_EQ(dag.delta, oracle.delta);
+      EXPECT_EQ(dag.complete, oracle.complete);
+      EXPECT_EQ(dag.delta_has_nulls, oracle.delta_has_nulls);
+      EXPECT_EQ(dag.completeness_lower_bound,
+                oracle.completeness_lower_bound);
+      EXPECT_EQ(dag.Summary(), oracle.Summary());
+      // Same physical calls: the DAG changes who drives the loop, not
+      // the call waves the dedup produces.
+      EXPECT_EQ(dag.runtime.source_calls, oracle.runtime.source_calls);
+    }
+  }
+}
+
+TEST(OperatorDagTest, WitnessOrderMatchesTheLegacyOracleAcrossTheGrid) {
+  for (const Scenario& scenario : AllScenarios()) {
+    const PlanStarResult plans = PlanStar(scenario.query, scenario.catalog);
+    std::vector<ConjunctiveQuery> bodies;
+    bodies.insert(bodies.end(), plans.under.disjuncts().begin(),
+                  plans.under.disjuncts().end());
+    bodies.insert(bodies.end(), plans.over.disjuncts().begin(),
+                  plans.over.disjuncts().end());
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      for (std::size_t parallelism : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE(scenario.name + " disjunct=" + std::to_string(i) +
+                     " parallelism=" + std::to_string(parallelism));
+
+        DatabaseSource oracle_backend(&scenario.database, &scenario.catalog);
+        BindingsResult oracle =
+            ExecuteForBindings(bodies[i], scenario.catalog, &oracle_backend,
+                               GridOptions(/*dag=*/false, parallelism));
+
+        DatabaseSource dag_backend(&scenario.database, &scenario.catalog);
+        BindingsResult dag =
+            ExecuteForBindings(bodies[i], scenario.catalog, &dag_backend,
+                               GridOptions(/*dag=*/true, parallelism));
+
+        ASSERT_EQ(dag.ok, oracle.ok) << dag.error << " vs " << oracle.error;
+        if (!oracle.ok) {
+          EXPECT_EQ(dag.error, oracle.error);
+          continue;
+        }
+        // The witness sequence exactly, not just its set: Materialize
+        // must replay the legacy loop's left-to-right derivation order.
+        EXPECT_EQ(BindingStrings(dag), BindingStrings(oracle));
+      }
+    }
+  }
+}
+
+TEST(OperatorDagTest, MorselSplittingPreservesWitnessOrder) {
+  // Splitting wide frontiers into morsels reshapes the call waves (one
+  // wave per morsel) but must not perturb answers or derivation order.
+  for (const Scenario& scenario : AllScenarios()) {
+    const PlanStarResult plans = PlanStar(scenario.query, scenario.catalog);
+    for (const ConjunctiveQuery& body : plans.under.disjuncts()) {
+      DatabaseSource whole_backend(&scenario.database, &scenario.catalog);
+      BindingsResult whole = ExecuteForBindings(
+          body, scenario.catalog, &whole_backend, GridOptions(true, 1));
+
+      for (std::size_t morsel_rows :
+           {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+        SCOPED_TRACE(scenario.name +
+                     " morsel_rows=" + std::to_string(morsel_rows));
+        DatabaseSource backend(&scenario.database, &scenario.catalog);
+        ExecutionOptions options = GridOptions(/*dag=*/true, 1);
+        options.morsel_rows = morsel_rows;
+        BindingsResult split =
+            ExecuteForBindings(body, scenario.catalog, &backend, options);
+        ASSERT_EQ(split.ok, whole.ok) << split.error;
+        if (!whole.ok) continue;
+        EXPECT_EQ(BindingStrings(split), BindingStrings(whole));
+      }
+    }
+  }
+}
+
+TEST(OperatorDagTest, ErrorMessagesMatchTheLegacyOracle) {
+  const Catalog catalog = Catalog::MustParse("R/2: oo\nT/2: io\n");
+  const Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    R("c", "d").
+    R("e", "f").
+    T("b", "t1").
+  )");
+  const ConjunctiveQuery query = MustParseRule("Q(x, w) :- R(x, z), T(z, w).");
+
+  // max_bindings trips at the same literal with the same message.
+  for (bool dag : {false, true}) {
+    SCOPED_TRACE(dag ? "dag" : "legacy");
+    DatabaseSource backend(&db, &catalog);
+    ExecutionOptions options = GridOptions(dag, 1);
+    options.max_bindings = 2;
+    ExecutionResult result = Execute(query, catalog, &backend, options);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error,
+              "execution exceeded max_bindings (2) at literal R(x, z)");
+  }
+
+  // A literal with no usable pattern fails identically.
+  const ConjunctiveQuery gap = MustParseRule("Q(x, w) :- T(z, w), R(x, z).");
+  std::string oracle_error;
+  for (bool dag : {false, true}) {
+    DatabaseSource backend(&db, &catalog);
+    ExecutionResult result =
+        Execute(gap, catalog, &backend, GridOptions(dag, 1));
+    EXPECT_FALSE(result.ok);
+    if (!dag) {
+      oracle_error = result.error;
+      EXPECT_NE(oracle_error.find("no usable access pattern"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(result.error, oracle_error);
+    }
+  }
+}
+
+TEST(OperatorDagTest, SharedCacheLedgerMatchesTheLegacyOracle) {
+  // With caching on, hit/miss/insert counts are part of the contract:
+  // the DAG's staged waves must group calls exactly like the loop did.
+  const Catalog catalog = Catalog::MustParse("R/2: oo io\nT/2: io\nS/1: o\n");
+  const Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    R("c", "b").
+    R("e", "d").
+    T("b", "t1").
+    T("d", "t2").
+    S("d").
+  )");
+  const ConjunctiveQuery query =
+      MustParseRule("Q(x, w) :- R(x, z), T(z, w), not S(z).");
+
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t oracle_hits = 0;
+  for (bool dag : {false, true}) {
+    SCOPED_TRACE(dag ? "dag" : "legacy");
+    DatabaseSource backend(&db, &catalog);
+    ExecutionOptions options = GridOptions(dag, 1);
+    options.runtime.cache = true;
+    ExecutionResult result = Execute(query, catalog, &backend, options);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.tuples.size(), 2u);  // Q("a","t1"), Q("c","t1")
+    if (!dag) {
+      oracle_calls = result.runtime.source_calls;
+      oracle_hits = result.runtime.cache_hits;
+    } else {
+      EXPECT_EQ(result.runtime.source_calls, oracle_calls);
+      EXPECT_EQ(result.runtime.cache_hits, oracle_hits);
+    }
+  }
+}
+
+TEST(OperatorDagTest, ExecutorCountersAccumulate) {
+  // The DAG-side RuntimeStats: one executed disjunct per body, at least
+  // one morsel per fetch operator reached, and anti-join build tuples
+  // counted from the negated literal's probe sets.
+  const Catalog catalog = Catalog::MustParse("R/2: oo\nS/1: i\n");
+  const Database db = Database::MustParseFacts(R"(
+    R("a", "b").
+    R("c", "d").
+    S("b").
+  )");
+  const ConjunctiveQuery query = MustParseRule("Q(x) :- R(x, z), not S(z).");
+
+  DatabaseSource backend(&db, &catalog);
+  ExecutionResult result =
+      Execute(query, catalog, &backend, GridOptions(/*dag=*/true, 1));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tuples.size(), 1u);  // Q("c") — S filters away "b"
+  EXPECT_EQ(result.runtime.disjuncts_executed, 1u);
+  EXPECT_GE(result.runtime.morsels, 2u);  // R scan + S anti-join
+  EXPECT_EQ(result.runtime.antijoin_build_tuples, 1u);  // S("b") only
+
+  // The legacy loop runs no operators; its counters stay zero. This is
+  // what makes `--legacy-executor` distinguishable in `--metrics`.
+  DatabaseSource legacy_backend(&db, &catalog);
+  ExecutionResult legacy =
+      Execute(query, catalog, &legacy_backend, GridOptions(/*dag=*/false, 1));
+  ASSERT_TRUE(legacy.ok) << legacy.error;
+  EXPECT_EQ(legacy.tuples, result.tuples);
+  EXPECT_EQ(legacy.runtime.disjuncts_executed, 0u);
+  EXPECT_EQ(legacy.runtime.morsels, 0u);
+}
+
+TEST(OperatorDagTest, LoweringRendersTheCompiledChain) {
+  // What `--explain` prints per disjunct: operator kind, access pattern,
+  // estimated cost, root-first with arrow continuation and an implicit
+  // Materialize sink.
+  const Catalog catalog = Catalog::MustParse("R/2: oo\nT/2: io\nS/1: i\n");
+  const ConjunctiveQuery query =
+      MustParseRule("Q(x, w) :- R(x, z), T(z, w), not S(z).");
+  const StaticCostModel model;
+
+  LoweredChain chain = LowerDisjunct(query, catalog, model);
+  ASSERT_TRUE(chain.ok);
+  ASSERT_EQ(chain.ops.size(), 3u);
+  EXPECT_EQ(chain.ops[0].kind, OperatorKind::kAccessScan);
+  EXPECT_EQ(chain.ops[1].kind, OperatorKind::kHashJoin);
+  EXPECT_EQ(chain.ops[2].kind, OperatorKind::kHashAntiJoin);
+
+  const std::string rendered = chain.ToString();
+  EXPECT_NE(rendered.find("AccessScan R(x, z) via oo"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("-> HashJoin T(z, w) via io"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("-> HashAntiJoin not S(z) via i"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("-> Materialize"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("est_cost="), std::string::npos) << rendered;
+
+  // A fully-bound positive literal at its position is a Filter, sharing
+  // IsFilterLiteral with the planner's filters-first scheduling.
+  const ConjunctiveQuery filter =
+      MustParseRule("Q(x, z) :- R(x, z), T(z, x).");
+  LoweredChain filter_chain = LowerDisjunct(filter, catalog, model);
+  ASSERT_TRUE(filter_chain.ok);
+  ASSERT_EQ(filter_chain.ops.size(), 2u);
+  EXPECT_EQ(filter_chain.ops[1].kind, OperatorKind::kFilter);
+}
+
+}  // namespace
+}  // namespace ucqn

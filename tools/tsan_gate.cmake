@@ -1,14 +1,15 @@
 # tsan_gate.cmake — the tier-1 hook for the ThreadSanitizer preset: the
-# `concurrency`-labeled tests (parallel waves, the shared cache's
-# single-flight protocol, clock overlap accounting, pipelined execution)
-# must be race-clean, not just green.
+# `concurrency`- and `operator`-labeled tests (parallel waves, the shared
+# cache's single-flight protocol, clock overlap accounting, pipelined
+# execution, the operator-DAG executor's racing disjunct chains) must be
+# race-clean, not just green.
 #
 # Run as a script:
 #   cmake -DREPO_ROOT=<repo> -P tsan_gate.cmake
 #
 # Configures the repo's `tsan` preset into build-tsan (incremental across
-# runs), builds exactly the binaries behind the `concurrency` label —
-# discovered from ctest itself so new tests are picked up automatically —
+# runs), builds exactly the binaries behind the gated labels — discovered
+# from ctest itself so new tests are picked up automatically —
 # and runs them under TSAN_OPTIONS=halt_on_error=1. Any data race fails
 # the gate. Set UCQN_SKIP_TSAN_GATE=1 to skip (e.g. a toolchain without
 # -fsanitize=thread).
@@ -38,17 +39,17 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "tsan preset configure failed:\n${out}\n${err}")
 endif()
 
-# The concurrency-labeled test names double as their target names
-# (ucqn_add_test registers `add_test(NAME name COMMAND name)`), so the
-# label is the single source of truth for what this gate builds.
+# The gated test names double as their target names (ucqn_add_test
+# registers `add_test(NAME name COMMAND name)`), so the labels are the
+# single source of truth for what this gate builds.
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L concurrency
+    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "concurrency|operator"
     WORKING_DIRECTORY "${tsan_dir}"
     OUTPUT_VARIABLE listing
     ERROR_VARIABLE err
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "listing concurrency tests failed:\n${err}")
+  message(FATAL_ERROR "listing concurrency/operator tests failed:\n${err}")
 endif()
 string(REGEX MATCHALL "Test +#[0-9]+: +[A-Za-z0-9_]+" lines "${listing}")
 set(targets "")
@@ -58,7 +59,8 @@ foreach(line IN LISTS lines)
 endforeach()
 list(REMOVE_DUPLICATES targets)
 if(targets STREQUAL "")
-  message(FATAL_ERROR "no concurrency-labeled tests found in ${tsan_dir}")
+  message(FATAL_ERROR
+      "no concurrency/operator-labeled tests found in ${tsan_dir}")
 endif()
 
 execute_process(
@@ -73,11 +75,14 @@ endif()
 
 set(ENV{TSAN_OPTIONS} "halt_on_error=1 second_deadlock_stack=1")
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -L concurrency --output-on-failure
+    COMMAND "${CMAKE_CTEST_COMMAND}" -L "concurrency|operator"
+        --output-on-failure
     WORKING_DIRECTORY "${tsan_dir}"
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "concurrency tests failed under ThreadSanitizer")
+  message(FATAL_ERROR
+      "concurrency/operator tests failed under ThreadSanitizer")
 endif()
 
-message(STATUS "concurrency tests are race-clean under ThreadSanitizer")
+message(STATUS
+    "concurrency/operator tests are race-clean under ThreadSanitizer")

@@ -1,14 +1,15 @@
 # ubsan_gate.cmake — the tier-1 hook for the UndefinedBehaviorSanitizer
-# preset: the `dictionary`-labeled tests (term dictionary, packed cache
-# keys, columnar frontiers, the encoded executor corpus) must be UB-clean,
-# not just green — the id-packing code memcpys raw uint32s in and out of
-# byte strings, exactly the kind of code UBSan exists for.
+# preset: the `dictionary`- and `operator`-labeled tests (term dictionary,
+# packed cache keys, columnar frontiers, the encoded executor corpus, the
+# operator-DAG regression corpus) must be UB-clean, not just green — the
+# id-packing code memcpys raw uint32s in and out of byte strings, exactly
+# the kind of code UBSan exists for.
 #
 # Run as a script:
 #   cmake -DREPO_ROOT=<repo> -P ubsan_gate.cmake
 #
 # Configures the repo's `ubsan` preset into build-ubsan (incremental
-# across runs), builds exactly the binaries behind the `dictionary` label
+# across runs), builds exactly the binaries behind the gated labels
 # — discovered from ctest itself so new tests are picked up automatically
 # — and runs them under UBSAN_OPTIONS=halt_on_error=1. Any undefined
 # behavior fails the gate. Set UCQN_SKIP_UBSAN_GATE=1 to skip (e.g. a
@@ -39,17 +40,17 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "ubsan preset configure failed:\n${out}\n${err}")
 endif()
 
-# The dictionary-labeled test names double as their target names
-# (ucqn_add_test registers `add_test(NAME name COMMAND name)`), so the
-# label is the single source of truth for what this gate builds.
+# The gated test names double as their target names (ucqn_add_test
+# registers `add_test(NAME name COMMAND name)`), so the labels are the
+# single source of truth for what this gate builds.
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L dictionary
+    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "dictionary|operator"
     WORKING_DIRECTORY "${ubsan_dir}"
     OUTPUT_VARIABLE listing
     ERROR_VARIABLE err
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "listing dictionary tests failed:\n${err}")
+  message(FATAL_ERROR "listing dictionary/operator tests failed:\n${err}")
 endif()
 string(REGEX MATCHALL "Test +#[0-9]+: +[A-Za-z0-9_]+" lines "${listing}")
 set(targets "")
@@ -59,7 +60,8 @@ foreach(line IN LISTS lines)
 endforeach()
 list(REMOVE_DUPLICATES targets)
 if(targets STREQUAL "")
-  message(FATAL_ERROR "no dictionary-labeled tests found in ${ubsan_dir}")
+  message(FATAL_ERROR
+      "no dictionary/operator-labeled tests found in ${ubsan_dir}")
 endif()
 
 execute_process(
@@ -74,11 +76,14 @@ endif()
 
 set(ENV{UBSAN_OPTIONS} "print_stacktrace=1 halt_on_error=1")
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -L dictionary --output-on-failure
+    COMMAND "${CMAKE_CTEST_COMMAND}" -L "dictionary|operator"
+        --output-on-failure
     WORKING_DIRECTORY "${ubsan_dir}"
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "dictionary tests failed under UndefinedBehaviorSanitizer")
+  message(FATAL_ERROR
+      "dictionary/operator tests failed under UndefinedBehaviorSanitizer")
 endif()
 
-message(STATUS "dictionary tests are UB-clean under UndefinedBehaviorSanitizer")
+message(STATUS
+    "dictionary/operator tests are UB-clean under UndefinedBehaviorSanitizer")

@@ -70,6 +70,7 @@
 #include "eval/answer_star.h"
 #include "eval/domain_enum.h"
 #include "eval/explain.h"
+#include "eval/op/lowering.h"
 #include "feasibility/answerable.h"
 #include "feasibility/compile.h"
 #include "feasibility/plan_star.h"
@@ -129,6 +130,15 @@ constexpr char kUsage[] =
     "  --no-dictionary      run the string-path executor instead of the\n"
     "                       dictionary-encoded columnar default (answers\n"
     "                       and witness order are identical either way)\n"
+    "  --legacy-executor    run the pre-DAG encoded loop instead of the\n"
+    "                       operator-DAG executor (kept as the\n"
+    "                       byte-compatibility oracle)\n"
+    "  --disjunct-concurrency N\n"
+    "                       overlap up to N disjunct chains' waves per\n"
+    "                       round (operator DAG; 1 = sequential disjuncts,\n"
+    "                       identical answers at every setting)\n"
+    "  --morsel-rows N      split frontiers into morsels of at most N rows\n"
+    "                       before pushing them through the operator DAG\n"
     "  --metrics text|json  print the per-relation metrics table after runs\n"
     "\n"
     "cost model (src/cost/):\n"
@@ -173,6 +183,21 @@ std::vector<std::string> SplitQueryBlocks(const std::string& text) {
   }
   flush();
   return blocks;
+}
+
+// The per-relation ledgers live in the (outer) source stack, but the
+// executor-side scheduling counters (pipelining rounds, operator-DAG
+// disjunct/morsel/anti-join work) live in the execution report — the
+// stack cannot see executor scheduling. Merge both for the printed
+// runtime line.
+ucqn::RuntimeStats WithExecutorCounters(ucqn::RuntimeStats stats,
+                                        const ucqn::RuntimeStats& report) {
+  stats.pipeline_rounds = report.pipeline_rounds;
+  stats.pipeline_overlaps = report.pipeline_overlaps;
+  stats.disjuncts_executed = report.disjuncts_executed;
+  stats.morsels = report.morsels;
+  stats.antijoin_build_tuples = report.antijoin_build_tuples;
+  return stats;
 }
 
 }  // namespace
@@ -282,6 +307,12 @@ int main(int argc, char** argv) {
       exec.batch = false;
     } else if (std::strcmp(argv[i], "--no-dictionary") == 0) {
       exec.dictionary = false;
+    } else if (std::strcmp(argv[i], "--legacy-executor") == 0) {
+      exec.dag = false;
+    } else if (std::strcmp(argv[i], "--disjunct-concurrency") == 0) {
+      if (!next_count(exec.disjunct_concurrency)) return Usage();
+    } else if (std::strcmp(argv[i], "--morsel-rows") == 0) {
+      if (!next_count(exec.morsel_rows)) return Usage();
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       if (!next(metrics_format)) return Usage();
       if (std::strcmp(metrics_format, "text") != 0 &&
@@ -530,7 +561,10 @@ int main(int argc, char** argv) {
       }
       std::printf("  physical calls: %llu\n",
                   static_cast<unsigned long long>(physical));
-      std::printf("  runtime: %s\n", stack.stats().ToString().c_str());
+      std::printf("  runtime: %s\n",
+                  WithExecutorCounters(stack.stats(), report.runtime)
+                      .ToString()
+                      .c_str());
       if (metrics_format != nullptr) {
         std::printf("  metrics:\n%s\n",
                     std::strcmp(metrics_format, "json") == 0
@@ -569,8 +603,25 @@ int main(int argc, char** argv) {
         std::printf("%s", e.ToString().c_str());
       }
     };
+    // The compiled operator chain per disjunct (eval/op/lowering.h):
+    // operator kind, access pattern, and the chosen candidate's cost
+    // under the planner's running live-binding estimate.
+    const auto print_operators = [&](const char* title,
+                                     const UnionQuery& plan) {
+      std::printf("\n%s operator DAG:\n", title);
+      std::size_t d = 0;
+      for (const ConjunctiveQuery& disjunct : plan.disjuncts()) {
+        std::printf("disjunct %zu: %s\n%s", ++d,
+                    disjunct.ToString().c_str(),
+                    LowerDisjunct(disjunct, *catalog, *model)
+                        .ToString()
+                        .c_str());
+      }
+    };
     print_decisions("underestimate", plans.under);
+    print_operators("underestimate", plans.under);
     print_decisions("overestimate", plans.over);
+    print_operators("overestimate", plans.over);
   }
 
   if (facts_path != nullptr) {
@@ -607,7 +658,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     backend.stats().tuples_returned));
     if (runtime.Enabled()) {
-      std::printf("runtime: %s\n", stack.stats().ToString().c_str());
+      std::printf("runtime: %s\n",
+                  WithExecutorCounters(stack.stats(), report.runtime)
+                      .ToString()
+                      .c_str());
     }
     if (shared_cache) {
       std::printf("%s\n", shared_store.ToText().c_str());

@@ -101,6 +101,9 @@ constexpr char kUsage[] =
     "  --retry N            retry transient source failures up to N attempts\n"
     "  --parallelism N      overlap each batched wave on N worker threads\n"
     "  --pipeline-depth N   keep up to N literals' waves in flight at once\n"
+    "  --disjunct-concurrency N\n"
+    "                       overlap up to N disjunct chains' waves per\n"
+    "                       round (operator DAG; 1 = sequential disjuncts)\n"
     "  --cost-model static|adaptive\n"
     "                       plan from heuristics or from the observed stats\n"
     "                       the sessions accumulate\n"
@@ -195,6 +198,8 @@ int main(int argc, char** argv) {
       if (!next_count(options.runtime.parallelism)) return Usage();
     } else if (std::strcmp(argv[i], "--pipeline-depth") == 0) {
       if (!next_count(options.runtime.pipeline_depth)) return Usage();
+    } else if (std::strcmp(argv[i], "--disjunct-concurrency") == 0) {
+      if (!next_count(options.disjunct_concurrency)) return Usage();
     } else if (std::strcmp(argv[i], "--cost-model") == 0) {
       const char* name = nullptr;
       if (!next(name)) return Usage();
