@@ -1,0 +1,228 @@
+// Workload-scale replay bench (EXPERIMENTS.md E20): stream a generated
+// Zipf-skewed UCQ¬ workload through the in-process QueryDaemon on the
+// simulated clock, three ways — static cost model, adaptive without
+// fanout feedback (the 1000-tuple fallback), adaptive with observed
+// fanouts — and record throughput, simulated percentiles, cache-hit
+// curves, and the A/B in the `workload` block of BENCH_runtime.json.
+//
+// The three runs must agree to the bit on answers (the order-independent
+// replay digest): the cost model moves calls around, never answers.
+//
+// The full run streams kDefaultRequests requests per configuration; the
+// tier-1 smoke caps it with UCQN_BENCH_WORKLOAD_REQUESTS so the bench
+// cannot rot between perf-focused PRs without costing minutes of ctest.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/workload.h"
+#include "gen/workload_replay.h"
+
+namespace ucqn {
+namespace {
+
+constexpr std::uint64_t kDefaultRequests = 100000;
+
+std::uint64_t RequestBudget() {
+  const char* env = std::getenv("UCQN_BENCH_WORKLOAD_REQUESTS");
+  if (env == nullptr || *env == '\0') return kDefaultRequests;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || value == 0) return kDefaultRequests;
+  return static_cast<std::uint64_t>(value);
+}
+
+// The bench workload: an adversarial chain where even links can be
+// scanned or probed and small true cardinalities mean the 1000-tuple
+// fallback overprices every scan, so the fallback planners probe where
+// one scan would do. Uniform service latency keeps the comparison
+// about call counts. No failures — every request must come back ok
+// and the digests must match across configurations.
+WorkloadSpec BenchWorkload(std::uint64_t requests) {
+  WorkloadGenOptions options;
+  options.seed = 20;
+  options.chain_length = 6;
+  options.enumerable_relations = 2;
+  options.decoy_relations = 4;
+  options.domain_size = 16;
+  options.tuples_per_relation = 32;
+  options.num_queries = 400;
+  options.max_literals = 4;
+  options.negation_prob = 0.25;
+  options.constant_prob = 0.6;
+  options.union_prob = 0.2;
+  options.zipf_s = 1.1;
+  options.latency_micros = 200;
+  options.failure_probability = 0.0;
+  options.slow_relations = 0;
+  options.replay.requests = requests;
+  options.replay.zipf_s = 1.0;
+  options.replay.tenants = 4;
+  return GenerateWorkload(options);
+}
+
+struct ConfigRun {
+  const char* label;
+  WorkloadReplayReport report;
+};
+
+ConfigRun RunConfig(const WorkloadSpec& spec, const char* label,
+                    const std::string& cost_model, bool fanout_feedback) {
+  WorkloadReplayOptions options;
+  options.cost_model = cost_model;
+  options.fanout_feedback = fanout_feedback;
+  // A short simulated TTL keeps the cache honest at workload scale:
+  // popular templates still hit, but plan quality keeps paying rent.
+  options.cache_ttl_micros = 1000;
+  ConfigRun run{label, ReplayWorkload(spec, options)};
+  if (!run.report.ok) {
+    std::fprintf(stderr, "bench_workload: %s replay failed: %s\n", label,
+                 run.report.error.c_str());
+  }
+  return run;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+// BENCH_runtime.json is owned by bench_runtime; this bench only merges
+// (or replaces) the `workload` block, which is canonically last in the
+// object, so the existing suffix can be truncated and re-appended.
+void MergeWorkloadBlock(const char* path, const std::string& block) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  const std::string::size_type tagged = existing.find(", \"workload\":");
+  if (tagged != std::string::npos) {
+    existing.erase(tagged);
+  } else {
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ')) {
+      existing.pop_back();
+    }
+    if (!existing.empty() && existing.back() == '}') existing.pop_back();
+  }
+  if (existing.empty()) existing = "{\"bench\": \"ucqn\"";
+  const std::string merged = existing + ", \"workload\": " + block + "}\n";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_workload: cannot write %s\n", path);
+    return;
+  }
+  std::fputs(merged.c_str(), out);
+  std::fclose(out);
+  std::printf("merged workload block into %s\n", path);
+}
+
+void WriteWorkloadBlock(const char* path) {
+  const std::uint64_t requests = RequestBudget();
+  const WorkloadSpec spec = BenchWorkload(requests);
+  std::vector<ConfigRun> runs;
+  runs.push_back(RunConfig(spec, "static", "static", false));
+  runs.push_back(RunConfig(spec, "adaptive_fallback", "adaptive", false));
+  runs.push_back(RunConfig(spec, "adaptive_fanout", "adaptive", true));
+  for (const ConfigRun& run : runs) {
+    if (!run.report.ok) return;
+  }
+  const std::uint64_t baseline_hash = runs[0].report.answers_hash;
+
+  std::string block = "{";
+  block += "\"requests\": " + std::to_string(requests);
+  block += ", \"templates\": " + std::to_string(spec.queries.size());
+  block += ", \"zipf_s\": " + FormatDouble(spec.replay.zipf_s);
+  block += ", \"tenants\": " + std::to_string(spec.replay.tenants);
+  block += ", \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const WorkloadReplayReport& report = runs[i].report;
+    if (i > 0) block += ", ";
+    block += "{\"config\": \"" + std::string(runs[i].label) + "\"";
+    block += ", \"ok_count\": " + std::to_string(report.ok_count);
+    block += ", \"shed_count\": " + std::to_string(report.shed_count);
+    block += ", \"quota_count\": " + std::to_string(report.quota_count);
+    block += ", \"sim_wall_us\": " + std::to_string(report.sim_wall_micros);
+    block += ", \"physical_calls\": " + std::to_string(report.physical_calls);
+    block += ", \"cache_hits\": " + std::to_string(report.cache_hits);
+    block += ", \"cache_misses\": " + std::to_string(report.cache_misses);
+    block += ", \"p50_us\": " + std::to_string(report.p50_micros);
+    block += ", \"p95_us\": " + std::to_string(report.p95_micros);
+    block += ", \"p99_us\": " + std::to_string(report.p99_micros);
+    block += ", \"throughput_per_sec\": " +
+             FormatDouble(report.throughput_per_second);
+    block += ", \"answers_match\": ";
+    block += report.answers_hash == baseline_hash ? "true" : "false";
+    block += ", \"hit_curve\": [";
+    for (std::size_t w = 0; w < report.windows.size(); ++w) {
+      if (w > 0) block += ", ";
+      block += FormatDouble(report.windows[w].hit_rate);
+    }
+    block += "]}";
+  }
+  block += "]}";
+  MergeWorkloadBlock(path, block);
+
+  for (const ConfigRun& run : runs) {
+    std::printf(
+        "%-17s sim_wall %llu us, %llu calls, p99 %llu us, answers %s\n",
+        run.label,
+        static_cast<unsigned long long>(run.report.sim_wall_micros),
+        static_cast<unsigned long long>(run.report.physical_calls),
+        static_cast<unsigned long long>(run.report.p99_micros),
+        run.report.answers_hash == baseline_hash ? "match" : "MISMATCH");
+  }
+}
+
+// Microbench: generator throughput (templates + facts + serialization).
+void BM_WorkloadGenerate(benchmark::State& state) {
+  WorkloadGenOptions options;
+  options.num_queries = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const WorkloadSpec spec = GenerateWorkload(options);
+    benchmark::DoNotOptimize(SerializeWorkload(spec).size());
+  }
+}
+BENCHMARK(BM_WorkloadGenerate)->Arg(50)->Arg(200);
+
+// Microbench: small replays per cost model; the interesting numbers are
+// simulated and exact, this just keeps the replay path warm in CI.
+void BM_WorkloadReplay(benchmark::State& state) {
+  WorkloadSpec spec = BenchWorkload(500);
+  const bool feedback = state.range(0) != 0;
+  for (auto _ : state) {
+    WorkloadReplayOptions options;
+    options.fanout_feedback = feedback;
+    const WorkloadReplayReport report = ReplayWorkload(spec, options);
+    if (!report.ok || report.ok_count != report.requests) {
+      state.SkipWithError("replay failed");
+      break;
+    }
+    benchmark::DoNotOptimize(report.answers_hash);
+  }
+}
+BENCHMARK(BM_WorkloadReplay)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ucqn
+
+int main(int argc, char** argv) {
+  ucqn::WriteWorkloadBlock("BENCH_runtime.json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

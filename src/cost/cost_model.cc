@@ -165,14 +165,32 @@ double AdaptiveCostModel::ExpectedTuplesPerCall(
     const RelationStats* observed =
         stats_->Find(literal.relation(), pattern.word());
     if (observed == nullptr) observed = stats_->Find(literal.relation());
-    if (observed != nullptr && observed->calls > 0) {
-      return observed->MeanTuplesPerCall();
+    if (observed != nullptr) {
+      // The merged fanout mean excludes errored calls (a failed call
+      // returns no tuples but still counts in `calls`, dragging the raw
+      // mean down), so prefer it when this snapshot carries one.
+      if (options_.use_observed_fanouts && observed->fanout_calls > 0) {
+        return observed->mean_fanout;
+      }
+      if (observed->calls > 0) return observed->MeanTuplesPerCall();
     }
   }
   // Scans (and unobserved keyed access): the relation's cardinality cut
-  // by the uniform selectivity per server-side-filtered position.
-  double size = estimates_.Get(literal.relation(),
-                               options_.static_options.fallback_cardinality);
+  // by the uniform selectivity per server-side-filtered position. With no
+  // explicit estimate, an observed fanout for this very pattern stands in
+  // for the fallback guess — a scan that has run once prices at the
+  // relation's real size from then on (the workload feedback loop).
+  double size = options_.static_options.fallback_cardinality;
+  if (estimates_.Has(literal.relation())) {
+    size = estimates_.Get(literal.relation());
+  } else if (options_.use_observed_fanouts && stats_ != nullptr) {
+    const RelationStats* keyed =
+        stats_->Find(literal.relation(), pattern.word());
+    if (keyed != nullptr && keyed->fanout_calls > 0 &&
+        keyed->mean_fanout > 0.0) {
+      size = keyed->mean_fanout;
+    }
+  }
   for (std::size_t i = 0; i < filtered; ++i) {
     size *= options_.static_options.bound_arg_selectivity;
   }

@@ -143,6 +143,13 @@ struct AdaptiveCostOptions {
   // calls mostly never reach the transport, so its patterns price near
   // zero and the model stops avoiding it.
   const SharedCacheStore* shared_cache = nullptr;
+  // Prefer observed per-(relation, pattern) result fanouts from the
+  // StatsCatalog over the fallback cardinality when no explicit estimate
+  // exists: a full scan's observed fanout is the relation's real size,
+  // which beats the 1000-tuple guess the moment the scan has run once
+  // (see docs/WORKLOADS.md, "Fanout feedback"). Off reproduces the
+  // pre-feedback pricing — the baseline bench_workload compares against.
+  bool use_observed_fanouts = true;
 };
 
 // Scores each (literal, pattern) candidate as

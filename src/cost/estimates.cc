@@ -1,6 +1,20 @@
 #include "cost/estimates.h"
 
+#include <string>
+
+#include "cost/stats_catalog.h"
+
 namespace ucqn {
+
+namespace {
+
+// True for the all-output access word ("oo...o"): calling it returns the
+// whole relation, so its observed fanout is the relation's cardinality.
+bool IsFullScanWord(const std::string& word) {
+  return word.find('i') == std::string::npos;
+}
+
+}  // namespace
 
 CardinalityEstimates CardinalityEstimates::FromDatabase(const Database& db) {
   CardinalityEstimates estimates;
@@ -24,6 +38,20 @@ CardinalityEstimates CardinalityEstimates::FromCatalog(
 void CardinalityEstimates::Set(const std::string& relation,
                                double cardinality) {
   cardinalities_[relation] = cardinality;
+}
+
+void CardinalityEstimates::ApplyObservedFanouts(const StatsCatalog& stats) {
+  for (const auto& [relation, split] : stats.patterns()) {
+    if (Has(relation)) continue;  // explicit estimates always win
+    for (const auto& [word, keyed] : split) {
+      // Only a full scan's fanout measures cardinality; a keyed probe's
+      // fanout measures key selectivity and would wildly underestimate.
+      if (!IsFullScanWord(word)) continue;
+      if (keyed.fanout_calls == 0 || keyed.mean_fanout <= 0.0) continue;
+      Set(relation, keyed.mean_fanout);
+      break;  // one all-output word per arity
+    }
+  }
 }
 
 double CardinalityEstimates::Get(const std::string& relation,

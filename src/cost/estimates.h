@@ -9,6 +9,8 @@
 
 namespace ucqn {
 
+class StatsCatalog;
+
 // The cardinality assumed for a relation nobody declared an estimate for.
 // Every fallback in the cost layer (CardinalityEstimates::Get,
 // PlannerOptions::fallback_cardinality, the cost models' expected-tuple
@@ -31,6 +33,16 @@ class CardinalityEstimates {
   static CardinalityEstimates FromCatalog(const Catalog& catalog);
 
   void Set(const std::string& relation, double cardinality);
+
+  // Fills gaps from observed runtime behaviour: for every relation WITHOUT
+  // an explicit estimate, a full-scan access pattern's observed mean fanout
+  // (tuples per successful call of an all-output word — i.e. the result
+  // size of "fetch everything") is the relation's observed cardinality and
+  // replaces the kDefaultFallbackCardinality guess. Explicitly declared
+  // estimates (service metadata, `@N` annotations) always win; relations
+  // whose scans were never called are left to the fallback. This is the
+  // workload feedback loop — see docs/WORKLOADS.md.
+  void ApplyObservedFanouts(const StatsCatalog& stats);
   // Returns the estimate, or `fallback` for unknown relations. The default
   // fallback is kDefaultFallbackCardinality (1000).
   double Get(const std::string& relation,

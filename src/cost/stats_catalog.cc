@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace ucqn {
 
@@ -29,6 +30,24 @@ void MergeInto(RelationStats* entry, const RelationStats& observed) {
         (entry->p50_latency_micros * static_cast<double>(entry->calls) +
          observed.p50_latency_micros * static_cast<double>(observed.calls)) /
         total_calls;
+  }
+  // The observed fanout merges under the same discipline, weighted by its
+  // own successful-call count: a snapshot with fanout_calls == 0 (all
+  // errors, or written before the field existed) says nothing about result
+  // sizes and must not drag the mean toward zero, and a non-finite mean is
+  // refused before it can poison the weighted average.
+  if (!std::isfinite(entry->mean_fanout)) {
+    entry->mean_fanout = 0.0;
+    entry->fanout_calls = 0;
+  }
+  if (observed.fanout_calls > 0 && std::isfinite(observed.mean_fanout)) {
+    const double total = static_cast<double>(entry->fanout_calls) +
+                         static_cast<double>(observed.fanout_calls);
+    entry->mean_fanout =
+        (entry->mean_fanout * static_cast<double>(entry->fanout_calls) +
+         observed.mean_fanout * static_cast<double>(observed.fanout_calls)) /
+        total;
+    entry->fanout_calls += observed.fanout_calls;
   }
   entry->calls += observed.calls;
   entry->errors += observed.errors;
@@ -61,6 +80,11 @@ void StatsCatalog::Observe(const MeteredSource& meter) {
       snapshot.tuples = metrics.tuples;
       snapshot.p50_latency_micros = static_cast<double>(
           metrics.latency.PercentileUpperBoundMicros(0.5));
+      if (metrics.calls > metrics.errors) {
+        snapshot.fanout_calls = metrics.calls - metrics.errors;
+        snapshot.mean_fanout = static_cast<double>(metrics.tuples) /
+                               static_cast<double>(snapshot.fanout_calls);
+      }
       Record(relation, word, snapshot);
     }
   }
@@ -158,6 +182,16 @@ class JsonReader {
   std::string error_;
 };
 
+// An observed-fanout pair is meaningful only when both halves are: zero
+// backing calls or a non-finite mean (key order in a hand-edited file can
+// land either one alone) collapse to "never observed".
+void SanitizeFanout(RelationStats* stats) {
+  if (stats->fanout_calls == 0 || !std::isfinite(stats->mean_fanout)) {
+    stats->mean_fanout = 0.0;
+    stats->fanout_calls = 0;
+  }
+}
+
 // Reads one stats object. When `patterns` is non-null a nested
 // "patterns" object of pattern-word -> stats is accepted (the keyed
 // split); pre-split snapshots simply don't have the key and load as
@@ -181,6 +215,7 @@ bool ReadRelationStats(JsonReader* in, RelationStats* stats,
               !ReadRelationStats(in, &keyed, nullptr)) {
             return false;
           }
+          SanitizeFanout(&keyed);
           (*patterns)[word] = keyed;
           if (in->Peek(',')) {
             in->Consume(',');
@@ -204,12 +239,23 @@ bool ReadRelationStats(JsonReader* in, RelationStats* stats,
         // would NaN-poison every later weighted merge; load it as
         // "unknown" instead.
         stats->p50_latency_micros = std::isfinite(value) ? value : 0.0;
+      } else if (key == "fanout") {
+        // A non-finite mean stays non-finite until the object closes, so
+        // the final SanitizeFanout zeroes the whole pair no matter which
+        // order the keys arrived in ("fanout_calls" after a rejected
+        // "fanout" must not resurrect the observation).
+        stats->mean_fanout =
+            std::isfinite(value) ? value
+                                 : std::numeric_limits<double>::quiet_NaN();
+      } else if (key == "fanout_calls") {
+        stats->fanout_calls = static_cast<std::uint64_t>(value);
       }  // unknown scalar keys are ignored for forward compatibility
     }
     if (in->Peek(',')) {
       in->Consume(',');
       continue;
     }
+    SanitizeFanout(stats);
     return in->Consume('}');
   }
 }
@@ -219,10 +265,18 @@ bool ReadRelationStats(JsonReader* in, RelationStats* stats,
 namespace {
 
 std::string StatsJsonFields(const RelationStats& stats) {
-  return "\"calls\": " + std::to_string(stats.calls) +
-         ", \"errors\": " + std::to_string(stats.errors) +
-         ", \"tuples\": " + std::to_string(stats.tuples) +
-         ", \"p50_latency_us\": " + FormatDouble(stats.p50_latency_micros);
+  std::string out = "\"calls\": " + std::to_string(stats.calls) +
+                    ", \"errors\": " + std::to_string(stats.errors) +
+                    ", \"tuples\": " + std::to_string(stats.tuples) +
+                    ", \"p50_latency_us\": " +
+                    FormatDouble(stats.p50_latency_micros);
+  // Omitted when never observed, so pre-fanout snapshots round-trip
+  // byte-identically (the same migration story as the "patterns" key).
+  if (stats.fanout_calls > 0) {
+    out += ", \"fanout\": " + FormatDouble(stats.mean_fanout) +
+           ", \"fanout_calls\": " + std::to_string(stats.fanout_calls);
+  }
+  return out;
 }
 
 }  // namespace

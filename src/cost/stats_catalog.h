@@ -22,6 +22,17 @@ struct RelationStats {
   // an approximation, but percentiles cannot be merged exactly from
   // aggregates and ranking candidates only needs the order of magnitude.
   double p50_latency_micros = 0.0;
+  // Observed result fanout: mean tuples returned per *successful* call at
+  // snapshot time, and how many successful calls back that mean. Unlike
+  // MeanTuplesPerCall() (derived from the cumulative counters above, errors
+  // included in the denominator), this pair survives merging with the same
+  // weighted-average discipline as the p50 — and a scan pattern's fanout is
+  // the relation's observed cardinality, which the adaptive model prefers
+  // over the 1000-tuple fallback (see CardinalityEstimates::
+  // ApplyObservedFanouts). Zero fanout_calls means "never observed"
+  // (e.g. a snapshot written before the field existed).
+  double mean_fanout = 0.0;
+  std::uint64_t fanout_calls = 0;
 
   // Observed tuples per physical call — the keyed-access result size the
   // adaptive model uses when a pattern pushes bindings to the source.

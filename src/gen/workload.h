@@ -1,0 +1,155 @@
+#ifndef UCQN_GEN_WORKLOAD_H_
+#define UCQN_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "eval/database.h"
+#include "runtime/fault_injection.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// ---------------------------------------------------------------------------
+// Workload files: one self-contained, versioned text artifact holding
+// everything a replay needs — schema, instance, fault plan, replay plan,
+// and the distinct query templates. The format (docs/WORKLOADS.md) reuses
+// the catalog/facts/query syntaxes the rest of the system already parses,
+// wrapped in `[section]` headers behind a `# ucqn-workload v1` magic line.
+// Serialization is canonical: the same spec always serializes to the same
+// bytes, so "same seed, same file" is a plain string comparison.
+
+// How the replay driver expands the distinct templates into a request
+// stream. The stream itself is never stored: requests = (Zipf-ranked
+// template, round-robin tenant) pairs derived deterministically from the
+// seed, so a million-request workload is a few lines of file.
+struct ReplayPlan {
+  // Requests to issue (the driver can cap or extend this at replay time).
+  std::uint64_t requests = 1000;
+  // Zipf exponent for template popularity: request r draws template rank
+  // k with probability ∝ 1/k^s. 0 = uniform; >1 = a hot head and a long
+  // cold tail, the shape that exercises the shared cache.
+  double zipf_s = 1.0;
+  std::uint64_t seed = 7;
+  // Tenant names t0..t{n-1}, assigned round-robin — exercises per-tenant
+  // quota accounting in the daemon.
+  int tenants = 1;
+};
+
+struct WorkloadSpec {
+  int version = 1;
+  // The generator seed, for provenance (replays don't consume it).
+  std::uint64_t seed = 0;
+  Catalog catalog;
+  Database database;
+  FaultPlan faults;
+  ReplayPlan replay;
+  // Distinct UCQ¬ templates, parser syntax (possibly multi-line unions).
+  std::vector<std::string> queries;
+};
+
+// Knobs for GenerateWorkload. The generated schema is adversarial by
+// construction:
+//   - a chain C0..C{k-1} of binary relations where C0 is scannable but
+//     every odd-indexed link is reachable ONLY through its bound first
+//     slot — values must flow in from the previous link's output or from
+//     a constant (the access-restriction chains of Benedikt et al.);
+//     even-indexed links also declare a full scan, giving the cost model
+//     a real probe-vs-scan choice at every second hop;
+//   - unary enumerable-domain relations E0.. (all-output pattern) that
+//     negated literals range over;
+//   - decoy relations D0.. with random, often input-heavy patterns that
+//     queries never touch — schema noise for planners and admin ops.
+// Queries walk random chain windows, entering via a scan at C0 or a
+// Zipf-skewed constant probe anywhere, optionally guarded by a negated
+// enumerable literal, optionally unioned with a second walk.
+struct WorkloadGenOptions {
+  std::uint64_t seed = 42;
+
+  // --- schema ---
+  int chain_length = 6;
+  int enumerable_relations = 2;
+  int decoy_relations = 4;
+  // Constants are 0..domain_size-1; chain columns draw from the full
+  // domain, so a probe's expected fanout is tuples_per_relation /
+  // domain_size.
+  int domain_size = 24;
+  int tuples_per_relation = 48;
+
+  // --- queries ---
+  int num_queries = 200;
+  // Longest chain walk per disjunct (≥ 1).
+  int max_literals = 4;
+  // Probability that a disjunct gains a `not E(x)` guard on its last
+  // variable.
+  double negation_prob = 0.25;
+  // Probability that a walk starting at C0 enters via a constant probe
+  // instead of a scan (walks starting deeper must probe — that is the
+  // adversarial point).
+  double constant_prob = 0.5;
+  // Zipf exponent for the constants drawn into probes: hot keys repeat
+  // across templates, which is what makes the shared cache earn its keep.
+  double zipf_s = 1.1;
+  // Probability that a template is a 2-disjunct union.
+  double union_prob = 0.2;
+
+  // --- fault plan ---
+  std::uint64_t latency_micros = 200;
+  std::uint64_t latency_jitter_micros = 0;
+  double failure_probability = 0.0;
+  // The last `slow_relations` chain links get 10x the base latency (the
+  // adaptive model's reason to exist).
+  int slow_relations = 1;
+  // The first `flaky_relations` enumerable relations fail each call with
+  // `flaky_failure_probability`.
+  int flaky_relations = 0;
+  double flaky_failure_probability = 0.05;
+  // Correlated latency spikes (FaultPlan::spike_*); 0 period = off.
+  std::uint64_t spike_period_micros = 0;
+  std::uint64_t spike_duration_micros = 0;
+  std::uint64_t spike_extra_micros = 0;
+
+  // --- replay plan (copied into the spec verbatim) ---
+  ReplayPlan replay;
+};
+
+// Deterministic: the same options always produce the same spec (and
+// therefore, via SerializeWorkload, the same bytes).
+WorkloadSpec GenerateWorkload(const WorkloadGenOptions& options);
+
+// Canonical text form; see docs/WORKLOADS.md for the grammar.
+std::string SerializeWorkload(const WorkloadSpec& spec);
+
+// Parses SerializeWorkload's format. Returns nullopt and sets `*error`
+// on malformed input or an unsupported version.
+std::optional<WorkloadSpec> ParseWorkload(const std::string& text,
+                                          std::string* error = nullptr);
+
+// One replay request: which template to send, as which tenant.
+struct ReplayRequest {
+  std::size_t query_index = 0;
+  int tenant = 0;
+};
+
+// Expands the replay plan into its request stream (capped at
+// `max_requests` when non-zero). Deterministic in spec.replay.seed.
+std::vector<ReplayRequest> BuildRequestSequence(const WorkloadSpec& spec,
+                                                std::uint64_t max_requests = 0);
+
+// Draws ranks 0..n-1 with probability ∝ 1/(rank+1)^s — precomputed
+// inverse-CDF, so sampling is a binary search. s = 0 is uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+  std::size_t Sample(std::mt19937_64* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_WORKLOAD_H_

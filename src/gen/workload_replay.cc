@@ -1,0 +1,256 @@
+#include "gen/workload_replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "runtime/fault_injection.h"
+#include "server/daemon.h"
+#include "util/logging.h"
+
+namespace ucqn {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t hash, const std::string& bytes) {
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Digest of one ok response, XOR-combined into the replay digest so the
+// total is independent of completion order (concurrent replays finish in
+// whatever order the scheduler picks, but answer the same).
+std::uint64_t ResponseHash(std::uint64_t request_index,
+                           const ServiceResponse& response) {
+  std::uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, std::to_string(request_index));
+  for (const Tuple& tuple : response.under) {
+    hash = FnvMix(hash, "u" + TupleToString(tuple));
+  }
+  for (const Tuple& tuple : response.over) {
+    hash = FnvMix(hash, "o" + TupleToString(tuple));
+  }
+  return hash;
+}
+
+// Per-thread accumulation, merged once the thread joins — no shared
+// mutable state on the submit path beyond the daemon itself.
+struct Partial {
+  std::uint64_t ok = 0;
+  std::uint64_t error = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t quota = 0;
+  std::uint64_t physical_calls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t answers_hash = 0;
+  std::vector<ReplayWindow> windows;
+};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string WorkloadReplayReport::ToJson() const {
+  std::string out = "{";
+  out += "\"ok\": " + std::string(ok ? "true" : "false");
+  if (!error.empty()) out += ", \"error\": \"" + error + "\"";
+  out += ", \"requests\": " + std::to_string(requests);
+  out += ", \"ok_count\": " + std::to_string(ok_count);
+  out += ", \"error_count\": " + std::to_string(error_count);
+  out += ", \"shed_count\": " + std::to_string(shed_count);
+  out += ", \"quota_count\": " + std::to_string(quota_count);
+  out += ", \"sim_wall_us\": " + std::to_string(sim_wall_micros);
+  out += ", \"real_seconds\": " + FormatDouble(real_seconds);
+  out += ", \"throughput_per_sec\": " + FormatDouble(throughput_per_second);
+  out += ", \"physical_calls\": " + std::to_string(physical_calls);
+  out += ", \"cache_hits\": " + std::to_string(cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(cache_misses);
+  out += ", \"p50_us\": " + std::to_string(p50_micros);
+  out += ", \"p95_us\": " + std::to_string(p95_micros);
+  out += ", \"p99_us\": " + std::to_string(p99_micros);
+  out += ", \"answers_hash\": " + std::to_string(answers_hash);
+  out += ", \"hit_curve\": [";
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    if (w > 0) out += ", ";
+    out += "{\"requests\": " + std::to_string(windows[w].requests) +
+           ", \"cache_hits\": " + std::to_string(windows[w].cache_hits) +
+           ", \"cache_misses\": " + std::to_string(windows[w].cache_misses) +
+           ", \"physical_calls\": " + std::to_string(windows[w].physical_calls) +
+           ", \"hit_rate\": " + FormatDouble(windows[w].hit_rate) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
+                                    const WorkloadReplayOptions& options) {
+  WorkloadReplayReport report;
+  if (options.cost_model != "static" && options.cost_model != "adaptive") {
+    report.error = "cost_model must be static or adaptive";
+    return report;
+  }
+  if (spec.queries.empty()) {
+    report.error = "workload declares no queries";
+    return report;
+  }
+
+  SimulatedClock clock;
+  DatabaseSource backend(&spec.database, &spec.catalog);
+  FaultInjectingSource faulty(&backend, spec.faults, &clock);
+  Source* transport = options.inject_faults
+                          ? static_cast<Source*>(&faulty)
+                          : static_cast<Source*>(&backend);
+
+  QueryDaemon::Options daemon_options;
+  daemon_options.runtime.clock = &clock;
+  daemon_options.runtime.retry = options.retry_attempts > 1;
+  daemon_options.runtime.retry_policy.max_attempts = options.retry_attempts;
+  daemon_options.runtime.parallelism = std::max<std::size_t>(options.parallelism, 1);
+  daemon_options.runtime.pipeline_depth =
+      std::max<std::size_t>(options.pipeline_depth, 1);
+  daemon_options.disjunct_concurrency =
+      std::max<std::size_t>(options.disjunct_concurrency, 1);
+  daemon_options.cache.default_ttl_micros = options.cache_ttl_micros;
+  daemon_options.cache.budget_bytes = options.cache_budget_bytes;
+  daemon_options.cache.clock = &clock;
+  daemon_options.admission.max_in_flight = options.max_in_flight;
+  daemon_options.admission.max_queued = options.max_queued;
+  daemon_options.default_quota.max_concurrent = options.tenant_max_concurrent;
+  daemon_options.adaptive_cost_model = options.cost_model == "adaptive";
+  daemon_options.fanout_feedback = options.fanout_feedback;
+  QueryDaemon daemon(&spec.catalog, transport, daemon_options);
+
+  const std::vector<ReplayRequest> sequence =
+      BuildRequestSequence(spec, options.max_requests);
+  const std::uint64_t n = sequence.size();
+  report.requests = n;
+  const int window_count =
+      static_cast<int>(std::min<std::uint64_t>(
+          std::max(options.windows, 1), std::max<std::uint64_t>(n, 1)));
+
+  const int threads = std::max(options.threads, 1);
+  std::vector<Partial> partials(static_cast<std::size_t>(threads));
+  std::vector<std::vector<std::uint64_t>> latencies(
+      static_cast<std::size_t>(threads));
+
+  const auto real_start = std::chrono::steady_clock::now();
+  auto run_slice = [&](int thread_index) {
+    Partial& partial = partials[static_cast<std::size_t>(thread_index)];
+    partial.windows.assign(static_cast<std::size_t>(window_count),
+                           ReplayWindow{});
+    std::vector<std::uint64_t>& lat =
+        latencies[static_cast<std::size_t>(thread_index)];
+    for (std::uint64_t r = static_cast<std::uint64_t>(thread_index); r < n;
+         r += static_cast<std::uint64_t>(threads)) {
+      const ReplayRequest& replay_request = sequence[r];
+      ServiceRequest request;
+      request.op = ServiceRequest::Op::kQuery;
+      request.id = std::to_string(r);
+      request.tenant = "t" + std::to_string(replay_request.tenant);
+      request.query = spec.queries[replay_request.query_index];
+      request.include_answers = true;
+      const std::uint64_t before = clock.NowMicros();
+      const ServiceResponse response = daemon.Submit(request);
+      const std::uint64_t after = clock.NowMicros();
+      if (threads == 1) lat.push_back(after - before);
+      ReplayWindow& window =
+          partial.windows[static_cast<std::size_t>(
+              r * static_cast<std::uint64_t>(window_count) / n)];
+      ++window.requests;
+      switch (response.status) {
+        case ServiceResponse::Status::kOk:
+          ++partial.ok;
+          partial.answers_hash ^= ResponseHash(r, response);
+          partial.physical_calls += response.physical_calls;
+          partial.cache_hits += response.cache_hits;
+          partial.cache_misses += response.cache_misses;
+          window.cache_hits += response.cache_hits;
+          window.cache_misses += response.cache_misses;
+          window.physical_calls += response.physical_calls;
+          break;
+        case ServiceResponse::Status::kShed:
+          ++partial.shed;
+          break;
+        case ServiceResponse::Status::kQuotaRefused:
+          ++partial.quota;
+          break;
+        case ServiceResponse::Status::kError:
+        case ServiceResponse::Status::kDraining:
+          ++partial.error;
+          break;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    run_slice(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(run_slice, t);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto real_end = std::chrono::steady_clock::now();
+
+  report.windows.assign(static_cast<std::size_t>(window_count), ReplayWindow{});
+  for (const Partial& partial : partials) {
+    report.ok_count += partial.ok;
+    report.error_count += partial.error;
+    report.shed_count += partial.shed;
+    report.quota_count += partial.quota;
+    report.physical_calls += partial.physical_calls;
+    report.cache_hits += partial.cache_hits;
+    report.cache_misses += partial.cache_misses;
+    report.answers_hash ^= partial.answers_hash;
+    for (std::size_t w = 0; w < partial.windows.size(); ++w) {
+      report.windows[w].requests += partial.windows[w].requests;
+      report.windows[w].cache_hits += partial.windows[w].cache_hits;
+      report.windows[w].cache_misses += partial.windows[w].cache_misses;
+      report.windows[w].physical_calls += partial.windows[w].physical_calls;
+    }
+  }
+  for (ReplayWindow& window : report.windows) {
+    const std::uint64_t traffic = window.cache_hits + window.cache_misses;
+    window.hit_rate = traffic == 0 ? 0.0
+                                   : static_cast<double>(window.cache_hits) /
+                                         static_cast<double>(traffic);
+  }
+
+  if (threads == 1 && !latencies[0].empty()) {
+    std::vector<std::uint64_t>& lat = latencies[0];
+    std::sort(lat.begin(), lat.end());
+    auto percentile = [&](double p) {
+      const std::size_t index = std::min(
+          lat.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(lat.size())));
+      return lat[index];
+    };
+    report.p50_micros = percentile(0.50);
+    report.p95_micros = percentile(0.95);
+    report.p99_micros = percentile(0.99);
+  }
+
+  report.sim_wall_micros = clock.NowMicros();
+  report.real_seconds =
+      std::chrono::duration<double>(real_end - real_start).count();
+  report.throughput_per_second =
+      report.real_seconds > 0.0
+          ? static_cast<double>(n) / report.real_seconds
+          : 0.0;
+  report.ok = true;
+  return report;
+}
+
+}  // namespace ucqn

@@ -1,0 +1,105 @@
+#ifndef UCQN_GEN_WORKLOAD_REPLAY_H_
+#define UCQN_GEN_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/workload.h"
+
+namespace ucqn {
+
+// In-process replay: constructs a QueryDaemon over the workload's schema
+// and instance (behind a FaultInjectingSource on a shared SimulatedClock),
+// streams the replay plan's request sequence through Submit, and reports
+// throughput, simulated-latency percentiles, windowed cache-hit curves,
+// and shed/quota counts. tools/ucqn_workload.cc and bench/bench_workload.cc
+// both drive this; the daemon-stdio path goes through the tool's
+// --via-daemon mode instead.
+struct WorkloadReplayOptions {
+  // "static" or "adaptive" — which cost model the daemon plans with.
+  std::string cost_model = "adaptive";
+  // Let observed fanouts replace the fallback cardinality (adaptive only).
+  bool fanout_feedback = true;
+  // Client threads submitting concurrently (static round-robin split).
+  // 1 = serial, the only mode that reports per-request sim percentiles.
+  int threads = 1;
+  // Windows the request stream is cut into for the cache-hit curve.
+  int windows = 10;
+  // Overrides spec.replay.requests when non-zero.
+  std::uint64_t max_requests = 0;
+  // Run the backend behind the workload's fault plan (latency, flakiness,
+  // spikes). Off = raw in-memory backend, zero simulated latency.
+  bool inject_faults = true;
+  // Retry attempts per call (RetryPolicy::max_attempts); 1 disables.
+  int retry_attempts = 3;
+  // Parallel-fetch workers per session wave; 1 = sequential dispatch.
+  std::size_t parallelism = 1;
+  std::size_t pipeline_depth = 1;
+  std::size_t disjunct_concurrency = 1;
+  // Shared-cache TTL (0 = entries never age out) and byte budget.
+  std::uint64_t cache_ttl_micros = 0;
+  std::size_t cache_budget_bytes = 0;
+  // Admission bounds (0/0 = unbounded, nothing sheds).
+  std::size_t max_in_flight = 0;
+  std::size_t max_queued = 0;
+  // Per-tenant cap on concurrent requests (0 = uncapped) — the quota
+  // counter's source of "quota" responses under threads > 1.
+  std::size_t tenant_max_concurrent = 0;
+};
+
+// One slice of the request stream (by request index, replay order).
+struct ReplayWindow {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t physical_calls = 0;
+  // hits / (hits + misses); 0 when the window saw no cache traffic.
+  double hit_rate = 0.0;
+};
+
+struct WorkloadReplayReport {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t requests = 0;
+  std::uint64_t ok_count = 0;
+  std::uint64_t error_count = 0;
+  std::uint64_t shed_count = 0;
+  std::uint64_t quota_count = 0;
+
+  // Simulated time the whole replay charged to the shared clock.
+  std::uint64_t sim_wall_micros = 0;
+  // Wall-clock seconds the replay actually took (all threads).
+  double real_seconds = 0.0;
+  // requests / real_seconds.
+  double throughput_per_second = 0.0;
+
+  std::uint64_t physical_calls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  // Per-request simulated latency percentiles; only meaningful when the
+  // replay ran with threads == 1 (concurrent submits interleave on the
+  // shared clock, so a per-request delta has no owner).
+  std::uint64_t p50_micros = 0;
+  std::uint64_t p95_micros = 0;
+  std::uint64_t p99_micros = 0;
+
+  std::vector<ReplayWindow> windows;
+
+  // Order-independent digest of every ok response's answer sets (XOR of
+  // per-request FNV hashes over (request index, under, over)): two
+  // replays answered byte-identically iff their digests match.
+  std::uint64_t answers_hash = 0;
+
+  // {"requests": N, "ok": N, ..., "windows": [{...}, ...]}
+  std::string ToJson() const;
+};
+
+WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
+                                    const WorkloadReplayOptions& options);
+
+}  // namespace ucqn
+
+#endif  // UCQN_GEN_WORKLOAD_REPLAY_H_

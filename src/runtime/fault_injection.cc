@@ -52,6 +52,15 @@ FetchResult FaultInjectingSource::Fetch(
         0, plan_.latency_jitter_micros);
     latency += dist(rng);
   }
+  // Correlated spike: every call landing inside the spike window of the
+  // shared clock pays extra, whatever relation it targets. The window is
+  // read from the clock (not the seeded rng) so concurrent relations
+  // spike *together* — the point of a correlated fault.
+  if (plan_.spike_period_micros > 0 && clock_ != nullptr &&
+      clock_->NowMicros() % plan_.spike_period_micros <
+          plan_.spike_duration_micros) {
+    latency += plan_.spike_extra_micros;
+  }
   if (latency > 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -65,9 +74,16 @@ FetchResult FaultInjectingSource::Fetch(
       occurrence < plan_.fail_first_per_key) {
     fail = true;
   }
-  if (!fail && plan_.failure_probability > 0.0) {
-    std::uniform_real_distribution<double> dist(0.0, 1.0);
-    fail = dist(rng) < plan_.failure_probability;
+  if (!fail) {
+    double failure_probability = plan_.failure_probability;
+    auto flaky = plan_.relation_failure_probability.find(relation);
+    if (flaky != plan_.relation_failure_probability.end()) {
+      failure_probability = flaky->second;
+    }
+    if (failure_probability > 0.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fail = dist(rng) < failure_probability;
+    }
   }
   if (fail) {
     std::lock_guard<std::mutex> lock(mu_);

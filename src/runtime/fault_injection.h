@@ -40,6 +40,20 @@ struct FaultPlan {
   // applies): models a fleet where one service is slower than the rest —
   // the scenario the adaptive cost model exists for.
   std::map<std::string, std::uint64_t> relation_latency_micros;
+  // Per-relation override of failure_probability: a fleet where one or
+  // two services are flaky while the rest are solid (the workload
+  // generator's "flaky services"). Same content-seeded determinism.
+  std::map<std::string, double> relation_failure_probability;
+  // Correlated latency spikes: while the clock sits inside the first
+  // `spike_duration_micros` of each `spike_period_micros` window, every
+  // call — whatever its relation — pays `spike_extra_micros` on top. All
+  // relations spike together because the window is keyed on the shared
+  // clock, modeling a congested upstream network rather than independent
+  // per-service noise. Disabled while spike_period_micros == 0, and inert
+  // without a clock (there is no time axis to correlate on).
+  std::uint64_t spike_period_micros = 0;
+  std::uint64_t spike_duration_micros = 0;
+  std::uint64_t spike_extra_micros = 0;
 };
 
 // Decorator that makes a reliable source flaky and slow on demand — the

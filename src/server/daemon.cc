@@ -57,6 +57,7 @@ ServiceResponse QueryDaemon::Submit(const ServiceRequest& request) {
   env.disjunct_concurrency = options_.disjunct_concurrency;
   env.operator_totals = &operator_totals_;
   env.adaptive_cost_model = options_.adaptive_cost_model;
+  env.fanout_feedback = options_.fanout_feedback;
   response = RunQuerySession(env, request, tenants_.QuotaFor(request.tenant));
 
   admission_.Leave();

@@ -47,6 +47,11 @@ class QueryDaemon {
     // Plan from observed stats (AdaptiveCostModel over the shared
     // StatsCatalog) instead of the static heuristics.
     bool adaptive_cost_model = false;
+    // With the adaptive model, feed observed result fanouts back into the
+    // cardinality estimates instead of the 1000-tuple fallback
+    // (SessionEnv::fanout_feedback). `--no-fanout-feedback` turns it off
+    // for A/B runs against the pre-feedback pricing.
+    bool fanout_feedback = true;
     // Directory for cache.json/stats.json spill files; empty = snapshots
     // only on explicit request (op "snapshot" fails without a dir).
     std::string snapshot_dir;

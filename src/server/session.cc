@@ -69,9 +69,17 @@ ServiceResponse RunQuerySession(const SessionEnv& env,
   }
   AdaptiveCostOptions adaptive_options;
   adaptive_options.shared_cache = env.shared_cache;
-  AdaptiveCostModel adaptive_model(
-      &stats_snapshot, CardinalityEstimates::FromCatalog(*env.catalog),
-      adaptive_options);
+  adaptive_options.use_observed_fanouts = env.fanout_feedback;
+  // Catalog `@N` annotations seed the estimates; with fanout feedback on,
+  // relations nobody annotated get the cardinality their observed full
+  // scans measured instead of the 1000-tuple fallback — the planner
+  // learns real selectivities from the workload (docs/WORKLOADS.md).
+  CardinalityEstimates estimates = CardinalityEstimates::FromCatalog(*env.catalog);
+  if (env.adaptive_cost_model && env.fanout_feedback) {
+    estimates.ApplyObservedFanouts(stats_snapshot);
+  }
+  AdaptiveCostModel adaptive_model(&stats_snapshot, std::move(estimates),
+                                   adaptive_options);
 
   ExecutionOptions exec;
   if (env.adaptive_cost_model) exec.cost_model = &adaptive_model;

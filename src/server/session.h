@@ -44,6 +44,13 @@ struct SessionEnv {
   // of the catalog taken under stats_mu — the model reads it lock-free
   // during planning while other sessions keep observing.
   bool adaptive_cost_model = false;
+  // With the adaptive model, let observed result fanouts stand in for the
+  // fallback cardinality: the session's estimates gain each uncovered
+  // relation's observed scan fanout (CardinalityEstimates::
+  // ApplyObservedFanouts) and pattern pricing prefers per-pattern
+  // observed fanouts (AdaptiveCostOptions::use_observed_fanouts). Off
+  // reproduces the pre-feedback planning; ignored by the static model.
+  bool fanout_feedback = true;
 };
 
 // Runs one already-admitted query request end to end: parse, schema

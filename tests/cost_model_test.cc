@@ -273,5 +273,82 @@ TEST(AdaptiveOrderingTest, SchedulesTheFastRelationFirstOnTies) {
   EXPECT_EQ(adaptive_order->body()[1].relation(), "SlowR");
 }
 
+// --- Observed-fanout feedback (docs/WORKLOADS.md section 5) ---------------
+
+// The loop-closing flip: with no declared estimate, the fallback prices
+// L's scan at 1000 tuples and keeps the keyed probe; the observed scan
+// fanout (30 tuples in the whole relation) reveals the scan is cheap
+// and flips the choice. Equal latencies keep the flip about fanout.
+TEST(FanoutFeedbackTest, ObservedScanFanoutFlipsThePatternChoice) {
+  Catalog catalog = Catalog::MustParse("L/2: io oo\n");
+  StatsCatalog stats;
+  RelationStats probe;
+  probe.calls = 10;
+  probe.tuples = 10;
+  probe.p50_latency_micros = 100.0;
+  probe.mean_fanout = 1.0;
+  probe.fanout_calls = 10;
+  stats.Record("L", "io", probe);
+  RelationStats scan;
+  scan.calls = 2;
+  scan.tuples = 60;
+  scan.p50_latency_micros = 100.0;
+  scan.mean_fanout = 30.0;
+  scan.fanout_calls = 2;
+  stats.Record("L", "oo", scan);
+
+  Literal lookup = BodyLiteral("Q(x, v) :- L(x, v).");
+  BoundVariables x_bound{"x"};
+  PlanContext context;
+  context.live_bindings = 2.0;
+
+  AdaptiveCostOptions feedback_off;
+  feedback_off.use_observed_fanouts = false;
+  AdaptiveCostModel fallback(&stats, CardinalityEstimates(), feedback_off);
+  // Probe: 2 calls x 100us + 2 observed tuples; scan: 100us + the
+  // 1000-tuple fallback. The probe wins by almost an order of magnitude.
+  EXPECT_EQ(
+      ChoosePattern(catalog, lookup, x_bound, fallback, context)->word(),
+      "io");
+
+  AdaptiveCostModel informed(&stats, CardinalityEstimates(),
+                             AdaptiveCostOptions{});
+  // Same stats, feedback on (the default): the scan hauls 30 observed
+  // tuples for one call and wins.
+  EXPECT_EQ(
+      ChoosePattern(catalog, lookup, x_bound, informed, context)->word(),
+      "oo");
+}
+
+TEST(FanoutFeedbackTest, ApplyObservedFanoutsFillsOnlyTheGaps) {
+  StatsCatalog stats;
+  RelationStats scan;
+  scan.calls = 2;
+  scan.tuples = 96;
+  scan.mean_fanout = 48.0;
+  scan.fanout_calls = 2;
+  stats.Record("R", "oo", scan);
+  stats.Record("S", "oo", scan);
+  RelationStats probe;
+  probe.calls = 4;
+  probe.tuples = 8;
+  probe.mean_fanout = 2.0;
+  probe.fanout_calls = 4;
+  stats.Record("T", "io", probe);
+
+  CardinalityEstimates estimates;
+  estimates.Set("S", 7.0);
+  estimates.ApplyObservedFanouts(stats);
+
+  // Unestimated R picks up the observed scan fanout...
+  EXPECT_TRUE(estimates.Has("R"));
+  EXPECT_DOUBLE_EQ(estimates.Get("R"), 48.0);
+  // ...the explicit estimate for S always wins...
+  EXPECT_DOUBLE_EQ(estimates.Get("S"), 7.0);
+  // ...and a keyed probe fanout is tuples-per-probe, not a relation
+  // size, so it never becomes a cardinality estimate.
+  EXPECT_FALSE(estimates.Has("T"));
+}
+
 }  // namespace
 }  // namespace ucqn

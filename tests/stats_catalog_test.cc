@@ -349,6 +349,112 @@ TEST(StatsCatalogTest, FromJsonSanitizesNonFiniteLatency) {
   ASSERT_TRUE(again.has_value()) << error;
 }
 
+TEST(StatsCatalogTest, FanoutMergesLikeLatency) {
+  // The fanout pair follows the p50 discipline: call-count-weighted
+  // average over the snapshots that actually observed successful calls.
+  StatsCatalog catalog;
+  RelationStats first;
+  first.calls = 3;
+  first.tuples = 9;
+  first.mean_fanout = 3.0;
+  first.fanout_calls = 3;
+  catalog.Record("R", first);
+  RelationStats second;
+  second.calls = 1;
+  second.tuples = 7;
+  second.mean_fanout = 7.0;
+  second.fanout_calls = 1;
+  catalog.Record("R", second);
+  const RelationStats* merged = catalog.Find("R");
+  ASSERT_NE(merged, nullptr);
+  // (3*3 + 1*7) / 4.
+  EXPECT_DOUBLE_EQ(merged->mean_fanout, 4.0);
+  EXPECT_EQ(merged->fanout_calls, 4u);
+
+  // A zero-fanout-call snapshot (the fully-cached run) changes nothing.
+  RelationStats cached;
+  cached.calls = 5;  // lookups happened, physical fanout never observed
+  catalog.Record("R", cached);
+  EXPECT_DOUBLE_EQ(catalog.Find("R")->mean_fanout, 4.0);
+  EXPECT_EQ(catalog.Find("R")->fanout_calls, 4u);
+
+  // A non-finite observation merges its counters but not its fanout.
+  RelationStats bad;
+  bad.calls = 1;
+  bad.mean_fanout = std::numeric_limits<double>::infinity();
+  bad.fanout_calls = 1;
+  catalog.Record("R", bad);
+  const RelationStats* after_bad = catalog.Find("R");
+  EXPECT_TRUE(std::isfinite(after_bad->mean_fanout));
+  EXPECT_DOUBLE_EQ(after_bad->mean_fanout, 4.0);
+  EXPECT_EQ(after_bad->fanout_calls, 4u);
+}
+
+TEST(StatsCatalogTest, FanoutJsonRoundTripsAndSanitizes) {
+  StatsCatalog catalog;
+  RelationStats observed;
+  observed.calls = 4;
+  observed.tuples = 12;
+  observed.mean_fanout = 3.0;
+  observed.fanout_calls = 4;
+  catalog.Record("R", "io", observed);
+  RelationStats never;  // fanout never observed: the fields stay out
+  never.calls = 2;
+  catalog.Record("S", never);
+
+  const std::string json = catalog.ToJson();
+  EXPECT_NE(json.find("\"fanout\""), std::string::npos);
+  std::string error;
+  std::optional<StatsCatalog> parsed = StatsCatalog::FromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const RelationStats* keyed = parsed->Find("R", "io");
+  ASSERT_NE(keyed, nullptr);
+  EXPECT_DOUBLE_EQ(keyed->mean_fanout, 3.0);
+  EXPECT_EQ(keyed->fanout_calls, 4u);
+  EXPECT_EQ(parsed->ToJson(), json);  // byte-stable
+
+  // A hand-edited snapshot with 1e999 fanout (strtod: +inf) loads with
+  // the pair zeroed, exactly like the p50 path.
+  const std::string corrupt =
+      R"({"relations": {"R": {"calls": 2, "tuples": 6,)"
+      R"( "p50_latency_us": 10, "fanout": 1e999, "fanout_calls": 2}}})";
+  std::optional<StatsCatalog> sanitized =
+      StatsCatalog::FromJson(corrupt, &error);
+  ASSERT_TRUE(sanitized.has_value()) << error;
+  const RelationStats* r = sanitized->Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->mean_fanout, 0.0);
+  EXPECT_EQ(r->fanout_calls, 0u);
+
+  // And a fanout with no fanout_calls at all is a claim with no weight:
+  // it must not survive the load either.
+  const std::string weightless =
+      R"({"relations": {"R": {"calls": 2, "fanout": 5.0}}})";
+  std::optional<StatsCatalog> unweighted =
+      StatsCatalog::FromJson(weightless, &error);
+  ASSERT_TRUE(unweighted.has_value()) << error;
+  EXPECT_DOUBLE_EQ(unweighted->Find("R")->mean_fanout, 0.0);
+  EXPECT_EQ(unweighted->Find("R")->fanout_calls, 0u);
+}
+
+TEST(StatsCatalogTest, ObserveRecordsFanoutFromSuccessfulCalls) {
+  // Observe() derives the fanout from the meter: tuples over successful
+  // (non-error) calls, so a flaky service's failed calls don't dilute
+  // the per-call yield estimate.
+  Catalog schema = Catalog::MustParse("R/1: o\n");
+  Database db = Database::MustParseFacts("R(\"a\").\nR(\"b\").\n");
+  DatabaseSource backend(&db, &schema);
+  MeteredSource metered(&backend);
+  AccessPattern scan = AccessPattern::MustParse("o");
+  metered.Fetch("R", scan, {std::nullopt});
+  StatsCatalog stats;
+  stats.Observe(metered);
+  const RelationStats* r = stats.Find("R");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->fanout_calls, 1u);
+  EXPECT_DOUBLE_EQ(r->mean_fanout, 2.0);  // the scan saw the whole relation
+}
+
 TEST(StatsCatalogTest, ObserveTwiceAccumulates) {
   // The documented contract: Observe() merges, so observing two separate
   // meters (two executions) sums their counters.

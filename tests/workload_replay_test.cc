@@ -1,0 +1,139 @@
+// The in-process replay engine: request accounting, the simulated-clock
+// percentiles and cache-hit curves, determinism, the cost-model A/B
+// contract (plans move calls, never answers), and the concurrent replay
+// path (also exercised under ThreadSanitizer via the `concurrency`
+// label).
+
+#include "gen/workload_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+
+namespace ucqn {
+namespace {
+
+WorkloadSpec SmallWorkload(std::uint64_t requests = 200) {
+  WorkloadGenOptions options;
+  options.seed = 11;
+  options.chain_length = 4;
+  options.enumerable_relations = 2;
+  options.decoy_relations = 2;
+  options.domain_size = 12;
+  options.tuples_per_relation = 20;
+  options.num_queries = 30;
+  options.latency_micros = 100;
+  options.slow_relations = 0;
+  options.failure_probability = 0.0;
+  options.replay.requests = requests;
+  options.replay.tenants = 2;
+  return GenerateWorkload(options);
+}
+
+TEST(WorkloadReplayTest, AccountsForEveryRequest) {
+  const WorkloadSpec spec = SmallWorkload();
+  WorkloadReplayOptions options;
+  options.windows = 4;
+  const WorkloadReplayReport report = ReplayWorkload(spec, options);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.requests, 200u);
+  EXPECT_EQ(report.ok_count +  report.error_count + report.shed_count +
+                report.quota_count,
+            200u);
+  EXPECT_EQ(report.ok_count, 200u);  // no faults, no limits
+  // Injected latency accrues on the simulated clock only.
+  EXPECT_GT(report.sim_wall_micros, 0u);
+  EXPECT_GT(report.physical_calls, 0u);
+  ASSERT_EQ(report.windows.size(), 4u);
+  std::uint64_t windowed = 0;
+  for (const ReplayWindow& window : report.windows) {
+    windowed += window.requests;
+  }
+  EXPECT_EQ(windowed, 200u);
+  // Percentiles are ordered (serial replay reports them).
+  EXPECT_LE(report.p50_micros, report.p95_micros);
+  EXPECT_LE(report.p95_micros, report.p99_micros);
+  // The JSON report carries the headline fields.
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_curve\""), std::string::npos);
+}
+
+TEST(WorkloadReplayTest, ReplayIsDeterministic) {
+  const WorkloadSpec spec = SmallWorkload();
+  const WorkloadReplayReport first = ReplayWorkload(spec, {});
+  const WorkloadReplayReport second = ReplayWorkload(spec, {});
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_EQ(first.answers_hash, second.answers_hash);
+  EXPECT_EQ(first.sim_wall_micros, second.sim_wall_micros);
+  EXPECT_EQ(first.physical_calls, second.physical_calls);
+}
+
+TEST(WorkloadReplayTest, CostModelsMoveCallsNeverAnswers) {
+  const WorkloadSpec spec = SmallWorkload();
+  WorkloadReplayOptions fixed;
+  fixed.cost_model = "static";
+  WorkloadReplayOptions fallback;
+  fallback.cost_model = "adaptive";
+  fallback.fanout_feedback = false;
+  WorkloadReplayOptions informed;
+  informed.cost_model = "adaptive";
+  const WorkloadReplayReport a = ReplayWorkload(spec, fixed);
+  const WorkloadReplayReport b = ReplayWorkload(spec, fallback);
+  const WorkloadReplayReport c = ReplayWorkload(spec, informed);
+  ASSERT_TRUE(a.ok && b.ok && c.ok);
+  EXPECT_EQ(a.ok_count, spec.replay.requests);
+  // The whole A/B contract in one line each: byte-identical answers...
+  EXPECT_EQ(a.answers_hash, b.answers_hash);
+  EXPECT_EQ(a.answers_hash, c.answers_hash);
+  // ...and the informed model never needs more backend calls than the
+  // fallback on this workload (usually strictly fewer).
+  EXPECT_LE(c.physical_calls, b.physical_calls);
+}
+
+TEST(WorkloadReplayTest, RejectsBadOptionsAndEmptyWorkloads) {
+  WorkloadReplayOptions options;
+  options.cost_model = "psychic";
+  EXPECT_FALSE(ReplayWorkload(SmallWorkload(), options).ok);
+  WorkloadSpec empty;
+  EXPECT_FALSE(ReplayWorkload(empty, {}).ok);
+}
+
+TEST(WorkloadReplayTest, ConcurrentReplayMatchesSerialAnswers) {
+  // Four client threads hammer one daemon; the XOR digest is completion-
+  // order independent, so it must equal the serial run's bit for bit.
+  // (This is the test the tsan gate replays under ThreadSanitizer.)
+  const WorkloadSpec spec = SmallWorkload(400);
+  WorkloadReplayOptions serial;
+  const WorkloadReplayReport baseline = ReplayWorkload(spec, serial);
+  ASSERT_TRUE(baseline.ok);
+  WorkloadReplayOptions concurrent;
+  concurrent.threads = 4;
+  concurrent.disjunct_concurrency = 2;
+  const WorkloadReplayReport report = ReplayWorkload(spec, concurrent);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.ok_count, 400u);
+  EXPECT_EQ(report.answers_hash, baseline.answers_hash);
+  // Concurrent replays skip the per-request sim percentiles (interleaved
+  // clock reads would attribute other threads' waits), and say so.
+  EXPECT_EQ(report.p99_micros, 0u);
+}
+
+TEST(WorkloadReplayTest, AdmissionAndQuotaLimitsSurfaceInTheReport) {
+  // One in-flight slot, no queue, four threads: some requests must shed;
+  // the report's buckets still account for every request.
+  const WorkloadSpec spec = SmallWorkload(200);
+  WorkloadReplayOptions options;
+  options.threads = 4;
+  options.max_in_flight = 1;
+  options.max_queued = 1;
+  const WorkloadReplayReport report = ReplayWorkload(spec, options);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.ok_count + report.error_count + report.shed_count +
+                report.quota_count,
+            200u);
+  EXPECT_GT(report.shed_count, 0u);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,0 +1,153 @@
+// The workload generator and its versioned file format: seeded
+// determinism down to the byte, the parse/serialize round-trip, the
+// adversarial shape of the generated schema, and the Zipf sampler the
+// replay plans lean on. docs/WORKLOADS.md is the prose companion.
+
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "ast/parser.h"
+#include "feasibility/feasible.h"
+
+namespace ucqn {
+namespace {
+
+WorkloadGenOptions SmallOptions(std::uint64_t seed = 11) {
+  WorkloadGenOptions options;
+  options.seed = seed;
+  options.chain_length = 4;
+  options.enumerable_relations = 2;
+  options.decoy_relations = 3;
+  options.domain_size = 12;
+  options.tuples_per_relation = 20;
+  options.num_queries = 40;
+  options.flaky_relations = 1;
+  options.spike_period_micros = 10000;
+  options.spike_duration_micros = 1000;
+  options.spike_extra_micros = 5000;
+  return options;
+}
+
+TEST(WorkloadGenTest, SameSeedIsByteIdentical) {
+  const std::string first = SerializeWorkload(GenerateWorkload(SmallOptions()));
+  const std::string second =
+      SerializeWorkload(GenerateWorkload(SmallOptions()));
+  EXPECT_EQ(first, second);
+  // Covers every section at once: schema, facts, fault plan (including
+  // the flaky override and the correlated spike), replay plan, queries.
+  EXPECT_NE(first.find("[schema]"), std::string::npos);
+  EXPECT_NE(first.find("[facts]"), std::string::npos);
+  EXPECT_NE(first.find("[faults]"), std::string::npos);
+  EXPECT_NE(first.find("[replay]"), std::string::npos);
+  EXPECT_NE(first.find("[queries]"), std::string::npos);
+
+  const std::string other =
+      SerializeWorkload(GenerateWorkload(SmallOptions(12)));
+  EXPECT_NE(first, other);
+}
+
+TEST(WorkloadGenTest, ParseRoundTripIsByteIdentical) {
+  const std::string text = SerializeWorkload(GenerateWorkload(SmallOptions()));
+  std::string error;
+  std::optional<WorkloadSpec> parsed = ParseWorkload(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(SerializeWorkload(*parsed), text);
+}
+
+TEST(WorkloadGenTest, ParserRejectsMalformedFiles) {
+  std::string error;
+  EXPECT_FALSE(ParseWorkload("not a workload", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      ParseWorkload("# ucqn-workload v99\nseed 1\n", &error).has_value());
+  // Truncated mid-section.
+  const std::string text = SerializeWorkload(GenerateWorkload(SmallOptions()));
+  EXPECT_FALSE(
+      ParseWorkload(text.substr(0, text.find("[queries]") + 9), &error)
+          .has_value());
+}
+
+TEST(WorkloadGenTest, SchemaIsAdversarialByConstruction) {
+  const WorkloadSpec spec = GenerateWorkload(SmallOptions());
+  // Odd chain links are reachable only through their bound first slot;
+  // even links also offer the scan that gives the cost model a choice.
+  for (int i = 0; i < 4; ++i) {
+    const RelationSchema* link = spec.catalog.Find("C" + std::to_string(i));
+    ASSERT_NE(link, nullptr);
+    std::set<std::string> words;
+    for (const AccessPattern& pattern : link->patterns()) {
+      words.insert(pattern.word());
+    }
+    EXPECT_TRUE(words.count("io")) << "C" << i;
+    EXPECT_EQ(words.count("oo"), i % 2 == 0 ? 1u : 0u) << "C" << i;
+  }
+  // Enumerable relations scan, so negated literals can range over them.
+  for (int e = 0; e < 2; ++e) {
+    const RelationSchema* domain = spec.catalog.Find("E" + std::to_string(e));
+    ASSERT_NE(domain, nullptr);
+    EXPECT_EQ(domain->patterns().front().word(), "o");
+  }
+  // Every template parses and is feasible under the restricted patterns —
+  // the generator never emits a query the runtime would refuse.
+  ASSERT_EQ(spec.queries.size(), 40u);
+  for (const std::string& text : spec.queries) {
+    UnionQuery query = MustParseUnionQuery(text);
+    EXPECT_TRUE(IsFeasible(query, spec.catalog)) << text;
+  }
+}
+
+TEST(WorkloadGenTest, FaultPlanCarriesTheConfiguredAdversity) {
+  const WorkloadSpec spec = GenerateWorkload(SmallOptions());
+  EXPECT_EQ(spec.faults.latency_micros, 200u);
+  // slow_relations = 1: the last chain link pays 10x.
+  ASSERT_TRUE(spec.faults.relation_latency_micros.count("C3"));
+  EXPECT_EQ(spec.faults.relation_latency_micros.at("C3"), 2000u);
+  // flaky_relations = 1: the first enumerable relation gets the override.
+  ASSERT_TRUE(spec.faults.relation_failure_probability.count("E0"));
+  EXPECT_DOUBLE_EQ(spec.faults.relation_failure_probability.at("E0"), 0.05);
+  EXPECT_EQ(spec.faults.spike_period_micros, 10000u);
+  EXPECT_EQ(spec.faults.spike_extra_micros, 5000u);
+}
+
+TEST(WorkloadGenTest, RequestSequenceIsDeterministicAndCapped) {
+  WorkloadSpec spec = GenerateWorkload(SmallOptions());
+  spec.replay.requests = 500;
+  spec.replay.tenants = 3;
+  const std::vector<ReplayRequest> first = BuildRequestSequence(spec);
+  const std::vector<ReplayRequest> second = BuildRequestSequence(spec);
+  ASSERT_EQ(first.size(), 500u);
+  for (std::size_t r = 0; r < first.size(); ++r) {
+    EXPECT_EQ(first[r].query_index, second[r].query_index);
+    EXPECT_EQ(first[r].tenant, second[r].tenant);
+    EXPECT_EQ(first[r].tenant, static_cast<int>(r % 3));
+    ASSERT_LT(first[r].query_index, spec.queries.size());
+  }
+  EXPECT_EQ(BuildRequestSequence(spec, 20).size(), 20u);
+}
+
+TEST(ZipfSamplerTest, SkewConcentratesOnLowRanks) {
+  std::mt19937_64 rng(5);
+  ZipfSampler skewed(100, 1.2);
+  std::map<std::size_t, int> counts;
+  for (int draw = 0; draw < 20000; ++draw) ++counts[skewed.Sample(&rng)];
+  // Rank 0 dominates rank 10 dominates rank 90 — monotone in expectation
+  // with wide margins at this sample size.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  EXPECT_GT(counts[0], 2000);
+
+  // s = 0 is uniform: the head cannot dominate 100-fold.
+  ZipfSampler uniform(100, 0.0);
+  counts.clear();
+  for (int draw = 0; draw < 20000; ++draw) ++counts[uniform.Sample(&rng)];
+  EXPECT_LT(counts[0], 600);
+  EXPECT_GT(counts[99], 50);
+}
+
+}  // namespace
+}  // namespace ucqn

@@ -1,28 +1,30 @@
 # check_flag_docs.cmake — keep flag documentation in sync with the binaries.
 #
 # Run as a script:
-#   cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DREPO_ROOT=<repo root> \
-#       -P check_flag_docs.cmake
+#   cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DUCQN_WORKLOAD=<ucqn_workload> \
+#       -DREPO_ROOT=<repo root> -P check_flag_docs.cmake
 #
 # Two directions:
-#   1. every `--flag` token mentioned in README.md or docs/RUNTIME.md must be
-#      a flag that `ucqnc --help` or `ucqnd --help` advertises (modulo an
-#      allowlist of foreign tools' flags, e.g. ctest's --output-on-failure);
-#   2. every flag either binary advertises must be documented in
-#      docs/RUNTIME.md (the flag reference tables).
+#   1. every `--flag` token mentioned in README.md, docs/RUNTIME.md, or
+#      docs/WORKLOADS.md must be a flag that `ucqnc --help`, `ucqnd --help`,
+#      or `ucqn_workload --help` advertises (modulo an allowlist of foreign
+#      tools' flags, e.g. ctest's --output-on-failure);
+#   2. every flag any of the binaries advertises must be documented in
+#      docs/RUNTIME.md or docs/WORKLOADS.md (the flag reference tables).
 #
 # Wired as the `docs_flag_check` ctest (labels: tier1;docs).
 
 cmake_minimum_required(VERSION 3.16)  # script mode: enables IN_LIST (CMP0057)
 
-if(NOT DEFINED UCQNC OR NOT DEFINED UCQND OR NOT DEFINED REPO_ROOT)
+if(NOT DEFINED UCQNC OR NOT DEFINED UCQND OR NOT DEFINED UCQN_WORKLOAD
+   OR NOT DEFINED REPO_ROOT)
   message(FATAL_ERROR
-      "usage: cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DREPO_ROOT=<repo> -P check_flag_docs.cmake")
+      "usage: cmake -DUCQNC=<ucqnc> -DUCQND=<ucqnd> -DUCQN_WORKLOAD=<ucqn_workload> -DREPO_ROOT=<repo> -P check_flag_docs.cmake")
 endif()
 
 # The authoritative flag set: every double-dash token in each help text.
 set(help_flags "")
-foreach(binary "${UCQNC}" "${UCQND}")
+foreach(binary "${UCQNC}" "${UCQND}" "${UCQN_WORKLOAD}")
   execute_process(
       COMMAND "${binary}" --help
       OUTPUT_VARIABLE help_text
@@ -55,7 +57,7 @@ set(foreign_flags
 set(problems "")
 
 # Direction 1: documented flags must exist in one of the binaries.
-foreach(doc README.md docs/RUNTIME.md)
+foreach(doc README.md docs/RUNTIME.md docs/WORKLOADS.md)
   file(READ "${REPO_ROOT}/${doc}" doc_text)
   string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" doc_flags "${doc_text}")
   list(REMOVE_DUPLICATES doc_flags)
@@ -64,18 +66,21 @@ foreach(doc README.md docs/RUNTIME.md)
       continue()
     endif()
     if(NOT flag IN_LIST help_flags)
-      list(APPEND problems "${doc} documents ${flag}, which neither ucqnc nor ucqnd --help accepts")
+      list(APPEND problems "${doc} documents ${flag}, which no binary's --help accepts")
     endif()
   endforeach()
 endforeach()
 
-# Direction 2: every binary flag must be documented in docs/RUNTIME.md.
+# Direction 2: every binary flag must be documented in docs/RUNTIME.md or
+# docs/WORKLOADS.md.
 file(READ "${REPO_ROOT}/docs/RUNTIME.md" runtime_md)
-string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" runtime_flags "${runtime_md}")
+file(READ "${REPO_ROOT}/docs/WORKLOADS.md" workloads_md)
+string(REGEX MATCHALL "--[a-z][a-z0-9_-]*" runtime_flags
+       "${runtime_md} ${workloads_md}")
 list(REMOVE_DUPLICATES runtime_flags)
 foreach(flag IN LISTS help_flags)
   if(NOT flag IN_LIST runtime_flags)
-    list(APPEND problems "a binary's --help advertises ${flag}, but docs/RUNTIME.md never mentions it")
+    list(APPEND problems "a binary's --help advertises ${flag}, but neither docs/RUNTIME.md nor docs/WORKLOADS.md mentions it")
   endif()
 endforeach()
 

@@ -1,0 +1,79 @@
+# check_workload_stdio.cmake — tier-1 smoke for the workload harness.
+#
+# Run as a script:
+#   cmake -DUCQN_WORKLOAD=<ucqn_workload> -DUCQND=<ucqnd> \
+#       -DWORK_DIR=<scratch dir> -P check_workload_stdio.cmake
+#
+# Generates a small seeded workload, then replays it twice:
+#   1. through a child `ucqnd --stdio` (the wire path — a few hundred
+#      protocol lines, every request must come back ok);
+#   2. in-process on the simulated clock with --report-json, checking the
+#      report lands and carries a percentile field.
+#
+# Wired as the `workload_stdio_check` ctest (labels: tier1;workload;server).
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED UCQN_WORKLOAD OR NOT DEFINED UCQND OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DUCQN_WORKLOAD=<bin> -DUCQND=<bin> -DWORK_DIR=<dir> -P check_workload_stdio.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(workload_file "${WORK_DIR}/smoke_workload.txt")
+
+# Small but non-trivial: 120 templates over a 4-link chain, 300 requests.
+# No injected failures — every request must succeed on both paths.
+execute_process(
+    COMMAND "${UCQN_WORKLOAD}" --generate --out "${workload_file}"
+        --seed 11 --chain-length 4 --enumerable 2 --decoys 2
+        --domain-size 16 --tuples 32 --queries 120
+        --requests 300 --tenants 3
+    OUTPUT_VARIABLE gen_out
+    ERROR_VARIABLE gen_err
+    RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${gen_rc}): ${gen_out}${gen_err}")
+endif()
+if(NOT EXISTS "${workload_file}")
+  message(FATAL_ERROR "generate reported success but wrote no file")
+endif()
+
+# Path 1: the wire. Every request travels as a protocol line through a
+# child `ucqnd --stdio`.
+execute_process(
+    COMMAND "${UCQN_WORKLOAD}" --replay "${workload_file}"
+        --via-daemon "${UCQND}" --workdir "${WORK_DIR}" --expect-all-ok
+    OUTPUT_VARIABLE wire_out
+    ERROR_VARIABLE wire_err
+    RESULT_VARIABLE wire_rc)
+if(NOT wire_rc EQUAL 0)
+  message(FATAL_ERROR "via-daemon replay failed (${wire_rc}): ${wire_out}${wire_err}")
+endif()
+if(NOT wire_out MATCHES "300 requests, 300 ok")
+  message(FATAL_ERROR "via-daemon replay did not answer all 300 requests ok: ${wire_out}")
+endif()
+
+# Path 2: in-process on the simulated clock, with the JSON report.
+set(report_file "${WORK_DIR}/smoke_report.json")
+execute_process(
+    COMMAND "${UCQN_WORKLOAD}" --replay "${workload_file}"
+        --expect-all-ok --cache-ttl-ms 1000 --report-json "${report_file}"
+    OUTPUT_VARIABLE proc_out
+    ERROR_VARIABLE proc_err
+    RESULT_VARIABLE proc_rc)
+if(NOT proc_rc EQUAL 0)
+  message(FATAL_ERROR "in-process replay failed (${proc_rc}): ${proc_out}${proc_err}")
+endif()
+if(NOT EXISTS "${report_file}")
+  message(FATAL_ERROR "in-process replay wrote no --report-json file")
+endif()
+file(READ "${report_file}" report_text)
+foreach(field "\"p99_us\"" "\"hit_curve\"" "\"answers_hash\"")
+  if(NOT report_text MATCHES "${field}")
+    message(FATAL_ERROR "replay report is missing ${field}: ${report_text}")
+  endif()
+endforeach()
+
+message(STATUS "workload smoke ok: 300 requests over the wire and in-process")

@@ -146,6 +146,9 @@ constexpr char kUsage[] =
     "                       model behind pattern choice + literal ordering\n"
     "  --stats-in FILE      stats snapshot feeding the adaptive model\n"
     "  --stats-out FILE     write this run's observed stats snapshot\n"
+    "  --no-fanout-feedback with the adaptive model, price unknown relations\n"
+    "                       at the fallback cardinality instead of observed\n"
+    "                       result fanouts (see docs/WORKLOADS.md)\n"
     "  --explain            print per-literal pattern decisions with costs\n"
     "\n"
     "  --help               print this text and exit\n";
@@ -222,6 +225,7 @@ int main(int argc, char** argv) {
   bool cost_model_explicit = false;
   const char* stats_in_path = nullptr;
   const char* stats_out_path = nullptr;
+  bool fanout_feedback = true;
   bool explain_plans = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -332,6 +336,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stats-out") == 0) {
       if (!next(stats_out_path)) return Usage();
       runtime.metering = true;  // the snapshot is read off the meter
+    } else if (std::strcmp(argv[i], "--no-fanout-feedback") == 0) {
+      fanout_feedback = false;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain_plans = true;
     } else {
@@ -467,8 +473,14 @@ int main(int argc, char** argv) {
   StaticCostModel static_model(exec.pattern_preference);
   AdaptiveCostOptions adaptive_options;
   if (shared_cache) adaptive_options.shared_cache = &shared_store;
-  AdaptiveCostModel adaptive_model(&stats,
-                                   CardinalityEstimates::FromCatalog(*catalog),
+  adaptive_options.use_observed_fanouts = fanout_feedback;
+  // With feedback on (the default), a --stats-in snapshot's observed scan
+  // fanouts fill the estimate gaps the catalog's @N annotations leave, so
+  // relations the fallback would price at 1000 tuples are priced at their
+  // measured size (docs/WORKLOADS.md, "Fanout feedback").
+  CardinalityEstimates estimates = CardinalityEstimates::FromCatalog(*catalog);
+  if (fanout_feedback) estimates.ApplyObservedFanouts(stats);
+  AdaptiveCostModel adaptive_model(&stats, std::move(estimates),
                                    adaptive_options);
   const bool adaptive = std::strcmp(cost_model_name, "adaptive") == 0;
   const CostModel* model =
@@ -667,7 +679,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", shared_store.ToText().c_str());
     }
     const auto snapshot_and_write = [&]() {
-      if (stats_out_path == nullptr) return;
+      if (stats_out_path == nullptr || stack.meter() == nullptr) return;
       StatsCatalog snapshot;
       snapshot.Observe(*stack.meter());
       write_stats_out(snapshot);

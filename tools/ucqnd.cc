@@ -107,6 +107,10 @@ constexpr char kUsage[] =
     "  --cost-model static|adaptive\n"
     "                       plan from heuristics or from the observed stats\n"
     "                       the sessions accumulate\n"
+    "  --no-fanout-feedback with the adaptive model, keep pricing unknown\n"
+    "                       relations at the fallback cardinality instead of\n"
+    "                       their observed result fanouts (A/B baseline; see\n"
+    "                       docs/WORKLOADS.md)\n"
     "\n"
     "  --help               print this text and exit\n";
 
@@ -208,6 +212,8 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.adaptive_cost_model = std::strcmp(name, "adaptive") == 0;
+    } else if (std::strcmp(argv[i], "--no-fanout-feedback") == 0) {
+      options.fanout_feedback = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage();
