@@ -14,15 +14,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ast/parser.h"
+#include "eval/answer_star.h"
+#include "eval/delta.h"
 #include "gen/workload.h"
 #include "gen/workload_replay.h"
+#include "runtime/clock.h"
+#include "runtime/fault_injection.h"
 
 namespace ucqn {
 namespace {
@@ -44,7 +55,7 @@ std::uint64_t RequestBudget() {
 // one scan would do. Uniform service latency keeps the comparison
 // about call counts. No failures — every request must come back ok
 // and the digests must match across configurations.
-WorkloadSpec BenchWorkload(std::uint64_t requests) {
+WorkloadGenOptions BenchGenOptions(std::uint64_t requests) {
   WorkloadGenOptions options;
   options.seed = 20;
   options.chain_length = 6;
@@ -64,7 +75,11 @@ WorkloadSpec BenchWorkload(std::uint64_t requests) {
   options.replay.requests = requests;
   options.replay.zipf_s = 1.0;
   options.replay.tenants = 4;
-  return GenerateWorkload(options);
+  return options;
+}
+
+WorkloadSpec BenchWorkload(std::uint64_t requests) {
+  return GenerateWorkload(BenchGenOptions(requests));
 }
 
 struct ConfigRun {
@@ -95,9 +110,12 @@ std::string FormatDouble(double v) {
 }
 
 // BENCH_runtime.json is owned by bench_runtime; this bench only merges
-// (or replaces) the `workload` block, which is canonically last in the
-// object, so the existing suffix can be truncated and re-appended.
-void MergeWorkloadBlock(const char* path, const std::string& block) {
+// (or replaces) its own blocks, which are canonically last in the
+// object (`workload` then `delta`), so the existing suffix can be
+// truncated and re-appended. main() always rewrites them in that order,
+// so truncating at `workload` taking the old `delta` block with it is
+// fine — the next merge puts a fresh one back.
+void MergeBlock(const char* path, const char* key, const std::string& block) {
   std::string existing;
   {
     std::ifstream in(path);
@@ -107,7 +125,8 @@ void MergeWorkloadBlock(const char* path, const std::string& block) {
       existing = buffer.str();
     }
   }
-  const std::string::size_type tagged = existing.find(", \"workload\":");
+  const std::string tag = std::string(", \"") + key + "\":";
+  const std::string::size_type tagged = existing.find(tag);
   if (tagged != std::string::npos) {
     existing.erase(tagged);
   } else {
@@ -118,7 +137,8 @@ void MergeWorkloadBlock(const char* path, const std::string& block) {
     if (!existing.empty() && existing.back() == '}') existing.pop_back();
   }
   if (existing.empty()) existing = "{\"bench\": \"ucqn\"";
-  const std::string merged = existing + ", \"workload\": " + block + "}\n";
+  const std::string merged =
+      existing + ", \"" + key + "\": " + block + "}\n";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_workload: cannot write %s\n", path);
@@ -126,7 +146,7 @@ void MergeWorkloadBlock(const char* path, const std::string& block) {
   }
   std::fputs(merged.c_str(), out);
   std::fclose(out);
-  std::printf("merged workload block into %s\n", path);
+  std::printf("merged %s block into %s\n", key, path);
 }
 
 void WriteWorkloadBlock(const char* path) {
@@ -173,7 +193,7 @@ void WriteWorkloadBlock(const char* path) {
     block += "]}";
   }
   block += "]}";
-  MergeWorkloadBlock(path, block);
+  MergeBlock(path, "workload", block);
 
   for (const ConfigRun& run : runs) {
     std::printf(
@@ -183,6 +203,197 @@ void WriteWorkloadBlock(const char* path) {
         static_cast<unsigned long long>(run.report.physical_calls),
         static_cast<unsigned long long>(run.report.p99_micros),
         run.report.answers_hash == baseline_hash ? "match" : "MISMATCH");
+  }
+}
+
+// The delta A/B (docs/RUNTIME.md §12): a ~1%-update stream over the
+// same adversarial instance, answered two ways for a pool of standing
+// queries. The `maintain` arm pushes each batch through
+// StandingQuery::ApplyDeltas (unaffected disjuncts never re-run); the
+// `rerun` arm is invalidate-and-rerun — after each batch it re-answers
+// every standing query whose relations the batch touched from scratch.
+// Both arms charge the same per-call service latency to a simulated
+// clock. The acceptance bar: the maintain arm spends >= 5x fewer
+// physical calls and less simulated wall-clock, with the maintained
+// brackets byte-identical to the rerun arm's after every batch.
+void WriteDeltaBlock(const char* path) {
+  // The ratio story saturates long before 100k requests; cap the stream
+  // so the full bench stays minutes, not hours. The smoke's env cap
+  // still applies below this.
+  const std::uint64_t requests =
+      std::min<std::uint64_t>(RequestBudget(), 20000);
+  WorkloadGenOptions gen = BenchGenOptions(requests);
+  gen.update_rate = 0.01;
+  const WorkloadSpec spec = GenerateWorkload(gen);
+  if (spec.deltas.empty()) {
+    std::fprintf(stderr, "bench_workload: delta arm has no update events\n");
+    return;
+  }
+
+  // The standing pool: the first few templates that parse.
+  std::vector<UnionQuery> queries;
+  for (const std::string& text : spec.queries) {
+    std::string error;
+    std::optional<UnionQuery> query = ParseUnionQuery(text, &error);
+    if (query.has_value()) queries.push_back(std::move(*query));
+    if (queries.size() == 8) break;
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "bench_workload: no parsable templates\n");
+    return;
+  }
+
+  // Group the event stream into per-request-index batches, one
+  // RelationDelta per touched relation — the same grouping the workload
+  // replay and the daemon's delta op use.
+  std::map<std::uint64_t, std::vector<RelationDelta>> batches;
+  for (const WorkloadDeltaEvent& event : spec.deltas) {
+    std::vector<RelationDelta>& groups = batches[event.at_request];
+    RelationDelta* group = nullptr;
+    for (RelationDelta& candidate : groups) {
+      if (candidate.relation == event.relation) group = &candidate;
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      groups.back().relation = event.relation;
+      group = &groups.back();
+    }
+    (event.insert ? group->inserts : group->deletes).push_back(event.tuple);
+  }
+
+  // Two identical instances, clocks, and latency-charging transports.
+  Database db_maintain = spec.database;
+  Database db_rerun = spec.database;
+  SimulatedClock clock_maintain;
+  SimulatedClock clock_rerun;
+  DatabaseSource inner_maintain(&db_maintain, &spec.catalog);
+  DatabaseSource inner_rerun(&db_rerun, &spec.catalog);
+  FaultInjectingSource source_maintain(&inner_maintain, spec.faults,
+                                       &clock_maintain);
+  FaultInjectingSource source_rerun(&inner_rerun, spec.faults, &clock_rerun);
+
+  std::string error;
+  std::vector<std::unique_ptr<StandingQuery>> standing;
+  for (const UnionQuery& query : queries) {
+    std::unique_ptr<StandingQuery> one =
+        StandingQuery::Build(query, spec.catalog, &source_maintain, &error);
+    if (one == nullptr) {
+      std::fprintf(stderr, "bench_workload: standing build failed: %s\n",
+                   error.c_str());
+      return;
+    }
+    standing.push_back(std::move(one));
+  }
+  for (const UnionQuery& query : queries) {
+    const AnswerStarReport initial =
+        AnswerStar(query, spec.catalog, &source_rerun);
+    if (!initial.ok) {
+      std::fprintf(stderr, "bench_workload: initial rerun failed: %s\n",
+                   initial.error.c_str());
+      return;
+    }
+  }
+  // Both arms paid their initial full evaluation; the A/B measures the
+  // update phase only.
+  const std::uint64_t maintain_base_calls = inner_maintain.stats().calls;
+  const std::uint64_t rerun_base_calls = inner_rerun.stats().calls;
+  const std::uint64_t maintain_base_wall = clock_maintain.NowMicros();
+  const std::uint64_t rerun_base_wall = clock_rerun.NowMicros();
+
+  bool answers_match = true;
+  std::uint64_t applied_batches = 0;
+  std::uint64_t reruns = 0;
+  for (const auto& [index, groups] : batches) {
+    std::vector<AppliedDelta> applied;
+    std::set<std::string> changed;
+    for (const RelationDelta& group : groups) {
+      std::optional<AppliedDelta> one_m =
+          ApplyDelta(&db_maintain, group, &error);
+      std::optional<AppliedDelta> one_r = ApplyDelta(&db_rerun, group, &error);
+      if (!one_m.has_value() || !one_r.has_value()) {
+        std::fprintf(stderr, "bench_workload: delta rejected: %s\n",
+                     error.c_str());
+        return;
+      }
+      if (!one_m->empty()) {
+        changed.insert(group.relation);
+        applied.push_back(std::move(*one_m));
+      }
+    }
+    if (applied.empty()) continue;
+    ++applied_batches;
+    for (std::unique_ptr<StandingQuery>& query : standing) {
+      if (!query->ApplyDeltas(applied, &source_maintain, &error)) {
+        std::fprintf(stderr, "bench_workload: maintenance failed: %s\n",
+                     error.c_str());
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      bool affected = false;
+      for (const std::string& relation : changed) {
+        if (standing[i]->relations().count(relation) != 0) affected = true;
+      }
+      if (!affected) continue;
+      ++reruns;
+      const AnswerStarReport fresh =
+          AnswerStar(queries[i], spec.catalog, &source_rerun);
+      if (!fresh.ok) {
+        std::fprintf(stderr, "bench_workload: rerun failed: %s\n",
+                     fresh.error.c_str());
+        return;
+      }
+      const StandingAnswers maintained = standing[i]->Answers();
+      if (maintained.under != fresh.under || maintained.over != fresh.over ||
+          maintained.delta != fresh.delta ||
+          maintained.complete != fresh.complete) {
+        answers_match = false;
+      }
+    }
+  }
+
+  const std::uint64_t maintain_calls =
+      inner_maintain.stats().calls - maintain_base_calls;
+  const std::uint64_t rerun_calls =
+      inner_rerun.stats().calls - rerun_base_calls;
+  const std::uint64_t maintain_wall =
+      clock_maintain.NowMicros() - maintain_base_wall;
+  const std::uint64_t rerun_wall = clock_rerun.NowMicros() - rerun_base_wall;
+  const double call_ratio =
+      maintain_calls == 0 ? static_cast<double>(rerun_calls)
+                          : static_cast<double>(rerun_calls) /
+                                static_cast<double>(maintain_calls);
+
+  std::string block = "{";
+  block += "\"requests\": " + std::to_string(requests);
+  block += ", \"update_rate\": " + FormatDouble(gen.update_rate);
+  block += ", \"batches\": " + std::to_string(applied_batches);
+  block += ", \"standing_queries\": " + std::to_string(queries.size());
+  block += ", \"reruns\": " + std::to_string(reruns);
+  block += ", \"maintain\": {\"physical_calls\": " +
+           std::to_string(maintain_calls) +
+           ", \"sim_wall_us\": " + std::to_string(maintain_wall) + "}";
+  block += ", \"rerun\": {\"physical_calls\": " + std::to_string(rerun_calls) +
+           ", \"sim_wall_us\": " + std::to_string(rerun_wall) + "}";
+  block += ", \"call_ratio\": " + FormatDouble(call_ratio);
+  block += ", \"answers_match\": ";
+  block += answers_match ? "true" : "false";
+  block += "}";
+  MergeBlock(path, "delta", block);
+
+  std::printf(
+      "delta maintain: %llu calls, %llu us; rerun: %llu calls, %llu us; "
+      "ratio %.1fx, answers %s\n",
+      static_cast<unsigned long long>(maintain_calls),
+      static_cast<unsigned long long>(maintain_wall),
+      static_cast<unsigned long long>(rerun_calls),
+      static_cast<unsigned long long>(rerun_wall), call_ratio,
+      answers_match ? "match" : "MISMATCH");
+  if (!answers_match || call_ratio < 5.0 || maintain_wall >= rerun_wall) {
+    std::fprintf(stderr,
+                 "bench_workload: delta acceptance bar missed "
+                 "(need >=5x fewer calls, lower sim wall, matching answers)\n");
+    std::exit(1);
   }
 }
 
@@ -220,6 +431,7 @@ BENCHMARK(BM_WorkloadReplay)->Arg(0)->Arg(1);
 
 int main(int argc, char** argv) {
   ucqn::WriteWorkloadBlock("BENCH_runtime.json");
+  ucqn::WriteDeltaBlock("BENCH_runtime.json");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

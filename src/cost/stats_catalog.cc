@@ -90,6 +90,16 @@ void StatsCatalog::Observe(const MeteredSource& meter) {
   }
 }
 
+std::size_t StatsCatalog::InvalidateRelation(const std::string& relation) {
+  std::size_t erased = relations_.erase(relation);
+  auto split = patterns_.find(relation);
+  if (split != patterns_.end()) {
+    erased += split->second.size();
+    patterns_.erase(split);
+  }
+  return erased;
+}
+
 const RelationStats* StatsCatalog::Find(const std::string& relation) const {
   auto it = relations_.find(relation);
   return it == relations_.end() ? nullptr : &it->second;

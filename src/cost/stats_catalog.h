@@ -71,6 +71,13 @@ class StatsCatalog {
   // meter only once (or Reset it).
   void Observe(const MeteredSource& meter);
 
+  // Forgets everything observed about `relation` — the pooled entry and
+  // the whole per-pattern split — so AdaptiveCostModel re-prices it from
+  // its defaults after an invalidation. (Dropping only the cache would
+  // leave the planner trusting pre-update latencies and fanouts.) Returns
+  // the number of stats entries erased (pooled + keyed).
+  std::size_t InvalidateRelation(const std::string& relation);
+
   // Pooled stats; nullptr when the relation has never been observed.
   const RelationStats* Find(const std::string& relation) const;
   // Keyed stats for one access pattern; nullptr when that (relation,

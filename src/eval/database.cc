@@ -32,6 +32,12 @@ void Database::Insert(const std::string& relation, Tuple tuple) {
   relations_[relation].insert(std::move(tuple));
 }
 
+bool Database::Remove(const std::string& relation, const Tuple& tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  return it->second.erase(tuple) > 0;
+}
+
 const std::set<Tuple>* Database::Find(const std::string& relation) const {
   auto it = relations_.find(relation);
   if (it == relations_.end()) return nullptr;

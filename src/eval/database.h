@@ -33,6 +33,9 @@ class Database {
   // variables or if the relation was previously used with another arity.
   void Insert(const std::string& relation, Tuple tuple);
 
+  // Removes `tuple` from `relation`; returns true when it was present.
+  bool Remove(const std::string& relation, const Tuple& tuple);
+
   // The tuples of `relation`; nullptr if the relation has no tuples.
   const std::set<Tuple>* Find(const std::string& relation) const;
 

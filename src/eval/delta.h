@@ -1,0 +1,187 @@
+#ifndef UCQN_EVAL_DELTA_H_
+#define UCQN_EVAL_DELTA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/substitution.h"
+#include "eval/database.h"
+#include "eval/source.h"
+#include "schema/catalog.h"
+
+namespace ucqn {
+
+// ---------------------------------------------------------------------------
+// Delta feeds: per-relation insert/delete tuple sets, propagated through the
+// materialized per-disjunct chains of a standing query so answers stay
+// current without re-running unaffected literals (ROADMAP "incremental
+// evaluation under source updates"; Kara/Nikolic/Olteanu/Zhang's
+// delta-propagation discipline specialised to the left-to-right executable
+// plans PLAN* emits).
+// ---------------------------------------------------------------------------
+
+// One relation's update batch as the client states it. Deletes apply before
+// inserts, so R_new = (R_old \ deletes) ∪ inserts: a tuple named in both
+// sets ends up present (delete-then-reinsert within one batch is a no-op).
+struct RelationDelta {
+  std::string relation;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+};
+
+// The same update normalized against the pre-update instance: `inserted`
+// holds only tuples that actually appeared (I \ R_old), `deleted` only
+// tuples that actually vanished ((R_old ∩ D) \ I). Maintenance and scoped
+// cache invalidation both work off the effective sets, so a delta that
+// re-states existing tuples touches nothing.
+struct AppliedDelta {
+  std::string relation;
+  std::set<Tuple> inserted;
+  std::set<Tuple> deleted;
+
+  bool empty() const { return inserted.empty() && deleted.empty(); }
+  // inserted ∪ deleted — the tuples a cache entry must be probed against.
+  std::vector<Tuple> ChangedTuples() const;
+};
+
+// Applies `delta` to `db` (deletes first, then inserts) and returns the
+// effective delta. Returns nullopt and sets `*error` (when non-null) on
+// non-ground tuples or an arity mismatch with existing rows of the
+// relation; `db` is left unchanged on error.
+std::optional<AppliedDelta> ApplyDelta(Database* db, const RelationDelta& delta,
+                                       std::string* error = nullptr);
+
+// One stage of a materialized chain: the literal and the access pattern it
+// was compiled with. Patterns never change the answer set (only the call
+// cost), so the Build-time choice is recorded once and reused for every
+// maintenance fetch.
+struct MaintainedStage {
+  Literal literal;
+  AccessPattern pattern;
+};
+
+// One executable plan disjunct with every intermediate binding frontier
+// retained — the chain-granular build-side state of the operator DAG
+// (AccessScan → HashJoin → HashAntiJoin → Materialize), kept as per-stage
+// substitution frontiers. frontiers[k] holds the rows surviving stages
+// [0, k): frontiers[0] is the single empty binding, frontiers[n] the full
+// witness set. Rows are duplicate-free derivations — each row bijectively
+// determines the tuple it used at every earlier positive stage — so set
+// maintenance needs no multiplicity counters: deleting a base tuple deletes
+// exactly the rows whose recorded derivation used it.
+struct MaintainedChain {
+  ConjunctiveQuery plan;
+  std::vector<MaintainedStage> stages;
+  std::vector<std::vector<Substitution>> frontiers;
+};
+
+// Compiles `plan` (an executable PLAN* disjunct) into a chain and
+// materializes every frontier against `source`. Returns nullopt and sets
+// `*error` when a literal has no usable pattern at its position or a
+// source call fails.
+std::optional<MaintainedChain> BuildMaintainedChain(
+    const ConjunctiveQuery& plan, const Catalog& catalog, Source* source,
+    std::string* error);
+
+// The maintenance engine: applies one normalized multi-relation update
+// batch to a materialized chain. Per affected chain it runs
+//
+//   1. a delete pass — drop every row whose derivation used a deleted tuple
+//      at a positive stage, or whose anti-join probe now finds an inserted
+//      tuple (anti-join inputs flip sign: an insert *deletes* downstream
+//      rows);
+//   2. an insert pass over the affected positions in ascending order —
+//      delta-join the surviving base rows of frontiers[k] against the
+//      inserted tuples (positive stage), or revive the base rows whose
+//      probe tuple was deleted (negated stage), then propagate each fresh
+//      row forward through the remaining stages with ordinary fetches
+//      against the post-update database.
+//
+// Rows appended by step 2 are excluded from later positions' delta-joins
+// (their forward propagation already saw the fully-updated relations), so
+// each new derivation is produced exactly once even under self-joins and
+// multi-relation batches. The database behind `source` must already hold
+// the post-update state for *every* relation in the batch before the first
+// Maintain call.
+class DeltaApplier {
+ public:
+  // Does not own `deltas`; it must outlive the applier.
+  explicit DeltaApplier(const std::vector<AppliedDelta>& deltas);
+
+  // True when no effective delta touches any stage relation of `chain`.
+  bool Unaffected(const MaintainedChain& chain) const;
+
+  // Incrementally re-establishes every frontier of `chain`. On a source
+  // failure returns false, sets `*error`, and leaves the chain in an
+  // unspecified state — rebuild it from scratch.
+  bool Maintain(MaintainedChain* chain, Source* source,
+                std::string* error) const;
+
+ private:
+  std::map<std::string, const AppliedDelta*> by_relation_;
+};
+
+// The maintained ANSWER* report of a standing query: certain answers,
+// possible answers, and the completeness verdict, shaped exactly like
+// AnswerStarReport so re-emitted answers are byte-identical to a fresh run.
+struct StandingAnswers {
+  std::set<Tuple> under;
+  std::set<Tuple> over;
+  std::set<Tuple> delta;  // over \ under
+  bool complete = false;
+  bool delta_has_nulls = false;
+  std::optional<double> completeness_lower_bound;
+};
+
+// A registered standing query: the PLAN* under- and over-plans compiled
+// into materialized chains whose frontiers are kept current under delta
+// feeds. Build once (a full evaluation), then ApplyDeltas after each
+// update batch; Answers() projects the retained frontiers without touching
+// any source.
+class StandingQuery {
+ public:
+  // Compiles `q` with PLAN* and materializes every chain against `source`.
+  // Returns nullptr and sets `*error` on an unanswerable disjunct position
+  // or a source failure.
+  static std::unique_ptr<StandingQuery> Build(const UnionQuery& q,
+                                              const Catalog& catalog,
+                                              Source* source,
+                                              std::string* error);
+
+  const UnionQuery& query() const { return query_; }
+  // Relations any maintained stage reads — the standing query's read set.
+  const std::set<std::string>& relations() const { return relations_; }
+
+  // Maintains every chain for one update batch. The database behind
+  // `source` must already hold the post-update state for all relations in
+  // `deltas` (apply the whole batch with ApplyDelta first, then call this
+  // once — not once per relation with interleaved database updates).
+  // Returns false and sets `*error` on a source failure; the query is then
+  // in an unspecified state and must be rebuilt (see Build).
+  bool ApplyDeltas(const std::vector<AppliedDelta>& deltas, Source* source,
+                   std::string* error);
+
+  // Projects the maintained frontiers into the ANSWER*-shaped report.
+  StandingAnswers Answers() const;
+
+ private:
+  StandingQuery() = default;
+
+  UnionQuery query_;
+  std::vector<MaintainedChain> under_chains_;
+  std::vector<MaintainedChain> over_chains_;
+  // Ground answers contributed by true-query (empty-body) disjuncts; fixed
+  // at build time, immune to deltas.
+  std::set<Tuple> under_fixed_;
+  std::set<Tuple> over_fixed_;
+  std::set<std::string> relations_;
+};
+
+}  // namespace ucqn
+
+#endif  // UCQN_EVAL_DELTA_H_

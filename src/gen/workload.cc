@@ -172,6 +172,81 @@ WorkloadSpec GenerateWorkload(const WorkloadGenOptions& options) {
     if (Flip(&rng, options.union_prob)) disjuncts.push_back(make_walk(1));
     spec.queries.push_back(UnionQuery(std::move(disjuncts)).ToString());
   }
+
+  // --- delta stream -------------------------------------------------------
+  // Drawn from its own seed stream AFTER everything above, so turning the
+  // rate on cannot perturb the schema/facts/queries — a v2 file at rate 0
+  // is byte-identical to the v1 file from the same seed.
+  if (options.update_rate > 0.0 && spec.replay.requests > 0) {
+    std::mt19937_64 delta_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+    // Working copies track the instance as of each request index, so
+    // deletes always target a tuple that is actually live at that point.
+    std::map<std::string, std::vector<Tuple>> chain_live;
+    for (int i = 0; i < options.chain_length; ++i) {
+      std::vector<Tuple>& live = chain_live[ChainName(i)];
+      if (const std::set<Tuple>* tuples = spec.database.Find(ChainName(i))) {
+        live.assign(tuples->begin(), tuples->end());
+      }
+    }
+    std::map<std::string, std::set<Tuple>> enum_live;
+    for (int i = 0; i < options.enumerable_relations; ++i) {
+      if (const std::set<Tuple>* tuples = spec.database.Find(EnumName(i))) {
+        enum_live[EnumName(i)] = *tuples;
+      } else {
+        enum_live[EnumName(i)];
+      }
+    }
+    for (std::uint64_t r = 0; r < spec.replay.requests; ++r) {
+      if (!Flip(&delta_rng, options.update_rate)) continue;
+      if (options.enumerable_relations > 0 && Flip(&delta_rng, 0.3)) {
+        // Toggle one enumerable-domain value — the event that flips
+        // `not E(x)` guards in both directions.
+        const std::string name =
+            EnumName(UniformInt(&delta_rng, 0, options.enumerable_relations - 1));
+        const Tuple value = {
+            DomainConstant(UniformInt(&delta_rng, 0, options.domain_size - 1))};
+        std::set<Tuple>& live = enum_live[name];
+        WorkloadDeltaEvent event;
+        event.at_request = r;
+        event.relation = name;
+        event.tuple = value;
+        if (live.count(value) > 0) {
+          event.insert = false;
+          live.erase(value);
+        } else {
+          event.insert = true;
+          live.insert(value);
+        }
+        spec.deltas.push_back(std::move(event));
+      } else {
+        // Churn one chain link: retire a live edge, add a fresh one.
+        const std::string name =
+            ChainName(UniformInt(&delta_rng, 0, options.chain_length - 1));
+        std::vector<Tuple>& live = chain_live[name];
+        if (!live.empty()) {
+          const int victim =
+              UniformInt(&delta_rng, 0, static_cast<int>(live.size()) - 1);
+          WorkloadDeltaEvent del;
+          del.at_request = r;
+          del.relation = name;
+          del.insert = false;
+          del.tuple = live[static_cast<std::size_t>(victim)];
+          live.erase(live.begin() + victim);
+          spec.deltas.push_back(std::move(del));
+        }
+        WorkloadDeltaEvent ins;
+        ins.at_request = r;
+        ins.relation = name;
+        ins.insert = true;
+        ins.tuple = {
+            DomainConstant(UniformInt(&delta_rng, 0, options.domain_size - 1)),
+            DomainConstant(UniformInt(&delta_rng, 0, options.domain_size - 1))};
+        live.push_back(ins.tuple);
+        spec.deltas.push_back(std::move(ins));
+      }
+    }
+    if (!spec.deltas.empty()) spec.version = std::max(spec.version, 2);
+  }
   return spec;
 }
 
@@ -190,7 +265,11 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 std::string SerializeWorkload(const WorkloadSpec& spec) {
-  std::string out = "# ucqn-workload v" + std::to_string(spec.version) + "\n";
+  // A delta stream needs the v2 grammar; everything else stays readable
+  // by v1 parsers, so the version only ratchets when deltas exist.
+  const int version =
+      spec.deltas.empty() ? spec.version : std::max(spec.version, 2);
+  std::string out = "# ucqn-workload v" + std::to_string(version) + "\n";
   out += "seed " + std::to_string(spec.seed) + "\n";
   out += "\n[schema]\n" + spec.catalog.ToString();
   out += "\n[facts]\n" + spec.database.ToString();
@@ -225,6 +304,14 @@ std::string SerializeWorkload(const WorkloadSpec& spec) {
   out += "zipf_s " + FormatDouble(spec.replay.zipf_s) + "\n";
   out += "seed " + std::to_string(spec.replay.seed) + "\n";
   out += "tenants " + std::to_string(spec.replay.tenants) + "\n";
+  if (!spec.deltas.empty()) {
+    out += "\n[deltas]\n";
+    for (const WorkloadDeltaEvent& event : spec.deltas) {
+      out += "@" + std::to_string(event.at_request) + " " +
+             (event.insert ? "+" : "-") + event.relation +
+             TupleToString(event.tuple) + ".\n";
+    }
+  }
   out += "\n[queries]\n";
   for (const std::string& query : spec.queries) {
     out += query + "\n---\n";
@@ -286,8 +373,8 @@ std::optional<WorkloadSpec> ParseWorkload(const std::string& text,
   }
   std::uint64_t version = 0;
   if (!ParseU64(line.substr(std::strlen("# ucqn-workload v")), &version) ||
-      version != 1) {
-    return fail("unsupported workload version (this build reads v1)");
+      (version != 1 && version != 2)) {
+    return fail("unsupported workload version (this build reads v1/v2)");
   }
   spec.version = static_cast<int>(version);
 
@@ -310,7 +397,7 @@ std::optional<WorkloadSpec> ParseWorkload(const std::string& text,
       if (section == "queries") flush_query();
       section = line.substr(1, line.size() - 2);
       if (section != "schema" && section != "facts" && section != "faults" &&
-          section != "replay" && section != "queries") {
+          section != "replay" && section != "deltas" && section != "queries") {
         return fail("unknown section [" + section + "] at line " +
                     std::to_string(line_number));
       }
@@ -338,6 +425,35 @@ std::optional<WorkloadSpec> ParseWorkload(const std::string& text,
       } else {
         current_query += line + "\n";
       }
+    } else if (section == "deltas") {
+      // `@IDX +R(1, 2).` or `@IDX -R(1, 2).` — the fact reuses the
+      // [facts] grammar, signed and pinned to a request index.
+      auto bad = [&]() {
+        return fail("malformed [deltas] line " + std::to_string(line_number) +
+                    ": " + line);
+      };
+      if (line.front() != '@') return bad();
+      const std::size_t space = line.find(' ');
+      if (space == std::string::npos || space < 2) return bad();
+      WorkloadDeltaEvent event;
+      if (!ParseU64(line.substr(1, space - 1), &event.at_request)) return bad();
+      std::string rest = line.substr(space + 1);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+      if (rest.empty() || (rest.front() != '+' && rest.front() != '-')) {
+        return bad();
+      }
+      event.insert = rest.front() == '+';
+      std::string fact_error;
+      std::optional<Database> fact =
+          Database::ParseFacts(rest.substr(1), &fact_error);
+      if (!fact || fact->TotalTuples() != 1) {
+        return fail("malformed [deltas] fact at line " +
+                    std::to_string(line_number) +
+                    (fact ? " (want exactly one fact)" : ": " + fact_error));
+      }
+      event.relation = fact->RelationNames().front();
+      event.tuple = *fact->Find(event.relation)->begin();
+      spec.deltas.push_back(std::move(event));
     } else {
       const std::vector<std::string> fields = SplitFields(line);
       auto bad = [&]() {

@@ -18,9 +18,11 @@ namespace ucqn {
 // everything a replay needs — schema, instance, fault plan, replay plan,
 // and the distinct query templates. The format (docs/WORKLOADS.md) reuses
 // the catalog/facts/query syntaxes the rest of the system already parses,
-// wrapped in `[section]` headers behind a `# ucqn-workload v1` magic line.
-// Serialization is canonical: the same spec always serializes to the same
-// bytes, so "same seed, same file" is a plain string comparison.
+// wrapped in `[section]` headers behind a `# ucqn-workload v1` magic line
+// (v2 when the spec carries a delta stream — v2 is v1 plus a [deltas]
+// section). Serialization is canonical: the same spec always serializes
+// to the same bytes, so "same seed, same file" is a plain string
+// comparison.
 
 // How the replay driver expands the distinct templates into a request
 // stream. The stream itself is never stored: requests = (Zipf-ranked
@@ -39,6 +41,17 @@ struct ReplayPlan {
   int tenants = 1;
 };
 
+// One timed update in a workload's delta stream (v2 files): before
+// request `at_request` is issued, insert or delete `tuple` in `relation`.
+// Events sharing an index form one batch per relation; deletes apply
+// before inserts within a batch (the daemon's delta-op convention).
+struct WorkloadDeltaEvent {
+  std::uint64_t at_request = 0;
+  std::string relation;
+  bool insert = true;
+  Tuple tuple;
+};
+
 struct WorkloadSpec {
   int version = 1;
   // The generator seed, for provenance (replays don't consume it).
@@ -47,6 +60,10 @@ struct WorkloadSpec {
   Database database;
   FaultPlan faults;
   ReplayPlan replay;
+  // Timed updates, sorted by at_request (v2; empty in v1 files). The
+  // [facts] section is the instance at request 0; replays apply these as
+  // they pass the matching request index.
+  std::vector<WorkloadDeltaEvent> deltas;
   // Distinct UCQ¬ templates, parser syntax (possibly multi-line unions).
   std::vector<std::string> queries;
 };
@@ -111,6 +128,14 @@ struct WorkloadGenOptions {
   std::uint64_t spike_period_micros = 0;
   std::uint64_t spike_duration_micros = 0;
   std::uint64_t spike_extra_micros = 0;
+
+  // --- delta stream ---
+  // Probability that a replay request index carries an update batch
+  // (0 = none, a v1 file). Most batches churn one chain link (delete a
+  // live edge, insert a fresh random one); some toggle an enumerable
+  // value, flipping the anti-join guards. Drawn from a separately seeded
+  // stream, so update_rate = 0 reproduces v1 files byte-for-byte.
+  double update_rate = 0.0;
 
   // --- replay plan (copied into the spec verbatim) ---
   ReplayPlan replay;

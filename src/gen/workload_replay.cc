@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <thread>
 
 #include "runtime/fault_injection.h"
@@ -47,6 +48,8 @@ struct Partial {
   std::uint64_t error = 0;
   std::uint64_t shed = 0;
   std::uint64_t quota = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t delta_errors = 0;
   std::uint64_t physical_calls = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -71,6 +74,8 @@ std::string WorkloadReplayReport::ToJson() const {
   out += ", \"error_count\": " + std::to_string(error_count);
   out += ", \"shed_count\": " + std::to_string(shed_count);
   out += ", \"quota_count\": " + std::to_string(quota_count);
+  out += ", \"deltas_applied\": " + std::to_string(deltas_applied);
+  out += ", \"delta_errors\": " + std::to_string(delta_error_count);
   out += ", \"sim_wall_us\": " + std::to_string(sim_wall_micros);
   out += ", \"real_seconds\": " + FormatDouble(real_seconds);
   out += ", \"throughput_per_sec\": " + FormatDouble(throughput_per_second);
@@ -107,7 +112,10 @@ WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
   }
 
   SimulatedClock clock;
-  DatabaseSource backend(&spec.database, &spec.catalog);
+  // Private copy: the delta stream mutates the instance as the replay
+  // advances, and the caller's spec must stay the request-0 snapshot.
+  Database database = spec.database;
+  DatabaseSource backend(&database, &spec.catalog);
   FaultInjectingSource faulty(&backend, spec.faults, &clock);
   Source* transport = options.inject_faults
                           ? static_cast<Source*>(&faulty)
@@ -130,7 +138,32 @@ WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
   daemon_options.default_quota.max_concurrent = options.tenant_max_concurrent;
   daemon_options.adaptive_cost_model = options.cost_model == "adaptive";
   daemon_options.fanout_feedback = options.fanout_feedback;
+  daemon_options.database = &database;
   QueryDaemon daemon(&spec.catalog, transport, daemon_options);
+
+  // One `delta` op per (request index, relation) group, applied by the
+  // thread that owns the request just before it submits it. Deletes land
+  // before inserts inside a batch — the daemon's own convention.
+  std::map<std::uint64_t, std::vector<ServiceRequest>> delta_batches;
+  for (const WorkloadDeltaEvent& event : spec.deltas) {
+    std::vector<ServiceRequest>& batch = delta_batches[event.at_request];
+    ServiceRequest* request = nullptr;
+    for (ServiceRequest& candidate : batch) {
+      if (candidate.relation == event.relation) {
+        request = &candidate;
+        break;
+      }
+    }
+    if (request == nullptr) {
+      batch.emplace_back();
+      request = &batch.back();
+      request->op = ServiceRequest::Op::kDelta;
+      request->relation = event.relation;
+      request->id = "delta@" + std::to_string(event.at_request);
+    }
+    (event.insert ? request->insert_tuples : request->delete_tuples)
+        .push_back(event.tuple);
+  }
 
   const std::vector<ReplayRequest> sequence =
       BuildRequestSequence(spec, options.max_requests);
@@ -155,6 +188,17 @@ WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
     for (std::uint64_t r = static_cast<std::uint64_t>(thread_index); r < n;
          r += static_cast<std::uint64_t>(threads)) {
       const ReplayRequest& replay_request = sequence[r];
+      const auto batch_it = delta_batches.find(r);
+      if (batch_it != delta_batches.end()) {
+        for (const ServiceRequest& delta_request : batch_it->second) {
+          const ServiceResponse delta_response = daemon.Submit(delta_request);
+          if (delta_response.status == ServiceResponse::Status::kOk) {
+            ++partial.deltas_applied;
+          } else {
+            ++partial.delta_errors;
+          }
+        }
+      }
       ServiceRequest request;
       request.op = ServiceRequest::Op::kQuery;
       request.id = std::to_string(r);
@@ -210,6 +254,8 @@ WorkloadReplayReport ReplayWorkload(const WorkloadSpec& spec,
     report.error_count += partial.error;
     report.shed_count += partial.shed;
     report.quota_count += partial.quota;
+    report.deltas_applied += partial.deltas_applied;
+    report.delta_error_count += partial.delta_errors;
     report.physical_calls += partial.physical_calls;
     report.cache_hits += partial.cache_hits;
     report.cache_misses += partial.cache_misses;

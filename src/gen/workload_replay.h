@@ -10,8 +10,10 @@
 namespace ucqn {
 
 // In-process replay: constructs a QueryDaemon over the workload's schema
-// and instance (behind a FaultInjectingSource on a shared SimulatedClock),
-// streams the replay plan's request sequence through Submit, and reports
+// and a private copy of its instance (behind a FaultInjectingSource on a
+// shared SimulatedClock), streams the replay plan's request sequence
+// through Submit — applying the workload's [deltas] stream as `delta` ops
+// just before the request indices they are pinned to — and reports
 // throughput, simulated-latency percentiles, windowed cache-hit curves,
 // and shed/quota counts. tools/ucqn_workload.cc and bench/bench_workload.cc
 // both drive this; the daemon-stdio path goes through the tool's
@@ -67,6 +69,12 @@ struct WorkloadReplayReport {
   std::uint64_t error_count = 0;
   std::uint64_t shed_count = 0;
   std::uint64_t quota_count = 0;
+
+  // Delta batches (one per (request index, relation) group of the
+  // workload's delta stream) submitted ahead of their request, and how
+  // many of them the daemon refused or failed.
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t delta_error_count = 0;
 
   // Simulated time the whole replay charged to the shared clock.
   std::uint64_t sim_wall_micros = 0;

@@ -324,11 +324,22 @@ void SharedCacheStore::RestoreEntry(const ExportedEntry& restored) {
   entry.tuples = restored.tuples;
   // The exporter stored remaining lifetime; the clock epoch restarts
   // here. 0 stays the "never expires" sentinel, and ExpiryFor keeps a
-  // huge remainder from wrapping into it.
+  // huge remainder from wrapping into it. Empty results additionally
+  // re-arm against the *restoring* store's negative TTL: the exporter's
+  // remainder was computed under the old configuration, and a negative
+  // entry must never outlive the lifetime this store would give a freshly
+  // published miss (a restart that shortens --negative-ttl would otherwise
+  // resurrect long-lived negatives). When the current negative policy is
+  // "never expires" (TtlFor's 0 sentinel), the exported remainder stands.
+  std::uint64_t remaining = restored.ttl_remaining_micros;
+  if (restored.tuples.empty()) {
+    const std::uint64_t fresh = TtlFor(restored.relation, /*negative=*/true);
+    if (fresh != 0) {
+      remaining = remaining == 0 ? fresh : std::min(remaining, fresh);
+    }
+  }
   entry.expire_at_micros =
-      restored.ttl_remaining_micros == 0
-          ? 0
-          : ExpiryFor(clock_->NowMicros(), restored.ttl_remaining_micros);
+      remaining == 0 ? 0 : ExpiryFor(clock_->NowMicros(), remaining);
   InsertFront(shard, std::move(entry));
 }
 
@@ -375,6 +386,56 @@ void SharedCacheStore::InvalidateRelation(const std::string& relation) {
       }
     }
   }
+}
+
+std::size_t SharedCacheStore::InvalidateDelta(
+    const std::string& relation, const std::vector<Tuple>& changed) {
+  if (changed.empty()) return 0;
+  std::size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->relation != relation) {
+        ++it;
+        continue;
+      }
+      // A cached call's result can gain or lose a changed tuple only if
+      // the tuple agrees with every valued slot of the packed key (valued
+      // slots are exactly the bound input positions; footnote 4 keeps
+      // output slots absent). Full scans have no valued slots and always
+      // drop; keys the unpacker does not recognize (opaque test keys)
+      // drop conservatively — we cannot prove the change misses them.
+      std::string pattern_word;
+      std::vector<std::optional<Term>> slots;
+      bool drop = true;
+      if (UnpackSourceCacheKey(it->key, relation, &pattern_word, &slots)) {
+        drop = false;
+        for (const Tuple& tuple : changed) {
+          if (tuple.size() != slots.size()) continue;
+          bool agrees = true;
+          for (std::size_t j = 0; j < slots.size(); ++j) {
+            if (slots[j].has_value() && *slots[j] != tuple[j]) {
+              agrees = false;
+              break;
+            }
+          }
+          if (agrees) {
+            drop = true;
+            break;
+          }
+        }
+      }
+      if (drop) {
+        auto victim = it++;
+        Erase(*shard, victim);
+        ++shard->stats.invalidated;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
 }
 
 void SharedCacheStore::InvalidateAll() {

@@ -193,6 +193,15 @@ class SharedCacheStore {
   void InvalidateRelation(const std::string& relation);
   // Drops everything.
   void InvalidateAll();
+  // Scoped invalidation for a delta feed: drops only the entries of
+  // `relation` whose packed-key signature one of `changed` tuples can
+  // match — a changed tuple affects a cached call's result iff it agrees
+  // with every valued (bound-input) slot of the key, so keyed lookups
+  // bound to other values survive the update. Entries with unparseable
+  // keys are dropped conservatively. Returns the number of entries
+  // dropped (also counted in stats().invalidated).
+  std::size_t InvalidateDelta(const std::string& relation,
+                              const std::vector<Tuple>& changed);
 
   // --- snapshots (cross-process persistence) ------------------------------
 

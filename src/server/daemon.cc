@@ -2,7 +2,10 @@
 
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "ast/parser.h"
+#include "feasibility/compile.h"
 #include "server/snapshot.h"
 
 namespace ucqn {
@@ -17,6 +20,7 @@ QueryDaemon::QueryDaemon(const Catalog* catalog, Source* backend,
       admission_(options_.admission) {}
 
 ServiceResponse QueryDaemon::Submit(const ServiceRequest& request) {
+  if (request.op == ServiceRequest::Op::kDelta) return RunDeltaOp(request);
   if (request.op != ServiceRequest::Op::kQuery) return RunAdminOp(request);
 
   ServiceResponse response;
@@ -58,7 +62,16 @@ ServiceResponse QueryDaemon::Submit(const ServiceRequest& request) {
   env.operator_totals = &operator_totals_;
   env.adaptive_cost_model = options_.adaptive_cost_model;
   env.fanout_feedback = options_.fanout_feedback;
-  response = RunQuerySession(env, request, tenants_.QuotaFor(request.tenant));
+  {
+    // Sessions read the database lock-free through backend_; a delta op
+    // holds this exclusively while it moves the data.
+    std::shared_lock<std::shared_mutex> backend_lock(backend_mu_);
+    response = RunQuerySession(env, request, tenants_.QuotaFor(request.tenant));
+    if (request.standing &&
+        response.status == ServiceResponse::Status::kOk) {
+      RegisterStanding(request, &response);
+    }
+  }
 
   admission_.Leave();
   tenants_.Leave(request.tenant);
@@ -97,8 +110,24 @@ ServiceResponse QueryDaemon::RunAdminOp(const ServiceRequest& request) {
       } else {
         store_.InvalidateRelation(request.relation);
       }
+      // An invalidation says "this source changed" — the observed
+      // latencies and fanouts are as stale as the cached tuples, so the
+      // stats catalog forgets the relation too and the adaptive model
+      // re-prices it from defaults instead of planning against
+      // pre-update statistics.
+      std::size_t stats_dropped = 0;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (request.relation.empty()) {
+          stats_dropped = stats_.size();
+          stats_ = StatsCatalog{};
+        } else {
+          stats_dropped = stats_.InvalidateRelation(request.relation);
+        }
+      }
       std::ostringstream payload;
-      payload << "{\"dropped\": " << (before - store_.size()) << "}";
+      payload << "{\"dropped\": " << (before - store_.size())
+              << ", \"stats_dropped\": " << stats_dropped << "}";
       response.payload_json = payload.str();
       break;
     }
@@ -113,10 +142,199 @@ ServiceResponse QueryDaemon::RunAdminOp(const ServiceRequest& request) {
       }
       break;
     }
+    case ServiceRequest::Op::kAnswers: {
+      const std::string key = request.tenant + "/" + request.id;
+      std::lock_guard<std::mutex> lock(standing_mu_);
+      auto it = standing_.find(key);
+      if (it == standing_.end()) {
+        response.status = ServiceResponse::Status::kError;
+        response.error = "no standing query \"" + key + "\"";
+      } else if (it->second.standing == nullptr) {
+        response.status = ServiceResponse::Status::kError;
+        response.error = it->second.error;
+      } else {
+        StandingAnswers answers = it->second.standing->Answers();
+        response.include_answers = request.include_answers;
+        response.under = std::move(answers.under);
+        response.over = std::move(answers.over);
+        response.complete = answers.complete;
+      }
+      break;
+    }
     case ServiceRequest::Op::kQuery:
-      break;  // unreachable: Submit routes queries before this switch
+    case ServiceRequest::Op::kDelta:
+      break;  // unreachable: Submit routes these before this switch
   }
   return response;
+}
+
+RuntimeOptions QueryDaemon::MaintenanceRuntime() {
+  RuntimeOptions runtime = options_.runtime;
+  runtime.shared_cache = &store_;
+  runtime.metering = true;
+  // Standing maintenance is daemon housekeeping, not a tenant request:
+  // budgets would leave a chain half-maintained.
+  runtime.budget = CallBudget{};
+  return runtime;
+}
+
+void QueryDaemon::RegisterStanding(const ServiceRequest& request,
+                                   ServiceResponse* response) {
+  if (request.id.empty()) {
+    response->status = ServiceResponse::Status::kError;
+    response->error = "a standing query needs an \"id\" to register under";
+    return;
+  }
+  // Mirror the session's pipeline exactly (parse → cover → compile) so
+  // the maintained plans are the ones the session just ran; the shared
+  // cache is hot with this session's calls, so the build mostly replays
+  // them without touching the backend.
+  std::string error;
+  std::optional<UnionQuery> query = ParseUnionQuery(request.query, &error);
+  if (!query || !catalog_->CoversQuery(*query, &error)) {
+    response->status = ServiceResponse::Status::kError;
+    response->error = "standing registration failed: " + error;
+    return;
+  }
+  CompileResult compiled = Compile(*query, *catalog_, {});
+  SourceStack stack(backend_, MaintenanceRuntime());
+  std::unique_ptr<StandingQuery> standing = StandingQuery::Build(
+      compiled.analyzed_query, *catalog_, stack.source(), &error);
+  if (standing == nullptr) {
+    response->status = ServiceResponse::Status::kError;
+    response->error = "standing registration failed: " + error;
+    return;
+  }
+  const std::string key = request.tenant + "/" + request.id;
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  standing_[key] =
+      StandingEntry{compiled.analyzed_query, std::move(standing), ""};
+}
+
+ServiceResponse QueryDaemon::RunDeltaOp(const ServiceRequest& request) {
+  ServiceResponse response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  response.include_answers = false;
+
+  if (options_.database == nullptr) {
+    response.status = ServiceResponse::Status::kError;
+    response.error =
+        "no mutable database attached (delta feeds need an in-process "
+        "backend)";
+    return response;
+  }
+  const RelationSchema* schema = catalog_->Find(request.relation);
+  if (schema == nullptr) {
+    response.status = ServiceResponse::Status::kError;
+    response.error = "unknown relation \"" + request.relation + "\"";
+    return response;
+  }
+  for (const std::vector<Tuple>* batch :
+       {&request.insert_tuples, &request.delete_tuples}) {
+    for (const Tuple& tuple : *batch) {
+      if (tuple.size() != schema->arity()) {
+        response.status = ServiceResponse::Status::kError;
+        response.error = "delta arity mismatch for " + request.relation +
+                         ": got " + std::to_string(tuple.size()) +
+                         ", declared " + std::to_string(schema->arity());
+        return response;
+      }
+    }
+  }
+
+  // A delta is a write-side request: it pays the same tenant quota and
+  // admission toll as a query, so update feeds cannot starve readers past
+  // what the admission policy allows.
+  if (!tenants_.TryEnter(request.tenant)) {
+    response.status = ServiceResponse::Status::kQuotaRefused;
+    response.error = "tenant over max_concurrent quota";
+    return response;
+  }
+  switch (admission_.Enter()) {
+    case AdmissionController::Outcome::kShed:
+      tenants_.Leave(request.tenant);
+      response.status = ServiceResponse::Status::kShed;
+      response.error = "admission queue full";
+      return response;
+    case AdmissionController::Outcome::kDraining:
+      tenants_.Leave(request.tenant);
+      response.status = ServiceResponse::Status::kDraining;
+      response.error = "daemon is draining";
+      return response;
+    case AdmissionController::Outcome::kAdmitted:
+      break;
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> backend_lock(backend_mu_);
+    RelationDelta delta;
+    delta.relation = request.relation;
+    delta.inserts = request.insert_tuples;
+    delta.deletes = request.delete_tuples;
+    std::string error;
+    std::optional<AppliedDelta> applied =
+        ApplyDelta(options_.database, delta, &error);
+    if (!applied.has_value()) {
+      response.status = ServiceResponse::Status::kError;
+      response.error = error;
+    } else {
+      // Scoped invalidation: only entries a changed tuple can match are
+      // dropped. Surviving entries are still exact — their keyed calls
+      // cannot have gained or lost any of the changed tuples.
+      const std::size_t cache_dropped =
+          store_.InvalidateDelta(request.relation, applied->ChangedTuples());
+
+      std::uint64_t physical_calls = 0;
+      std::size_t standing_updated = 0;
+      if (!applied->empty()) {
+        const std::vector<AppliedDelta> batch{*applied};
+        std::lock_guard<std::mutex> lock(standing_mu_);
+        for (auto& [key, entry] : standing_) {
+          if (entry.standing == nullptr) continue;
+          if (entry.standing->relations().count(request.relation) == 0) {
+            continue;
+          }
+          SourceStack stack(backend_, MaintenanceRuntime());
+          std::string maintain_error;
+          if (!entry.standing->ApplyDeltas(batch, stack.source(),
+                                           &maintain_error)) {
+            // Maintenance left the frontiers unspecified; fall back to a
+            // from-scratch rebuild, and park the entry in an error state
+            // if even that fails (the next `answers` op reports it).
+            std::string rebuild_error;
+            entry.standing = StandingQuery::Build(
+                entry.query, *catalog_, stack.source(), &rebuild_error);
+            if (entry.standing == nullptr) {
+              entry.error = "maintenance failed (" + maintain_error +
+                            "); rebuild failed: " + rebuild_error;
+              physical_calls += stack.stats().source_calls;
+              continue;
+            }
+          }
+          ++standing_updated;
+          physical_calls += stack.stats().source_calls;
+        }
+      }
+
+      std::ostringstream payload;
+      payload << "{\"inserted\": " << applied->inserted.size()
+              << ", \"deleted\": " << applied->deleted.size()
+              << ", \"cache_dropped\": " << cache_dropped
+              << ", \"standing_updated\": " << standing_updated
+              << ", \"physical_calls\": " << physical_calls << "}";
+      response.payload_json = payload.str();
+    }
+  }
+
+  admission_.Leave();
+  tenants_.Leave(request.tenant);
+  return response;
+}
+
+std::size_t QueryDaemon::standing_count() const {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  return standing_.size();
 }
 
 bool QueryDaemon::LoadSnapshots(SnapshotLoadReport* report,
@@ -180,6 +398,7 @@ std::string QueryDaemon::StatusJson() const {
       << ", \"operator\": {\"disjuncts\": " << op.disjuncts_executed
       << ", \"morsels\": " << op.morsels
       << ", \"antijoin_build\": " << op.antijoin_build_tuples << "}"
+      << ", \"standing\": " << standing_count()
       << ", \"queries_served\": " << queries_served() << "}";
   return out.str();
 }

@@ -2,11 +2,16 @@
 #define UCQN_SERVER_DAEMON_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
+#include "ast/query.h"
 #include "cost/stats_catalog.h"
+#include "eval/database.h"
+#include "eval/delta.h"
 #include "runtime/shared_cache.h"
 #include "runtime/source_stack.h"
 #include "schema/catalog.h"
@@ -55,6 +60,11 @@ class QueryDaemon {
     // Directory for cache.json/stats.json spill files; empty = snapshots
     // only on explicit request (op "snapshot" fails without a dir).
     std::string snapshot_dir;
+    // The mutable database behind `backend`, when the backend is an
+    // in-process DatabaseSource (ucqnd wires this). Not owned. Required
+    // for `delta` ops — they update this instance and then maintain the
+    // standing queries against it; null means delta ops are refused.
+    Database* database = nullptr;
   };
 
   // Does not take ownership of `catalog` or `backend`; both must outlive
@@ -83,7 +93,8 @@ class QueryDaemon {
   void Drain();
 
   // {"admission": {...}, "tenants": {...}, "cache": {...},
-  //  "stats_relations": N, "operator": {...}, "queries_served": N}
+  //  "stats_relations": N, "operator": {...}, "standing": N,
+  //  "queries_served": N}
   std::string StatusJson() const;
 
   // Cumulative executor-side operator-DAG counters across every session
@@ -97,9 +108,23 @@ class QueryDaemon {
   AdmissionController* admission() { return &admission_; }
   const Options& options() const { return options_; }
   std::uint64_t queries_served() const;
+  // Registered standing queries (including broken ones awaiting rebuild).
+  std::size_t standing_count() const;
 
  private:
   ServiceResponse RunAdminOp(const ServiceRequest& request);
+  // The `delta` op: updates the attached database, scopes cache
+  // invalidation to the changed tuples, and maintains every standing
+  // query. Takes backend_mu_ exclusively — no query session runs while
+  // the database moves.
+  ServiceResponse RunDeltaOp(const ServiceRequest& request);
+  // Registers (or replaces) request.query under (tenant, id) after a
+  // successful session run. Caller holds backend_mu_ (shared).
+  void RegisterStanding(const ServiceRequest& request,
+                        ServiceResponse* response);
+  // Fresh cache-backed maintenance stack (same shared store the sessions
+  // use, metering on, no budgets).
+  RuntimeOptions MaintenanceRuntime();
 
   Options options_;
   const Catalog* catalog_;
@@ -113,6 +138,19 @@ class QueryDaemon {
   AdmissionController admission_;
   mutable std::mutex served_mu_;
   std::uint64_t queries_served_ = 0;
+  // Query sessions read the database through backend_ with no locking of
+  // their own, so delta ops (which mutate it) take this exclusively and
+  // sessions take it shared. Acquired before standing_mu_.
+  mutable std::shared_mutex backend_mu_;
+
+  struct StandingEntry {
+    UnionQuery query;  // the compiled query, kept for rebuilds
+    std::unique_ptr<StandingQuery> standing;  // null = broken, see `error`
+    std::string error;
+  };
+  // Keyed "tenant/id". Guarded by standing_mu_.
+  std::map<std::string, StandingEntry> standing_;
+  mutable std::mutex standing_mu_;
 };
 
 }  // namespace ucqn

@@ -53,6 +53,36 @@ bool JsonToTupleSet(const JsonValue& rows, std::set<Tuple>* out,
   return true;
 }
 
+// Same cell convention as JsonToTupleSet, but order-preserving: delta
+// batches are lists (deletes apply before inserts within a batch, and
+// clients may care about a stable echo), not sets.
+bool JsonToTupleList(const JsonValue& rows, std::vector<Tuple>* out,
+                     std::string* error) {
+  if (!rows.is_array()) {
+    *error = "expected an array of tuples";
+    return false;
+  }
+  for (const JsonValue& row : rows.items()) {
+    if (!row.is_array()) {
+      *error = "expected a tuple array";
+      return false;
+    }
+    Tuple tuple;
+    for (const JsonValue& cell : row.items()) {
+      if (cell.is_null()) {
+        tuple.push_back(Term::Null());
+      } else if (cell.is_string()) {
+        tuple.push_back(Term::Constant(cell.AsString()));
+      } else {
+        *error = "tuple cells must be strings or null";
+        return false;
+      }
+    }
+    out->push_back(std::move(tuple));
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<ServiceRequest> ParseServiceRequest(const std::string& line,
@@ -76,6 +106,10 @@ std::optional<ServiceRequest> ParseServiceRequest(const std::string& line,
     request.op = ServiceRequest::Op::kInvalidate;
   } else if (op == "snapshot") {
     request.op = ServiceRequest::Op::kSnapshot;
+  } else if (op == "delta") {
+    request.op = ServiceRequest::Op::kDelta;
+  } else if (op == "answers") {
+    request.op = ServiceRequest::Op::kAnswers;
   } else {
     return fail("unknown op \"" + op + "\"");
   }
@@ -88,8 +122,31 @@ std::optional<ServiceRequest> ParseServiceRequest(const std::string& line,
   if (max_calls < 0) return fail("max_calls must be non-negative");
   request.max_calls = static_cast<std::uint64_t>(max_calls);
   request.include_answers = json->GetBool("answers", true);
+  request.standing = json->GetBool("standing", false);
   if (request.op == ServiceRequest::Op::kQuery && request.query.empty()) {
     return fail("query op without a \"query\" field");
+  }
+  if (request.op == ServiceRequest::Op::kDelta) {
+    if (request.relation.empty()) {
+      return fail("delta op without a \"relation\" field");
+    }
+    std::string tuple_error;
+    const JsonValue* inserts = json->Find("insert");
+    if (inserts != nullptr &&
+        !JsonToTupleList(*inserts, &request.insert_tuples, &tuple_error)) {
+      return fail("bad insert set: " + tuple_error);
+    }
+    const JsonValue* deletes = json->Find("delete");
+    if (deletes != nullptr &&
+        !JsonToTupleList(*deletes, &request.delete_tuples, &tuple_error)) {
+      return fail("bad delete set: " + tuple_error);
+    }
+    if (request.insert_tuples.empty() && request.delete_tuples.empty()) {
+      return fail("delta op without \"insert\" or \"delete\" tuples");
+    }
+  }
+  if (request.op == ServiceRequest::Op::kAnswers && request.id.empty()) {
+    return fail("answers op without an \"id\" field");
   }
   return request;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "eval/database.h"
 
@@ -20,25 +21,37 @@ namespace ucqn {
 // Request lines:
 //   {"op": "query", "id": "q1", "tenant": "alice",
 //    "query": "Q(x) :- L(x).", "max_calls": 100, "answers": true}
+//   {"op": "query", "id": "q1", "query": "...", "standing": true}
 //   {"op": "stats"}
 //   {"op": "invalidate", "relation": "B"}   // omit relation: drop all
 //   {"op": "snapshot"}                      // spill cache+stats now
+//   {"op": "delta", "relation": "B", "insert": [["1", "2"]],
+//    "delete": [["3", "4"]]}                // update one relation's feed
+//   {"op": "answers", "id": "q1"}           // read a standing query back
 //
 // `op` defaults to "query"; `tenant` defaults to "default"; `id` is an
 // opaque client correlation tag echoed back verbatim. `max_calls`
 // requests a per-query physical-call budget (clamped by the tenant
 // quota); `answers": false` suppresses the tuple payload for
-// count-only clients.
+// count-only clients. A query with `"standing": true` additionally
+// registers (or replaces) the query under (tenant, id) as a standing
+// query whose answers the daemon maintains under `delta` ops; `answers`
+// ops read the maintained result back without re-running anything.
 struct ServiceRequest {
-  enum class Op { kQuery, kStats, kInvalidate, kSnapshot };
+  enum class Op { kQuery, kStats, kInvalidate, kSnapshot, kDelta, kAnswers };
 
   Op op = Op::kQuery;
   std::string id;
   std::string tenant = "default";
   std::string query;      // kQuery: the UCQ¬ text, parser syntax
-  std::string relation;   // kInvalidate: empty = InvalidateAll
+  std::string relation;   // kInvalidate: empty = InvalidateAll; kDelta
   std::uint64_t max_calls = 0;  // kQuery: 0 = no per-request cap
   bool include_answers = true;
+  bool standing = false;  // kQuery: register as a standing query
+  // kDelta: the update batch. Deletes apply before inserts, so a tuple in
+  // both sets ends up present.
+  std::vector<Tuple> insert_tuples;
+  std::vector<Tuple> delete_tuples;
 };
 
 // Parses one request line. Returns nullopt and sets `*error` on

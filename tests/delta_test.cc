@@ -1,0 +1,289 @@
+// Delta feeds (src/eval/delta.h): batch normalization against the live
+// instance, scoped cache invalidation, and standing-query maintenance —
+// including the sign-flipping anti-join cases and delete-then-reinsert.
+// The randomized cross-check against from-scratch runs lives in
+// delta_oracle_test.cc; these are the hand-sized corners.
+
+#include "eval/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/parser.h"
+#include "eval/answer_star.h"
+#include "feasibility/compile.h"
+#include "runtime/shared_cache.h"
+
+namespace ucqn {
+namespace {
+
+Tuple T1(const std::string& a) { return {Term::Constant(a)}; }
+Tuple T2(const std::string& a, const std::string& b) {
+  return {Term::Constant(a), Term::Constant(b)};
+}
+
+TEST(ApplyDeltaTest, NormalizesAgainstTheLiveInstance) {
+  Database db = Database::MustParseFacts(R"(
+    B("a", "x").
+    B("b", "y").
+  )");
+
+  // Restating an existing tuple and deleting an absent one are both
+  // no-ops: the effective delta is empty and nothing downstream fires.
+  RelationDelta noop;
+  noop.relation = "B";
+  noop.inserts = {T2("a", "x")};
+  noop.deletes = {T2("z", "z")};
+  std::optional<AppliedDelta> applied = ApplyDelta(&db, noop);
+  ASSERT_TRUE(applied.has_value());
+  EXPECT_TRUE(applied->empty());
+  EXPECT_EQ(db.TupleCount("B"), 2u);
+
+  // Deletes apply before inserts: a tuple in both sets stays present and
+  // the effective delta does not report it at all.
+  RelationDelta both;
+  both.relation = "B";
+  both.inserts = {T2("a", "x"), T2("c", "z")};
+  both.deletes = {T2("a", "x"), T2("b", "y")};
+  applied = ApplyDelta(&db, both);
+  ASSERT_TRUE(applied.has_value());
+  EXPECT_TRUE(db.Contains("B", T2("a", "x")));
+  EXPECT_TRUE(db.Contains("B", T2("c", "z")));
+  EXPECT_FALSE(db.Contains("B", T2("b", "y")));
+  EXPECT_EQ(applied->inserted, std::set<Tuple>({T2("c", "z")}));
+  EXPECT_EQ(applied->deleted, std::set<Tuple>({T2("b", "y")}));
+  EXPECT_EQ(applied->ChangedTuples().size(), 2u);
+}
+
+TEST(ApplyDeltaTest, RejectsBadBatchesWithoutTouchingTheDatabase) {
+  Database db = Database::MustParseFacts(R"(B("a", "x").)");
+  std::string error;
+
+  RelationDelta wrong_arity;
+  wrong_arity.relation = "B";
+  wrong_arity.inserts = {T2("c", "z"), T1("only-one")};
+  EXPECT_FALSE(ApplyDelta(&db, wrong_arity, &error).has_value());
+  EXPECT_NE(error.find("arity"), std::string::npos);
+  // The whole batch was validated up front: the good tuple did not land.
+  EXPECT_EQ(db.TupleCount("B"), 1u);
+  EXPECT_FALSE(db.Contains("B", T2("c", "z")));
+
+  RelationDelta non_ground;
+  non_ground.relation = "B";
+  non_ground.inserts = {{Term::Variable("x"), Term::Constant("y")}};
+  EXPECT_FALSE(ApplyDelta(&db, non_ground, &error).has_value());
+  EXPECT_EQ(db.TupleCount("B"), 1u);
+}
+
+TEST(InvalidateDeltaTest, DropsOnlyKeysTheChangedTuplesCanMatch) {
+  SharedCacheStore store;
+  const std::string key_a = PackSourceCacheSignature(
+      "B", "io", {Term::Constant("a"), std::nullopt});
+  const std::string key_b = PackSourceCacheSignature(
+      "B", "io", {Term::Constant("b"), std::nullopt});
+  const std::string key_scan =
+      PackSourceCacheSignature("B", "oo", {std::nullopt, std::nullopt});
+  const std::string key_other =
+      PackSourceCacheSignature("L", "o", {std::nullopt});
+  for (const std::string& key : {key_a, key_b, key_scan}) {
+    ASSERT_EQ(store.TryAcquire(key, "B").state,
+              SharedCacheStore::LookupState::kLeader);
+    store.Publish(key, "B", {});
+  }
+  ASSERT_EQ(store.TryAcquire(key_other, "L").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Publish(key_other, "L", {T1("a")});
+  ASSERT_EQ(store.size(), 4u);
+
+  // ("a", "x") agrees with key_a's bound slot and (vacuously) with the
+  // full scan; key_b is bound to a different value and survives, as does
+  // the other relation.
+  const std::size_t dropped = store.InvalidateDelta("B", {T2("a", "x")});
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.TryAcquire(key_b, "B").state,
+            SharedCacheStore::LookupState::kHit);
+  EXPECT_EQ(store.TryAcquire(key_other, "L").state,
+            SharedCacheStore::LookupState::kHit);
+  EXPECT_EQ(store.stats().invalidated, 2u);
+}
+
+TEST(InvalidateDeltaTest, OpaqueKeysAreDroppedConservatively) {
+  SharedCacheStore store;
+  ASSERT_EQ(store.TryAcquire("opaque-key", "B").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Publish("opaque-key", "B", {T2("q", "r")});
+  // The key cannot be unpacked, so scoping is impossible — it must go.
+  EXPECT_EQ(store.InvalidateDelta("B", {T2("zzz", "zzz")}), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Standing-query maintenance. Every case asserts the maintained report
+// equals a from-scratch ANSWER* run on the post-update instance.
+
+void ExpectMatchesFreshRun(const StandingQuery& standing,
+                           const UnionQuery& compiled, const Catalog& catalog,
+                           const Database& db) {
+  DatabaseSource backend(&db, &catalog);
+  const AnswerStarReport fresh =
+      AnswerStar(compiled, catalog, &backend, ExecutionOptions{});
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  const StandingAnswers maintained = standing.Answers();
+  EXPECT_EQ(maintained.under, fresh.under);
+  EXPECT_EQ(maintained.over, fresh.over);
+  EXPECT_EQ(maintained.delta, fresh.delta);
+  EXPECT_EQ(maintained.complete, fresh.complete);
+  EXPECT_EQ(maintained.delta_has_nulls, fresh.delta_has_nulls);
+  EXPECT_EQ(maintained.completeness_lower_bound,
+            fresh.completeness_lower_bound);
+}
+
+struct StandingFixture {
+  Catalog catalog;
+  Database db;
+  UnionQuery compiled;
+  std::unique_ptr<DatabaseSource> backend;
+  std::unique_ptr<StandingQuery> standing;
+
+  StandingFixture(const std::string& schema, const std::string& facts,
+                  const std::string& query_text)
+      : catalog(Catalog::MustParse(schema)),
+        db(Database::MustParseFacts(facts)) {
+    std::string error;
+    std::optional<UnionQuery> query = ParseUnionQuery(query_text, &error);
+    EXPECT_TRUE(query.has_value()) << error;
+    compiled = Compile(*query, catalog, {}).analyzed_query;
+    backend = std::make_unique<DatabaseSource>(&db, &catalog);
+    standing = StandingQuery::Build(compiled, catalog, backend.get(), &error);
+    EXPECT_NE(standing, nullptr) << error;
+  }
+
+  // Applies one multi-relation batch end to end: database first, then the
+  // standing query against the post-update state.
+  void Apply(std::vector<RelationDelta> batch) {
+    std::vector<AppliedDelta> applied;
+    for (const RelationDelta& group : batch) {
+      std::string error;
+      std::optional<AppliedDelta> one = ApplyDelta(&db, group, &error);
+      ASSERT_TRUE(one.has_value()) << error;
+      if (!one->empty()) applied.push_back(std::move(*one));
+    }
+    std::string error;
+    ASSERT_TRUE(standing->ApplyDeltas(applied, backend.get(), &error))
+        << error;
+  }
+
+  void ExpectFresh() { ExpectMatchesFreshRun(*standing, compiled, catalog, db); }
+};
+
+TEST(StandingQueryTest, MaintainsAJoinUnderInsertsAndDeletes) {
+  StandingFixture fx("L/1: o\nB/2: io\n",
+                     R"(
+                       L("a"). L("b").
+                       B("a", "x"). B("b", "y").
+                     )",
+                     "Q(x, y) :- L(x), B(x, y).");
+  fx.ExpectFresh();
+
+  // Insert into the probe side: a new derivation flows forward.
+  fx.Apply({RelationDelta{"B", {T2("a", "x2")}, {}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under.size(), 3u);
+
+  // Delete from the scan side: every derivation through it dies.
+  fx.Apply({RelationDelta{"L", {}, {T1("b")}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under.size(), 2u);
+
+  // Multi-relation batch applied as one maintenance call.
+  fx.Apply({RelationDelta{"L", {T1("c")}, {T1("a")}},
+            RelationDelta{"B", {T2("c", "w")}, {T2("a", "x")}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under, std::set<Tuple>({T2("c", "w")}));
+}
+
+TEST(StandingQueryTest, DeleteThenReinsertRestoresTheOriginalAnswers) {
+  StandingFixture fx("L/1: o\nB/2: io\n",
+                     R"(
+                       L("a"). L("b").
+                       B("a", "x"). B("b", "y").
+                     )",
+                     "Q(x, y) :- L(x), B(x, y).");
+  const StandingAnswers before = fx.standing->Answers();
+  ASSERT_EQ(before.under.size(), 2u);
+
+  fx.Apply({RelationDelta{"B", {}, {T2("a", "x")}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under.size(), 1u);
+
+  fx.Apply({RelationDelta{"B", {T2("a", "x")}, {}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under, before.under);
+  EXPECT_EQ(fx.standing->Answers().over, before.over);
+}
+
+TEST(StandingQueryTest, AntiJoinFlipsInBothDirections) {
+  StandingFixture fx("L/1: o\nE/1: o\n",
+                     R"(
+                       L("a"). L("b").
+                       E("b").
+                     )",
+                     "Q(x) :- L(x), not E(x).");
+  fx.ExpectFresh();
+  ASSERT_EQ(fx.standing->Answers().under, std::set<Tuple>({T1("a")}));
+
+  // Insert into the negated relation: a standing answer is *killed*.
+  fx.Apply({RelationDelta{"E", {T1("a")}, {}}});
+  fx.ExpectFresh();
+  EXPECT_TRUE(fx.standing->Answers().under.empty());
+
+  // Delete from the negated relation: dead derivations are *revived*.
+  fx.Apply({RelationDelta{"E", {}, {T1("a"), T1("b")}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under,
+            std::set<Tuple>({T1("a"), T1("b")}));
+}
+
+TEST(StandingQueryTest, SelfJoinInsertProducesEachDerivationOnce) {
+  // One relation at both chain positions: an inserted edge participates
+  // as the first hop, the second hop, and both at once — the base_end
+  // discipline must produce each new derivation exactly once.
+  StandingFixture fx("C/2: oo io\n",
+                     R"(
+                       C("a", "b"). C("b", "c").
+                     )",
+                     "Q(x, z) :- C(x, y), C(y, z).");
+  fx.ExpectFresh();
+
+  // ("c", "a") closes a cycle: new paths through position 1, position 2,
+  // and the inserted edge twice (c->a->b).
+  fx.Apply({RelationDelta{"C", {T2("c", "a")}, {}}});
+  fx.ExpectFresh();
+
+  // A self-loop joins with itself.
+  fx.Apply({RelationDelta{"C", {T2("d", "d")}, {}}});
+  fx.ExpectFresh();
+  EXPECT_TRUE(fx.standing->Answers().under.count(T2("d", "d")));
+}
+
+TEST(StandingQueryTest, UnionsMaintainEachDisjunctIndependently) {
+  StandingFixture fx("L/1: o\nM/1: o\n",
+                     R"(
+                       L("a"). M("b").
+                     )",
+                     "Q(x) :- L(x).\nQ(x) :- M(x).");
+  fx.ExpectFresh();
+  fx.Apply({RelationDelta{"M", {T1("c")}, {T1("b")}}});
+  fx.ExpectFresh();
+  EXPECT_EQ(fx.standing->Answers().under,
+            std::set<Tuple>({T1("a"), T1("c")}));
+  EXPECT_EQ(fx.standing->relations(), std::set<std::string>({"L", "M"}));
+}
+
+}  // namespace
+}  // namespace ucqn

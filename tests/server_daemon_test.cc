@@ -305,5 +305,147 @@ TEST_F(DaemonTest, TenantCallBudgetCapsTheRequestAsk) {
   EXPECT_FALSE(capped.error.empty());
 }
 
+TEST_F(DaemonTest, InvalidateOpForgetsStatsSoThePlannerReprices) {
+  // The staleness bugfix: `invalidate` used to clear the shared cache but
+  // leave the StatsCatalog, so the adaptive planner kept pricing the
+  // changed service with pre-update latencies and fanouts. Both ledgers
+  // must drop together.
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon::Options options;
+  options.adaptive_cost_model = true;
+  QueryDaemon daemon(&catalog_, &backend, options);
+  ASSERT_EQ(daemon.Submit(QueryRequest("q1", "alice", join_query_)).status,
+            ServiceResponse::Status::kOk);
+  {
+    std::lock_guard<std::mutex> lock(*daemon.stats_mu());
+    ASSERT_NE(daemon.stats()->Find("B"), nullptr);
+    ASSERT_NE(daemon.stats()->Find("L"), nullptr);
+  }
+
+  ServiceRequest invalidate;
+  invalidate.op = ServiceRequest::Op::kInvalidate;
+  invalidate.relation = "B";
+  ServiceResponse scoped = daemon.Submit(invalidate);
+  ASSERT_EQ(scoped.status, ServiceResponse::Status::kOk);
+  EXPECT_NE(scoped.payload_json.find("\"stats_dropped\": "),
+            std::string::npos);
+  {
+    std::lock_guard<std::mutex> lock(*daemon.stats_mu());
+    EXPECT_EQ(daemon.stats()->Find("B"), nullptr);  // re-priced from defaults
+    EXPECT_NE(daemon.stats()->Find("L"), nullptr);  // untouched relation
+  }
+
+  // The next run re-observes B from scratch — fresh post-change stats.
+  ASSERT_EQ(daemon.Submit(QueryRequest("q2", "alice", join_query_)).status,
+            ServiceResponse::Status::kOk);
+  {
+    std::lock_guard<std::mutex> lock(*daemon.stats_mu());
+    EXPECT_NE(daemon.stats()->Find("B"), nullptr);
+  }
+
+  // Relation-less invalidate forgets everything.
+  invalidate.relation.clear();
+  ASSERT_EQ(daemon.Submit(invalidate).status, ServiceResponse::Status::kOk);
+  {
+    std::lock_guard<std::mutex> lock(*daemon.stats_mu());
+    EXPECT_TRUE(daemon.stats()->empty());
+  }
+}
+
+TEST_F(DaemonTest, StandingQueriesAreMaintainedByDeltaOps) {
+  Database db = db_;  // the daemon moves this instance under delta ops
+  DatabaseSource backend(&db, &catalog_);
+  QueryDaemon::Options options;
+  options.database = &db;
+  QueryDaemon daemon(&catalog_, &backend, options);
+
+  ServiceRequest standing = QueryRequest("s1", "alice", join_query_);
+  standing.standing = true;
+  ServiceResponse registered = daemon.Submit(standing);
+  ASSERT_EQ(registered.status, ServiceResponse::Status::kOk)
+      << registered.error;
+  EXPECT_EQ(daemon.standing_count(), 1u);
+
+  ServiceRequest delta;
+  delta.op = ServiceRequest::Op::kDelta;
+  delta.tenant = "alice";
+  delta.relation = "B";
+  delta.insert_tuples = {{Term::Constant("a"), Term::Constant("x2")}};
+  ServiceResponse applied = daemon.Submit(delta);
+  ASSERT_EQ(applied.status, ServiceResponse::Status::kOk) << applied.error;
+  EXPECT_NE(applied.payload_json.find("\"inserted\": 1"), std::string::npos);
+  EXPECT_NE(applied.payload_json.find("\"standing_updated\": 1"),
+            std::string::npos);
+  EXPECT_TRUE(db.Contains("B", {Term::Constant("a"), Term::Constant("x2")}));
+
+  ServiceRequest answers;
+  answers.op = ServiceRequest::Op::kAnswers;
+  answers.tenant = "alice";
+  answers.id = "s1";
+  ServiceResponse maintained = daemon.Submit(answers);
+  ASSERT_EQ(maintained.status, ServiceResponse::Status::kOk)
+      << maintained.error;
+  EXPECT_EQ(maintained.under.size(), 3u);
+  EXPECT_EQ(maintained.under.count(
+                {Term::Constant("a"), Term::Constant("x2")}),
+            1u);
+
+  // Deleting a scan-side tuple kills its derivations.
+  delta.insert_tuples.clear();
+  delta.relation = "L";
+  delta.delete_tuples = {{Term::Constant("a")}};
+  ASSERT_EQ(daemon.Submit(delta).status, ServiceResponse::Status::kOk);
+  maintained = daemon.Submit(answers);
+  ASSERT_EQ(maintained.status, ServiceResponse::Status::kOk);
+  EXPECT_EQ(maintained.under,
+            std::set<Tuple>({{Term::Constant("b"), Term::Constant("y")}}));
+
+  // A delta restating the current instance is a no-op: nothing effective,
+  // no maintenance work.
+  delta.delete_tuples = {{Term::Constant("zzz")}};
+  ServiceResponse noop = daemon.Submit(delta);
+  ASSERT_EQ(noop.status, ServiceResponse::Status::kOk);
+  EXPECT_NE(noop.payload_json.find("\"inserted\": 0"), std::string::npos);
+  EXPECT_NE(noop.payload_json.find("\"standing_updated\": 0"),
+            std::string::npos);
+
+  // Standing registrations are tenant-scoped.
+  answers.tenant = "bob";
+  ServiceResponse missing = daemon.Submit(answers);
+  EXPECT_EQ(missing.status, ServiceResponse::Status::kError);
+  EXPECT_NE(missing.error.find("no standing query"), std::string::npos);
+}
+
+TEST_F(DaemonTest, DeltaOpValidation) {
+  // Without an attached mutable database, delta ops are refused.
+  DatabaseSource backend(&db_, &catalog_);
+  QueryDaemon detached(&catalog_, &backend, {});
+  ServiceRequest delta;
+  delta.op = ServiceRequest::Op::kDelta;
+  delta.relation = "B";
+  delta.insert_tuples = {{Term::Constant("a"), Term::Constant("x2")}};
+  ServiceResponse refused = detached.Submit(delta);
+  EXPECT_EQ(refused.status, ServiceResponse::Status::kError);
+  EXPECT_NE(refused.error.find("no mutable database"), std::string::npos);
+
+  Database db = db_;
+  QueryDaemon::Options options;
+  options.database = &db;
+  QueryDaemon daemon(&catalog_, &backend, options);
+
+  delta.relation = "Nope";
+  ServiceResponse unknown = daemon.Submit(delta);
+  EXPECT_EQ(unknown.status, ServiceResponse::Status::kError);
+  EXPECT_NE(unknown.error.find("unknown relation"), std::string::npos);
+
+  delta.relation = "B";
+  delta.insert_tuples = {{Term::Constant("just-one")}};
+  ServiceResponse arity = daemon.Submit(delta);
+  EXPECT_EQ(arity.status, ServiceResponse::Status::kError);
+  EXPECT_NE(arity.error.find("arity mismatch"), std::string::npos);
+  // The database was never touched by the rejected batches.
+  EXPECT_EQ(db.TotalTuples(), db_.TotalTuples());
+}
+
 }  // namespace
 }  // namespace ucqn

@@ -183,5 +183,70 @@ TEST(ProtocolTest, AdminPayloadIsSplicedVerbatim) {
   EXPECT_EQ(parsed->payload_json, R"({"queries_served": 4})");
 }
 
+TEST(ProtocolTest, RequestDeltaAndAnswersOps) {
+  std::string error;
+  std::optional<ServiceRequest> delta = ParseServiceRequest(
+      R"({"op": "delta", "relation": "B",)"
+      R"( "insert": [["a", "x"], ["b", null]], "delete": [["c", "z"]]})",
+      &error);
+  ASSERT_TRUE(delta.has_value()) << error;
+  EXPECT_EQ(delta->op, ServiceRequest::Op::kDelta);
+  EXPECT_EQ(delta->relation, "B");
+  ASSERT_EQ(delta->insert_tuples.size(), 2u);
+  EXPECT_EQ(delta->insert_tuples[0],
+            Tuple({Term::Constant("a"), Term::Constant("x")}));
+  EXPECT_EQ(delta->insert_tuples[1],
+            Tuple({Term::Constant("b"), Term::Null()}));
+  ASSERT_EQ(delta->delete_tuples.size(), 1u);
+  EXPECT_EQ(delta->delete_tuples[0],
+            Tuple({Term::Constant("c"), Term::Constant("z")}));
+
+  // A standing registration is a query op with the flag set.
+  std::optional<ServiceRequest> standing = ParseServiceRequest(
+      R"({"op": "query", "id": "s1", "standing": true,)"
+      R"( "query": "Q(x) :- L(x)."})",
+      &error);
+  ASSERT_TRUE(standing.has_value()) << error;
+  EXPECT_TRUE(standing->standing);
+
+  std::optional<ServiceRequest> answers = ParseServiceRequest(
+      R"({"op": "answers", "id": "s1", "tenant": "alice"})", &error);
+  ASSERT_TRUE(answers.has_value()) << error;
+  EXPECT_EQ(answers->op, ServiceRequest::Op::kAnswers);
+  EXPECT_EQ(answers->id, "s1");
+}
+
+TEST(ProtocolTest, RequestDeltaRejections) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseServiceRequest(R"({"op": "delta", "insert": [["a"]]})", &error)
+          .has_value());
+  EXPECT_NE(error.find("delta op without a \"relation\" field"),
+            std::string::npos);
+
+  EXPECT_FALSE(
+      ParseServiceRequest(R"({"op": "delta", "relation": "B"})", &error)
+          .has_value());
+  EXPECT_NE(error.find("delta op without \"insert\" or \"delete\" tuples"),
+            std::string::npos);
+
+  // Tuples must be arrays of string/null cells.
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"({"op": "delta", "relation": "B", "insert": [42]})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("bad insert set: "), std::string::npos);
+  EXPECT_FALSE(ParseServiceRequest(
+                   R"({"op": "delta", "relation": "B", "delete": [[true]]})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("bad delete set: "), std::string::npos);
+
+  EXPECT_FALSE(
+      ParseServiceRequest(R"({"op": "answers"})", &error).has_value());
+  EXPECT_NE(error.find("answers op without an \"id\" field"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace ucqn

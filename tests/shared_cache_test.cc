@@ -520,5 +520,95 @@ TEST_F(SharedCacheTest, NegativeTtlBeatsPerRelationOverride) {
             SharedCacheStore::LookupState::kHit);
 }
 
+TEST_F(SharedCacheTest, RestoreReArmsNegativeEntriesAgainstTheCurrentTtl) {
+  // Snapshot restore of an empty (negative) result must re-arm against
+  // the *restoring* store's negative TTL, not the per-relation TTL the
+  // exporter ran with: a restart that shortens --negative-ttl would
+  // otherwise resurrect long-lived "no answer" claims.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.default_ttl_micros = 50000;
+  options.negative_ttl_micros = 1000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+
+  // Exported by a run with a *longer* negative TTL: 40000 left.
+  SharedCacheStore::ExportedEntry negative;
+  negative.key = "neg";
+  negative.relation = "R";
+  negative.ttl_remaining_micros = 40000;
+  store.RestoreEntry(negative);
+
+  // Exported by a run with *no* negative TTL at all: the 0 sentinel
+  // ("never expires") must not survive restore for an empty result.
+  SharedCacheStore::ExportedEntry immortal;
+  immortal.key = "neg-immortal";
+  immortal.relation = "R";
+  immortal.ttl_remaining_micros = 0;
+  store.RestoreEntry(immortal);
+
+  // A positive entry with the same remainder keeps it untouched.
+  SharedCacheStore::ExportedEntry positive;
+  positive.key = "pos";
+  positive.relation = "R";
+  positive.tuples = {{Term::Constant("a")}};
+  positive.ttl_remaining_micros = 40000;
+  store.RestoreEntry(positive);
+
+  clock.Advance(1000);  // past the current negative TTL
+  EXPECT_EQ(store.TryAcquire("neg", "R").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Abandon("neg");
+  EXPECT_EQ(store.TryAcquire("neg-immortal", "R").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Abandon("neg-immortal");
+  EXPECT_EQ(store.TryAcquire("pos", "R").state,
+            SharedCacheStore::LookupState::kHit);
+}
+
+TEST_F(SharedCacheTest, RestoreKeepsTheShorterNegativeRemainder) {
+  // min rule: when the exported remainder is already shorter than the
+  // current negative TTL (the TTL grew between runs), the remainder
+  // stands — restore never *extends* a negative claim's life.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.negative_ttl_micros = 10000;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+
+  SharedCacheStore::ExportedEntry negative;
+  negative.key = "neg";
+  negative.relation = "R";
+  negative.ttl_remaining_micros = 500;
+  store.RestoreEntry(negative);
+
+  clock.Advance(499);
+  EXPECT_EQ(store.TryAcquire("neg", "R").state,
+            SharedCacheStore::LookupState::kHit);
+  clock.Advance(1);  // the exported remainder, far inside the new TTL
+  EXPECT_EQ(store.TryAcquire("neg", "R").state,
+            SharedCacheStore::LookupState::kLeader);
+  store.Abandon("neg");
+}
+
+TEST_F(SharedCacheTest, RestoreWithNegativeTtlDisabledKeepsExportedRemainder) {
+  // The 0 = "no split" sentinel: with no negative TTL configured here,
+  // the exported remainder stands — including 0 = never expires.
+  SimulatedClock clock;
+  SharedCacheStore::Options options;
+  options.clock = &clock;
+  SharedCacheStore store(options);
+
+  SharedCacheStore::ExportedEntry negative;
+  negative.key = "neg";
+  negative.relation = "R";
+  negative.ttl_remaining_micros = 0;
+  store.RestoreEntry(negative);
+
+  clock.Advance(1u << 30);
+  EXPECT_EQ(store.TryAcquire("neg", "R").state,
+            SharedCacheStore::LookupState::kHit);
+}
+
 }  // namespace
 }  // namespace ucqn

@@ -474,5 +474,33 @@ TEST(StatsCatalogTest, ObserveTwiceAccumulates) {
   EXPECT_EQ(r->tuples, 2u);
 }
 
+TEST(StatsCatalogTest, InvalidateRelationForgetsPooledAndKeyedEntries) {
+  // The staleness bugfix behind the daemon's `invalidate` op: dropping a
+  // relation's cache entries without dropping its stats would leave the
+  // planner pricing the post-update service with pre-update latencies.
+  StatsCatalog stats;
+  RelationStats observed;
+  observed.calls = 4;
+  observed.tuples = 8;
+  observed.p50_latency_micros = 900.0;
+  stats.Record("R", "io", observed);
+  stats.Record("R", "oo", observed);
+  stats.Record("S", observed);
+  ASSERT_NE(stats.Find("R"), nullptr);
+  ASSERT_NE(stats.Find("R", "io"), nullptr);
+
+  // Pooled entry + two keyed entries erased; other relations untouched.
+  EXPECT_EQ(stats.InvalidateRelation("R"), 3u);
+  EXPECT_EQ(stats.Find("R"), nullptr);
+  EXPECT_EQ(stats.Find("R", "io"), nullptr);
+  EXPECT_EQ(stats.Find("R", "oo"), nullptr);
+  ASSERT_NE(stats.Find("S"), nullptr);
+  EXPECT_EQ(stats.patterns().count("R"), 0u);
+
+  // Already-forgotten relations report zero erased (idempotent).
+  EXPECT_EQ(stats.InvalidateRelation("R"), 0u);
+  EXPECT_EQ(stats.InvalidateRelation("never-seen"), 0u);
+}
+
 }  // namespace
 }  // namespace ucqn

@@ -149,5 +149,86 @@ TEST(ZipfSamplerTest, SkewConcentratesOnLowRanks) {
   EXPECT_GT(counts[99], 50);
 }
 
+TEST(WorkloadGenTest, UpdateRateZeroLeavesV1BytesUnchanged) {
+  // The v2 ratchet: with no delta stream the generator must keep emitting
+  // byte-identical v1 files, so existing corpora and their digests stand.
+  WorkloadGenOptions base = SmallOptions();
+  const std::string v1 = SerializeWorkload(GenerateWorkload(base));
+  WorkloadGenOptions zero = SmallOptions();
+  zero.update_rate = 0.0;
+  EXPECT_EQ(SerializeWorkload(GenerateWorkload(zero)), v1);
+  EXPECT_NE(v1.find("# ucqn-workload v1"), std::string::npos);
+  EXPECT_EQ(v1.find("[deltas]"), std::string::npos);
+}
+
+TEST(WorkloadGenTest, DeltaStreamRoundTripsThroughV2) {
+  WorkloadGenOptions options = SmallOptions();
+  options.update_rate = 0.2;
+  const WorkloadSpec spec = GenerateWorkload(options);
+  ASSERT_FALSE(spec.deltas.empty());
+  EXPECT_EQ(spec.version, 2);
+  // Events are pinned to replay request indices and reference declared
+  // relations with matching arity; deletes target live tuples by
+  // construction (the generator tracks its own working copy).
+  for (const WorkloadDeltaEvent& event : spec.deltas) {
+    EXPECT_LT(event.at_request, spec.replay.requests);
+    const RelationSchema* schema = spec.catalog.Find(event.relation);
+    ASSERT_NE(schema, nullptr) << event.relation;
+    EXPECT_EQ(event.tuple.size(), schema->arity());
+  }
+
+  const std::string text = SerializeWorkload(spec);
+  EXPECT_NE(text.find("# ucqn-workload v2"), std::string::npos);
+  EXPECT_NE(text.find("[deltas]"), std::string::npos);
+  std::string error;
+  std::optional<WorkloadSpec> parsed = ParseWorkload(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->deltas.size(), spec.deltas.size());
+  for (std::size_t i = 0; i < spec.deltas.size(); ++i) {
+    EXPECT_EQ(parsed->deltas[i].at_request, spec.deltas[i].at_request);
+    EXPECT_EQ(parsed->deltas[i].relation, spec.deltas[i].relation);
+    EXPECT_EQ(parsed->deltas[i].insert, spec.deltas[i].insert);
+    EXPECT_EQ(parsed->deltas[i].tuple, spec.deltas[i].tuple);
+  }
+  EXPECT_EQ(SerializeWorkload(*parsed), text);
+
+  // The delta stream rides on a separately seeded rng: turning it on
+  // must not perturb the schema, instance, or query sections.
+  const std::string v1 = SerializeWorkload(GenerateWorkload(SmallOptions()));
+  const std::string queries_on = text.substr(text.find("[queries]"));
+  const std::string queries_off = v1.substr(v1.find("[queries]"));
+  EXPECT_EQ(queries_on, queries_off);
+}
+
+TEST(WorkloadGenTest, ParserRejectsMalformedDeltaLines) {
+  WorkloadGenOptions options = SmallOptions();
+  options.update_rate = 0.2;
+  const std::string text = SerializeWorkload(GenerateWorkload(options));
+  const std::size_t section = text.find("[deltas]\n");
+  ASSERT_NE(section, std::string::npos);
+  const std::size_t line = section + std::string("[deltas]\n").size();
+  std::string error;
+
+  auto with_line = [&](const std::string& bad) {
+    std::string mutated = text;
+    mutated.insert(line, bad + "\n");
+    return mutated;
+  };
+  // No @index prefix.
+  EXPECT_FALSE(
+      ParseWorkload(with_line("+C0(1, 2)."), &error).has_value());
+  EXPECT_NE(error.find("[deltas]"), std::string::npos);
+  // No sign on the fact.
+  EXPECT_FALSE(
+      ParseWorkload(with_line("@3 C0(1, 2)."), &error).has_value());
+  // Not a fact at all.
+  EXPECT_FALSE(
+      ParseWorkload(with_line("@3 +garbage"), &error).has_value());
+  // Two facts on one line.
+  EXPECT_FALSE(
+      ParseWorkload(with_line("@3 +C0(1, 2). C0(3, 4)."), &error)
+          .has_value());
+}
+
 }  // namespace
 }  // namespace ucqn

@@ -75,4 +75,30 @@ expect_contains("warm w1" "${warm}" "\"status\": \"ok\"")
 expect_contains("warm w1" "${warm}" "[\"a\", \"x\"]")
 expect_contains("warm w1" "${warm}" "\"physical_calls\": 0")
 
-message(STATUS "ucqnd --stdio serves, recovers per-line, and restarts warm")
+# Delta feed: register a standing query, push a delta through the real
+# binary, and re-read the maintained answers without re-running the query.
+# The insert must appear in the `answers` op's result; the scoped
+# invalidation and maintenance counters must surface in the delta payload.
+run_daemon(delta
+    "{\"op\": \"query\", \"id\": \"s1\", \"tenant\": \"alice\", \"standing\": true, \"query\": \"Q(x, y) :- L(x), B(x, y).\"}\n{\"op\": \"delta\", \"id\": \"d1\", \"tenant\": \"alice\", \"relation\": \"B\", \"insert\": [[\"a\", \"x2\"]], \"delete\": [[\"b\", \"y\"]]}\n{\"op\": \"answers\", \"id\": \"s1\", \"tenant\": \"alice\"}\n{\"op\": \"answers\", \"id\": \"s1\", \"tenant\": \"mallory\"}\n")
+expect_contains("standing s1" "${delta}" "\"id\": \"s1\"")
+expect_contains("delta d1" "${delta}" "\"id\": \"d1\"")
+expect_contains("delta d1" "${delta}" "\"inserted\": 1")
+expect_contains("delta d1" "${delta}" "\"deleted\": 1")
+expect_contains("delta d1" "${delta}" "\"standing_updated\": 1")
+expect_contains("maintained answers" "${delta}" "[\"a\", \"x2\"]")
+string(FIND "${delta}" "[\"b\", \"y\"]" deleted_at)
+# The deleted derivation must be gone from the *last* answers response;
+# it still appears in the standing registration's own answer echo, so
+# check the maintained section (everything after the delta response).
+string(FIND "${delta}" "\"id\": \"d1\"" delta_at)
+string(SUBSTRING "${delta}" ${delta_at} -1 after_delta)
+string(FIND "${after_delta}" "[\"b\", \"y\"]" stale_at)
+if(NOT stale_at EQUAL -1)
+  message(FATAL_ERROR "maintained answers still carry the deleted tuple:\n${after_delta}")
+endif()
+# Standing registrations are tenant-scoped.
+expect_contains("foreign tenant" "${delta}" "no standing query")
+
+message(STATUS
+    "ucqnd --stdio serves, recovers per-line, restarts warm, and maintains standing queries under deltas")

@@ -43,13 +43,13 @@ endif()
 # registers `add_test(NAME name COMMAND name)`), so the labels are the
 # single source of truth for what this gate builds.
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "concurrency|operator"
+    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "concurrency|operator|delta"
     WORKING_DIRECTORY "${tsan_dir}"
     OUTPUT_VARIABLE listing
     ERROR_VARIABLE err
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "listing concurrency/operator tests failed:\n${err}")
+  message(FATAL_ERROR "listing concurrency/operator/delta tests failed:\n${err}")
 endif()
 string(REGEX MATCHALL "Test +#[0-9]+: +[A-Za-z0-9_]+" lines "${listing}")
 set(targets "")
@@ -60,7 +60,7 @@ endforeach()
 list(REMOVE_DUPLICATES targets)
 if(targets STREQUAL "")
   message(FATAL_ERROR
-      "no concurrency/operator-labeled tests found in ${tsan_dir}")
+      "no concurrency/operator/delta-labeled tests found in ${tsan_dir}")
 endif()
 
 execute_process(
@@ -75,14 +75,14 @@ endif()
 
 set(ENV{TSAN_OPTIONS} "halt_on_error=1 second_deadlock_stack=1")
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -L "concurrency|operator"
+    COMMAND "${CMAKE_CTEST_COMMAND}" -L "concurrency|operator|delta"
         --output-on-failure
     WORKING_DIRECTORY "${tsan_dir}"
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-      "concurrency/operator tests failed under ThreadSanitizer")
+      "concurrency/operator/delta tests failed under ThreadSanitizer")
 endif()
 
 message(STATUS
-    "concurrency/operator tests are race-clean under ThreadSanitizer")
+    "concurrency/operator/delta tests are race-clean under ThreadSanitizer")

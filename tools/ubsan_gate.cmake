@@ -44,13 +44,13 @@ endif()
 # registers `add_test(NAME name COMMAND name)`), so the labels are the
 # single source of truth for what this gate builds.
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "dictionary|operator"
+    COMMAND "${CMAKE_CTEST_COMMAND}" -N -L "dictionary|operator|delta"
     WORKING_DIRECTORY "${ubsan_dir}"
     OUTPUT_VARIABLE listing
     ERROR_VARIABLE err
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "listing dictionary/operator tests failed:\n${err}")
+  message(FATAL_ERROR "listing dictionary/operator/delta tests failed:\n${err}")
 endif()
 string(REGEX MATCHALL "Test +#[0-9]+: +[A-Za-z0-9_]+" lines "${listing}")
 set(targets "")
@@ -61,7 +61,7 @@ endforeach()
 list(REMOVE_DUPLICATES targets)
 if(targets STREQUAL "")
   message(FATAL_ERROR
-      "no dictionary/operator-labeled tests found in ${ubsan_dir}")
+      "no dictionary/operator/delta-labeled tests found in ${ubsan_dir}")
 endif()
 
 execute_process(
@@ -76,14 +76,14 @@ endif()
 
 set(ENV{UBSAN_OPTIONS} "print_stacktrace=1 halt_on_error=1")
 execute_process(
-    COMMAND "${CMAKE_CTEST_COMMAND}" -L "dictionary|operator"
+    COMMAND "${CMAKE_CTEST_COMMAND}" -L "dictionary|operator|delta"
         --output-on-failure
     WORKING_DIRECTORY "${ubsan_dir}"
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-      "dictionary/operator tests failed under UndefinedBehaviorSanitizer")
+      "dictionary/operator/delta tests failed under UndefinedBehaviorSanitizer")
 endif()
 
 message(STATUS
-    "dictionary/operator tests are UB-clean under UndefinedBehaviorSanitizer")
+    "dictionary/operator/delta tests are UB-clean under UndefinedBehaviorSanitizer")

@@ -30,10 +30,12 @@
 #include <cerrno>
 #include <climits>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -75,6 +77,8 @@ constexpr char kUsage[] =
     "  --spike-duration-us N\n"
     "                       spike length at the start of each period\n"
     "  --spike-extra-us N   latency every call pays inside a spike\n"
+    "  --update-rate F      chance a request index carries an update batch\n"
+    "                       (emits a [deltas] stream; makes the file v2)\n"
     "  --requests N         replay plan: requests to stream\n"
     "  --tenants N          replay plan: tenants t0..t{N-1}, round-robin\n"
     "  --replay-seed N      replay plan: request-sequence seed\n"
@@ -141,7 +145,71 @@ struct ViaDaemonCounts {
   std::uint64_t ok = 0;
   std::uint64_t error = 0;
   std::uint64_t other = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t delta_errors = 0;
 };
+
+ucqn::JsonValue TupleToJsonArray(const ucqn::Tuple& tuple) {
+  ucqn::JsonValue row = ucqn::JsonValue::Array();
+  for (const ucqn::Term& term : tuple) {
+    row.Append(term.IsNull() ? ucqn::JsonValue::Null()
+                             : ucqn::JsonValue::String(term.name()));
+  }
+  return row;
+}
+
+// The workload's delta stream as protocol lines, grouped per (request
+// index, relation) with deletes and inserts batched into one op.
+std::map<std::uint64_t, std::vector<std::string>> DeltaLinesByRequest(
+    const ucqn::WorkloadSpec& spec) {
+  struct Batch {
+    std::string relation;
+    std::vector<ucqn::Tuple> inserts;
+    std::vector<ucqn::Tuple> deletes;
+  };
+  std::map<std::uint64_t, std::vector<Batch>> grouped;
+  for (const ucqn::WorkloadDeltaEvent& event : spec.deltas) {
+    std::vector<Batch>& batches = grouped[event.at_request];
+    Batch* batch = nullptr;
+    for (Batch& candidate : batches) {
+      if (candidate.relation == event.relation) {
+        batch = &candidate;
+        break;
+      }
+    }
+    if (batch == nullptr) {
+      batches.push_back(Batch{event.relation, {}, {}});
+      batch = &batches.back();
+    }
+    (event.insert ? batch->inserts : batch->deletes).push_back(event.tuple);
+  }
+  std::map<std::uint64_t, std::vector<std::string>> lines;
+  for (const auto& [at_request, batches] : grouped) {
+    for (const Batch& batch : batches) {
+      ucqn::JsonValue request = ucqn::JsonValue::Object();
+      request.Set("op", ucqn::JsonValue::String("delta"));
+      request.Set("id", ucqn::JsonValue::String("delta@" +
+                                                std::to_string(at_request)));
+      request.Set("relation", ucqn::JsonValue::String(batch.relation));
+      if (!batch.inserts.empty()) {
+        ucqn::JsonValue rows = ucqn::JsonValue::Array();
+        for (const ucqn::Tuple& tuple : batch.inserts) {
+          rows.Append(TupleToJsonArray(tuple));
+        }
+        request.Set("insert", std::move(rows));
+      }
+      if (!batch.deletes.empty()) {
+        ucqn::JsonValue rows = ucqn::JsonValue::Array();
+        for (const ucqn::Tuple& tuple : batch.deletes) {
+          rows.Append(TupleToJsonArray(tuple));
+        }
+        request.Set("delete", std::move(rows));
+      }
+      lines[at_request].push_back(request.Dump());
+    }
+  }
+  return lines;
+}
 
 int RunViaDaemon(const ucqn::WorkloadSpec& spec, const char* ucqnd_path,
                  const std::string& workdir, std::uint64_t max_requests,
@@ -195,11 +263,47 @@ int RunViaDaemon(const ucqn::WorkloadSpec& spec, const char* ucqnd_path,
 
   const std::vector<ucqn::ReplayRequest> sequence =
       ucqn::BuildRequestSequence(spec, max_requests);
+  const std::map<std::uint64_t, std::vector<std::string>> delta_lines =
+      DeltaLinesByRequest(spec);
   ViaDaemonCounts counts;
   char* line = nullptr;
   std::size_t line_capacity = 0;
   int exit_code = 0;
+  // Lockstep helper shared by delta and query lines: one line out, one
+  // response line back.
+  auto exchange = [&](const std::string& request_line,
+                      std::optional<ucqn::ServiceResponse>* response_out) {
+    std::fprintf(to, "%s\n", request_line.c_str());
+    std::fflush(to);
+    if (getline(&line, &line_capacity, from) < 0) {
+      std::fprintf(stderr, "daemon closed the pipe after %llu responses\n",
+                   static_cast<unsigned long long>(counts.requests));
+      return false;
+    }
+    std::string error;
+    *response_out = ucqn::ParseServiceResponse(line, &error);
+    if (!*response_out) {
+      std::fprintf(stderr, "bad response line: %s\n", error.c_str());
+      return false;
+    }
+    return true;
+  };
   for (std::size_t r = 0; r < sequence.size(); ++r) {
+    const auto batch_it = delta_lines.find(r);
+    if (batch_it != delta_lines.end() && exit_code == 0) {
+      for (const std::string& delta_line : batch_it->second) {
+        std::optional<ucqn::ServiceResponse> delta_response;
+        if (!exchange(delta_line, &delta_response)) {
+          exit_code = 1;
+          break;
+        }
+        ++counts.deltas;
+        if (delta_response->status != ucqn::ServiceResponse::Status::kOk) {
+          ++counts.delta_errors;
+        }
+      }
+      if (exit_code != 0) break;
+    }
     ucqn::JsonValue request = ucqn::JsonValue::Object();
     request.Set("op", ucqn::JsonValue::String("query"));
     request.Set("id", ucqn::JsonValue::String("r" + std::to_string(r)));
@@ -207,23 +311,12 @@ int RunViaDaemon(const ucqn::WorkloadSpec& spec, const char* ucqnd_path,
                               "t" + std::to_string(sequence[r].tenant)));
     request.Set("query", ucqn::JsonValue::String(
                              spec.queries[sequence[r].query_index]));
-    std::fprintf(to, "%s\n", request.Dump().c_str());
-    std::fflush(to);
-    if (getline(&line, &line_capacity, from) < 0) {
-      std::fprintf(stderr, "daemon closed the pipe after %llu responses\n",
-                   static_cast<unsigned long long>(counts.requests));
+    std::optional<ucqn::ServiceResponse> response;
+    if (!exchange(request.Dump(), &response)) {
       exit_code = 1;
       break;
     }
     ++counts.requests;
-    std::string error;
-    std::optional<ucqn::ServiceResponse> response =
-        ucqn::ParseServiceResponse(line, &error);
-    if (!response) {
-      std::fprintf(stderr, "bad response line: %s\n", error.c_str());
-      exit_code = 1;
-      break;
-    }
     switch (response->status) {
       case ucqn::ServiceResponse::Status::kOk:
         ++counts.ok;
@@ -246,11 +339,14 @@ int RunViaDaemon(const ucqn::WorkloadSpec& spec, const char* ucqnd_path,
     exit_code = 1;
   }
   std::printf(
-      "via-daemon replay: %llu requests, %llu ok, %llu error, %llu other\n",
+      "via-daemon replay: %llu requests, %llu ok, %llu error, %llu other, "
+      "%llu delta batches (%llu failed)\n",
       static_cast<unsigned long long>(counts.requests),
       static_cast<unsigned long long>(counts.ok),
       static_cast<unsigned long long>(counts.error),
-      static_cast<unsigned long long>(counts.other));
+      static_cast<unsigned long long>(counts.other),
+      static_cast<unsigned long long>(counts.deltas),
+      static_cast<unsigned long long>(counts.delta_errors));
   if (expect_all_ok &&
       (counts.ok != sequence.size() || counts.requests != sequence.size())) {
     std::fprintf(stderr, "--expect-all-ok: not every request came back ok\n");
@@ -369,6 +465,8 @@ int main(int argc, char** argv) {
       if (!next_double(gen.union_prob)) return Usage();
     } else if (std::strcmp(argv[i], "--zipf-s") == 0) {
       if (!next_double(gen.zipf_s)) return Usage();
+    } else if (std::strcmp(argv[i], "--update-rate") == 0) {
+      if (!next_double(gen.update_rate)) return Usage();
     } else if (std::strcmp(argv[i], "--latency-us") == 0) {
       if (!next_u64(gen.latency_micros)) return Usage();
     } else if (std::strcmp(argv[i], "--latency-jitter-us") == 0) {
@@ -465,9 +563,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf(
-        "wrote %s: %zu relations, %zu query templates, %llu-request plan\n",
+        "wrote %s: %zu relations, %zu query templates, %llu-request plan, "
+        "%zu delta events\n",
         out_path, spec.catalog.Relations().size(), spec.queries.size(),
-        static_cast<unsigned long long>(spec.replay.requests));
+        static_cast<unsigned long long>(spec.replay.requests),
+        spec.deltas.size());
     return 0;
   }
 
@@ -518,6 +618,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.physical_calls),
               static_cast<unsigned long long>(report.cache_hits),
               static_cast<unsigned long long>(report.cache_misses));
+  if (report.deltas_applied > 0 || report.delta_error_count > 0) {
+    std::printf("delta batches %llu applied, %llu failed\n",
+                static_cast<unsigned long long>(report.deltas_applied),
+                static_cast<unsigned long long>(report.delta_error_count));
+  }
   for (std::size_t w = 0; w < report.windows.size(); ++w) {
     std::printf("  window %zu: %llu requests, hit rate %.3f\n", w,
                 static_cast<unsigned long long>(report.windows[w].requests),

@@ -34,6 +34,16 @@
 // mode so each query's observed stats feed the adaptive cost model of the
 // queries after it.
 //
+// A --queries block starting with `!` is a directive instead of a query:
+// `!invalidate R` drops relation R from the shared cache and the session
+// stats catalog; `!delta` followed by signed fact lines (`+R(1, 2).` /
+// `-R(1, 2).`) updates the session database in place, scoping cache
+// invalidation to the changed tuples. With --standing, each query block
+// additionally registers a standing query whose maintained answers are
+// re-emitted after every `!delta` block without re-running the query
+// (src/eval/delta.h). A malformed directive block is diagnosed and
+// skipped like a malformed query block: nonzero exit, later blocks run.
+//
 // The cost-model flags configure the plan-quality layer (src/cost/):
 // --cost-model adaptive scores every (literal, access pattern) candidate
 // as expected_calls x observed p50 latency + expected tuples x tuple
@@ -58,9 +68,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ast/parser.h"
@@ -68,6 +80,7 @@
 #include "cost/cost_model.h"
 #include "cost/stats_catalog.h"
 #include "eval/answer_star.h"
+#include "eval/delta.h"
 #include "eval/domain_enum.h"
 #include "eval/explain.h"
 #include "eval/op/lowering.h"
@@ -98,7 +111,12 @@ constexpr char kUsage[] =
     "  --query FILE         one UCQ-with-negation query\n"
     "  --queries FILE       multi-query session: query blocks separated by\n"
     "                       lines containing only ---, run in order against\n"
-    "                       one shared runtime (requires --facts)\n"
+    "                       one shared runtime (requires --facts); blocks\n"
+    "                       starting with ! are directives (!invalidate R,\n"
+    "                       !delta with signed +R(...)./-R(...). fact lines)\n"
+    "  --standing           with --queries: register each query as a\n"
+    "                       standing query and re-emit its maintained\n"
+    "                       answers after every !delta block\n"
     "  --views FILE         global-as-view definitions to unfold against\n"
     "  --constraints FILE   inclusion dependencies\n"
     "  --facts FILE         database instance; runs ANSWER*\n"
@@ -214,6 +232,7 @@ int main(int argc, char** argv) {
   const char* constraints_path = nullptr;
   const char* facts_path = nullptr;
   bool improve = false;
+  bool standing_mode = false;
   RuntimeOptions runtime;
   ExecutionOptions exec;
   bool shared_cache = false;
@@ -274,6 +293,8 @@ int main(int argc, char** argv) {
       if (!next(facts_path)) return Usage();
     } else if (std::strcmp(argv[i], "--improve") == 0) {
       improve = true;
+    } else if (std::strcmp(argv[i], "--standing") == 0) {
+      standing_mode = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       runtime.cache = true;
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
@@ -365,6 +386,10 @@ int main(int argc, char** argv) {
     // Each query's observed stats feed the adaptive model (and the
     // session summary) of the queries after it.
     runtime.metering = true;
+  }
+  if (standing_mode && queries_path == nullptr) {
+    std::fprintf(stderr, "--standing requires --queries\n");
+    return Usage();
   }
 
   // The process-wide cache store. Constructed unconditionally (it is
@@ -534,10 +559,193 @@ int main(int argc, char** argv) {
     std::printf("session: %zu queries from %s\n", blocks.size(), queries_path);
     int status = 0;
     std::uint64_t calls_before = 0;
+    // --standing: the session's registered standing queries, maintained
+    // in place by !delta blocks instead of being re-run.
+    struct SessionStanding {
+      std::size_t query_number = 0;
+      std::unique_ptr<StandingQuery> query;
+    };
+    std::vector<SessionStanding> standing;
+    const auto emit_standing = [&]() {
+      for (const SessionStanding& entry : standing) {
+        const StandingAnswers answers = entry.query->Answers();
+        std::printf("  standing %zu: %zu under, %zu over, %s\n",
+                    entry.query_number, answers.under.size(),
+                    answers.over.size(),
+                    answers.complete ? "complete" : "incomplete");
+      }
+    };
     for (std::size_t qi = 0; qi < blocks.size(); ++qi) {
       // A malformed block poisons only itself: diagnose it by number,
       // mark the session failed, and keep serving the blocks after it —
       // one typo must not cost the rest of the session its warm cache.
+      const std::size_t first_char =
+          blocks[qi].find_first_not_of(" \t\r\n");
+      if (first_char != std::string::npos && blocks[qi][first_char] == '!') {
+        // Directive block. Same recovery contract as a malformed query:
+        // diagnose by number, mark the session failed, keep going.
+        std::istringstream directive(blocks[qi].substr(first_char));
+        std::string head;
+        std::getline(directive, head);
+        while (!head.empty() &&
+               (head.back() == '\r' || head.back() == ' ' ||
+                head.back() == '\t')) {
+          head.pop_back();
+        }
+        if (head.rfind("!invalidate", 0) == 0) {
+          std::string relation = head.substr(std::strlen("!invalidate"));
+          const std::size_t start = relation.find_first_not_of(" \t");
+          relation = start == std::string::npos ? "" : relation.substr(start);
+          if (relation.empty() || !catalog->Contains(relation)) {
+            std::fprintf(stderr,
+                         "query %zu error: !invalidate needs a declared "
+                         "relation, got \"%s\"\n",
+                         qi + 1, relation.c_str());
+            std::printf("\nquery %zu: skipped (bad directive)\n", qi + 1);
+            status = 1;
+            continue;
+          }
+          // Both staleness ledgers go together: the cached call results
+          // AND the observed stats the planner prices from.
+          std::size_t dropped = 0;
+          if (shared_cache) {
+            const std::size_t before = shared_store.size();
+            shared_store.InvalidateRelation(relation);
+            dropped = before - shared_store.size();
+          }
+          const std::size_t stats_dropped = stats.InvalidateRelation(relation);
+          std::printf(
+              "\nquery %zu: invalidated \"%s\" (%zu cache entries, "
+              "%zu stats rows)\n",
+              qi + 1, relation.c_str(), dropped, stats_dropped);
+          continue;
+        }
+        if (head == "!delta") {
+          // Signed fact lines, grouped per relation into one batch.
+          std::vector<RelationDelta> batch;
+          std::string delta_line;
+          bool bad = false;
+          while (std::getline(directive, delta_line)) {
+            const std::size_t begin =
+                delta_line.find_first_not_of(" \t\r");
+            if (begin == std::string::npos) continue;
+            const std::size_t end = delta_line.find_last_not_of(" \t\r");
+            delta_line = delta_line.substr(begin, end - begin + 1);
+            const char sign = delta_line.front();
+            std::string fact_error;
+            std::optional<Database> fact =
+                sign == '+' || sign == '-'
+                    ? Database::ParseFacts(delta_line.substr(1), &fact_error)
+                    : std::nullopt;
+            if (!fact || fact->TotalTuples() != 1) {
+              std::fprintf(stderr,
+                           "query %zu error: bad !delta line \"%s\"%s%s\n",
+                           qi + 1, delta_line.c_str(),
+                           fact_error.empty() ? "" : ": ",
+                           fact_error.c_str());
+              bad = true;
+              break;
+            }
+            const std::string relation = fact->RelationNames().front();
+            if (!catalog->Contains(relation)) {
+              std::fprintf(stderr,
+                           "query %zu error: !delta touches undeclared "
+                           "relation \"%s\"\n",
+                           qi + 1, relation.c_str());
+              bad = true;
+              break;
+            }
+            RelationDelta* group = nullptr;
+            for (RelationDelta& candidate : batch) {
+              if (candidate.relation == relation) {
+                group = &candidate;
+                break;
+              }
+            }
+            if (group == nullptr) {
+              batch.push_back(RelationDelta{relation, {}, {}});
+              group = &batch.back();
+            }
+            (sign == '+' ? group->inserts : group->deletes)
+                .push_back(*fact->Find(relation)->begin());
+          }
+          if (bad || batch.empty()) {
+            if (batch.empty() && !bad) {
+              std::fprintf(stderr, "query %zu error: empty !delta block\n",
+                           qi + 1);
+            }
+            std::printf("\nquery %zu: skipped (bad directive)\n", qi + 1);
+            status = 1;
+            continue;
+          }
+          // Update the database first — every relation of the batch —
+          // then invalidate and maintain against the post-update state.
+          std::vector<AppliedDelta> applied;
+          bool apply_failed = false;
+          for (const RelationDelta& group : batch) {
+            std::optional<AppliedDelta> one = ApplyDelta(&*db, group, &error);
+            if (!one) {
+              std::fprintf(stderr, "query %zu error: %s\n", qi + 1,
+                           error.c_str());
+              apply_failed = true;
+              break;
+            }
+            if (!one->empty()) applied.push_back(std::move(*one));
+          }
+          std::size_t cache_dropped = 0;
+          if (shared_cache) {
+            for (const AppliedDelta& one : applied) {
+              cache_dropped +=
+                  shared_store.InvalidateDelta(one.relation,
+                                               one.ChangedTuples());
+            }
+          }
+          if (!applied.empty() && !standing.empty()) {
+            for (SessionStanding& entry : standing) {
+              bool affected = false;
+              for (const AppliedDelta& one : applied) {
+                if (entry.query->relations().count(one.relation) > 0) {
+                  affected = true;
+                  break;
+                }
+              }
+              if (!affected) continue;
+              SourceStack maintain_stack(&backend, runtime);
+              std::string maintain_error;
+              if (!entry.query->ApplyDeltas(applied, maintain_stack.source(),
+                                            &maintain_error)) {
+                std::fprintf(stderr,
+                             "query %zu error: standing %zu maintenance "
+                             "failed: %s\n",
+                             qi + 1, entry.query_number,
+                             maintain_error.c_str());
+                status = 1;
+              }
+            }
+          }
+          std::size_t inserted = 0;
+          std::size_t deleted = 0;
+          for (const AppliedDelta& one : applied) {
+            inserted += one.inserted.size();
+            deleted += one.deleted.size();
+          }
+          std::printf(
+              "\nquery %zu: delta applied (%zu inserted, %zu deleted, "
+              "%zu cache entries dropped)\n",
+              qi + 1, inserted, deleted, cache_dropped);
+          if (standing_mode) emit_standing();
+          if (apply_failed) {
+            std::printf("query %zu: skipped remainder (bad delta)\n", qi + 1);
+            status = 1;
+          }
+          continue;
+        }
+        std::fprintf(stderr, "query %zu error: unknown directive \"%s\"\n",
+                     qi + 1, head.c_str());
+        std::printf("\nquery %zu: skipped (bad directive)\n", qi + 1);
+        status = 1;
+        continue;
+      }
       std::optional<UnionQuery> q = ParseUnionQuery(blocks[qi], &error);
       if (!q) {
         std::fprintf(stderr, "query %zu error: %s\n", qi + 1, error.c_str());
@@ -570,6 +778,22 @@ int main(int argc, char** argv) {
         std::printf("  answers: %zu under, %zu over, %s\n",
                     report.under.size(), report.over.size(),
                     report.complete ? "complete" : "incomplete");
+        if (standing_mode) {
+          // Materialize the chains off the same (warm) stack the run just
+          // used; later !delta blocks maintain them in place.
+          std::unique_ptr<StandingQuery> sq = StandingQuery::Build(
+              compiled.analyzed_query, *catalog, stack.source(), &error);
+          if (sq == nullptr) {
+            std::fprintf(stderr,
+                         "query %zu error: standing registration failed: "
+                         "%s\n",
+                         qi + 1, error.c_str());
+            status = 1;
+          } else {
+            standing.push_back(SessionStanding{qi + 1, std::move(sq)});
+            std::printf("  standing: registered\n");
+          }
+        }
       }
       std::printf("  physical calls: %llu\n",
                   static_cast<unsigned long long>(physical));

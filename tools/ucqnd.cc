@@ -254,6 +254,9 @@ int main(int argc, char** argv) {
   }
 
   DatabaseSource backend(&*db, &*catalog);
+  // The backend reads this in-process database, so delta ops can mutate
+  // it directly and maintain standing queries against the same instance.
+  options.database = &*db;
   QueryDaemon daemon(&*catalog, &backend, options);
 
   SnapshotLoadReport loaded;
